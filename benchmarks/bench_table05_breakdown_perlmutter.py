@@ -1,0 +1,113 @@
+"""Table V — sample vs total time under Perlmutter blocking, and the
+Frontera/Perlmutter crossover.
+
+Table V repeats Table III's breakdown with the wider Perlmutter blocking
+(b_n = 1200 at paper scale) where Algorithm 4 overtakes Algorithm 3 — the
+opposite of Frontera.  The crossover depends on the machine's RNG-speed /
+random-access trade-off, so this bench reports (a) the measured breakdown
+at surrogate scale and (b) the machine-model verdict for both presets,
+asserting the paper's opposite orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import (
+    REPEATS,
+    best_of,
+    emit_report,
+    paper_scale_crossover,
+    shape_check,
+    suite_matrix,
+)
+
+from repro.kernels import sketch_spmm
+from repro.rng import XoshiroSketchRNG
+from repro.workloads import SPMM_SUITE
+
+
+def _blocking(d: int, n: int) -> tuple[int, int]:
+    return max(1, min(d, 3000)), max(1, min(n, max(8, n // 14)))
+
+
+_PAPER = {
+    ("mk-12", "algo3"): (0.0627, 0.034), ("ch7-9-b3", "algo3"): (7.37, 3.90),
+    ("shar_te2-b2", "algo3"): (9.89, 5.40),
+    ("mesh_deform", "algo3"): (7.68, 4.21),
+    ("cis-n4c6-b4", "algo3"): (0.628, 0.312),
+    ("mk-12", "algo4"): (0.0520, 0.0142), ("ch7-9-b3", "algo4"): (6.60, 2.09),
+    ("shar_te2-b2", "algo4"): (9.04, 3.64),
+    ("mesh_deform", "algo4"): (5.73, 2.35),
+    ("cis-n4c6-b4", "algo4"): (0.532, 0.120),
+}
+
+
+def _run(name: str, kernel: str):
+    A = suite_matrix("spmm", name)
+    d = 3 * A.shape[1]
+    b_d, b_n = _blocking(d, A.shape[1])
+    _, (_, stats) = best_of(
+        lambda: sketch_spmm(A, d, XoshiroSketchRNG(0, "uniform"),
+                            kernel=kernel, b_d=b_d, b_n=b_n)
+    )
+    return stats
+
+
+@pytest.mark.parametrize("kernel", ["algo3", "algo4"])
+def test_kernel_perlmutter_blocking(benchmark, kernel):
+    A = suite_matrix("spmm", "mesh_deform")
+    d = 3 * A.shape[1]
+    b_d, b_n = _blocking(d, A.shape[1])
+    benchmark.pedantic(
+        lambda: sketch_spmm(A, d, XoshiroSketchRNG(0), kernel=kernel,
+                            b_d=b_d, b_n=b_n),
+        rounds=max(1, REPEATS), iterations=1,
+    )
+
+
+def test_table05_report(benchmark):
+    def run_all():
+        return {(n, k): _run(n, k) for n in SPMM_SUITE
+                for k in ("algo3", "algo4")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, notes = [], []
+    for kernel in ("algo3", "algo4"):
+        for name in SPMM_SUITE:
+            st = results[(name, kernel)]
+            pt, ps = _PAPER[(name, kernel)]
+            rows.append([name, kernel, pt, ps, st.total_seconds,
+                         st.sample_seconds, st.samples_generated])
+
+    # The crossover at PAPER dimensions via the machine model.
+    crossover_rows = []
+    for name in SPMM_SUITE:
+        cross = paper_scale_crossover(SPMM_SUITE[name])
+        f3, f4 = cross["frontera_a3"], cross["frontera_a4"]
+        p3, p4 = cross["perlmutter_a3"], cross["perlmutter_a4"]
+        crossover_rows.append([name, f3, f4, p3, p4])
+        notes.append(shape_check(
+            f3 <= f4 * 1.1 and p4 <= p3 * 1.05,
+            f"{name}: model crossover — Frontera prefers A3 "
+            f"({f3:.3f} vs {f4:.3f}), Perlmutter prefers A4 "
+            f"({p4:.3f} vs {p3:.3f})",
+        ))
+    emit_report(
+        "table05",
+        "Table V: sample vs total time (Perlmutter blocking)",
+        ["matrix", "algorithm", "total(p)", "sample(p)", "total", "sample",
+         "#generated"],
+        rows,
+    )
+    emit_report(
+        "table05_crossover",
+        "Tables III vs V crossover (machine-model seconds, sequential)",
+        ["matrix", "Frontera A3", "Frontera A4", "Perlmutter A3",
+         "Perlmutter A4"],
+        crossover_rows,
+        notes="\n".join(notes),
+    )
+    for name in SPMM_SUITE:
+        cross = paper_scale_crossover(SPMM_SUITE[name])
+        assert cross["perlmutter_a4"] <= cross["perlmutter_a3"] * 1.05, (
+            f"{name}: Perlmutter must prefer Algorithm 4 at paper scale")

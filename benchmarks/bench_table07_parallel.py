@@ -1,0 +1,144 @@
+"""Table VII — strong scaling of Algorithms 3 & 4 under two blockings.
+
+The paper scales shar_te2-b2 from 1 to 32 threads on Frontera with two
+blocking setups; setup2 (taller blocks: larger b_d, smaller b_n) scales
+further, Algorithm 3 overtakes Algorithm 4 at high thread counts, and the
+headline parallel efficiency reaches ~45% at 32 threads (note: 32 threads
+oversubscribe Frontera's 28 cores).
+
+This host has one core, so (per DESIGN.md's substitution table) the sweep
+runs twice: REAL threads through the race-free executor at surrogate
+scale (correctness + measured wall time) and the bandwidth-saturation
+machine model at the PAPER's dimensions (the scaling shape, with absolute
+predicted seconds printed next to the paper's measurements).
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import (
+    REPEATS,
+    emit_report,
+    paper_scale_traffic,
+    shape_check,
+    suite_matrix,
+)
+
+from repro.model import FRONTERA
+from repro.parallel import measure_strong_scaling, predict_time
+from repro.rng import PhiloxSketchRNG
+from repro.workloads import SPMM_SUITE
+
+THREADS = [1, 2, 4, 8, 16, 32]
+CASE = SPMM_SUITE["shar_te2-b2"]
+
+#: Paper rows (seconds, GFlops) for (setup, algorithm, threads).
+PAPER = {
+    ("setup1", "algo4"): {1: (8.66, 7.14), 2: (5.06, 12.23), 4: (2.72, 22.70),
+                          8: (2.07, 29.89), 16: (2.34, 26.42), 32: (2.01, 30.74)},
+    ("setup1", "algo3"): {1: (9.00, 6.87), 2: (5.16, 11.98), 4: (2.63, 23.47),
+                          8: (1.98, 31.22), 16: (1.14, 54.08), 32: (0.92, 67.33)},
+    ("setup2", "algo4"): {1: (8.42, 7.35), 2: (4.88, 12.68), 4: (2.51, 24.59),
+                          8: (1.55, 39.88), 16: (1.37, 45.05), 32: (0.80, 77.22)},
+    ("setup2", "algo3"): {1: (8.88, 6.96), 2: (4.52, 13.68), 4: (2.50, 24.75),
+                          8: (1.35, 45.80), 16: (0.83, 74.76), 32: (0.62, 100.29)},
+}
+
+#: Paper-scale blockings: setup1 squat-ish, setup2 tall (large b_d, small b_n).
+SETUPS = {"setup1": (3000, 1200), "setup2": (51480, 200)}
+
+
+def _model_sweep(setup: str, kernel: str):
+    b_d, b_n = SETUPS[setup]
+    traffic = paper_scale_traffic(CASE, kernel, b_d=b_d, b_n=b_n)
+    h = FRONTERA.h("uniform")
+    serial = 0.0
+    if kernel == "algo4":
+        # Charge the blocked-CSR conversion as a bandwidth-bound serial pass.
+        n_blocks = -(-CASE.n // b_n)
+        conv_words = 2.0 * CASE.nnz + n_blocks * (CASE.m + 1.0)
+        serial = conv_words * 8.0 / (FRONTERA.bandwidth_gbs * 1e9)
+    return [predict_time(traffic, FRONTERA, p, h, serial_seconds=serial)
+            for p in THREADS]
+
+
+def test_real_threads_correct_and_timed(benchmark):
+    """Measured sweep with real threads (single-core host: validates
+    correctness and the executor; no speedup expected here)."""
+    A = suite_matrix("spmm", "shar_te2-b2")
+    d = 3 * A.shape[1]
+
+    def sweep():
+        return measure_strong_scaling(
+            A, d, lambda w: PhiloxSketchRNG(0), kernel="algo3",
+            b_d=d, b_n=max(1, A.shape[1] // 8), threads_list=[1, 2, 4],
+        )
+
+    pts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(p.seconds > 0 for p in pts)
+
+
+@pytest.mark.parametrize("kernel", ["algo3", "algo4"])
+@pytest.mark.parametrize("setup", ["setup1", "setup2"])
+def test_simulated_scaling(benchmark, kernel, setup):
+    runs = benchmark.pedantic(lambda: _model_sweep(setup, kernel),
+                              rounds=max(1, REPEATS), iterations=1)
+    assert runs[0].seconds >= runs[-1].seconds
+
+
+def test_table07_report(benchmark):
+    def run_all():
+        return {(s, k): _model_sweep(s, k)
+                for s in SETUPS for k in ("algo3", "algo4")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, notes = [], []
+    for p_idx, threads in enumerate(THREADS):
+        row = [threads]
+        for setup in ("setup1", "setup2"):
+            for kernel in ("algo4", "algo3"):
+                run = results[(setup, kernel)][p_idx]
+                paper_t, _ = PAPER[(setup, kernel)][threads]
+                row.extend([paper_t, run.seconds, run.gflops])
+        rows.append(row)
+
+    def eff(key):
+        pts = results[key]
+        return pts[0].seconds / (THREADS[-1] * pts[-1].seconds)
+
+    e32 = eff(("setup2", "algo3"))
+    notes.append(shape_check(
+        results[("setup2", "algo3")][-1].seconds
+        <= results[("setup2", "algo4")][-1].seconds,
+        "Algorithm 3 at least as fast as Algorithm 4 at 32 threads (setup2)",
+    ))
+    notes.append(shape_check(
+        results[("setup2", "algo3")][-1].seconds
+        <= results[("setup1", "algo3")][-1].seconds,
+        "setup2 (tall blocks) at least as fast as setup1 at 32 threads",
+    ))
+    notes.append(shape_check(
+        0.10 <= e32 < 1.0,
+        f"parallel efficiency at 32 threads = {e32:.0%} < 100% "
+        "(paper: up to 45%; our streaming-traffic model is more optimistic "
+        "than the real memory system)",
+    ))
+    pred1 = results[("setup2", "algo3")][0].seconds
+    notes.append(shape_check(
+        0.2 < pred1 / PAPER[("setup2", "algo3")][1][0] < 5.0,
+        f"1-thread model prediction {pred1:.2f}s within 5x of the paper's "
+        f"{PAPER[('setup2', 'algo3')][1][0]}s (absolute-scale sanity)",
+    ))
+    emit_report(
+        "table07",
+        "Table VII: strong scaling at paper dimensions (machine model vs "
+        "paper measurements)",
+        ["threads",
+         "s1/A4(p)", "s1/A4", "s1/A4 GF", "s1/A3(p)", "s1/A3", "s1/A3 GF",
+         "s2/A4(p)", "s2/A4", "s2/A4 GF", "s2/A3(p)", "s2/A3", "s2/A3 GF"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert results[("setup2", "algo3")][-1].seconds <= \
+        results[("setup2", "algo4")][-1].seconds * 1.05
+    assert e32 < 1.0

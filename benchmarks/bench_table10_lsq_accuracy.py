@@ -1,0 +1,55 @@
+"""Table X — numerical error of the computed least-squares solutions.
+
+Evaluates the paper's backward-error-motivated metric
+
+    Error(x) = ||A^T (A x - b)|| / (||A||_F ||A x - b||)
+
+for each solver's solution on each suite matrix.  Shapes: every converged
+solver lands near the 1e-14 tolerance; SAP's errors vary *less* across
+matrices than the baselines' (the paper calls this "remarkable").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import emit_report, shape_check
+
+from bench_table09_lsq_runtime import cached_results
+from repro.workloads import LSQ_SUITE
+
+
+def test_table10_report(benchmark):
+    results = benchmark.pedantic(cached_results, rounds=1, iterations=1)
+    rows, notes = [], []
+    errs = {"lsqrd": [], "sap": [], "direct": []}
+    for name, r in results.items():
+        c = r["case"]
+        rows.append([
+            name,
+            c.paper["err_lsqrd"], c.paper["err_sap"], c.paper["err_ss"],
+            r["lsqrd"].error, r["sap"].error, r["direct"].error,
+        ])
+        for k in errs:
+            errs[k].append(r[k].error)
+    for name, r in results.items():
+        notes.append(shape_check(
+            r["sap"].error < 1e-10,
+            f"{name}: SAP error {r['sap'].error:.2e} near the 1e-14 "
+            "tolerance regime",
+        ))
+    spread_sap = max(errs["sap"]) / max(min(errs["sap"]), 1e-300)
+    spread_lsqrd = max(errs["lsqrd"]) / max(min(errs["lsqrd"]), 1e-300)
+    notes.append(shape_check(
+        spread_sap < 1e4,
+        f"SAP error spread {spread_sap:.1e} is tight across matrices",
+    ))
+    emit_report(
+        "table10",
+        "Table X: Error(x) per solver (paper vs measured)",
+        ["matrix", "LSQRD(p)", "SAP(p)", "SuiteSparse(p)",
+         "LSQRD", "SAP", "direct"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert all(e < 1e-8 for e in errs["sap"])
+    assert all(e < 1e-8 for e in errs["direct"])

@@ -1,0 +1,145 @@
+"""Section III-A theory — the sqrt(M) bound, Eqs. 5-7, and the cache
+simulator cross-check.
+
+Regenerates the analysis artifacts:
+
+1. the advantage over the GEMM communication lower bound as a function of
+   cache size M (the headline sqrt(M) factor, h -> 0) and of the RNG cost
+   h (the advantage erodes as generation gets expensive);
+2. the Equation (4) block-size optimization: numeric optimum vs the two
+   closed-form regimes (n1 = 1 for rho -> 0; n1 = sqrt(hM)/(2 sqrt(rho))
+   for rho -> 1);
+3. an exact LRU-cache-simulator measurement showing on-the-fly generation
+   moving less data than a stored sketch, validating the model the theory
+   is stated in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _harness import REPEATS, emit_report, shape_check
+
+from repro.model import (
+    FRONTERA,
+    advantage_over_gemm,
+    asymptotic_advantage,
+    ci_small_rho,
+    optimal_n1_big_rho,
+    optimize_blocks,
+    simulate_algo3,
+    simulate_pregen,
+)
+from repro.sparse import random_sparse
+
+
+def test_advantage_sweep(benchmark):
+    Ms = [10**4, 10**5, 10**6, 10**7]
+    hs = [1e-6, 1e-2, 0.1, 0.5, 2.0]
+
+    def sweep():
+        return {(M, h): advantage_over_gemm(M, h) for M in Ms for h in hs}
+
+    adv = benchmark.pedantic(sweep, rounds=max(1, REPEATS), iterations=1)
+    rows = [[M] + [adv[(M, h)] for h in hs] + [asymptotic_advantage(M)]
+            for M in Ms]
+    notes = [
+        shape_check(
+            adv[(10**6, 1e-6)] / adv[(10**4, 1e-6)] > 8.0,
+            "advantage grows ~sqrt(M): 100x cache -> ~10x advantage (h ~ 0)",
+        ),
+        shape_check(
+            adv[(10**6, 2.0)] < 1.0,
+            "expensive RNG (h = 2) erases the advantage entirely",
+        ),
+    ]
+    emit_report(
+        "theory_advantage",
+        "Advantage over the GEMM lower bound: CI ratio vs cache size M and "
+        "RNG cost h",
+        ["M (words)"] + [f"h={h}" for h in hs] + ["h->0 limit"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert adv[(10**6, 1e-6)] > np.sqrt(10**6)
+
+
+def test_blocksize_regimes(benchmark):
+    M = FRONTERA.cache_words
+    h = 0.5
+
+    def optimize():
+        return {
+            "tiny_rho": optimize_blocks(1e-9, M, h),
+            "mid_rho": optimize_blocks(1e-3, M, h),
+            "big_rho": optimize_blocks(0.9, M, h),
+        }
+
+    plans = benchmark.pedantic(optimize, rounds=1, iterations=1)
+    closed_big = optimal_n1_big_rho(M, h, 0.9)
+    rows = [
+        ["rho -> 0", plans["tiny_rho"].n1, 1, plans["tiny_rho"].ci,
+         ci_small_rho(M, h)],
+        ["rho = 1e-3", plans["mid_rho"].n1, None, plans["mid_rho"].ci, None],
+        ["rho = 0.9", plans["big_rho"].n1, closed_big,
+         plans["big_rho"].ci, None],
+    ]
+    notes = [
+        shape_check(plans["tiny_rho"].n1 == 1,
+                    "sparse regime optimum is n1 = 1 (Eq. 5 premise)"),
+        shape_check(
+            abs(plans["big_rho"].n1 - closed_big) / closed_big < 0.3,
+            f"dense regime optimum {plans['big_rho'].n1} matches the "
+            f"closed form {closed_big:.0f} (Eq. 7 premise)",
+        ),
+        shape_check(
+            abs(plans["tiny_rho"].ci - ci_small_rho(M, h))
+            / ci_small_rho(M, h) < 0.1,
+            "numeric CI at the sparse optimum matches Eq. 5",
+        ),
+    ]
+    emit_report(
+        "theory_blocksize",
+        "Equation (4) optimization: numeric optimum vs closed forms",
+        ["regime", "n1 (numeric)", "n1 (closed form)", "CI (numeric)",
+         "CI (Eq. 5)"],
+        rows,
+        notes="\n".join(notes),
+    )
+    assert plans["tiny_rho"].n1 == 1
+
+
+def test_cache_simulator_crosscheck(benchmark):
+    A = random_sparse(80, 24, 0.12, seed=42)
+    d = 48
+
+    def simulate():
+        return {
+            cache: (simulate_algo3(A, d, b_d=8, b_n=4, cache_words=cache),
+                    simulate_pregen(A, d, b_d=8, b_n=4, cache_words=cache))
+            for cache in (64, 256, 1024, 1 << 20)
+        }
+
+    runs = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    rows, notes = [], []
+    for cache, (otf, pre) in runs.items():
+        rows.append([cache, otf.words_moved, pre.words_moved,
+                     pre.words_moved / otf.words_moved, otf.rng_entries])
+        notes.append(shape_check(
+            otf.words_moved <= pre.words_moved,
+            f"cache={cache}: regenerating S never moves more data",
+        ))
+    caches = sorted(runs)
+    notes.append(shape_check(
+        runs[caches[0]][0].words_moved >= runs[caches[-1]][0].words_moved,
+        "traffic is monotone non-increasing in cache size",
+    ))
+    emit_report(
+        "theory_cache_sim",
+        "Exact LRU simulation: on-the-fly vs stored sketch (words moved)",
+        ["cache (words)", "on-the-fly", "stored S", "ratio", "RNG entries"],
+        rows,
+        notes="\n".join(notes),
+    )
+    for cache, (otf, pre) in runs.items():
+        assert otf.words_moved <= pre.words_moved

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Aggregate the bench reports into a one-page reproduction scorecard.
+
+Every bench writes its table and its ``[shape OK]`` / ``[shape WARNING]``
+lines to ``benchmarks/reports/<name>.txt``; this script tallies them per
+experiment and writes ``benchmarks/reports/SUMMARY.txt`` — the at-a-glance
+answer to "did the reproduction hold?".
+
+Run after a bench sweep:
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/summarize_reports.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPORTS = Path(__file__).parent / "reports"
+
+
+def summarize() -> str:
+    files = sorted(REPORTS.glob("*.txt"))
+    files = [f for f in files if f.name != "SUMMARY.txt"]
+    if not files:
+        return "no reports found — run `pytest benchmarks/ --benchmark-only` first\n"
+    rows = []
+    total_ok = total_warn = 0
+    scale = "?"
+    for f in files:
+        text = f.read_text()
+        ok = len(re.findall(r"\[shape OK\]", text))
+        warn = len(re.findall(r"\[shape WARNING\]", text))
+        m = re.search(r"\[scale=(\w+)\]", text)
+        if m:
+            scale = m.group(1)
+        total_ok += ok
+        total_warn += warn
+        title = text.splitlines()[0].split("  [scale")[0] if text else f.stem
+        rows.append((f.stem, ok, warn, title))
+    width = max(len(r[0]) for r in rows)
+    lines = [
+        "REPRODUCTION SCORECARD",
+        "======================",
+        f"reports: {len(rows)}   shape checks: {total_ok} OK, "
+        f"{total_warn} WARNING   (scale={scale})",
+        "",
+    ]
+    for stem, ok, warn, title in rows:
+        flag = "  " if warn == 0 else "!!"
+        lines.append(f"{flag} {stem.ljust(width)}  OK={ok:<3d} WARN={warn:<2d} {title}")
+    if total_warn:
+        lines.append("")
+        lines.append("warnings (expected deviations are documented in "
+                     "EXPERIMENTS.md):")
+        for f in files:
+            for line in f.read_text().splitlines():
+                if "[shape WARNING]" in line:
+                    lines.append(f"  {f.stem}: {line.strip()}")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    text = summarize()
+    (REPORTS / "SUMMARY.txt").write_text(text)
+    try:
+        print(text)
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Sketch-and-precondition least squares vs the classical baselines.
+
+Recreates the Section V-C pipeline on two surrogate problems:
+
+* a rail-style set-cover LP (tall, ill-conditioned even after column
+  scaling) where SAP-QR needs a fraction of LSQR-D's iterations and a
+  fraction of the direct solver's memory;
+* a numerically rank-deficient problem (cond ~ 1e16) where SAP-QR
+  correctly refuses (singular sketch factor) and SAP-SVD's truncation
+  rule handles it.
+
+Run:  python examples/least_squares.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SketchConfig
+from repro.lsq import (
+    CscOperator,
+    solve_direct_qr,
+    solve_lsqr_diag,
+    solve_sap,
+)
+from repro.errors import SingularMatrixError
+from repro.sparse import near_rank_deficient, rail_like_sparse
+
+
+def paper_rhs(A, seed: int) -> np.ndarray:
+    """The paper's right-hand side: a vector in range(A) plus N(0, I)."""
+    rng = np.random.default_rng(seed)
+    return (CscOperator(A).matvec(rng.standard_normal(A.shape[1]))
+            + rng.standard_normal(A.shape[0]))
+
+
+def show(solution) -> None:
+    print(f"  {solution.method:10s}  time {solution.seconds:8.3f} s   "
+          f"iterations {solution.iterations:5d}   "
+          f"Error(x) {solution.error:.2e}   "
+          f"workspace {solution.memory_mbytes:8.3f} MB")
+
+
+def main() -> None:
+    print("=== rail-style problem (tall, cond(AD) in the hundreds) ===")
+    A = rail_like_sparse(20_000, 120, 150_000, seed=7, mix_spread=2.5)
+    b = paper_rhs(A, 0)
+    print(f"A: {A.shape[0]} x {A.shape[1]}, nnz = {A.nnz}")
+
+    lsqrd = solve_lsqr_diag(A, b, max_iter=20_000)
+    sap = solve_sap(A, b, gamma=2.0, method="qr",
+                    config=SketchConfig(gamma=2.0, seed=1))
+    direct = solve_direct_qr(A, b)
+    show(lsqrd)
+    show(sap)
+    show(direct)
+    print(f"  -> SAP used {lsqrd.iterations / max(sap.iterations, 1):.1f}x "
+          f"fewer iterations than LSQR-D and "
+          f"{direct.memory_bytes / max(sap.memory_bytes, 1):.0f}x less "
+          "workspace than the direct factorization")
+    agree = np.linalg.norm(sap.x - direct.x) / np.linalg.norm(direct.x)
+    print(f"  -> solutions agree to {agree:.2e} (relative)")
+
+    print("\n=== rank-deficient problem (cond ~ 1e16): QR fails, SVD works ===")
+    B = near_rank_deficient(8_000, 80, 0.05, seed=9, perturb=1e-16)
+    bb = paper_rhs(B, 2)
+    try:
+        solve_sap(B, bb, gamma=2.0, method="qr",
+                  config=SketchConfig(gamma=2.0, seed=3))
+        print("  unexpected: SAP-QR did not detect the singular sketch")
+    except SingularMatrixError as exc:
+        print(f"  SAP-QR raised SingularMatrixError, as designed:\n"
+              f"    {exc}")
+    svd = solve_sap(B, bb, gamma=2.0, method="svd",
+                    config=SketchConfig(gamma=2.0, seed=3))
+    show(svd)
+    print(f"  -> SAP-SVD retained numerical rank "
+          f"{svd.details['rank']} of {B.shape[1]} and still reached "
+          f"Error(x) = {svd.error:.2e}")
+
+
+if __name__ == "__main__":
+    main()

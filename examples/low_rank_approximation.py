@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Randomized SVD of a sparse matrix via the sketching kernels.
+
+The paper's introduction lists low-rank approximation among the
+randomized algorithms its sketching primitive accelerates; this example
+runs the library's sketch-based randomized SVD on a sparse matrix with a
+planted spectrum and compares against the exact (dense) SVD: singular
+values, reconstruction error vs the optimal rank-k error, and the cost of
+the sketching stage.
+
+Run:  python examples/low_rank_approximation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SketchConfig, randomized_svd
+from repro.sparse import CSCMatrix
+from repro.utils import format_table
+
+
+def planted_matrix(m=20_000, n=400, true_rank=25, seed=0) -> CSCMatrix:
+    """Sparse matrix = product of sparse factors with decaying spectrum."""
+    rng = np.random.default_rng(seed)
+    U = rng.standard_normal((m, true_rank)) * (rng.random((m, true_rank)) < 0.03)
+    V = rng.standard_normal((n, true_rank)) * (rng.random((n, true_rank)) < 0.3)
+    s = np.logspace(0, -3, true_rank)
+    return CSCMatrix.from_dense((U * s) @ V.T)
+
+
+def main() -> None:
+    A = planted_matrix()
+    print(f"A: {A.shape[0]} x {A.shape[1]}, nnz = {A.nnz}, "
+          f"density = {A.density:.3e}")
+
+    k = 10
+    res = randomized_svd(A, rank=k, oversample=8, power_iters=1,
+                         config=SketchConfig(seed=1, rng_kind="xoshiro"))
+    print(f"\nrandomized SVD: rank {k}, "
+          f"sketch generated {res.sketch_stats.samples_generated:,} "
+          f"numbers on the fly in {res.sketch_stats.total_seconds:.3f}s")
+
+    s_true = np.linalg.svd(A.to_dense(), compute_uv=False)
+    rows = [[i, s_true[i], res.s[i], abs(res.s[i] - s_true[i]) / s_true[i]]
+            for i in range(k)]
+    print(format_table(["i", "sigma (exact)", "sigma (randomized)",
+                        "rel err"], rows))
+
+    Ad = A.to_dense()
+    err = np.linalg.norm(Ad - res.reconstruct(), 2)
+    optimal = s_true[k]
+    print(f"\nspectral reconstruction error : {err:.3e}")
+    print(f"optimal rank-{k} error          : {optimal:.3e}")
+    print(f"ratio (1.0 = optimal)          : "
+          f"{err / optimal if optimal > 0 else float('inf'):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""A tour of the Section III performance model.
+
+Walks through the paper's analysis with the library's model tools:
+
+1. estimate this machine's RNG cost ``h`` (generation vs bandwidth);
+2. optimize the Equation (4) block sizes for several densities and show
+   the closed-form regimes (n1 = 1 for sparse; sqrt(hM)/(2 sqrt(rho)) for
+   dense);
+3. evaluate the sqrt(M) advantage over the GEMM communication bound;
+4. pick the right kernel (Algorithm 3 vs 4) for Frontera/Perlmutter and
+   simulate Table VII-style strong scaling.
+
+Run:  python examples/machine_model_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import choose_kernel
+from repro.model import (
+    FRONTERA,
+    PERLMUTTER,
+    advantage_over_gemm,
+    asymptotic_advantage,
+    optimal_n1_big_rho,
+    optimize_blocks,
+)
+from repro.parallel import parallel_efficiency, simulate_strong_scaling
+from repro.rng import estimate_h
+from repro.sparse import random_sparse
+from repro.utils import format_table
+
+
+def main() -> None:
+    print("1) measuring this host's h (RNG cost per entry / cost per word)")
+    probe = estimate_h("xoshiro", "uniform")
+    print(f"   {probe.describe()}")
+    print(f"   h < 1 -> regenerating S beats reading it from memory: "
+          f"{'yes' if probe.h < 1 else 'no'}\n")
+
+    M = FRONTERA.cache_words
+    h = 0.25
+    print(f"2) Equation (4) block-size optimization (M = {M:.2e} words, "
+          f"h = {h})")
+    rows = []
+    for rho in (1e-9, 1e-5, 1e-3, 0.1, 0.9):
+        plan = optimize_blocks(rho, M, h)
+        closed = (1 if rho < 1e-6
+                  else optimal_n1_big_rho(M, h, rho) if rho > 0.5 else None)
+        rows.append([rho, plan.n1, closed, plan.d1, plan.m1, plan.ci])
+    print(format_table(
+        ["density", "n1*", "closed form", "d1", "m1", "CI"], rows))
+    print()
+
+    print("3) advantage over the GEMM data-movement lower bound")
+    for h_val in (1e-6, 0.1, 0.5, 2.0):
+        adv = advantage_over_gemm(M, h_val)
+        print(f"   h = {h_val:<6}: CI advantage = {adv:9.1f}x "
+              f"(h->0 limit: {asymptotic_advantage(M):.0f}x ~ sqrt(M))")
+    print()
+
+    print("4) kernel dispatch and simulated strong scaling")
+    A = random_sparse(5000, 400, 1e-3, seed=0)
+    for machine in (FRONTERA, PERLMUTTER):
+        choice = choose_kernel(machine, A)
+        print(f"   {machine.name:11s}: choose {choice.kernel} — "
+              f"{choice.reason}")
+    d = 3 * A.shape[1]
+    pts = simulate_strong_scaling(A, d, FRONTERA, kernel="algo3",
+                                  b_d=d, b_n=16,
+                                  threads_list=[1, 2, 4, 8, 16, 32])
+    eff = parallel_efficiency(pts)
+    print("\n   threads  time(model)   GFlops   efficiency")
+    for p in pts:
+        print(f"   {p.threads:7d}  {p.seconds:10.2e}  {p.gflops:8.1f}  "
+              f"{eff[p.threads]:9.0%}  [{p.bound}-bound]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Structure engineering: how orderings change both halves of the pipeline.
+
+The paper's analysis (Section III-B) notes that Algorithm 4's RNG volume
+depends on how nonzeros cluster into rows of each vertical block, and its
+evaluation (Table XI) hinges on the direct solver's fill-in — both of
+which are functions of *ordering*, not just pattern.  This example
+demonstrates the two effects with the library's reverse Cuthill-McKee
+implementation:
+
+1. shuffling the rows of a banded matrix destroys Algorithm 4's reuse;
+   RCM-style structure recovers it;
+2. shuffling the columns of a band blows up Givens-QR fill; RCM restores
+   it — narrowing (but not closing) the direct-vs-SAP memory gap.
+
+Run:  python examples/ordering_and_structure.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import sketch_spmm
+from repro.lsq import givens_qr_factorize
+from repro.rng import PhiloxSketchRNG
+from repro.sparse import (
+    CSCMatrix,
+    banded_sparse,
+    pattern_bandwidth,
+    permute,
+    rcm_ordering,
+)
+from repro.utils import format_table
+
+
+def algo4_reuse_demo() -> None:
+    print("1) column ordering vs Algorithm 4's sample reuse")
+    # Note a *row* permutation can never change the reuse (it bijects the
+    # nonempty-row set of every block); what matters is which columns land
+    # in the same vertical block — i.e. column ordering.
+    A = banded_sparse(6000, 300, 0.01, bandwidth_frac=0.03, seed=0)
+    rng_perm = np.random.default_rng(1)
+    shuffled = permute(A, col_perm=rng_perm.permutation(300))
+    d, b_n = 200, 30
+
+    rows = []
+    for label, M in (("banded (ordered)", A), ("columns shuffled", shuffled)):
+        _, stats = sketch_spmm(M, d, PhiloxSketchRNG(0), kernel="algo4",
+                               b_d=d, b_n=b_n)
+        rows.append([label, M.nnz, stats.samples_generated,
+                     stats.samples_generated / (d * M.nnz)])
+    print(format_table(
+        ["matrix", "nnz", "A4 samples generated", "vs d*nnz (A3)"],
+        rows))
+    print("   -> blocks whose columns share rows are where Algorithm 4's "
+          "advantage lives; scattering related columns destroys it\n")
+
+
+def qr_fill_demo() -> None:
+    print("2) column ordering vs direct-QR fill-in")
+    rng = np.random.default_rng(2)
+    n = 120
+    dense = np.zeros((500, n))
+    for i in range(500):
+        c = int(i * n / 500)
+        for j in range(max(0, c - 2), min(n, c + 3)):
+            dense[i, j] = rng.standard_normal()
+    A = CSCMatrix.from_dense(dense)
+
+    scrambled = permute(A, col_perm=rng.permutation(n))
+    order = rcm_ordering(scrambled)
+    restored = permute(scrambled, col_perm=order)
+
+    rows = []
+    for label, M in (("original band", A), ("columns shuffled", scrambled),
+                     ("RCM reordered", restored)):
+        R = givens_qr_factorize(M, np.zeros(500))
+        gram_band = pattern_bandwidth_of_gram(M)
+        rows.append([label, gram_band, R.nnz, 16 * R.nnz / 1024])
+    print(format_table(
+        ["matrix", "A^T A bandwidth", "nnz(R)", "R KiB"], rows))
+    print("   -> fill tracks the column-graph bandwidth; ordering is the "
+          "direct solver's lever in the Table XI memory contest")
+
+
+def pattern_bandwidth_of_gram(M: CSCMatrix) -> int:
+    from repro.sparse.arithmetic import gram
+
+    return pattern_bandwidth(gram(M))
+
+
+if __name__ == "__main__":
+    algo4_reuse_demo()
+    qr_fill_demo()

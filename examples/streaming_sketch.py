@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Streaming: maintain a sketch (and a least-squares solution) over a
+growing dataset in a single pass.
+
+Because the sketch generators are coordinate-addressed (column ``j`` of
+``S`` is a pure function of the global row index), the sketch of a growing
+matrix updates incrementally: each arriving row batch costs one blocked-
+kernel call and the old data is never touched again.  This example
+streams a tall regression problem in ten batches, refreshing the
+sketch-and-precondition solution after each batch, and verifies the final
+state against a one-shot solve of the full data.
+
+Run:  python examples/streaming_sketch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.streaming import StreamingSketch
+from repro.lsq import CscOperator, PreconditionedOperator, lsqr
+from repro.lsq.preconditioners import TriangularPreconditioner
+from repro.rng import PhiloxSketchRNG
+from repro.sparse import CSCMatrix, random_sparse, vstack
+from repro.utils import format_table
+
+
+def main() -> None:
+    n, d = 80, 160                      # gamma = 2
+    batches, rows_per_batch = 10, 3000
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(n)
+
+    st = StreamingSketch(d, n, PhiloxSketchRNG(7), b_d=80, b_n=16)
+    seen_blocks: list[CSCMatrix] = []
+    b_parts: list[np.ndarray] = []
+
+    rows = []
+    for t in range(batches):
+        block = random_sparse(rows_per_batch, n, 4e-3, seed=100 + t)
+        noise = 0.01 * rng.standard_normal(rows_per_batch)
+        b_parts.append(CscOperator(block).matvec(x_true) + noise)
+        seen_blocks.append(block)
+        st.absorb(block)
+
+        # Refresh the solution over everything seen so far.
+        A_seen = vstack(seen_blocks)
+        b_seen = np.concatenate(b_parts)
+        precond = TriangularPreconditioner.from_sketch(st.sketch)
+        B = PreconditionedOperator(CscOperator(A_seen), precond)
+        run = lsqr(B, b_seen, atol=1e-12)
+        x = precond.apply(run.z)
+        err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+        rows.append([t + 1, st.rows_seen, run.iterations, err])
+
+    print(format_table(
+        ["batch", "rows seen", "LSQR iterations", "rel err vs truth"],
+        rows,
+        title="streaming sketch-and-precondition (d = 2n, single pass "
+              "over the data for the sketch)",
+    ))
+
+    # The streamed sketch is exactly the sketch of the stacked data.
+    from repro.kernels import sketch_spmm
+
+    A_all = vstack(seen_blocks)
+    oneshot, _ = sketch_spmm(A_all, d, PhiloxSketchRNG(7), kernel="algo3",
+                             b_d=80, b_n=16)
+    diff = np.abs(st.sketch - oneshot).max()
+    print(f"\nstreamed sketch vs one-shot sketch of the stacked data: "
+          f"max abs diff = {diff:.2e}")
+
+
+if __name__ == "__main__":
+    main()

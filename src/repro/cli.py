@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the library's main entry points so the kernels can
+be exercised without writing Python:
+
+* ``probe``  — measure this host's bandwidth and RNG throughput and report
+  the paper's ``h`` parameter;
+* ``sketch`` — sketch a MatrixMarket file (or a generated random matrix)
+  and report the kernel's cost split;
+* ``lsq``    — solve a least-squares problem with SAP / LSQR-D / direct QR
+  and report time, iterations, error, and workspace;
+* ``svd``    — randomized low-rank SVD via the sketching kernels;
+* ``suite``  — list the paper's surrogate test suites at the active scale.
+
+Every command prints a plain-text report to stdout; machine-readable
+output (``--json``) covers scripting uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .core import SketchConfig, sketch
+from .lsq import CscOperator, solve_direct_qr, solve_lsqr_diag, solve_sap
+from .rng import estimate_h, stream_copy_bandwidth
+from .sparse import CSCMatrix, random_sparse, read_matrix_market
+from .utils import format_table, render_kv_block
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for every subcommand (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Sketching SpMM with on-the-fly RNG (IPPS 2024 reproduction)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    probe = sub.add_parser("probe", help="measure bandwidth / RNG cost h")
+    probe.add_argument("--rng", default="xoshiro",
+                       choices=["xoshiro", "philox", "threefry", "junk"])
+    probe.add_argument("--dist", default="uniform")
+    probe.add_argument("--calibrate", action="store_true",
+                       help="measure a full MachineModel for this host")
+
+    sk = sub.add_parser("sketch", help="sketch a sparse matrix")
+    src = sk.add_mutually_exclusive_group(required=True)
+    src.add_argument("--matrix", help="MatrixMarket file to sketch")
+    src.add_argument("--random", nargs=3, metavar=("M", "N", "DENSITY"),
+                     help="generate a random input instead")
+    sk.add_argument("--gamma", type=float, default=3.0)
+    sk.add_argument("--kernel", default="auto",
+                    choices=["auto", "algo3", "algo4", "pregen"])
+    sk.add_argument("--rng", default="xoshiro",
+                    choices=["xoshiro", "philox", "threefry", "junk"])
+    sk.add_argument("--dist", default="uniform")
+    sk.add_argument("--seed", type=int, default=0)
+    sk.add_argument("--output", help="write the dense sketch as .npy")
+
+    lsq = sub.add_parser("lsq", help="solve a least-squares problem")
+    lsrc = lsq.add_mutually_exclusive_group(required=True)
+    lsrc.add_argument("--matrix", help="MatrixMarket file (tall)")
+    lsrc.add_argument("--random", nargs=3, metavar=("M", "N", "DENSITY"))
+    lsq.add_argument("--solver", default="sap-qr",
+                     choices=["sap-qr", "sap-svd", "lsqr-d", "direct"])
+    lsq.add_argument("--gamma", type=float, default=2.0)
+    lsq.add_argument("--seed", type=int, default=0)
+
+    svd = sub.add_parser("svd", help="randomized low-rank SVD of a sparse matrix")
+    ssrc = svd.add_mutually_exclusive_group(required=True)
+    ssrc.add_argument("--matrix", help="MatrixMarket file")
+    ssrc.add_argument("--random", nargs=3, metavar=("M", "N", "DENSITY"))
+    svd.add_argument("--rank", type=int, default=10)
+    svd.add_argument("--oversample", type=int, default=8)
+    svd.add_argument("--power-iters", type=int, default=1)
+    svd.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("suite", help="list the surrogate experiment suites")
+    return p
+
+
+def _load_matrix(args) -> CSCMatrix:
+    if args.matrix:
+        return read_matrix_market(args.matrix)
+    m, n, density = int(args.random[0]), int(args.random[1]), float(args.random[2])
+    return random_sparse(m, n, density, seed=getattr(args, "seed", 0))
+
+
+def _cmd_probe(args) -> dict:
+    probe = estimate_h(args.rng, args.dist)
+    bw = stream_copy_bandwidth()
+    out = {
+        "rng": args.rng,
+        "distribution": args.dist,
+        "samples_per_second": probe.samples_per_second,
+        "copy_bandwidth_bytes_per_second": bw,
+        "h": probe.h,
+        "regeneration_beats_memory": probe.h < 1.0,
+    }
+    if args.calibrate:
+        from .model import calibrate_machine
+
+        m = calibrate_machine(rng_kind=args.rng, dist=args.dist)
+        from .kernels import choose_kernel
+        from .sparse import random_sparse
+
+        choice = choose_kernel(m, random_sparse(500, 100, 0.02, seed=0))
+        out.update({
+            "peak_gflops": m.peak_gflops,
+            "cache_bytes": m.cache_bytes,
+            "random_access_penalty": m.random_access_penalty,
+            "cores": m.cores,
+            "favors_reuse": m.favors_reuse,
+            "recommended_kernel": choice.kernel,
+        })
+    return out
+
+
+def _cmd_sketch(args) -> dict:
+    A = _load_matrix(args)
+    cfg = SketchConfig(gamma=args.gamma, distribution=args.dist,
+                       rng_kind=args.rng, kernel=args.kernel, seed=args.seed)
+    result = sketch(A, config=cfg)
+    if args.output:
+        np.save(args.output, result.sketch)
+    st = result.stats
+    return {
+        "input_shape": list(A.shape),
+        "input_nnz": A.nnz,
+        "sketch_shape": list(result.sketch.shape),
+        "kernel": result.kernel_used,
+        "total_seconds": st.total_seconds,
+        "sample_seconds": st.sample_seconds,
+        "samples_generated": st.samples_generated,
+        "gflops": st.gflops_rate,
+        "output": args.output,
+    }
+
+
+def _cmd_lsq(args) -> dict:
+    A = _load_matrix(args)
+    rng = np.random.default_rng(args.seed)
+    b = (CscOperator(A).matvec(rng.standard_normal(A.shape[1]))
+         + rng.standard_normal(A.shape[0]))
+    if args.solver == "lsqr-d":
+        sol = solve_lsqr_diag(A, b, max_iter=40 * A.shape[1])
+    elif args.solver == "direct":
+        sol = solve_direct_qr(A, b)
+    else:
+        method = args.solver.split("-", 1)[1]
+        sol = solve_sap(A, b, gamma=args.gamma, method=method,
+                        config=SketchConfig(gamma=args.gamma, seed=args.seed))
+    return {
+        "solver": sol.method,
+        "shape": list(A.shape),
+        "nnz": A.nnz,
+        "seconds": sol.seconds,
+        "iterations": sol.iterations,
+        "error": sol.error,
+        "workspace_mbytes": sol.memory_mbytes,
+        "converged": sol.converged,
+    }
+
+
+def _cmd_svd(args) -> dict:
+    from .core import SketchConfig, randomized_svd
+
+    A = _load_matrix(args)
+    res = randomized_svd(A, rank=args.rank, oversample=args.oversample,
+                         power_iters=args.power_iters,
+                         config=SketchConfig(seed=args.seed))
+    return {
+        "shape": list(A.shape),
+        "nnz": A.nnz,
+        "rank": res.rank,
+        "singular_values": [float(s) for s in res.s],
+        "power_iterations": res.power_iterations,
+        "sketch_samples_generated": res.sketch_stats.samples_generated,
+    }
+
+
+def _cmd_suite(args) -> dict:
+    from .workloads import ABNORMAL_SUITE, LSQ_SUITE, SPMM_SUITE, current_scale, scale_dims
+
+    out = {"scale": current_scale(), "suites": {}}
+    for label, suite in (("spmm", SPMM_SUITE), ("lsq", LSQ_SUITE),
+                         ("abnormal", ABNORMAL_SUITE)):
+        rows = []
+        for case in suite.values():
+            m, n = scale_dims(case.m, case.n, out["scale"])
+            rows.append({"name": case.name, "structure": case.structure,
+                         "paper_m": case.m, "paper_n": case.n,
+                         "paper_nnz": case.nnz, "scaled_m": m, "scaled_n": n})
+        out["suites"][label] = rows
+    return out
+
+
+def _render(command: str, payload: dict) -> str:
+    if command == "suite":
+        parts = [f"scale: {payload['scale']}"]
+        for label, rows in payload["suites"].items():
+            table_rows = [[r["name"], r["structure"], r["paper_m"],
+                           r["paper_n"], r["paper_nnz"], r["scaled_m"],
+                           r["scaled_n"]] for r in rows]
+            parts.append(format_table(
+                ["name", "structure", "m(p)", "n(p)", "nnz(p)", "m", "n"],
+                table_rows, title=f"{label} suite"))
+        return "\n\n".join(parts)
+    return render_kv_block(command, list(payload.items()))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "probe": _cmd_probe,
+        "sketch": _cmd_sketch,
+        "lsq": _cmd_lsq,
+        "svd": _cmd_svd,
+        "suite": _cmd_suite,
+    }
+    try:
+        payload = handlers[args.command](args)
+    except Exception as exc:  # surface library errors as exit-code failures
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(_render(args.command, payload))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Public sketching API: configs, the implicit sketch operator, one-call
+``sketch()``, and sketch-quality (effective distortion) diagnostics."""
+
+from .config import SketchConfig
+from .lowrank import LowRankResult, randomized_range_finder, randomized_svd
+from .distortion import (
+    effective_distortion,
+    preconditioned_condition,
+    predicted_condition_bound,
+    predicted_distortion,
+    sketch_distortion,
+)
+from .sketch import SketchOperator, SketchResult, sketch
+from .sparse_sketch import SparseSignSketch, SparseSketchResult
+from .streaming import StreamingSketch
+
+__all__ = [
+    "SketchConfig",
+    "LowRankResult",
+    "randomized_range_finder",
+    "randomized_svd",
+    "effective_distortion",
+    "preconditioned_condition",
+    "predicted_condition_bound",
+    "predicted_distortion",
+    "sketch_distortion",
+    "SketchOperator",
+    "SketchResult",
+    "sketch",
+    "SparseSignSketch",
+    "SparseSketchResult",
+    "StreamingSketch",
+]

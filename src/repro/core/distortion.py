@@ -1,0 +1,105 @@
+"""Sketch-quality metrics: effective distortion and its predictions.
+
+Section IV-B justifies the checkpointed xoshiro generator by checking
+that "the quality of the sketches are fine in the context of least
+squares solver (as measured by effective distortion)".  The effective
+distortion of ``S`` for ``range(A)`` is the smallest ``delta`` such that
+
+    (1 - delta) ||x|| <= ||S x|| <= (1 + delta) ||x||   for all x in range(A)
+
+after optimal rescaling of ``S``; the paper's Section V preamble quotes
+the idealized Gaussian limits: for ``d = gamma n`` the distortion
+converges to ``1/sqrt(gamma)`` and the resulting preconditioned condition
+number is bounded by ``(sqrt(gamma)+1)/(sqrt(gamma)-1)``.
+
+These metrics require dense factorizations and are intended for test- and
+diagnostic-scale matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..sparse.csc import CSCMatrix
+from .sketch import SketchOperator
+
+__all__ = [
+    "effective_distortion",
+    "sketch_distortion",
+    "predicted_distortion",
+    "predicted_condition_bound",
+    "preconditioned_condition",
+]
+
+
+def _orthonormal_range(A_dense: np.ndarray) -> np.ndarray:
+    """Orthonormal basis of ``range(A)`` via thin SVD (rank-revealing)."""
+    u, s, _ = np.linalg.svd(A_dense, full_matrices=False)
+    tol = s.max() * max(A_dense.shape) * np.finfo(np.float64).eps if s.size else 0.0
+    rank = int(np.sum(s > tol))
+    if rank == 0:
+        raise ConfigError("matrix has empty range")
+    return u[:, :rank]
+
+
+def effective_distortion(SU: np.ndarray) -> float:
+    """Effective distortion from the sketched orthonormal basis ``S @ U``.
+
+    With ``sigma_max >= ... >= sigma_min`` the singular values of ``SU``,
+    the optimal rescaling centres them at ``2 / (sigma_max + sigma_min)``
+    and the distortion is
+    ``(sigma_max - sigma_min) / (sigma_max + sigma_min)`` ([1, section 2]).
+    """
+    if SU.ndim != 2:
+        raise ShapeError("SU must be 2-D")
+    s = np.linalg.svd(SU, compute_uv=False)
+    smax, smin = float(s.max()), float(s.min())
+    if smax == 0.0:
+        return 1.0
+    return (smax - smin) / (smax + smin)
+
+
+def sketch_distortion(op: SketchOperator, A: CSCMatrix) -> float:
+    """Effective distortion of *op*'s realized sketch for ``range(A)``."""
+    if A.shape[0] != op.m:
+        raise ShapeError(f"A has {A.shape[0]} rows, operator expects {op.m}")
+    U = _orthonormal_range(A.to_dense())
+    S = op.materialize()
+    return effective_distortion(S @ U)
+
+
+def predicted_distortion(gamma: float) -> float:
+    """Idealized Gaussian limit ``1 / sqrt(gamma)`` for ``d = gamma n``."""
+    if gamma <= 1.0:
+        raise ConfigError(f"gamma must exceed 1, got {gamma}")
+    return 1.0 / float(np.sqrt(gamma))
+
+
+def predicted_condition_bound(gamma: float) -> float:
+    """Preconditioned condition bound ``(sqrt(gamma)+1)/(sqrt(gamma)-1)``."""
+    if gamma <= 1.0:
+        raise ConfigError(f"gamma must exceed 1, got {gamma}")
+    sg = float(np.sqrt(gamma))
+    return (sg + 1.0) / (sg - 1.0)
+
+
+def preconditioned_condition(A: CSCMatrix, R: np.ndarray) -> float:
+    """Condition number of ``A R^{-1}`` (diagnostic; dense path).
+
+    This is what sketch-and-precondition controls: with ``R`` from a QR of
+    ``S A``, ``cond(A R^{-1})`` should be near the
+    :func:`predicted_condition_bound` regardless of ``cond(A)``.
+    """
+    if R.ndim != 2 or R.shape[0] != R.shape[1]:
+        raise ShapeError("R must be square")
+    if R.shape[0] != A.shape[1]:
+        raise ShapeError(
+            f"R is {R.shape[0]}x{R.shape[0]} but A has {A.shape[1]} columns"
+        )
+    from scipy.linalg import solve_triangular
+
+    AR = solve_triangular(R, A.to_dense().T, trans="T", lower=False).T
+    s = np.linalg.svd(AR, compute_uv=False)
+    smin = s.min()
+    return float("inf") if smin == 0.0 else float(s.max() / smin)

@@ -1,0 +1,130 @@
+"""Randomized low-rank approximation built on the sketching kernels.
+
+The paper's introduction motivates fast sketching as the computational
+primitive behind "randomized algorithms for linear regression, low-rank
+approximation, matrix decomposition, eigenvalue computation, and many
+more"; Section V-C builds out the regression pipeline.  This module
+builds out the second application: a sketch-based randomized SVD for
+tall sparse matrices, with every dense-times-sparse product going through
+the on-the-fly kernels.
+
+Method (row-space sketching, the natural orientation for ``S A``):
+
+1. ``Ahat = S A`` with ``d = rank + oversample`` rows — one call into the
+   blocked kernels; ``Ahat``'s rows span (approximately) ``A``'s row space.
+2. ``V = orth(Ahat^T)`` (economy QR of an ``n x d`` matrix).
+3. optional power iterations ``V <- orth((A^T) (A V))`` sharpen the basis
+   when the spectrum decays slowly (Halko-Martinsson-Tropp).
+4. ``B = A V`` (sparse times thin dense), small SVD of ``B``, rotate back.
+
+Returns factors ``(U, s, Vt)`` with ``U`` ``m x k``, matching
+``numpy.linalg.svd``'s convention truncated to rank ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..sparse.csc import CSCMatrix
+from ..sparse.ops import csr_times_dense
+from ..utils.validation import check_nonnegative_int, check_positive_int
+from .config import SketchConfig
+from .sketch import SketchOperator
+
+__all__ = ["LowRankResult", "randomized_svd", "randomized_range_finder"]
+
+
+@dataclass
+class LowRankResult:
+    """Truncated SVD factors plus diagnostics."""
+
+    U: np.ndarray
+    s: np.ndarray
+    Vt: np.ndarray
+    sketch_stats: object
+    power_iterations: int
+
+    @property
+    def rank(self) -> int:
+        """The truncation rank ``k``."""
+        return int(self.s.size)
+
+    def reconstruct(self) -> np.ndarray:
+        """Dense ``U diag(s) Vt`` (testing aid for small problems)."""
+        return (self.U * self.s) @ self.Vt
+
+
+def randomized_range_finder(A: CSCMatrix, size: int,
+                            config: SketchConfig | None = None,
+                            power_iters: int = 0):
+    """Orthonormal ``n x size`` basis approximating ``A``'s row space.
+
+    The sketch ``S A`` is produced by the on-the-fly kernels; power
+    iterations alternate ``A``/``A^T`` products through the sparse
+    operators.  Returns ``(V, sketch_stats)``.
+    """
+    size = check_positive_int(size, "size")
+    power_iters = check_nonnegative_int(power_iters, "power_iters")
+    m, n = A.shape
+    if size > n:
+        raise ConfigError(f"basis size {size} exceeds n = {n}")
+    cfg = config if config is not None else SketchConfig()
+    # The operator is d x m with d = size (gamma is irrelevant here: the
+    # caller fixes the sketch size directly).
+    op = SketchOperator(size, m, config=cfg)
+    result = op.apply(A)
+    V = np.linalg.qr(result.sketch.T)[0]  # n x size
+
+    if power_iters:
+        A_csr = A.to_csr()
+        At_csr = A.transpose().to_csr()
+        for _ in range(power_iters):
+            AV = csr_times_dense(A_csr, V)          # m x size
+            W = csr_times_dense(At_csr, AV)          # n x size
+            V = np.linalg.qr(W)[0]
+    return V, result.stats
+
+
+def randomized_svd(A: CSCMatrix, rank: int, *, oversample: int = 8,
+                   power_iters: int = 1,
+                   config: SketchConfig | None = None) -> LowRankResult:
+    """Rank-``rank`` randomized SVD of a sparse matrix.
+
+    Parameters
+    ----------
+    A:
+        The ``m x n`` sparse matrix (CSC).
+    rank:
+        Target truncation rank ``k``.
+    oversample:
+        Extra sketch rows beyond ``rank`` (Halko et al. recommend 5-10).
+    power_iters:
+        Power iterations sharpening the basis; 1-2 suffice for most
+        spectra, 0 is fastest.
+    config:
+        Sketching options (generator family, distribution, blocking).
+
+    Notes
+    -----
+    Accuracy follows the standard randomized-SVD guarantees: with
+    oversampling ``p``, the expected spectral error is within
+    ``(1 + sqrt(k/(p-1)))`` of optimal, improving geometrically with each
+    power iteration.
+    """
+    rank = check_positive_int(rank, "rank")
+    oversample = check_nonnegative_int(oversample, "oversample")
+    m, n = A.shape
+    size = min(rank + oversample, n)
+    if rank > min(m, n):
+        raise ShapeError(f"rank {rank} exceeds min(m, n) = {min(m, n)}")
+    V, stats = randomized_range_finder(A, size, config=config,
+                                       power_iters=power_iters)
+    B = csr_times_dense(A.to_csr(), V)  # m x size
+    U_small, s, Wt = np.linalg.svd(B, full_matrices=False)
+    U = U_small[:, :rank]
+    Vt = (V @ Wt.T).T[:rank, :]
+    return LowRankResult(U=U, s=s[:rank], Vt=Vt, sketch_stats=stats,
+                         power_iterations=power_iters)

@@ -1,0 +1,190 @@
+"""The public sketching API: ``sketch()`` and :class:`SketchOperator`.
+
+This is the library's front door for Equation (1): given a tall sparse
+``A`` (CSC) and a sketch size ``d`` only modestly larger than ``n``,
+produce ``Ahat = S A`` where ``S`` is an implicit ``d x m`` random matrix
+whose entries are regenerated on the fly inside a blocked kernel.
+
+The operator view matters because ``S`` is never stored: a
+:class:`SketchOperator` is a *recipe* (seed, distribution, generator
+family, blocking) that can be applied to a sparse matrix, applied to a
+dense matrix or vector (needed to sketch right-hand sides consistently),
+or — for testing and small problems — materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..kernels.blocking import default_block_sizes, sketch_spmm
+from ..kernels.dispatch import choose_kernel
+from ..kernels.pregen import pregen_full
+from ..kernels.stats import KernelStats
+from ..model.machine import LAPTOP, MachineModel
+from ..parallel.executor import parallel_sketch_spmm
+from ..rng.base import SketchingRNG
+from ..sparse.csc import CSCMatrix
+from ..utils.validation import check_positive_int
+from .config import SketchConfig
+
+__all__ = ["SketchResult", "SketchOperator", "sketch"]
+
+
+@dataclass
+class SketchResult:
+    """Outcome of one sketch application."""
+
+    sketch: np.ndarray          # the d x n dense product (scaled if normalize)
+    stats: KernelStats
+    kernel_used: str
+    scale: float                # normalization factor applied (1.0 if none)
+
+
+class SketchOperator:
+    """An implicit ``d x m`` random sketching matrix.
+
+    Parameters
+    ----------
+    d, m:
+        Logical dimensions of ``S``.
+    config:
+        Sketching options (distribution, generator, blocking, threads).
+    machine:
+        Machine model used by ``kernel="auto"`` dispatch and block-size
+        recommendations (defaults to the conservative ``LAPTOP`` preset).
+    """
+
+    def __init__(self, d: int, m: int, config: SketchConfig | None = None,
+                 machine: MachineModel | None = None) -> None:
+        self.d = check_positive_int(d, "d")
+        self.m = check_positive_int(m, "m")
+        self.config = config if config is not None else SketchConfig()
+        self.machine = machine if machine is not None else LAPTOP
+        if self.d <= 0:
+            raise ConfigError("sketch size d must be positive")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(d, m)`` — the dimensions of the implicit ``S``."""
+        return (self.d, self.m)
+
+    def _rng(self) -> SketchingRNG:
+        return self.config.build_rng()
+
+    def scale(self) -> float:
+        """Normalization factor (``1/sqrt(d * var)`` if configured, else 1)."""
+        if not self.config.normalize:
+            return 1.0
+        dist = self._rng().dist
+        return dist.normalization(self.d)
+
+    def _resolve_kernel(self, A: CSCMatrix) -> str:
+        if self.config.kernel != "auto":
+            return self.config.kernel
+        return choose_kernel(self.machine, A).kernel
+
+    def _blocking(self, n: int) -> tuple[int, int]:
+        b_d, b_n = default_block_sizes(
+            self.d, n,
+            cache_bytes=self.machine.cache_bytes,
+            parallel=self.config.threads > 1,
+        )
+        if self.config.b_d is not None:
+            b_d = self.config.b_d
+        if self.config.b_n is not None:
+            b_n = self.config.b_n
+        return b_d, b_n
+
+    def apply(self, A: CSCMatrix) -> SketchResult:
+        """Compute ``S @ A`` through the configured kernel path."""
+        if A.shape[0] != self.m:
+            raise ShapeError(
+                f"operator expects {self.m} rows, matrix has {A.shape[0]}"
+            )
+        kernel = self._resolve_kernel(A)
+        b_d, b_n = self._blocking(A.shape[1])
+        if kernel == "pregen":
+            Ahat, stats = pregen_full(A, self.d, self._rng())
+        elif self.config.threads > 1:
+            Ahat, stats = parallel_sketch_spmm(
+                A, self.d, lambda w: self.config.build_rng(w),
+                threads=self.config.threads, kernel=kernel, b_d=b_d, b_n=b_n,
+            )
+        else:
+            Ahat, stats = sketch_spmm(
+                A, self.d, self._rng(), kernel=kernel, b_d=b_d, b_n=b_n
+            )
+        s = self.scale()
+        if s != 1.0:
+            Ahat *= s
+        return SketchResult(sketch=Ahat, stats=stats, kernel_used=kernel, scale=s)
+
+    def apply_dense(self, X: np.ndarray) -> np.ndarray:
+        """Compute ``S @ X`` for dense ``X`` (vector or matrix).
+
+        Sketch-and-precondition needs ``S b`` formed with the *same*
+        realized ``S`` as ``S A``; this path generates ``S`` in row blocks
+        using the same checkpoints the sparse kernel uses (block offsets
+        from the operator's blocking), so the two applications are
+        mutually consistent.
+        """
+        X2 = X[:, None] if X.ndim == 1 else X
+        if X2.shape[0] != self.m:
+            raise ShapeError(f"X has {X2.shape[0]} rows, expected {self.m}")
+        b_d, _ = self._blocking(max(1, X2.shape[1]))
+        rng = self._rng()
+        out = np.empty((self.d, X2.shape[1]), dtype=np.float64)
+        js = np.arange(self.m, dtype=np.int64)
+        for r in range(0, self.d, b_d):
+            d1 = min(b_d, self.d - r)
+            panel = rng.column_block_batch(r, d1, js)
+            out[r:r + d1, :] = panel @ X2
+        out *= rng.post_scale * self.scale()
+        return out[:, 0] if X.ndim == 1 else out
+
+    def materialize(self) -> np.ndarray:
+        """Realize ``S`` densely (testing / small problems only).
+
+        Uses the operator's own blocking for checkpoint consistency and
+        applies post-scaling and normalization, so
+        ``op.materialize() @ A.to_dense()`` matches ``op.apply(A).sketch``.
+        """
+        b_d, _ = self._blocking(1)
+        rng = self._rng()
+        S = rng.materialize(self.d, self.m, b_d=b_d)
+        return S * (rng.post_scale * self.scale())
+
+
+def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
+           config: SketchConfig | None = None,
+           machine: MachineModel | None = None) -> SketchResult:
+    """One-call sketching: ``Ahat = S A`` with ``d ~ gamma * n``.
+
+    Exactly one of *gamma* / *d* may override the config's sizing.  This is
+    the quickstart entry point::
+
+        from repro import sketch, random_sparse
+        A = random_sparse(100_000, 1_000, 5e-4, seed=0)
+        result = sketch(A, gamma=3.0)
+        Ahat = result.sketch          # 3000 x 1000 dense
+    """
+    cfg = config if config is not None else SketchConfig()
+    if gamma is not None and d is not None:
+        raise ConfigError("pass at most one of gamma / d")
+    if gamma is not None:
+        if gamma <= 1.0:
+            raise ConfigError(f"gamma must exceed 1, got {gamma}")
+        d_eff = int(np.ceil(gamma * A.shape[1]))
+    elif d is not None:
+        d_eff = check_positive_int(d, "d")
+        if d_eff <= A.shape[1]:
+            raise ConfigError(
+                f"sketch size d={d_eff} must exceed n={A.shape[1]}"
+            )
+    else:
+        d_eff = cfg.sketch_size(A.shape[1])
+    op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
+    return op.apply(A)

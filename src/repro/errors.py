@@ -1,0 +1,42 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch library failures with a
+single ``except`` clause while letting genuine programming errors
+(``TypeError`` from NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operand's dimensions are inconsistent with the requested operation."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse-matrix data structure violates its format invariants.
+
+    Raised, for example, when CSC column pointers are not monotone, when row
+    indices fall outside ``[0, m)``, or when a blocked-CSR structure's block
+    boundaries do not tile the column range.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object (block sizes, distribution name, machine
+    parameters, solver tolerances) is invalid or internally inconsistent."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its tolerance within the allowed
+    iteration budget and the caller asked for strict behaviour."""
+
+
+class SingularMatrixError(ReproError, RuntimeError):
+    """A factorization encountered (numerical) rank deficiency that the
+    selected algorithm cannot handle (e.g. SAP-QR on a singular sketch;
+    the paper prescribes SAP-SVD for that regime)."""

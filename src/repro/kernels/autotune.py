@@ -1,0 +1,144 @@
+"""Empirical block-size autotuning for the sketching SpMM.
+
+Section V-B tunes ``(b_d, b_n)`` by hand per machine and workload; this
+module automates the search the way production kernels do it: start from
+the model recommendation (:func:`repro.model.recommend_block_sizes`),
+evaluate a small grid of candidates on a *subsampled* problem (a column
+slice, so a trial costs a fraction of the full product), and return the
+measured winner.  The same harness optionally races Algorithm 3 against
+Algorithm 4 — an empirical version of the Section II-B architecture
+dispatch for hosts that don't match either machine preset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng.base import SketchingRNG
+from ..sparse.csc import CSCMatrix
+from ..utils.validation import check_positive_int
+from .blocking import sketch_spmm
+
+__all__ = ["TuneResult", "autotune_blocking", "autotune_kernel"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an autotuning run."""
+
+    b_d: int
+    b_n: int
+    kernel: str
+    seconds: float                       # winning trial time (subsampled)
+    trials: list = field(default_factory=list)  # (kernel, b_d, b_n, seconds)
+
+    def describe(self) -> str:
+        """One-line summary of the winner."""
+        return (f"{self.kernel} with (b_d={self.b_d}, b_n={self.b_n}): "
+                f"{self.seconds:.4f}s on the tuning slice")
+
+
+def _candidate_grid(d: int, n: int, base: tuple[int, int]) -> list[tuple[int, int]]:
+    """A small geometric neighbourhood around the model recommendation."""
+    b_d0, b_n0 = base
+    cands = set()
+    for fd in (0.5, 1.0, 2.0):
+        for fn in (0.25, 1.0, 4.0):
+            b_d = max(1, min(d, int(round(b_d0 * fd))))
+            b_n = max(1, min(n, int(round(b_n0 * fn))))
+            cands.add((b_d, b_n))
+    cands.add((d, max(1, min(n, 16))))  # the "tall" parallel-friendly shape
+    return sorted(cands)
+
+
+def _tuning_slice(A: CSCMatrix, max_cols: int) -> CSCMatrix:
+    """A contiguous column slice keeping trials cheap but representative."""
+    n = A.shape[1]
+    if n <= max_cols:
+        return A
+    start = (n - max_cols) // 2
+    return A.col_block(start, start + max_cols)
+
+
+def autotune_blocking(
+    A: CSCMatrix,
+    d: int,
+    rng_factory: Callable[[], SketchingRNG],
+    *,
+    kernel: str = "algo3",
+    candidates: Sequence[tuple[int, int]] | None = None,
+    max_tuning_cols: int = 256,
+    repeats: int = 2,
+) -> TuneResult:
+    """Measure a candidate grid of ``(b_d, b_n)`` and return the fastest.
+
+    Parameters
+    ----------
+    rng_factory:
+        Zero-argument factory producing fresh generators (one per trial so
+        instrumentation counters don't leak between trials).
+    candidates:
+        Explicit grid; default is a geometric neighbourhood around the
+        model recommendation for this problem's density.
+    max_tuning_cols:
+        Trials run on a centred column slice of at most this width.
+    """
+    d = check_positive_int(d, "d")
+    repeats = check_positive_int(repeats, "repeats")
+    if kernel not in ("algo3", "algo4"):
+        raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+    slice_A = _tuning_slice(A, max_tuning_cols)
+    n_slice = slice_A.shape[1]
+
+    if candidates is None:
+        from ..model import LAPTOP, recommend_block_sizes
+
+        rho = max(A.density, 1e-9)
+        base = recommend_block_sizes(LAPTOP, rho, d, n_slice)
+        candidates = _candidate_grid(d, n_slice, base)
+    if not candidates:
+        raise ConfigError("candidate grid is empty")
+
+    trials = []
+    for b_d, b_n in candidates:
+        best = float("inf")
+        for _ in range(repeats):
+            rng = rng_factory()
+            t0 = time.perf_counter()
+            sketch_spmm(slice_A, d, rng, kernel=kernel,
+                        b_d=min(b_d, d), b_n=min(b_n, n_slice))
+            best = min(best, time.perf_counter() - t0)
+        trials.append((kernel, int(min(b_d, d)), int(min(b_n, n_slice)), best))
+
+    kernel_name, b_d, b_n, secs = min(trials, key=lambda t: t[3])
+    return TuneResult(b_d=b_d, b_n=b_n, kernel=kernel_name, seconds=secs,
+                      trials=trials)
+
+
+def autotune_kernel(
+    A: CSCMatrix,
+    d: int,
+    rng_factory: Callable[[], SketchingRNG],
+    *,
+    max_tuning_cols: int = 256,
+    repeats: int = 2,
+) -> TuneResult:
+    """Race Algorithm 3 vs Algorithm 4 (each at its tuned blocking).
+
+    The empirical counterpart of :func:`repro.kernels.choose_kernel` for
+    hosts whose cache/RNG behaviour doesn't match a preset; Algorithm 4's
+    trials include its format-conversion cost, as Table IV would.
+    """
+    results = [
+        autotune_blocking(A, d, rng_factory, kernel=k,
+                          max_tuning_cols=max_tuning_cols, repeats=repeats)
+        for k in ("algo3", "algo4")
+    ]
+    winner = min(results, key=lambda r: r.seconds)
+    winner.trials = [t for r in results for t in r.trials]
+    return winner

@@ -1,0 +1,159 @@
+"""The six loop orderings of the toy compute kernel (Algorithm 2).
+
+Section II-B enumerates all orderings of the three loops ``i`` (rows of the
+dense left operand ``L``), ``j`` (the contraction dimension), and ``k``
+(columns of the sparse right operand ``R``), then rules most of them out:
+
+* ``ikj`` / ``kij`` — dot-product forms; need *noncontiguous* random number
+  generation (only the positions matching nonzeros of a column of ``R``),
+  which defeats vectorization. Ruled out.
+* ``ijk`` — sums scaled sparse rows of ``R`` into dense rows of ``G``;
+  "summing together rows of R would be inefficient regardless of the
+  sparse matrix format". Ruled out.
+* ``jik`` — rank-1 updates applied row-wise to ``G``; row slices of a
+  sparse row are noncontiguous. Ruled out on random-access-sensitive
+  architectures.
+* ``kji`` — **Algorithm 3's order**: each column of ``G`` is a linear
+  combination of columns of ``L``; all three operands are accessed with
+  stride, at the price of regenerating a column of ``L`` per nonzero.
+* ``jki`` — **Algorithm 4's order**: one column of ``L`` is reused across
+  an entire sparse row of ``R`` (fewer regenerations), at the price of
+  scattered column updates to ``G``.
+
+All six are implemented here as plain, obviously-correct loops over a
+*materialized* dense ``L`` and a sparse ``R``.  They are the pedagogical
+reference and the oracle the production kernels are tested against; the
+on-the-fly-RNG versions of ``kji`` and ``jki`` live in
+:mod:`repro.kernels.algo3` and :mod:`repro.kernels.algo4`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from ..utils.validation import check_dense_matrix
+
+__all__ = [
+    "kernel_ijk",
+    "kernel_ikj",
+    "kernel_jik",
+    "kernel_jki",
+    "kernel_kij",
+    "kernel_kji",
+    "LOOP_ORDER_KERNELS",
+    "RULED_OUT",
+]
+
+
+def _check(L: np.ndarray, R_shape: tuple[int, int]) -> tuple[int, int, int]:
+    check_dense_matrix(L, "L")
+    d1, m1 = L.shape
+    if m1 != R_shape[0]:
+        raise ShapeError(f"L has {m1} columns but R has {R_shape[0]} rows")
+    return d1, m1, R_shape[1]
+
+
+def kernel_ijk(L: np.ndarray, R: CSRMatrix) -> np.ndarray:
+    """Variant ijk: each row of ``G`` is a combination of sparse rows of ``R``."""
+    d1, m1, n1 = _check(L, R.shape)
+    G = np.zeros((d1, n1), dtype=np.float64)
+    for i in range(d1):
+        for j in range(m1):
+            cols, vals = R.row(j)
+            for t in range(cols.size):
+                G[i, cols[t]] += L[i, j] * vals[t]
+    return G
+
+
+def kernel_ikj(L: np.ndarray, R: CSCMatrix) -> np.ndarray:
+    """Variant ikj: dot products ``G[i, k] = L[i, :] . R[:, k]``, row-major G."""
+    d1, m1, n1 = _check(L, R.shape)
+    G = np.zeros((d1, n1), dtype=np.float64)
+    for i in range(d1):
+        for k in range(n1):
+            rows, vals = R.col(k)
+            acc = 0.0
+            for t in range(rows.size):
+                acc += L[i, rows[t]] * vals[t]
+            G[i, k] = acc
+    return G
+
+
+def kernel_kij(L: np.ndarray, R: CSCMatrix) -> np.ndarray:
+    """Variant kij: dot products streamed column-major through ``G``."""
+    d1, m1, n1 = _check(L, R.shape)
+    G = np.zeros((d1, n1), dtype=np.float64)
+    for k in range(n1):
+        rows, vals = R.col(k)
+        for i in range(d1):
+            acc = 0.0
+            for t in range(rows.size):
+                acc += L[i, rows[t]] * vals[t]
+            G[i, k] = acc
+    return G
+
+
+def kernel_jik(L: np.ndarray, R: CSRMatrix) -> np.ndarray:
+    """Variant jik: rank-1 updates ``l_j r_j^T`` applied row-wise to ``G``."""
+    d1, m1, n1 = _check(L, R.shape)
+    G = np.zeros((d1, n1), dtype=np.float64)
+    for j in range(m1):
+        cols, vals = R.row(j)
+        for i in range(d1):
+            lij = L[i, j]
+            for t in range(cols.size):
+                G[i, cols[t]] += lij * vals[t]
+    return G
+
+
+def kernel_jki(L: np.ndarray, R: CSRMatrix) -> np.ndarray:
+    """Variant jki: rank-1 updates applied column-wise — Algorithm 4's order."""
+    d1, m1, n1 = _check(L, R.shape)
+    G = np.zeros((d1, n1), dtype=np.float64)
+    for j in range(m1):
+        cols, vals = R.row(j)
+        for t in range(cols.size):
+            v = vals[t]
+            k = cols[t]
+            for i in range(d1):
+                G[i, k] += L[i, j] * v
+    return G
+
+
+def kernel_kji(L: np.ndarray, R: CSCMatrix) -> np.ndarray:
+    """Variant kji: columns of ``G`` from columns of ``L`` — Algorithm 3's order."""
+    d1, m1, n1 = _check(L, R.shape)
+    G = np.zeros((d1, n1), dtype=np.float64)
+    for k in range(n1):
+        rows, vals = R.col(k)
+        for t in range(rows.size):
+            j = rows[t]
+            v = vals[t]
+            for i in range(d1):
+                G[i, k] += L[i, j] * v
+    return G
+
+
+#: All six variants, keyed by loop order. Values are ``(kernel, format)``
+#: where *format* names the sparse layout the variant naturally consumes.
+LOOP_ORDER_KERNELS: Dict[str, tuple[Callable, str]] = {
+    "ijk": (kernel_ijk, "csr"),
+    "ikj": (kernel_ikj, "csc"),
+    "jik": (kernel_jik, "csr"),
+    "jki": (kernel_jki, "csr"),
+    "kij": (kernel_kij, "csc"),
+    "kji": (kernel_kji, "csc"),
+}
+
+#: Variants the paper removes from contention, with the reason.
+RULED_OUT: Dict[str, str] = {
+    "ikj": "requires noncontiguous random number generation (defeats SIMD)",
+    "kij": "requires noncontiguous random number generation (defeats SIMD)",
+    "ijk": "sums sparse rows of R into dense rows; inefficient in any format",
+    "jik": "row-wise scattered updates to G on random-access-sensitive machines",
+}

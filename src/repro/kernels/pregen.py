@@ -1,0 +1,150 @@
+"""Pre-generated-sketch baselines ("the naive approach").
+
+Section II-A: "The naive approach is to generate ``S`` beforehand and then
+call library routines such as Intel MKL to perform SpMM.  This approach is
+not practical for large inputs because ``S`` may not even fit into RAM."
+These baselines play the role of MKL/Eigen/Julia in Tables II and IV and
+of the "pre-generating S in memory" series of Figure 4.
+
+Three flavours:
+
+* :func:`pregen_full` — materialize all of ``S`` (``d x m`` dense), then a
+  library-style dense-times-CSC product.  Honest about the O(d*m) memory.
+* :func:`pregen_rowblocks` — materialize one ``b_d x m`` row panel of ``S``
+  at a time (the (1, m, 1)-blocking memory compromise).
+* :func:`pregen_csr_transposed` — the MKL emulation of Section V-A: MKL
+  only supports sparse-times-dense, so the operation is computed
+  transposed, ``(A^T S^T)^T`` with ``A^T`` in CSR and ``S^T`` row-major.
+
+Timing convention follows Figure 4's caption: "For the case of
+pre-generating S in memory, we don't include generation time" — so each
+function reports generation under ``sample_seconds`` and callers decide
+whether to charge it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng.base import SketchingRNG
+from ..sparse.csc import CSCMatrix
+from ..utils.flops import spmm_flops
+from ..utils.timing import Stopwatch, Timer
+from ..utils.validation import check_positive_int
+from .stats import KernelStats
+
+__all__ = ["pregen_full", "pregen_rowblocks", "pregen_csr_transposed"]
+
+
+def pregen_full(A: CSCMatrix, d: int, rng: SketchingRNG) -> tuple[np.ndarray, KernelStats]:
+    """Materialize ``S`` fully, then multiply with the library SpMM.
+
+    Returns ``(Ahat, stats)``; ``stats.extra['sketch_bytes']`` records the
+    O(d*m) footprint that makes this approach infeasible at scale.
+    """
+    d = check_positive_int(d, "d")
+    m, n = A.shape
+    sw = Stopwatch()
+    with Timer() as total:
+        with sw.bucket("sample"):
+            S = rng.materialize(d, m)
+        with sw.bucket("compute"):
+            from ..sparse.ops import dense_times_csc
+
+            Ahat = dense_times_csc(S, A)
+            if rng.post_scale != 1.0:
+                Ahat *= rng.post_scale
+    stats = KernelStats(
+        kernel="pregen_full",
+        sample_seconds=sw.total("sample"),
+        compute_seconds=sw.total("compute"),
+        total_seconds=total.elapsed,
+        samples_generated=d * m,
+        flops=spmm_flops(d, A.nnz),
+        blocks_processed=1,
+        d=d, b_d=d, b_n=n,
+        extra={"sketch_bytes": int(S.nbytes)},
+    )
+    return Ahat, stats
+
+
+def pregen_rowblocks(A: CSCMatrix, d: int, rng: SketchingRNG,
+                     b_d: int) -> tuple[np.ndarray, KernelStats]:
+    """Materialize ``S`` one ``b_d``-row panel at a time, multiply per panel.
+
+    Memory drops to O(b_d * m); the sparse matrix is streamed once per
+    panel, which is the extra data movement the on-the-fly kernels avoid.
+    """
+    d = check_positive_int(d, "d")
+    b_d = check_positive_int(b_d, "b_d")
+    m, n = A.shape
+    sw = Stopwatch()
+    Ahat = np.zeros((d, n), dtype=np.float64)
+    peak_panel = 0
+    blocks = 0
+    with Timer() as total:
+        from ..sparse.ops import dense_times_csc
+
+        for r in range(0, d, b_d):
+            d1 = min(b_d, d - r)
+            with sw.bucket("sample"):
+                panel = rng.column_block_batch(r, d1, np.arange(m, dtype=np.int64))
+            peak_panel = max(peak_panel, int(panel.nbytes))
+            with sw.bucket("compute"):
+                Ahat[r:r + d1, :] = dense_times_csc(panel, A)
+            blocks += 1
+        if rng.post_scale != 1.0:
+            Ahat *= rng.post_scale
+    stats = KernelStats(
+        kernel="pregen_rowblocks",
+        sample_seconds=sw.total("sample"),
+        compute_seconds=sw.total("compute"),
+        total_seconds=total.elapsed,
+        samples_generated=d * m,
+        flops=spmm_flops(d, A.nnz),
+        blocks_processed=blocks,
+        d=d, b_d=b_d, b_n=n,
+        extra={"sketch_bytes": peak_panel},
+    )
+    return Ahat, stats
+
+
+def pregen_csr_transposed(A: CSCMatrix, d: int, rng: SketchingRNG) -> tuple[np.ndarray, KernelStats]:
+    """The MKL-style baseline: compute ``(A^T @ S^T)^T`` with ``A^T`` in CSR.
+
+    Section V-A: "MKL timings use CSR for A and row major storage for S
+    since MKL only supports sparse-times-dense.  (Hence, the operation and
+    storage are transposed.)"  The CSC->CSR conversion of ``A`` (free in
+    exact arithmetic: ``A^T`` in CSR shares CSC's buffers) is *not*
+    charged, matching MKL's inspector-executor setup being excluded.
+    """
+    d = check_positive_int(d, "d")
+    m, n = A.shape
+    sw = Stopwatch()
+    with Timer() as total:
+        # A^T in CSR is literally A's CSC buffers reinterpreted.
+        from ..sparse.csr import CSRMatrix
+
+        At_csr = CSRMatrix((n, m), A.indptr, A.indices, A.data, check=False)
+        with sw.bucket("sample"):
+            S = rng.materialize(d, m)
+            St = np.ascontiguousarray(S.T)  # row-major S^T
+        with sw.bucket("compute"):
+            from ..sparse.ops import csr_times_dense
+
+            out_t = csr_times_dense(At_csr, St)  # (n x d)
+            Ahat = np.ascontiguousarray(out_t.T)
+            if rng.post_scale != 1.0:
+                Ahat *= rng.post_scale
+    stats = KernelStats(
+        kernel="pregen_csr_transposed",
+        sample_seconds=sw.total("sample"),
+        compute_seconds=sw.total("compute"),
+        total_seconds=total.elapsed,
+        samples_generated=d * m,
+        flops=spmm_flops(d, A.nnz),
+        blocks_processed=1,
+        d=d, b_d=d, b_n=n,
+        extra={"sketch_bytes": int(S.nbytes) + int(St.nbytes)},
+    )
+    return Ahat, stats

@@ -1,0 +1,89 @@
+"""Instrumentation record shared by all sketching kernels.
+
+Tables III and V of the paper split each kernel's runtime into "sample
+time" (random number generation) and total time, and Tables IV and VI
+report the blocked-CSR "conversion time" separately.  Every kernel in this
+package therefore returns a :class:`KernelStats` alongside the product,
+with those buckets filled from a :class:`repro.utils.Stopwatch`, plus the
+RNG-volume counters (Section III-B: Algorithm 3 always generates
+``d * nnz(A)`` numbers; Algorithm 4 cuts this to roughly
+``d * m * ceil(n / b_n)`` minus empty rows) that let tests assert the
+paper's accounting exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.flops import gflops
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Costs of one sketching-SpMM invocation.
+
+    Attributes
+    ----------
+    kernel:
+        Kernel identifier (``"algo3"``, ``"algo4"``, ``"pregen"``, …).
+    sample_seconds:
+        Wall time spent generating sketch entries (Tables III/V "sample time").
+    compute_seconds:
+        Wall time in the arithmetic updates.
+    conversion_seconds:
+        Wall time building the blocked-CSR structure (0 for Algorithm 3,
+        which "only requires standard CSC" assumed given for free).
+    total_seconds:
+        Full kernel wall time (sample + compute + driver overhead; the
+        paper notes totals run slightly above the sum because "the timer
+        creates additional overhead").
+    samples_generated:
+        Number of sketch entries produced by the RNG.
+    flops:
+        ``2 * d * nnz(A)`` useful flops of the product.
+    blocks_processed:
+        Outer-loop block count (Algorithm 1 iterations).
+    d, b_d, b_n:
+        Sketch size and blocking parameters used.
+    extra:
+        Free-form auxiliary metrics (e.g. conversion op counts).
+    """
+
+    kernel: str
+    sample_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    conversion_seconds: float = 0.0
+    total_seconds: float = 0.0
+    samples_generated: int = 0
+    flops: int = 0
+    blocks_processed: int = 0
+    d: int = 0
+    b_d: int = 0
+    b_n: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def gflops_rate(self) -> float:
+        """Useful GFlop/s over the total time (Table VII's metric)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return gflops(self.flops, self.total_seconds)
+
+    @property
+    def sample_fraction(self) -> float:
+        """Share of total time spent generating random numbers."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.sample_seconds / self.total_seconds
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another invocation's costs into this record."""
+        self.sample_seconds += other.sample_seconds
+        self.compute_seconds += other.compute_seconds
+        self.conversion_seconds += other.conversion_seconds
+        self.total_seconds += other.total_seconds
+        self.samples_generated += other.samples_generated
+        self.flops += other.flops
+        self.blocks_processed += other.blocks_processed

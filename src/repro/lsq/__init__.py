@@ -1,0 +1,45 @@
+"""Least-squares solvers (Section V-C): from-scratch LSQR, the three
+preconditioner families, the sketch-and-precondition (SAP) pipeline, and
+the George-Heath direct sparse QR baseline standing in for SuiteSparseQR."""
+
+from .diagnostics import LstsqSolution, error_metric, residual_norm
+from .direct_qr import (
+    GivensLog,
+    SparseR,
+    givens_qr_factorize,
+    refine_solution,
+    solve_direct_qr,
+)
+from .lsmr import lsmr
+from .lsqr import CscOperator, LsqrResult, PreconditionedOperator, lsqr
+from .preconditioners import (
+    DiagonalPreconditioner,
+    IdentityPreconditioner,
+    SVDPreconditioner,
+    TriangularPreconditioner,
+)
+from .sap import solve_lsqr_diag, solve_sap
+from .underdetermined import solve_sap_minnorm
+
+__all__ = [
+    "LstsqSolution",
+    "error_metric",
+    "residual_norm",
+    "GivensLog",
+    "SparseR",
+    "givens_qr_factorize",
+    "refine_solution",
+    "solve_direct_qr",
+    "CscOperator",
+    "LsqrResult",
+    "PreconditionedOperator",
+    "lsqr",
+    "lsmr",
+    "DiagonalPreconditioner",
+    "IdentityPreconditioner",
+    "SVDPreconditioner",
+    "TriangularPreconditioner",
+    "solve_lsqr_diag",
+    "solve_sap",
+    "solve_sap_minnorm",
+]

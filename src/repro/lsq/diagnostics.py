@@ -1,0 +1,84 @@
+"""Least-squares diagnostics: the paper's error metric and result records.
+
+Table X compares solvers on
+
+    Error(x) = ||A^T (A x - b)||_2 / (||A||_F ||A x - b||_2)
+
+— the backward-error-motivated metric LSQR's ``test2`` estimates for the
+*preconditioned* system; Table X evaluates it on the *original* system,
+which is what :func:`error_metric` computes.  :class:`LstsqSolution` is
+the common record all three solvers return, carrying the timing split
+(Table IX), the error (Table X), and the workspace bytes (Table XI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse.csc import CSCMatrix
+from ..sparse.linalg import frobenius_norm
+from .lsqr import CscOperator
+
+__all__ = ["error_metric", "residual_norm", "LstsqSolution"]
+
+
+def error_metric(A: CSCMatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """The paper's ``Error(x)`` on the original (unpreconditioned) system.
+
+    Returns 0 when the residual vanishes (consistent system solved
+    exactly); ``||A||_F`` is computed from stored entries.
+    """
+    m, n = A.shape
+    if x.shape != (n,) or b.shape != (m,):
+        raise ShapeError(
+            f"x must have shape ({n},) and b ({m},), got {x.shape}/{b.shape}"
+        )
+    op = CscOperator(A)
+    r = op.matvec(x) - b
+    rnorm = float(np.linalg.norm(r))
+    if rnorm == 0.0:
+        return 0.0
+    atr = float(np.linalg.norm(op.rmatvec(r)))
+    fro = frobenius_norm(A)
+    if fro == 0.0:
+        return float("inf")
+    return atr / (fro * rnorm)
+
+
+def residual_norm(A: CSCMatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """``||A x - b||_2``."""
+    m, n = A.shape
+    if x.shape != (n,) or b.shape != (m,):
+        raise ShapeError("dimension mismatch")
+    return float(np.linalg.norm(CscOperator(A).matvec(x) - b))
+
+
+@dataclass
+class LstsqSolution:
+    """Common result record for LSQR-D, SAP-QR/SVD, and the direct QR.
+
+    Attributes map one-to-one onto the paper's reporting: ``seconds`` and
+    ``iterations`` (Table IX; ``sketch_seconds`` is SAP's separate
+    "sketch (s)" column), ``error`` (Table X), ``memory_bytes`` — the
+    *extra* workspace beyond storing ``A`` (Table XI).
+    """
+
+    method: str
+    x: np.ndarray
+    seconds: float
+    iterations: int = 0
+    sketch_seconds: float = 0.0
+    factor_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    error: float = float("nan")
+    memory_bytes: int = 0
+    converged: bool = True
+    details: dict = field(default_factory=dict)
+
+    @property
+    def memory_mbytes(self) -> float:
+        """Workspace in Mbytes, Table XI's unit."""
+        return self.memory_bytes / (1024.0 * 1024.0)

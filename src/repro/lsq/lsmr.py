@@ -1,0 +1,153 @@
+"""LSMR (Fong & Saunders 2011) — the other Golub–Kahan solver.
+
+LSQR minimizes ``||r||`` over Krylov subspaces; LSMR minimizes
+``||A^T r||`` — the very quantity the paper's Error(x) metric (and LSQR's
+own stopping test) is built on — and drives it down *monotonically*,
+which makes its convergence behaviour easier to reason about when solving
+to the paper's 1e-14 backward-error tolerance.  Providing both engines
+behind the same operator protocol lets the SAP pipeline swap solvers with
+one argument (``solve_sap(..., iterative="lsmr")``).
+
+Implemented from the algorithm in Fong & Saunders, "LSMR: An iterative
+algorithm for sparse least-squares problems", SIAM J. Sci. Comput. 33(5),
+2011 (damping not needed here and omitted); returns the same
+:class:`~repro.lsq.lsqr.LsqrResult` record as :func:`repro.lsq.lsqr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils.validation import check_positive_int, check_vector
+from .lsqr import LinearOperator, LsqrResult
+
+__all__ = ["lsmr"]
+
+
+def lsmr(op: LinearOperator, b: np.ndarray, *, atol: float = 1e-14,
+         btol: float = 1e-14, max_iter: int | None = None,
+         keep_history: bool = False) -> LsqrResult:
+    """Minimize ``||op z - b||_2`` by LSMR.
+
+    Parameters match :func:`repro.lsq.lsqr`; ``atol`` bounds
+    ``||B^T r|| / (||B||_F ||r||)`` (monotone under LSMR), ``btol`` bounds
+    ``||r|| / ||b||`` for consistent systems.
+    """
+    m, n = op.shape
+    check_vector(b, "b", size=m)
+    if atol <= 0 or btol <= 0:
+        raise ConfigError(f"atol and btol must be positive, got {atol}/{btol}")
+    max_iter = 4 * n if max_iter is None else check_positive_int(max_iter, "max_iter")
+
+    u = b.astype(np.float64).copy()
+    normb = beta = float(np.linalg.norm(u))
+    if beta == 0.0:
+        return LsqrResult(np.zeros(n), 0, "residual-zero", 0.0, 0.0, 0.0)
+    u /= beta
+    v = op.rmatvec(u)
+    alpha = float(np.linalg.norm(v))
+    if alpha == 0.0:
+        return LsqrResult(np.zeros(n), 0, "ground-zero", beta, 0.0, 0.0)
+    v /= alpha
+
+    # Initialization (Fong & Saunders, Algorithm LSMR).
+    zetabar = alpha * beta
+    alphabar = alpha
+    rho = rhobar = cbar = 1.0
+    sbar = 0.0
+    h = v.copy()
+    hbar = np.zeros(n)
+    x = np.zeros(n)
+
+    # Residual-norm estimation state.
+    betadd = beta
+    betad = 0.0
+    rhodold = 1.0
+    tautildeold = 0.0
+    thetatilde = 0.0
+    zeta = 0.0
+    d = 0.0
+
+    normA2 = alpha * alpha
+    history: list[float] = []
+    stop_reason = "max-iter"
+    it = 0
+    normr = beta
+    normar = alpha * beta
+
+    for it in range(1, max_iter + 1):
+        # Golub-Kahan step.
+        u = op.matvec(v) - alpha * u
+        beta = float(np.linalg.norm(u))
+        if beta > 0.0:
+            u /= beta
+        v = op.rmatvec(u) - beta * v
+        alpha = float(np.linalg.norm(v))
+        if alpha > 0.0:
+            v /= alpha
+
+        # Rotation Q_k (no damping: alphahat = alphabar).
+        rhoold = rho
+        rho = float(np.hypot(alphabar, beta))
+        c = alphabar / rho
+        s = beta / rho
+        thetanew = s * alpha
+        alphabar = c * alpha
+
+        # Rotation Qbar_k.
+        rhobarold = rhobar
+        zetaold = zeta
+        thetabar = sbar * rho
+        rhotemp = cbar * rho
+        rhobar = float(np.hypot(cbar * rho, thetanew))
+        cbar = cbar * rho / rhobar
+        sbar = thetanew / rhobar
+        zeta = cbar * zetabar
+        zetabar = -sbar * zetabar
+
+        # Update h, hbar, x.
+        hbar = h - (thetabar * rho / (rhoold * rhobarold)) * hbar
+        x = x + (zeta / (rho * rhobar)) * hbar
+        h = v - (thetanew / rho) * h
+
+        # Residual-norm estimate (the paper's recurrences; with no damping
+        # the betacheck term vanishes, so ``d`` stays zero).
+        betahat = c * betadd
+        betadd = -s * betadd
+        thetatildeold = thetatilde
+        rhotildeold = float(np.hypot(rhodold, thetabar))
+        ctildeold = rhodold / rhotildeold
+        stildeold = thetabar / rhotildeold
+        thetatilde = stildeold * rhobar
+        rhodold = ctildeold * rhobar
+        betad = -stildeold * betad + ctildeold * betahat
+        tautildeold = (zetaold - thetatildeold * tautildeold) / rhotildeold
+        taud = (zeta - thetatilde * tautildeold) / rhodold
+        normr = float(np.sqrt(d + (betad - taud) ** 2 + betadd * betadd))
+
+        normA2 += beta * beta
+        normA = float(np.sqrt(normA2))
+        normA2 += alpha * alpha
+        normar = abs(zetabar)
+
+        denom = normA * normr
+        test2 = normar / denom if denom > 0 else 0.0
+        if keep_history:
+            history.append(test2)
+        if test2 <= atol or normr == 0.0:
+            stop_reason = "atol"
+            break
+        if normr <= btol * normb:
+            stop_reason = "btol"
+            break
+
+    return LsqrResult(
+        z=x,
+        iterations=it,
+        stop_reason=stop_reason,
+        rnorm=normr,
+        arnorm=normar,
+        anorm=float(np.sqrt(normA2)),
+        test2_history=history,
+    )

@@ -1,0 +1,214 @@
+"""Right preconditioners for LSQR: diagonal, QR-of-sketch, SVD-of-sketch.
+
+Section V-C1's three solver configurations differ only in the
+preconditioner handed to LSQR:
+
+* **LSQR-D** — ``D_ii = 1 / ||A_i||_2`` from the input's column norms,
+  "if ``||A_i||_2 <= eps sqrt(n) max_i ||A_i||_2`` then ``D_ii = 1``";
+* **SAP-QR** — ``R^{-1}`` from a (dense, economy) QR of the sketch
+  ``S A``;
+* **SAP-SVD** — ``V_k diag(1/sigma_k)`` from an SVD of ``S A`` "drop[ping]
+  singular values that are smaller than ``sigma_max(SA) / 10^12``",
+  intended "when the original problem has singular values that are near
+  zero" — this changes the iterate dimension from ``n`` to the numerical
+  rank ``k``.
+
+All expose the same interface: ``apply`` (iterate space -> model space,
+``x = P z``) and ``apply_transpose``; :class:`PreconditionedOperator`
+composes them with the matrix operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import qr as dense_qr
+from scipy.linalg import solve_triangular
+
+from ..errors import ConfigError, ShapeError, SingularMatrixError
+from ..sparse.csc import CSCMatrix
+from ..sparse.linalg import column_norms
+from ..utils.validation import check_vector
+
+__all__ = [
+    "IdentityPreconditioner",
+    "DiagonalPreconditioner",
+    "TriangularPreconditioner",
+    "SVDPreconditioner",
+]
+
+
+class IdentityPreconditioner:
+    """No-op preconditioner (plain LSQR)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigError(f"n must be positive, got {n}")
+        self._n = n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(model dim, iterate dim)."""
+        return (self._n, self._n)
+
+    def apply(self, z: np.ndarray) -> np.ndarray:
+        """``x = z``."""
+        return check_vector(z, "z", size=self._n).copy()
+
+    def apply_transpose(self, w: np.ndarray) -> np.ndarray:
+        """``P^T w = w``."""
+        return check_vector(w, "w", size=self._n).copy()
+
+    @property
+    def memory_bytes(self) -> int:
+        """Workspace held by the preconditioner."""
+        return 0
+
+
+class DiagonalPreconditioner:
+    """The LSQR-D column-scaling preconditioner.
+
+    ``P = diag(1 / ||A_i||)`` with the paper's safeguard: columns whose
+    norm is at most ``eps * sqrt(n) * max_i ||A_i||`` keep ``D_ii = 1``
+    (they are numerically negligible and must not be blown up).
+    """
+
+    def __init__(self, diag: np.ndarray) -> None:
+        if diag.ndim != 1 or diag.size < 1:
+            raise ShapeError("diag must be a non-empty vector")
+        if np.any(diag <= 0) or not np.all(np.isfinite(diag)):
+            raise ConfigError("diagonal entries must be positive and finite")
+        self.diag = diag.astype(np.float64)
+
+    @classmethod
+    def from_matrix(cls, A: CSCMatrix,
+                    eps: float = np.finfo(np.float64).eps) -> "DiagonalPreconditioner":
+        """Build from the column norms of ``A`` with the safeguard rule."""
+        norms = column_norms(A)
+        n = A.shape[1]
+        cutoff = eps * np.sqrt(n) * (norms.max() if norms.size else 0.0)
+        d = np.where(norms <= cutoff, 1.0, norms)
+        return cls(1.0 / d)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = self.diag.size
+        return (n, n)
+
+    def apply(self, z: np.ndarray) -> np.ndarray:
+        """``x = D z``."""
+        check_vector(z, "z", size=self.diag.size)
+        return self.diag * z
+
+    def apply_transpose(self, w: np.ndarray) -> np.ndarray:
+        """``D^T w = D w`` (diagonal)."""
+        check_vector(w, "w", size=self.diag.size)
+        return self.diag * w
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.diag.nbytes)
+
+
+class TriangularPreconditioner:
+    """SAP-QR preconditioner: ``P = R^{-1}`` for upper-triangular ``R``.
+
+    Applications are triangular solves (never an explicit inverse).
+    Rejects numerically singular ``R`` — the paper's prescription for that
+    regime is :class:`SVDPreconditioner`.
+    """
+
+    def __init__(self, R: np.ndarray, *, rcond: float = 1e-14) -> None:
+        if R.ndim != 2 or R.shape[0] != R.shape[1]:
+            raise ShapeError("R must be square")
+        diag = np.abs(np.diag(R))
+        if diag.size == 0:
+            raise ShapeError("R must be non-empty")
+        if diag.min() <= rcond * diag.max():
+            raise SingularMatrixError(
+                "sketch QR factor is numerically singular "
+                f"(min|R_ii| / max|R_ii| = {diag.min() / diag.max():.2e}); "
+                "use SAP-SVD for rank-deficient problems"
+            )
+        self.R = np.ascontiguousarray(np.triu(R), dtype=np.float64)
+
+    @classmethod
+    def from_sketch(cls, Ahat: np.ndarray, **kwargs) -> "TriangularPreconditioner":
+        """Economy QR of the dense sketch; keeps only ``R``."""
+        if Ahat.ndim != 2 or Ahat.shape[0] < Ahat.shape[1]:
+            raise ShapeError("sketch must be tall (d >= n)")
+        R = dense_qr(Ahat, mode="r")[0][: Ahat.shape[1], :]
+        return cls(R, **kwargs)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = self.R.shape[0]
+        return (n, n)
+
+    def apply(self, z: np.ndarray) -> np.ndarray:
+        """``x = R^{-1} z`` (back substitution)."""
+        check_vector(z, "z", size=self.R.shape[0])
+        return solve_triangular(self.R, z, lower=False)
+
+    def apply_transpose(self, w: np.ndarray) -> np.ndarray:
+        """``R^{-T} w`` (forward substitution on the transpose)."""
+        check_vector(w, "w", size=self.R.shape[0])
+        return solve_triangular(self.R, w, trans="T", lower=False)
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.R.nbytes)
+
+
+class SVDPreconditioner:
+    """SAP-SVD preconditioner: ``P = V_k diag(1/sigma_k)``.
+
+    Truncates singular values below ``sigma_max / drop_tol`` (the paper
+    uses ``drop_tol = 1e12``), so the LSQR iterate lives in the rank-``k``
+    subspace and near-null directions of the original problem are excluded
+    — the behaviour that keeps SAP stable on specular/connectus/landmark.
+    """
+
+    def __init__(self, V: np.ndarray, sigma: np.ndarray) -> None:
+        if V.ndim != 2 or sigma.ndim != 1 or V.shape[1] != sigma.size:
+            raise ShapeError("V must be n x k and sigma length k")
+        if sigma.size == 0:
+            raise SingularMatrixError("all singular values were dropped")
+        if np.any(sigma <= 0):
+            raise ConfigError("retained singular values must be positive")
+        self.V = np.ascontiguousarray(V, dtype=np.float64)
+        self.sigma = sigma.astype(np.float64)
+
+    @classmethod
+    def from_sketch(cls, Ahat: np.ndarray,
+                    drop_ratio: float = 1e-12) -> "SVDPreconditioner":
+        """SVD of the dense sketch, dropping ``sigma < sigma_max * drop_ratio``."""
+        if Ahat.ndim != 2 or Ahat.shape[0] < Ahat.shape[1]:
+            raise ShapeError("sketch must be tall (d >= n)")
+        if not (0.0 < drop_ratio < 1.0):
+            raise ConfigError(f"drop_ratio must be in (0, 1), got {drop_ratio}")
+        _, s, Vt = np.linalg.svd(Ahat, full_matrices=False)
+        keep = s > s[0] * drop_ratio if s.size else np.zeros(0, dtype=bool)
+        return cls(Vt[keep].T, s[keep])
+
+    @property
+    def rank(self) -> int:
+        """Retained numerical rank ``k``."""
+        return int(self.sigma.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.V.shape[0], self.rank)
+
+    def apply(self, z: np.ndarray) -> np.ndarray:
+        """``x = V diag(1/sigma) z`` — iterate space (k) to model space (n)."""
+        check_vector(z, "z", size=self.rank)
+        return self.V @ (z / self.sigma)
+
+    def apply_transpose(self, w: np.ndarray) -> np.ndarray:
+        """``diag(1/sigma) V^T w`` — model space to iterate space."""
+        check_vector(w, "w", size=self.V.shape[0])
+        return (self.V.T @ w) / self.sigma
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.V.nbytes + self.sigma.nbytes)

@@ -1,0 +1,165 @@
+"""Sketch-and-precondition (SAP) least squares, plus the LSQR-D baseline.
+
+The full randomized pipeline of Section V-C: sketch ``Ahat = S A`` with
+the fast SpMM kernels (``d = gamma n``, gamma = 2 in the paper's runs),
+factor the small dense sketch (QR, or SVD when the problem may be
+numerically rank-deficient), and run right-preconditioned LSQR to the
+paper's 1e-14 backward-error tolerance.  Memory is the headline win: the
+solver's workspace is essentially the ``d x n`` dense sketch plus the
+``n x n`` factor — "in many cases ... lower memory requirements than a
+direct sparse solver" (Tables IX-XI).
+
+:func:`solve_lsqr_diag` is the classical baseline sharing the same LSQR
+engine with the diagonal preconditioner.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.config import SketchConfig
+from ..core.sketch import SketchOperator
+from ..errors import ConfigError
+from ..model.machine import MachineModel
+from ..sparse.csc import CSCMatrix
+from ..utils.validation import check_choice, check_vector
+from .diagnostics import LstsqSolution, error_metric
+from .lsmr import lsmr
+from .lsqr import CscOperator, PreconditionedOperator, lsqr
+from .preconditioners import (
+    DiagonalPreconditioner,
+    SVDPreconditioner,
+    TriangularPreconditioner,
+)
+
+__all__ = ["solve_sap", "solve_lsqr_diag"]
+
+
+def solve_sap(
+    A: CSCMatrix,
+    b: np.ndarray,
+    *,
+    gamma: float = 2.0,
+    method: str = "qr",
+    config: SketchConfig | None = None,
+    machine: MachineModel | None = None,
+    atol: float = 1e-14,
+    max_iter: int | None = None,
+    svd_drop_ratio: float = 1e-12,
+    iterative: str = "lsqr",
+) -> LstsqSolution:
+    """Solve ``min_x ||A x - b||`` by sketch-and-precondition.
+
+    Parameters
+    ----------
+    A, b:
+        Tall sparse data matrix (CSC) and dense right-hand side.
+    gamma:
+        Sketch-size multiplier ``d = ceil(gamma n)`` (paper: 2 for least
+        squares, giving a preconditioned condition bound
+        ``(sqrt(2)+1)/(sqrt(2)-1) ~ 5.8`` and ~80 LSQR iterations).
+    method:
+        ``"qr"`` (full-rank path) or ``"svd"`` (rank-revealing path with
+        the ``sigma_max / 1e12`` drop rule).
+    config:
+        Sketching options; defaults to the paper's production choice
+        (xoshiro, uniform(-1,1), automatic kernel).
+    atol, max_iter:
+        Iterative-solver stopping controls (paper: atol = 1e-14).
+    iterative:
+        ``"lsqr"`` (the paper's engine) or ``"lsmr"`` (Fong-Saunders;
+        monotone in the Error(x) quantity).
+
+    Returns
+    -------
+    :class:`LstsqSolution` with the timing split (sketch / factor /
+    solve), LSQR iteration count, Table X error metric, and the workspace
+    bytes (sketch + factor), the quantity Table XI reports.
+    """
+    check_choice(method, "method", ("qr", "svd"))
+    m, n = A.shape
+    check_vector(b, "b", size=m)
+    if gamma <= 1.0:
+        raise ConfigError(f"gamma must exceed 1, got {gamma}")
+    cfg = config if config is not None else SketchConfig(gamma=gamma)
+    d = int(np.ceil(gamma * n))
+    if d > m:
+        raise ConfigError(
+            f"sketch size d={d} exceeds m={m}; the problem is not "
+            "overdetermined enough for SAP with this gamma"
+        )
+
+    t0 = time.perf_counter()
+    op = SketchOperator(d, m, config=cfg, machine=machine)
+    result = op.apply(A)
+    Ahat = result.sketch
+    t_sketch = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if method == "qr":
+        precond = TriangularPreconditioner.from_sketch(Ahat)
+    else:
+        precond = SVDPreconditioner.from_sketch(Ahat, drop_ratio=svd_drop_ratio)
+    t_factor = time.perf_counter() - t1
+
+    check_choice(iterative, "iterative", ("lsqr", "lsmr"))
+    t2 = time.perf_counter()
+    B = PreconditionedOperator(CscOperator(A), precond)
+    engine = lsqr if iterative == "lsqr" else lsmr
+    run = engine(B, b, atol=atol, max_iter=max_iter)
+    x = precond.apply(run.z)
+    t_solve = time.perf_counter() - t2
+
+    sketch_bytes = int(Ahat.nbytes)
+    mem = sketch_bytes + precond.memory_bytes
+    return LstsqSolution(
+        method=f"sap-{method}",
+        x=x,
+        seconds=t_sketch + t_factor + t_solve,
+        iterations=run.iterations,
+        sketch_seconds=t_sketch,
+        factor_seconds=t_factor,
+        solve_seconds=t_solve,
+        error=error_metric(A, x, b),
+        memory_bytes=mem,
+        converged=run.converged,
+        details={
+            "d": d,
+            "iterative": iterative,
+            "kernel": result.kernel_used,
+            "stop_reason": run.stop_reason,
+            "rank": getattr(precond, "rank", n),
+            "sketch_stats": result.stats,
+        },
+    )
+
+
+def solve_lsqr_diag(
+    A: CSCMatrix,
+    b: np.ndarray,
+    *,
+    atol: float = 1e-14,
+    max_iter: int | None = None,
+) -> LstsqSolution:
+    """The LSQR-D baseline: LSQR with the column-norm diagonal preconditioner."""
+    m, n = A.shape
+    check_vector(b, "b", size=m)
+    t0 = time.perf_counter()
+    precond = DiagonalPreconditioner.from_matrix(A)
+    B = PreconditionedOperator(CscOperator(A), precond)
+    run = lsqr(B, b, atol=atol, max_iter=max_iter)
+    x = precond.apply(run.z)
+    elapsed = time.perf_counter() - t0
+    return LstsqSolution(
+        method="lsqr-d",
+        x=x,
+        seconds=elapsed,
+        iterations=run.iterations,
+        solve_seconds=elapsed,
+        error=error_metric(A, x, b),
+        memory_bytes=precond.memory_bytes,  # "essentially no extra memory"
+        converged=run.converged,
+        details={"stop_reason": run.stop_reason},
+    )

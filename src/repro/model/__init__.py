@@ -1,0 +1,111 @@
+"""Performance-model substrate: Section III made executable.
+
+Machine models (Frontera/Perlmutter presets), the roofline analysis of
+Equation (4) with its closed-form regimes (Eqs. 5-7), numeric block-size
+optimization, analytic per-algorithm traffic accounting, an exact LRU
+cache simulator that validates the analysis, and the sqrt(M) lower-bound
+comparison against GEMM.
+"""
+
+from .blocksize import BlockPlan, optimize_blocks, recommend_block_sizes, scan_objective
+from .bn_tuner import BnChoice, rng_volume_curve, tune_bn
+from .calibrate import (
+    calibrate_machine,
+    measure_peak_gflops,
+    measure_random_access_penalty,
+)
+from .cache_sim import (
+    LRUCache,
+    MultiLevelCache,
+    TraceResult,
+    replay_algo3,
+    simulate_algo3,
+    simulate_pregen,
+)
+from .lower_bounds import (
+    advantage_over_gemm,
+    asymptotic_advantage,
+    gemm_words_lower_bound,
+    sketch_effective_words,
+)
+from .machine import FRONTERA, LAPTOP, PERLMUTTER, MachineModel
+from .patterns import (
+    PatternCosts,
+    algo4_rng_volume,
+    banded_costs,
+    dense_cols_costs,
+    dense_rows_costs,
+    uniform_costs,
+)
+from .report import render_roofline, roofline_points
+from .roofline import (
+    block_generation_cost,
+    ci_big_rho,
+    ci_small_rho,
+    computational_intensity,
+    expected_nonempty_rows,
+    fraction_of_peak,
+    gemm_ci,
+    optimal_n1_big_rho,
+    peak_fraction_big_rho,
+    peak_fraction_small_rho,
+    reciprocal_ci_objective,
+)
+from .traffic import (
+    TrafficEstimate,
+    algo3_traffic,
+    algo4_traffic,
+    count_nonempty_rows_per_block,
+    pregen_traffic,
+)
+
+__all__ = [
+    "BlockPlan",
+    "optimize_blocks",
+    "recommend_block_sizes",
+    "scan_objective",
+    "BnChoice",
+    "rng_volume_curve",
+    "tune_bn",
+    "calibrate_machine",
+    "measure_peak_gflops",
+    "measure_random_access_penalty",
+    "LRUCache",
+    "MultiLevelCache",
+    "replay_algo3",
+    "TraceResult",
+    "simulate_algo3",
+    "simulate_pregen",
+    "advantage_over_gemm",
+    "asymptotic_advantage",
+    "gemm_words_lower_bound",
+    "sketch_effective_words",
+    "FRONTERA",
+    "LAPTOP",
+    "PERLMUTTER",
+    "MachineModel",
+    "PatternCosts",
+    "algo4_rng_volume",
+    "banded_costs",
+    "dense_cols_costs",
+    "dense_rows_costs",
+    "uniform_costs",
+    "block_generation_cost",
+    "ci_big_rho",
+    "ci_small_rho",
+    "computational_intensity",
+    "expected_nonempty_rows",
+    "fraction_of_peak",
+    "gemm_ci",
+    "optimal_n1_big_rho",
+    "peak_fraction_big_rho",
+    "peak_fraction_small_rho",
+    "reciprocal_ci_objective",
+    "render_roofline",
+    "roofline_points",
+    "TrafficEstimate",
+    "algo3_traffic",
+    "algo4_traffic",
+    "count_nonempty_rows_per_block",
+    "pregen_traffic",
+]

@@ -1,0 +1,131 @@
+"""Calibrate a :class:`MachineModel` for the current host.
+
+The Frontera/Perlmutter presets encode the paper's testbeds; for any
+other machine the model parameters can be *measured*, the same way the
+paper characterized its nodes (Section V-A):
+
+* bandwidth — STREAM-style copy;
+* peak flops — a dense-GEMM burst (NumPy's BLAS, the realistic ceiling
+  for this library's arithmetic);
+* ``h`` — short-vector generation rate against the bandwidth;
+* random-access penalty — gather-reduction time over contiguous-reduction
+  time at a cache-busting working set (the prefetcher-sensitivity probe
+  behind the Section II-B architecture split).
+
+The calibrated model plugs into everything downstream: kernel dispatch
+(:func:`repro.kernels.choose_kernel`), block-size recommendation, and the
+scaling simulator.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ..rng.base import make_rng
+from ..rng.benchmark import rng_sample_rate, stream_copy_bandwidth
+from ..utils.validation import check_positive_int
+from .machine import MachineModel
+
+__all__ = ["measure_peak_gflops", "measure_random_access_penalty",
+           "calibrate_machine"]
+
+
+def measure_peak_gflops(size: int = 384, repeats: int = 3) -> float:
+    """Dense-GEMM burst rate in GFlop/s (the attainable compute ceiling)."""
+    check_positive_int(size, "size")
+    check_positive_int(repeats, "repeats")
+    rng = np.random.default_rng(0)
+    a = rng.random((size, size))
+    b = rng.random((size, size))
+    a @ b  # warm the BLAS path
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - t0)
+    return 2.0 * size**3 / best / 1e9
+
+
+def measure_random_access_penalty(n_elements: int = 4_000_000,
+                                  repeats: int = 3) -> float:
+    """Scattered-vs-streamed access cost ratio (>= 1).
+
+    Sums a vector twice: once in order, once through a random permutation
+    of indices.  The working set exceeds typical LLCs, so the gather pays
+    real memory-system penalties — the signal that separates the paper's
+    two architecture classes.
+    """
+    check_positive_int(n_elements, "n_elements")
+    check_positive_int(repeats, "repeats")
+    rng = np.random.default_rng(1)
+    data = rng.random(n_elements)
+    perm = rng.permutation(n_elements)
+    seq_idx = np.arange(n_elements)
+    data[seq_idx].sum()  # warm
+
+    def best_of(idx):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            data[idx].sum()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_seq = best_of(seq_idx)
+    t_rand = best_of(perm)
+    return max(1.0, t_rand / t_seq)
+
+
+def calibrate_machine(name: str = "host", *, cache_bytes: int | None = None,
+                      rng_kind: str = "xoshiro",
+                      dist: str = "uniform") -> MachineModel:
+    """Measure this host and return a :class:`MachineModel` for it.
+
+    ``cache_bytes`` defaults to a conservative 16 MB when it cannot be
+    read from the OS; the bandwidth-saturation knee is estimated as half
+    the core count (unmeasurable without a thread sweep, which a 1-core
+    CI box cannot perform).
+    """
+    if cache_bytes is None:
+        cache_bytes = _detect_cache_bytes()
+    bw_bytes = stream_copy_bandwidth()
+    rate = rng_sample_rate(make_rng(rng_kind, 0, dist),
+                           vector_length=10_000, batch_columns=16, repeats=3)
+    h_base = bw_bytes / (8.0 * rate)
+    cores = os.cpu_count() or 1
+    return MachineModel(
+        name=name,
+        cache_bytes=cache_bytes,
+        peak_gflops=measure_peak_gflops(),
+        bandwidth_gbs=bw_bytes / 1e9,
+        h_base=h_base,
+        random_access_penalty=measure_random_access_penalty(),
+        cores=cores,
+        bandwidth_saturation_threads=max(1, cores // 2),
+    )
+
+
+def _detect_cache_bytes(default: int = 16 * 1024 * 1024) -> int:
+    """Best-effort LLC size from sysfs; *default* when unreadable."""
+    path = "/sys/devices/system/cpu/cpu0/cache"
+    try:
+        best = 0
+        for entry in sorted(os.listdir(path)):
+            if not entry.startswith("index"):
+                continue
+            size_file = os.path.join(path, entry, "size")
+            with open(size_file) as fh:
+                text = fh.read().strip()
+            if text.endswith("K"):
+                size = int(text[:-1]) * 1024
+            elif text.endswith("M"):
+                size = int(text[:-1]) * 1024 * 1024
+            else:
+                size = int(text)
+            best = max(best, size)
+        return best or default
+    except OSError:
+        return default

@@ -1,0 +1,75 @@
+"""Data-movement lower bounds: beating GEMM's bound by ``sqrt(M)``.
+
+The headline theory claim (abstract; Section III-A1): under the one-level
+cache model with cheap on-the-fly generation (``h`` small), the sketching
+kernel's fraction of peak is ``O(M / B)`` (Equation 6) versus GEMM's
+``O(sqrt(M) / B)`` — "a factor of sqrt(M) better".  Equivalently, the
+*effective data movement per flop* is a factor ``~sqrt(M)`` lower than the
+Hong–Kung GEMM communication lower bound allows.
+
+This module makes the comparison concrete: the classical GEMM word lower
+bound, the sketching kernel's model-optimal effective movement, and the
+resulting advantage factor as a function of ``(M, h)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .roofline import ci_small_rho, gemm_ci
+
+__all__ = [
+    "gemm_words_lower_bound",
+    "sketch_effective_words",
+    "advantage_over_gemm",
+    "asymptotic_advantage",
+]
+
+
+def gemm_words_lower_bound(d: int, m: int, n: int, M: int) -> float:
+    """Hong–Kung style lower bound on GEMM word movement:
+    ``d m n / (2 sqrt(2 M))`` words for a ``(d x m) @ (m x n)`` product.
+
+    (Constant per Irony–Toledo–Tiskin; any fixed constant works for the
+    factor-``sqrt(M)`` comparison.)
+    """
+    if min(d, m, n) < 1 or M < 1:
+        raise ConfigError("dimensions and M must be positive")
+    return d * m * n / (2.0 * np.sqrt(2.0 * M))
+
+
+def sketch_effective_words(d: int, m: int, n: int, rho: float, M: int,
+                           h: float) -> float:
+    """Model-optimal effective movement of the sketching kernel.
+
+    At the sparse-regime optimum the CI is ``2M / (4 + Mh)`` (Eq. 5), so
+    moving ``flops / CI`` effective words:
+    ``2 d m n rho * (4 + M h) / (2 M)``.
+    """
+    if not (0.0 <= rho <= 1.0):
+        raise ConfigError(f"rho must be in [0, 1], got {rho}")
+    if min(d, m, n) < 1:
+        raise ConfigError("dimensions must be positive")
+    flops = 2.0 * d * m * n * rho
+    return flops / ci_small_rho(M, h)
+
+
+def advantage_over_gemm(M: int, h: float) -> float:
+    """CI ratio of the sketching optimum to blocked GEMM:
+    ``ci_small_rho(M, h) / gemm_ci(M)``.
+
+    For ``h -> 0`` this grows like ``(sqrt(27)/4) * sqrt(M)`` — the paper's
+    factor-``sqrt(M)`` claim with constants attached; for ``M h >> 4`` it
+    degrades to ``~ 3 sqrt(3) / (h sqrt(M))``, the regime where a slow RNG
+    erases the advantage.
+    """
+    return ci_small_rho(M, h) / gemm_ci(M)
+
+
+def asymptotic_advantage(M: int) -> float:
+    """The ``h -> 0`` limit of :func:`advantage_over_gemm`:
+    ``(M/2) / ((2/3) sqrt(M/3)) = (3 sqrt(3) / 4) sqrt(M)``."""
+    if M < 1:
+        raise ConfigError(f"M must be positive, got {M}")
+    return (3.0 * np.sqrt(3.0) / 4.0) * np.sqrt(M)

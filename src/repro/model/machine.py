@@ -1,0 +1,160 @@
+"""Machine models for the roofline analysis and the scaling simulator.
+
+Section III-A's analysis has three machine parameters: the cache size
+``M`` (words), the machine balance ``B`` (peak flops over bandwidth), and
+the RNG cost ``h`` (cost of generating one random number relative to one
+memory access).  Section V adds two qualitative properties that decide the
+Algorithm 3 vs Algorithm 4 contest: how strongly the memory system
+penalizes random access (prefetchers), and how fast *short-vector* RNG is
+relative to bandwidth.  :class:`MachineModel` packages all of these.
+
+Presets
+-------
+``FRONTERA`` and ``PERLMUTTER`` encode the paper's two testbeds.  Peak
+flops/bandwidth use the published hardware specs; ``h_base`` and
+``random_access_penalty`` encode the paper's *measured, qualitative*
+findings: "Frontera is faster at generating short random vectors", and
+Algorithm 3 (strided) wins there, while "Perlmutter's cache behavior,
+prefetching mechanism, and data movement rate is likely superior", so
+Algorithm 4's random access is tolerated and its RNG savings win.  These
+two presets are the substitution for the physical testbeds (see
+DESIGN.md): all Table III/V/VII shape claims are derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+from ..rng.distributions import Distribution, get_distribution
+
+__all__ = ["MachineModel", "FRONTERA", "PERLMUTTER", "LAPTOP"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of the one-level-cache roofline machine.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    cache_bytes:
+        Size of the modelled (last-level, per-socket) cache.
+    peak_gflops:
+        Peak double-precision rate of the full node, GFlop/s.
+    bandwidth_gbs:
+        Sustainable memory bandwidth of the full node, GB/s (STREAM-like).
+    h_base:
+        The paper's ``h`` for the *baseline* uniform transform: cost of
+        generating one random number over the cost of moving one word.
+        Per-distribution ``h`` is ``h_base * dist.h_factor``.
+    random_access_penalty:
+        Effective slowdown multiplier for scattered (non-strided) access
+        relative to streaming access; >= 1.
+    cores:
+        Physical cores (bounds the thread sweep).
+    bandwidth_saturation_threads:
+        Thread count at which the shared memory bus saturates; the
+        saturating-bandwidth curve in :mod:`repro.parallel.bandwidth`
+        plateaus here.
+    """
+
+    name: str
+    cache_bytes: int
+    peak_gflops: float
+    bandwidth_gbs: float
+    h_base: float
+    random_access_penalty: float
+    cores: int
+    bandwidth_saturation_threads: int
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes <= 0:
+            raise ConfigError("cache_bytes must be positive")
+        if self.peak_gflops <= 0 or self.bandwidth_gbs <= 0:
+            raise ConfigError("peak_gflops and bandwidth_gbs must be positive")
+        if self.h_base <= 0:
+            raise ConfigError("h_base must be positive")
+        if self.random_access_penalty < 1.0:
+            raise ConfigError("random_access_penalty must be >= 1")
+        if self.cores < 1 or self.bandwidth_saturation_threads < 1:
+            raise ConfigError("cores and saturation threads must be >= 1")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def cache_words(self) -> int:
+        """The paper's ``M``: cache capacity in 8-byte words."""
+        return self.cache_bytes // 8
+
+    @property
+    def machine_balance(self) -> float:
+        """The paper's ``B``: peak flops per word of memory traffic.
+
+        Defined against 8-byte words so it is directly comparable to the
+        computational intensity produced by the Section III-A model (which
+        counts word movements).
+        """
+        words_per_sec = self.bandwidth_gbs * 1e9 / 8.0
+        return self.peak_gflops * 1e9 / words_per_sec
+
+    def h(self, dist: str | Distribution = "uniform") -> float:
+        """Effective ``h`` for a given entry distribution."""
+        return self.h_base * get_distribution(dist).h_factor
+
+    @property
+    def favors_reuse(self) -> bool:
+        """Does this machine prefer Algorithm 4 (reuse) over Algorithm 3?
+
+        Section V-A's diagnosis: Algorithm 4 wins when the random-access
+        penalty is small relative to the RNG saving it buys.  We compare the
+        penalty against the RNG-cost ratio between the algorithms: when
+        generating numbers costs more than the scatter penalty, reuse wins.
+        """
+        return self.h_base >= (self.random_access_penalty - 1.0)
+
+    def with_threads(self, cores: int) -> "MachineModel":
+        """A copy of this machine with a different core count."""
+        return replace(self, cores=cores)
+
+
+#: Intel Xeon Platinum 8280 node (Cascade Lake, 28 cores @ 2.7 GHz, ~38.5 MB
+#: L3).  Fast short-vector RNG (small h) and strong prefetch sensitivity:
+#: the Algorithm-3 machine of Tables II/III/VII.
+FRONTERA = MachineModel(
+    name="frontera",
+    cache_bytes=38_500_000,
+    peak_gflops=2419.0,  # 28 cores * 2.7 GHz * 32 flops/cycle (AVX-512 FMA)
+    bandwidth_gbs=140.0,
+    h_base=0.25,
+    random_access_penalty=2.0,
+    cores=28,
+    bandwidth_saturation_threads=12,
+)
+
+#: Dual AMD EPYC 7763 node (Milan, 128 cores @ 2.45 GHz, 256 MB L3 x 2).
+#: Higher bandwidth, tolerant of scattered access, but slower short-vector
+#: RNG relative to its bandwidth: the Algorithm-4 machine of Tables IV/V.
+PERLMUTTER = MachineModel(
+    name="perlmutter",
+    cache_bytes=512_000_000,
+    peak_gflops=5017.0,  # 128 cores * 2.45 GHz * 16 flops/cycle
+    bandwidth_gbs=400.0,
+    h_base=0.6,
+    random_access_penalty=1.2,
+    cores=64,
+    bandwidth_saturation_threads=24,
+)
+
+#: A deliberately small single-socket model for examples and quick tests.
+LAPTOP = MachineModel(
+    name="laptop",
+    cache_bytes=8_000_000,
+    peak_gflops=100.0,
+    bandwidth_gbs=20.0,
+    h_base=0.4,
+    random_access_penalty=1.5,
+    cores=4,
+    bandwidth_saturation_threads=3,
+)

@@ -1,0 +1,125 @@
+"""ASCII roofline diagrams — Section III-A's picture, in a terminal.
+
+The roofline model [14] is a plot: performance (GFlop/s, log scale)
+against computational intensity (flops/word, log scale), capped by the
+bandwidth slope on the left and the flat compute peak on the right.  The
+paper reasons entirely in this picture; this module renders it as text so
+every bench and example can *show* where an algorithm sits, not just
+state a number.
+
+:func:`render_roofline` places labelled points (algorithm, CI) on a
+machine's roofline; :func:`roofline_points` computes the standard points
+for a problem (Algorithms 3/4 at their traffic estimates, the
+pre-generated baseline, and the GEMM reference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .machine import MachineModel
+from .roofline import gemm_ci
+
+__all__ = ["render_roofline", "roofline_points"]
+
+
+def _attainable(machine: MachineModel, ci: float) -> float:
+    """Roofline-attainable GFlop/s at intensity *ci* (flops per word)."""
+    words_per_sec = machine.bandwidth_gbs * 1e9 / 8.0
+    return min(machine.peak_gflops, ci * words_per_sec / 1e9)
+
+
+def render_roofline(machine: MachineModel,
+                    points: dict[str, float],
+                    width: int = 68, height: int = 16) -> str:
+    """Render *points* (label -> CI) on the machine's roofline.
+
+    Both axes are log-scaled; the ridge (machine balance) is marked with
+    ``^``.  Each point is drawn at its attainable performance with the
+    first letter of its label; a legend follows.
+    """
+    if width < 20 or height < 6:
+        raise ConfigError("diagram needs width >= 20 and height >= 6")
+    if not points:
+        raise ConfigError("need at least one point to draw")
+    for label, ci in points.items():
+        if ci <= 0:
+            raise ConfigError(f"CI for {label!r} must be positive")
+
+    cis = list(points.values()) + [machine.machine_balance]
+    lo = min(cis) / 4.0
+    hi = max(cis) * 4.0
+    x_lo, x_hi = np.log10(lo), np.log10(hi)
+    y_hi = np.log10(machine.peak_gflops)
+    y_lo = np.log10(max(_attainable(machine, lo), 1e-3))
+
+    def col_of(ci: float) -> int:
+        return int(round((np.log10(ci) - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row_of(gf: float) -> int:
+        frac = (np.log10(max(gf, 1e-3)) - y_lo) / max(y_hi - y_lo, 1e-9)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Draw the roof.
+    for c in range(width):
+        ci = 10 ** (x_lo + (x_hi - x_lo) * c / (width - 1))
+        r = row_of(_attainable(machine, ci))
+        if 0 <= r < height:
+            grid[r][c] = "-" if _attainable(machine, ci) >= machine.peak_gflops * 0.999 else "/"
+    # Ridge marker.
+    ridge_c = col_of(machine.machine_balance)
+    if 0 <= ridge_c < width:
+        grid[height - 1][ridge_c] = "^"
+    # Points.
+    legend = []
+    for label, ci in points.items():
+        c = min(max(col_of(ci), 0), width - 1)
+        r = min(max(row_of(_attainable(machine, ci)), 0), height - 1)
+        mark = label[0].upper()
+        grid[r][c] = mark
+        legend.append(
+            f"  {mark} = {label}: CI {ci:.3g} flops/word -> "
+            f"{_attainable(machine, ci):.1f} GF/s "
+            f"({_attainable(machine, ci) / machine.peak_gflops:.0%} of peak)"
+        )
+    lines = [
+        f"roofline: {machine.name} "
+        f"(peak {machine.peak_gflops:.0f} GF/s, "
+        f"BW {machine.bandwidth_gbs:.0f} GB/s, balance "
+        f"B = {machine.machine_balance:.1f} flops/word)",
+        f"{machine.peak_gflops:9.0f} GF/s".rjust(12),
+    ]
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   CI: {lo:.2g} ... {hi:.2g} flops/word (log), "
+                 "^ = machine balance")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def roofline_points(A, d: int, machine: MachineModel, *, b_d: int,
+                    b_n: int, dist: str = "uniform") -> dict[str, float]:
+    """Standard roofline points for one problem on one machine.
+
+    Returns intensities (flops per effective word) for Algorithm 3,
+    Algorithm 4, the pre-generated baseline, and the square-blocked GEMM
+    reference — the cast of the paper's analysis.
+    """
+    from .traffic import algo3_traffic, algo4_traffic, pregen_traffic
+
+    h = machine.h(dist)
+    pen = machine.random_access_penalty
+    return {
+        "algo3 (on-the-fly, strided)":
+            algo3_traffic(A, d, b_d, b_n).intensity(h, 1.0),
+        "reuse: algo4 (on-the-fly)":
+            algo4_traffic(A, d, b_d, b_n).intensity(h, pen),
+        "pregen (stored S)":
+            pregen_traffic(A, d, b_d, b_n,
+                           machine.cache_words).intensity(0.0, 1.0),
+        "gemm reference":
+            gemm_ci(machine.cache_words),
+    }

@@ -1,0 +1,166 @@
+"""The Section III-A roofline model: computational intensity and peaks.
+
+The model: a one-level cache of ``M`` words; each cache fill enables
+``2 rho d1 m1 n1`` flops on a block triple ``(d1, m1, n1)``; the sketch
+``S`` is regenerated on the fly at cost ``h`` per entry (in units of one
+word of memory movement), so a block's total cost is
+``M + h * d1 * m1 * (1 - (1 - rho)**n1)`` — the second term being the
+expected number of sketch columns that must be generated, since a column
+of ``S_sub`` is needed exactly when the corresponding row of ``A_sub`` has
+at least one nonzero (``E[Y] = m1 (1 - (1-rho)^{n1})``).
+
+Equation (4) minimizes the reciprocal of computational intensity subject
+to the cache constraint ``d1 n1 + m1 n1 rho <= M``; this module implements
+the objective, the closed forms for the sparse (Eq. 5-6) and dense (Eq. 7)
+regimes, and the fraction-of-peak estimates against the machine balance
+``B``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .machine import MachineModel
+
+__all__ = [
+    "expected_nonempty_rows",
+    "block_generation_cost",
+    "computational_intensity",
+    "reciprocal_ci_objective",
+    "ci_small_rho",
+    "ci_big_rho",
+    "optimal_n1_big_rho",
+    "fraction_of_peak",
+    "peak_fraction_small_rho",
+    "peak_fraction_big_rho",
+    "gemm_ci",
+]
+
+
+def _check_rho(rho: float) -> float:
+    if not (0.0 <= rho <= 1.0):
+        raise ConfigError(f"density rho must be in [0, 1], got {rho}")
+    return float(rho)
+
+
+def expected_nonempty_rows(m1: int, n1: int, rho: float) -> float:
+    """``E[Y] = m1 * (1 - (1 - rho)^{n1})``: rows of the block with a nonzero.
+
+    Each such row forces generation of one length-``d1`` sketch column, so
+    this expectation is the block's RNG volume divided by ``d1``.
+    """
+    rho = _check_rho(rho)
+    if m1 < 0 or n1 < 0:
+        raise ConfigError("block dimensions must be non-negative")
+    return m1 * (1.0 - (1.0 - rho) ** n1)
+
+
+def block_generation_cost(d1: int, m1: int, n1: int, rho: float, h: float) -> float:
+    """Expected RNG cost of one block, in word-movement units:
+    ``h * d1 * m1 * (1 - (1-rho)^{n1})``."""
+    if h < 0:
+        raise ConfigError(f"h must be non-negative, got {h}")
+    return h * d1 * expected_nonempty_rows(m1, n1, rho)
+
+
+def computational_intensity(d1: int, m1: int, n1: int, rho: float,
+                            M: int, h: float) -> float:
+    """CI of a block schedule: flops per unit of (movement + generation).
+
+    ``CI = 2 rho d1 m1 n1 / (M + h d1 m1 (1 - (1-rho)^{n1}))`` — the
+    quantity Equation (4) maximizes (via its reciprocal).
+    """
+    if M <= 0:
+        raise ConfigError(f"cache size M must be positive, got {M}")
+    rho = _check_rho(rho)
+    flops = 2.0 * rho * d1 * m1 * n1
+    cost = M + block_generation_cost(d1, m1, n1, rho, h)
+    return flops / cost
+
+
+def reciprocal_ci_objective(d1: int, m1: int, n1: int, rho: float,
+                            M: int, h: float) -> float:
+    """Equation (4)'s objective per unit of ``d m n``:
+    ``(M + h d1 m1 (1 - (1-rho)^{n1})) / (d1 m1 n1)`` (the ``rho`` and the
+    factor 2 in the flop count are constants w.r.t. the block sizes and are
+    dropped, exactly as in the paper's derivation)."""
+    if min(d1, m1, n1) <= 0:
+        raise ConfigError("block dimensions must be positive")
+    if M <= 0:
+        raise ConfigError(f"cache size M must be positive, got {M}")
+    rho = _check_rho(rho)
+    return (M + block_generation_cost(d1, m1, n1, rho, h)) / (d1 * m1 * n1)
+
+
+def ci_small_rho(M: int, h: float) -> float:
+    """Equation (5): CI at the sparse-regime optimum ``n1 = 1``:
+    ``2M / (4 + M h)``.
+
+    This value also applies to *arbitrary* sparsity patterns (the paper
+    notes the ``n1 = 1`` analysis does not use the uniform-density
+    assumption).
+    """
+    if M <= 0 or h < 0:
+        raise ConfigError("need M > 0 and h >= 0")
+    return 2.0 * M / (4.0 + M * h)
+
+
+def optimal_n1_big_rho(M: int, h: float, rho: float) -> float:
+    """Dense-regime minimizer ``n1 = sqrt(h M) / (2 sqrt(rho))`` (Sec. III-A2)."""
+    rho = _check_rho(rho)
+    if rho == 0.0:
+        raise ConfigError("big-rho formula needs rho > 0")
+    if M <= 0 or h <= 0:
+        raise ConfigError("need M > 0 and h > 0")
+    return float(np.sqrt(h * M) / (2.0 * np.sqrt(rho)))
+
+
+def ci_big_rho(M: int, h: float, rho: float) -> float:
+    """Dense-regime CI ``sqrt(M rho) / (2 sqrt(h))`` implied by Eq. (7)."""
+    rho = _check_rho(rho)
+    if M <= 0 or h <= 0:
+        raise ConfigError("need M > 0 and h > 0")
+    return float(np.sqrt(M * rho) / (2.0 * np.sqrt(h)))
+
+
+def fraction_of_peak(ci: float, machine: MachineModel) -> float:
+    """Roofline fraction of peak: ``min(1, CI / B)``.
+
+    "In order to achieve peak performance, the CI has to be greater than
+    machine balance."
+    """
+    if ci < 0:
+        raise ConfigError(f"CI must be non-negative, got {ci}")
+    return min(1.0, ci / machine.machine_balance)
+
+
+def peak_fraction_small_rho(machine: MachineModel, h: float | None = None) -> float:
+    """Equation (6) evaluated on a machine: fraction of peak in the sparse
+    regime.  With ``M h >> 4`` this is ~``2/(h B)``; with small ``h`` it is
+    ~``M / (2 B)`` — a factor ``sqrt(M)`` better than GEMM's
+    ``O(sqrt(M) / B)``."""
+    h_eff = machine.h_base if h is None else h
+    return fraction_of_peak(ci_small_rho(machine.cache_words, h_eff), machine)
+
+
+def peak_fraction_big_rho(machine: MachineModel, rho: float,
+                          h: float | None = None) -> float:
+    """Equation (7) evaluated on a machine:
+    ``sqrt(M rho) / (2 B sqrt(h))`` capped at 1."""
+    h_eff = machine.h_base if h is None else h
+    return fraction_of_peak(ci_big_rho(machine.cache_words, h_eff, rho), machine)
+
+
+def gemm_ci(M: int) -> float:
+    """Classical blocked-GEMM computational intensity, ``O(sqrt(M))``.
+
+    With square blocking ``b = sqrt(M/3)`` each cache fill performs
+    ``2 b^3`` flops for ``3 b^2`` words moved, giving
+    ``CI = (2/3) b = (2/3) sqrt(M/3)``.  The paper quotes the fraction of
+    peak as ``O(sqrt(M)/B)``; the constant here makes the comparison in
+    :mod:`repro.model.lower_bounds` concrete.
+    """
+    if M <= 0:
+        raise ConfigError(f"cache size M must be positive, got {M}")
+    return (2.0 / 3.0) * float(np.sqrt(M / 3.0))

@@ -1,0 +1,26 @@
+"""Shared-memory parallelism: task scheduling, thread-pool execution, and
+the bandwidth-saturation scaling model behind the Table VII reproduction."""
+
+from .bandwidth import PredictedRun, bandwidth_at, predict_time, rng_rate_per_core
+from .executor import parallel_sketch_spmm
+from .scaling import (
+    ScalingPoint,
+    measure_strong_scaling,
+    parallel_efficiency,
+    simulate_strong_scaling,
+)
+from .scheduler import estimate_task_costs, partition_tasks
+
+__all__ = [
+    "PredictedRun",
+    "bandwidth_at",
+    "predict_time",
+    "rng_rate_per_core",
+    "parallel_sketch_spmm",
+    "ScalingPoint",
+    "measure_strong_scaling",
+    "parallel_efficiency",
+    "simulate_strong_scaling",
+    "estimate_task_costs",
+    "partition_tasks",
+]

@@ -1,0 +1,153 @@
+"""Thread-pool execution of the blocked sketching SpMM.
+
+Real shared-memory parallelism over Algorithm 1's block tasks.  Every task
+writes a disjoint block of ``Ahat`` and reads only immutable inputs, so the
+execution is race-free by construction; each worker gets its *own*
+:class:`~repro.rng.SketchingRNG` instance (from a factory), so RNG state
+and instrumentation counters are thread-private.
+
+Reproducibility across thread counts: both generator families key their
+output on ``(seed, block row offset, sparse row)``, never on which thread
+runs the block, so the computed ``Ahat`` is bit-identical for any thread
+count and any partition strategy — the property tested in
+``tests/parallel``.  (This mirrors the paper's Section IV-C discussion:
+counter-based RNGs give thread-independent sketches; our checkpointed
+xoshiro is also thread-independent *given fixed blocking* because
+checkpoints are keyed by coordinates.)
+
+On the Python runtime, NumPy releases the GIL inside large array
+operations, so genuine overlap occurs for the vectorized kernels when the
+host has multiple cores; on a single-core host this executor still
+validates correctness while :mod:`repro.parallel.scaling` models the
+performance (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..kernels.algo3 import algo3_block
+from ..kernels.algo4 import algo4_block
+from ..kernels.blocking import default_block_sizes, iter_block_tasks
+from ..kernels.stats import KernelStats
+from ..rng.base import SketchingRNG
+from ..sparse.blocked_csr import BlockedCSR
+from ..sparse.convert import csc_to_blocked_csr
+from ..sparse.csc import CSCMatrix
+from ..utils.flops import spmm_flops
+from ..utils.timing import Stopwatch, Timer
+from ..utils.validation import check_positive_int
+from .scheduler import estimate_task_costs, partition_tasks
+
+__all__ = ["parallel_sketch_spmm"]
+
+RngFactory = Callable[[int], SketchingRNG]
+
+
+def parallel_sketch_spmm(
+    A: CSCMatrix,
+    d: int,
+    rng_factory: RngFactory,
+    *,
+    threads: int,
+    kernel: str = "algo3",
+    b_d: int | None = None,
+    b_n: int | None = None,
+    strategy: str = "static",
+    blocked: BlockedCSR | None = None,
+) -> tuple[np.ndarray, KernelStats]:
+    """Compute ``Ahat = S @ A`` using *threads* workers over block tasks.
+
+    Parameters
+    ----------
+    rng_factory:
+        Called once per worker with the worker index; must return
+        independent :class:`SketchingRNG` objects configured with the
+        *same* seed/distribution (worker index is provided only for
+        callers that want private instrumentation).
+    strategy:
+        Task partitioning (see :func:`repro.parallel.partition_tasks`).
+    blocked:
+        Pre-built blocked CSR (Algorithm 4); built here (and timed) when
+        absent.
+
+    Returns
+    -------
+    (Ahat, stats):
+        stats buckets aggregate across workers (sample/compute seconds are
+        summed CPU-seconds, not wall time; ``total_seconds`` is wall time).
+    """
+    d = check_positive_int(d, "d")
+    threads = check_positive_int(threads, "threads")
+    if kernel not in ("algo3", "algo4"):
+        raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+    m, n = A.shape
+    bd_default, bn_default = default_block_sizes(d, n, parallel=threads > 1)
+    b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
+    b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
+
+    conversion_seconds = 0.0
+    if kernel == "algo4" and blocked is None:
+        blocked, conv = csc_to_blocked_csr(A, b_n, threads=threads)
+        conversion_seconds = conv.seconds
+
+    tasks = list(iter_block_tasks(d, n, b_d, b_n))
+    costs = estimate_task_costs(A, tasks) if strategy == "guided" else None
+    buckets = partition_tasks(tasks, threads, strategy, costs)
+
+    Ahat = np.zeros((d, n), dtype=np.float64)
+    rngs = [rng_factory(w) for w in range(threads)]
+    watches = [Stopwatch() for _ in range(threads)]
+
+    # Pre-index Algorithm 4's vertical blocks by column offset for O(1)
+    # lookup inside workers.
+    block_by_offset: dict[int, object] = {}
+    if kernel == "algo4":
+        assert blocked is not None
+        for j0, blk in blocked.iter_blocks():
+            block_by_offset[j0] = blk
+
+    def run_worker(w: int) -> None:
+        rng = rngs[w]
+        watch = watches[w]
+        for (i, d1, j, n1) in buckets[w]:
+            view = Ahat[i:i + d1, j:j + n1]
+            if kernel == "algo3":
+                algo3_block(view, A.col_block(j, j + n1), i, rng, watch=watch)
+            else:
+                blk = block_by_offset.get(j)
+                if blk is None or blk.shape[1] != n1:
+                    raise ConfigError(
+                        "blocked CSR partition does not match b_n task grid"
+                    )
+                algo4_block(view, blk, i, rng, watch=watch)
+
+    with Timer() as total:
+        if threads == 1:
+            run_worker(0)
+        else:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                futures = [pool.submit(run_worker, w) for w in range(threads)]
+                for f in futures:
+                    f.result()  # propagate worker exceptions
+        post = rngs[0].post_scale
+        if post != 1.0:
+            Ahat *= post
+
+    stats = KernelStats(
+        kernel=f"{kernel}-parallel",
+        sample_seconds=sum(w.total("sample") for w in watches),
+        compute_seconds=sum(w.total("compute") for w in watches),
+        conversion_seconds=conversion_seconds,
+        total_seconds=total.elapsed,
+        samples_generated=sum(r.samples_generated for r in rngs),
+        flops=spmm_flops(d, A.nnz),
+        blocks_processed=len(tasks),
+        d=d, b_d=b_d, b_n=b_n,
+        extra={"threads": threads, "strategy": strategy},
+    )
+    return Ahat, stats

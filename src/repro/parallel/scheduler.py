@@ -1,0 +1,82 @@
+"""Partitioning Algorithm 1's block tasks across threads.
+
+Section II-C: "A simple and effective approach is to parallelize either of
+the two loops in Algorithm 1."  Every block task writes a disjoint
+``(b_d x b_n)`` block of ``Ahat``, so any partition of the task list is
+race-free; what matters for scalability is *balance*, which for sparse
+inputs is driven by each column block's nonzero count (a dense column
+block costs proportionally more — cf. Table VI's Abnormal_B pattern).
+
+Strategies:
+
+* ``static`` — contiguous ranges of tasks, equal counts (the behaviour of
+  Julia's ``Threads.@threads`` the paper uses);
+* ``cyclic`` — round-robin, which breaks up hot contiguous regions;
+* ``guided`` — greedy longest-processing-time assignment using nnz-based
+  cost estimates, for adversarial distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sparse.csc import CSCMatrix
+from ..utils.validation import check_choice, check_positive_int
+
+__all__ = ["estimate_task_costs", "partition_tasks"]
+
+Task = tuple[int, int, int, int]  # (i, d1, j, n1) from iter_block_tasks
+
+
+def estimate_task_costs(A: CSCMatrix, tasks: Sequence[Task]) -> np.ndarray:
+    """Estimated cost of each block task: ``2 * d1 * nnz(column block)``.
+
+    This is the task's useful flop count, the right proxy when the RNG and
+    arithmetic both scale with nonzeros (Algorithm 3) and a good one for
+    Algorithm 4.
+    """
+    costs = np.empty(len(tasks), dtype=np.float64)
+    indptr = A.indptr
+    for t, (i, d1, j, n1) in enumerate(tasks):
+        nnz_block = int(indptr[j + n1] - indptr[j])
+        costs[t] = 2.0 * d1 * nnz_block
+    return costs
+
+
+def partition_tasks(tasks: Sequence[Task], threads: int,
+                    strategy: str = "static",
+                    costs: np.ndarray | None = None) -> list[list[Task]]:
+    """Split *tasks* into per-thread work lists.
+
+    Returns exactly *threads* lists (possibly empty).  ``guided`` requires
+    *costs* (see :func:`estimate_task_costs`) and assigns each task,
+    heaviest first, to the currently lightest thread.
+    """
+    threads = check_positive_int(threads, "threads")
+    check_choice(strategy, "strategy", ("static", "cyclic", "guided"))
+    buckets: list[list[Task]] = [[] for _ in range(threads)]
+    if not tasks:
+        return buckets
+    if strategy == "static":
+        chunk = -(-len(tasks) // threads)
+        for w in range(threads):
+            buckets[w] = list(tasks[w * chunk:(w + 1) * chunk])
+    elif strategy == "cyclic":
+        for t, task in enumerate(tasks):
+            buckets[t % threads].append(task)
+    else:
+        if costs is None:
+            raise ConfigError("guided partitioning requires task costs")
+        if len(costs) != len(tasks):
+            raise ConfigError(
+                f"costs length {len(costs)} != tasks length {len(tasks)}"
+            )
+        loads = np.zeros(threads)
+        for t in np.argsort(costs)[::-1]:
+            w = int(np.argmin(loads))
+            buckets[w].append(tasks[t])
+            loads[w] += costs[t]
+    return buckets

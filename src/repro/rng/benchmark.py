@@ -1,0 +1,99 @@
+"""Microbenchmarks for RNG throughput and memory bandwidth.
+
+Section V-A of the paper uses STREAMBenchmark.jl to measure each machine's
+copy bandwidth and compares it against the rate of generating *short*
+random vectors ("length of 10000"), because the blocked algorithms only
+ever generate short vectors.  The ratio of these two rates is the paper's
+``h`` parameter (cost of one random number relative to one memory access,
+Section III-A): Frontera has fast short-vector RNG (small ``h``, favouring
+Algorithm 3), Perlmutter has higher bandwidth (larger effective ``h``,
+favouring Algorithm 4).
+
+This module provides the same probes for the host running the
+reproduction: a STREAM-style copy benchmark and per-(generator,
+distribution) sample-rate measurements, combined into an empirical
+estimate of ``h`` that can parameterize :class:`repro.model.MachineModel`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SketchingRNG, make_rng
+
+__all__ = ["stream_copy_bandwidth", "rng_sample_rate", "estimate_h", "RngProbe"]
+
+
+def stream_copy_bandwidth(n_elements: int = 2_000_000, repeats: int = 5) -> float:
+    """STREAM "copy" bandwidth in bytes/second (counting read + write).
+
+    Copies a float64 vector with ``dst[:] = src`` *repeats* times and
+    reports the best rate, as STREAM does, to approximate the machine's
+    sustainable bandwidth.
+    """
+    if n_elements < 1 or repeats < 1:
+        raise ValueError("n_elements and repeats must be positive")
+    src = np.random.default_rng(0).random(n_elements)
+    dst = np.empty_like(src)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        dst[:] = src
+        best = min(best, time.perf_counter() - t0)
+    return 2.0 * src.nbytes / best
+
+
+def rng_sample_rate(rng: SketchingRNG, vector_length: int = 10_000,
+                    batch_columns: int = 64, repeats: int = 5) -> float:
+    """Samples/second for short-vector generation (the paper's regime).
+
+    Generates ``(vector_length, batch_columns)`` blocks — short columns, as
+    the blocked kernels do — and reports the best rate over *repeats*.
+    """
+    if vector_length < 1 or batch_columns < 1 or repeats < 1:
+        raise ValueError("all probe sizes must be positive")
+    js = np.arange(batch_columns, dtype=np.int64)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rng.column_block_batch(0, vector_length, js)
+        best = min(best, time.perf_counter() - t0)
+    return vector_length * batch_columns / best
+
+
+@dataclass(frozen=True)
+class RngProbe:
+    """Result of probing one (generator kind, distribution) combination."""
+
+    kind: str
+    dist: str
+    samples_per_second: float
+    copy_bandwidth_bytes: float
+    h: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.kind}/{self.dist}: {self.samples_per_second:.3e} samples/s, "
+            f"copy {self.copy_bandwidth_bytes:.3e} B/s, h = {self.h:.3f}"
+        )
+
+
+def estimate_h(kind: str = "xoshiro", dist: str = "uniform", seed: int = 0,
+               vector_length: int = 10_000, element_bytes: int = 8) -> RngProbe:
+    """Estimate the paper's ``h`` on the current host.
+
+    ``h`` = (time to generate one entry) / (time to move one entry through
+    memory) = (bytes/s of copy) / (element_bytes * samples/s).  ``h < 1``
+    is the regime where on-the-fly regeneration beats reading a stored
+    sketch (Section III-A's standing assumption).
+    """
+    rng = make_rng(kind, seed, dist)
+    rate = rng_sample_rate(rng, vector_length=vector_length)
+    bw = stream_copy_bandwidth()
+    h = bw / (element_bytes * rate)
+    return RngProbe(kind=kind, dist=dist, samples_per_second=rate,
+                    copy_bandwidth_bytes=bw, h=h)

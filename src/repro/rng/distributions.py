@@ -1,0 +1,191 @@
+"""Transforms from raw random bits to sketching-matrix entries.
+
+Section III-C of the paper compares five ways of producing the entries of
+the random matrix ``S`` (Figure 4):
+
+* ``gaussian`` — standard normals via Box–Muller; statistically the gold
+  standard but by far the most expensive transform ("generating Gaussians
+  on the fly is not practical");
+* ``uniform`` — uniform over ``(-1, 1)``: "generate a random signed 32-bit
+  integer and divide it by 2^31";
+* ``uniform_scaled`` — the "(-1,1) and scaling trick": keep the *raw
+  integers* as the entries of ``S`` and fold the ``1/2^31`` factor into the
+  other operand, i.e. compute ``(S f)(A / f)`` with ``f = 2^31`` — here
+  realised as a single ``post_scale`` applied to the output, which is
+  algebraically identical;
+* ``rademacher`` — uniform over ``{+1, -1}``, representable in 8 bits; the
+  cheapest transform (a sign bit);
+* pre-generated variants of any of the above, which are the job of
+  :mod:`repro.kernels.pregen`, not of this module.
+
+Each :class:`Distribution` carries a relative generation-cost parameter
+``h_factor`` used by the performance model (the paper's ``h``: cost of one
+random number relative to one memory access), and its variance, which the
+high-level sketch API uses to normalize sketches to unit expected column
+norms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Distribution",
+    "UNIFORM",
+    "UNIFORM_SCALED",
+    "RADEMACHER",
+    "GAUSSIAN",
+    "DISTRIBUTIONS",
+    "get_distribution",
+]
+
+_TWO31 = float(2**31)
+_TWO32 = float(2**32)
+
+
+def _bits_to_uniform(bits: np.ndarray) -> np.ndarray:
+    """Map uint64 bits to uniform(-1, 1): signed low 32 bits divided by 2^31."""
+    i32 = (bits & np.uint64(0xFFFFFFFF)).astype(np.uint32).view(np.int32)
+    return i32.astype(np.float64) / _TWO31
+
+
+def _bits_to_uniform_scaled(bits: np.ndarray) -> np.ndarray:
+    """The scaling trick: the raw signed 32-bit integers as float64.
+
+    Callers must multiply the final product by ``post_scale = 2**-31``
+    (equivalently, pre-scale ``A``); the integer-valued entries make the
+    transform a plain dtype conversion.
+    """
+    i32 = (bits & np.uint64(0xFFFFFFFF)).astype(np.uint32).view(np.int32)
+    return i32.astype(np.float64)
+
+
+def _bits_to_rademacher(bits: np.ndarray) -> np.ndarray:
+    """Map uint64 bits to {-1.0, +1.0} from a single bit.
+
+    Bit 33 is used rather than bit 0 because the low bits of some
+    multiplicative generators are the weakest; for Philox/xoshiro** any bit
+    is fine, so the choice is just a fixed convention.
+    """
+    sign_bit = ((bits >> np.uint64(33)) & np.uint64(1)).astype(np.float64)
+    return 2.0 * sign_bit - 1.0
+
+
+def _bits_to_gaussian(bits: np.ndarray) -> np.ndarray:
+    """Map uint64 bits to N(0, 1) via Box–Muller on the two 32-bit halves.
+
+    ``u1`` is offset by half an ulp so it is strictly positive (the log is
+    finite); each 64-bit word yields exactly one normal deviate, keeping the
+    sample-count bookkeeping identical across distributions.
+    """
+    hi = (bits >> np.uint64(32)).astype(np.float64)
+    lo = (bits & np.uint64(0xFFFFFFFF)).astype(np.float64)
+    u1 = (hi + 0.5) / _TWO32
+    u2 = (lo + 0.5) / _TWO32
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A named transform from raw ``uint64`` bits to sketch entries.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"uniform"``, ``"rademacher"``, …).
+    transform:
+        Elementwise map ``uint64 ndarray -> float64 ndarray``.
+    variance:
+        Variance of one entry *after* ``post_scale`` is applied; used to
+        normalize sketches (``S / sqrt(d * variance)`` has unit expected
+        column norms).
+    h_factor:
+        Relative cost of generating one entry, with the plain uniform
+        transform as 1.0.  Feeds the paper's ``h`` parameter in the
+        roofline model (Section III-A); calibrated defaults reflect the
+        transform arithmetic (Gaussian pays log/sqrt/cos, the scaling trick
+        and +-1 are cheaper than the divide).
+    post_scale:
+        Scalar the *product* must be multiplied by; 1.0 except for the
+        scaling trick.
+    bits_per_entry:
+        Storage width the paper attributes to the entry type (Figure 4
+        notes +-1 can use 8-bit integers); used by memory accounting for
+        pre-generated sketches.
+    """
+
+    name: str
+    transform: Callable[[np.ndarray], np.ndarray]
+    variance: float
+    h_factor: float
+    post_scale: float = 1.0
+    bits_per_entry: int = 32
+
+    def sample_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Apply the transform to an array of raw bits."""
+        return self.transform(bits)
+
+    def normalization(self, d: int) -> float:
+        """Factor making a ``d``-row sketch an (approximate) isometry.
+
+        Scaling ``S`` by ``1 / sqrt(d * variance)`` gives
+        ``E[||S x||^2] = ||x||^2``.
+        """
+        if d <= 0:
+            raise ConfigError(f"sketch size d must be positive, got {d}")
+        return 1.0 / float(np.sqrt(d * self.variance))
+
+
+UNIFORM = Distribution(
+    name="uniform",
+    transform=_bits_to_uniform,
+    variance=1.0 / 3.0,
+    h_factor=1.0,
+    bits_per_entry=32,
+)
+
+UNIFORM_SCALED = Distribution(
+    name="uniform_scaled",
+    transform=_bits_to_uniform_scaled,
+    variance=1.0 / 3.0,  # after post_scale
+    h_factor=0.75,
+    post_scale=2.0**-31,
+    bits_per_entry=32,
+)
+
+RADEMACHER = Distribution(
+    name="rademacher",
+    transform=_bits_to_rademacher,
+    variance=1.0,
+    h_factor=0.6,
+    bits_per_entry=8,
+)
+
+GAUSSIAN = Distribution(
+    name="gaussian",
+    transform=_bits_to_gaussian,
+    variance=1.0,
+    h_factor=8.0,
+    bits_per_entry=32,
+)
+
+DISTRIBUTIONS: Dict[str, Distribution] = {
+    d.name: d for d in (UNIFORM, UNIFORM_SCALED, RADEMACHER, GAUSSIAN)
+}
+
+
+def get_distribution(name: str | Distribution) -> Distribution:
+    """Look up a distribution by name (pass-through for instances)."""
+    if isinstance(name, Distribution):
+        return name
+    try:
+        return DISTRIBUTIONS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown distribution {name!r}; available: {sorted(DISTRIBUTIONS)}"
+        ) from None

@@ -1,0 +1,85 @@
+"""Vectorized SplitMix64 — the library's seeding and mixing primitive.
+
+SplitMix64 (Steele, Lea & Flood, 2014) is the generator Vigna recommends
+for seeding the xoshiro family.  We use it in three roles:
+
+1. expanding a user seed into xoshiro256** initial states,
+2. hashing ``(seed, block-row offset r, sparse row j)`` tuples into the
+   per-checkpoint states of the blocked xoshiro generator (Section IV-B of
+   the paper: "we can set the state to be the row and column coordinate of
+   the entry ... utilizing blocks as checkpoints"), and
+3. deriving Philox keys from user seeds.
+
+All functions operate elementwise on ``uint64`` arrays with NumPy's
+wrap-around arithmetic, so the whole seeding path is vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GOLDEN_GAMMA", "splitmix64", "splitmix64_stream", "mix_key"]
+
+#: The odd 64-bit constant 2^64 / phi used as the SplitMix64 increment.
+GOLDEN_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray | int) -> np.ndarray:
+    """Apply the SplitMix64 finalizer to *x* (elementwise).
+
+    This is the output ("mix") function of SplitMix64: a bijective avalanche
+    permutation of ``uint64``.  Passing consecutive integers through it
+    yields the canonical SplitMix64 stream when offset by
+    :data:`GOLDEN_GAMMA` multiples, which is exactly what
+    :func:`splitmix64_stream` does.
+    """
+    z = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = (z + GOLDEN_GAMMA) if z.ndim == 0 else z + GOLDEN_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _M1
+        z = (z ^ (z >> np.uint64(27))) * _M2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def splitmix64_stream(seed: int, count: int) -> np.ndarray:
+    """First *count* outputs of SplitMix64 seeded with *seed* (vectorized).
+
+    Equivalent to repeatedly advancing the scalar generator, because the
+    SplitMix64 state after ``k`` steps is ``seed + k * GOLDEN_GAMMA``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        # The scalar generator increments its state by GOLDEN_GAMMA and
+        # then mixes, so output k mixes state ``seed + (k+1) * GAMMA``.
+        states = base + GOLDEN_GAMMA * np.arange(1, count + 1, dtype=np.uint64)
+        z = (states ^ (states >> np.uint64(30))) * _M1
+        z = (z ^ (z >> np.uint64(27))) * _M2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def mix_key(*parts: int | np.ndarray) -> np.ndarray:
+    """Hash a tuple of integers (or integer arrays) into one ``uint64``.
+
+    Broadcasting applies: ``mix_key(seed, r, js)`` with a vector ``js``
+    returns a vector of per-``j`` keys.  Each part is folded in through a
+    SplitMix64 round, so distinct tuples map to well-separated states; this
+    is the checkpoint-key function for the blocked xoshiro generator.
+    """
+    if not parts:
+        raise ValueError("mix_key needs at least one part")
+    acc = np.uint64(0x243F6A8885A308D3)  # pi fractional bits: arbitrary non-zero
+    with np.errstate(over="ignore"):
+        for p in parts:
+            arr = np.asarray(p)
+            if arr.dtype.kind not in "iu":
+                raise TypeError(f"mix_key parts must be integers, got {arr.dtype}")
+            u = arr.astype(np.int64).view(np.uint64) if arr.dtype.kind == "i" else arr.astype(np.uint64)
+            acc = splitmix64(acc ^ u)
+    return acc

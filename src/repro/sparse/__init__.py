@@ -1,0 +1,100 @@
+"""From-scratch sparse-matrix substrate.
+
+Formats: :class:`COOMatrix` (construction/interchange), :class:`CSCMatrix`
+(the paper's default input, Algorithm 3's format), :class:`CSRMatrix`, and
+:class:`BlockedCSR` (Algorithm 4's vertical-block auxiliary structure).
+Plus conversions with Section III-B cost accounting, reference SpMV/SpMM
+baselines, MatrixMarket I/O, and the synthetic pattern generators behind
+the surrogate test suites.
+"""
+
+from .arithmetic import (
+    add,
+    diagonal,
+    elementwise_multiply,
+    gram,
+    hstack,
+    matmul,
+    prune,
+    scale,
+    vstack,
+)
+from .blocked_csr import BlockedCSR
+from .convert import ConversionStats, blocked_csr_workspace_bytes, csc_to_blocked_csr
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .generators import (
+    abnormal_a,
+    abnormal_b,
+    abnormal_c,
+    banded_sparse,
+    fixed_col_nnz_sparse,
+    near_rank_deficient,
+    pattern_density_grid,
+    rail_like_sparse,
+    random_sparse,
+    setcover_sparse,
+)
+from .io_mm import iter_matrix_market_entries, read_matrix_market, write_matrix_market
+from .linalg import column_norms, condition_number, frobenius_norm, scale_columns
+from .reorder import (
+    pattern_bandwidth,
+    permute,
+    rcm_ordering,
+    symmetrize_pattern,
+)
+from .ops import (
+    csr_times_dense,
+    dense_times_csc,
+    dense_times_csc_reference,
+    rmatvec_csc,
+    spmv_csc,
+    spmv_csr,
+)
+
+__all__ = [
+    "add",
+    "diagonal",
+    "elementwise_multiply",
+    "gram",
+    "hstack",
+    "matmul",
+    "prune",
+    "scale",
+    "vstack",
+    "BlockedCSR",
+    "ConversionStats",
+    "blocked_csr_workspace_bytes",
+    "csc_to_blocked_csr",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "abnormal_a",
+    "abnormal_b",
+    "abnormal_c",
+    "banded_sparse",
+    "fixed_col_nnz_sparse",
+    "near_rank_deficient",
+    "pattern_density_grid",
+    "rail_like_sparse",
+    "random_sparse",
+    "setcover_sparse",
+    "iter_matrix_market_entries",
+    "read_matrix_market",
+    "write_matrix_market",
+    "column_norms",
+    "condition_number",
+    "frobenius_norm",
+    "scale_columns",
+    "pattern_bandwidth",
+    "permute",
+    "rcm_ordering",
+    "symmetrize_pattern",
+    "csr_times_dense",
+    "dense_times_csc",
+    "dense_times_csc_reference",
+    "rmatvec_csc",
+    "spmv_csc",
+    "spmv_csr",
+]

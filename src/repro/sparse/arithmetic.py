@@ -1,0 +1,210 @@
+"""Sparse-matrix arithmetic over the from-scratch formats.
+
+Support operations a downstream user of the sketching library needs when
+preparing inputs: linear combinations, elementwise scaling, transpose
+products, sparse-times-sparse multiplication, and hygiene utilities
+(pruning explicit zeros, extracting diagonals, stacking).  Everything is
+implemented against :class:`~repro.sparse.CSCMatrix` with vectorized
+NumPy (no scipy), and tested against dense references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .coo import COOMatrix
+from .csc import CSCMatrix
+
+__all__ = [
+    "add",
+    "scale",
+    "elementwise_multiply",
+    "matmul",
+    "gram",
+    "prune",
+    "diagonal",
+    "hstack",
+    "vstack",
+]
+
+
+def _same_shape(A: CSCMatrix, B: CSCMatrix) -> None:
+    if A.shape != B.shape:
+        raise ShapeError(f"shape mismatch: {A.shape} vs {B.shape}")
+
+
+def add(A: CSCMatrix, B: CSCMatrix, alpha: float = 1.0,
+        beta: float = 1.0) -> CSCMatrix:
+    """Linear combination ``alpha * A + beta * B`` (duplicates summed).
+
+    Entries that cancel exactly are kept as stored zeros only if both
+    operands stored them; exact numerical cancellations are pruned.
+    """
+    _same_shape(A, B)
+    a, b = A.to_coo(), B.to_coo()
+    out = COOMatrix(
+        A.shape,
+        np.concatenate([a.rows, b.rows]),
+        np.concatenate([a.cols, b.cols]),
+        np.concatenate([alpha * a.vals, beta * b.vals]),
+        check=False,
+    ).to_csc()
+    return prune(out)
+
+
+def scale(A: CSCMatrix, alpha: float) -> CSCMatrix:
+    """``alpha * A`` as a new matrix (pattern shared semantics: copies)."""
+    return CSCMatrix(A.shape, A.indptr.copy(), A.indices.copy(),
+                     alpha * A.data, check=False)
+
+
+def elementwise_multiply(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    """Hadamard product ``A .* B`` — nonzero only where both are stored."""
+    _same_shape(A, B)
+    m, n = A.shape
+    # Match stored coordinates via sorted linear keys.
+    a, b = A.to_coo(), B.to_coo()
+    ka = a.cols * np.int64(m) + a.rows
+    kb = b.cols * np.int64(m) + b.rows
+    oa, ob = np.argsort(ka, kind="stable"), np.argsort(kb, kind="stable")
+    ka, va = ka[oa], a.vals[oa]
+    kb, vb = kb[ob], b.vals[ob]
+    ia = np.searchsorted(kb, ka)
+    ia_valid = (ia < kb.size)
+    hit = np.zeros(ka.size, dtype=bool)
+    hit[ia_valid] = kb[ia[ia_valid]] == ka[ia_valid]
+    keys = ka[hit]
+    vals = va[hit] * vb[ia[hit]]
+    return COOMatrix((m, n), keys % m, keys // m, vals, check=False).to_csc()
+
+
+def matmul(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    """Sparse-sparse product ``A @ B`` (classical column-wise SpGEMM).
+
+    Column ``j`` of the result is the sparse linear combination of ``A``'s
+    columns selected by column ``j`` of ``B`` — the Gustavson formulation,
+    accumulated through a dense scatter workspace of length ``m``.
+    """
+    m, k = A.shape
+    k2, n = B.shape
+    if k != k2:
+        raise ShapeError(f"inner dimensions differ: {A.shape} @ {B.shape}")
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    out_indices: list[np.ndarray] = []
+    out_data: list[np.ndarray] = []
+    workspace = np.zeros(m, dtype=np.float64)
+    touched = np.zeros(m, dtype=bool)
+    for j in range(n):
+        rows_b, vals_b = B.col(j)
+        cols_touched: list[np.ndarray] = []
+        for t in range(rows_b.size):
+            ka_rows, ka_vals = A.col(int(rows_b[t]))
+            if ka_rows.size:
+                workspace[ka_rows] += vals_b[t] * ka_vals
+                new = ~touched[ka_rows]
+                touched[ka_rows] = True
+                cols_touched.append(ka_rows[new])
+        if cols_touched:
+            nz_rows = np.sort(np.concatenate(cols_touched))
+            vals = workspace[nz_rows]
+            keep = vals != 0.0
+            nz_rows, vals = nz_rows[keep], vals[keep].copy()
+            out_indices.append(nz_rows)
+            out_data.append(vals)
+            workspace[np.concatenate(cols_touched)] = 0.0
+            touched[np.concatenate(cols_touched)] = False
+        else:
+            out_indices.append(np.empty(0, dtype=np.int64))
+            out_data.append(np.empty(0))
+        out_indptr[j + 1] = out_indptr[j] + out_indices[-1].size
+    return CSCMatrix(
+        (m, n), out_indptr,
+        np.concatenate(out_indices) if out_indices else np.empty(0, np.int64),
+        np.concatenate(out_data) if out_data else np.empty(0),
+        check=False,
+    )
+
+
+def gram(A: CSCMatrix) -> CSCMatrix:
+    """The Gram matrix ``A^T A`` (symmetric ``n x n``)."""
+    return matmul(A.transpose(), A)
+
+
+def prune(A: CSCMatrix, tol: float = 0.0) -> CSCMatrix:
+    """Drop stored entries with ``|value| <= tol`` (default: exact zeros)."""
+    if tol < 0:
+        raise ShapeError(f"tol must be non-negative, got {tol}")
+    keep = np.abs(A.data) > tol
+    if keep.all():
+        return CSCMatrix(A.shape, A.indptr.copy(), A.indices.copy(),
+                         A.data.copy(), check=False)
+    counts = np.zeros(A.shape[1], dtype=np.int64)
+    n = A.shape[1]
+    for j in range(n):
+        lo, hi = A.indptr[j], A.indptr[j + 1]
+        counts[j] = int(keep[lo:hi].sum())
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSCMatrix(A.shape, indptr, A.indices[keep], A.data[keep],
+                     check=False)
+
+
+def diagonal(A: CSCMatrix) -> np.ndarray:
+    """The main diagonal as a dense vector of length ``min(m, n)``."""
+    m, n = A.shape
+    k = min(m, n)
+    out = np.zeros(k, dtype=np.float64)
+    for j in range(k):
+        rows, vals = A.col(j)
+        pos = np.searchsorted(rows, j)
+        if pos < rows.size and rows[pos] == j:
+            out[j] = vals[pos]
+    return out
+
+
+def hstack(blocks: list[CSCMatrix]) -> CSCMatrix:
+    """Concatenate matrices horizontally (shared row count)."""
+    if not blocks:
+        raise ShapeError("hstack needs at least one block")
+    m = blocks[0].shape[0]
+    for b in blocks:
+        if b.shape[0] != m:
+            raise ShapeError("hstack blocks must share the row count")
+    indptr = [np.zeros(1, dtype=np.int64)]
+    offset = 0
+    for b in blocks:
+        indptr.append(b.indptr[1:] + offset)
+        offset += b.nnz
+    return CSCMatrix(
+        (m, sum(b.shape[1] for b in blocks)),
+        np.concatenate(indptr),
+        np.concatenate([b.indices for b in blocks]) if offset else np.empty(0, np.int64),
+        np.concatenate([b.data for b in blocks]) if offset else np.empty(0),
+        check=False,
+    )
+
+
+def vstack(blocks: list[CSCMatrix]) -> CSCMatrix:
+    """Concatenate matrices vertically (shared column count)."""
+    if not blocks:
+        raise ShapeError("vstack needs at least one block")
+    n = blocks[0].shape[1]
+    for b in blocks:
+        if b.shape[1] != n:
+            raise ShapeError("vstack blocks must share the column count")
+    rows, cols, vals = [], [], []
+    offset = 0
+    for b in blocks:
+        coo = b.to_coo()
+        rows.append(coo.rows + offset)
+        cols.append(coo.cols)
+        vals.append(coo.vals)
+        offset += b.shape[0]
+    return COOMatrix(
+        (offset, n),
+        np.concatenate(rows) if rows else np.empty(0, np.int64),
+        np.concatenate(cols) if cols else np.empty(0, np.int64),
+        np.concatenate(vals) if vals else np.empty(0),
+        check=False,
+    ).to_csc()

@@ -1,0 +1,131 @@
+"""Format conversions with the cost accounting of Section III-B.
+
+The conversion that matters to the paper is CSC -> blocked CSR, the setup
+step Algorithm 4 pays and Algorithm 3 does not (Tables IV and VI report it
+as a separate "conversion time" column).  Section III-B gives its costs:
+
+* sequential: ``O(ceil(n / b_n) * m + nnz(A))``;
+* parallel over T threads: ``O(ceil(n / (T b_n)) * m + max_t nnz(A_t))``;
+* workspace: O(m) per in-flight block for the per-row counters.
+
+Both the sequential and the chunked ("parallel schedule") constructions
+are implemented; the chunked form partitions blocks across T logical
+workers and reports the critical-path cost a T-thread run would see, which
+feeds the scaling model.  Results of the two constructions are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.timing import Timer
+from ..utils.validation import check_positive_int
+from .blocked_csr import BlockedCSR
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+
+__all__ = ["ConversionStats", "csc_to_blocked_csr", "blocked_csr_workspace_bytes"]
+
+
+@dataclass(frozen=True)
+class ConversionStats:
+    """Accounting for one CSC -> blocked CSR conversion.
+
+    ``op_count`` follows the Section III-B cost expression (block-pointer
+    passes plus entry moves); ``critical_path_ops`` is the max per-worker
+    cost under the requested thread count, and ``workspace_bytes`` is the
+    O(m)-per-block counter storage.
+    """
+
+    seconds: float
+    op_count: int
+    critical_path_ops: int
+    workspace_bytes: int
+    n_blocks: int
+    threads: int
+
+
+def _csc_block_to_csr(block: CSCMatrix) -> CSRMatrix:
+    """Transpose one vertical CSC block's layout into CSR.
+
+    This is the per-block body of the conversion: a counting pass over the
+    block's rows (the O(m) term) followed by a stable scatter of the
+    entries (the O(nnz) term).
+    """
+    m, width = block.shape
+    nnz = block.nnz
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.add.at(indptr, block.indices + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    cols = np.repeat(np.arange(width, dtype=np.int64), np.diff(block.indptr))
+    order = np.argsort(block.indices, kind="stable")
+    return CSRMatrix((m, width), indptr, cols[order], block.data[order],
+                     check=False)
+
+
+def csc_to_blocked_csr(A: CSCMatrix, b_n: int, *, threads: int = 1) -> tuple[BlockedCSR, ConversionStats]:
+    """Partition ``A`` into width-``b_n`` vertical blocks, each in CSR.
+
+    Parameters
+    ----------
+    A:
+        Input matrix in CSC (assumed "given for free", as in the paper).
+    b_n:
+        Vertical block width (Algorithm 1's ``b_n``); the last block may be
+        narrower.
+    threads:
+        Logical worker count for the *accounted* parallel schedule.  The
+        construction itself executes sequentially (results are schedule-
+        independent); ``critical_path_ops`` reports the parallel cost.
+
+    Returns
+    -------
+    (blocked, stats):
+        The :class:`BlockedCSR` and its :class:`ConversionStats`.
+    """
+    b_n = check_positive_int(b_n, "b_n")
+    threads = check_positive_int(threads, "threads")
+    m, n = A.shape
+    if n > 0:
+        block_starts = np.asarray(
+            sorted(set(range(0, n, b_n)) | {n}), dtype=np.int64
+        )
+    else:
+        block_starts = np.asarray([0, 0], dtype=np.int64)
+
+    blocks: list[CSRMatrix] = []
+    per_block_ops: list[int] = []
+    with Timer() as t:
+        for b in range(block_starts.size - 1):
+            j0, j1 = int(block_starts[b]), int(block_starts[b + 1])
+            blk = A.col_block(j0, j1)
+            blocks.append(_csc_block_to_csr(blk))
+            per_block_ops.append(m + blk.nnz)
+
+    n_blocks = len(blocks)
+    op_count = sum(per_block_ops)
+    # Parallel schedule: contiguous block ranges balanced across workers
+    # (the paper "assign[s] blocks to each thread individually").
+    critical = 0
+    if n_blocks:
+        chunk = -(-n_blocks // threads)
+        for w in range(0, n_blocks, chunk):
+            critical = max(critical, sum(per_block_ops[w:w + chunk]))
+    stats = ConversionStats(
+        seconds=t.elapsed,
+        op_count=op_count,
+        critical_path_ops=critical,
+        workspace_bytes=8 * m * min(threads, max(n_blocks, 1)),
+        n_blocks=n_blocks,
+        threads=threads,
+    )
+    return BlockedCSR((m, n), block_starts, blocks, check=False), stats
+
+
+def blocked_csr_workspace_bytes(m: int, threads: int = 1) -> int:
+    """O(m) per-thread counter workspace the construction needs (int64)."""
+    m = check_positive_int(m, "m")
+    threads = check_positive_int(threads, "threads")
+    return 8 * m * threads

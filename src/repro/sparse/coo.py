@@ -1,0 +1,137 @@
+"""Coordinate (COO) sparse format — the construction/interchange format.
+
+COO is the natural target for matrix generators and the MatrixMarket
+reader; the compute kernels never consume it directly.  Conversions to the
+compressed formats (:class:`repro.sparse.CSCMatrix`,
+:class:`repro.sparse.CSRMatrix`) sort and sum duplicates, so generators can
+emit entries in any order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .csc import CSCMatrix
+    from .csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix as parallel (row, col, value) coordinate arrays.
+
+    Duplicate coordinates are permitted and are summed on conversion to a
+    compressed format, matching the conventions of MatrixMarket and of
+    scipy's COO.
+    """
+
+    def __init__(self, shape: tuple[int, int], rows: np.ndarray,
+                 cols: np.ndarray, vals: np.ndarray, *, check: bool = True) -> None:
+        m, n = shape
+        if m < 0 or n < 0:
+            raise ShapeError(f"shape must be non-negative, got {shape}")
+        self.shape = (int(m), int(n))
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        if check:
+            self.validate()
+
+    # -- invariants ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`FormatError` when the triplet arrays are inconsistent."""
+        if not (self.rows.ndim == self.cols.ndim == self.vals.ndim == 1):
+            raise FormatError("rows, cols, vals must all be 1-D")
+        if not (self.rows.size == self.cols.size == self.vals.size):
+            raise FormatError(
+                f"triplet arrays must have equal length, got "
+                f"{self.rows.size}/{self.cols.size}/{self.vals.size}"
+            )
+        m, n = self.shape
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= m:
+                raise FormatError(f"row indices out of range [0, {m})")
+            if self.cols.min() < 0 or self.cols.max() >= n:
+                raise FormatError(f"column indices out of range [0, {n})")
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* entries (duplicates counted separately)."""
+        return int(self.vals.size)
+
+    @property
+    def density(self) -> float:
+        """Stored entries divided by ``m * n`` (0 for an empty shape)."""
+        m, n = self.shape
+        return self.nnz / (m * n) if m and n else 0.0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Extract the nonzero pattern of a dense array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ShapeError(f"dense input must be 2-D, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    # -- conversions --------------------------------------------------------
+
+    def coalesce(self) -> "COOMatrix":
+        """Return an equivalent COO with duplicates summed, sorted by (col, row)."""
+        m, n = self.shape
+        if self.nnz == 0:
+            return COOMatrix(self.shape, self.rows[:0], self.cols[:0], self.vals[:0])
+        # Column-major linear keys so the result is CSC-construction ready.
+        keys = self.cols * np.int64(m) + self.rows
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = self.vals[order]
+        uniq_keys, start = np.unique(keys, return_index=True)
+        summed = np.add.reduceat(vals, start)
+        return COOMatrix(
+            self.shape,
+            uniq_keys % m,
+            uniq_keys // m,
+            summed,
+            check=False,
+        )
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to CSC (duplicates summed, rows sorted within columns)."""
+        from .csc import CSCMatrix
+
+        c = self.coalesce()
+        m, n = self.shape
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, c.cols + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSCMatrix(self.shape, indptr, c.rows, c.vals, check=False)
+
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to CSR (duplicates summed, columns sorted within rows)."""
+        return self.to_csc().to_csr()
+
+    def to_dense(self) -> np.ndarray:
+        """Realize as a dense float64 array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        """The transpose, still in COO."""
+        m, n = self.shape
+        return COOMatrix((n, m), self.cols.copy(), self.rows.copy(),
+                         self.vals.copy(), check=False)
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,180 @@
+"""Compressed Sparse Row (CSR).
+
+Algorithm 4 consumes its vertical blocks in CSR ("within each block, the
+entries will be stored in CSR format", Section II-B2) because the *jki*
+loop order walks rows of the sparse operand.  This class is the row-major
+mirror of :class:`repro.sparse.CSCMatrix` and is also what the library
+baselines use when emulating MKL's sparse-times-dense (which, per Section
+V-A, stores ``A`` in CSR).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coo import COOMatrix
+    from .csc import CSCMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Sparse matrix in compressed-sparse-row layout.
+
+    Attributes
+    ----------
+    shape:
+        ``(m, n)`` logical dimensions.
+    indptr:
+        ``int64`` array of length ``m + 1``; row ``i`` occupies the slice
+        ``indptr[i]:indptr[i+1]`` of ``indices``/``data``.
+    indices:
+        Column index of each stored entry, strictly increasing within a row.
+    data:
+        ``float64`` stored values.
+    """
+
+    def __init__(self, shape: tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray, *, check: bool = True) -> None:
+        m, n = shape
+        if m < 0 or n < 0:
+            raise ShapeError(f"shape must be non-negative, got {shape}")
+        self.shape = (int(m), int(n))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if check:
+            self.validate()
+
+    # -- invariants ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`FormatError` on any CSR structural violation."""
+        m, n = self.shape
+        if self.indptr.ndim != 1 or self.indptr.size != m + 1:
+            raise FormatError(f"indptr must have length m+1 = {m + 1}")
+        if self.indptr[0] != 0:
+            raise FormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.size != nnz or self.data.size != nnz:
+            raise FormatError(
+                f"indices/data length must equal indptr[-1] = {nnz}, "
+                f"got {self.indices.size}/{self.data.size}"
+            )
+        if nnz:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise FormatError(f"column indices out of range [0, {n})")
+        for i in range(m):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            row_cols = self.indices[lo:hi]
+            if row_cols.size > 1 and np.any(np.diff(row_cols) <= 0):
+                raise FormatError(
+                    f"column indices in row {i} must be strictly increasing"
+                )
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def density(self) -> float:
+        """Stored entries divided by ``m * n``."""
+        m, n = self.shape
+        return self.nnz / (m * n) if m and n else 0.0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes held by the index and value arrays."""
+        return int(self.indptr.nbytes + self.indices.nbytes + self.data.nbytes)
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row, length ``m``."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i`` as zero-copy views."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def nonempty_rows(self) -> np.ndarray:
+        """Indices of rows holding at least one stored entry.
+
+        Algorithm 4 line 4 skips all-zero rows of the block; this is the
+        vectorized form of that test.
+        """
+        return np.nonzero(np.diff(self.indptr) > 0)[0]
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Compress the nonzero pattern of a dense array."""
+        from .coo import COOMatrix
+
+        return COOMatrix.from_dense(dense).to_csr()
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from a ``scipy.sparse`` matrix (test interoperability)."""
+        s = mat.tocsr()
+        s.sort_indices()
+        s.sum_duplicates()
+        return cls(s.shape, s.indptr.astype(np.int64),
+                   s.indices.astype(np.int64), s.data.astype(np.float64),
+                   check=False)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_coo(self) -> "COOMatrix":
+        """Expand to coordinate format."""
+        from .coo import COOMatrix
+
+        m = self.shape[0]
+        rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
+        return COOMatrix(self.shape, rows, self.indices.copy(),
+                         self.data.copy(), check=False)
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to CSC via a stable counting transpose of the layout."""
+        from .csc import CSCMatrix
+
+        m, n = self.shape
+        nnz = self.nnz
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, self.indices + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
+        order = np.argsort(self.indices, kind="stable")
+        return CSCMatrix((m, n), indptr, rows[order], self.data[order],
+                         check=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Realize as a dense float64 array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        m = self.shape[0]
+        for i in range(m):
+            cols, vals = self.row(i)
+            out[i, cols] = vals
+        return out
+
+    def to_scipy(self):
+        """Export to ``scipy.sparse.csr_matrix`` (test interoperability)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.3e})"
+        )

@@ -1,0 +1,385 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on SuiteSparse collection matrices (Tables I and VIII)
+plus three constructed "abnormal" patterns (Table VI).  The collection is
+not available offline, so this module provides deterministic generators for
+each *structure class* the test matrices belong to; the surrogate suite in
+:mod:`repro.workloads` instantiates them with the published dimensions.
+
+Structure classes
+-----------------
+* :func:`random_sparse` — uniform iid pattern with density ``rho``; the
+  model matrix of the paper's analysis (Section III-A assumes "any
+  sub-matrix will also have a density of rho").
+* :func:`fixed_col_nnz_sparse` — exactly ``k`` entries per column with
+  values +-1, the shape of simplicial-complex boundary matrices
+  (mk-12, ch7-9-b3, shar_te2-b2, cis-n4c6-b4 all have constant or
+  near-constant column counts and +-1 values).
+* :func:`banded_sparse` — nonzeros clustered around the diagonal band, the
+  FEM profile of mesh_deform.
+* :func:`abnormal_a` / :func:`abnormal_b` / :func:`abnormal_c` — Table VI's
+  exotic patterns: every 1000th **row** dense; nonzeros concentrated in the
+  middle-third **vertical block**; every 1000th **column** dense.
+* :func:`setcover_sparse` — 0/1 entries, a few per column, heavy-tailed row
+  usage: the profile of the rail* LP matrices.
+* :func:`near_rank_deficient` — plants (near-)duplicate columns to drive
+  the condition number to ~1e14+, mimicking specular / connectus /
+  landmark, the matrices that force SAP-SVD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils.validation import (
+    check_choice,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+)
+from .coo import COOMatrix
+from .csc import CSCMatrix
+
+__all__ = [
+    "random_sparse",
+    "fixed_col_nnz_sparse",
+    "banded_sparse",
+    "abnormal_a",
+    "abnormal_b",
+    "abnormal_c",
+    "setcover_sparse",
+    "near_rank_deficient",
+    "rail_like_sparse",
+    "pattern_density_grid",
+]
+
+_VALUE_KINDS = ("uniform", "gaussian", "pm1", "ones")
+
+
+def _values(rng: np.random.Generator, count: int, kind: str) -> np.ndarray:
+    """Draw *count* nonzero values of the requested kind."""
+    check_choice(kind, "values", _VALUE_KINDS)
+    if kind == "uniform":
+        v = rng.uniform(-1.0, 1.0, size=count)
+        # Avoid exact zeros so nnz is what the pattern says it is.
+        v[v == 0.0] = 0.5
+        return v
+    if kind == "gaussian":
+        v = rng.standard_normal(count)
+        v[v == 0.0] = 1.0
+        return v
+    if kind == "pm1":
+        return rng.choice([-1.0, 1.0], size=count)
+    return np.ones(count)
+
+
+def _unique_linear_sample(rng: np.random.Generator, space: int, count: int) -> np.ndarray:
+    """Sample *count* distinct linear indices from ``range(space)``.
+
+    Uses exact choice-without-replacement for small spaces and iterative
+    oversampling + dedup for large ones, so generation stays O(count) in
+    memory even for billion-cell patterns.
+    """
+    if count > space:
+        raise ConfigError(f"cannot place {count} nonzeros in {space} cells")
+    if space <= 4 * count or space <= 1 << 22:
+        return rng.choice(space, size=count, replace=False).astype(np.int64)
+    picked = np.unique(rng.integers(0, space, size=int(count * 1.2), dtype=np.int64))
+    while picked.size < count:
+        extra = rng.integers(0, space, size=count, dtype=np.int64)
+        picked = np.unique(np.concatenate([picked, extra]))
+    rng.shuffle(picked)
+    return picked[:count]
+
+
+def random_sparse(m: int, n: int, density: float, seed: int = 0,
+                  values: str = "uniform") -> CSCMatrix:
+    """Uniform iid sparsity pattern with the given density.
+
+    The number of stored entries is ``round(m * n * density)`` exactly (not
+    binomial), so benchmarks comparing algorithms at equal nnz are fair.
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    density = check_probability(density, "density")
+    rng = np.random.default_rng(seed)
+    nnz = int(round(m * n * density))
+    lin = _unique_linear_sample(rng, m * n, nnz)
+    rows = lin % m
+    cols = lin // m
+    return COOMatrix((m, n), rows, cols, _values(rng, nnz, values)).to_csc()
+
+
+def fixed_col_nnz_sparse(m: int, n: int, k: int, seed: int = 0,
+                         values: str = "pm1") -> CSCMatrix:
+    """Exactly ``k`` nonzeros in every column (boundary-matrix profile).
+
+    Row positions are drawn uniformly without replacement per column;
+    default values are +-1 as in simplicial boundary operators.
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if k > m:
+        raise ConfigError(f"k={k} nonzeros per column exceed m={m} rows")
+    rng = np.random.default_rng(seed)
+    # Vectorized sampling without replacement per column via argpartition
+    # of random keys would need an (m, n) buffer; loop in manageable chunks.
+    rows = np.empty(k * n, dtype=np.int64)
+    for j in range(n):
+        rows[j * k:(j + 1) * k] = rng.choice(m, size=k, replace=False)
+    cols = np.repeat(np.arange(n, dtype=np.int64), k)
+    return COOMatrix((m, n), rows, cols, _values(rng, k * n, values)).to_csc()
+
+
+def banded_sparse(m: int, n: int, density: float, bandwidth_frac: float = 0.05,
+                  seed: int = 0, values: str = "uniform") -> CSCMatrix:
+    """Nonzeros clustered in a band around the stretched diagonal (FEM profile).
+
+    Column ``j``'s entries are drawn near row ``j * m / n`` within a window
+    of half-width ``bandwidth_frac * m``; the per-column count is set so the
+    overall density matches *density*.
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    density = check_probability(density, "density")
+    bandwidth_frac = check_in_range(bandwidth_frac, "bandwidth_frac", 0.0, 1.0,
+                                    inclusive=False)
+    rng = np.random.default_rng(seed)
+    half = max(1, int(bandwidth_frac * m))
+    k = max(1, int(round(density * m)))
+    k = min(k, 2 * half + 1)
+    rows_list = []
+    for j in range(n):
+        center = int(j * m / n)
+        lo = max(0, center - half)
+        hi = min(m, center + half + 1)
+        rows_list.append(rng.choice(hi - lo, size=min(k, hi - lo),
+                                    replace=False) + lo)
+    rows = np.concatenate(rows_list)
+    cols = np.repeat(np.arange(n, dtype=np.int64),
+                     [r.size for r in rows_list])
+    return COOMatrix((m, n), rows, cols,
+                     _values(rng, rows.size, values)).to_csc()
+
+
+def abnormal_a(m: int, n: int, period: int = 1000, seed: int = 0,
+               values: str = "uniform") -> CSCMatrix:
+    """Table VI's Abnormal_A: every ``period``-th row dense, others zero.
+
+    Overall density is ``~1/period`` (1e-3 at the paper's period=1000).
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    period = check_positive_int(period, "period")
+    rng = np.random.default_rng(seed)
+    dense_rows = np.arange(0, m, period, dtype=np.int64)
+    rows = np.repeat(dense_rows, n)
+    cols = np.tile(np.arange(n, dtype=np.int64), dense_rows.size)
+    return COOMatrix((m, n), rows, cols,
+                     _values(rng, rows.size, values)).to_csc()
+
+
+def abnormal_b(m: int, n: int, density: float = 1e-3, middle_frac: float = 2998.0 / 3000.0,
+               seed: int = 0, values: str = "uniform") -> CSCMatrix:
+    """Table VI's Abnormal_B: nonzeros concentrated in the middle third.
+
+    A fraction *middle_frac* of the total nonzeros lands uniformly inside
+    the middle-third vertical block ``A[:, n/3 : 2n/3]``; the remainder is
+    spread uniformly over the outer two thirds.
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    if n < 3:
+        raise ConfigError(f"abnormal_b needs n >= 3 for a middle third, got n={n}")
+    density = check_probability(density, "density")
+    middle_frac = check_probability(middle_frac, "middle_frac")
+    rng = np.random.default_rng(seed)
+    nnz = int(round(m * n * density))
+    nnz_mid = int(round(nnz * middle_frac))
+    nnz_out = nnz - nnz_mid
+    j_lo, j_hi = n // 3, 2 * n // 3
+    mid_cols = np.arange(j_lo, j_hi, dtype=np.int64)
+    out_cols = np.concatenate([
+        np.arange(0, j_lo, dtype=np.int64),
+        np.arange(j_hi, n, dtype=np.int64),
+    ])
+    if mid_cols.size == 0 or out_cols.size == 0:
+        raise ConfigError("n too small to form a middle-third block")
+    lin_mid = _unique_linear_sample(rng, m * mid_cols.size, min(nnz_mid, m * mid_cols.size))
+    lin_out = _unique_linear_sample(rng, m * out_cols.size, min(nnz_out, m * out_cols.size))
+    rows = np.concatenate([lin_mid % m, lin_out % m])
+    cols = np.concatenate([mid_cols[lin_mid // m], out_cols[lin_out // m]])
+    return COOMatrix((m, n), rows, cols,
+                     _values(rng, rows.size, values)).to_csc()
+
+
+def abnormal_c(m: int, n: int, period: int = 1000, seed: int = 0,
+               values: str = "uniform") -> CSCMatrix:
+    """Table VI's Abnormal_C: every ``period``-th column dense, others zero."""
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    period = check_positive_int(period, "period")
+    rng = np.random.default_rng(seed)
+    dense_cols = np.arange(0, n, period, dtype=np.int64)
+    cols = np.repeat(dense_cols, m)
+    rows = np.tile(np.arange(m, dtype=np.int64), dense_cols.size)
+    return COOMatrix((m, n), rows, cols,
+                     _values(rng, rows.size, values)).to_csc()
+
+
+def setcover_sparse(m: int, n: int, nnz: int, seed: int = 0) -> CSCMatrix:
+    """0/1 matrix with heavy-tailed column participation (rail* profile).
+
+    Each of the *nnz* entries picks its column uniformly but its row from a
+    Zipf-flavoured distribution over a random row permutation, producing the
+    few-hot-rows/many-cold-rows look of set-covering LPs.  Every column is
+    guaranteed at least one entry (so no empty columns, which the paper
+    explicitly removed from its test matrices).
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    nnz = check_positive_int(nnz, "nnz")
+    if nnz < n:
+        raise ConfigError(f"need nnz >= n to cover all {n} columns, got {nnz}")
+    rng = np.random.default_rng(seed)
+    # Zipf-ish row weights on a shuffled identity of rows.
+    weights = 1.0 / np.arange(1, m + 1) ** 0.6
+    weights /= weights.sum()
+    perm = rng.permutation(m)
+    # One guaranteed entry per column, remainder uniform over columns.
+    cols = np.concatenate([
+        np.arange(n, dtype=np.int64),
+        rng.integers(0, n, size=nnz - n, dtype=np.int64),
+    ])
+    rows = perm[rng.choice(m, size=nnz, p=weights)]
+    coo = COOMatrix((m, n), rows, cols, np.ones(nnz)).to_csc()
+    # Duplicate (row, col) picks were summed; clamp back to 0/1 values.
+    coo.data[:] = 1.0
+    return coo
+
+
+def rail_like_sparse(m: int, n: int, nnz: int, seed: int = 0,
+                     unique_frac: float = 0.05,
+                     mix_spread: float = 2.5) -> CSCMatrix:
+    """Rail-LP surrogate: hierarchically overlapping column supports.
+
+    The rail* matrices are set-covering LPs whose columns (railway duty
+    paths) share segments at multiple scales; that nested overlap is what
+    makes ``cond(A D)`` stay in the hundreds even after column
+    normalization (Table VIII) and drives LSQR-D to hundreds-to-thousands
+    of iterations (Table IX).  This generator reproduces the mechanism
+    directly: a binary hierarchy of column groups, each sharing a random
+    row set, plus a small per-column unique part (*unique_frac* of the
+    entries) and a smooth per-column core-vs-unique mix gradient
+    (*mix_spread*) that spreads the normalized spectrum.
+
+    Deviation from the originals (documented in DESIGN.md): shared entries
+    carry positive weights rather than exact 0/1 values — at reduced scale
+    this is required to reach the published conditioning; the sparsity
+    structure, positivity, and column-overlap mechanism are preserved.
+    Larger *mix_spread* means worse conditioning (~``exp(mix_spread)``
+    times the base overlap conditioning).
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    nnz = check_positive_int(nnz, "nnz")
+    unique_frac = check_in_range(unique_frac, "unique_frac", 0.0, 1.0)
+    if mix_spread < 0:
+        raise ConfigError(f"mix_spread must be non-negative, got {mix_spread}")
+    rng = np.random.default_rng(seed)
+    per_col = max(4, nnz // n)
+    levels = max(2, int(np.ceil(np.log2(max(n, 2)))))
+    k_u = max(2, int(per_col * unique_frac))
+    k_each = max(1, (per_col - k_u) // levels)
+    if k_each > m or k_u > m:
+        raise ConfigError("nnz per column exceeds row count")
+    alpha = np.exp(mix_spread * np.linspace(0.0, 1.0, n))
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    vals_list: list[np.ndarray] = []
+    for level in range(levels):
+        groups = min(n, 2 ** level)
+        for g in range(groups):
+            group_rows = rng.choice(m, size=k_each, replace=False)
+            j0, j1 = g * n // groups, (g + 1) * n // groups
+            for j in range(j0, j1):
+                rows_list.append(group_rows)
+                cols_list.append(np.full(k_each, j, dtype=np.int64))
+                vals_list.append(np.full(k_each, alpha[j]))
+    for j in range(n):
+        unique_rows = rng.choice(m, size=k_u, replace=False)
+        rows_list.append(unique_rows)
+        cols_list.append(np.full(k_u, j, dtype=np.int64))
+        vals_list.append(np.ones(k_u))
+    return COOMatrix(
+        (m, n),
+        np.concatenate(rows_list),
+        np.concatenate(cols_list),
+        np.concatenate(vals_list),
+    ).to_csc()
+
+
+def near_rank_deficient(m: int, n: int, density: float, seed: int = 0,
+                        dup_cols: int = 2, perturb: float = 1e-14) -> CSCMatrix:
+    """A sparse matrix with condition number driven to ~1/perturb.
+
+    Builds a well-conditioned :func:`random_sparse` base, then overwrites
+    the last *dup_cols* columns with near-copies of the first columns
+    (relative perturbation *perturb*).  With ``perturb = 1e-14`` the
+    condition number lands around 1e14-1e16, the regime of specular /
+    connectus / landmark in Table VIII where plain QR preconditioning
+    fails and SAP must fall back to SVD.
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    dup_cols = check_positive_int(dup_cols, "dup_cols")
+    if dup_cols >= n:
+        raise ConfigError(f"dup_cols={dup_cols} must be < n={n}")
+    perturb = check_in_range(perturb, "perturb", 0.0, 1.0)
+    base = random_sparse(m, n, density, seed=seed, values="uniform")
+    coo = base.to_coo()
+    rng = np.random.default_rng(seed + 1)
+    rows_list = [coo.rows]
+    cols_list = [coo.cols]
+    vals_list = [coo.vals]
+    for t in range(dup_cols):
+        src = t % (n - dup_cols)
+        dst = n - 1 - t
+        # Drop any existing entries in the destination column, then copy.
+        keep = cols_list[0] != dst
+        rows_list[0] = rows_list[0][keep]
+        cols_list[0] = cols_list[0][keep]
+        vals_list[0] = vals_list[0][keep]
+        src_mask = cols_list[0] == src
+        src_rows = rows_list[0][src_mask]
+        src_vals = vals_list[0][src_mask]
+        noise = 1.0 + perturb * rng.standard_normal(src_vals.size)
+        rows_list.append(src_rows)
+        cols_list.append(np.full(src_rows.size, dst, dtype=np.int64))
+        vals_list.append(src_vals * noise)
+    return COOMatrix(
+        (m, n),
+        np.concatenate(rows_list),
+        np.concatenate(cols_list),
+        np.concatenate(vals_list),
+    ).to_csc()
+
+
+def pattern_density_grid(A: CSCMatrix, grid_rows: int = 40,
+                         grid_cols: int = 40) -> np.ndarray:
+    """Coarse nonzero-count grid for sparsity-pattern visualization (Fig. 5).
+
+    Bins the stored entries into a ``grid_rows x grid_cols`` histogram over
+    the matrix extent; benches render it as ASCII shading.
+    """
+    grid_rows = check_positive_int(grid_rows, "grid_rows")
+    grid_cols = check_positive_int(grid_cols, "grid_cols")
+    m, n = A.shape
+    coo = A.to_coo()
+    r_bin = np.minimum((coo.rows * grid_rows) // max(m, 1), grid_rows - 1)
+    c_bin = np.minimum((coo.cols * grid_cols) // max(n, 1), grid_cols - 1)
+    grid = np.zeros((grid_rows, grid_cols), dtype=np.int64)
+    np.add.at(grid, (r_bin, c_bin), 1)
+    return grid

@@ -1,0 +1,79 @@
+"""Small linear-algebra helpers over the from-scratch sparse formats.
+
+These support the least-squares pipeline (column norms for the LSQR-D
+diagonal preconditioner, Frobenius norms for the paper's Error(x) metric)
+and the experiment harness (condition numbers of modest-size matrices via
+dense SVD).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .csc import CSCMatrix
+
+__all__ = [
+    "column_norms",
+    "frobenius_norm",
+    "condition_number",
+    "scale_columns",
+]
+
+
+def column_norms(A: CSCMatrix) -> np.ndarray:
+    """Euclidean norm of each column of ``A`` (length ``n``).
+
+    This is the quantity the LSQR-D baseline builds its diagonal
+    preconditioner from: ``D_ii = 1 / ||A_i||_2`` (Section V-C1).
+    """
+    n = A.shape[1]
+    out = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        _, vals = A.col(j)
+        out[j] = np.sqrt(np.dot(vals, vals))
+    return out
+
+
+def frobenius_norm(A: CSCMatrix) -> float:
+    """``||A||_F`` over stored entries."""
+    return float(np.sqrt(np.dot(A.data, A.data)))
+
+
+def condition_number(A: CSCMatrix) -> float:
+    """2-norm condition number via dense SVD (harness use; small matrices).
+
+    Defined as ``sigma_max / sigma_min`` over all ``min(m, n)`` singular
+    values; returns ``inf`` when the smallest singular value underflows to
+    zero, matching how Table VIII reports essentially-singular matrices
+    (cond ~ 1e14-1e18).
+    """
+    m, n = A.shape
+    if m == 0 or n == 0:
+        raise ShapeError("condition number of an empty matrix is undefined")
+    s = np.linalg.svd(A.to_dense(), compute_uv=False)
+    smin = s.min()
+    # Treat singular values at roundoff level as exact zeros (rank
+    # deficiency), as rank-revealing factorizations do.
+    tol = s.max() * max(m, n) * np.finfo(np.float64).eps
+    if smin <= tol:
+        return float("inf")
+    return float(s.max() / smin)
+
+
+def scale_columns(A: CSCMatrix, scale: np.ndarray) -> CSCMatrix:
+    """Return ``A @ diag(scale)`` as a new CSC matrix.
+
+    Used to form the diagonally-preconditioned operator ``A D`` whose
+    condition number Table VIII reports as ``cond(AD)``.
+    """
+    n = A.shape[1]
+    scale = np.asarray(scale, dtype=np.float64)
+    if scale.shape != (n,):
+        raise ShapeError(f"scale must have shape ({n},), got {scale.shape}")
+    data = A.data.copy()
+    for j in range(n):
+        lo, hi = A.indptr[j], A.indptr[j + 1]
+        data[lo:hi] *= scale[j]
+    return CSCMatrix(A.shape, A.indptr.copy(), A.indices.copy(), data,
+                     check=False)

@@ -1,0 +1,125 @@
+"""Reference sparse kernels: SpMV and dense-sparse / sparse-dense SpMM.
+
+These are the *library baseline* operations the paper compares against
+(MKL, Eigen, Julia's SparseArrays all implement the same products): a
+pre-generated dense matrix multiplied with a stored sparse matrix.  They
+also serve as independent correctness oracles for the on-the-fly kernels
+in :mod:`repro.kernels`.
+
+Two implementation tiers are provided for the central ``dense @ sparse``
+product: a pure-loop reference (`..._reference`) that mirrors textbook
+pseudocode entry by entry, and a vectorized version used by baselines and
+benchmarks.  Tests assert they agree with each other and with scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..utils.validation import check_dense_matrix, check_vector
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "spmv_csc",
+    "spmv_csr",
+    "dense_times_csc",
+    "dense_times_csc_reference",
+    "csr_times_dense",
+    "rmatvec_csc",
+]
+
+
+def spmv_csc(A: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """``A @ x`` for CSC ``A`` — column-wise gather/axpy formulation."""
+    m, n = A.shape
+    check_vector(x, "x", size=n)
+    y = np.zeros(m, dtype=np.float64)
+    for j in range(n):
+        rows, vals = A.col(j)
+        if rows.size:
+            y[rows] += vals * x[j]
+    return y
+
+
+def spmv_csr(A: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """``A @ x`` for CSR ``A`` — row-wise dot-product formulation."""
+    m, n = A.shape
+    check_vector(x, "x", size=n)
+    y = np.empty(m, dtype=np.float64)
+    for i in range(m):
+        cols, vals = A.row(i)
+        y[i] = vals @ x[cols] if cols.size else 0.0
+    return y
+
+
+def rmatvec_csc(A: CSCMatrix, y: np.ndarray) -> np.ndarray:
+    """``A.T @ y`` for CSC ``A`` — per-column dot products (no transpose built)."""
+    m, n = A.shape
+    check_vector(y, "y", size=m)
+    out = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        rows, vals = A.col(j)
+        out[j] = vals @ y[rows] if rows.size else 0.0
+    return out
+
+
+def dense_times_csc_reference(S: np.ndarray, A: CSCMatrix) -> np.ndarray:
+    """``S @ A`` entry-by-entry: the textbook oracle for all fast paths.
+
+    Triple loop with the sparse operand walked in CSC order; O(d * nnz)
+    scalar operations, intended only for small test problems.
+    """
+    m, n = A.shape
+    check_dense_matrix(S, "S")
+    if S.shape[1] != m:
+        raise ShapeError(f"S has {S.shape[1]} columns but A has {m} rows")
+    d = S.shape[0]
+    G = np.zeros((d, n), dtype=np.float64)
+    for k in range(n):
+        rows, vals = A.col(k)
+        for t in range(rows.size):
+            j = rows[t]
+            v = vals[t]
+            for i in range(d):
+                G[i, k] += S[i, j] * v
+    return G
+
+
+def dense_times_csc(S: np.ndarray, A: CSCMatrix) -> np.ndarray:
+    """``S @ A`` vectorized: per-column gather of ``S`` plus a matvec.
+
+    This is the "library" formulation used as the pre-generated-sketch
+    baseline: ``G[:, k] = S[:, rows_k] @ vals_k`` for each column ``k``.
+    """
+    m, n = A.shape
+    check_dense_matrix(S, "S")
+    if S.shape[1] != m:
+        raise ShapeError(f"S has {S.shape[1]} columns but A has {m} rows")
+    d = S.shape[0]
+    G = np.zeros((d, n), dtype=np.float64)
+    for k in range(n):
+        rows, vals = A.col(k)
+        if rows.size:
+            G[:, k] = S[:, rows] @ vals
+    return G
+
+
+def csr_times_dense(A: CSRMatrix, B: np.ndarray) -> np.ndarray:
+    """``A @ B`` for CSR ``A`` and dense ``B`` — MKL's supported orientation.
+
+    Section V-A notes MKL only supports sparse-times-dense, so the MKL
+    baseline computes the transposed operation with ``A`` in CSR; this
+    kernel is that baseline's core.
+    """
+    m, n = A.shape
+    check_dense_matrix(B, "B")
+    if B.shape[0] != n:
+        raise ShapeError(f"B has {B.shape[0]} rows but A has {n} columns")
+    out = np.zeros((m, B.shape[1]), dtype=np.float64)
+    for i in range(m):
+        cols, vals = A.row(i)
+        if cols.size:
+            out[i, :] = vals @ B[cols, :]
+    return out

@@ -1,0 +1,40 @@
+"""Shared utilities: validation, timing, table rendering, memory and flop accounting."""
+
+from .flops import gemm_flops, gflops, spmm_flops
+from .memory import MemoryLedger, mbytes, nbytes
+from .tables import format_table, format_value, render_kv_block
+from .timing import Stopwatch, Timer
+from .validation import (
+    check_choice,
+    check_dense_matrix,
+    check_dtype_floating,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_vector,
+)
+
+__all__ = [
+    "gemm_flops",
+    "gflops",
+    "spmm_flops",
+    "MemoryLedger",
+    "mbytes",
+    "nbytes",
+    "format_table",
+    "format_value",
+    "render_kv_block",
+    "Stopwatch",
+    "Timer",
+    "check_choice",
+    "check_dense_matrix",
+    "check_dtype_floating",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+    "check_same_length",
+    "check_vector",
+]

@@ -1,0 +1,34 @@
+"""Floating-point-operation counting conventions.
+
+The paper's Table VII reports GFlops for the sketching kernels using the
+standard SpMM convention: multiplying a dense ``d x m`` matrix by a sparse
+matrix with ``nnz`` stored entries costs ``2 * d * nnz`` flops (one multiply
+and one add per (dense row, stored entry) pair).  Centralizing the
+convention here keeps kernels, the roofline model, and the benches
+consistent with each other and with the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["spmm_flops", "gemm_flops", "gflops"]
+
+
+def spmm_flops(d: int, nnz: int) -> int:
+    """Flops for ``S @ A`` with dense ``S`` (d rows) and sparse ``A`` (nnz entries)."""
+    if d < 0 or nnz < 0:
+        raise ValueError("dimensions must be non-negative")
+    return 2 * d * nnz
+
+
+def gemm_flops(d: int, m: int, n: int) -> int:
+    """Flops for a dense ``(d x m) @ (m x n)`` product."""
+    if min(d, m, n) < 0:
+        raise ValueError("dimensions must be non-negative")
+    return 2 * d * m * n
+
+
+def gflops(flops: int | float, seconds: float) -> float:
+    """Convert a flop count and a runtime to GFlop/s (paper's Table VII unit)."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return flops / seconds / 1e9

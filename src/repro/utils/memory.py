@@ -1,0 +1,81 @@
+"""Byte-level memory accounting.
+
+Table XI of the paper compares the *workspace* memory of the randomized
+least-squares solver (which stores only the dense ``2n-by-n`` sketch) to the
+memory held by SuiteSparseQR's factors.  Reproducing that comparison needs
+an accounting scheme that is independent of the Python allocator, so this
+module counts the bytes a data structure logically owns (array buffers),
+the same quantity the paper reports in Mbytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nbytes", "mbytes", "MemoryLedger"]
+
+_MB = 1024.0 * 1024.0
+
+
+def nbytes(*arrays: np.ndarray) -> int:
+    """Total bytes logically owned by the given array buffers."""
+    return int(sum(int(a.nbytes) for a in arrays))
+
+
+def mbytes(*arrays: np.ndarray) -> float:
+    """Like :func:`nbytes` but in Mbytes (the paper's unit)."""
+    return nbytes(*arrays) / _MB
+
+
+class MemoryLedger:
+    """Tracks current and peak logical memory across named allocations.
+
+    The direct sparse QR uses this to report peak factor memory including
+    transient row workspaces, mirroring how the paper measured "the memory
+    usage of the resulting factors".
+    """
+
+    def __init__(self) -> None:
+        self._current = 0
+        self._peak = 0
+        self._entries: dict[str, int] = {}
+
+    def allocate(self, name: str, num_bytes: int) -> None:
+        """Record *num_bytes* held under *name* (replacing any prior entry)."""
+        if num_bytes < 0:
+            raise ValueError(f"negative allocation for {name!r}: {num_bytes}")
+        self._current += num_bytes - self._entries.get(name, 0)
+        self._entries[name] = num_bytes
+        self._peak = max(self._peak, self._current)
+
+    def allocate_array(self, name: str, arr: np.ndarray) -> None:
+        """Record the buffer of *arr* under *name*."""
+        self.allocate(name, int(arr.nbytes))
+
+    def release(self, name: str) -> None:
+        """Drop the entry for *name* (no-op when absent)."""
+        self._current -= self._entries.pop(name, 0)
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently held across all live entries."""
+        return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`current_bytes` since construction."""
+        return self._peak
+
+    @property
+    def peak_mbytes(self) -> float:
+        """Peak memory in Mbytes (the paper's reporting unit)."""
+        return self._peak / _MB
+
+    def breakdown(self) -> dict[str, float]:
+        """Live entries in Mbytes, largest first."""
+        return dict(
+            sorted(
+                ((k, v / _MB) for k, v in self._entries.items()),
+                key=lambda kv: -kv[1],
+            )
+        )

@@ -1,0 +1,78 @@
+"""Paper-style plain-text table rendering for the benchmark harness.
+
+Every benchmark in ``benchmarks/`` ends by printing a table whose rows match
+the corresponding table in the paper, with a "paper" column next to each
+"measured" column so that shape comparisons (who wins, by what factor) can
+be eyeballed directly from the bench output.  This module owns the shared
+formatting so all benches look identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_value", "render_kv_block"]
+
+
+def format_value(v: Any, *, sig: int = 4) -> str:
+    """Format one table cell.
+
+    Floats use up to *sig* significant digits with scientific notation for
+    very large/small magnitudes (matching how the paper prints densities
+    like ``2.02E-03`` next to times like ``0.070``).
+    """
+    if v is None:
+        return "N/A"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0.0:
+            return "0"
+        av = abs(v)
+        if av >= 1e5 or av < 1e-3:
+            return f"{v:.{max(sig - 2, 1)}E}"
+        return f"{v:.{sig}g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None, sig: int = 4) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Returns the table as a single string (callers print it); raises
+    ``ValueError`` when a row's width disagrees with the header width so
+    that harness bugs surface as errors rather than misaligned output.
+    """
+    ncol = len(headers)
+    str_rows: list[list[str]] = []
+    for r in rows:
+        if len(r) != ncol:
+            raise ValueError(
+                f"row has {len(r)} cells but table has {ncol} columns: {r!r}"
+            )
+        str_rows.append([format_value(c, sig=sig) for c in r])
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_kv_block(title: str, pairs: Sequence[tuple[str, Any]]) -> str:
+    """Render a titled key/value block (used for bench configuration echo)."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title, "-" * max(len(title), 1)]
+    for k, v in pairs:
+        lines.append(f"{k.ljust(width)} : {format_value(v)}")
+    return "\n".join(lines)

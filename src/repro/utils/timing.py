@@ -1,0 +1,86 @@
+"""Lightweight timing instrumentation used by kernels and benchmarks.
+
+The paper reports split timings (Tables III and V separate "sample time" —
+the time spent generating random numbers — from total SpMM time).  The
+:class:`Stopwatch` here accumulates named segments so a kernel can charge
+RNG work and arithmetic work to different buckets with negligible overhead,
+mirroring how the authors instrumented their Julia kernels (and, like them,
+accepting that the timer itself adds a small overhead to the total).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "Timer"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time into named buckets.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.bucket("sample"):
+    ...     pass  # generate random numbers
+    >>> with sw.bucket("compute"):
+    ...     pass  # arithmetic
+    >>> sorted(sw.totals)
+    ['compute', 'sample']
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def bucket(self, name: str) -> Iterator[None]:
+        """Context manager charging the enclosed wall time to *name*."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge *seconds* to bucket *name* directly (for externally-timed work)."""
+        self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str | None = None) -> float:
+        """Total seconds in bucket *name*, or across all buckets if ``None``."""
+        if name is None:
+            return sum(self.totals.values())
+        return self.totals.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Clear all buckets."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def merge(self, other: "Stopwatch") -> None:
+        """Fold another stopwatch's buckets into this one."""
+        for name, t in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + t
+        for name, c in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + c
+
+
+class Timer:
+    """Single-shot timer: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0

@@ -1,0 +1,121 @@
+"""Input validation helpers shared across the library.
+
+These helpers centralize the defensive checks performed at public API
+boundaries so that kernels themselves can stay branch-free.  Each helper
+raises a subclass of :class:`repro.errors.ReproError` with a message that
+names the offending argument, which keeps error reporting consistent across
+the sparse formats, kernels, and solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_in_range",
+    "check_probability",
+    "check_dense_matrix",
+    "check_vector",
+    "check_dtype_floating",
+    "check_same_length",
+    "check_choice",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``.
+
+    Accepts NumPy integer scalars.  Booleans are rejected because they are
+    almost always a bug when a dimension or block size is expected.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float,
+                   *, inclusive: bool = True) -> float:
+    """Validate ``lo <= value <= hi`` (or strict, if ``inclusive=False``)."""
+    value = float(value)
+    if inclusive:
+        ok = lo <= value <= hi
+        bounds = f"[{lo}, {hi}]"
+    else:
+        ok = lo < value < hi
+        bounds = f"({lo}, {hi})"
+    if not ok:
+        raise ConfigError(f"{name} must lie in {bounds}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that *value* is a probability in ``[0, 1]``."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_dense_matrix(arr: Any, name: str, *, shape: tuple[int, int] | None = None,
+                       writeable: bool = False) -> np.ndarray:
+    """Validate that *arr* is a 2-D ndarray; optionally check shape/writeability."""
+    if not isinstance(arr, np.ndarray):
+        raise ShapeError(f"{name} must be a numpy.ndarray, got {type(arr).__name__}")
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if shape is not None and arr.shape != shape:
+        raise ShapeError(f"{name} must have shape {shape}, got {arr.shape}")
+    if writeable and not arr.flags.writeable:
+        raise ShapeError(f"{name} must be writeable")
+    return arr
+
+
+def check_vector(arr: Any, name: str, *, size: int | None = None) -> np.ndarray:
+    """Validate that *arr* is a 1-D ndarray of optional exact *size*."""
+    if not isinstance(arr, np.ndarray):
+        raise ShapeError(f"{name} must be a numpy.ndarray, got {type(arr).__name__}")
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if size is not None and arr.size != size:
+        raise ShapeError(f"{name} must have size {size}, got {arr.size}")
+    return arr
+
+
+def check_dtype_floating(arr: np.ndarray, name: str) -> np.ndarray:
+    """Validate that *arr* has a real floating-point dtype."""
+    if not np.issubdtype(arr.dtype, np.floating):
+        raise ShapeError(f"{name} must have a floating dtype, got {arr.dtype}")
+    return arr
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Validate that two sequences have equal length."""
+    if len(a) != len(b):
+        raise ShapeError(
+            f"{name_a} and {name_b} must have equal length, got {len(a)} and {len(b)}"
+        )
+
+
+def check_choice(value: str, name: str, choices: Sequence[str]) -> str:
+    """Validate that a string option is one of *choices*."""
+    if value not in choices:
+        raise ConfigError(
+            f"{name} must be one of {sorted(choices)!r}, got {value!r}"
+        )
+    return value

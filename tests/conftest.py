@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+from repro.sparse import CSCMatrix, random_sparse
+
+
+@pytest.fixture
+def small_sparse() -> CSCMatrix:
+    """A 60x20 uniform sparse matrix, density 0.1, fixed seed."""
+    return random_sparse(60, 20, 0.1, seed=42)
+
+
+@pytest.fixture
+def tall_sparse() -> CSCMatrix:
+    """A 400x50 uniform sparse matrix, density 0.03 — sketching shaped."""
+    return random_sparse(400, 50, 0.03, seed=7)
+
+
+@pytest.fixture
+def philox_rng() -> PhiloxSketchRNG:
+    return PhiloxSketchRNG(12345, "uniform")
+
+
+@pytest.fixture
+def xoshiro_rng() -> XoshiroSketchRNG:
+    return XoshiroSketchRNG(12345, "uniform")
+
+
+@pytest.fixture
+def rng_np() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def dense_reference(rng_sketch, d: int, A: CSCMatrix, b_d: int | None = None) -> np.ndarray:
+    """Reference product ``post_scale * S @ A_dense`` for a given generator.
+
+    Uses a *fresh* materialization; callers must pass a generator with the
+    same seed/distribution as the one under test (not the same object, so
+    counters are unaffected).
+    """
+    S = rng_sketch.materialize(d, A.shape[0], b_d=b_d)
+    return rng_sketch.post_scale * (S @ A.to_dense())

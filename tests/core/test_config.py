@@ -1,0 +1,73 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core import SketchConfig
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = SketchConfig()
+        assert cfg.gamma == 3.0             # SpMM experiments
+        assert cfg.distribution == "uniform"
+        assert cfg.rng_kind == "xoshiro"    # the production generator
+        assert cfg.kernel == "auto"
+
+    def test_gamma_must_exceed_one(self):
+        with pytest.raises(ConfigError, match="gamma"):
+            SketchConfig(gamma=1.0)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            SketchConfig(distribution="cauchy")
+
+    def test_unknown_rng_kind(self):
+        with pytest.raises(ConfigError):
+            SketchConfig(rng_kind="mt19937")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigError):
+            SketchConfig(kernel="algo7")
+
+    def test_bad_blocking(self):
+        with pytest.raises(ConfigError):
+            SketchConfig(b_d=0)
+        with pytest.raises(ConfigError):
+            SketchConfig(b_n=-5)
+
+    def test_bad_threads(self):
+        with pytest.raises(ConfigError):
+            SketchConfig(threads=0)
+
+
+class TestSketchSize:
+    def test_ceil(self):
+        assert SketchConfig(gamma=3.0).sketch_size(10) == 30
+        assert SketchConfig(gamma=2.5).sketch_size(3) == 8
+
+    def test_least_squares_gamma(self):
+        assert SketchConfig(gamma=2.0).sketch_size(582) == 1164
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigError):
+            SketchConfig().sketch_size(0)
+
+
+class TestBuildRng:
+    def test_kind_respected(self):
+        assert isinstance(SketchConfig(rng_kind="philox").build_rng(),
+                          PhiloxSketchRNG)
+        assert isinstance(SketchConfig(rng_kind="xoshiro").build_rng(),
+                          XoshiroSketchRNG)
+
+    def test_seed_and_dist_forwarded(self):
+        rng = SketchConfig(seed=77, distribution="rademacher").build_rng()
+        assert rng.seed == 77
+        assert rng.dist.name == "rademacher"
+
+    def test_fresh_instances(self):
+        cfg = SketchConfig()
+        a, b = cfg.build_rng(), cfg.build_rng()
+        assert a is not b

@@ -1,0 +1,109 @@
+"""Tests for repro.core.distortion (sketch quality metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SketchConfig,
+    SketchOperator,
+    effective_distortion,
+    preconditioned_condition,
+    predicted_condition_bound,
+    predicted_distortion,
+    sketch_distortion,
+)
+from repro.errors import ConfigError
+from repro.sparse import random_sparse
+
+
+class TestEffectiveDistortion:
+    def test_identity_embedding_zero(self):
+        # S U with orthonormal columns and identical singular values.
+        U = np.linalg.qr(np.random.default_rng(0).standard_normal((30, 5)))[0]
+        assert effective_distortion(U) == pytest.approx(0.0, abs=1e-12)
+
+    def test_formula(self):
+        # Singular values {2, 1} -> distortion (2-1)/(2+1) = 1/3.
+        SU = np.diag([2.0, 1.0])
+        assert effective_distortion(SU) == pytest.approx(1.0 / 3.0)
+
+    def test_rank_deficient_is_one(self):
+        SU = np.zeros((4, 2))
+        SU[0, 0] = 1.0
+        assert effective_distortion(SU) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(1)
+        SU = rng.standard_normal((20, 4))
+        assert effective_distortion(3.0 * SU) == pytest.approx(
+            effective_distortion(SU)
+        )
+
+
+class TestPredictions:
+    def test_distortion_limit(self):
+        assert predicted_distortion(4.0) == pytest.approx(0.5)
+
+    def test_condition_bound(self):
+        # gamma=4: (2+1)/(2-1) = 3.
+        assert predicted_condition_bound(4.0) == pytest.approx(3.0)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ConfigError):
+            predicted_distortion(1.0)
+        with pytest.raises(ConfigError):
+            predicted_condition_bound(0.9)
+
+    def test_consistency(self):
+        # cond bound == (1 + delta) / (1 - delta) with delta = 1/sqrt(gamma).
+        g = 2.7
+        delta = predicted_distortion(g)
+        assert predicted_condition_bound(g) == pytest.approx(
+            (1 + delta) / (1 - delta)
+        )
+
+
+class TestSketchDistortion:
+    @pytest.mark.parametrize("gamma", [2.0, 4.0])
+    def test_matches_gaussian_limit(self, gamma):
+        # Realized distortion should land near 1/sqrt(gamma) for modest n.
+        A = random_sparse(3000, 40, 0.05, seed=2)
+        d = int(gamma * 40)
+        cfg = SketchConfig(rng_kind="philox", normalize=True, seed=3,
+                           kernel="algo3")
+        op = SketchOperator(d, 3000, config=cfg)
+        delta = sketch_distortion(op, A)
+        assert delta == pytest.approx(predicted_distortion(gamma), abs=0.15)
+
+    def test_larger_gamma_smaller_distortion(self):
+        A = random_sparse(2000, 30, 0.05, seed=4)
+        cfg = SketchConfig(rng_kind="philox", seed=5, kernel="algo3")
+        d_small = sketch_distortion(SketchOperator(60, 2000, config=cfg), A)
+        d_large = sketch_distortion(SketchOperator(300, 2000, config=cfg), A)
+        assert d_large < d_small
+
+    def test_xoshiro_sketch_quality(self):
+        """Section IV-B's claim: checkpointed xoshiro sketches are fine as
+        measured by effective distortion."""
+        A = random_sparse(2000, 30, 0.05, seed=6)
+        cfg = SketchConfig(rng_kind="xoshiro", seed=7, kernel="algo3")
+        delta = sketch_distortion(SketchOperator(120, 2000, config=cfg), A)
+        assert delta < 0.75  # far from degenerate (1.0)
+        assert delta == pytest.approx(0.5, abs=0.2)  # gamma=4 limit
+
+
+class TestPreconditionedCondition:
+    def test_qr_preconditioner_flattens_spectrum(self):
+        A = random_sparse(1500, 25, 0.08, seed=8)
+        cfg = SketchConfig(rng_kind="philox", seed=9, kernel="algo3")
+        op = SketchOperator(50, 1500, config=cfg)  # gamma = 2
+        Ahat = op.apply(A).sketch
+        R = np.linalg.qr(Ahat, mode="r")
+        kappa = preconditioned_condition(A, R)
+        # Paper: bounded by (sqrt(2)+1)/(sqrt(2)-1) ~ 5.83 in the limit.
+        assert kappa < 3 * predicted_condition_bound(2.0)
+
+    def test_shape_checks(self):
+        A = random_sparse(30, 5, 0.3, seed=10)
+        with pytest.raises(Exception):
+            preconditioned_condition(A, np.zeros((3, 3)))

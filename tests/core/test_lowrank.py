@@ -1,0 +1,120 @@
+"""Tests for repro.core.lowrank (randomized SVD on the sketching kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig
+from repro.core.lowrank import randomized_range_finder, randomized_svd
+from repro.errors import ConfigError, ShapeError
+from repro.sparse import CSCMatrix, random_sparse
+
+
+def _low_rank_sparse(m=300, n=60, true_rank=6, seed=0, noise=0.0):
+    """A sparse matrix with a planted rank-`true_rank` spectrum.
+
+    Built as a product of *sparse* factors so the result is genuinely
+    low-rank yet sparse (an elementwise mask would destroy the rank);
+    optional noise adds a small full-rank tail.
+    """
+    rng = np.random.default_rng(seed)
+    U = rng.standard_normal((m, true_rank)) * (rng.random((m, true_rank)) < 0.15)
+    V = rng.standard_normal((n, true_rank)) * (rng.random((n, true_rank)) < 0.4)
+    s = np.logspace(0, -2, true_rank)
+    dense = (U * s) @ V.T
+    if noise:
+        mask = rng.random((m, n)) < 0.05
+        dense = dense + noise * rng.standard_normal((m, n)) * mask
+    return CSCMatrix.from_dense(dense)
+
+
+class TestRangeFinder:
+    def test_orthonormal(self):
+        A = random_sparse(120, 30, 0.2, seed=1)
+        V, stats = randomized_range_finder(A, 10,
+                                           config=SketchConfig(seed=2))
+        assert V.shape == (30, 10)
+        np.testing.assert_allclose(V.T @ V, np.eye(10), atol=1e-10)
+        assert stats.samples_generated > 0
+
+    def test_captures_row_space(self):
+        # For an exactly rank-k matrix, the basis captures A entirely.
+        A = _low_rank_sparse(true_rank=4, seed=3)
+        V, _ = randomized_range_finder(A, 12, config=SketchConfig(seed=4))
+        Ad = A.to_dense()
+        residual = Ad - (Ad @ V) @ V.T
+        assert np.linalg.norm(residual) < 1e-8 * np.linalg.norm(Ad)
+
+    def test_power_iterations_improve_basis(self):
+        A = _low_rank_sparse(true_rank=10, seed=5, noise=0.05)
+        Ad = A.to_dense()
+
+        def residual(p):
+            V, _ = randomized_range_finder(A, 10, power_iters=p,
+                                           config=SketchConfig(seed=6))
+            return np.linalg.norm(Ad - (Ad @ V) @ V.T)
+
+        assert residual(3) <= residual(0) * 1.05
+
+    def test_size_validation(self):
+        A = random_sparse(20, 10, 0.3, seed=7)
+        with pytest.raises(ConfigError):
+            randomized_range_finder(A, 11)
+
+
+class TestRandomizedSvd:
+    def test_exact_on_low_rank(self):
+        A = _low_rank_sparse(true_rank=5, seed=8)
+        res = randomized_svd(A, rank=5, oversample=8, power_iters=1,
+                             config=SketchConfig(seed=9))
+        np.testing.assert_allclose(res.reconstruct(), A.to_dense(),
+                                   atol=1e-8)
+
+    def test_singular_values_match_dense(self):
+        A = _low_rank_sparse(true_rank=8, seed=10, noise=0.01)
+        res = randomized_svd(A, rank=6, oversample=10, power_iters=2,
+                             config=SketchConfig(seed=11))
+        s_true = np.linalg.svd(A.to_dense(), compute_uv=False)[:6]
+        np.testing.assert_allclose(res.s, s_true, rtol=0.05)
+
+    def test_factor_shapes_and_orthogonality(self):
+        A = random_sparse(100, 40, 0.2, seed=12)
+        res = randomized_svd(A, rank=7, config=SketchConfig(seed=13))
+        assert res.U.shape == (100, 7)
+        assert res.s.shape == (7,)
+        assert res.Vt.shape == (7, 40)
+        np.testing.assert_allclose(res.U.T @ res.U, np.eye(7), atol=1e-10)
+        np.testing.assert_allclose(res.Vt @ res.Vt.T, np.eye(7), atol=1e-10)
+        assert np.all(np.diff(res.s) <= 1e-12)  # non-increasing
+
+    def test_near_optimal_error(self):
+        """Spectral error within a small factor of the best rank-k error."""
+        A = _low_rank_sparse(true_rank=20, seed=14, noise=0.02)
+        k = 8
+        res = randomized_svd(A, rank=k, oversample=10, power_iters=2,
+                             config=SketchConfig(seed=15))
+        Ad = A.to_dense()
+        err = np.linalg.norm(Ad - res.reconstruct(), 2)
+        s_true = np.linalg.svd(Ad, compute_uv=False)
+        optimal = s_true[k]
+        assert err <= 3 * optimal + 1e-10
+
+    def test_deterministic_given_seed(self):
+        A = random_sparse(80, 25, 0.2, seed=16)
+        a = randomized_svd(A, rank=5, config=SketchConfig(seed=17))
+        b = randomized_svd(A, rank=5, config=SketchConfig(seed=17))
+        np.testing.assert_array_equal(a.s, b.s)
+
+    def test_rank_validation(self):
+        A = random_sparse(20, 10, 0.3, seed=18)
+        with pytest.raises(ShapeError):
+            randomized_svd(A, rank=15)
+        with pytest.raises(ConfigError):
+            randomized_svd(A, rank=0)
+
+    def test_counter_rng_families_work(self):
+        A = _low_rank_sparse(true_rank=4, seed=19)
+        for kind in ("philox", "threefry", "xoshiro"):
+            res = randomized_svd(A, rank=4, power_iters=1,
+                                 config=SketchConfig(seed=20, rng_kind=kind))
+            np.testing.assert_allclose(res.reconstruct(), A.to_dense(),
+                                       atol=1e-7)

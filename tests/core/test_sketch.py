@@ -1,0 +1,143 @@
+"""Tests for repro.core.sketch (SketchOperator and sketch())."""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig, SketchOperator, sketch
+from repro.errors import ConfigError, ShapeError
+from repro.model import FRONTERA, PERLMUTTER
+from repro.sparse import abnormal_c, random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(150, 20, 0.1, seed=501)
+
+
+class TestSketchOperator:
+    def test_apply_matches_materialize(self, A):
+        cfg = SketchConfig(rng_kind="philox", kernel="algo3", b_d=16, b_n=8,
+                           seed=3)
+        op = SketchOperator(60, 150, config=cfg)
+        result = op.apply(A)
+        S = op.materialize()
+        np.testing.assert_allclose(result.sketch, S @ A.to_dense())
+
+    def test_apply_dense_consistent(self, A):
+        cfg = SketchConfig(rng_kind="xoshiro", kernel="algo3", b_d=16,
+                           seed=3)
+        op = SketchOperator(60, 150, config=cfg)
+        X = np.random.default_rng(1).standard_normal((150, 4))
+        np.testing.assert_allclose(op.apply_dense(X), op.materialize() @ X)
+
+    def test_apply_dense_vector(self, A):
+        op = SketchOperator(40, 150, config=SketchConfig(seed=2, b_d=16))
+        x = np.random.default_rng(2).standard_normal(150)
+        out = op.apply_dense(x)
+        assert out.shape == (40,)
+        np.testing.assert_allclose(out, op.materialize() @ x)
+
+    def test_sketch_and_rhs_same_realization(self, A):
+        """The SAP pipeline requirement: S A and S b use the same S."""
+        cfg = SketchConfig(rng_kind="xoshiro", kernel="algo3", seed=5, b_d=16)
+        op = SketchOperator(60, 150, config=cfg)
+        x = np.random.default_rng(3).standard_normal(20)
+        Ax = A.to_dense() @ x
+        lhs = op.apply(A).sketch @ x        # (S A) x
+        rhs = op.apply_dense(Ax)            # S (A x)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+    def test_normalize_scales(self, A):
+        cfg = SketchConfig(rng_kind="philox", normalize=True, seed=1,
+                           distribution="rademacher", kernel="algo3")
+        op = SketchOperator(100, 150, config=cfg)
+        res = op.apply(A)
+        assert res.scale == pytest.approx(0.1)  # 1/sqrt(100 * 1)
+        S = op.materialize()
+        # Normalized Rademacher columns have unit norm exactly.
+        np.testing.assert_allclose(np.linalg.norm(S, axis=0), 1.0)
+
+    def test_scaled_trick_through_operator(self, A):
+        plain = SketchOperator(40, 150, config=SketchConfig(
+            rng_kind="philox", distribution="uniform", seed=6, kernel="algo3"))
+        trick = SketchOperator(40, 150, config=SketchConfig(
+            rng_kind="philox", distribution="uniform_scaled", seed=6,
+            kernel="algo3"))
+        np.testing.assert_allclose(plain.apply(A).sketch,
+                                   trick.apply(A).sketch)
+
+    def test_shape_property(self):
+        op = SketchOperator(30, 99)
+        assert op.shape == (30, 99)
+
+    def test_wrong_row_count(self, A):
+        op = SketchOperator(30, 99)
+        with pytest.raises(ShapeError):
+            op.apply(A)
+        with pytest.raises(ShapeError):
+            op.apply_dense(np.zeros(5))
+
+    def test_threads_path(self, A):
+        cfg1 = SketchConfig(rng_kind="philox", kernel="algo3", seed=4,
+                            b_d=16, b_n=8, threads=1)
+        cfg3 = SketchConfig(rng_kind="philox", kernel="algo3", seed=4,
+                            b_d=16, b_n=8, threads=3)
+        a = SketchOperator(40, 150, config=cfg1).apply(A).sketch
+        b = SketchOperator(40, 150, config=cfg3).apply(A).sketch
+        np.testing.assert_allclose(a, b)
+
+    def test_pregen_kernel_path(self, A):
+        cfg = SketchConfig(rng_kind="philox", kernel="pregen", seed=4)
+        res = SketchOperator(40, 150, config=cfg).apply(A)
+        assert res.kernel_used == "pregen"
+        ref = SketchOperator(40, 150, config=SketchConfig(
+            rng_kind="philox", kernel="algo3", seed=4)).apply(A)
+        np.testing.assert_allclose(res.sketch, ref.sketch)
+
+
+class TestAutoDispatch:
+    def test_frontera_picks_algo3(self, A):
+        op = SketchOperator(40, 150, config=SketchConfig(kernel="auto"),
+                            machine=FRONTERA)
+        assert op.apply(A).kernel_used == "algo3"
+
+    def test_perlmutter_picks_algo4(self, A):
+        op = SketchOperator(40, 150, config=SketchConfig(kernel="auto"),
+                            machine=PERLMUTTER)
+        assert op.apply(A).kernel_used == "algo4"
+
+    def test_perlmutter_abnormal_c_falls_back(self):
+        A = abnormal_c(150, 100, period=50, seed=1)
+        op = SketchOperator(310, 150, config=SketchConfig(kernel="auto"),
+                            machine=PERLMUTTER)
+        assert op.apply(A).kernel_used == "algo3"
+
+
+class TestSketchFunction:
+    def test_gamma_sizing(self, A):
+        res = sketch(A, gamma=3.0, config=SketchConfig(seed=1))
+        assert res.sketch.shape == (60, 20)
+
+    def test_explicit_d(self, A):
+        res = sketch(A, d=45, config=SketchConfig(seed=1))
+        assert res.sketch.shape == (45, 20)
+
+    def test_default_uses_config_gamma(self, A):
+        res = sketch(A, config=SketchConfig(gamma=2.0, seed=1))
+        assert res.sketch.shape == (40, 20)
+
+    def test_rejects_both_gamma_and_d(self, A):
+        with pytest.raises(ConfigError):
+            sketch(A, gamma=2.0, d=50)
+
+    def test_rejects_d_below_n(self, A):
+        with pytest.raises(ConfigError):
+            sketch(A, d=10)
+
+    def test_rejects_gamma_below_one(self, A):
+        with pytest.raises(ConfigError):
+            sketch(A, gamma=0.5)
+
+    def test_stats_attached(self, A):
+        res = sketch(A, gamma=2.0, config=SketchConfig(seed=1))
+        assert res.stats.flops == 2 * 40 * A.nnz

@@ -1,0 +1,124 @@
+"""Tests for repro.core.sparse_sketch (sparse-sign comparison operator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_sketch import SparseSignSketch
+from repro.errors import ConfigError, ShapeError
+from repro.sparse import random_sparse
+
+
+class TestConstruction:
+    def test_shape(self):
+        op = SparseSignSketch(40, 100, s=4)
+        assert op.shape == (40, 100)
+        assert op.operator_nnz == 400
+
+    def test_s_bounded_by_d(self):
+        with pytest.raises(ConfigError):
+            SparseSignSketch(4, 10, s=8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SparseSignSketch(0, 10)
+
+
+class TestStructure:
+    def test_materialized_column_sparsity(self):
+        op = SparseSignSketch(50, 30, s=4, seed=1)
+        S = op.materialize()
+        # At most s nonzeros per column (collisions can merge or cancel).
+        nnz_per_col = (S != 0).sum(axis=0)
+        assert np.all(nnz_per_col <= 4)
+        assert nnz_per_col.mean() > 2.5  # mostly collision-free for s << d
+
+    def test_values_are_scaled_signs(self):
+        op = SparseSignSketch(64, 20, s=4, seed=2)
+        S = op.materialize()
+        vals = S[S != 0]
+        scaled = vals * 2.0  # 1/sqrt(4) = 0.5
+        assert set(np.round(np.unique(np.abs(scaled)), 9)) <= {1.0, 2.0}
+
+    def test_deterministic(self):
+        a = SparseSignSketch(30, 15, s=3, seed=5).materialize()
+        b = SparseSignSketch(30, 15, s=3, seed=5).materialize()
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_operator(self):
+        a = SparseSignSketch(30, 15, s=3, seed=5).materialize()
+        b = SparseSignSketch(30, 15, s=3, seed=6).materialize()
+        assert not np.array_equal(a, b)
+
+    def test_column_entries_coordinate_addressed(self):
+        op = SparseSignSketch(40, 50, s=5, seed=7)
+        solo_rows, solo_vals = op.column_entries(np.array([17]))
+        batch_rows, batch_vals = op.column_entries(np.array([3, 17, 40]))
+        np.testing.assert_array_equal(batch_rows[:, 1], solo_rows[:, 0])
+        np.testing.assert_array_equal(batch_vals[:, 1], solo_vals[:, 0])
+
+
+class TestApplication:
+    def test_apply_matches_materialized(self):
+        A = random_sparse(60, 18, 0.2, seed=8)
+        op = SparseSignSketch(25, 60, s=4, seed=9)
+        res = op.apply(A)
+        np.testing.assert_allclose(res.sketch,
+                                   op.materialize() @ A.to_dense(),
+                                   atol=1e-12)
+        assert res.flops == 2 * 4 * A.nnz
+
+    def test_apply_dense_matches(self):
+        op = SparseSignSketch(25, 60, s=4, seed=10)
+        X = np.random.default_rng(0).standard_normal((60, 3))
+        np.testing.assert_allclose(op.apply_dense(X), op.materialize() @ X,
+                                   atol=1e-12)
+
+    def test_apply_dense_vector(self):
+        op = SparseSignSketch(25, 60, s=4, seed=11)
+        x = np.random.default_rng(1).standard_normal(60)
+        out = op.apply_dense(x)
+        assert out.shape == (25,)
+        np.testing.assert_allclose(out, op.materialize() @ x, atol=1e-12)
+
+    def test_shape_mismatch(self):
+        A = random_sparse(10, 5, 0.3, seed=12)
+        op = SparseSignSketch(8, 99)
+        with pytest.raises(ShapeError):
+            op.apply(A)
+
+
+class TestSketchQuality:
+    def test_norm_preservation(self):
+        """E ||S x||^2 == ||x||^2 — columns have unit expected norm."""
+        op = SparseSignSketch(2000, 60, s=8, seed=13)
+        S = op.materialize()
+        x = np.sin(np.arange(60))
+        assert np.linalg.norm(S @ x) ** 2 == pytest.approx(
+            np.linalg.norm(x) ** 2, rel=0.2)
+
+    def test_usable_in_sap_pipeline(self):
+        """The sparse-sign sketch preconditioners LSQR like the dense one."""
+        from repro.lsq import CscOperator, PreconditionedOperator, lsqr
+        from repro.lsq.preconditioners import TriangularPreconditioner
+
+        A = random_sparse(500, 25, 0.15, seed=14)
+        rng = np.random.default_rng(2)
+        b = CscOperator(A).matvec(rng.standard_normal(25)) + \
+            rng.standard_normal(500)
+        op = SparseSignSketch(50, 500, s=8, seed=15)  # gamma = 2
+        Ahat = op.apply(A).sketch
+        precond = TriangularPreconditioner.from_sketch(Ahat)
+        B = PreconditionedOperator(CscOperator(A), precond)
+        run = lsqr(B, b, atol=1e-13)
+        x = precond.apply(run.z)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(x, expected, atol=1e-6)
+        assert run.iterations < 200
+
+    def test_cheaper_flops_than_dense(self):
+        A = random_sparse(400, 30, 0.1, seed=16)
+        d, s = 60, 8
+        op = SparseSignSketch(d, 400, s=s, seed=17)
+        res = op.apply(A)
+        dense_flops = 2 * d * A.nnz
+        assert res.flops == pytest.approx(dense_flops * s / d)

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse import random_sparse, write_matrix_market
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sketch_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sketch"])
+
+    def test_mutually_exclusive_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sketch", "--matrix", "a.mtx", "--random", "1", "2", "0.1"]
+            )
+
+
+class TestSketchCommand:
+    def test_random_input(self, capsys):
+        rc = main(["sketch", "--random", "200", "20", "0.05", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out
+        assert "samples_generated" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["--json", "sketch", "--random", "150", "15", "0.1",
+                   "--kernel", "algo3"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "algo3"
+        assert payload["sketch_shape"] == [45, 15]
+        assert payload["samples_generated"] > 0
+
+    def test_matrix_market_input(self, tmp_path, capsys):
+        A = random_sparse(60, 8, 0.2, seed=5)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(A, path)
+        rc = main(["--json", "sketch", "--matrix", str(path),
+                   "--gamma", "2.0"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["input_shape"] == [60, 8]
+        assert payload["sketch_shape"] == [16, 8]
+
+    def test_npy_output(self, tmp_path, capsys):
+        out_file = tmp_path / "sketch.npy"
+        rc = main(["sketch", "--random", "100", "10", "0.1",
+                   "--output", str(out_file), "--kernel", "algo4"])
+        assert rc == 0
+        arr = np.load(out_file)
+        assert arr.shape == (30, 10)
+
+
+class TestLsqCommand:
+    @pytest.mark.parametrize("solver", ["sap-qr", "sap-svd", "lsqr-d",
+                                        "direct"])
+    def test_solvers(self, capsys, solver):
+        rc = main(["--json", "lsq", "--random", "300", "12", "0.15",
+                   "--solver", solver, "--seed", "7"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"]
+        assert payload["error"] < 1e-8
+
+    def test_solvers_agree(self, capsys):
+        xs = {}
+        for solver in ("sap-qr", "direct"):
+            main(["--json", "lsq", "--random", "300", "12", "0.15",
+                  "--solver", solver, "--seed", "7"])
+            xs[solver] = json.loads(capsys.readouterr().out)["error"]
+        assert all(v < 1e-8 for v in xs.values())
+
+
+class TestProbeCommand:
+    def test_probe(self, capsys):
+        rc = main(["--json", "probe", "--rng", "junk"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples_per_second"] > 0
+        assert payload["h"] > 0
+
+
+class TestSuiteCommand:
+    def test_lists_all_suites(self, capsys):
+        rc = main(["--json", "suite"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["suites"]) == {"spmm", "lsq", "abnormal"}
+        assert len(payload["suites"]["spmm"]) == 5
+        assert len(payload["suites"]["lsq"]) == 7
+
+    def test_table_output(self, capsys):
+        rc = main(["suite"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shar_te2-b2" in out
+        assert "rail2586" in out
+
+
+class TestErrorHandling:
+    def test_missing_file_fails_cleanly(self, capsys):
+        rc = main(["sketch", "--matrix", "/nonexistent/file.mtx"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_wide_matrix_lsq_fails_cleanly(self, capsys):
+        rc = main(["lsq", "--random", "10", "50", "0.3", "--solver",
+                   "sap-qr"])
+        assert rc == 1
+
+
+class TestSvdCommand:
+    def test_random_input(self, capsys):
+        rc = main(["--json", "svd", "--random", "200", "30", "0.2",
+                   "--rank", "5", "--seed", "3"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rank"] == 5
+        assert len(payload["singular_values"]) == 5
+        svals = payload["singular_values"]
+        assert svals == sorted(svals, reverse=True)
+
+    def test_rank_too_large_fails_cleanly(self, capsys):
+        rc = main(["svd", "--random", "20", "5", "0.4", "--rank", "10"])
+        assert rc == 1
+
+
+class TestProbeCalibrate:
+    def test_calibrate_flag(self, capsys):
+        rc = main(["--json", "probe", "--rng", "junk", "--calibrate"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["peak_gflops"] > 0
+        assert payload["recommended_kernel"] in ("algo3", "algo4")

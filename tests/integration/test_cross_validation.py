@@ -1,0 +1,100 @@
+"""Randomized cross-validation against scipy/LAPACK oracles.
+
+A consolidated sweep: random problem configurations spanning the full
+option space (generator family x distribution x kernel x blocking), each
+checked against an independent implementation — scipy's sparse matmul on
+the materialized sketch, scipy's LSQR/LSMR, LAPACK's QR.  These overlap
+individual unit tests deliberately: the point is one place that exercises
+*combinations*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import sketch_spmm
+from repro.rng import make_rng
+from repro.sparse import random_sparse
+
+CONFIGS = [
+    # (m, n, density, d, b_d, b_n, kernel, rng_kind, dist, seed)
+    (50, 12, 0.25, 18, 7, 4, "algo3", "philox", "uniform", 1),
+    (80, 20, 0.10, 30, 30, 20, "algo3", "xoshiro", "rademacher", 2),
+    (64, 16, 0.15, 24, 5, 3, "algo4", "philox", "uniform", 3),
+    (100, 25, 0.08, 40, 13, 9, "algo4", "threefry", "uniform", 4),
+    (40, 10, 0.30, 15, 4, 2, "algo3", "threefry", "gaussian", 5),
+    (90, 18, 0.12, 27, 9, 6, "algo4", "xoshiro", "rademacher", 6),
+    (70, 14, 0.20, 21, 21, 14, "algo3", "philox", "uniform_scaled", 7),
+    (55, 11, 0.25, 16, 3, 5, "algo4", "philox", "gaussian", 8),
+    (120, 30, 0.05, 45, 11, 7, "algo3", "xoshiro", "uniform", 9),
+    (60, 15, 0.18, 22, 8, 15, "algo4", "xoshiro", "uniform_scaled", 10),
+]
+
+
+class TestSketchAgainstScipy:
+    @pytest.mark.parametrize("cfg", CONFIGS,
+                             ids=[f"{c[6]}-{c[7]}-{c[8]}" for c in CONFIGS])
+    def test_config(self, cfg):
+        m, n, density, d, b_d, b_n, kernel, kind, dist, seed = cfg
+        A = random_sparse(m, n, density, seed=100 + seed)
+        rng = make_rng(kind, seed, dist)
+        Ahat, stats = sketch_spmm(A, d, rng, kernel=kernel, b_d=b_d, b_n=b_n)
+        # Independent oracle: materialize S with a fresh generator and
+        # multiply through scipy's sparse product.
+        ref_rng = make_rng(kind, seed, dist)
+        S = ref_rng.materialize(d, m, b_d=b_d)
+        expected = ref_rng.post_scale * np.asarray(S @ A.to_scipy().todense())
+        np.testing.assert_allclose(Ahat, expected, atol=1e-9)
+        assert stats.flops == 2 * d * A.nnz
+
+
+class TestSolversAgainstScipy:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_lsqr_matches_scipy(self, seed):
+        import scipy.sparse.linalg as spla
+
+        from repro.lsq import CscOperator, lsqr
+
+        A = random_sparse(90 + 10 * seed, 12 + seed, 0.2, seed=200 + seed)
+        b = np.random.default_rng(seed).standard_normal(A.shape[0])
+        ours = lsqr(CscOperator(A), b, atol=1e-12, btol=1e-12)
+        theirs = spla.lsqr(A.to_scipy(), b, atol=1e-12, btol=1e-12)
+        np.testing.assert_allclose(ours.z, theirs[0], atol=1e-6)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_direct_qr_matches_lapack(self, seed):
+        from scipy.linalg import qr as lapack_qr
+
+        from repro.lsq import givens_qr_factorize
+
+        A = random_sparse(60 + 5 * seed, 9 + seed, 0.3, seed=300 + seed)
+        R_ours = givens_qr_factorize(A, np.zeros(A.shape[0])).to_dense()
+        R_lapack = lapack_qr(A.to_dense(), mode="r")[0][:A.shape[1], :]
+        np.testing.assert_allclose(np.abs(R_ours), np.abs(R_lapack),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_sap_matches_dense_lstsq(self, seed):
+        from repro.core import SketchConfig
+        from repro.lsq import solve_sap
+
+        A = random_sparse(260, 14, 0.2, seed=400 + seed)
+        b = np.random.default_rng(seed).standard_normal(260)
+        sol = solve_sap(A, b, gamma=2.0,
+                        config=SketchConfig(gamma=2.0, seed=seed))
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(sol.x, expected, atol=1e-6)
+
+
+class TestSpGemmAgainstScipy:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_matmul_chain(self, seed):
+        from repro.sparse.arithmetic import matmul
+
+        rng = np.random.default_rng(seed)
+        dims = rng.integers(4, 20, size=4)
+        A = random_sparse(int(dims[0]), int(dims[1]), 0.3, seed=500 + seed)
+        B = random_sparse(int(dims[1]), int(dims[2]), 0.3, seed=600 + seed)
+        C = random_sparse(int(dims[2]), int(dims[3]), 0.3, seed=700 + seed)
+        ours = matmul(matmul(A, B), C).to_dense()
+        theirs = (A.to_scipy() @ B.to_scipy() @ C.to_scipy()).toarray()
+        np.testing.assert_allclose(ours, theirs, atol=1e-10)

@@ -1,0 +1,70 @@
+"""Documentation consistency tests."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestApiReference:
+    def test_api_md_in_sync(self):
+        """docs/api.md must match what the generator produces now."""
+        sys.path.insert(0, str(ROOT / "docs"))
+        try:
+            import generate_api
+        finally:
+            sys.path.pop(0)
+        committed = (ROOT / "docs" / "api.md").read_text()
+        assert committed == generate_api.render(), (
+            "docs/api.md is stale — run `python docs/generate_api.py`"
+        )
+
+    def test_every_public_symbol_documented(self):
+        """Every __all__ symbol must carry a docstring."""
+        import importlib
+        import inspect
+
+        sys.path.insert(0, str(ROOT / "docs"))
+        try:
+            import generate_api
+        finally:
+            sys.path.pop(0)
+        missing = []
+        for mod_name in generate_api.MODULES:
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                if name == "__version__":
+                    continue
+                obj = getattr(mod, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        missing.append(f"{mod_name}.{name}")
+        assert not missing, f"undocumented public symbols: {missing}"
+
+
+class TestRepoDocs:
+    @pytest.mark.parametrize("name", ["README.md", "DESIGN.md",
+                                      "EXPERIMENTS.md", "docs/theory.md"])
+    def test_exists_and_nonempty(self, name):
+        p = ROOT / name
+        assert p.exists()
+        assert len(p.read_text()) > 500
+
+    def test_design_covers_every_bench(self):
+        """Every bench module must appear in DESIGN.md's experiment index."""
+        design = (ROOT / "DESIGN.md").read_text()
+        missing = []
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            if bench.name not in design:
+                missing.append(bench.name)
+        assert not missing, f"benches missing from DESIGN.md: {missing}"
+
+    def test_examples_referenced_in_readme(self):
+        readme = (ROOT / "README.md").read_text()
+        missing = []
+        for ex in sorted((ROOT / "examples").glob("*.py")):
+            if ex.name not in readme:
+                missing.append(ex.name)
+        assert not missing, f"examples missing from README.md: {missing}"

@@ -1,0 +1,214 @@
+"""Shape-level assertions for the paper's headline claims.
+
+These tests encode the acceptance criteria from DESIGN.md section 5: not
+the absolute numbers (our substrate is a vectorized-NumPy simulator, not
+the authors' Julia/SIMD testbed) but the *relations* every table and
+figure reports — who wins, in which regime, and why.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import sketch_spmm
+from repro.model import (
+    FRONTERA,
+    PERLMUTTER,
+    advantage_over_gemm,
+    algo3_traffic,
+    algo4_traffic,
+    ci_small_rho,
+    gemm_ci,
+    simulate_algo3,
+    simulate_pregen,
+)
+from repro.parallel import parallel_efficiency, predict_time, simulate_strong_scaling
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+from repro.sparse import random_sparse
+from repro.workloads import ABNORMAL_SUITE, build_matrix
+
+
+class TestSectionIIITheory:
+    def test_sqrt_m_advantage(self):
+        """Abstract: 'beat the data movement lower bound of GEMM by a
+        factor of sqrt(M)' for cheap on-the-fly generation."""
+        M = FRONTERA.cache_words
+        assert advantage_over_gemm(M, 1e-12) > np.sqrt(M)
+
+    def test_h_below_one_required(self):
+        """Section III-A considers h < 1; at h >= 1 regeneration loses its
+        edge over precomputing (CI falls below the GEMM curve well before
+        the sqrt(M) gain is realized)."""
+        M = 10**6
+        assert ci_small_rho(M, 1e-4) > gemm_ci(M)
+        assert ci_small_rho(M, 4.0) < gemm_ci(M)
+
+    def test_cache_simulator_confirms_otf_wins(self):
+        """The mechanism behind everything: regenerating S keeps it out of
+        the cache, so measured word traffic drops vs a stored sketch."""
+        A = random_sparse(60, 20, 0.1, seed=1)
+        d = 40
+        otf = simulate_algo3(A, d, b_d=8, b_n=4, cache_words=128)
+        pre = simulate_pregen(A, d, b_d=8, b_n=4, cache_words=128)
+        assert otf.words_moved < 0.75 * pre.words_moved
+
+
+class TestSectionIIIBAccounting:
+    def test_algo3_generates_d_nnz(self):
+        """'it will always generate d x nnz(A) random numbers.'"""
+        A = random_sparse(100, 30, 0.08, seed=2)
+        rng = PhiloxSketchRNG(1)
+        _, stats = sketch_spmm(A, 60, rng, kernel="algo3", b_d=20, b_n=10)
+        assert stats.samples_generated == 60 * A.nnz
+
+    def test_algo4_saves_generation(self):
+        """'we can cut down the total number of randomly generated entries
+        to O(ceil(ndm / b_n))' — and below via empty rows."""
+        A = random_sparse(100, 30, 0.08, seed=2)
+        _, s3 = sketch_spmm(A, 60, PhiloxSketchRNG(1), kernel="algo3",
+                            b_d=20, b_n=10)
+        _, s4 = sketch_spmm(A, 60, PhiloxSketchRNG(1), kernel="algo4",
+                            b_d=20, b_n=10)
+        assert s4.samples_generated < s3.samples_generated
+        assert s4.samples_generated <= 60 * 100 * 3  # d * m * ceil(n/b_n)
+
+
+class TestTableIIShape:
+    def test_otf_traffic_beats_pregen_baseline(self):
+        """Table II's mechanism: Algorithm 3 wins over library SpMM with a
+        stored S because it moves less memory (model-level check; wall
+        clock on this host is a NumPy-dispatch contest, not a memory
+        contest)."""
+        from repro.model import pregen_traffic
+
+        A = build_matrix(list(ABNORMAL_SUITE.values())[0], scale="ci")
+        d = 3 * A.shape[1]
+        h = FRONTERA.h("uniform")
+        t3 = algo3_traffic(A, d, b_d=3000, b_n=500)
+        tp = pregen_traffic(A, d, b_d=3000, b_n=500,
+                            cache_words=FRONTERA.cache_words)
+        assert (t3.effective_words(h, FRONTERA.random_access_penalty)
+                < tp.effective_words(0.0, 1.0) + t3.rng_entries * h)
+        # Raw movement comparison (the real claim):
+        assert t3.effective_words(0.0) < tp.effective_words(0.0)
+
+    def test_pm1_cheaper_than_uniform(self):
+        """Table II: the +-1 column is consistently faster than (-1,1)."""
+        from repro.rng import RADEMACHER, UNIFORM
+
+        assert RADEMACHER.h_factor < UNIFORM.h_factor
+        # And the machine model converts that into a faster predicted run.
+        A = random_sparse(400, 60, 0.05, seed=3)
+        t = algo3_traffic(A, 180, b_d=3000, b_n=20)
+        fast = predict_time(t, FRONTERA, 1, FRONTERA.h("rademacher")).seconds
+        slow = predict_time(t, FRONTERA, 1, FRONTERA.h("uniform")).seconds
+        assert fast <= slow
+
+
+class TestTablesIIIandVCrossover:
+    """Frontera favours Algorithm 3; Perlmutter favours Algorithm 4."""
+
+    @pytest.fixture
+    def problem(self):
+        A = random_sparse(1000, 120, 0.02, seed=4)
+        return A, 360
+
+    def test_frontera_algo3_wins(self, problem):
+        A, d = problem
+        t3 = algo3_traffic(A, d, b_d=3000, b_n=40)
+        t4 = algo4_traffic(A, d, b_d=3000, b_n=40)
+        h = FRONTERA.h("uniform")
+        s3 = predict_time(t3, FRONTERA, 1, h).seconds
+        s4 = predict_time(t4, FRONTERA, 1, h).seconds
+        # On the random-access-punishing machine with cheap RNG, the
+        # strided kernel is at least competitive.
+        assert s3 <= s4 * 1.05
+
+    def test_perlmutter_algo4_wins(self, problem):
+        A, d = problem
+        t3 = algo3_traffic(A, d, b_d=3000, b_n=40)
+        t4 = algo4_traffic(A, d, b_d=3000, b_n=40)
+        h = PERLMUTTER.h("uniform")
+        s3 = predict_time(t3, PERLMUTTER, 1, h).seconds
+        s4 = predict_time(t4, PERLMUTTER, 1, h).seconds
+        assert s4 <= s3
+
+    def test_sample_time_smaller_for_algo4(self, problem):
+        """Tables III/V: Algorithm 4's 'sample time' column is roughly half
+        of Algorithm 3's."""
+        A, d = problem
+        _, s3 = sketch_spmm(A, d, XoshiroSketchRNG(1), kernel="algo3",
+                            b_d=120, b_n=40)
+        _, s4 = sketch_spmm(A, d, XoshiroSketchRNG(1), kernel="algo4",
+                            b_d=120, b_n=40)
+        assert s4.samples_generated < s3.samples_generated
+
+
+class TestTableVIShape:
+    """Abnormal patterns: Algorithm 3 oblivious, Algorithm 4 pattern-bound."""
+
+    def _samples(self, name, kernel):
+        A = build_matrix(ABNORMAL_SUITE[name], scale="ci")
+        d = A.shape[1] // 2 + 2
+        _, stats = sketch_spmm(A, d, PhiloxSketchRNG(1), kernel=kernel,
+                               b_d=d, b_n=max(1, A.shape[1] // 10))
+        return stats, A
+
+    def test_algo3_rng_volume_pattern_oblivious(self):
+        """Algorithm 3 generates d*nnz for every pattern — the Table VI
+        'consistent performance' observation."""
+        vols = {}
+        for name in ABNORMAL_SUITE:
+            stats, A = self._samples(name, "algo3")
+            vols[name] = stats.samples_generated / (stats.d * A.nnz)
+        assert all(v == pytest.approx(1.0) for v in vols.values())
+
+    def test_algo4_best_on_abnormal_a(self):
+        """Abnormal_A (dense rows) maximizes Algorithm 4's reuse: its RNG
+        volume collapses to ~(#dense rows) * d per block column."""
+        sa, Aa = self._samples("Abnormal_A", "algo4")
+        s3, _ = self._samples("Abnormal_A", "algo3")
+        assert sa.samples_generated < 0.2 * s3.samples_generated
+
+    def test_algo4_worst_on_abnormal_c(self):
+        """Abnormal_C (dense columns) gives Algorithm 4 no reuse advantage
+        relative to what A demands, while scattering updates: its RNG
+        saving over Algorithm 3 is much smaller than on Abnormal_A."""
+        sa, Aa = self._samples("Abnormal_A", "algo4")
+        sc, Ac = self._samples("Abnormal_C", "algo4")
+        ratio_a = sa.samples_generated / (sa.d * Aa.nnz)
+        ratio_c = sc.samples_generated / (sc.d * Ac.nnz)
+        assert ratio_c > ratio_a
+
+
+class TestTableVIIShape:
+    def test_scaling_and_efficiency(self):
+        """Table VII: near-linear scaling to ~8 threads, saturation by 32;
+        the tall 'setup2' blocking scales further; parallel efficiency at
+        32 threads lands in the tens of percent (paper: up to 45%)."""
+        A = random_sparse(4000, 340, 0.001, seed=5)
+        d = 3 * 340
+        pts = simulate_strong_scaling(A, d, FRONTERA, kernel="algo3",
+                                      b_d=d, b_n=24,
+                                      threads_list=[1, 2, 4, 8, 16, 32])
+        eff = parallel_efficiency(pts)
+        assert eff[2] > 0.9
+        assert 0.1 < eff[32] < 0.9
+        squat = simulate_strong_scaling(A, d, FRONTERA, kernel="algo3",
+                                        b_d=120, b_n=340, threads_list=[32])
+        tall = simulate_strong_scaling(A, d, FRONTERA, kernel="algo3",
+                                       b_d=d, b_n=24, threads_list=[32])
+        assert tall[0].seconds <= squat[0].seconds
+
+
+class TestSectionVANote:
+    def test_junk_rng_upper_bound(self):
+        """'replacing each randomly generated entry of S with junk ...
+        provided for a factor 2x speed up' — the junk generator must be
+        meaningfully faster at pure generation."""
+        from repro.rng import JunkRNG, rng_sample_rate
+
+        junk = rng_sample_rate(JunkRNG(), vector_length=4000,
+                               batch_columns=32, repeats=3)
+        real = rng_sample_rate(XoshiroSketchRNG(0), vector_length=4000,
+                               batch_columns=32, repeats=3)
+        assert junk > real

@@ -1,0 +1,88 @@
+"""Coarse performance-regression guards.
+
+Not benchmarks: these assert order-of-magnitude properties with generous
+margins (10x headroom), so they stay green across hosts while catching
+the failure modes that silently ruin this library — accidental
+de-vectorization of a kernel, a quadratic slip in a format conversion, or
+batching being bypassed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.kernels import sketch_spmm
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+from repro.sparse import csc_to_blocked_csr, random_sparse
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestKernelVectorization:
+    @pytest.mark.parametrize("kernel", ["algo3", "algo4"])
+    def test_vectorized_beats_reference(self, kernel):
+        """The production kernels must beat the pseudocode-verbatim loops
+        by a wide margin; equality means batching broke."""
+        A = random_sparse(600, 80, 0.05, seed=1601)
+        d = 120
+        fast = _best_of(lambda: sketch_spmm(
+            A, d, PhiloxSketchRNG(0), kernel=kernel, b_d=40, b_n=16))
+        slow = _best_of(lambda: sketch_spmm(
+            A, d, PhiloxSketchRNG(0), kernel=kernel, b_d=40, b_n=16,
+            reference=True), repeats=1)
+        assert fast * 5 < slow, (
+            f"{kernel}: vectorized {fast:.4f}s vs reference {slow:.4f}s"
+        )
+
+    def test_batched_rng_beats_narrow_lanes(self):
+        """Wide-lane xoshiro must clearly beat single-lane generation."""
+        wide = XoshiroSketchRNG(0, n_lanes=64)
+        narrow = XoshiroSketchRNG(0, n_lanes=1)
+        js = np.arange(8)
+        t_wide = _best_of(lambda: wide.column_block_batch(0, 4000, js))
+        t_narrow = _best_of(lambda: narrow.column_block_batch(0, 4000, js),
+                            repeats=1)
+        assert t_wide * 2 < t_narrow
+
+    def test_conversion_is_near_linear(self):
+        """Blocked-CSR conversion must scale ~linearly in nnz (catches an
+        accidental quadratic pass)."""
+        small = random_sparse(2000, 200, 0.02, seed=1602)
+        big = random_sparse(8000, 200, 0.02, seed=1603)  # 4x the entries
+        t_small = _best_of(lambda: csc_to_blocked_csr(small, 25))
+        t_big = _best_of(lambda: csc_to_blocked_csr(big, 25))
+        assert t_big < 40 * max(t_small, 1e-5), (
+            f"conversion scaled {t_big / max(t_small, 1e-9):.1f}x for 4x nnz"
+        )
+
+
+class TestOperatorVectorization:
+    def test_csc_operator_beats_python_loop(self):
+        """CscOperator's matvec must be O(nnz) vectorized, not per-column
+        Python loops."""
+        from repro.lsq import CscOperator
+        from repro.sparse.ops import spmv_csc
+
+        A = random_sparse(5000, 800, 0.01, seed=1604)
+        x = np.random.default_rng(0).standard_normal(800)
+        op = CscOperator(A)
+        op.matvec(x)  # warm
+        t_fast = _best_of(lambda: op.matvec(x))
+        t_loop = _best_of(lambda: spmv_csc(A, x), repeats=1)
+        assert t_fast * 3 < t_loop
+
+    def test_sample_counters_free(self):
+        """Instrumentation must not dominate generation."""
+        rng = PhiloxSketchRNG(0)
+        js = np.arange(64)
+        t = _best_of(lambda: rng.column_block_batch(0, 2000, js))
+        # 128k samples; even a slow host does this well under a second.
+        assert t < 1.0

@@ -1,0 +1,102 @@
+"""End-to-end integration: sketch -> precondition -> solve on workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig
+from repro.lsq import (
+    CscOperator,
+    error_metric,
+    solve_direct_qr,
+    solve_lsqr_diag,
+    solve_sap,
+)
+from repro.workloads import LSQ_SUITE, SPMM_SUITE, build_matrix
+
+
+def _rhs(A, seed):
+    """The paper's right-hand side: a vector in range(A) plus N(0, I)."""
+    rng = np.random.default_rng(seed)
+    return (CscOperator(A).matvec(rng.standard_normal(A.shape[1]))
+            + rng.standard_normal(A.shape[0]))
+
+
+class TestSpmmPipeline:
+    @pytest.mark.parametrize("name", ["mk-12", "cis-n4c6-b4"])
+    def test_sketch_on_suite_matrix(self, name):
+        from repro.core import sketch
+
+        A = build_matrix(SPMM_SUITE[name], scale="ci")
+        res = sketch(A, gamma=3.0, config=SketchConfig(seed=1))
+        assert res.sketch.shape == (3 * A.shape[1], A.shape[1])
+        assert np.all(np.isfinite(res.sketch))
+        assert res.stats.samples_generated > 0
+
+    def test_kernels_agree_on_suite_matrix(self):
+        from repro.kernels import sketch_spmm
+        from repro.rng import PhiloxSketchRNG
+
+        A = build_matrix(SPMM_SUITE["mk-12"], scale="ci")
+        d = 3 * A.shape[1]
+        a3, _ = sketch_spmm(A, d, PhiloxSketchRNG(7), kernel="algo3",
+                            b_d=100, b_n=16)
+        a4, _ = sketch_spmm(A, d, PhiloxSketchRNG(7), kernel="algo4",
+                            b_d=100, b_n=16)
+        np.testing.assert_allclose(a3, a4)
+
+
+class TestLeastSquaresPipeline:
+    def test_rail_case_full_pipeline(self):
+        A = build_matrix(LSQ_SUITE["rail582"], scale="ci")
+        b = _rhs(A, 1)
+        lsqrd = solve_lsqr_diag(A, b, max_iter=20000)
+        sap = solve_sap(A, b, gamma=2.0, method="qr",
+                        config=SketchConfig(gamma=2.0, seed=2))
+        # Both converge to the same minimizer.
+        np.testing.assert_allclose(sap.x, lsqrd.x, rtol=1e-4, atol=1e-6)
+        # SAP uses far fewer iterations (the Table IX shape).
+        assert sap.iterations < lsqrd.iterations
+
+    def test_illcond_case_needs_svd(self):
+        A = build_matrix(LSQ_SUITE["connectus"], scale="ci")
+        b = _rhs(A, 3)
+        sol = solve_sap(A, b, gamma=2.0, method="svd",
+                        config=SketchConfig(gamma=2.0, seed=4))
+        assert np.all(np.isfinite(sol.x))
+        assert sol.error < 1e-10
+
+    def test_direct_vs_sap_memory(self):
+        """Table XI shape: the direct factor dwarfs the sketch workspace."""
+        A = build_matrix(LSQ_SUITE["rail582"], scale="ci")
+        b = _rhs(A, 5)
+        sap = solve_sap(A, b, gamma=2.0, method="qr",
+                        config=SketchConfig(gamma=2.0, seed=6))
+        direct = solve_direct_qr(A, b)
+        assert direct.memory_bytes > sap.memory_bytes
+
+    def test_error_metric_consistency(self):
+        A = build_matrix(LSQ_SUITE["rail582"], scale="ci")
+        b = _rhs(A, 7)
+        sol = solve_sap(A, b, gamma=2.0, config=SketchConfig(gamma=2.0, seed=8))
+        assert sol.error == pytest.approx(error_metric(A, sol.x, b))
+
+
+class TestReproducibilityAcrossPaths:
+    def test_sequential_vs_parallel_pipeline(self):
+        from repro.core import SketchOperator
+
+        A = build_matrix(SPMM_SUITE["mk-12"], scale="ci")
+        d = 2 * A.shape[1]
+        seq = SketchOperator(d, A.shape[0], config=SketchConfig(
+            seed=9, kernel="algo3", threads=1, b_d=64, b_n=16))
+        par = SketchOperator(d, A.shape[0], config=SketchConfig(
+            seed=9, kernel="algo3", threads=4, b_d=64, b_n=16))
+        np.testing.assert_allclose(seq.apply(A).sketch, par.apply(A).sketch)
+
+    def test_sap_deterministic_given_seed(self):
+        A = build_matrix(LSQ_SUITE["rail582"], scale="ci")
+        b = _rhs(A, 10)
+        s1 = solve_sap(A, b, gamma=2.0, config=SketchConfig(gamma=2.0, seed=11))
+        s2 = solve_sap(A, b, gamma=2.0, config=SketchConfig(gamma=2.0, seed=11))
+        np.testing.assert_array_equal(s1.x, s2.x)
+        assert s1.iterations == s2.iterations

@@ -1,0 +1,171 @@
+"""Robustness / failure-injection tests across the stack.
+
+Edge inputs a downstream user will eventually feed the library: empty
+matrices, single entries, denormal and huge values, NaN/Inf propagation,
+duplicate-heavy COO input, and degenerate solver problems.  The contract
+under test: garbage is either *rejected with a library error* or
+*propagated predictably* (NaN in -> NaN out), never silently wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig, sketch
+from repro.errors import ConfigError, ReproError
+from repro.kernels import sketch_spmm
+from repro.lsq import CscOperator, lsqr, solve_lsqr_diag
+from repro.rng import PhiloxSketchRNG
+from repro.sparse import COOMatrix, CSCMatrix, random_sparse
+
+
+class TestDegenerateShapes:
+    def test_empty_matrix_sketches_to_zero(self):
+        A = CSCMatrix((50, 4), np.zeros(5, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        Ahat, stats = sketch_spmm(A, 10, PhiloxSketchRNG(0), b_d=5, b_n=2)
+        np.testing.assert_array_equal(Ahat, np.zeros((10, 4)))
+        assert stats.samples_generated == 0
+
+    def test_single_entry_matrix(self):
+        A = CSCMatrix((30, 3), np.array([0, 0, 1, 1]), np.array([17]),
+                      np.array([2.5]))
+        rng = PhiloxSketchRNG(1)
+        Ahat, _ = sketch_spmm(A, 6, rng, b_d=6, b_n=1)
+        ref = PhiloxSketchRNG(1).materialize(6, 30) @ A.to_dense()
+        np.testing.assert_allclose(Ahat, ref)
+
+    def test_one_by_one(self):
+        A = CSCMatrix.from_dense(np.array([[3.0]]))
+        Ahat, _ = sketch_spmm(A, 2, PhiloxSketchRNG(2), b_d=1, b_n=1)
+        assert Ahat.shape == (2, 1)
+
+    def test_single_column_blocking_extremes(self):
+        A = random_sparse(40, 1, 0.3, seed=1)
+        for b_n in (1, 5):
+            Ahat, _ = sketch_spmm(A, 8, PhiloxSketchRNG(3), b_d=3, b_n=b_n)
+            ref = PhiloxSketchRNG(3).materialize(8, 40, b_d=3) @ A.to_dense()
+            np.testing.assert_allclose(Ahat, ref)
+
+    def test_d_one(self):
+        A = random_sparse(20, 6, 0.3, seed=2)
+        Ahat, _ = sketch_spmm(A, 1, PhiloxSketchRNG(4), b_d=1, b_n=2)
+        assert Ahat.shape == (1, 6)
+
+
+class TestValuePropagation:
+    def test_nan_propagates_not_hides(self):
+        dense = np.zeros((10, 3))
+        dense[2, 1] = np.nan
+        dense[5, 0] = 1.0
+        A = CSCMatrix.from_dense(dense)
+        Ahat, _ = sketch_spmm(A, 4, PhiloxSketchRNG(5), b_d=4, b_n=3)
+        assert np.isnan(Ahat[:, 1]).all()      # the NaN column poisons itself
+        assert np.isfinite(Ahat[:, 0]).all()   # other columns unaffected
+
+    def test_inf_propagates(self):
+        dense = np.zeros((10, 2))
+        dense[3, 0] = np.inf
+        A = CSCMatrix.from_dense(dense)
+        Ahat, _ = sketch_spmm(A, 4, PhiloxSketchRNG(6), b_d=2, b_n=1)
+        assert np.all(np.isinf(Ahat[:, 0]) | np.isnan(Ahat[:, 0]))
+
+    def test_denormal_and_huge_values(self):
+        dense = np.zeros((12, 2))
+        dense[1, 0] = 5e-324          # smallest subnormal
+        dense[2, 1] = 1e308           # near overflow
+        A = CSCMatrix.from_dense(dense)
+        Ahat, _ = sketch_spmm(A, 4, PhiloxSketchRNG(7), b_d=4, b_n=2)
+        ref = PhiloxSketchRNG(7).materialize(4, 12) @ A.to_dense()
+        np.testing.assert_allclose(Ahat, ref)
+        assert np.all(np.isfinite(Ahat))
+
+    def test_negative_zero_roundtrip(self):
+        import io
+
+        from repro.sparse import read_matrix_market, write_matrix_market
+
+        A = CSCMatrix((2, 2), np.array([0, 1, 1]), np.array([0]),
+                      np.array([-0.0]))
+        buf = io.StringIO()
+        write_matrix_market(A, buf)
+        buf.seek(0)
+        B = read_matrix_market(buf)
+        assert B.nnz == 1
+        assert np.signbit(B.data[0])
+
+
+class TestMessyConstruction:
+    def test_duplicate_heavy_coo(self):
+        rows = np.zeros(1000, dtype=np.int64)
+        cols = np.zeros(1000, dtype=np.int64)
+        vals = np.ones(1000)
+        A = COOMatrix((3, 3), rows, cols, vals).to_csc()
+        assert A.nnz == 1
+        assert A.to_dense()[0, 0] == 1000.0
+
+    def test_unsorted_coo_input(self):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 20, size=50)
+        cols = rng.integers(0, 10, size=50)
+        vals = rng.standard_normal(50)
+        A = COOMatrix((20, 10), rows, cols, vals).to_csc()
+        A.validate()
+        dense = np.zeros((20, 10))
+        np.add.at(dense, (rows, cols), vals)
+        np.testing.assert_allclose(A.to_dense(), dense)
+
+
+class TestSolverDegeneracies:
+    def test_zero_matrix_least_squares(self):
+        A = CSCMatrix((20, 4), np.zeros(5, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        b = np.ones(20)
+        res = lsqr(CscOperator(A), b)
+        np.testing.assert_array_equal(res.z, np.zeros(4))
+        assert res.stop_reason == "ground-zero"
+
+    def test_lsqrd_all_zero_columns_safeguard(self):
+        # Every column norm trips the epsilon rule -> D = I; must not crash.
+        dense = np.zeros((10, 3))
+        dense[0, 0] = 1.0
+        A = CSCMatrix.from_dense(dense)
+        sol = solve_lsqr_diag(A, np.ones(10))
+        assert np.all(np.isfinite(sol.x))
+
+    def test_sketch_rejects_zero_columns(self):
+        A = CSCMatrix((5, 0), np.zeros(1, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(ConfigError):
+            sketch_spmm(A, 4, PhiloxSketchRNG(0))
+
+    def test_library_errors_are_repro_errors(self):
+        """Every intentional rejection derives from ReproError."""
+        A = random_sparse(10, 5, 0.3, seed=4)
+        failures = 0
+        for bad_call in (
+            lambda: sketch_spmm(A, 0, PhiloxSketchRNG(0)),
+            lambda: sketch_spmm(A, 4, PhiloxSketchRNG(0), kernel="nope"),
+            lambda: sketch(A, gamma=0.5),
+            lambda: SketchConfig(gamma=1.0),
+        ):
+            try:
+                bad_call()
+            except ReproError:
+                failures += 1
+        assert failures == 4
+
+
+class TestFormatConfusionGuards:
+    def test_csr_rejected_by_sketch(self):
+        """A CSR matrix duck-types CSC's buffers with transposed meaning;
+        the kernels must refuse it rather than compute garbage."""
+        A = random_sparse(20, 8, 0.3, seed=5).to_csr()
+        with pytest.raises(ConfigError, match="CSCMatrix"):
+            sketch_spmm(A, 10, PhiloxSketchRNG(0))
+
+    def test_csr_rejected_by_operator(self):
+        from repro.errors import ShapeError
+
+        A = random_sparse(20, 8, 0.3, seed=6).to_csr()
+        with pytest.raises(ShapeError, match="CSCMatrix"):
+            CscOperator(A)

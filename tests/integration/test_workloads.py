@@ -1,0 +1,170 @@
+"""Tests for repro.workloads (surrogate suites)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    ABNORMAL_SUITE,
+    LSQ_SUITE,
+    SPMM_SUITE,
+    build_matrix,
+    current_scale,
+    scale_dims,
+)
+
+
+class TestSuiteContents:
+    def test_spmm_suite_names(self):
+        assert set(SPMM_SUITE) == {
+            "mk-12", "ch7-9-b3", "shar_te2-b2", "mesh_deform", "cis-n4c6-b4"
+        }
+
+    def test_lsq_suite_names(self):
+        assert set(LSQ_SUITE) == {
+            "rail582", "rail2586", "rail4284", "spal_004",
+            "specular", "connectus", "landmark"
+        }
+
+    def test_abnormal_suite_names(self):
+        assert set(ABNORMAL_SUITE) == {"Abnormal_A", "Abnormal_B", "Abnormal_C"}
+
+    def test_published_stats_match_table1(self):
+        c = SPMM_SUITE["shar_te2-b2"]
+        assert (c.m, c.n, c.nnz) == (200200, 17160, 600600)
+        assert c.density == pytest.approx(1.75e-4, rel=0.01)
+        assert c.paper["d"] == 51480  # = 3n
+
+    def test_published_stats_match_table8(self):
+        c = LSQ_SUITE["rail2586"]
+        assert c.paper["cond"] == 496.0
+        assert c.paper["suitesparse_mem"] == pytest.approx(15950.11)
+
+    def test_d_is_3n_for_spmm_suite(self):
+        for case in SPMM_SUITE.values():
+            assert case.paper["d"] == 3 * case.n
+
+    def test_svd_cases_flagged(self):
+        for name in ("specular", "connectus", "landmark"):
+            assert LSQ_SUITE[name].paper["sap_method"] == "svd"
+        for name in ("rail582", "rail2586", "rail4284", "spal_004"):
+            assert LSQ_SUITE[name].paper["sap_method"] == "qr"
+
+
+class TestScaling:
+    def test_scale_dims_paper_identity(self):
+        assert scale_dims(1000, 500, "paper") == (1000, 500)
+
+    def test_scale_dims_ci_shrinks(self):
+        m, n = scale_dims(100_000, 10_000, "ci")
+        assert m == 2000 and n == 200
+
+    def test_floors_respected(self):
+        m, n = scale_dims(100, 30, "ci")
+        assert m >= 64 and n >= 24
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            scale_dims(10, 10, "huge")
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert current_scale() == "small"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ConfigError):
+            current_scale()
+
+    def test_current_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() == "ci"
+
+
+class TestBuildMatrix:
+    @pytest.mark.parametrize("name", sorted(SPMM_SUITE))
+    def test_spmm_surrogates_build_at_ci(self, name):
+        A = build_matrix(SPMM_SUITE[name], scale="ci")
+        A.validate()
+        m, n = scale_dims(SPMM_SUITE[name].m, SPMM_SUITE[name].n, "ci")
+        assert A.shape == (m, n)
+        assert A.nnz > 0
+
+    @pytest.mark.parametrize("name", sorted(LSQ_SUITE))
+    def test_lsq_surrogates_build_at_ci(self, name):
+        A = build_matrix(LSQ_SUITE[name], scale="ci")
+        A.validate()
+        assert A.shape[0] > A.shape[1]  # all tall after transposition
+
+    @pytest.mark.parametrize("name", sorted(ABNORMAL_SUITE))
+    def test_abnormal_surrogates_build_at_ci(self, name):
+        A = build_matrix(ABNORMAL_SUITE[name], scale="ci")
+        A.validate()
+        # The paper's target is ~1e-3; at CI scale the dense-line period is
+        # clipped to the shrunken dimensions, widening the band.
+        assert 1e-4 < A.density <= 3e-2
+
+    def test_boundary_surrogate_keeps_col_nnz(self):
+        case = SPMM_SUITE["ch7-9-b3"]
+        A = build_matrix(case, scale="ci")
+        np.testing.assert_array_equal(A.col_nnz(), np.full(A.shape[1], 24))
+
+    def test_deterministic(self):
+        a = build_matrix(SPMM_SUITE["mk-12"], scale="ci")
+        b = build_matrix(SPMM_SUITE["mk-12"], scale="ci")
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_illcond_surrogates_are_illcond(self):
+        from repro.sparse import condition_number
+
+        A = build_matrix(LSQ_SUITE["specular"], scale="ci")
+        assert condition_number(A) > 1e8
+
+
+class TestRealMatrixOverride:
+    def test_loads_real_file_when_present(self, tmp_path, monkeypatch):
+        """REPRO_MATRIX_DIR with a <name>.mtx overrides the surrogate."""
+        from repro.sparse import random_sparse, write_matrix_market
+
+        real = random_sparse(77, 9, 0.3, seed=99)
+        write_matrix_market(real, tmp_path / "mk-12.mtx")
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        got = build_matrix(SPMM_SUITE["mk-12"], scale="ci")
+        np.testing.assert_array_equal(got.to_dense(), real.to_dense())
+
+    def test_wide_file_transposed(self, tmp_path, monkeypatch):
+        """Wide inputs are transposed to tall, as the paper does."""
+        from repro.sparse import random_sparse, write_matrix_market
+
+        # Dense enough that no rows/columns are empty (cleanup would
+        # legitimately drop those).
+        wide = random_sparse(6, 40, 0.9, seed=98)
+        write_matrix_market(wide, tmp_path / "rail582.mtx")
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        got = build_matrix(LSQ_SUITE["rail582"])
+        assert got.shape == (40, 6)
+        np.testing.assert_array_equal(got.to_dense(), wide.to_dense().T)
+
+    def test_empty_rows_and_columns_removed(self, tmp_path, monkeypatch):
+        """The paper's data hygiene: empty rows/columns are dropped."""
+        from repro.sparse import CSCMatrix, write_matrix_market
+
+        dense = np.zeros((6, 3))
+        dense[0, 0] = 1.0
+        dense[5, 2] = 2.0  # column 1 empty; rows 1-4 empty
+        write_matrix_market(CSCMatrix.from_dense(dense),
+                            tmp_path / "specular.mtx")
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        got = build_matrix(LSQ_SUITE["specular"])
+        assert got.shape == (2, 2)
+        assert got.nnz == 2
+
+    def test_missing_file_falls_back_to_surrogate(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        got = build_matrix(SPMM_SUITE["mk-12"], scale="ci")
+        surrogate = SPMM_SUITE["mk-12"].builder(
+            *scale_dims(13860, 1485, "ci"), SPMM_SUITE["mk-12"].seed)
+        np.testing.assert_array_equal(got.to_dense(), surrogate.to_dense())
+
+    def test_unset_env_uses_surrogate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MATRIX_DIR", raising=False)
+        got = build_matrix(SPMM_SUITE["cis-n4c6-b4"], scale="ci")
+        assert got.nnz > 0

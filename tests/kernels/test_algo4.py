@@ -1,0 +1,131 @@
+"""Tests for repro.kernels.algo4 (variant jki with on-the-fly RNG)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import algo3_block_reference, algo4_block, algo4_block_reference
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+from repro.sparse import CSRMatrix, csc_to_blocked_csr, random_sparse
+from repro.utils import Stopwatch
+
+
+def _block(A, b_n=None):
+    """First vertical block of A in CSR."""
+    b_n = A.shape[1] if b_n is None else b_n
+    B, _ = csc_to_blocked_csr(A, b_n)
+    return B.blocks[0]
+
+
+class TestReferenceKernel:
+    def test_matches_algo3_reference(self):
+        # With a counter-based RNG both algorithms compute the same product.
+        A = random_sparse(25, 8, 0.3, seed=71)
+        d1, r = 6, 12
+        ref = np.zeros((d1, 8))
+        algo3_block_reference(ref, A, r, PhiloxSketchRNG(5))
+        out = np.zeros((d1, 8))
+        algo4_block_reference(out, _block(A), r, PhiloxSketchRNG(5))
+        np.testing.assert_allclose(out, ref)
+
+    def test_skips_empty_rows(self):
+        A = random_sparse(40, 6, 0.05, seed=72)
+        blk = _block(A)
+        rng = PhiloxSketchRNG(1)
+        out = np.zeros((5, 6))
+        algo4_block_reference(out, blk, 0, rng)
+        # RNG volume: d1 per *non-empty* row only.
+        assert rng.samples_generated == 5 * blk.nonempty_rows().size
+
+    def test_rng_reuse_across_row(self):
+        # A single dense row triggers exactly one d1-vector generation.
+        dense = np.zeros((4, 5))
+        dense[2, :] = np.arange(1.0, 6.0)
+        A = CSRMatrix.from_dense(dense)
+        rng = PhiloxSketchRNG(2)
+        out = np.zeros((3, 5))
+        algo4_block_reference(out, A, 0, rng)
+        assert rng.samples_generated == 3  # one column of S, reused 5x
+
+
+class TestVectorizedKernel:
+    @pytest.mark.parametrize("row_chunk", [1, 2, 7, 1000])
+    def test_matches_reference_any_chunk(self, row_chunk):
+        A = random_sparse(30, 11, 0.2, seed=73)
+        blk = _block(A)
+        ref = np.zeros((7, 11))
+        algo4_block_reference(ref, blk, 14, PhiloxSketchRNG(9))
+        out = np.zeros((7, 11))
+        algo4_block(out, blk, 14, PhiloxSketchRNG(9), row_chunk=row_chunk)
+        np.testing.assert_allclose(out, ref)
+
+    def test_long_row_path(self):
+        # Dense rows trigger the per-row vectorized branch (avg nnz >= 8).
+        dense = np.zeros((6, 12))
+        dense[1, :] = 1.0
+        dense[4, :] = -0.5
+        A = CSRMatrix.from_dense(dense)
+        ref = np.zeros((5, 12))
+        algo4_block_reference(ref, A, 0, PhiloxSketchRNG(4))
+        out = np.zeros((5, 12))
+        algo4_block(out, A, 0, PhiloxSketchRNG(4))
+        np.testing.assert_allclose(out, ref)
+
+    def test_short_row_scatter_path(self):
+        # Sparse rows trigger the chunked np.add.at branch.
+        A = random_sparse(50, 20, 0.03, seed=74)
+        blk = _block(A)
+        ref = np.zeros((4, 20))
+        algo4_block_reference(ref, blk, 0, PhiloxSketchRNG(4))
+        out = np.zeros((4, 20))
+        algo4_block(out, blk, 0, PhiloxSketchRNG(4), row_chunk=8)
+        np.testing.assert_allclose(out, ref)
+
+    def test_xoshiro_matches_reference(self):
+        A = random_sparse(30, 9, 0.2, seed=75)
+        blk = _block(A)
+        ref = np.zeros((6, 9))
+        algo4_block_reference(ref, blk, 6, XoshiroSketchRNG(9))
+        out = np.zeros((6, 9))
+        algo4_block(out, blk, 6, XoshiroSketchRNG(9))
+        np.testing.assert_allclose(out, ref)
+
+    def test_stopwatch_buckets(self):
+        A = random_sparse(30, 9, 0.2, seed=76)
+        sw = Stopwatch()
+        out = np.zeros((4, 9))
+        algo4_block(out, _block(A), 0, PhiloxSketchRNG(1), watch=sw)
+        assert sw.total("sample") > 0.0
+        assert sw.total("compute") > 0.0
+
+    def test_empty_block_noop(self):
+        A = CSRMatrix((8, 3), np.zeros(9, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        out = np.zeros((4, 3))
+        algo4_block(out, A, 0, PhiloxSketchRNG(3))
+        np.testing.assert_array_equal(out, np.zeros((4, 3)))
+
+    def test_shape_mismatch(self):
+        A = random_sparse(10, 5, 0.3, seed=77)
+        with pytest.raises(ShapeError):
+            algo4_block(np.zeros((4, 7)), _block(A), 0, PhiloxSketchRNG(0))
+
+    def test_bad_row_chunk(self):
+        A = random_sparse(10, 5, 0.3, seed=78)
+        with pytest.raises(ShapeError):
+            algo4_block(np.zeros((4, 5)), _block(A), 0, PhiloxSketchRNG(0),
+                        row_chunk=0)
+
+
+class TestRngSavingsVsAlgo3:
+    def test_fewer_samples_than_algo3(self):
+        # Algorithm 4's raison d'etre: strictly fewer generated numbers
+        # whenever some row of a block holds more than one nonzero.
+        A = random_sparse(40, 30, 0.15, seed=79)
+        blk = _block(A)
+        r3, r4 = PhiloxSketchRNG(1), PhiloxSketchRNG(1)
+        out = np.zeros((6, 30))
+        algo3_block_reference(out.copy(), A, 0, r3)
+        algo4_block(out, blk, 0, r4)
+        assert r4.samples_generated < r3.samples_generated
+        assert r3.samples_generated == 6 * A.nnz

@@ -1,0 +1,79 @@
+"""Tests for repro.kernels.autotune."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.autotune import TuneResult, autotune_blocking, autotune_kernel
+from repro.rng import PhiloxSketchRNG
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(300, 80, 0.05, seed=1101)
+
+
+def _factory():
+    return PhiloxSketchRNG(7)
+
+
+class TestAutotuneBlocking:
+    def test_returns_valid_blocking(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1)
+        assert 1 <= res.b_d <= 60
+        assert 1 <= res.b_n <= 80
+        assert res.seconds > 0
+        assert res.kernel == "algo3"
+
+    def test_winner_is_min_of_trials(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1)
+        assert res.seconds == min(t[3] for t in res.trials)
+        assert (res.kernel, res.b_d, res.b_n, res.seconds) in res.trials
+
+    def test_explicit_candidates(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1,
+                                candidates=[(10, 5), (60, 80)])
+        assert (res.b_d, res.b_n) in [(10, 5), (60, 80)]
+        assert len(res.trials) == 2
+
+    def test_candidates_clipped_to_problem(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1,
+                                candidates=[(1000, 1000)])
+        assert res.b_d <= 60
+        assert res.b_n <= 80
+
+    def test_tuning_slice_bounds_cost(self, A):
+        # With a tiny slice, every trial's matrix has at most that width.
+        res = autotune_blocking(A, 60, _factory, repeats=1,
+                                max_tuning_cols=8)
+        assert res.b_n <= 8
+
+    def test_empty_candidates_rejected(self, A):
+        with pytest.raises(ConfigError):
+            autotune_blocking(A, 60, _factory, candidates=[])
+
+    def test_unknown_kernel(self, A):
+        with pytest.raises(ConfigError):
+            autotune_blocking(A, 60, _factory, kernel="algo9")
+
+    def test_describe(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1)
+        assert "b_d=" in res.describe()
+
+
+class TestAutotuneKernel:
+    def test_races_both_kernels(self, A):
+        res = autotune_kernel(A, 60, _factory, repeats=1)
+        kernels_tried = {t[0] for t in res.trials}
+        assert kernels_tried == {"algo3", "algo4"}
+        assert res.kernel in kernels_tried
+
+    def test_result_usable_in_sketch(self, A):
+        from repro.kernels import sketch_spmm
+
+        res = autotune_kernel(A, 60, _factory, repeats=1)
+        Ahat, _ = sketch_spmm(A, 60, _factory(), kernel=res.kernel,
+                              b_d=res.b_d, b_n=min(res.b_n, A.shape[1]))
+        ref = _factory().materialize(60, 300, b_d=res.b_d) @ A.to_dense()
+        np.testing.assert_allclose(Ahat, ref)

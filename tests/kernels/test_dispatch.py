@@ -1,0 +1,64 @@
+"""Tests for repro.kernels.dispatch (architecture/pattern kernel choice)."""
+
+import pytest
+
+from repro.kernels import choose_kernel, column_concentration
+from repro.model import FRONTERA, PERLMUTTER
+from repro.sparse import abnormal_c, random_sparse
+
+
+class TestColumnConcentration:
+    def test_uniform_pattern_low(self):
+        A = random_sparse(200, 100, 0.05, seed=1)
+        assert column_concentration(A, 0.01) < 0.2
+
+    def test_abnormal_c_high(self):
+        A = abnormal_c(100, 1000, period=100, seed=1)
+        assert column_concentration(A, 0.01) > 0.9
+
+    def test_empty_matrix(self):
+        from repro.sparse import CSCMatrix
+        import numpy as np
+
+        A = CSCMatrix((5, 4), np.zeros(5, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        assert column_concentration(A) == 0.0
+
+    def test_invalid_fraction(self):
+        A = random_sparse(10, 10, 0.1, seed=1)
+        with pytest.raises(ValueError):
+            column_concentration(A, 0.0)
+
+
+class TestChooseKernel:
+    def test_frontera_always_algo3(self):
+        # Frontera penalizes random access: Algorithm 3 (Tables II/III).
+        A = random_sparse(200, 100, 0.05, seed=2)
+        choice = choose_kernel(FRONTERA, A)
+        assert choice.kernel == "algo3"
+        assert not choice.machine_favors_reuse
+
+    def test_perlmutter_prefers_algo4(self):
+        # Perlmutter tolerates random access: Algorithm 4 (Tables IV/V).
+        A = random_sparse(200, 100, 0.05, seed=2)
+        choice = choose_kernel(PERLMUTTER, A)
+        assert choice.kernel == "algo4"
+        assert choice.machine_favors_reuse
+
+    def test_perlmutter_abnormal_c_falls_back(self):
+        # Even a reuse-favouring machine avoids Algorithm 4 on the
+        # column-concentrated pattern that doubles its runtime (Table VI).
+        A = abnormal_c(100, 1000, period=100, seed=3)
+        choice = choose_kernel(PERLMUTTER, A)
+        assert choice.kernel == "algo3"
+        assert "Abnormal_C" in choice.reason
+
+    def test_reason_strings(self):
+        A = random_sparse(50, 20, 0.1, seed=4)
+        assert "strided" in choose_kernel(FRONTERA, A).reason
+        assert "reuse" in choose_kernel(PERLMUTTER, A).reason
+
+    def test_concentration_recorded(self):
+        A = random_sparse(50, 20, 0.1, seed=5)
+        choice = choose_kernel(PERLMUTTER, A)
+        assert 0.0 <= choice.column_concentration <= 1.0

@@ -1,0 +1,76 @@
+"""Tests for repro.kernels.loop_orders — all six Algorithm 2 variants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import LOOP_ORDER_KERNELS, RULED_OUT
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def operands():
+    rng = np.random.default_rng(3)
+    L = rng.standard_normal((6, 15))
+    R = random_sparse(15, 9, 0.25, seed=13)
+    return L, R, R.to_csr(), L @ R.to_dense()
+
+
+class TestAllVariantsAgree:
+    @pytest.mark.parametrize("order", sorted(LOOP_ORDER_KERNELS))
+    def test_matches_dense(self, operands, order):
+        L, R_csc, R_csr, expected = operands
+        fn, fmt = LOOP_ORDER_KERNELS[order]
+        got = fn(L, R_csc if fmt == "csc" else R_csr)
+        np.testing.assert_allclose(got, expected)
+
+    @pytest.mark.parametrize("order", sorted(LOOP_ORDER_KERNELS))
+    def test_empty_sparse(self, order):
+        from repro.sparse import CSCMatrix
+
+        L = np.ones((3, 4))
+        R = CSCMatrix((4, 2), np.zeros(3, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        fn, fmt = LOOP_ORDER_KERNELS[order]
+        got = fn(L, R if fmt == "csc" else R.to_csr())
+        np.testing.assert_array_equal(got, np.zeros((3, 2)))
+
+    @pytest.mark.parametrize("order", sorted(LOOP_ORDER_KERNELS))
+    def test_shape_mismatch(self, operands, order):
+        _, R_csc, R_csr, _ = operands
+        fn, fmt = LOOP_ORDER_KERNELS[order]
+        with pytest.raises(ShapeError):
+            fn(np.ones((3, 7)), R_csc if fmt == "csc" else R_csr)
+
+
+class TestDesignSpaceMetadata:
+    def test_six_variants(self):
+        assert len(LOOP_ORDER_KERNELS) == 6
+        assert set(LOOP_ORDER_KERNELS) == {"ijk", "ikj", "jik", "jki", "kij", "kji"}
+
+    def test_paper_rules_out_four(self):
+        # Section II-B removes ikj/kij (noncontiguous RNG), ijk (row sums),
+        # and jik (scattered row updates) — leaving kji and jki.
+        assert set(RULED_OUT) == {"ikj", "kij", "ijk", "jik"}
+        survivors = set(LOOP_ORDER_KERNELS) - set(RULED_OUT)
+        assert survivors == {"kji", "jki"}
+
+    def test_formats_match_paper(self):
+        # Algorithm 3 (kji) consumes CSC; Algorithm 4 (jki) consumes CSR.
+        assert LOOP_ORDER_KERNELS["kji"][1] == "csc"
+        assert LOOP_ORDER_KERNELS["jki"][1] == "csr"
+
+
+class TestSquareExample:
+    def test_paper_3x3_illustration(self):
+        # The 3x3 case Section II-B writes out explicitly.
+        rng = np.random.default_rng(7)
+        L = rng.standard_normal((3, 3))
+        from repro.sparse import CSCMatrix
+
+        R_dense = np.array([[1.0, 0, 2.0], [0, 0, 3.0], [4.0, 5.0, 0]])
+        R = CSCMatrix.from_dense(R_dense)
+        expected = L @ R_dense
+        for order, (fn, fmt) in LOOP_ORDER_KERNELS.items():
+            got = fn(L, R if fmt == "csc" else R.to_csr())
+            np.testing.assert_allclose(got, expected, err_msg=order)

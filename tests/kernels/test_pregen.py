@@ -1,0 +1,76 @@
+"""Tests for repro.kernels.pregen (pre-generated-S baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    pregen_csr_transposed,
+    pregen_full,
+    pregen_rowblocks,
+    sketch_spmm,
+)
+from repro.rng import PhiloxSketchRNG
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(60, 18, 0.15, seed=91)
+
+
+class TestAgreementAcrossBaselines:
+    def test_full_matches_otf(self, A):
+        d = 21
+        otf, _ = sketch_spmm(A, d, PhiloxSketchRNG(2), kernel="algo3",
+                             b_d=d, b_n=6)
+        pre, _ = pregen_full(A, d, PhiloxSketchRNG(2))
+        np.testing.assert_allclose(pre, otf)
+
+    def test_rowblocks_matches_full(self, A):
+        d = 21
+        full, _ = pregen_full(A, d, PhiloxSketchRNG(2))
+        blocks, _ = pregen_rowblocks(A, d, PhiloxSketchRNG(2), b_d=8)
+        np.testing.assert_allclose(blocks, full)
+
+    def test_csr_transposed_matches_full(self, A):
+        d = 21
+        full, _ = pregen_full(A, d, PhiloxSketchRNG(2))
+        mkl, _ = pregen_csr_transposed(A, d, PhiloxSketchRNG(2))
+        np.testing.assert_allclose(mkl, full)
+
+    def test_scaling_trick_in_baselines(self, A):
+        d = 15
+        plain, _ = pregen_full(A, d, PhiloxSketchRNG(3, "uniform"))
+        trick, _ = pregen_full(A, d, PhiloxSketchRNG(3, "uniform_scaled"))
+        np.testing.assert_allclose(plain, trick)
+
+
+class TestStats:
+    def test_full_generates_d_times_m(self, A):
+        d = 10
+        _, stats = pregen_full(A, d, PhiloxSketchRNG(1))
+        assert stats.samples_generated == d * 60
+        assert stats.extra["sketch_bytes"] == d * 60 * 8
+
+    def test_rowblocks_bounded_panel(self, A):
+        d = 20
+        _, stats = pregen_rowblocks(A, d, PhiloxSketchRNG(1), b_d=5)
+        assert stats.extra["sketch_bytes"] == 5 * 60 * 8  # one panel only
+        assert stats.blocks_processed == 4
+
+    def test_pregen_memory_exceeds_otf(self, A):
+        # The defining cost: pregen holds O(d*m); on-the-fly holds nothing.
+        d = 30
+        _, stats = pregen_full(A, d, PhiloxSketchRNG(1))
+        assert stats.extra["sketch_bytes"] >= d * A.shape[0] * 8
+
+    def test_sample_time_separated(self, A):
+        _, stats = pregen_full(A, 10, PhiloxSketchRNG(1))
+        assert stats.sample_seconds > 0
+        assert stats.compute_seconds > 0
+
+    def test_invalid_d(self, A):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            pregen_full(A, 0, PhiloxSketchRNG(1))

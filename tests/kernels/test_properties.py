@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for kernel equivalence.
+
+The central invariant of the whole design space: every kernel variant,
+every blocking, and every batch decomposition computes the *same* product
+``S @ A`` for a counter-based generator (and blocking-keyed generators
+agree whenever the ``b_d`` grid matches).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import sketch_spmm
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+from repro.sparse import random_sparse
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def problems(draw):
+    m = draw(st.integers(min_value=4, max_value=40))
+    n = draw(st.integers(min_value=2, max_value=15))
+    density = draw(st.floats(min_value=0.05, max_value=0.5))
+    mseed = draw(st.integers(min_value=0, max_value=100))
+    d = draw(st.integers(min_value=2, max_value=30))
+    return random_sparse(m, n, density, seed=mseed), d
+
+
+class TestKernelEquivalence:
+    @given(problems(), seeds, st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_algo3_matches_dense_any_blocking(self, prob, seed, b_d, b_n):
+        A, d = prob
+        rng = PhiloxSketchRNG(seed)
+        Ahat, _ = sketch_spmm(A, d, rng, kernel="algo3", b_d=b_d, b_n=b_n)
+        ref_rng = PhiloxSketchRNG(seed)
+        expected = ref_rng.materialize(d, A.shape[0]) @ A.to_dense()
+        np.testing.assert_allclose(Ahat, expected, atol=1e-10)
+
+    @given(problems(), seeds, st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_algo4_matches_algo3(self, prob, seed, b_d, b_n):
+        A, d = prob
+        a3, _ = sketch_spmm(A, d, PhiloxSketchRNG(seed), kernel="algo3",
+                            b_d=b_d, b_n=b_n)
+        a4, _ = sketch_spmm(A, d, PhiloxSketchRNG(seed), kernel="algo4",
+                            b_d=b_d, b_n=b_n)
+        np.testing.assert_allclose(a3, a4, atol=1e-10)
+
+    @given(problems(), seeds, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_xoshiro_kernels_agree_same_bd(self, prob, seed, b_d):
+        A, d = prob
+        a3, _ = sketch_spmm(A, d, XoshiroSketchRNG(seed), kernel="algo3",
+                            b_d=b_d, b_n=3)
+        a4, _ = sketch_spmm(A, d, XoshiroSketchRNG(seed), kernel="algo4",
+                            b_d=b_d, b_n=5)
+        np.testing.assert_allclose(a3, a4, atol=1e-10)
+
+    @given(problems(), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_trick_invariant(self, prob, seed):
+        A, d = prob
+        plain, _ = sketch_spmm(A, d, PhiloxSketchRNG(seed, "uniform"),
+                               kernel="algo3", b_d=4, b_n=3)
+        trick, _ = sketch_spmm(A, d, PhiloxSketchRNG(seed, "uniform_scaled"),
+                               kernel="algo3", b_d=4, b_n=3)
+        np.testing.assert_allclose(plain, trick, atol=1e-12)
+
+
+class TestAccountingProperties:
+    @given(problems(), seeds, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_algo3_sample_count_exact(self, prob, seed, b_n):
+        A, d = prob
+        rng = PhiloxSketchRNG(seed)
+        _, stats = sketch_spmm(A, d, rng, kernel="algo3", b_d=d, b_n=b_n)
+        assert stats.samples_generated == d * A.nnz
+
+    @given(problems(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_algo4_sample_bound(self, prob, b_n):
+        A, d = prob
+        m, n = A.shape
+        _, stats = sketch_spmm(A, d, PhiloxSketchRNG(0), kernel="algo4",
+                               b_d=d, b_n=b_n)
+        n_blocks = -(-n // b_n)
+        # Section III-B's worst case: d * m * ceil(n / b_n).
+        assert stats.samples_generated <= d * m * n_blocks
+        assert stats.samples_generated <= d * A.nnz  # never worse than algo3

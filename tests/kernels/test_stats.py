@@ -1,0 +1,42 @@
+"""Tests for repro.kernels.stats (KernelStats record)."""
+
+import pytest
+
+from repro.kernels import KernelStats
+
+
+class TestKernelStats:
+    def test_gflops_rate(self):
+        s = KernelStats(kernel="x", total_seconds=2.0, flops=4_000_000_000)
+        assert s.gflops_rate == pytest.approx(2.0)
+
+    def test_gflops_zero_time(self):
+        assert KernelStats(kernel="x").gflops_rate == 0.0
+
+    def test_sample_fraction(self):
+        s = KernelStats(kernel="x", total_seconds=4.0, sample_seconds=1.0)
+        assert s.sample_fraction == pytest.approx(0.25)
+
+    def test_sample_fraction_zero_time(self):
+        assert KernelStats(kernel="x").sample_fraction == 0.0
+
+    def test_merge_accumulates(self):
+        a = KernelStats(kernel="x", sample_seconds=1.0, compute_seconds=2.0,
+                        total_seconds=3.5, samples_generated=10, flops=100,
+                        blocks_processed=2)
+        b = KernelStats(kernel="x", sample_seconds=0.5, compute_seconds=1.0,
+                        total_seconds=1.75, samples_generated=5, flops=50,
+                        blocks_processed=1)
+        a.merge(b)
+        assert a.sample_seconds == 1.5
+        assert a.compute_seconds == 3.0
+        assert a.total_seconds == 5.25
+        assert a.samples_generated == 15
+        assert a.flops == 150
+        assert a.blocks_processed == 3
+
+    def test_extra_dict_default(self):
+        a = KernelStats(kernel="x")
+        b = KernelStats(kernel="y")
+        a.extra["k"] = 1
+        assert "k" not in b.extra

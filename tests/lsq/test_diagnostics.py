@@ -1,0 +1,73 @@
+"""Tests for repro.lsq.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.lsq import LstsqSolution, error_metric, residual_norm
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(60, 8, 0.3, seed=901)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestErrorMetric:
+    def test_zero_at_exact_solution(self, A, rng):
+        """At the least-squares optimum, A^T r == 0 so Error(x) ~ 0."""
+        b = rng.standard_normal(60)
+        x = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        assert error_metric(A, x, b) < 1e-13
+
+    def test_zero_residual(self, A, rng):
+        from repro.lsq import CscOperator
+
+        x = rng.standard_normal(8)
+        b = CscOperator(A).matvec(x)  # bitwise-consistent with the metric's
+        assert error_metric(A, x, b) == 0.0  # own matvec -> exact zero residual
+
+    def test_large_at_bad_point(self, A, rng):
+        b = rng.standard_normal(60)
+        x_opt = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        assert error_metric(A, x_opt + 1.0, b) > error_metric(A, x_opt, b)
+
+    def test_matches_formula(self, A, rng):
+        b = rng.standard_normal(60)
+        x = rng.standard_normal(8)
+        r = A.to_dense() @ x - b
+        expected = (np.linalg.norm(A.to_dense().T @ r)
+                    / (np.linalg.norm(A.to_dense(), "fro") * np.linalg.norm(r)))
+        assert error_metric(A, x, b) == pytest.approx(expected)
+
+    def test_shape_checks(self, A):
+        with pytest.raises(ShapeError):
+            error_metric(A, np.zeros(3), np.zeros(60))
+        with pytest.raises(ShapeError):
+            error_metric(A, np.zeros(8), np.zeros(5))
+
+
+class TestResidualNorm:
+    def test_matches_dense(self, A, rng):
+        x, b = rng.standard_normal(8), rng.standard_normal(60)
+        assert residual_norm(A, x, b) == pytest.approx(
+            np.linalg.norm(A.to_dense() @ x - b)
+        )
+
+
+class TestLstsqSolution:
+    def test_memory_mbytes(self):
+        sol = LstsqSolution(method="x", x=np.zeros(2), seconds=1.0,
+                            memory_bytes=2 * 1024 * 1024)
+        assert sol.memory_mbytes == pytest.approx(2.0)
+
+    def test_defaults(self):
+        sol = LstsqSolution(method="x", x=np.zeros(2), seconds=1.0)
+        assert sol.iterations == 0
+        assert sol.converged
+        assert sol.details == {}

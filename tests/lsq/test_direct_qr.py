@@ -1,0 +1,243 @@
+"""Tests for repro.lsq.direct_qr (George-Heath sparse Givens QR)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.lsq import givens_qr_factorize, solve_direct_qr
+from repro.sparse import random_sparse, setcover_sparse
+from repro.utils import MemoryLedger
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFactorization:
+    def test_rtr_equals_ata(self, rng):
+        """The defining QR invariant: R^T R == A^T A."""
+        A = random_sparse(40, 8, 0.25, seed=701)
+        R = givens_qr_factorize(A, np.zeros(40))
+        Rd = R.to_dense()
+        np.testing.assert_allclose(Rd.T @ Rd, A.to_dense().T @ A.to_dense(),
+                                   atol=1e-10)
+
+    def test_r_is_upper_triangular(self):
+        A = random_sparse(30, 6, 0.3, seed=702)
+        R = givens_qr_factorize(A, np.zeros(30))
+        Rd = R.to_dense()
+        np.testing.assert_allclose(Rd, np.triu(Rd))
+
+    def test_rhs_transformation(self, rng):
+        """||R x - c||^2 + const == ||A x - b||^2: solving R x = c gives
+        the least-squares solution."""
+        A = random_sparse(50, 7, 0.3, seed=703)
+        b = rng.standard_normal(50)
+        R = givens_qr_factorize(A, b)
+        x = R.solve()
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(x, expected, atol=1e-8)
+
+    def test_matches_numpy_qr_r_up_to_signs(self):
+        A = random_sparse(30, 5, 0.4, seed=704)
+        R = givens_qr_factorize(A, np.zeros(30))
+        Rd = R.to_dense()
+        R_np = np.linalg.qr(A.to_dense(), mode="r")
+        np.testing.assert_allclose(np.abs(Rd), np.abs(R_np), atol=1e-10)
+
+    def test_empty_rows_skipped(self):
+        from repro.sparse import CSCMatrix
+
+        dense = np.zeros((5, 2))
+        dense[0, 0] = 1.0
+        dense[4, 1] = 2.0
+        A = CSCMatrix.from_dense(dense)
+        R = givens_qr_factorize(A, np.arange(5.0))
+        x = R.solve()
+        expected = np.linalg.lstsq(dense, np.arange(5.0), rcond=None)[0]
+        np.testing.assert_allclose(x, expected, atol=1e-10)
+
+    def test_memory_ledger_tracks_fill(self):
+        A = setcover_sparse(300, 20, 1500, seed=705)
+        ledger = MemoryLedger()
+        R = givens_qr_factorize(A, np.zeros(300), ledger=ledger)
+        assert ledger.peak_bytes >= R.memory_bytes
+        assert ledger.peak_bytes > 0
+
+
+class TestSolveDirectQr:
+    def test_solution_accuracy(self, rng):
+        A = random_sparse(80, 10, 0.2, seed=706)
+        b = rng.standard_normal(80)
+        sol = solve_direct_qr(A, b)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(sol.x, expected, atol=1e-8)
+        assert sol.error < 1e-12  # direct methods hit machine precision
+
+    def test_timing_split(self, rng):
+        A = random_sparse(60, 8, 0.25, seed=707)
+        sol = solve_direct_qr(A, rng.standard_normal(60))
+        assert sol.factor_seconds > 0
+        assert sol.seconds >= sol.factor_seconds
+
+    def test_fill_in_reported(self, rng):
+        A = setcover_sparse(200, 15, 900, seed=708)
+        sol = solve_direct_qr(A, rng.standard_normal(200))
+        assert sol.details["fill_nnz"] > 0
+        assert sol.details["fill_ratio"] > 0
+
+    def test_fill_in_exceeds_column_count(self, rng):
+        """Fill-in: R generally holds far more than n entries for
+        overlapping sparsity (the Table XI memory story)."""
+        A = setcover_sparse(400, 25, 3000, seed=709)
+        sol = solve_direct_qr(A, rng.standard_normal(400))
+        assert sol.details["fill_nnz"] > 25
+
+    def test_rank_deficient_basic_solution(self, rng):
+        # Duplicate column: pivot underflows; solver zeros that component.
+        from repro.sparse import near_rank_deficient
+
+        A = near_rank_deficient(100, 8, 0.3, seed=710, perturb=0.0)
+        b = rng.standard_normal(100)
+        sol = solve_direct_qr(A, b, rcond=1e-10)
+        assert np.all(np.isfinite(sol.x))
+        # Residual should still be (near) optimal despite deficiency.
+        r_opt = np.linalg.lstsq(A.to_dense(), b, rcond=None)[1]
+        r_got = np.linalg.norm(A.to_dense() @ sol.x - b) ** 2
+        assert r_got <= (r_opt[0] if r_opt.size else r_got) * (1 + 1e-6)
+
+    def test_underdetermined_rejected(self, rng):
+        A = random_sparse(5, 10, 0.5, seed=711)
+        with pytest.raises(ShapeError):
+            solve_direct_qr(A, np.zeros(5))
+
+    def test_method_label(self, rng):
+        A = random_sparse(40, 6, 0.3, seed=712)
+        sol = solve_direct_qr(A, rng.standard_normal(40))
+        assert sol.method == "direct-qr"
+        assert sol.iterations == 0
+
+
+class TestGivensLog:
+    def test_replay_matches_factorization_rhs(self, rng):
+        from repro.lsq import GivensLog
+
+        A = random_sparse(60, 9, 0.25, seed=713)
+        b = rng.standard_normal(60)
+        qlog = GivensLog(60, 9)
+        R = givens_qr_factorize(A, b, qlog=qlog)
+        np.testing.assert_allclose(qlog.apply_qt(b), R.rhs)
+
+    def test_solves_new_rhs_without_refactorizing(self, rng):
+        from repro.lsq import GivensLog
+
+        A = random_sparse(70, 8, 0.25, seed=714)
+        b1 = rng.standard_normal(70)
+        qlog = GivensLog(70, 8)
+        R = givens_qr_factorize(A, b1, qlog=qlog)
+        b2 = rng.standard_normal(70)
+        R.rhs = qlog.apply_qt(b2)
+        x2 = R.solve()
+        expected = np.linalg.lstsq(A.to_dense(), b2, rcond=None)[0]
+        np.testing.assert_allclose(x2, expected, atol=1e-8)
+
+    def test_memory_scales_with_rotations(self, rng):
+        from repro.lsq import GivensLog
+
+        A = setcover_sparse(300, 15, 1800, seed=715)
+        qlog = GivensLog(300, 15)
+        givens_qr_factorize(A, np.zeros(300), qlog=qlog)
+        assert qlog.n_rotations > 0
+        assert qlog.memory_bytes >= 24 * qlog.n_rotations
+
+    def test_empty_rows_handled(self, rng):
+        from repro.lsq import GivensLog
+        from repro.sparse import CSCMatrix
+
+        dense = np.zeros((6, 2))
+        dense[1, 0] = 1.0
+        dense[4, 1] = 2.0
+        A = CSCMatrix.from_dense(dense)
+        b = rng.standard_normal(6)
+        qlog = GivensLog(6, 2)
+        R = givens_qr_factorize(A, b, qlog=qlog)
+        np.testing.assert_allclose(qlog.apply_qt(b), R.rhs)
+
+
+class TestStoreQOption:
+    def test_store_q_increases_memory(self, rng):
+        A = setcover_sparse(400, 20, 3000, seed=716)
+        b = rng.standard_normal(400)
+        with_q = solve_direct_qr(A, b, store_q=True)
+        without = solve_direct_qr(A, b, store_q=False)
+        assert with_q.memory_bytes > without.memory_bytes
+        np.testing.assert_allclose(with_q.x, without.x)
+
+    def test_qlog_in_details(self, rng):
+        A = random_sparse(50, 6, 0.3, seed=717)
+        sol = solve_direct_qr(A, rng.standard_normal(50), store_q=True)
+        assert "qlog" in sol.details
+        assert sol.details["n_rotations"] == sol.details["qlog"].n_rotations
+
+    def test_qless_omits_log(self, rng):
+        A = random_sparse(50, 6, 0.3, seed=718)
+        sol = solve_direct_qr(A, rng.standard_normal(50), store_q=False)
+        assert "qlog" not in sol.details
+
+
+class TestRefinement:
+    def test_refinement_reduces_error(self, rng):
+        """Corrected seminormal equations drive Error(x) toward roundoff."""
+        from repro.lsq import refine_solution
+        from repro.lsq.diagnostics import error_metric
+        from repro.sparse import rail_like_sparse
+
+        A = rail_like_sparse(500, 30, 4000, seed=720, mix_spread=3.5)
+        b = rng.standard_normal(500)
+        R = givens_qr_factorize(A, b)
+        x0 = R.solve()
+        x1 = refine_solution(A, R, x0, b, steps=2)
+        assert error_metric(A, x1, b) <= error_metric(A, x0, b) * 1.01
+        assert error_metric(A, x1, b) < 1e-12
+
+    def test_solve_transposed_correct(self, rng):
+        A = random_sparse(60, 10, 0.3, seed=721)
+        R = givens_qr_factorize(A, np.zeros(60))
+        Rd = R.to_dense()
+        w = rng.standard_normal(10)
+        y = R.solve_transposed(w)
+        np.testing.assert_allclose(Rd.T @ y, w, atol=1e-10)
+
+    def test_solve_with_custom_rhs(self, rng):
+        A = random_sparse(60, 10, 0.3, seed=722)
+        R = givens_qr_factorize(A, np.zeros(60))
+        rhs = rng.standard_normal(10)
+        x = R.solve(rhs=rhs)
+        np.testing.assert_allclose(R.to_dense() @ x, rhs, atol=1e-10)
+
+    def test_zero_steps_identity(self, rng):
+        from repro.lsq import refine_solution
+
+        A = random_sparse(40, 6, 0.3, seed=723)
+        b = rng.standard_normal(40)
+        R = givens_qr_factorize(A, b)
+        x0 = R.solve()
+        np.testing.assert_array_equal(refine_solution(A, R, x0, b, steps=0),
+                                      x0)
+
+    def test_refine_steps_in_solver(self, rng):
+        A = random_sparse(80, 10, 0.2, seed=724)
+        b = rng.standard_normal(80)
+        plain = solve_direct_qr(A, b, refine_steps=0)
+        refined = solve_direct_qr(A, b, refine_steps=2)
+        assert refined.error <= plain.error * 1.5
+        np.testing.assert_allclose(refined.x, plain.x, atol=1e-8)
+
+    def test_negative_steps_rejected(self, rng):
+        from repro.lsq import refine_solution
+
+        A = random_sparse(20, 4, 0.4, seed=725)
+        R = givens_qr_factorize(A, np.zeros(20))
+        with pytest.raises(ShapeError):
+            refine_solution(A, R, np.zeros(4), np.zeros(20), steps=-1)

@@ -1,0 +1,101 @@
+"""Tests for repro.lsq.lsmr (Fong-Saunders LSMR)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.lsq import CscOperator, PreconditionedOperator, lsmr, lsqr, solve_sap
+from repro.lsq.preconditioners import DiagonalPreconditioner
+from repro.sparse import random_sparse, scale_columns
+
+
+@pytest.fixture
+def A():
+    return random_sparse(150, 18, 0.2, seed=1501)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCorrectness:
+    def test_inconsistent_matches_lstsq(self, A, rng):
+        b = rng.standard_normal(150)
+        res = lsmr(CscOperator(A), b, atol=1e-13)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(res.z, expected, atol=1e-8)
+        assert res.converged
+
+    def test_matches_scipy_lsmr_exactly(self, A, rng):
+        import scipy.sparse.linalg as spla
+
+        b = rng.standard_normal(150)
+        ours = lsmr(CscOperator(A), b, atol=1e-13, btol=1e-13)
+        theirs = spla.lsmr(A.to_scipy(), b, atol=1e-13, btol=1e-13)
+        np.testing.assert_allclose(ours.z, theirs[0], atol=1e-10)
+        assert ours.iterations == theirs[2]
+
+    def test_consistent_system(self, A, rng):
+        x0 = rng.standard_normal(18)
+        b = CscOperator(A).matvec(x0)
+        res = lsmr(CscOperator(A), b, atol=1e-13)
+        np.testing.assert_allclose(res.z, x0, atol=1e-9)
+        assert res.stop_reason in ("atol", "btol")
+
+    def test_zero_rhs(self, A):
+        res = lsmr(CscOperator(A), np.zeros(150))
+        assert res.stop_reason == "residual-zero"
+
+    def test_validation(self, A):
+        with pytest.raises(ConfigError):
+            lsmr(CscOperator(A), np.zeros(150), atol=0.0)
+
+
+class TestLsmrVsLsqr:
+    def test_same_solution(self, A, rng):
+        b = rng.standard_normal(150)
+        a = lsqr(CscOperator(A), b, atol=1e-13)
+        m = lsmr(CscOperator(A), b, atol=1e-13)
+        np.testing.assert_allclose(a.z, m.z, atol=1e-8)
+
+    def test_monotone_backward_error(self, A, rng):
+        """LSMR's defining property: test2 decreases monotonically (LSQR's
+        can oscillate)."""
+        b = rng.standard_normal(150)
+        res = lsmr(CscOperator(A), b, atol=1e-30, max_iter=18,
+                   keep_history=True)
+        hist = np.array(res.test2_history)
+        assert np.all(np.diff(hist) <= 1e-12)
+
+    def test_preconditioned_run(self, rng):
+        base = random_sparse(200, 12, 0.2, seed=1502)
+        A = scale_columns(base, np.logspace(-3, 3, 12))
+        b = rng.standard_normal(200)
+        precond = DiagonalPreconditioner.from_matrix(A)
+        B = PreconditionedOperator(CscOperator(A), precond)
+        res = lsmr(B, b, atol=1e-13, max_iter=4000)
+        x = precond.apply(res.z)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(x, expected, rtol=1e-4, atol=1e-8)
+
+
+class TestSapWithLsmr:
+    def test_sap_lsmr_engine(self, rng):
+        A = random_sparse(400, 25, 0.15, seed=1503)
+        b = CscOperator(A).matvec(rng.standard_normal(25)) + \
+            rng.standard_normal(400)
+        from repro.core import SketchConfig
+
+        q = solve_sap(A, b, gamma=2.0, iterative="lsqr",
+                      config=SketchConfig(gamma=2.0, seed=1))
+        m = solve_sap(A, b, gamma=2.0, iterative="lsmr",
+                      config=SketchConfig(gamma=2.0, seed=1))
+        np.testing.assert_allclose(m.x, q.x, atol=1e-7)
+        assert m.details["iterative"] == "lsmr"
+        assert m.error < 1e-11
+
+    def test_unknown_engine_rejected(self, rng):
+        A = random_sparse(100, 10, 0.2, seed=1504)
+        with pytest.raises(ConfigError):
+            solve_sap(A, np.zeros(100), iterative="cg")

@@ -1,0 +1,152 @@
+"""Tests for repro.lsq.lsqr (operators + the LSQR solver)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.lsq import (
+    CscOperator,
+    DiagonalPreconditioner,
+    IdentityPreconditioner,
+    PreconditionedOperator,
+    lsqr,
+)
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(120, 15, 0.2, seed=601)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCscOperator:
+    def test_matvec_matches_dense(self, A, rng):
+        op = CscOperator(A)
+        x = rng.standard_normal(15)
+        np.testing.assert_allclose(op.matvec(x), A.to_dense() @ x)
+
+    def test_rmatvec_matches_dense(self, A, rng):
+        op = CscOperator(A)
+        y = rng.standard_normal(120)
+        np.testing.assert_allclose(op.rmatvec(y), A.to_dense().T @ y)
+
+    def test_adjoint_identity(self, A, rng):
+        # <A x, y> == <x, A^T y>.
+        op = CscOperator(A)
+        x, y = rng.standard_normal(15), rng.standard_normal(120)
+        assert op.matvec(x) @ y == pytest.approx(x @ op.rmatvec(y))
+
+    def test_empty_columns_handled(self):
+        from repro.sparse import CSCMatrix
+
+        A = CSCMatrix((4, 3), np.array([0, 2, 2, 3]), np.array([0, 2, 3]),
+                      np.array([1.0, 2.0, 3.0]))
+        op = CscOperator(A)
+        out = op.rmatvec(np.ones(4))
+        np.testing.assert_allclose(out, A.to_dense().T @ np.ones(4))
+
+    def test_shape(self, A):
+        assert CscOperator(A).shape == (120, 15)
+
+    def test_size_checks(self, A):
+        op = CscOperator(A)
+        with pytest.raises(ShapeError):
+            op.matvec(np.zeros(3))
+        with pytest.raises(ShapeError):
+            op.rmatvec(np.zeros(3))
+
+
+class TestLsqrUnpreconditioned:
+    def test_consistent_system_exact(self, A, rng):
+        x_true = rng.standard_normal(15)
+        b = CscOperator(A).matvec(x_true)
+        res = lsqr(CscOperator(A), b, atol=1e-14)
+        np.testing.assert_allclose(res.z, x_true, atol=1e-8)
+        assert res.converged
+
+    def test_inconsistent_matches_lstsq(self, A, rng):
+        b = rng.standard_normal(120)
+        res = lsqr(CscOperator(A), b, atol=1e-13)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(res.z, expected, atol=1e-6)
+
+    def test_zero_rhs(self, A):
+        res = lsqr(CscOperator(A), np.zeros(120))
+        assert res.iterations == 0
+        assert res.stop_reason == "residual-zero"
+        np.testing.assert_array_equal(res.z, np.zeros(15))
+
+    def test_rhs_orthogonal_to_range(self, rng):
+        from repro.sparse import CSCMatrix
+
+        # A = e1 (single column); b orthogonal to it.
+        A = CSCMatrix.from_dense(np.array([[1.0], [0.0]]))
+        b = np.array([0.0, 5.0])
+        res = lsqr(CscOperator(A), b)
+        assert res.stop_reason == "ground-zero"
+        np.testing.assert_array_equal(res.z, [0.0])
+
+    def test_max_iter_cap(self, A, rng):
+        b = rng.standard_normal(120)
+        res = lsqr(CscOperator(A), b, atol=1e-30, max_iter=2)
+        assert res.iterations == 2
+        assert res.stop_reason == "max-iter"
+        assert not res.converged
+
+    def test_history(self, A, rng):
+        b = rng.standard_normal(120)
+        res = lsqr(CscOperator(A), b, keep_history=True)
+        assert len(res.test2_history) == res.iterations
+        # test2 should reach the tolerance at the end.
+        assert res.test2_history[-1] <= 1e-14
+
+    def test_validation(self, A):
+        with pytest.raises(ShapeError):
+            lsqr(CscOperator(A), np.zeros(3))
+        with pytest.raises(ConfigError):
+            lsqr(CscOperator(A), np.zeros(120), atol=0.0)
+
+
+class TestPreconditionedLsqr:
+    def test_identity_preconditioner_no_change(self, A, rng):
+        b = rng.standard_normal(120)
+        plain = lsqr(CscOperator(A), b)
+        prec = PreconditionedOperator(CscOperator(A),
+                                      IdentityPreconditioner(15))
+        wrapped = lsqr(prec, b)
+        np.testing.assert_allclose(wrapped.z, plain.z, atol=1e-8)
+
+    def test_diagonal_preconditioner_recovers_solution(self, rng):
+        # Badly column-scaled matrix: diagonal preconditioning fixes it.
+        base = random_sparse(200, 12, 0.2, seed=602)
+        from repro.sparse import scale_columns
+
+        A = scale_columns(base, np.logspace(-4, 4, 12))
+        b = rng.standard_normal(200)
+        precond = DiagonalPreconditioner.from_matrix(A)
+        B = PreconditionedOperator(CscOperator(A), precond)
+        res = lsqr(B, b, atol=1e-13, max_iter=2000)
+        x = precond.apply(res.z)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(x, expected, rtol=1e-4, atol=1e-8)
+
+    def test_diagonal_preconditioner_speeds_convergence(self, rng):
+        base = random_sparse(200, 12, 0.2, seed=603)
+        from repro.sparse import scale_columns
+
+        A = scale_columns(base, np.logspace(-3, 3, 12))
+        b = rng.standard_normal(200)
+        plain = lsqr(CscOperator(A), b, atol=1e-12, max_iter=5000)
+        precond = DiagonalPreconditioner.from_matrix(A)
+        B = PreconditionedOperator(CscOperator(A), precond)
+        pre = lsqr(B, b, atol=1e-12, max_iter=5000)
+        assert pre.iterations < plain.iterations
+
+    def test_dim_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            PreconditionedOperator(CscOperator(A), IdentityPreconditioner(7))

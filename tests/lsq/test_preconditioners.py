@@ -1,0 +1,146 @@
+"""Tests for repro.lsq.preconditioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError, SingularMatrixError
+from repro.lsq import (
+    DiagonalPreconditioner,
+    IdentityPreconditioner,
+    SVDPreconditioner,
+    TriangularPreconditioner,
+)
+from repro.sparse import column_norms, random_sparse
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestIdentity:
+    def test_passthrough(self, rng):
+        p = IdentityPreconditioner(5)
+        z = rng.standard_normal(5)
+        np.testing.assert_array_equal(p.apply(z), z)
+        np.testing.assert_array_equal(p.apply_transpose(z), z)
+
+    def test_shape(self):
+        assert IdentityPreconditioner(5).shape == (5, 5)
+
+    def test_memory_free(self):
+        assert IdentityPreconditioner(5).memory_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            IdentityPreconditioner(0)
+
+
+class TestDiagonal:
+    def test_from_matrix_column_norms(self):
+        A = random_sparse(50, 8, 0.3, seed=1)
+        p = DiagonalPreconditioner.from_matrix(A)
+        np.testing.assert_allclose(p.diag, 1.0 / column_norms(A))
+
+    def test_tiny_column_safeguard(self):
+        # A column with norm below eps*sqrt(n)*max gets D_ii = 1 (paper rule).
+        from repro.sparse import CSCMatrix
+
+        dense = np.zeros((4, 2))
+        dense[0, 0] = 1.0
+        dense[1, 1] = 1e-300
+        A = CSCMatrix.from_dense(dense)
+        p = DiagonalPreconditioner.from_matrix(A)
+        assert p.diag[1] == 1.0
+        assert p.diag[0] == 1.0  # 1/||col0|| = 1
+
+    def test_apply_is_scaling(self, rng):
+        p = DiagonalPreconditioner(np.array([2.0, 0.5]))
+        np.testing.assert_allclose(p.apply(np.array([1.0, 1.0])), [2.0, 0.5])
+        np.testing.assert_allclose(p.apply_transpose(np.array([1.0, 1.0])),
+                                   [2.0, 0.5])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            DiagonalPreconditioner(np.array([1.0, 0.0]))
+        with pytest.raises(ConfigError):
+            DiagonalPreconditioner(np.array([1.0, np.inf]))
+
+
+class TestTriangular:
+    def test_apply_is_solve(self, rng):
+        R = np.triu(rng.standard_normal((6, 6))) + 5 * np.eye(6)
+        p = TriangularPreconditioner(R)
+        z = rng.standard_normal(6)
+        np.testing.assert_allclose(R @ p.apply(z), z, atol=1e-10)
+        np.testing.assert_allclose(R.T @ p.apply_transpose(z), z, atol=1e-10)
+
+    def test_from_sketch(self, rng):
+        Ahat = rng.standard_normal((40, 8))
+        p = TriangularPreconditioner.from_sketch(Ahat)
+        # R^T R == Ahat^T Ahat (the QR identity).
+        np.testing.assert_allclose(p.R.T @ p.R, Ahat.T @ Ahat, rtol=1e-10)
+
+    def test_rejects_singular(self, rng):
+        R = np.triu(rng.standard_normal((5, 5)))
+        R[2, 2] = 1e-300
+        with pytest.raises(SingularMatrixError, match="SAP-SVD"):
+            TriangularPreconditioner(R)
+
+    def test_rejects_rank_deficient_sketch(self, rng):
+        # Sketch with a duplicated column -> singular R.
+        X = rng.standard_normal((30, 5))
+        X[:, 4] = X[:, 0]
+        with pytest.raises(SingularMatrixError):
+            TriangularPreconditioner.from_sketch(X)
+
+    def test_rejects_wide_sketch(self, rng):
+        with pytest.raises(ShapeError):
+            TriangularPreconditioner.from_sketch(rng.standard_normal((3, 6)))
+
+    def test_memory(self, rng):
+        p = TriangularPreconditioner.from_sketch(rng.standard_normal((20, 4)))
+        assert p.memory_bytes == 4 * 4 * 8
+
+
+class TestSVD:
+    def test_full_rank_matches_triangular_effect(self, rng):
+        # For a well-conditioned sketch, the SVD preconditioner spans the
+        # same space: A P has condition ~1 in both cases.
+        Ahat = rng.standard_normal((50, 6))
+        p = SVDPreconditioner.from_sketch(Ahat)
+        assert p.rank == 6
+        # (Ahat V / sigma) should have singular values 1.
+        mapped = Ahat @ p.V / p.sigma
+        s = np.linalg.svd(mapped, compute_uv=False)
+        np.testing.assert_allclose(s, 1.0, atol=1e-10)
+
+    def test_truncates_tiny_singular_values(self, rng):
+        X = rng.standard_normal((40, 5))
+        X[:, 4] = X[:, 0] * (1 + 1e-15)
+        p = SVDPreconditioner.from_sketch(X, drop_ratio=1e-12)
+        assert p.rank == 4
+
+    def test_drop_ratio_validation(self, rng):
+        with pytest.raises(ConfigError):
+            SVDPreconditioner.from_sketch(rng.standard_normal((10, 2)),
+                                          drop_ratio=2.0)
+
+    def test_apply_roundtrip(self, rng):
+        Ahat = rng.standard_normal((30, 4))
+        p = SVDPreconditioner.from_sketch(Ahat)
+        z = rng.standard_normal(p.rank)
+        x = p.apply(z)
+        # apply_transpose(apply(z)) == V^T V z / sigma^2 == z / sigma^2.
+        np.testing.assert_allclose(p.apply_transpose(x), z / p.sigma**2,
+                                   atol=1e-12)
+
+    def test_shape_is_n_by_rank(self, rng):
+        X = rng.standard_normal((40, 5))
+        X[:, 4] = X[:, 0]
+        p = SVDPreconditioner.from_sketch(X)
+        assert p.shape == (5, 4)
+
+    def test_all_dropped_raises(self):
+        with pytest.raises(Exception):
+            SVDPreconditioner(np.zeros((3, 0)), np.zeros(0))

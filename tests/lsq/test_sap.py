@@ -1,0 +1,163 @@
+"""Tests for repro.lsq.sap (sketch-and-precondition + LSQR-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig
+from repro.errors import ConfigError, SingularMatrixError
+from repro.lsq import CscOperator, solve_lsqr_diag, solve_sap
+from repro.sparse import near_rank_deficient, random_sparse, setcover_sparse
+
+
+def _problem(m=400, n=25, seed=801, noise=1.0):
+    A = random_sparse(m, n, 0.15, seed=seed)
+    rng = np.random.default_rng(seed)
+    b = CscOperator(A).matvec(rng.standard_normal(n)) + \
+        noise * rng.standard_normal(m)
+    return A, b
+
+
+class TestSapQr:
+    def test_solution_matches_lstsq(self):
+        A, b = _problem()
+        sol = solve_sap(A, b, gamma=2.0, method="qr",
+                        config=SketchConfig(gamma=2.0, seed=1))
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(sol.x, expected, atol=1e-7)
+        assert sol.converged
+
+    def test_error_metric_at_tolerance(self):
+        A, b = _problem()
+        sol = solve_sap(A, b, gamma=2.0, method="qr")
+        assert sol.error < 1e-12
+
+    def test_iteration_count_in_paper_band(self):
+        """gamma=2 => preconditioned cond <= ~5.8 => a few dozen LSQR
+        iterations regardless of the matrix (the paper sees ~80-88)."""
+        for seed in (1, 2, 3):
+            A, b = _problem(seed=800 + seed)
+            sol = solve_sap(A, b, gamma=2.0, method="qr",
+                            config=SketchConfig(gamma=2.0, seed=seed))
+            assert 10 <= sol.iterations <= 120
+
+    def test_memory_is_sketch_plus_factor(self):
+        A, b = _problem(n=20)
+        sol = solve_sap(A, b, gamma=2.0, method="qr")
+        d = 40
+        assert sol.memory_bytes == d * 20 * 8 + 20 * 20 * 8
+
+    def test_timing_split(self):
+        A, b = _problem()
+        sol = solve_sap(A, b, gamma=2.0)
+        assert sol.sketch_seconds > 0
+        assert sol.factor_seconds > 0
+        assert sol.solve_seconds > 0
+        assert sol.seconds == pytest.approx(
+            sol.sketch_seconds + sol.factor_seconds + sol.solve_seconds
+        )
+
+    def test_qr_fails_on_rank_deficient(self):
+        A = near_rank_deficient(300, 15, 0.2, seed=3, perturb=0.0)
+        b = np.random.default_rng(3).standard_normal(300)
+        with pytest.raises(SingularMatrixError):
+            solve_sap(A, b, gamma=2.0, method="qr")
+
+    def test_gamma_too_large_for_m(self):
+        A = random_sparse(30, 20, 0.3, seed=4)
+        with pytest.raises(ConfigError, match="overdetermined"):
+            solve_sap(A, np.zeros(30), gamma=2.0)
+
+    def test_unknown_method(self):
+        A, b = _problem()
+        with pytest.raises(ConfigError):
+            solve_sap(A, b, method="lu")
+
+
+class TestSapSvd:
+    def test_matches_qr_on_full_rank(self):
+        A, b = _problem(seed=805)
+        q = solve_sap(A, b, gamma=2.0, method="qr",
+                      config=SketchConfig(gamma=2.0, seed=5))
+        s = solve_sap(A, b, gamma=2.0, method="svd",
+                      config=SketchConfig(gamma=2.0, seed=5))
+        np.testing.assert_allclose(s.x, q.x, atol=1e-6)
+
+    def test_handles_rank_deficiency(self):
+        A = near_rank_deficient(300, 15, 0.2, seed=6, perturb=1e-15)
+        rng = np.random.default_rng(6)
+        b = CscOperator(A).matvec(rng.standard_normal(15)) + \
+            0.1 * rng.standard_normal(300)
+        sol = solve_sap(A, b, gamma=2.0, method="svd")
+        assert np.all(np.isfinite(sol.x))
+        assert sol.error < 1e-10
+        assert sol.details["rank"] < 15  # truncation happened
+
+    def test_rank_recorded(self):
+        A, b = _problem(seed=807)
+        sol = solve_sap(A, b, gamma=2.0, method="svd")
+        assert sol.details["rank"] == 25
+
+    def test_iterations_insensitive_to_condition(self):
+        """The paper's key observation: SAP iteration counts barely vary
+        across matrices, even horribly conditioned ones."""
+        A1, b1 = _problem(seed=808)
+        good = solve_sap(A1, b1, gamma=2.0, method="svd")
+        A2 = near_rank_deficient(400, 25, 0.15, seed=809, perturb=1e-15)
+        rng = np.random.default_rng(9)
+        b2 = CscOperator(A2).matvec(rng.standard_normal(25)) + \
+            rng.standard_normal(400)
+        bad = solve_sap(A2, b2, gamma=2.0, method="svd")
+        assert abs(good.iterations - bad.iterations) <= 40
+
+
+class TestLsqrDiag:
+    def test_solution_matches_lstsq(self):
+        A, b = _problem(seed=810)
+        sol = solve_lsqr_diag(A, b)
+        expected = np.linalg.lstsq(A.to_dense(), b, rcond=None)[0]
+        np.testing.assert_allclose(sol.x, expected, atol=1e-6)
+
+    def test_essentially_no_memory(self):
+        A, b = _problem(seed=811)
+        sol = solve_lsqr_diag(A, b)
+        assert sol.memory_bytes == 25 * 8  # just the diagonal
+
+    def test_iterations_grow_with_conditioning(self):
+        """The contrast SAP exploits: LSQR-D iterations track cond(AD)."""
+        from repro.sparse import rail_like_sparse
+
+        A_easy, b_easy = _problem(seed=812)
+        easy = solve_lsqr_diag(A_easy, b_easy)
+        # Hierarchically correlated columns: diagonal scaling cannot fix
+        # the conditioning (the rail* mechanism).
+        A_hard = rail_like_sparse(600, 25, 4000, seed=813)
+        rng = np.random.default_rng(13)
+        b_hard = CscOperator(A_hard).matvec(rng.standard_normal(25)) + \
+            rng.standard_normal(600)
+        hard = solve_lsqr_diag(A_hard, b_hard, max_iter=5000)
+        assert hard.iterations > 2 * easy.iterations
+
+    def test_method_label(self):
+        A, b = _problem(seed=814)
+        assert solve_lsqr_diag(A, b).method == "lsqr-d"
+
+
+class TestCrossSolverAgreement:
+    def test_all_three_agree(self):
+        from repro.lsq import solve_direct_qr
+
+        A, b = _problem(m=250, n=15, seed=815)
+        d = solve_lsqr_diag(A, b)
+        s = solve_sap(A, b, gamma=2.0, method="qr")
+        q = solve_direct_qr(A, b)
+        np.testing.assert_allclose(d.x, q.x, atol=1e-6)
+        np.testing.assert_allclose(s.x, q.x, atol=1e-6)
+
+    def test_all_errors_small(self):
+        from repro.lsq import solve_direct_qr
+
+        A, b = _problem(m=250, n=15, seed=816)
+        for sol in (solve_lsqr_diag(A, b),
+                    solve_sap(A, b, gamma=2.0),
+                    solve_direct_qr(A, b)):
+            assert sol.error < 1e-11, sol.method

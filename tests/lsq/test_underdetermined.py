@@ -1,0 +1,72 @@
+"""Tests for repro.lsq.underdetermined (footnote-2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig
+from repro.errors import ConfigError
+from repro.lsq import CscOperator, lsqr, solve_sap_minnorm
+from repro.sparse import random_sparse
+
+
+def _wide_consistent(m=30, n=400, density=0.1, seed=0):
+    """A wide system with a known consistent rhs."""
+    A = random_sparse(m, n, density, seed=seed)
+    rng = np.random.default_rng(seed)
+    x0 = rng.standard_normal(n)
+    b = CscOperator(A).matvec(x0)
+    return A, b
+
+
+class TestSolveSapMinnorm:
+    def test_satisfies_system(self):
+        A, b = _wide_consistent()
+        sol = solve_sap_minnorm(A, b, config=SketchConfig(gamma=2.0, seed=1))
+        residual = np.linalg.norm(CscOperator(A).matvec(sol.x) - b)
+        assert residual / np.linalg.norm(b) < 1e-10
+        assert sol.converged
+
+    def test_is_minimum_norm(self):
+        A, b = _wide_consistent(seed=2)
+        sol = solve_sap_minnorm(A, b, config=SketchConfig(gamma=2.0, seed=3))
+        # The min-norm solution is the pseudoinverse solution.
+        expected = np.linalg.pinv(A.to_dense()) @ b
+        np.testing.assert_allclose(sol.x, expected, atol=1e-8)
+        assert np.linalg.norm(sol.x) <= np.linalg.norm(expected) * (1 + 1e-10)
+
+    def test_preconditioning_cuts_iterations(self):
+        # Build a row-scaled wide system (ill-conditioned rows).
+        from repro.sparse import CSCMatrix
+
+        A0, _ = _wide_consistent(m=40, n=500, seed=4)
+        scale = np.logspace(-3, 3, 40)
+        dense = A0.to_dense() * scale[:, None]
+        A = CSCMatrix.from_dense(dense)
+        rng = np.random.default_rng(4)
+        b = CscOperator(A).matvec(rng.standard_normal(500))
+        plain = lsqr(CscOperator(A), b, atol=1e-12, max_iter=5000)
+        sap = solve_sap_minnorm(A, b, config=SketchConfig(gamma=2.0, seed=5),
+                                atol=1e-12)
+        assert sap.iterations < plain.iterations
+
+    def test_iterations_in_gamma2_band(self):
+        A, b = _wide_consistent(m=50, n=800, seed=6)
+        sol = solve_sap_minnorm(A, b, config=SketchConfig(gamma=2.0, seed=7))
+        assert sol.iterations <= 120
+
+    def test_rejects_tall_system(self):
+        A = random_sparse(100, 10, 0.2, seed=8)
+        with pytest.raises(ConfigError, match="wide"):
+            solve_sap_minnorm(A, np.zeros(100))
+
+    def test_rejects_gamma_too_large(self):
+        A = random_sparse(30, 40, 0.2, seed=9)
+        with pytest.raises(ConfigError, match="not wide enough"):
+            solve_sap_minnorm(A, np.zeros(30), gamma=2.0)
+
+    def test_method_label_and_memory(self):
+        A, b = _wide_consistent(seed=10)
+        sol = solve_sap_minnorm(A, b, config=SketchConfig(gamma=2.0, seed=11))
+        assert sol.method == "sap-minnorm"
+        d = 2 * A.shape[0]
+        assert sol.memory_bytes == d * A.shape[0] * 8 + A.shape[0] ** 2 * 8

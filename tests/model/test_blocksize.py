@@ -1,0 +1,86 @@
+"""Tests for repro.model.blocksize (Equation 4 optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import (
+    FRONTERA,
+    optimize_blocks,
+    recommend_block_sizes,
+    scan_objective,
+)
+from repro.model.roofline import optimal_n1_big_rho
+
+
+class TestScanObjective:
+    def test_shapes(self):
+        n1, g = scan_objective(0.01, 10_000, 0.5, n1_max=50)
+        assert n1.shape == (50,)
+        assert g.shape == (50,)
+
+    def test_formula_at_point(self):
+        n1, g = scan_objective(0.1, 1000, 0.5, n1_max=3)
+        expected = 4 * 2 * 0.1 / 1000 + 0.5 * (1 - 0.9**2) / 2
+        assert g[1] == pytest.approx(expected)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ConfigError):
+            scan_objective(0.0, 1000, 0.5)
+
+
+class TestOptimizeBlocks:
+    def test_plan_satisfies_cache(self):
+        plan = optimize_blocks(1e-3, 100_000, 0.3)
+        assert plan.satisfies_cache()
+
+    def test_plan_beats_neighbours(self):
+        # The optimizer minimizes the reduced objective g(n1); the chosen
+        # n1 must beat its integer neighbours on that curve.
+        M, h, rho = 50_000, 0.4, 5e-3
+        plan = optimize_blocks(rho, M, h)
+
+        def g(n1):
+            return 4 * n1 * rho / M + h * (1 - (1 - rho) ** n1) / n1
+
+        assert g(plan.n1) <= g(plan.n1 + 1) + 1e-15
+        if plan.n1 > 1:
+            assert g(plan.n1) <= g(plan.n1 - 1) + 1e-15
+
+    def test_tiny_rho_prefers_n1_one(self):
+        # Section III-A1: for rho -> 0 the optimum is n1 = 1.
+        plan = optimize_blocks(1e-9, 10_000, 0.5)
+        assert plan.n1 == 1
+
+    def test_big_rho_matches_closed_form(self):
+        M, h, rho = 1_000_000, 0.5, 0.9
+        plan = optimize_blocks(rho, M, h)
+        closed = optimal_n1_big_rho(M, h, rho)
+        assert plan.n1 == pytest.approx(closed, rel=0.3)
+
+    def test_cheaper_rng_smaller_n1(self):
+        # Cheap generation -> regenerate more, block narrower.
+        lo = optimize_blocks(0.05, 100_000, 0.01)
+        hi = optimize_blocks(0.05, 100_000, 2.0)
+        assert lo.n1 <= hi.n1
+
+    def test_ci_positive(self):
+        plan = optimize_blocks(0.01, 10_000, 0.5)
+        assert plan.ci > 0
+
+
+class TestRecommendBlockSizes:
+    def test_clipped_to_problem(self):
+        b_d, b_n = recommend_block_sizes(FRONTERA, 1e-3, d=100, n=50)
+        assert 1 <= b_d <= 100
+        assert 1 <= b_n <= 50
+
+    def test_large_problem_unclipped(self):
+        b_d, b_n = recommend_block_sizes(FRONTERA, 1e-3, d=10**7, n=10**7)
+        plan = optimize_blocks(1e-3, FRONTERA.cache_words, FRONTERA.h("uniform"))
+        assert b_d == plan.d1
+        assert b_n == plan.n1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigError):
+            recommend_block_sizes(FRONTERA, 1e-3, d=0, n=5)

@@ -1,0 +1,178 @@
+"""Tests for repro.model.cache_sim (exact LRU cache simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import LRUCache, simulate_algo3, simulate_pregen
+from repro.sparse import random_sparse
+
+
+class TestLRUCache:
+    def test_cold_misses(self):
+        c = LRUCache(capacity_words=4)
+        assert c.access([0, 1, 2, 3]) == 4
+        assert c.misses == 4
+        assert c.hits == 0
+
+    def test_hits_on_resident(self):
+        c = LRUCache(capacity_words=4)
+        c.access([0, 1])
+        assert c.access([0, 1]) == 0
+        assert c.hits == 2
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(capacity_words=2)
+        c.access([0, 1])      # cache: {0, 1}
+        c.access([0])         # touch 0 -> 1 is LRU
+        c.access([2])         # evicts 1
+        assert c.access([0]) == 0   # 0 still resident
+        assert c.access([1]) == 1   # 1 was evicted
+
+    def test_capacity_one(self):
+        c = LRUCache(capacity_words=1)
+        c.access([5, 5, 5])
+        assert c.misses == 1
+        assert c.hits == 2
+
+    def test_line_granularity(self):
+        c = LRUCache(capacity_words=8, line_words=4)
+        c.access([0])           # loads line 0 (words 0-3)
+        assert c.access([1, 2, 3]) == 0   # same line
+        assert c.access([4]) == 1         # next line
+        assert c.words_moved == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LRUCache(0)
+        with pytest.raises(ConfigError):
+            LRUCache(2, line_words=4)
+
+
+class TestKernelTraces:
+    @pytest.fixture
+    def A(self):
+        return random_sparse(40, 12, 0.15, seed=211)
+
+    def test_otf_beats_pregen_small_cache(self, A):
+        # The whole point: with S regenerated, the cache holds only A and
+        # Ahat, so a small cache moves far fewer words.
+        d = 18
+        otf = simulate_algo3(A, d, b_d=6, b_n=4, cache_words=96)
+        pre = simulate_pregen(A, d, b_d=6, b_n=4, cache_words=96)
+        assert otf.words_moved < pre.words_moved
+
+    def test_rng_entries_counted(self, A):
+        d = 18
+        otf = simulate_algo3(A, d, b_d=6, b_n=4, cache_words=96)
+        assert otf.rng_entries == d * A.nnz
+        pre = simulate_pregen(A, d, b_d=6, b_n=4, cache_words=96)
+        assert pre.rng_entries == 0
+
+    def test_monotone_in_cache_size(self, A):
+        d = 12
+        small = simulate_algo3(A, d, b_d=6, b_n=4, cache_words=64)
+        big = simulate_algo3(A, d, b_d=6, b_n=4, cache_words=4096)
+        assert big.words_moved <= small.words_moved
+
+    def test_compulsory_lower_bound(self, A):
+        # Traffic can never drop below one touch per word of A plus the
+        # output block footprint.
+        d = 12
+        r = simulate_algo3(A, d, b_d=d, b_n=12, cache_words=10**6)
+        compulsory = 2 * A.nnz + d * 12  # A values+indices, Ahat once
+        assert r.words_moved >= compulsory * 0.99
+
+    def test_huge_cache_hits_compulsory(self, A):
+        # With an infinite cache the only misses are first touches.
+        d = 12
+        r = simulate_algo3(A, d, b_d=6, b_n=4, cache_words=10**7)
+        distinct_words = 2 * A.nnz + d * 12
+        assert r.misses == distinct_words
+
+    def test_effective_words_h(self, A):
+        r = simulate_algo3(A, 12, b_d=6, b_n=4, cache_words=64)
+        assert r.effective_words(0.5) == pytest.approx(
+            r.words_moved + 0.5 * r.rng_entries
+        )
+
+    def test_blocking_reduces_traffic_small_cache(self, A):
+        # Good blocking (output column slice fits in cache) beats
+        # degenerate full-height blocking when d exceeds the cache.
+        d = 120
+        blocked = simulate_algo3(A, d, b_d=16, b_n=4, cache_words=64)
+        unblocked = simulate_algo3(A, d, b_d=120, b_n=12, cache_words=64)
+        assert blocked.words_moved < unblocked.words_moved
+
+    def test_flops_recorded(self, A):
+        r = simulate_algo3(A, 12, b_d=6, b_n=4, cache_words=64)
+        assert r.flops == 2 * 12 * A.nnz
+
+
+class TestAgreementWithAnalyticModel:
+    def test_algo3_sparse_traffic_order(self):
+        """The LRU-simulated traffic is within ~2x of the closed-form
+        streaming estimate for a cache that fits exactly one output block."""
+        from repro.model import algo3_traffic
+
+        A = random_sparse(60, 16, 0.12, seed=212)
+        d, b_d, b_n = 24, 8, 4
+        cache_words = b_d * b_n + 64  # block + slack for A's stream
+        sim = simulate_algo3(A, d, b_d=b_d, b_n=b_n, cache_words=cache_words)
+        est = algo3_traffic(A, d, b_d, b_n)
+        # Estimate counts A streams + Ahat read/write; simulator's misses
+        # should land within a small factor.
+        ratio = sim.words_moved / est.effective_words(0.0)
+        assert 0.3 < ratio < 3.0
+
+
+class TestMultiLevelCache:
+    def test_level_ordering_enforced(self):
+        from repro.model import MultiLevelCache
+
+        with pytest.raises(ConfigError):
+            MultiLevelCache([(64, 1), (32, 1)])
+        with pytest.raises(ConfigError):
+            MultiLevelCache([])
+
+    def test_single_level_matches_lru(self):
+        from repro.model import MultiLevelCache, replay_algo3
+
+        A = random_sparse(30, 10, 0.2, seed=213)
+        one = simulate_algo3(A, 12, b_d=6, b_n=4, cache_words=64)
+        ml = replay_algo3(A, 12, b_d=6, b_n=4,
+                          cache=MultiLevelCache([(64, 1)]))
+        assert ml.words_moved == one.words_moved
+        assert ml.misses == one.misses
+
+    def test_l1_misses_at_least_memory_misses(self):
+        from repro.model import MultiLevelCache, replay_algo3
+
+        A = random_sparse(30, 10, 0.2, seed=214)
+        cache = MultiLevelCache([(32, 1), (512, 1)])
+        replay_algo3(A, 12, b_d=6, b_n=4, cache=cache)
+        (l1_hits, l1_miss), (l2_hits, l2_miss) = cache.level_stats()
+        assert l1_miss >= l2_miss
+        assert l2_hits + l2_miss == l1_miss  # inclusive fall-through
+
+    def test_bigger_l2_reduces_memory_traffic(self):
+        from repro.model import MultiLevelCache, replay_algo3
+
+        A = random_sparse(40, 12, 0.2, seed=215)
+        small = MultiLevelCache([(32, 1), (128, 1)])
+        big = MultiLevelCache([(32, 1), (4096, 1)])
+        r_small = replay_algo3(A, 16, b_d=8, b_n=4, cache=small)
+        r_big = replay_algo3(A, 16, b_d=8, b_n=4, cache=big)
+        assert r_big.words_moved <= r_small.words_moved
+
+    def test_l1_captures_column_locality(self):
+        """The output column slice (d1 words) is reused per nonzero; an L1
+        just big enough for it should absorb most accesses."""
+        from repro.model import MultiLevelCache, replay_algo3
+
+        A = random_sparse(40, 12, 0.25, seed=216)
+        d1 = 8
+        cache = MultiLevelCache([(2 * d1, 1), (10**6, 1)])
+        replay_algo3(A, 16, b_d=d1, b_n=2, cache=cache)
+        (l1_hits, l1_miss), _ = cache.level_stats()
+        assert l1_hits > l1_miss  # locality lives in L1

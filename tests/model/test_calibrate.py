@@ -1,0 +1,66 @@
+"""Tests for repro.model.calibrate (host measurement)."""
+
+import pytest
+
+from repro.model import (
+    calibrate_machine,
+    measure_peak_gflops,
+    measure_random_access_penalty,
+)
+
+
+class TestProbes:
+    def test_peak_gflops_positive(self):
+        peak = measure_peak_gflops(size=128, repeats=2)
+        assert peak > 0.1  # any BLAS manages 100 MFlop/s
+
+    def test_penalty_at_least_one(self):
+        pen = measure_random_access_penalty(n_elements=500_000, repeats=2)
+        assert pen >= 1.0
+        assert pen < 100.0  # sanity ceiling
+
+    def test_probe_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            measure_peak_gflops(size=0)
+        with pytest.raises(ConfigError):
+            measure_random_access_penalty(n_elements=-1)
+
+
+class TestCalibratedModel:
+    def test_model_is_valid_and_usable(self):
+        m = calibrate_machine("testhost", cache_bytes=8_000_000)
+        assert m.name == "testhost"
+        assert m.cache_bytes == 8_000_000
+        assert m.peak_gflops > 0
+        assert m.bandwidth_gbs > 0
+        assert m.h_base > 0
+        assert m.random_access_penalty >= 1.0
+        assert m.cores >= 1
+        # Downstream consumers accept it.
+        assert isinstance(m.machine_balance, float)
+        assert isinstance(m.favors_reuse, bool)
+
+    def test_dispatch_with_calibrated_model(self):
+        from repro.kernels import choose_kernel
+        from repro.sparse import random_sparse
+
+        m = calibrate_machine(cache_bytes=8_000_000)
+        A = random_sparse(200, 50, 0.05, seed=1)
+        choice = choose_kernel(m, A)
+        assert choice.kernel in ("algo3", "algo4")
+
+    def test_scaling_model_with_calibrated_machine(self):
+        from repro.parallel import simulate_strong_scaling
+        from repro.sparse import random_sparse
+
+        m = calibrate_machine(cache_bytes=8_000_000)
+        A = random_sparse(300, 40, 0.05, seed=2)
+        pts = simulate_strong_scaling(A, 80, m, kernel="algo3", b_d=80,
+                                      b_n=8, threads_list=[1, 2])
+        assert pts[0].seconds >= pts[1].seconds
+
+    def test_cache_autodetect_positive(self):
+        m = calibrate_machine()
+        assert m.cache_bytes > 0

@@ -1,0 +1,76 @@
+"""Tests for repro.model.lower_bounds (the sqrt(M) headline claim)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import (
+    advantage_over_gemm,
+    asymptotic_advantage,
+    gemm_words_lower_bound,
+    sketch_effective_words,
+)
+
+
+class TestGemmBound:
+    def test_scaling_with_m(self):
+        # Bound ~ 1/sqrt(M): quadrupling M halves the bound.
+        b1 = gemm_words_lower_bound(100, 100, 100, 1000)
+        b4 = gemm_words_lower_bound(100, 100, 100, 4000)
+        assert b1 / b4 == pytest.approx(2.0)
+
+    def test_scales_with_volume(self):
+        b1 = gemm_words_lower_bound(10, 10, 10, 100)
+        b8 = gemm_words_lower_bound(20, 20, 20, 100)
+        assert b8 / b1 == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            gemm_words_lower_bound(0, 1, 1, 10)
+
+
+class TestSketchEffectiveWords:
+    def test_consistent_with_ci(self):
+        from repro.model import ci_small_rho
+
+        d, m, n, rho, M, h = 30, 1000, 10, 1e-2, 10_000, 0.3
+        words = sketch_effective_words(d, m, n, rho, M, h)
+        flops = 2 * d * m * n * rho
+        assert flops / words == pytest.approx(ci_small_rho(M, h))
+
+    def test_scales_with_density(self):
+        lo = sketch_effective_words(10, 100, 10, 1e-3, 1000, 0.1)
+        hi = sketch_effective_words(10, 100, 10, 1e-2, 1000, 0.1)
+        assert hi / lo == pytest.approx(10.0)
+
+
+class TestAdvantage:
+    def test_sqrt_m_growth_for_free_rng(self):
+        # advantage(h->0) grows like sqrt(M): ratio across a 100x M step
+        # should be ~10x.
+        a1 = advantage_over_gemm(10**4, 1e-12)
+        a2 = advantage_over_gemm(10**6, 1e-12)
+        assert a2 / a1 == pytest.approx(10.0, rel=0.01)
+
+    def test_asymptotic_constant(self):
+        # (3 sqrt(3) / 4) sqrt(M).
+        M = 10**6
+        assert asymptotic_advantage(M) == pytest.approx(
+            (3 * np.sqrt(3) / 4) * 1000
+        )
+
+    def test_matches_h_zero_limit(self):
+        M = 123_456
+        assert advantage_over_gemm(M, 1e-15) == pytest.approx(
+            asymptotic_advantage(M), rel=1e-6
+        )
+
+    def test_expensive_rng_erases_advantage(self):
+        # For h large the sketching kernel falls below GEMM.
+        assert advantage_over_gemm(10**6, 100.0) < 1.0
+
+    def test_crossover_h(self):
+        # The advantage crosses 1 somewhere between free and absurd h.
+        M = 10**6
+        assert advantage_over_gemm(M, 1e-9) > 1.0
+        assert advantage_over_gemm(M, 10.0) < 1.0

@@ -1,0 +1,69 @@
+"""Tests for repro.model.machine."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import FRONTERA, LAPTOP, PERLMUTTER, MachineModel
+
+
+class TestMachineModel:
+    def test_cache_words(self):
+        m = MachineModel("t", cache_bytes=8000, peak_gflops=1, bandwidth_gbs=1,
+                         h_base=0.5, random_access_penalty=1.0, cores=1,
+                         bandwidth_saturation_threads=1)
+        assert m.cache_words == 1000
+
+    def test_machine_balance_units(self):
+        # B = peak flops / (words per second moved).
+        m = MachineModel("t", cache_bytes=8000, peak_gflops=80.0,
+                         bandwidth_gbs=8.0, h_base=0.5,
+                         random_access_penalty=1.0, cores=1,
+                         bandwidth_saturation_threads=1)
+        # 8 GB/s = 1e9 words/s; 80 GF/s -> B = 80.
+        assert m.machine_balance == pytest.approx(80.0)
+
+    def test_h_scales_with_distribution(self):
+        assert FRONTERA.h("gaussian") > FRONTERA.h("uniform")
+        assert FRONTERA.h("rademacher") < FRONTERA.h("uniform")
+
+    def test_with_threads(self):
+        m2 = FRONTERA.with_threads(4)
+        assert m2.cores == 4
+        assert m2.name == FRONTERA.name
+        assert FRONTERA.cores == 28  # original unchanged (frozen)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MachineModel("t", cache_bytes=0, peak_gflops=1, bandwidth_gbs=1,
+                         h_base=0.5, random_access_penalty=1.0, cores=1,
+                         bandwidth_saturation_threads=1)
+        with pytest.raises(ConfigError):
+            MachineModel("t", cache_bytes=1, peak_gflops=1, bandwidth_gbs=1,
+                         h_base=0.5, random_access_penalty=0.5, cores=1,
+                         bandwidth_saturation_threads=1)
+        with pytest.raises(ConfigError):
+            MachineModel("t", cache_bytes=1, peak_gflops=1, bandwidth_gbs=1,
+                         h_base=-1.0, random_access_penalty=1.0, cores=1,
+                         bandwidth_saturation_threads=1)
+
+
+class TestPresets:
+    def test_frontera_is_algo3_machine(self):
+        # Fast RNG + strong random-access penalty -> Algorithm 3 wins.
+        assert not FRONTERA.favors_reuse
+
+    def test_perlmutter_is_algo4_machine(self):
+        # Tolerant of random access, RNG relatively expensive -> Algorithm 4.
+        assert PERLMUTTER.favors_reuse
+
+    def test_perlmutter_has_more_bandwidth(self):
+        # Section V-A: "In general, Perlmutter has better bandwidth."
+        assert PERLMUTTER.bandwidth_gbs > FRONTERA.bandwidth_gbs
+
+    def test_frontera_has_cheaper_rng(self):
+        # "Frontera is faster at generating short random vectors."
+        assert FRONTERA.h_base < PERLMUTTER.h_base
+
+    def test_laptop_is_small(self):
+        assert LAPTOP.cache_bytes < FRONTERA.cache_bytes
+        assert LAPTOP.cores <= 8

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the performance model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    FRONTERA,
+    algo3_traffic,
+    algo4_traffic,
+    ci_small_rho,
+    computational_intensity,
+    expected_nonempty_rows,
+    gemm_ci,
+    optimize_blocks,
+)
+from repro.parallel import predict_time
+from repro.sparse import random_sparse
+
+densities = st.floats(min_value=1e-6, max_value=0.9)
+caches = st.integers(min_value=100, max_value=10**8)
+costs = st.floats(min_value=1e-6, max_value=10.0)
+
+
+class TestRooflineProperties:
+    @given(caches, costs)
+    @settings(max_examples=40)
+    def test_ci_small_rho_bounds(self, M, h):
+        """0 < CI <= M/2 always; decreasing in h; increasing in M."""
+        ci = ci_small_rho(M, h)
+        assert 0 < ci <= M / 2 + 1e-9
+        assert ci_small_rho(M, h * 2) <= ci + 1e-12
+        assert ci_small_rho(M * 2, h) >= ci - 1e-12
+
+    @given(st.integers(min_value=1, max_value=1000),
+           st.integers(min_value=1, max_value=1000),
+           st.integers(min_value=1, max_value=100),
+           densities, caches, costs)
+    @settings(max_examples=40)
+    def test_ci_positive_and_h_monotone(self, d1, m1, n1, rho, M, h):
+        ci = computational_intensity(d1, m1, n1, rho, M, h)
+        assert ci >= 0
+        assert computational_intensity(d1, m1, n1, rho, M, h * 2) <= ci + 1e-12
+
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.integers(min_value=0, max_value=200), densities)
+    @settings(max_examples=40)
+    def test_expected_nonempty_rows_bounds(self, m1, n1, rho):
+        ey = expected_nonempty_rows(m1, n1, rho)
+        assert 0 <= ey <= m1
+        # Monotone in block width.
+        assert expected_nonempty_rows(m1, n1 + 1, rho) >= ey - 1e-12
+
+    @given(densities, caches, costs)
+    @settings(max_examples=30, deadline=None)
+    def test_optimizer_never_beats_closed_form_bound(self, rho, M, h):
+        """The optimized CI cannot exceed the unconstrained M/2 ceiling and
+        is positive."""
+        plan = optimize_blocks(rho, M, h)
+        assert 0 < plan.ci
+        assert plan.n1 >= 1
+        assert plan.satisfies_cache()
+
+    @given(caches)
+    @settings(max_examples=30)
+    def test_gemm_ci_positive_monotone(self, M):
+        assert gemm_ci(M) > 0
+        assert gemm_ci(4 * M) > gemm_ci(M)
+
+
+class TestTrafficProperties:
+    @given(st.integers(min_value=0, max_value=400), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_invariants(self, seed, data):
+        A = random_sparse(
+            data.draw(st.integers(min_value=4, max_value=80)),
+            data.draw(st.integers(min_value=2, max_value=30)),
+            data.draw(st.floats(min_value=0.02, max_value=0.5)),
+            seed=seed,
+        )
+        d = data.draw(st.integers(min_value=1, max_value=50))
+        b_d = data.draw(st.integers(min_value=1, max_value=50))
+        b_n = data.draw(st.integers(min_value=1, max_value=30))
+        t3 = algo3_traffic(A, d, b_d, b_n)
+        t4 = algo4_traffic(A, d, b_d, b_n)
+        # Identical useful work.
+        assert t3.flops == t4.flops == 2 * d * A.nnz
+        # Algorithm 4 never generates more than Algorithm 3.
+        assert t4.rng_entries <= t3.rng_entries + 1e-9
+        # Effective words monotone in h and in the penalty.
+        for t in (t3, t4):
+            assert t.effective_words(0.5) >= t.effective_words(0.0) - 1e-9
+            assert (t.effective_words(0.0, 2.0)
+                    >= t.effective_words(0.0, 1.0) - 1e-9)
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_predicted_time_monotone_in_threads(self, seed, p):
+        A = random_sparse(60, 20, 0.1, seed=seed)
+        t = algo3_traffic(A, 40, 10, 5)
+        one = predict_time(t, FRONTERA, 1, 0.25).seconds
+        many = predict_time(t, FRONTERA, p, 0.25).seconds
+        assert many <= one * 1.0001
+        # And never faster than the no-overhead linear bound.
+        assert many >= one / p - 1e-15

@@ -1,0 +1,146 @@
+"""Tests for repro.model.roofline (Section III-A formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import (
+    FRONTERA,
+    block_generation_cost,
+    ci_big_rho,
+    ci_small_rho,
+    computational_intensity,
+    expected_nonempty_rows,
+    fraction_of_peak,
+    gemm_ci,
+    optimal_n1_big_rho,
+    peak_fraction_big_rho,
+    peak_fraction_small_rho,
+    reciprocal_ci_objective,
+)
+
+
+class TestExpectedNonemptyRows:
+    def test_formula(self):
+        # E[Y] = m1 (1 - (1 - rho)^{n1}).
+        assert expected_nonempty_rows(100, 3, 0.1) == pytest.approx(
+            100 * (1 - 0.9**3)
+        )
+
+    def test_n1_one_reduces_to_rho(self):
+        assert expected_nonempty_rows(50, 1, 0.2) == pytest.approx(10.0)
+
+    def test_dense_limit(self):
+        assert expected_nonempty_rows(70, 100, 0.99) == pytest.approx(70.0, rel=1e-6)
+
+    def test_zero_density(self):
+        assert expected_nonempty_rows(100, 5, 0.0) == 0.0
+
+    def test_monte_carlo_agreement(self):
+        # Empirical check against actual random matrices.
+        from repro.sparse import random_sparse
+
+        m1, n1, rho = 400, 4, 0.08
+        counts = []
+        for seed in range(30):
+            A = random_sparse(m1, n1, rho, seed=seed)
+            counts.append(np.unique(A.indices).size)
+        expected = expected_nonempty_rows(m1, n1, rho)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ConfigError):
+            expected_nonempty_rows(10, 1, 1.5)
+
+
+class TestComputationalIntensity:
+    def test_matches_hand_computation(self):
+        d1, m1, n1, rho, M, h = 10, 20, 3, 0.1, 1000, 0.5
+        flops = 2 * rho * d1 * m1 * n1
+        cost = M + h * d1 * m1 * (1 - 0.9**3)
+        assert computational_intensity(d1, m1, n1, rho, M, h) == pytest.approx(
+            flops / cost
+        )
+
+    def test_free_rng_increases_ci(self):
+        assert computational_intensity(10, 20, 3, 0.1, 1000, 0.0) > \
+            computational_intensity(10, 20, 3, 0.1, 1000, 1.0)
+
+    def test_reciprocal_objective_consistent(self):
+        # objective / (2 rho) == 1 / CI (the derivation drops the constant
+        # factor 2 rho from the flop count).
+        d1, m1, n1, rho, M, h = 8, 16, 2, 0.2, 500, 0.3
+        ci = computational_intensity(d1, m1, n1, rho, M, h)
+        obj = reciprocal_ci_objective(d1, m1, n1, rho, M, h)
+        assert obj / (2 * rho) == pytest.approx(1.0 / ci)
+
+
+class TestClosedForms:
+    def test_eq5_small_rho(self):
+        # CI = 2M / (4 + Mh).
+        assert ci_small_rho(1000, 0.01) == pytest.approx(2000 / 14.0)
+
+    def test_eq5_free_rng_limit(self):
+        # h -> 0: CI -> M/2.
+        assert ci_small_rho(1000, 1e-12) == pytest.approx(500.0, rel=1e-6)
+
+    def test_eq5_expensive_rng_limit(self):
+        # Mh >> 4: CI ~ 2/h, independent of M.
+        assert ci_small_rho(10**9, 2.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_eq7_big_rho(self):
+        # CI = sqrt(M rho) / (2 sqrt(h)).
+        assert ci_big_rho(400, 0.25, 1.0) == pytest.approx(
+            np.sqrt(400) / (2 * np.sqrt(0.25))
+        )
+
+    def test_optimal_n1_big_rho(self):
+        # n1 = sqrt(hM) / (2 sqrt(rho)).
+        assert optimal_n1_big_rho(400, 0.25, 1.0) == pytest.approx(5.0)
+
+    def test_big_rho_formula_is_objective_minimum(self):
+        # The closed form should sit at (near) the minimum of g(n1) when
+        # rho ~ 1.
+        M, h, rho = 100_000, 0.5, 0.95
+        n1_star = optimal_n1_big_rho(M, h, rho)
+
+        def g(n1):
+            return 4 * n1 * rho / M + h * (1 - (1 - rho) ** n1) / n1
+
+        assert g(n1_star) <= g(n1_star * 2) + 1e-12
+        assert g(n1_star) <= g(max(1.0, n1_star / 2)) + 1e-12
+
+
+class TestFractionOfPeak:
+    def test_capped_at_one(self):
+        assert fraction_of_peak(1e12, FRONTERA) == 1.0
+
+    def test_linear_below_balance(self):
+        b = FRONTERA.machine_balance
+        assert fraction_of_peak(b / 2, FRONTERA) == pytest.approx(0.5)
+
+    def test_small_rho_on_machine(self):
+        f = peak_fraction_small_rho(FRONTERA)
+        assert 0.0 < f <= 1.0
+
+    def test_big_rho_monotone_in_density(self):
+        f_lo = peak_fraction_big_rho(FRONTERA, 0.01, h=10.0)
+        f_hi = peak_fraction_big_rho(FRONTERA, 0.9, h=10.0)
+        assert f_hi >= f_lo
+
+
+class TestGemmComparison:
+    def test_gemm_ci_scaling(self):
+        # Doubling M scales GEMM CI by sqrt(2).
+        assert gemm_ci(2000) / gemm_ci(1000) == pytest.approx(np.sqrt(2))
+
+    def test_sketch_beats_gemm_for_cheap_rng(self):
+        # The headline sqrt(M) claim: with small h the sketching CI
+        # exceeds GEMM's CI by ~sqrt(M).
+        M = FRONTERA.cache_words
+        ratio = ci_small_rho(M, 1e-9) / gemm_ci(M)
+        assert ratio > 0.1 * np.sqrt(M)
+
+    def test_slow_rng_loses_to_gemm(self):
+        M = 10**6
+        assert ci_small_rho(M, 10.0) < gemm_ci(M)

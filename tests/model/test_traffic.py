@@ -1,0 +1,116 @@
+"""Tests for repro.model.traffic (analytic data-movement accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import (
+    algo3_traffic,
+    algo4_traffic,
+    count_nonempty_rows_per_block,
+    pregen_traffic,
+)
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(120, 40, 0.08, seed=201)
+
+
+class TestNonemptyRowCounts:
+    def test_matches_bruteforce(self, A):
+        counts = count_nonempty_rows_per_block(A, 7)
+        dense = A.to_dense()
+        for b, j0 in enumerate(range(0, 40, 7)):
+            j1 = min(j0 + 7, 40)
+            expected = int(np.sum(np.any(dense[:, j0:j1] != 0, axis=1)))
+            assert counts[b] == expected
+
+    def test_single_block(self, A):
+        counts = count_nonempty_rows_per_block(A, 1000)
+        assert counts.size == 1
+
+    def test_rejects_bad_width(self, A):
+        with pytest.raises(ConfigError):
+            count_nonempty_rows_per_block(A, 0)
+
+
+class TestAlgo3Traffic:
+    def test_rng_volume(self, A):
+        t = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        assert t.rng_entries == 30 * A.nnz
+
+    def test_sparse_passes_scale_with_row_blocks(self, A):
+        one = algo3_traffic(A, d=30, b_d=30, b_n=8)
+        three = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        assert three.words_sparse == pytest.approx(3 * one.words_sparse)
+
+    def test_no_scattered_component(self, A):
+        t = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        assert t.words_output_scattered == 0.0
+
+    def test_effective_words_h_weighting(self, A):
+        t = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        free = t.effective_words(0.0)
+        costly = t.effective_words(1.0)
+        assert costly - free == pytest.approx(t.rng_entries)
+
+    def test_intensity_decreases_with_h(self, A):
+        t = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        assert t.intensity(0.1) > t.intensity(1.0)
+
+
+class TestAlgo4Traffic:
+    def test_rng_savings(self, A):
+        t3 = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        t4 = algo4_traffic(A, d=30, b_d=10, b_n=8)
+        assert t4.rng_entries < t3.rng_entries
+
+    def test_rng_volume_exact(self, A):
+        t4 = algo4_traffic(A, d=30, b_d=10, b_n=8)
+        expected = 30 * count_nonempty_rows_per_block(A, 8).sum()
+        assert t4.rng_entries == expected
+
+    def test_output_fully_scattered(self, A):
+        t4 = algo4_traffic(A, d=30, b_d=10, b_n=8)
+        assert t4.words_output_scattered == t4.words_output
+
+    def test_penalty_applies_only_to_scattered(self, A):
+        t4 = algo4_traffic(A, d=30, b_d=10, b_n=8)
+        base = t4.effective_words(0.0, 1.0)
+        pen = t4.effective_words(0.0, 2.0)
+        assert pen - base == pytest.approx(t4.words_output_scattered)
+
+    def test_pointer_overhead_grows_with_blocks(self, A):
+        few = algo4_traffic(A, d=30, b_d=30, b_n=40)
+        many = algo4_traffic(A, d=30, b_d=30, b_n=1)
+        assert many.words_sparse > few.words_sparse
+
+    def test_flops_identical_across_algorithms(self, A):
+        t3 = algo3_traffic(A, d=30, b_d=10, b_n=8)
+        t4 = algo4_traffic(A, d=30, b_d=10, b_n=8)
+        assert t3.flops == t4.flops == 2 * 30 * A.nnz
+
+
+class TestPregenTraffic:
+    def test_sketch_fits_in_cache_single_pass(self, A):
+        t = pregen_traffic(A, d=10, b_d=10, b_n=8, cache_words=10**9)
+        assert t.words_sketch == 10 * 120
+
+    def test_sketch_exceeds_cache_multiple_passes(self, A):
+        t = pregen_traffic(A, d=10, b_d=10, b_n=8, cache_words=100)
+        n_blocks = -(-40 // 8)
+        assert t.words_sketch == n_blocks * 10 * 120
+
+    def test_pregen_moves_more_than_otf(self, A):
+        # The paper's core motivation at equal h=0 accounting.
+        t3 = algo3_traffic(A, d=30, b_d=30, b_n=8)
+        tp = pregen_traffic(A, d=30, b_d=30, b_n=8, cache_words=100)
+        assert tp.effective_words(0.0) > t3.effective_words(0.0)
+
+    def test_validation(self, A):
+        with pytest.raises(ConfigError):
+            pregen_traffic(A, d=0, b_d=1, b_n=1, cache_words=10)
+        with pytest.raises(ConfigError):
+            algo3_traffic(A, d=1, b_d=0, b_n=1)

@@ -1,0 +1,89 @@
+"""Tests for repro.parallel.bandwidth (saturating-bandwidth model)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import FRONTERA, algo3_traffic
+from repro.parallel import bandwidth_at, predict_time, rng_rate_per_core
+from repro.sparse import random_sparse
+
+
+class TestBandwidthCurve:
+    def test_linear_ramp(self):
+        b1 = bandwidth_at(FRONTERA, 1)
+        b2 = bandwidth_at(FRONTERA, 2)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_saturates_at_knee(self):
+        knee = FRONTERA.bandwidth_saturation_threads
+        assert bandwidth_at(FRONTERA, knee) == bandwidth_at(FRONTERA, knee + 10)
+        assert bandwidth_at(FRONTERA, knee) == pytest.approx(
+            FRONTERA.bandwidth_gbs * 1e9
+        )
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigError):
+            bandwidth_at(FRONTERA, 0)
+
+
+class TestRngRate:
+    def test_inverse_in_h(self):
+        assert rng_rate_per_core(FRONTERA, 0.1) == pytest.approx(
+            2 * rng_rate_per_core(FRONTERA, 0.2)
+        )
+
+    def test_definitional_identity(self):
+        # rate = single-thread words/s divided by h.
+        h = 0.5
+        words_per_s = bandwidth_at(FRONTERA, 1) / 8.0
+        assert rng_rate_per_core(FRONTERA, h) == pytest.approx(words_per_s / h)
+
+    def test_rejects_zero_h(self):
+        with pytest.raises(ConfigError):
+            rng_rate_per_core(FRONTERA, 0.0)
+
+
+class TestPredictTime:
+    @pytest.fixture
+    def traffic(self):
+        A = random_sparse(300, 60, 0.05, seed=1)
+        return algo3_traffic(A, d=180, b_d=3000, b_n=20)
+
+    def test_time_decreases_then_flattens(self, traffic):
+        times = [predict_time(traffic, FRONTERA, p, 0.25).seconds
+                 for p in (1, 2, 4, 8, 16, 32)]
+        assert times[1] < times[0]
+        assert times[-1] <= times[0]
+        # Monotone non-increasing throughout.
+        assert all(b <= a * 1.0001 for a, b in zip(times, times[1:]))
+
+    def test_becomes_memory_bound(self, traffic):
+        # At enough threads the compute side shrinks but bandwidth has
+        # saturated: the run turns memory-bound.
+        run = predict_time(traffic, FRONTERA, FRONTERA.cores, 0.25)
+        assert run.bound == "memory"
+
+    def test_compute_bound_single_thread(self, traffic):
+        run = predict_time(traffic, FRONTERA, 1, 0.25)
+        assert run.bound == "compute"
+
+    def test_serial_overhead_added(self, traffic):
+        base = predict_time(traffic, FRONTERA, 4, 0.25).seconds
+        plus = predict_time(traffic, FRONTERA, 4, 0.25,
+                            serial_seconds=1.0).seconds
+        assert plus == pytest.approx(base + 1.0)
+
+    def test_gflops_consistent(self, traffic):
+        run = predict_time(traffic, FRONTERA, 4, 0.25)
+        assert run.gflops == pytest.approx(traffic.flops / run.seconds / 1e9)
+
+    def test_cheaper_h_faster(self, traffic):
+        slow = predict_time(traffic, FRONTERA, 2, 1.0).seconds
+        fast = predict_time(traffic, FRONTERA, 2, 0.05).seconds
+        assert fast <= slow
+
+    def test_validation(self, traffic):
+        with pytest.raises(ConfigError):
+            predict_time(traffic, FRONTERA, 0, 0.25)
+        with pytest.raises(ConfigError):
+            predict_time(traffic, FRONTERA, 1, -0.1)

@@ -1,0 +1,101 @@
+"""Tests for repro.parallel.executor (thread-pool sketching)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import sketch_spmm
+from repro.parallel import parallel_sketch_spmm
+from repro.rng import PhiloxSketchRNG, XoshiroSketchRNG
+from repro.sparse import csc_to_blocked_csr, random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(120, 30, 0.1, seed=301)
+
+
+def _ref(A, d, b_d, b_n):
+    Ahat, _ = sketch_spmm(A, d, PhiloxSketchRNG(9), kernel="algo3",
+                          b_d=b_d, b_n=b_n)
+    return Ahat
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8])
+    @pytest.mark.parametrize("kernel", ["algo3", "algo4"])
+    def test_thread_count_invariant(self, A, threads, kernel):
+        d, b_d, b_n = 36, 10, 7
+        out, _ = parallel_sketch_spmm(
+            A, d, lambda w: PhiloxSketchRNG(9), threads=threads,
+            kernel=kernel, b_d=b_d, b_n=b_n,
+        )
+        np.testing.assert_allclose(out, _ref(A, d, b_d, b_n))
+
+    @pytest.mark.parametrize("strategy", ["static", "cyclic", "guided"])
+    def test_strategy_invariant(self, A, strategy):
+        d, b_d, b_n = 24, 8, 5
+        out, _ = parallel_sketch_spmm(
+            A, d, lambda w: PhiloxSketchRNG(9), threads=3,
+            kernel="algo3", b_d=b_d, b_n=b_n, strategy=strategy,
+        )
+        np.testing.assert_allclose(out, _ref(A, d, b_d, b_n))
+
+    def test_xoshiro_thread_invariant(self, A):
+        # Checkpoints are coordinate-keyed, so even the sequential
+        # generator is reproducible across thread counts (fixed blocking).
+        d, b_d, b_n = 24, 8, 5
+        one, _ = parallel_sketch_spmm(A, d, lambda w: XoshiroSketchRNG(4),
+                                      threads=1, kernel="algo3",
+                                      b_d=b_d, b_n=b_n)
+        four, _ = parallel_sketch_spmm(A, d, lambda w: XoshiroSketchRNG(4),
+                                       threads=4, kernel="algo3",
+                                       b_d=b_d, b_n=b_n)
+        np.testing.assert_allclose(one, four)
+
+    def test_scaling_trick_parallel(self, A):
+        d = 24
+        plain, _ = parallel_sketch_spmm(
+            A, d, lambda w: PhiloxSketchRNG(2, "uniform"), threads=2,
+            kernel="algo3", b_d=8, b_n=5)
+        trick, _ = parallel_sketch_spmm(
+            A, d, lambda w: PhiloxSketchRNG(2, "uniform_scaled"), threads=2,
+            kernel="algo3", b_d=8, b_n=5)
+        np.testing.assert_allclose(plain, trick)
+
+    def test_prebuilt_blocked(self, A):
+        d, b_d, b_n = 24, 8, 5
+        blocked, _ = csc_to_blocked_csr(A, b_n)
+        out, stats = parallel_sketch_spmm(
+            A, d, lambda w: PhiloxSketchRNG(9), threads=2,
+            kernel="algo4", b_d=b_d, b_n=b_n, blocked=blocked)
+        np.testing.assert_allclose(out, _ref(A, d, b_d, b_n))
+        assert stats.conversion_seconds == 0.0
+
+
+class TestStats:
+    def test_aggregated_counters(self, A):
+        d = 24
+        _, stats = parallel_sketch_spmm(
+            A, d, lambda w: PhiloxSketchRNG(1), threads=3,
+            kernel="algo3", b_d=8, b_n=5)
+        assert stats.samples_generated == d * A.nnz
+        assert stats.extra["threads"] == 3
+        assert stats.kernel == "algo3-parallel"
+
+    def test_worker_exception_propagates(self, A):
+        def bad_factory(w):
+            raise RuntimeError("factory boom")
+
+        with pytest.raises(RuntimeError, match="factory boom"):
+            parallel_sketch_spmm(A, 12, bad_factory, threads=2)
+
+    def test_invalid_kernel(self, A):
+        with pytest.raises(ConfigError):
+            parallel_sketch_spmm(A, 12, lambda w: PhiloxSketchRNG(0),
+                                 threads=2, kernel="nope")
+
+    def test_invalid_threads(self, A):
+        with pytest.raises(ConfigError):
+            parallel_sketch_spmm(A, 12, lambda w: PhiloxSketchRNG(0),
+                                 threads=0)

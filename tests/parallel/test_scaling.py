@@ -1,0 +1,114 @@
+"""Tests for repro.parallel.scaling (Table VII-style sweeps)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import FRONTERA
+from repro.parallel import (
+    measure_strong_scaling,
+    parallel_efficiency,
+    simulate_strong_scaling,
+)
+from repro.rng import PhiloxSketchRNG
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    # Scaled-down shar_te2-b2 stand-in.
+    return random_sparse(800, 80, 0.02, seed=401)
+
+
+class TestSimulatedScaling:
+    def test_point_fields(self, A):
+        pts = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                      b_d=3000, b_n=40,
+                                      threads_list=[1, 2, 4])
+        assert [p.threads for p in pts] == [1, 2, 4]
+        assert all(p.seconds > 0 for p in pts)
+        assert all(p.algorithm == "algo3" for p in pts)
+
+    def test_speedup_before_saturation(self, A):
+        pts = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                      b_d=3000, b_n=40,
+                                      threads_list=[1, 2, 4, 8])
+        assert pts[1].seconds < pts[0].seconds
+        assert pts[3].seconds <= pts[1].seconds
+
+    def test_gflops_grow_with_threads(self, A):
+        pts = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                      b_d=3000, b_n=40,
+                                      threads_list=[1, 8, 32])
+        assert pts[-1].gflops > pts[0].gflops
+
+    def test_tall_blocking_scales_further(self, A):
+        """Section V-B: large b_d / small b_n (setup2) saturates later."""
+        squat = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                        b_d=60, b_n=80,
+                                        threads_list=[32])
+        tall = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                       b_d=240, b_n=10,
+                                       threads_list=[32])
+        assert tall[0].seconds <= squat[0].seconds
+
+    def test_algo3_beats_algo4_at_scale_on_frontera(self, A):
+        """Table VII: at 32 threads Algorithm 3 wins (scattered output
+        saturates Algorithm 4's bandwidth earlier)."""
+        a3 = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                     b_d=240, b_n=10, threads_list=[32])
+        a4 = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo4",
+                                     b_d=240, b_n=10, threads_list=[32])
+        assert a3[0].seconds <= a4[0].seconds
+
+    def test_conversion_charged_when_asked(self, A):
+        no = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo4",
+                                     b_d=240, b_n=10, threads_list=[4])
+        yes = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo4",
+                                      b_d=240, b_n=10, threads_list=[4],
+                                      include_conversion=True)
+        assert yes[0].seconds > no[0].seconds
+
+    def test_unknown_kernel(self, A):
+        with pytest.raises(ConfigError):
+            simulate_strong_scaling(A, 240, FRONTERA, kernel="x",
+                                    b_d=1, b_n=1, threads_list=[1])
+
+
+class TestMeasuredScaling:
+    def test_runs_and_is_correct_shape(self, A):
+        pts = measure_strong_scaling(A, 120, lambda w: PhiloxSketchRNG(1),
+                                     kernel="algo3", b_d=40, b_n=20,
+                                     threads_list=[1, 2])
+        assert len(pts) == 2
+        assert all(p.bound == "measured" for p in pts)
+        assert all(p.seconds > 0 for p in pts)
+
+
+class TestParallelEfficiency:
+    def test_perfect_scaling_is_one(self, A):
+        from repro.parallel.scaling import ScalingPoint
+
+        pts = [ScalingPoint("algo3", 1, 8.0, 1.0, "x"),
+               ScalingPoint("algo3", 2, 4.0, 2.0, "x"),
+               ScalingPoint("algo3", 8, 1.0, 8.0, "x")]
+        eff = parallel_efficiency(pts)
+        assert eff[1] == pytest.approx(1.0)
+        assert eff[2] == pytest.approx(1.0)
+        assert eff[8] == pytest.approx(1.0)
+
+    def test_paper_45_percent_shape(self, A):
+        """The abstract's headline: with 32 threads, parallel efficiency up
+        to ~45%. The simulated sweep should land in a sane band (10-100%)."""
+        pts = simulate_strong_scaling(A, 240, FRONTERA, kernel="algo3",
+                                      b_d=240, b_n=10,
+                                      threads_list=[1, 2, 4, 8, 16, 32])
+        eff = parallel_efficiency(pts)
+        assert 0.10 <= eff[32] <= 1.0
+        # Efficiency declines as bandwidth saturates.
+        assert eff[32] <= eff[8] + 1e-9
+
+    def test_requires_baseline(self):
+        from repro.parallel.scaling import ScalingPoint
+
+        with pytest.raises(ConfigError):
+            parallel_efficiency([ScalingPoint("a", 2, 1.0, 1.0, "x")])

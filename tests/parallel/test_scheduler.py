@@ -1,0 +1,95 @@
+"""Tests for repro.parallel.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import iter_block_tasks
+from repro.parallel import estimate_task_costs, partition_tasks
+from repro.sparse import abnormal_b, random_sparse
+
+
+@pytest.fixture
+def tasks():
+    return list(iter_block_tasks(20, 12, 5, 3))
+
+
+class TestPartitionStatic:
+    def test_all_tasks_assigned_once(self, tasks):
+        buckets = partition_tasks(tasks, 3, "static")
+        flat = [t for b in buckets for t in b]
+        assert sorted(flat) == sorted(tasks)
+
+    def test_contiguous_ranges(self, tasks):
+        buckets = partition_tasks(tasks, 2, "static")
+        assert buckets[0] == tasks[:len(buckets[0])]
+
+    def test_more_threads_than_tasks(self, tasks):
+        buckets = partition_tasks(tasks, 100, "static")
+        flat = [t for b in buckets for t in b]
+        assert sorted(flat) == sorted(tasks)
+
+    def test_single_thread(self, tasks):
+        buckets = partition_tasks(tasks, 1, "static")
+        assert buckets == [tasks]
+
+
+class TestPartitionCyclic:
+    def test_round_robin(self, tasks):
+        buckets = partition_tasks(tasks, 3, "cyclic")
+        assert buckets[0][0] == tasks[0]
+        assert buckets[1][0] == tasks[1]
+        assert buckets[2][0] == tasks[2]
+        flat = [t for b in buckets for t in b]
+        assert sorted(flat) == sorted(tasks)
+
+
+class TestPartitionGuided:
+    def test_requires_costs(self, tasks):
+        with pytest.raises(ConfigError, match="costs"):
+            partition_tasks(tasks, 2, "guided")
+
+    def test_balances_skewed_costs(self):
+        # One very heavy task plus many light ones: guided should not put
+        # any light task with the heavy one until other threads fill up.
+        tasks = [(i, 1, 0, 1) for i in range(9)]
+        costs = np.array([100.0] + [1.0] * 8)
+        buckets = partition_tasks(tasks, 2, "guided", costs)
+        loads = [sum(costs[tasks.index(t)] for t in b) for b in buckets]
+        assert max(loads) == 100.0  # heavy task alone on one thread
+
+    def test_cost_length_mismatch(self, tasks):
+        with pytest.raises(ConfigError):
+            partition_tasks(tasks, 2, "guided", np.ones(3))
+
+
+class TestEstimateTaskCosts:
+    def test_flop_proxy(self):
+        A = random_sparse(30, 12, 0.2, seed=1)
+        tasks = list(iter_block_tasks(10, 12, 5, 4))
+        costs = estimate_task_costs(A, tasks)
+        for (i, d1, j, n1), c in zip(tasks, costs):
+            nnz_blk = int(A.indptr[j + n1] - A.indptr[j])
+            assert c == 2.0 * d1 * nnz_blk
+
+    def test_detects_hot_middle_block(self):
+        # Abnormal_B's middle-third concentration shows up as cost skew.
+        A = abnormal_b(100, 30, density=0.05, middle_frac=0.95, seed=2)
+        tasks = list(iter_block_tasks(10, 30, 10, 10))
+        costs = estimate_task_costs(A, tasks)
+        mid = costs[1]  # second column block = columns 10..20
+        assert mid > costs[0]
+        assert mid > costs[2]
+
+
+class TestValidation:
+    def test_unknown_strategy(self, tasks):
+        with pytest.raises(ConfigError):
+            partition_tasks(tasks, 2, "magic")
+
+    def test_zero_threads(self, tasks):
+        with pytest.raises(ConfigError):
+            partition_tasks(tasks, 0, "static")
+
+    def test_empty_tasks(self):
+        assert partition_tasks([], 3, "static") == [[], [], []]

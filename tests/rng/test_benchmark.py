@@ -1,0 +1,47 @@
+"""Tests for repro.rng.benchmark (throughput probes)."""
+
+import pytest
+
+from repro.rng import estimate_h, make_rng, rng_sample_rate, stream_copy_bandwidth
+
+
+class TestStreamCopyBandwidth:
+    def test_positive(self):
+        bw = stream_copy_bandwidth(n_elements=100_000, repeats=2)
+        assert bw > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            stream_copy_bandwidth(n_elements=0)
+        with pytest.raises(ValueError):
+            stream_copy_bandwidth(repeats=0)
+
+
+class TestRngSampleRate:
+    def test_positive(self):
+        rng = make_rng("xoshiro", 0)
+        rate = rng_sample_rate(rng, vector_length=1000, batch_columns=8,
+                               repeats=2)
+        assert rate > 0
+
+    def test_rejects_bad_args(self):
+        rng = make_rng("philox", 0)
+        with pytest.raises(ValueError):
+            rng_sample_rate(rng, vector_length=0)
+
+
+class TestEstimateH:
+    def test_probe_fields(self):
+        probe = estimate_h("xoshiro", "rademacher", vector_length=1000)
+        assert probe.kind == "xoshiro"
+        assert probe.dist == "rademacher"
+        assert probe.h > 0
+        assert "h =" in probe.describe()
+
+    def test_junk_is_cheapest(self):
+        # The junk generator should beat the real generators' sample rate.
+        junk = rng_sample_rate(make_rng("junk", 0), vector_length=2000,
+                               batch_columns=16, repeats=2)
+        xo = rng_sample_rate(make_rng("xoshiro", 0), vector_length=2000,
+                             batch_columns=16, repeats=2)
+        assert junk > xo * 0.5  # junk is at least comparable, usually faster

@@ -1,0 +1,128 @@
+"""Tests for repro.rng.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng import (
+    DISTRIBUTIONS,
+    GAUSSIAN,
+    RADEMACHER,
+    UNIFORM,
+    UNIFORM_SCALED,
+    get_distribution,
+)
+from repro.rng.philox import key_from_seed, philox_uint64
+
+
+def _bits(n=200_000, seed=0):
+    return philox_uint64(np.arange(n, dtype=np.uint64),
+                         np.zeros(n, dtype=np.uint64), key_from_seed(seed))
+
+
+class TestUniform:
+    def test_range(self):
+        x = UNIFORM.sample_from_bits(_bits())
+        assert x.min() >= -1.0
+        assert x.max() < 1.0 + 1e-12
+
+    def test_mean_near_zero(self):
+        x = UNIFORM.sample_from_bits(_bits())
+        assert abs(x.mean()) < 0.01
+
+    def test_variance_matches_metadata(self):
+        x = UNIFORM.sample_from_bits(_bits())
+        assert x.var() == pytest.approx(UNIFORM.variance, rel=0.02)
+
+    def test_is_int32_over_2_31(self):
+        bits = np.array([0, 1, 2**31, 2**32 - 1], dtype=np.uint64)
+        x = UNIFORM.sample_from_bits(bits)
+        assert x[0] == 0.0
+        assert x[1] == pytest.approx(2.0**-31)
+        assert x[2] == -1.0  # sign wrap of int32
+
+
+class TestUniformScaled:
+    def test_integer_valued_entries(self):
+        x = UNIFORM_SCALED.sample_from_bits(_bits(1000))
+        assert np.array_equal(x, np.round(x))
+
+    def test_post_scale_recovers_uniform(self):
+        bits = _bits(1000)
+        scaled = UNIFORM_SCALED.sample_from_bits(bits) * UNIFORM_SCALED.post_scale
+        plain = UNIFORM.sample_from_bits(bits)
+        np.testing.assert_allclose(scaled, plain)
+
+    def test_variance_metadata_is_post_scale(self):
+        bits = _bits()
+        x = UNIFORM_SCALED.sample_from_bits(bits) * UNIFORM_SCALED.post_scale
+        assert x.var() == pytest.approx(UNIFORM_SCALED.variance, rel=0.02)
+
+
+class TestRademacher:
+    def test_values_pm1(self):
+        x = RADEMACHER.sample_from_bits(_bits(10_000))
+        assert set(np.unique(x)) == {-1.0, 1.0}
+
+    def test_balanced(self):
+        x = RADEMACHER.sample_from_bits(_bits())
+        assert abs(x.mean()) < 0.01
+
+    def test_variance_one(self):
+        x = RADEMACHER.sample_from_bits(_bits())
+        assert x.var() == pytest.approx(1.0, rel=0.01)
+
+    def test_eight_bit_storage_claim(self):
+        assert RADEMACHER.bits_per_entry == 8
+
+
+class TestGaussian:
+    def test_moments(self):
+        x = GAUSSIAN.sample_from_bits(_bits())
+        assert abs(x.mean()) < 0.01
+        assert x.var() == pytest.approx(1.0, rel=0.02)
+
+    def test_no_infinities(self):
+        # u1 offset keeps log finite even for extreme bit patterns.
+        bits = np.array([0, 2**64 - 1, 2**32 - 1, 2**63], dtype=np.uint64)
+        x = GAUSSIAN.sample_from_bits(bits)
+        assert np.all(np.isfinite(x))
+
+    def test_tail_mass(self):
+        x = GAUSSIAN.sample_from_bits(_bits())
+        frac_2sigma = np.mean(np.abs(x) > 2.0)
+        assert frac_2sigma == pytest.approx(0.0455, abs=0.005)
+
+    def test_is_most_expensive(self):
+        assert GAUSSIAN.h_factor == max(d.h_factor for d in DISTRIBUTIONS.values())
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(DISTRIBUTIONS) == {
+            "uniform", "uniform_scaled", "rademacher", "gaussian"
+        }
+
+    def test_get_by_name(self):
+        assert get_distribution("uniform") is UNIFORM
+
+    def test_get_passthrough(self):
+        assert get_distribution(GAUSSIAN) is GAUSSIAN
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown distribution"):
+            get_distribution("cauchy")
+
+    def test_normalization(self):
+        # 1 / sqrt(d * var): Rademacher with d=100 -> 0.1.
+        assert RADEMACHER.normalization(100) == pytest.approx(0.1)
+
+    def test_normalization_rejects_bad_d(self):
+        with pytest.raises(ConfigError):
+            UNIFORM.normalization(0)
+
+    def test_cost_ordering(self):
+        # The paper's Figure 4 ordering: pm1 cheapest, then the scaling
+        # trick, then plain uniform, Gaussian far more expensive.
+        assert (RADEMACHER.h_factor < UNIFORM_SCALED.h_factor
+                < UNIFORM.h_factor < GAUSSIAN.h_factor)

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the RNG substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    PhiloxSketchRNG,
+    XoshiroSketchRNG,
+    checkpoint_bits,
+    mix_key,
+    philox_uint64,
+    splitmix64,
+)
+from repro.rng.philox import key_from_seed
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+small_ints = st.integers(min_value=0, max_value=200)
+
+
+class TestSplitmixProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_splitmix_is_deterministic(self, x):
+        assert int(splitmix64(np.uint64(x))) == int(splitmix64(np.uint64(x)))
+
+    @given(st.lists(st.integers(min_value=-2**31, max_value=2**31),
+                    min_size=1, max_size=4))
+    def test_mix_key_deterministic(self, parts):
+        assert int(mix_key(*parts)) == int(mix_key(*parts))
+
+
+class TestPhiloxProperties:
+    @given(seeds, small_ints, small_ints)
+    @settings(max_examples=30)
+    def test_coordinate_function(self, seed, i, j):
+        """S[i, j] depends only on (seed, i, j) — the CBRNG contract."""
+        key = key_from_seed(seed)
+        solo = philox_uint64(np.array([i]), np.array([j]), key)[0]
+        grid = philox_uint64(
+            np.arange(i + 1)[:, None], np.arange(j + 1)[None, :], key
+        )
+        assert grid[i, j] == solo
+
+    @given(seeds, st.integers(min_value=1, max_value=32),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=25)
+    def test_block_consistency(self, seed, d1, j):
+        """column_block(r, d1, j) is a window of the full column."""
+        rng1 = PhiloxSketchRNG(seed)
+        rng2 = PhiloxSketchRNG(seed)
+        full = rng1.column_block(0, 64, j)
+        for r in (0, 5, 31):
+            if r + d1 <= 64:
+                window = rng2.column_block(r, d1, j)
+                np.testing.assert_array_equal(window, full[r:r + d1])
+
+
+class TestXoshiroProperties:
+    @given(seeds, st.integers(min_value=0, max_value=10),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25)
+    def test_checkpoint_prefix(self, seed, j, count):
+        """Shorter sample requests are prefixes of longer ones."""
+        long = checkpoint_bits(seed, 0, np.array([j]), count + 16)
+        short = checkpoint_bits(seed, 0, np.array([j]), count)
+        np.testing.assert_array_equal(long[:count], short)
+
+    @given(seeds, st.lists(st.integers(min_value=0, max_value=100),
+                           min_size=1, max_size=8, unique=True))
+    @settings(max_examples=25)
+    def test_batch_order_invariance(self, seed, js):
+        """Column content does not depend on batch composition or order."""
+        rng = XoshiroSketchRNG(seed)
+        js_arr = np.array(js, dtype=np.int64)
+        batch = rng.column_block_batch(0, 12, js_arr)
+        shuffled = js_arr[::-1].copy()
+        batch_rev = rng.column_block_batch(0, 12, shuffled)
+        for t, j in enumerate(js_arr):
+            t_rev = list(shuffled).index(j)
+            np.testing.assert_array_equal(batch[:, t], batch_rev[:, t_rev])
+
+
+class TestStatisticalSanity:
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_uniform_bounds_any_seed(self, seed):
+        rng = PhiloxSketchRNG(seed, "uniform")
+        v = rng.column_block_batch(0, 256, np.arange(4))
+        assert v.min() >= -1.0
+        assert v.max() <= 1.0
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_rademacher_values_any_seed(self, seed):
+        rng = XoshiroSketchRNG(seed, "rademacher")
+        v = rng.column_block_batch(0, 64, np.arange(4))
+        assert set(np.unique(v)) <= {-1.0, 1.0}

@@ -1,0 +1,136 @@
+"""Statistical-quality tests for the sketch generators.
+
+Section IV-B warns that "the numbers may no longer have the desired
+statistical properties if we manually change the state for each entry" —
+the exact thing the checkpointed xoshiro does per block.  These tests
+quantify the concern: Kolmogorov–Smirnov uniformity, lag autocorrelation
+within checkpoint streams, cross-column correlation between adjacent
+checkpoints, and moment checks for every generator family and
+distribution.  Thresholds are loose enough to be seed-robust (fixed seeds
+keep them deterministic) while tight enough to catch a broken generator
+or transform.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.rng import (
+    GAUSSIAN,
+    PhiloxSketchRNG,
+    ThreefrySketchRNG,
+    UNIFORM,
+    XoshiroSketchRNG,
+)
+
+FAMILIES = [
+    ("philox", PhiloxSketchRNG),
+    ("threefry", ThreefrySketchRNG),
+    ("xoshiro", XoshiroSketchRNG),
+]
+
+
+def _column(cls, seed, n=20_000, j=3, dist="uniform"):
+    return cls(seed, dist).column_block(0, n, j)
+
+
+class TestUniformity:
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_ks_uniform(self, name, cls):
+        """Entries should pass a KS test against U(-1, 1)."""
+        x = _column(cls, 12345)
+        stat, pvalue = sps.kstest(x, sps.uniform(loc=-1, scale=2).cdf)
+        assert pvalue > 1e-4, f"{name}: KS p={pvalue:.2e}"
+
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_chi2_bins(self, name, cls):
+        """Equal-width bins should be evenly filled."""
+        x = _column(cls, 999)
+        counts, _ = np.histogram(x, bins=32, range=(-1, 1))
+        chi2 = ((counts - counts.mean()) ** 2 / counts.mean()).sum()
+        # 31 dof; 99.99th percentile ~ 66.
+        assert chi2 < 70, f"{name}: chi2={chi2:.1f}"
+
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_gaussian_normality(self, name, cls):
+        x = cls(77, "gaussian").column_block(0, 20_000, 0)
+        stat, pvalue = sps.kstest(x, "norm")
+        assert pvalue > 1e-4, f"{name}: normal KS p={pvalue:.2e}"
+
+
+class TestIndependenceWithinStream:
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_lag1_autocorrelation(self, name, cls):
+        """Within one checkpoint stream, consecutive draws are uncorrelated."""
+        x = _column(cls, 2024, n=50_000)
+        r = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert abs(r) < 0.02, f"{name}: lag-1 corr={r:.4f}"
+
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_lane_stride_autocorrelation(self, name, cls):
+        """The xoshiro lane interleaving must not imprint structure at the
+        lane stride (the specific risk of the SIMD layout)."""
+        from repro.rng.xoshiro import DEFAULT_LANES
+
+        x = _column(cls, 31415, n=50_000)
+        lag = DEFAULT_LANES
+        r = np.corrcoef(x[:-lag], x[lag:])[0, 1]
+        assert abs(r) < 0.02, f"{name}: lag-{lag} corr={r:.4f}"
+
+
+class TestIndependenceAcrossCheckpoints:
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_adjacent_columns_uncorrelated(self, name, cls):
+        """Columns j and j+1 come from adjacent checkpoints — the paper's
+        'blocks as checkpoints' construction must not correlate them."""
+        rng = cls(555)
+        block = rng.column_block_batch(0, 30_000, np.array([10, 11]))
+        r = np.corrcoef(block[:, 0], block[:, 1])[0, 1]
+        assert abs(r) < 0.02, f"{name}: cross-column corr={r:.4f}"
+
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_adjacent_blocks_uncorrelated(self, name, cls):
+        """Row blocks r and r+d1 are separate checkpoints for xoshiro and
+        disjoint counters for the CBRNGs."""
+        rng = cls(777)
+        a = rng.column_block(0, 30_000, 4)
+        b = rng.column_block(30_000, 30_000, 4)
+        r = np.corrcoef(a, b)[0, 1]
+        assert abs(r) < 0.02, f"{name}: cross-block corr={r:.4f}"
+
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_nearby_seeds_uncorrelated(self, name, cls):
+        """Low-entropy seeds (0, 1, 2...) must give unrelated sketches —
+        the avalanche requirement SplitMix64 seeding provides."""
+        a = _column(cls, 0, n=30_000)
+        b = _column(cls, 1, n=30_000)
+        r = np.corrcoef(a, b)[0, 1]
+        assert abs(r) < 0.02, f"{name}: cross-seed corr={r:.4f}"
+
+
+class TestSketchingMoments:
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_jl_moment_property(self, name, cls):
+        """E[||S x||^2 / (d Var)] == ||x||^2 — the property that makes S a
+        sketch.  Checked empirically over a fixed x."""
+        d, m = 4000, 50
+        rng = cls(4242)
+        S = rng.materialize(d, m)
+        x = np.sin(np.arange(m))  # fixed deterministic direction
+        ratio = np.linalg.norm(S @ x) ** 2 / (d * UNIFORM.variance)
+        assert ratio == pytest.approx(np.linalg.norm(x) ** 2, rel=0.1)
+
+    @pytest.mark.parametrize("name,cls", FAMILIES)
+    def test_column_norms_concentrate(self, name, cls):
+        d, m = 5000, 40
+        S = cls(868).materialize(d, m)
+        norms2 = (S ** 2).sum(axis=0) / (d * UNIFORM.variance)
+        assert np.all(np.abs(norms2 - 1.0) < 0.15), (
+            f"{name}: worst column-norm deviation "
+            f"{np.abs(norms2 - 1.0).max():.3f}"
+        )
+
+    def test_gaussian_transform_kurtosis(self):
+        x = PhiloxSketchRNG(9, "gaussian").column_block(0, 60_000, 0)
+        assert sps.kurtosis(x) == pytest.approx(0.0, abs=0.1)
+        assert GAUSSIAN.variance == 1.0

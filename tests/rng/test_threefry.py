@@ -1,0 +1,122 @@
+"""Tests for repro.rng.threefry (Threefry2x64 counter-based RNG)."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ThreefrySketchRNG, threefry2x64, threefry_uint64
+from repro.rng.threefry import key_pair_from_seed
+
+
+def _threefry2x64_scalar(ctr, key, rounds=20):
+    """Pure-Python reference transcription of Threefry2x64 (Salmon et al.)."""
+    mask = (1 << 64) - 1
+    rot = (16, 42, 12, 31, 16, 32, 24, 21)
+    k0, k1 = key
+    k2 = 0x1BD11BDAA9FC1A22 ^ k0 ^ k1
+    ks = (k0, k1, k2)
+    x0 = (ctr[0] + ks[0]) & mask
+    x1 = (ctr[1] + ks[1]) & mask
+    for r in range(rounds):
+        x0 = (x0 + x1) & mask
+        x1 = ((x1 << rot[r % 8]) | (x1 >> (64 - rot[r % 8]))) & mask
+        x1 ^= x0
+        if (r + 1) % 4 == 0:
+            inject = (r + 1) // 4
+            x0 = (x0 + ks[inject % 3]) & mask
+            x1 = (x1 + ks[(inject + 1) % 3] + inject) & mask
+    return x0, x1
+
+
+class TestThreefry2x64:
+    def test_matches_scalar_reference(self):
+        key = (0xDEADBEEF12345678, 0xCAFEF00DABCDEF01)
+        counters = [(0, 0), (1, 0), (0, 1), (2**63, 2**64 - 1),
+                    (123456789, 987654321)]
+        for ctr in counters:
+            got = threefry2x64(np.uint64(ctr[0]), np.uint64(ctr[1]),
+                               (np.uint64(key[0]), np.uint64(key[1])))
+            expected = _threefry2x64_scalar(ctr, key)
+            assert (int(got[0]), int(got[1])) == expected
+
+    def test_vectorized_matches_elementwise(self):
+        rng = np.random.default_rng(0)
+        c0 = rng.integers(0, 2**63, size=40, dtype=np.uint64)
+        c1 = rng.integers(0, 2**63, size=40, dtype=np.uint64)
+        key = key_pair_from_seed(7)
+        b0, b1 = threefry2x64(c0, c1, key)
+        for t in range(40):
+            s0, s1 = threefry2x64(c0[t], c1[t], key)
+            assert b0[t] == s0 and b1[t] == s1
+
+    def test_rounds_matter(self):
+        key = key_pair_from_seed(0)
+        a = threefry2x64(np.uint64(1), np.uint64(2), key, rounds=13)
+        b = threefry2x64(np.uint64(1), np.uint64(2), key, rounds=20)
+        assert int(a[0]) != int(b[0])
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            threefry2x64(np.uint64(0), np.uint64(0), key_pair_from_seed(0),
+                         rounds=0)
+
+    def test_bit_balance(self):
+        key = key_pair_from_seed(3)
+        out = threefry_uint64(np.arange(4096), np.zeros(4096, dtype=np.int64),
+                              key)
+        ones = sum(bin(int(x)).count("1") for x in out)
+        assert abs(ones / (64 * 4096) - 0.5) < 0.01
+
+
+class TestThreefrySketchRNG:
+    def test_coordinate_addressed(self):
+        rng = ThreefrySketchRNG(5)
+        batch = rng.column_block_batch(3, 6, np.array([2, 9]))
+        solo = rng.column_block(3, 6, 9)
+        np.testing.assert_array_equal(batch[:, 1], solo)
+
+    def test_blocking_independent(self):
+        rng = ThreefrySketchRNG(3)
+        assert rng.blocking_independent
+        S16 = rng.materialize(32, 10, b_d=16)
+        S4 = rng.materialize(32, 10, b_d=4)
+        np.testing.assert_array_equal(S16, S4)
+
+    def test_distinct_from_philox(self):
+        from repro.rng import PhiloxSketchRNG
+
+        t = ThreefrySketchRNG(1).column_block(0, 32, 0)
+        p = PhiloxSketchRNG(1).column_block(0, 32, 0)
+        assert not np.allclose(t, p)
+
+    def test_statistics(self):
+        rng = ThreefrySketchRNG(11, "uniform")
+        v = rng.column_block_batch(0, 2000, np.arange(20))
+        assert abs(v.mean()) < 0.02
+        assert v.var() == pytest.approx(1.0 / 3.0, rel=0.05)
+
+    def test_kernel_equivalence(self):
+        """Both CBRNG families drive the kernels to the same contract:
+        algo3 == algo4 == dense reference."""
+        from repro.kernels import sketch_spmm
+        from repro.sparse import random_sparse
+
+        A = random_sparse(60, 15, 0.2, seed=99)
+        d = 30
+        a3, _ = sketch_spmm(A, d, ThreefrySketchRNG(2), kernel="algo3",
+                            b_d=10, b_n=5)
+        a4, _ = sketch_spmm(A, d, ThreefrySketchRNG(2), kernel="algo4",
+                            b_d=10, b_n=5)
+        np.testing.assert_allclose(a3, a4)
+        ref = ThreefrySketchRNG(2).materialize(d, 60) @ A.to_dense()
+        np.testing.assert_allclose(a3, ref)
+
+    def test_make_rng_kind(self):
+        from repro.rng import make_rng
+
+        assert isinstance(make_rng("threefry", 0), ThreefrySketchRNG)
+
+    def test_sketch_config_accepts_threefry(self):
+        from repro.core import SketchConfig
+
+        cfg = SketchConfig(rng_kind="threefry")
+        assert isinstance(cfg.build_rng(), ThreefrySketchRNG)

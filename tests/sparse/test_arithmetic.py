@@ -1,0 +1,205 @@
+"""Tests for repro.sparse.arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.sparse import CSCMatrix, random_sparse
+from repro.sparse.arithmetic import (
+    add,
+    diagonal,
+    elementwise_multiply,
+    gram,
+    hstack,
+    matmul,
+    prune,
+    scale,
+    vstack,
+)
+
+
+@pytest.fixture
+def A():
+    return random_sparse(25, 12, 0.2, seed=1001)
+
+
+@pytest.fixture
+def B():
+    return random_sparse(25, 12, 0.25, seed=1002)
+
+
+class TestAdd:
+    def test_matches_dense(self, A, B):
+        got = add(A, B, 2.0, -0.5)
+        np.testing.assert_allclose(got.to_dense(),
+                                   2.0 * A.to_dense() - 0.5 * B.to_dense())
+
+    def test_cancellation_pruned(self, A):
+        got = add(A, A, 1.0, -1.0)
+        assert got.nnz == 0
+        np.testing.assert_array_equal(got.to_dense(), np.zeros(A.shape))
+
+    def test_shape_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            add(A, random_sparse(5, 5, 0.2, seed=1))
+
+    def test_result_valid(self, A, B):
+        add(A, B).validate()
+
+
+class TestScale:
+    def test_matches_dense(self, A):
+        np.testing.assert_allclose(scale(A, -3.5).to_dense(),
+                                   -3.5 * A.to_dense())
+
+    def test_original_unchanged(self, A):
+        before = A.data.copy()
+        scale(A, 7.0)
+        np.testing.assert_array_equal(A.data, before)
+
+
+class TestElementwiseMultiply:
+    def test_matches_dense(self, A, B):
+        got = elementwise_multiply(A, B)
+        np.testing.assert_allclose(got.to_dense(),
+                                   A.to_dense() * B.to_dense())
+
+    def test_pattern_intersection(self, A, B):
+        got = elementwise_multiply(A, B)
+        mask = (A.to_dense() != 0) & (B.to_dense() != 0)
+        assert got.nnz <= mask.sum()
+
+    def test_self_product(self, A):
+        got = elementwise_multiply(A, A)
+        np.testing.assert_allclose(got.to_dense(), A.to_dense() ** 2)
+
+
+class TestMatmul:
+    def test_matches_dense(self):
+        A = random_sparse(10, 15, 0.3, seed=1003)
+        B = random_sparse(15, 8, 0.3, seed=1004)
+        got = matmul(A, B)
+        np.testing.assert_allclose(got.to_dense(),
+                                   A.to_dense() @ B.to_dense(), atol=1e-12)
+        got.validate()
+
+    def test_matches_scipy(self):
+        A = random_sparse(20, 12, 0.2, seed=1005)
+        B = random_sparse(12, 9, 0.25, seed=1006)
+        expected = (A.to_scipy() @ B.to_scipy()).toarray()
+        np.testing.assert_allclose(matmul(A, B).to_dense(), expected,
+                                   atol=1e-12)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            matmul(random_sparse(4, 5, 0.5, seed=1),
+                   random_sparse(6, 4, 0.5, seed=2))
+
+    def test_empty_result(self):
+        A = CSCMatrix((3, 2), np.array([0, 0, 0]), np.array([], dtype=np.int64),
+                      np.array([]))
+        B = random_sparse(2, 4, 0.5, seed=3)
+        got = matmul(A, B)
+        assert got.nnz == 0
+        assert got.shape == (3, 4)
+
+    def test_gram(self, A):
+        G = gram(A)
+        np.testing.assert_allclose(G.to_dense(),
+                                   A.to_dense().T @ A.to_dense(), atol=1e-12)
+        # Gram matrices are symmetric.
+        np.testing.assert_allclose(G.to_dense(), G.to_dense().T, atol=1e-12)
+
+
+class TestPrune:
+    def test_drops_explicit_zeros(self):
+        M = CSCMatrix((2, 2), np.array([0, 1, 2]), np.array([0, 1]),
+                      np.array([0.0, 5.0]))
+        got = prune(M)
+        assert got.nnz == 1
+        np.testing.assert_array_equal(got.to_dense(), M.to_dense())
+
+    def test_tolerance(self, A):
+        got = prune(A, tol=0.5)
+        assert np.all(np.abs(got.data) > 0.5)
+        dense = A.to_dense().copy()
+        dense[np.abs(dense) <= 0.5] = 0.0
+        np.testing.assert_array_equal(got.to_dense(), dense)
+
+    def test_noop_when_clean(self, A):
+        got = prune(A)
+        np.testing.assert_array_equal(got.to_dense(), A.to_dense())
+
+    def test_negative_tol(self, A):
+        with pytest.raises(ShapeError):
+            prune(A, tol=-1.0)
+
+
+class TestDiagonal:
+    def test_matches_dense(self, A):
+        np.testing.assert_array_equal(diagonal(A), np.diag(A.to_dense()))
+
+    def test_wide_matrix(self):
+        M = random_sparse(4, 9, 0.4, seed=1007)
+        np.testing.assert_array_equal(diagonal(M), np.diag(M.to_dense()))
+
+
+class TestStacking:
+    def test_hstack_matches_dense(self, A, B):
+        got = hstack([A, B])
+        np.testing.assert_array_equal(
+            got.to_dense(), np.hstack([A.to_dense(), B.to_dense()])
+        )
+        got.validate()
+
+    def test_vstack_matches_dense(self, A, B):
+        got = vstack([A, B])
+        np.testing.assert_array_equal(
+            got.to_dense(), np.vstack([A.to_dense(), B.to_dense()])
+        )
+        got.validate()
+
+    def test_hstack_row_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            hstack([A, random_sparse(5, 3, 0.5, seed=1)])
+
+    def test_vstack_col_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            vstack([A, random_sparse(5, 3, 0.5, seed=1)])
+
+    def test_empty_list(self):
+        with pytest.raises(ShapeError):
+            hstack([])
+
+
+class TestAlgebraProperties:
+    @given(st.integers(min_value=0, max_value=50),
+           st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_add_commutes(self, seed, alpha):
+        A = random_sparse(12, 8, 0.3, seed=seed)
+        B = random_sparse(12, 8, 0.3, seed=seed + 1)
+        ab = add(A, B, alpha, 1.0).to_dense()
+        ba = add(B, A, 1.0, alpha).to_dense()
+        np.testing.assert_allclose(ab, ba, atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_matmul_associates_with_dense(self, seed):
+        A = random_sparse(6, 7, 0.4, seed=seed)
+        B = random_sparse(7, 5, 0.4, seed=seed + 1)
+        C = random_sparse(5, 4, 0.4, seed=seed + 2)
+        left = matmul(matmul(A, B), C).to_dense()
+        right = matmul(A, matmul(B, C)).to_dense()
+        np.testing.assert_allclose(left, right, atol=1e-10)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_transpose_product_identity(self, seed):
+        A = random_sparse(9, 6, 0.4, seed=seed)
+        B = random_sparse(6, 7, 0.4, seed=seed + 1)
+        lhs = matmul(A, B).transpose().to_dense()
+        rhs = matmul(B.transpose(), A.transpose()).to_dense()
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)

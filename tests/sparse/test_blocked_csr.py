@@ -1,0 +1,103 @@
+"""Tests for repro.sparse.blocked_csr and convert."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import (
+    BlockedCSR,
+    CSRMatrix,
+    blocked_csr_workspace_bytes,
+    csc_to_blocked_csr,
+    random_sparse,
+)
+
+
+class TestConversion:
+    def test_content_preserved(self):
+        A = random_sparse(50, 23, 0.15, seed=11)
+        B, _ = csc_to_blocked_csr(A, 7)
+        np.testing.assert_array_equal(B.to_dense(), A.to_dense())
+
+    def test_block_count(self):
+        A = random_sparse(10, 23, 0.2, seed=12)
+        B, stats = csc_to_blocked_csr(A, 7)
+        assert B.n_blocks == 4  # ceil(23 / 7)
+        assert stats.n_blocks == 4
+
+    def test_ragged_last_block(self):
+        A = random_sparse(10, 23, 0.2, seed=12)
+        B, _ = csc_to_blocked_csr(A, 7)
+        assert B.block_width(3) == 2
+
+    def test_blocks_use_local_indices(self):
+        A = random_sparse(10, 9, 0.3, seed=13)
+        B, _ = csc_to_blocked_csr(A, 3)
+        for j0, blk in B.iter_blocks():
+            if blk.nnz:
+                assert blk.indices.max() < 3
+
+    def test_single_block(self):
+        A = random_sparse(10, 5, 0.3, seed=14)
+        B, _ = csc_to_blocked_csr(A, 100)
+        assert B.n_blocks == 1
+        np.testing.assert_array_equal(B.to_dense(), A.to_dense())
+
+    def test_width_one_blocks(self):
+        A = random_sparse(10, 5, 0.3, seed=15)
+        B, _ = csc_to_blocked_csr(A, 1)
+        assert B.n_blocks == 5
+        np.testing.assert_array_equal(B.to_dense(), A.to_dense())
+
+    def test_nnz_preserved(self):
+        A = random_sparse(40, 17, 0.1, seed=16)
+        B, _ = csc_to_blocked_csr(A, 5)
+        assert B.nnz == A.nnz
+
+
+class TestConversionStats:
+    def test_op_count_formula(self):
+        # Section III-B: O(ceil(n/b_n) * m + nnz).
+        A = random_sparse(30, 20, 0.1, seed=17)
+        _, stats = csc_to_blocked_csr(A, 6)
+        n_blocks = -(-20 // 6)
+        assert stats.op_count == n_blocks * 30 + A.nnz
+
+    def test_critical_path_shrinks_with_threads(self):
+        A = random_sparse(30, 40, 0.1, seed=18)
+        _, s1 = csc_to_blocked_csr(A, 4, threads=1)
+        _, s4 = csc_to_blocked_csr(A, 4, threads=4)
+        assert s4.critical_path_ops <= s1.critical_path_ops
+        assert s1.critical_path_ops == s1.op_count
+
+    def test_workspace_bytes(self):
+        assert blocked_csr_workspace_bytes(100, 4) == 8 * 100 * 4
+
+    def test_timed(self):
+        A = random_sparse(30, 20, 0.1, seed=19)
+        _, stats = csc_to_blocked_csr(A, 6)
+        assert stats.seconds >= 0.0
+
+
+class TestBlockedCSRValidation:
+    def test_bad_block_starts(self):
+        blk = CSRMatrix((3, 2), np.zeros(4, dtype=np.int64),
+                        np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(FormatError):
+            BlockedCSR((3, 4), np.array([0, 2, 3]), [blk])  # wrong count
+
+    def test_block_shape_mismatch(self):
+        blk = CSRMatrix((3, 3), np.zeros(4, dtype=np.int64),
+                        np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(FormatError, match="shape"):
+            BlockedCSR((3, 4), np.array([0, 2, 4]), [blk, blk])
+
+    def test_memory_bytes(self):
+        A = random_sparse(10, 8, 0.3, seed=20)
+        B, _ = csc_to_blocked_csr(A, 4)
+        assert B.memory_bytes > 0
+
+    def test_repr(self):
+        A = random_sparse(10, 8, 0.3, seed=21)
+        B, _ = csc_to_blocked_csr(A, 4)
+        assert "BlockedCSR" in repr(B)

@@ -1,0 +1,111 @@
+"""Tests for repro.sparse.coo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import COOMatrix
+
+
+def _toy():
+    # [[1, 0], [0, 2], [3, 0]]
+    return COOMatrix((3, 2), np.array([0, 1, 2]), np.array([0, 1, 0]),
+                     np.array([1.0, 2.0, 3.0]))
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = _toy()
+        assert c.shape == (3, 2)
+        assert c.nnz == 3
+
+    def test_density(self):
+        assert _toy().density == pytest.approx(0.5)
+
+    def test_empty(self):
+        c = COOMatrix((4, 4), np.array([], dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        assert c.nnz == 0
+        assert c.density == 0.0
+
+    def test_row_out_of_range(self):
+        with pytest.raises(FormatError, match="row indices"):
+            COOMatrix((2, 2), np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError, match="column indices"):
+            COOMatrix((2, 2), np.array([0]), np.array([-1]), np.array([1.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError, match="equal length"):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_negative_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((-1, 2), np.array([], dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+
+    def test_check_false_skips_validation(self):
+        c = COOMatrix((1, 1), np.array([5]), np.array([5]), np.array([1.0]),
+                      check=False)
+        with pytest.raises(FormatError):
+            c.validate()
+
+
+class TestFromDense:
+    def test_roundtrip(self):
+        d = np.array([[0.0, 1.5], [2.5, 0.0]])
+        c = COOMatrix.from_dense(d)
+        np.testing.assert_array_equal(c.to_dense(), d)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.from_dense(np.array([1.0, 2.0]))
+
+
+class TestCoalesce:
+    def test_sums_duplicates(self):
+        c = COOMatrix((2, 2), np.array([0, 0, 1]), np.array([0, 0, 1]),
+                      np.array([1.0, 2.0, 5.0]))
+        cc = c.coalesce()
+        assert cc.nnz == 2
+        dense = cc.to_dense()
+        assert dense[0, 0] == 3.0
+        assert dense[1, 1] == 5.0
+
+    def test_sorted_column_major(self):
+        c = COOMatrix((3, 3), np.array([2, 0, 1]), np.array([1, 1, 0]),
+                      np.array([1.0, 1.0, 1.0]))
+        cc = c.coalesce()
+        keys = cc.cols * 3 + cc.rows
+        assert np.all(np.diff(keys) > 0)
+
+    def test_empty(self):
+        c = COOMatrix((2, 2), np.array([], dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        assert c.coalesce().nnz == 0
+
+
+class TestConversions:
+    def test_to_csc_matches_dense(self):
+        c = _toy()
+        np.testing.assert_array_equal(c.to_csc().to_dense(), c.to_dense())
+
+    def test_to_csr_matches_dense(self):
+        c = _toy()
+        np.testing.assert_array_equal(c.to_csr().to_dense(), c.to_dense())
+
+    def test_to_csc_with_duplicates(self):
+        c = COOMatrix((2, 2), np.array([0, 0]), np.array([1, 1]),
+                      np.array([1.0, 1.0]))
+        csc = c.to_csc()
+        assert csc.nnz == 1
+        assert csc.to_dense()[0, 1] == 2.0
+
+    def test_transpose(self):
+        c = _toy()
+        np.testing.assert_array_equal(c.transpose().to_dense(),
+                                      c.to_dense().T)
+
+    def test_repr(self):
+        assert "nnz=3" in repr(_toy())

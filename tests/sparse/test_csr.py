@@ -1,0 +1,85 @@
+"""Tests for repro.sparse.csr."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import CSRMatrix, random_sparse
+
+
+def _toy():
+    # [[1, 0, 2], [0, 3, 0]]
+    return CSRMatrix((2, 3), np.array([0, 2, 3]), np.array([0, 2, 1]),
+                     np.array([1.0, 2.0, 3.0]))
+
+
+class TestValidation:
+    def test_valid(self):
+        _toy().validate()
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError, match="length m\\+1"):
+            CSRMatrix((2, 3), np.array([0, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_unsorted_cols_in_row(self):
+        with pytest.raises(FormatError, match="strictly increasing"):
+            CSRMatrix((1, 3), np.array([0, 2]), np.array([2, 0]),
+                      np.array([1.0, 1.0]))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError, match="out of range"):
+            CSRMatrix((1, 2), np.array([0, 1]), np.array([2]),
+                      np.array([1.0]))
+
+
+class TestAccessors:
+    def test_row(self):
+        cols, vals = _toy().row(0)
+        np.testing.assert_array_equal(cols, [0, 2])
+        np.testing.assert_array_equal(vals, [1.0, 2.0])
+
+    def test_row_nnz(self):
+        np.testing.assert_array_equal(_toy().row_nnz(), [2, 1])
+
+    def test_nonempty_rows(self):
+        A = CSRMatrix((3, 2), np.array([0, 1, 1, 2]), np.array([0, 1]),
+                      np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(A.nonempty_rows(), [0, 2])
+
+    def test_nonempty_rows_all_empty(self):
+        A = CSRMatrix((3, 2), np.zeros(4, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        assert A.nonempty_rows().size == 0
+
+    def test_density(self):
+        assert _toy().density == pytest.approx(0.5)
+
+
+class TestConversions:
+    def test_dense_roundtrip(self):
+        A = random_sparse(20, 12, 0.2, seed=7).to_csr()
+        np.testing.assert_array_equal(
+            CSRMatrix.from_dense(A.to_dense()).to_dense(), A.to_dense()
+        )
+
+    def test_to_csc_roundtrip(self):
+        A = random_sparse(20, 12, 0.2, seed=8).to_csr()
+        np.testing.assert_array_equal(A.to_csc().to_dense(), A.to_dense())
+        csc = A.to_csc()
+        csc.validate()
+
+    def test_to_coo(self):
+        np.testing.assert_array_equal(_toy().to_coo().to_dense(),
+                                      _toy().to_dense())
+
+    def test_scipy_interop(self):
+        A = random_sparse(15, 9, 0.25, seed=9).to_csr()
+        back = CSRMatrix.from_scipy(A.to_scipy())
+        np.testing.assert_array_equal(back.to_dense(), A.to_dense())
+
+    def test_memory_bytes_positive(self):
+        assert _toy().memory_bytes > 0
+
+    def test_repr(self):
+        assert "CSRMatrix" in repr(_toy())

@@ -1,0 +1,250 @@
+"""Tests for repro.sparse.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sparse import (
+    abnormal_a,
+    abnormal_b,
+    abnormal_c,
+    banded_sparse,
+    fixed_col_nnz_sparse,
+    near_rank_deficient,
+    pattern_density_grid,
+    random_sparse,
+    setcover_sparse,
+)
+
+
+class TestRandomSparse:
+    def test_exact_nnz(self):
+        A = random_sparse(100, 50, 0.1, seed=1)
+        assert A.nnz == 500
+
+    def test_deterministic(self):
+        a = random_sparse(50, 20, 0.1, seed=5)
+        b = random_sparse(50, 20, 0.1, seed=5)
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_seed_changes_pattern(self):
+        a = random_sparse(50, 20, 0.1, seed=5)
+        b = random_sparse(50, 20, 0.1, seed=6)
+        assert not np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_no_stored_zeros(self):
+        A = random_sparse(80, 40, 0.05, seed=2)
+        assert np.all(A.data != 0.0)
+
+    def test_value_kinds(self):
+        pm1 = random_sparse(50, 20, 0.1, seed=3, values="pm1")
+        assert set(np.unique(pm1.data)) <= {-1.0, 1.0}
+        ones = random_sparse(50, 20, 0.1, seed=3, values="ones")
+        assert np.all(ones.data == 1.0)
+
+    def test_density_bounds(self):
+        with pytest.raises(ConfigError):
+            random_sparse(10, 10, 1.5)
+
+    def test_full_density(self):
+        A = random_sparse(6, 5, 1.0, seed=4)
+        assert A.nnz == 30
+
+    def test_large_space_sampling_path(self):
+        # Exercises the oversampling branch (space > 2^22).
+        A = random_sparse(3000, 3000, 1e-5, seed=7)
+        assert A.nnz == 90
+        A.validate()
+
+
+class TestFixedColNnz:
+    def test_column_counts(self):
+        A = fixed_col_nnz_sparse(100, 30, 7, seed=1)
+        np.testing.assert_array_equal(A.col_nnz(), np.full(30, 7))
+
+    def test_pm1_values(self):
+        A = fixed_col_nnz_sparse(50, 10, 4, seed=2)
+        assert set(np.unique(A.data)) <= {-1.0, 1.0}
+
+    def test_k_exceeds_m(self):
+        with pytest.raises(ConfigError):
+            fixed_col_nnz_sparse(5, 3, 10)
+
+    def test_no_duplicate_rows_per_column(self):
+        A = fixed_col_nnz_sparse(20, 8, 5, seed=3)
+        A.validate()  # strictly increasing row indices per column
+
+
+class TestBandedSparse:
+    def test_band_confinement(self):
+        A = banded_sparse(200, 40, 0.05, bandwidth_frac=0.05, seed=1)
+        coo = A.to_coo()
+        centers = coo.cols * 200 // 40
+        assert np.all(np.abs(coo.rows - centers) <= 0.05 * 200 + 1)
+
+    def test_density_approx(self):
+        A = banded_sparse(300, 30, 0.02, bandwidth_frac=0.1, seed=2)
+        assert A.density == pytest.approx(0.02, rel=0.5)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigError):
+            banded_sparse(10, 5, 0.1, bandwidth_frac=0.0)
+
+
+class TestAbnormalPatterns:
+    def test_abnormal_a_structure(self):
+        A = abnormal_a(100, 20, period=10, seed=1)
+        dense = A.to_dense()
+        row_counts = (dense != 0).sum(axis=1)
+        assert np.all(row_counts[::10] == 20)      # dense rows
+        mask = np.ones(100, dtype=bool)
+        mask[::10] = False
+        assert np.all(row_counts[mask] == 0)       # all others empty
+
+    def test_abnormal_a_density(self):
+        A = abnormal_a(1000, 50, period=10, seed=1)
+        assert A.density == pytest.approx(0.1, rel=0.01)
+
+    def test_abnormal_c_structure(self):
+        A = abnormal_c(40, 100, period=10, seed=1)
+        counts = A.col_nnz()
+        assert np.all(counts[::10] == 40)
+        mask = np.ones(100, dtype=bool)
+        mask[::10] = False
+        assert np.all(counts[mask] == 0)
+
+    def test_abnormal_b_concentration(self):
+        A = abnormal_b(300, 90, density=0.05, middle_frac=0.95, seed=1)
+        j_lo, j_hi = 30, 60
+        counts = A.col_nnz()
+        mid = counts[j_lo:j_hi].sum()
+        assert mid / A.nnz > 0.85
+
+    def test_abnormal_b_needs_columns(self):
+        with pytest.raises(ConfigError, match="middle third"):
+            abnormal_b(10, 2, density=0.5)
+
+    def test_abnormal_transposition_relation(self):
+        # Abnormal_C is the transpose structure of Abnormal_A.
+        Aa = abnormal_a(60, 30, period=6, seed=2)
+        Ac = abnormal_c(30, 60, period=6, seed=2)
+        assert Aa.nnz == Ac.nnz
+
+
+class TestSetcover:
+    def test_values_are_unit(self):
+        A = setcover_sparse(200, 20, 600, seed=1)
+        assert set(np.unique(A.data)) == {1.0}
+
+    def test_every_column_covered(self):
+        A = setcover_sparse(300, 40, 400, seed=2)
+        assert np.all(A.col_nnz() >= 1)
+
+    def test_heavy_tail_rows(self):
+        A = setcover_sparse(500, 30, 3000, seed=3)
+        row_counts = np.diff(A.to_csr().indptr)
+        # Top 10% of rows should hold well over 10% of entries.
+        top = np.sort(row_counts)[-50:].sum()
+        assert top / A.nnz > 0.2
+
+    def test_nnz_floor(self):
+        with pytest.raises(ConfigError):
+            setcover_sparse(10, 20, 5)
+
+
+class TestNearRankDeficient:
+    def test_condition_is_huge(self):
+        from repro.sparse import condition_number
+
+        A = near_rank_deficient(150, 12, 0.2, seed=1, perturb=1e-14)
+        assert condition_number(A) > 1e10
+
+    def test_base_is_well_conditioned(self):
+        from repro.sparse import condition_number
+
+        A = random_sparse(150, 12, 0.2, seed=1)
+        assert condition_number(A) < 1e4
+
+    def test_dup_cols_bound(self):
+        with pytest.raises(ConfigError):
+            near_rank_deficient(50, 5, 0.2, dup_cols=5)
+
+    def test_valid_structure(self):
+        A = near_rank_deficient(80, 10, 0.2, seed=2)
+        A.validate()
+
+
+class TestPatternDensityGrid:
+    def test_total_counts(self):
+        A = random_sparse(100, 60, 0.1, seed=1)
+        grid = pattern_density_grid(A, 10, 6)
+        assert grid.sum() == A.nnz
+
+    def test_abnormal_a_rows_visible(self):
+        A = abnormal_a(100, 40, period=50, seed=1)
+        grid = pattern_density_grid(A, 10, 4)
+        # Dense rows at 0 and 50 -> bins 0 and 5 hot, others empty.
+        assert grid[0].sum() > 0 and grid[5].sum() > 0
+        assert grid[1].sum() == 0
+
+    def test_grid_shape(self):
+        A = random_sparse(50, 50, 0.1, seed=1)
+        assert pattern_density_grid(A, 7, 9).shape == (7, 9)
+
+
+class TestRailLike:
+    def test_structure_valid(self):
+        from repro.sparse import rail_like_sparse
+
+        A = rail_like_sparse(400, 30, 3000, seed=1)
+        A.validate()
+        assert A.shape == (400, 30)
+
+    def test_ill_conditioned_after_normalization(self):
+        """The defining property: cond(AD) stays large (rail mechanism)."""
+        from repro.sparse import (
+            column_norms,
+            condition_number,
+            rail_like_sparse,
+            scale_columns,
+        )
+
+        A = rail_like_sparse(800, 40, 6000, seed=2, mix_spread=2.5)
+        D = 1.0 / column_norms(A)
+        cond_ad = condition_number(scale_columns(A, D))
+        assert cond_ad > 50
+
+    def test_mix_spread_controls_conditioning(self):
+        from repro.sparse import (
+            column_norms,
+            condition_number,
+            rail_like_sparse,
+            scale_columns,
+        )
+
+        def cond_ad(ms):
+            A = rail_like_sparse(800, 40, 6000, seed=3, mix_spread=ms)
+            return condition_number(scale_columns(A, 1.0 / column_norms(A)))
+
+        assert cond_ad(3.0) > cond_ad(0.5)
+
+    def test_positive_values(self):
+        from repro.sparse import rail_like_sparse
+
+        A = rail_like_sparse(300, 20, 2000, seed=4)
+        assert np.all(A.data > 0)
+
+    def test_deterministic(self):
+        from repro.sparse import rail_like_sparse
+
+        a = rail_like_sparse(200, 16, 1200, seed=5)
+        b = rail_like_sparse(200, 16, 1200, seed=5)
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_validation(self):
+        from repro.sparse import rail_like_sparse
+
+        with pytest.raises(ConfigError):
+            rail_like_sparse(10, 5, 40, mix_spread=-1.0)
+        with pytest.raises(ConfigError):
+            rail_like_sparse(3, 5, 1000)  # per-column entries exceed rows

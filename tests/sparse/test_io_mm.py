@@ -1,0 +1,160 @@
+"""Tests for repro.sparse.io_mm (MatrixMarket I/O)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import random_sparse, read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        A = random_sparse(25, 10, 0.2, seed=41)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(A, path, comment="test matrix")
+        B = read_matrix_market(path)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+    def test_stream_roundtrip(self):
+        A = random_sparse(12, 7, 0.3, seed=42)
+        buf = io.StringIO()
+        write_matrix_market(A, buf)
+        buf.seek(0)
+        B = read_matrix_market(buf)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+    def test_values_exact(self):
+        # repr()-based writing preserves doubles bit-exactly.
+        A = random_sparse(20, 8, 0.25, seed=43)
+        buf = io.StringIO()
+        write_matrix_market(A, buf)
+        buf.seek(0)
+        B = read_matrix_market(buf)
+        np.testing.assert_array_equal(B.data, A.data)
+
+
+class TestReader:
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        A = read_matrix_market(io.StringIO(text))
+        np.testing.assert_array_equal(A.to_dense(), np.eye(2))
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n"
+        A = read_matrix_market(io.StringIO(text))
+        assert A.to_dense()[0, 1] == 7.0
+
+    def test_symmetric_expansion(self):
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "3 3 3\n1 1 1.0\n2 1 5.0\n3 3 2.0\n")
+        A = read_matrix_market(io.StringIO(text))
+        dense = A.to_dense()
+        assert dense[1, 0] == 5.0
+        assert dense[0, 1] == 5.0
+        assert A.nnz == 4
+
+    def test_comments_and_blank_lines(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% a comment\n\n2 2 1\n1 1 3.5\n")
+        A = read_matrix_market(io.StringIO(text))
+        assert A.to_dense()[0, 0] == 3.5
+
+    def test_one_based_indexing(self):
+        text = "%%MatrixMarket matrix coordinate real general\n3 3 1\n3 3 9.0\n"
+        A = read_matrix_market(io.StringIO(text))
+        assert A.to_dense()[2, 2] == 9.0
+
+
+class TestReaderErrors:
+    def test_missing_header(self):
+        with pytest.raises(FormatError, match="header"):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_array_format_rejected(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n"
+        with pytest.raises(FormatError, match="coordinate"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_complex_field_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+        with pytest.raises(FormatError, match="field"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_too_few_entries(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        with pytest.raises(FormatError, match="declared 3"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_too_many_entries(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1 1.0\n2 2 2.0\n")
+        with pytest.raises(FormatError, match="more entries"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_bad_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\nfoo bar\n"
+        with pytest.raises(FormatError, match="size line"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_missing_value(self):
+        text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n"
+        with pytest.raises(FormatError, match="missing value"):
+            read_matrix_market(io.StringIO(text))
+
+
+class TestEntryStreaming:
+    def test_chunks_reassemble_exactly(self):
+        from repro.sparse import iter_matrix_market_entries
+
+        A = random_sparse(40, 15, 0.2, seed=44)
+        buf = io.StringIO()
+        write_matrix_market(A, buf)
+        buf.seek(0)
+        rows, cols, vals = [], [], []
+        shapes = set()
+        for shape, r, c, v in iter_matrix_market_entries(buf, chunk=7):
+            shapes.add(shape)
+            rows.append(r); cols.append(c); vals.append(v)
+        assert shapes == {(40, 15, A.nnz)}
+        from repro.sparse import COOMatrix
+
+        back = COOMatrix((40, 15), np.concatenate(rows),
+                         np.concatenate(cols), np.concatenate(vals)).to_csc()
+        np.testing.assert_array_equal(back.to_dense(), A.to_dense())
+
+    def test_chunk_sizes_respected(self):
+        from repro.sparse import iter_matrix_market_entries
+
+        A = random_sparse(30, 10, 0.3, seed=45)
+        buf = io.StringIO()
+        write_matrix_market(A, buf)
+        buf.seek(0)
+        sizes = [r.size for _, r, _, _ in
+                 iter_matrix_market_entries(buf, chunk=13)]
+        assert all(s == 13 for s in sizes[:-1])
+        assert 0 < sizes[-1] <= 13
+        assert sum(sizes) == A.nnz
+
+    def test_symmetric_rejected(self):
+        from repro.sparse import iter_matrix_market_entries
+
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "2 2 1\n1 1 1.0\n")
+        with pytest.raises(FormatError, match="general"):
+            list(iter_matrix_market_entries(io.StringIO(text)))
+
+    def test_declared_count_enforced(self):
+        from repro.sparse import iter_matrix_market_entries
+
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "2 2 3\n1 1 1.0\n")
+        with pytest.raises(FormatError, match="declared 3"):
+            list(iter_matrix_market_entries(io.StringIO(text)))
+
+    def test_bad_chunk(self):
+        from repro.sparse import iter_matrix_market_entries
+
+        with pytest.raises(FormatError):
+            list(iter_matrix_market_entries(io.StringIO(""), chunk=0))

@@ -1,0 +1,77 @@
+"""Tests for repro.sparse.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    column_norms,
+    condition_number,
+    frobenius_norm,
+    near_rank_deficient,
+    random_sparse,
+    scale_columns,
+)
+
+
+@pytest.fixture
+def A():
+    return random_sparse(40, 15, 0.2, seed=51)
+
+
+class TestColumnNorms:
+    def test_matches_dense(self, A):
+        np.testing.assert_allclose(
+            column_norms(A), np.linalg.norm(A.to_dense(), axis=0)
+        )
+
+    def test_empty_column(self):
+        from repro.sparse import CSCMatrix
+
+        M = CSCMatrix((3, 2), np.array([0, 1, 1]), np.array([0]),
+                      np.array([2.0]))
+        norms = column_norms(M)
+        assert norms[0] == 2.0
+        assert norms[1] == 0.0
+
+
+class TestFrobenius:
+    def test_matches_dense(self, A):
+        assert frobenius_norm(A) == pytest.approx(
+            np.linalg.norm(A.to_dense(), "fro")
+        )
+
+
+class TestConditionNumber:
+    def test_well_conditioned(self, A):
+        c = condition_number(A)
+        expected = np.linalg.cond(A.to_dense())
+        assert c == pytest.approx(expected, rel=1e-8)
+
+    def test_singular_matrix(self):
+        from repro.sparse import CSCMatrix
+
+        # Rank-1 matrix: cond is inf over min(m, n) singular values.
+        dense = np.outer(np.ones(4), np.ones(3))
+        M = CSCMatrix.from_dense(dense)
+        assert condition_number(M) == float("inf")
+
+    def test_near_deficient_is_huge(self):
+        M = near_rank_deficient(100, 8, 0.3, seed=1, perturb=1e-13)
+        assert condition_number(M) > 1e9
+
+
+class TestScaleColumns:
+    def test_matches_dense(self, A):
+        scale = np.linspace(0.5, 2.0, 15)
+        got = scale_columns(A, scale)
+        np.testing.assert_allclose(got.to_dense(), A.to_dense() * scale)
+
+    def test_shape_check(self, A):
+        with pytest.raises(ShapeError):
+            scale_columns(A, np.ones(3))
+
+    def test_original_unchanged(self, A):
+        before = A.data.copy()
+        scale_columns(A, np.full(15, 3.0))
+        np.testing.assert_array_equal(A.data, before)

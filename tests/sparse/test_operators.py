@@ -1,0 +1,80 @@
+"""Tests for CSCMatrix operator dunders (@, +, -, *, T)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(15, 10, 0.3, seed=1701)
+
+
+@pytest.fixture
+def B():
+    return random_sparse(15, 10, 0.3, seed=1702)
+
+
+class TestMatmul:
+    def test_sparse_sparse(self, A):
+        C = random_sparse(10, 7, 0.3, seed=1703)
+        got = A @ C
+        np.testing.assert_allclose(got.to_dense(),
+                                   A.to_dense() @ C.to_dense(), atol=1e-12)
+
+    def test_sparse_vector(self, A):
+        x = np.random.default_rng(0).standard_normal(10)
+        np.testing.assert_allclose(A @ x, A.to_dense() @ x)
+
+    def test_sparse_dense_matrix(self, A):
+        X = np.random.default_rng(1).standard_normal((10, 4))
+        np.testing.assert_allclose(A @ X, A.to_dense() @ X)
+
+    def test_bad_ndim(self, A):
+        with pytest.raises(ShapeError):
+            A @ np.zeros((2, 2, 2))
+
+    def test_unsupported_type(self, A):
+        with pytest.raises(TypeError):
+            A @ "nope"
+
+
+class TestAddSub:
+    def test_add(self, A, B):
+        np.testing.assert_allclose((A + B).to_dense(),
+                                   A.to_dense() + B.to_dense())
+
+    def test_sub(self, A, B):
+        np.testing.assert_allclose((A - B).to_dense(),
+                                   A.to_dense() - B.to_dense())
+
+    def test_self_cancellation(self, A):
+        assert (A - A).nnz == 0
+
+
+class TestScalarScaling:
+    def test_right_scalar(self, A):
+        np.testing.assert_allclose((A * 2.5).to_dense(), 2.5 * A.to_dense())
+
+    def test_left_scalar(self, A):
+        np.testing.assert_allclose((2.5 * A).to_dense(), 2.5 * A.to_dense())
+
+    def test_neg(self, A):
+        np.testing.assert_allclose((-A).to_dense(), -A.to_dense())
+
+    def test_int_scalar(self, A):
+        np.testing.assert_allclose((A * 3).to_dense(), 3.0 * A.to_dense())
+
+
+class TestTranspose:
+    def test_T_property(self, A):
+        np.testing.assert_array_equal(A.T.to_dense(), A.to_dense().T)
+
+    def test_algebra_composes(self, A):
+        # (A^T A) x == A^T (A x) through the operators.
+        x = np.random.default_rng(2).standard_normal(10)
+        lhs = (A.T @ A) @ x
+        rhs = A.T @ (A @ x)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)

@@ -1,0 +1,102 @@
+"""Tests for repro.sparse.ops (reference SpMV/SpMM baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    csr_times_dense,
+    dense_times_csc,
+    dense_times_csc_reference,
+    random_sparse,
+    rmatvec_csc,
+    spmv_csc,
+    spmv_csr,
+)
+
+
+@pytest.fixture
+def A():
+    return random_sparse(30, 12, 0.2, seed=31)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSpmv:
+    def test_csc_matches_dense(self, A, rng):
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(spmv_csc(A, x), A.to_dense() @ x)
+
+    def test_csr_matches_dense(self, A, rng):
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(spmv_csr(A.to_csr(), x), A.to_dense() @ x)
+
+    def test_csc_csr_agree(self, A, rng):
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(spmv_csc(A, x), spmv_csr(A.to_csr(), x))
+
+    def test_rmatvec(self, A, rng):
+        y = rng.standard_normal(30)
+        np.testing.assert_allclose(rmatvec_csc(A, y), A.to_dense().T @ y)
+
+    def test_size_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            spmv_csc(A, np.zeros(5))
+        with pytest.raises(ShapeError):
+            rmatvec_csc(A, np.zeros(5))
+
+    def test_zero_vector(self, A):
+        np.testing.assert_array_equal(spmv_csc(A, np.zeros(12)), np.zeros(30))
+
+
+class TestDenseTimesCsc:
+    def test_matches_dense(self, A, rng):
+        S = rng.standard_normal((8, 30))
+        np.testing.assert_allclose(dense_times_csc(S, A), S @ A.to_dense())
+
+    def test_reference_matches_vectorized(self, A, rng):
+        S = rng.standard_normal((5, 30))
+        np.testing.assert_allclose(
+            dense_times_csc_reference(S, A), dense_times_csc(S, A)
+        )
+
+    def test_matches_scipy(self, A, rng):
+        S = rng.standard_normal((6, 30))
+        expected = S @ A.to_scipy().toarray()
+        np.testing.assert_allclose(dense_times_csc(S, A), expected)
+
+    def test_shape_mismatch(self, A, rng):
+        with pytest.raises(ShapeError):
+            dense_times_csc(rng.standard_normal((4, 10)), A)
+
+    def test_empty_columns_are_zero(self, rng):
+        from repro.sparse import CSCMatrix
+
+        A = CSCMatrix((5, 3), np.array([0, 1, 1, 2]), np.array([0, 4]),
+                      np.array([1.0, 2.0]))
+        S = rng.standard_normal((3, 5))
+        out = dense_times_csc(S, A)
+        np.testing.assert_array_equal(out[:, 1], np.zeros(3))
+
+
+class TestCsrTimesDense:
+    def test_matches_dense(self, A, rng):
+        B = rng.standard_normal((12, 4))
+        got = csr_times_dense(A.to_csr(), B)
+        np.testing.assert_allclose(got, A.to_dense() @ B)
+
+    def test_transposed_mkl_identity(self, A, rng):
+        # (A^T S^T)^T == S A — the MKL-emulation algebra of Section V-A.
+        S = rng.standard_normal((7, 30))
+        from repro.sparse import CSRMatrix
+
+        At_csr = CSRMatrix((12, 30), A.indptr, A.indices, A.data, check=False)
+        got = csr_times_dense(At_csr, np.ascontiguousarray(S.T)).T
+        np.testing.assert_allclose(got, S @ A.to_dense())
+
+    def test_shape_mismatch(self, A, rng):
+        with pytest.raises(ShapeError):
+            csr_times_dense(A.to_csr(), rng.standard_normal((5, 2)))

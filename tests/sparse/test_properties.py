@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import COOMatrix, CSCMatrix, csc_to_blocked_csr, random_sparse
+
+
+@st.composite
+def dense_matrices(draw, max_dim=12):
+    m = draw(st.integers(min_value=1, max_value=max_dim))
+    n = draw(st.integers(min_value=1, max_value=max_dim))
+    # Values from a small set including zeros so patterns are sparse-ish.
+    vals = draw(arrays(np.float64, (m, n),
+                       elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.5, 3.25])))
+    return vals
+
+
+@st.composite
+def sparse_matrices(draw):
+    m = draw(st.integers(min_value=2, max_value=40))
+    n = draw(st.integers(min_value=2, max_value=20))
+    density = draw(st.floats(min_value=0.01, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return random_sparse(m, n, density, seed=seed)
+
+
+class TestFormatRoundTrips:
+    @given(dense_matrices())
+    @settings(max_examples=40)
+    def test_dense_coo_dense(self, dense):
+        np.testing.assert_array_equal(
+            COOMatrix.from_dense(dense).to_dense(), dense
+        )
+
+    @given(dense_matrices())
+    @settings(max_examples=40)
+    def test_dense_csc_dense(self, dense):
+        np.testing.assert_array_equal(
+            CSCMatrix.from_dense(dense).to_dense(), dense
+        )
+
+    @given(sparse_matrices())
+    @settings(max_examples=30)
+    def test_csc_csr_csc(self, A):
+        back = A.to_csr().to_csc()
+        np.testing.assert_array_equal(back.to_dense(), A.to_dense())
+        back.validate()
+
+    @given(sparse_matrices())
+    @settings(max_examples=30)
+    def test_csc_coo_csc(self, A):
+        back = A.to_coo().to_csc()
+        np.testing.assert_array_equal(back.to_dense(), A.to_dense())
+
+    @given(sparse_matrices())
+    @settings(max_examples=30)
+    def test_double_transpose_identity(self, A):
+        back = A.transpose().transpose()
+        np.testing.assert_array_equal(back.to_dense(), A.to_dense())
+
+
+class TestBlockedCsrProperties:
+    @given(sparse_matrices(), st.integers(min_value=1, max_value=25))
+    @settings(max_examples=30)
+    def test_blocked_csr_any_width(self, A, b_n):
+        B, stats = csc_to_blocked_csr(A, b_n)
+        np.testing.assert_array_equal(B.to_dense(), A.to_dense())
+        assert B.nnz == A.nnz
+        assert stats.n_blocks == -(-A.shape[1] // b_n)
+
+    @given(sparse_matrices(), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20)
+    def test_conversion_thread_invariant(self, A, t1, t2):
+        """The built structure is identical for any accounted thread count."""
+        B1, _ = csc_to_blocked_csr(A, 4, threads=t1)
+        B2, _ = csc_to_blocked_csr(A, 4, threads=t2)
+        np.testing.assert_array_equal(B1.to_dense(), B2.to_dense())
+
+
+class TestSliceProperties:
+    @given(sparse_matrices(), st.data())
+    @settings(max_examples=30)
+    def test_col_block_consistency(self, A, data):
+        n = A.shape[1]
+        j0 = data.draw(st.integers(min_value=0, max_value=n))
+        j1 = data.draw(st.integers(min_value=j0, max_value=n))
+        blk = A.col_block(j0, j1)
+        np.testing.assert_array_equal(blk.to_dense(), A.to_dense()[:, j0:j1])
+
+    @given(sparse_matrices())
+    @settings(max_examples=30)
+    def test_col_blocks_tile(self, A):
+        """Concatenated width-3 blocks reconstruct the matrix."""
+        n = A.shape[1]
+        parts = [A.col_block(j, min(j + 3, n)).to_dense()
+                 for j in range(0, n, 3)]
+        np.testing.assert_array_equal(np.hstack(parts), A.to_dense())
+
+
+class TestScipyAgreement:
+    @given(sparse_matrices())
+    @settings(max_examples=25)
+    def test_matches_scipy_csc(self, A):
+        import scipy.sparse as sp
+
+        ours = A.to_dense()
+        theirs = sp.csc_matrix(
+            (A.data, A.indices, A.indptr), shape=A.shape
+        ).toarray()
+        np.testing.assert_array_equal(ours, theirs)

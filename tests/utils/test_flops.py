@@ -1,0 +1,36 @@
+"""Tests for repro.utils.flops."""
+
+import pytest
+
+from repro.utils import gemm_flops, gflops, spmm_flops
+
+
+class TestSpmmFlops:
+    def test_convention(self):
+        # 2 flops per (dense row, stored entry) pair.
+        assert spmm_flops(10, 100) == 2000
+
+    def test_zero_nnz(self):
+        assert spmm_flops(10, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spmm_flops(-1, 10)
+
+
+class TestGemmFlops:
+    def test_convention(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_flops(1, -2, 3)
+
+
+class TestGflops:
+    def test_conversion(self):
+        assert gflops(2e9, 1.0) == pytest.approx(2.0)
+
+    def test_zero_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            gflops(100, 0.0)

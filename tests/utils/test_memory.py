@@ -1,0 +1,69 @@
+"""Tests for repro.utils.memory."""
+
+import numpy as np
+import pytest
+
+from repro.utils import MemoryLedger, mbytes, nbytes
+
+
+class TestNbytes:
+    def test_single_array(self):
+        assert nbytes(np.zeros(10)) == 80
+
+    def test_multiple_arrays(self):
+        assert nbytes(np.zeros(10), np.zeros(5, dtype=np.int64)) == 120
+
+    def test_mbytes(self):
+        assert mbytes(np.zeros(1024 * 1024, dtype=np.uint8)) == pytest.approx(1.0)
+
+
+class TestMemoryLedger:
+    def test_allocate_and_peak(self):
+        led = MemoryLedger()
+        led.allocate("a", 100)
+        led.allocate("b", 200)
+        assert led.current_bytes == 300
+        assert led.peak_bytes == 300
+        led.release("a")
+        assert led.current_bytes == 200
+        assert led.peak_bytes == 300  # peak persists
+
+    def test_reallocate_replaces(self):
+        led = MemoryLedger()
+        led.allocate("r", 100)
+        led.allocate("r", 150)
+        assert led.current_bytes == 150
+        assert led.peak_bytes == 150
+
+    def test_shrinking_entry_keeps_peak(self):
+        led = MemoryLedger()
+        led.allocate("r", 500)
+        led.allocate("r", 100)
+        assert led.current_bytes == 100
+        assert led.peak_bytes == 500
+
+    def test_allocate_array(self):
+        led = MemoryLedger()
+        led.allocate_array("x", np.zeros(10))
+        assert led.current_bytes == 80
+
+    def test_release_unknown_is_noop(self):
+        led = MemoryLedger()
+        led.release("ghost")
+        assert led.current_bytes == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLedger().allocate("x", -1)
+
+    def test_peak_mbytes(self):
+        led = MemoryLedger()
+        led.allocate("x", 2 * 1024 * 1024)
+        assert led.peak_mbytes == pytest.approx(2.0)
+
+    def test_breakdown_sorted_desc(self):
+        led = MemoryLedger()
+        led.allocate("small", 10)
+        led.allocate("big", 10_000_000)
+        keys = list(led.breakdown())
+        assert keys == ["big", "small"]

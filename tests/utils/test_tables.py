@@ -1,0 +1,73 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils import format_table, format_value, render_kv_block
+
+
+class TestFormatValue:
+    def test_none_is_na(self):
+        assert format_value(None) == "N/A"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_zero_float(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        out = format_value(2.02e-4)
+        assert "E" in out or "e" in out
+
+    def test_milli_range_stays_fixed_point(self):
+        assert format_value(2.02e-3) == "0.00202"
+
+    def test_ordinary_float(self):
+        assert format_value(0.070) == "0.07"
+
+    def test_large_float_scientific(self):
+        assert "E" in format_value(1.27e16)
+
+    def test_string_passthrough(self):
+        assert format_value("algo3") == "algo3"
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["name", "t"], [["a", 1.5], ["bb", 2]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, two rows
+        assert "name" in lines[0] and "t" in lines[0]
+
+    def test_alignment(self):
+        out = format_table(["x"], [["long-value"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])  # padded equal widths
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table II")
+        assert out.startswith("Table II")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            format_table(["a", "b", "c"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderKvBlock:
+    def test_renders_pairs(self):
+        out = render_kv_block("Config", [("threads", 4), ("kernel", "algo3")])
+        assert "Config" in out
+        assert "threads" in out and "4" in out
+        assert "algo3" in out
+
+    def test_empty(self):
+        out = render_kv_block("Empty", [])
+        assert "Empty" in out

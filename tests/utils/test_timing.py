@@ -1,0 +1,77 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils import Stopwatch, Timer
+
+
+class TestStopwatch:
+    def test_bucket_accumulates(self):
+        sw = Stopwatch()
+        with sw.bucket("a"):
+            time.sleep(0.01)
+        with sw.bucket("a"):
+            time.sleep(0.01)
+        assert sw.total("a") >= 0.02
+        assert sw.counts["a"] == 2
+
+    def test_separate_buckets(self):
+        sw = Stopwatch()
+        with sw.bucket("sample"):
+            pass
+        with sw.bucket("compute"):
+            pass
+        assert set(sw.totals) == {"sample", "compute"}
+
+    def test_total_across_buckets(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("b", 2.0)
+        assert sw.total() == 3.0
+        assert sw.total("a") == 1.0
+
+    def test_missing_bucket_is_zero(self):
+        assert Stopwatch().total("nope") == 0.0
+
+    def test_add_direct(self):
+        sw = Stopwatch()
+        sw.add("x", 0.5)
+        sw.add("x", 0.25)
+        assert sw.total("x") == 0.75
+        assert sw.counts["x"] == 2
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.reset()
+        assert sw.total() == 0.0
+        assert sw.counts == {}
+
+    def test_merge(self):
+        a, b = Stopwatch(), Stopwatch()
+        a.add("s", 1.0)
+        b.add("s", 2.0)
+        b.add("t", 3.0)
+        a.merge(b)
+        assert a.total("s") == 3.0
+        assert a.total("t") == 3.0
+        assert a.counts["s"] == 2
+
+    def test_bucket_records_time_on_exception(self):
+        sw = Stopwatch()
+        try:
+            with sw.bucket("err"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert "err" in sw.totals
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_initial_zero(self):
+        assert Timer().elapsed == 0.0

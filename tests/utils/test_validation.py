@@ -1,0 +1,136 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.utils import validation as v
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_int(self):
+        assert v.check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert v.check_positive_int(np.int64(7), "x") == 7
+        assert isinstance(v.check_positive_int(np.int64(7), "x"), int)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError, match="x must be positive"):
+            v.check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            v.check_positive_int(-3, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigError, match="must be an integer"):
+            v.check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigError):
+            v.check_positive_int(2.0, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ConfigError, match="block_size"):
+            v.check_positive_int(-1, "block_size")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert v.check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            v.check_nonnegative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            v.check_nonnegative_int(False, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert v.check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert v.check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_endpoints(self):
+        with pytest.raises(ConfigError):
+            v.check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+        with pytest.raises(ConfigError):
+            v.check_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            v.check_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_probability_helper(self):
+        assert v.check_probability(0.5, "p") == 0.5
+        with pytest.raises(ConfigError):
+            v.check_probability(-0.1, "p")
+
+
+class TestCheckDenseMatrix:
+    def test_accepts_2d(self):
+        a = np.zeros((3, 4))
+        assert v.check_dense_matrix(a, "a") is a
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError, match="must be 2-D"):
+            v.check_dense_matrix(np.zeros(3), "a")
+
+    def test_rejects_list(self):
+        with pytest.raises(ShapeError, match="numpy.ndarray"):
+            v.check_dense_matrix([[1, 2]], "a")
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError, match=r"\(2, 2\)"):
+            v.check_dense_matrix(np.zeros((3, 4)), "a", shape=(2, 2))
+
+    def test_writeable_check(self):
+        a = np.zeros((2, 2))
+        a.flags.writeable = False
+        with pytest.raises(ShapeError, match="writeable"):
+            v.check_dense_matrix(a, "a", writeable=True)
+
+
+class TestCheckVector:
+    def test_accepts_1d(self):
+        x = np.zeros(5)
+        assert v.check_vector(x, "x") is x
+
+    def test_size_check(self):
+        with pytest.raises(ShapeError, match="size 3"):
+            v.check_vector(np.zeros(5), "x", size=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            v.check_vector(np.zeros((2, 2)), "x")
+
+
+class TestCheckDtypeFloating:
+    def test_accepts_float64(self):
+        a = np.zeros(3)
+        assert v.check_dtype_floating(a, "a") is a
+
+    def test_rejects_int(self):
+        with pytest.raises(ShapeError, match="floating"):
+            v.check_dtype_floating(np.zeros(3, dtype=np.int64), "a")
+
+
+class TestCheckSameLength:
+    def test_equal(self):
+        v.check_same_length("a", [1, 2], "b", [3, 4])
+
+    def test_unequal(self):
+        with pytest.raises(ShapeError, match="equal length"):
+            v.check_same_length("a", [1], "b", [1, 2])
+
+
+class TestCheckChoice:
+    def test_valid(self):
+        assert v.check_choice("x", "opt", ["x", "y"]) == "x"
+
+    def test_invalid_lists_choices(self):
+        with pytest.raises(ConfigError, match="'y'"):
+            v.check_choice("z", "opt", ["x", "y"])
