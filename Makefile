@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-small docs examples all clean
+.PHONY: install test faults bench bench-small docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ test:
 
 test-verbose:
 	pytest tests/ -v
+
+# Fault-injection suite with NumPy warnings promoted to errors, proving
+# NaN/Inf handling never leaks through silent RuntimeWarnings.
+faults:
+	python -W error::RuntimeWarning -m pytest tests/faults -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -22,7 +22,8 @@ Subpackages
 ``repro.rng``      Philox & xoshiro sketch generators, distributions
 ``repro.kernels``  Algorithms 1/3/4, loop-order variants, baselines
 ``repro.model``    roofline theory, block-size optimizer, cache simulator
-``repro.parallel`` thread-pool executor and scaling model
+``repro.parallel`` thread-pool executor, resilience policies, scaling model
+``repro.faults``   deterministic fault-injection plans for robustness tests
 ``repro.core``     public sketch API and distortion diagnostics
 ``repro.lsq``      LSQR, preconditioners, SAP, direct sparse QR
 ``repro.workloads`` surrogate suites for the paper's test matrices
@@ -43,9 +44,14 @@ from .errors import (
     ConvergenceError,
     FormatError,
     ReproError,
+    RetryExhaustedError,
     ShapeError,
     SingularMatrixError,
+    SketchQualityError,
+    TaskFailedError,
+    TaskTimeoutError,
 )
+from .faults import FaultInjector, FaultPlan, FaultSpec, InjectedFaultError
 from .kernels import KernelStats, choose_kernel, sketch_spmm
 from .lsq import (
     LstsqSolution,
@@ -56,7 +62,13 @@ from .lsq import (
     solve_sap,
 )
 from .model import FRONTERA, LAPTOP, PERLMUTTER, MachineModel
-from .parallel import parallel_sketch_spmm
+from .parallel import (
+    DegradationPolicy,
+    ResilienceConfig,
+    ResilientExecutor,
+    RunHealth,
+    parallel_sketch_spmm,
+)
 from .rng import PhiloxSketchRNG, SketchingRNG, XoshiroSketchRNG, make_rng
 from .sparse import (
     BlockedCSR,
@@ -84,8 +96,16 @@ __all__ = [
     "ConvergenceError",
     "FormatError",
     "ReproError",
+    "RetryExhaustedError",
     "ShapeError",
     "SingularMatrixError",
+    "SketchQualityError",
+    "TaskFailedError",
+    "TaskTimeoutError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
     "KernelStats",
     "choose_kernel",
     "sketch_spmm",
@@ -99,6 +119,10 @@ __all__ = [
     "LAPTOP",
     "PERLMUTTER",
     "MachineModel",
+    "DegradationPolicy",
+    "ResilienceConfig",
+    "ResilientExecutor",
+    "RunHealth",
     "parallel_sketch_spmm",
     "PhiloxSketchRNG",
     "SketchingRNG",

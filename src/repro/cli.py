@@ -63,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["xoshiro", "philox", "threefry", "junk"])
     sk.add_argument("--dist", default="uniform")
     sk.add_argument("--seed", type=int, default=0)
+    sk.add_argument("--threads", type=int, default=1,
+                    help="worker threads for the parallel executor")
+    sk.add_argument("--max-retries", type=int, default=None,
+                    help="resilient executor: per-task retry budget "
+                         "(enables the resilient path)")
+    sk.add_argument("--task-timeout", type=float, default=None,
+                    help="resilient executor: per-task deadline in seconds; "
+                         "stragglers are re-executed")
+    sk.add_argument("--guardrail", default=None,
+                    choices=["raise", "recompute", "mask"],
+                    help="numerical guardrail policy for NaN/Inf/outlier "
+                         "blocks (default: off)")
     sk.add_argument("--output", help="write the dense sketch as .npy")
 
     lsq = sub.add_parser("lsq", help="solve a least-squares problem")
@@ -124,15 +136,35 @@ def _cmd_probe(args) -> dict:
     return out
 
 
+def _resilience_from_args(args):
+    """Build a ResilienceConfig only when a resilience flag was passed.
+
+    Leaving every flag at its default returns ``None``, which keeps the
+    original fast execution path byte-for-byte.
+    """
+    if (args.max_retries is None and args.task_timeout is None
+            and args.guardrail is None):
+        return None
+    from .parallel import ResilienceConfig
+
+    return ResilienceConfig(
+        max_retries=args.max_retries if args.max_retries is not None else 2,
+        task_timeout=args.task_timeout,
+        guardrail=args.guardrail,
+    )
+
+
 def _cmd_sketch(args) -> dict:
     A = _load_matrix(args)
     cfg = SketchConfig(gamma=args.gamma, distribution=args.dist,
-                       rng_kind=args.rng, kernel=args.kernel, seed=args.seed)
+                       rng_kind=args.rng, kernel=args.kernel, seed=args.seed,
+                       threads=args.threads,
+                       resilience=_resilience_from_args(args))
     result = sketch(A, config=cfg)
     if args.output:
         np.save(args.output, result.sketch)
     st = result.stats
-    return {
+    out = {
         "input_shape": list(A.shape),
         "input_nnz": A.nnz,
         "sketch_shape": list(result.sketch.shape),
@@ -143,6 +175,9 @@ def _cmd_sketch(args) -> dict:
         "gflops": st.gflops_rate,
         "output": args.output,
     }
+    if st.health is not None:
+        out["health"] = st.health.as_dict() if args.json else st.health.summary()
+    return out
 
 
 def _cmd_lsq(args) -> dict:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
+from ..parallel.resilience import ResilienceConfig
 from ..rng.base import SketchingRNG, make_rng
 from ..rng.distributions import get_distribution
 from ..utils.validation import check_choice, check_positive_int
@@ -52,6 +53,13 @@ class SketchConfig:
         irrelevant for preconditioning, where the factor is absorbed).
     threads:
         Worker count for the parallel executor (1 = sequential driver).
+    resilience:
+        Fault-handling policy (:class:`repro.parallel.ResilienceConfig`):
+        per-task retries, deadlines, and numerical guardrails.  ``None``
+        (default) keeps the original fast execution path.  When set, the
+        sketch runs through the resilient executor even with
+        ``threads=1`` (so guardrails apply to sequential runs too); the
+        ``pregen`` kernel ignores it.
     """
 
     gamma: float = 3.0
@@ -63,6 +71,7 @@ class SketchConfig:
     seed: int = 0
     normalize: bool = False
     threads: int = 1
+    resilience: ResilienceConfig | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -78,6 +87,12 @@ class SketchConfig:
         if self.b_n is not None:
             check_positive_int(self.b_n, "b_n")
         check_positive_int(self.threads, "threads")
+        if self.resilience is not None and \
+                not isinstance(self.resilience, ResilienceConfig):
+            raise ConfigError(
+                f"resilience must be a ResilienceConfig or None, got "
+                f"{type(self.resilience).__name__}"
+            )
 
     def sketch_size(self, n: int) -> int:
         """``d = ceil(gamma * n)`` for an ``n``-column input."""

@@ -108,10 +108,14 @@ class SketchOperator:
         b_d, b_n = self._blocking(A.shape[1])
         if kernel == "pregen":
             Ahat, stats = pregen_full(A, self.d, self._rng())
-        elif self.config.threads > 1:
+        elif self.config.threads > 1 or self.config.resilience is not None:
+            # The resilient executor also serves threads == 1 when a
+            # resilience policy is configured, so guardrails and retries
+            # apply to sequential runs too.
             Ahat, stats = parallel_sketch_spmm(
                 A, self.d, lambda w: self.config.build_rng(w),
                 threads=self.config.threads, kernel=kernel, b_d=b_d, b_n=b_n,
+                resilience=self.config.resilience,
             )
         else:
             Ahat, stats = sketch_spmm(
@@ -160,7 +164,10 @@ class SketchOperator:
 
 def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
            config: SketchConfig | None = None,
-           machine: MachineModel | None = None) -> SketchResult:
+           machine: MachineModel | None = None,
+           quality_check: bool = False,
+           quality_threshold: float | None = None,
+           max_resketch: int = 1) -> SketchResult:
     """One-call sketching: ``Ahat = S A`` with ``d ~ gamma * n``.
 
     Exactly one of *gamma* / *d* may override the config's sizing.  This is
@@ -170,6 +177,26 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
         A = random_sparse(100_000, 1_000, 5e-4, seed=0)
         result = sketch(A, gamma=3.0)
         Ahat = result.sketch          # 3000 x 1000 dense
+
+    Parameters
+    ----------
+    quality_check:
+        Run the end-of-run distortion spot-check: measure the realized
+        sketch's effective distortion for ``range(A)`` (a dense
+        diagnostic — test/diagnostic scales only) and, on
+        subspace-embedding failure, automatically re-sketch at larger
+        ``d`` (1.5x per round, up to *max_resketch* rounds) before
+        raising :class:`~repro.errors.SketchQualityError`.
+    quality_threshold:
+        Distortion ceiling; default is the midpoint between the
+        idealized Gaussian limit ``1/sqrt(gamma)`` and the
+        embedding-failure boundary 1.0, which healthy sketches clear
+        comfortably.
+    max_resketch:
+        Automatic re-sketch rounds allowed after a failed check.
+
+    The accepted result's ``stats.extra`` records ``distortion``,
+    ``distortion_threshold``, and ``resketches``.
     """
     cfg = config if config is not None else SketchConfig()
     if gamma is not None and d is not None:
@@ -186,5 +213,39 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
             )
     else:
         d_eff = cfg.sketch_size(A.shape[1])
-    op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
-    return op.apply(A)
+    if not quality_check:
+        op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
+        return op.apply(A)
+
+    from ..errors import SketchQualityError
+    from .distortion import sketch_distortion  # local: avoids module cycle
+
+    max_resketch = int(max_resketch)
+    if max_resketch < 0:
+        raise ConfigError(f"max_resketch must be >= 0, got {max_resketch}")
+    n = A.shape[1]
+    delta = threshold = float("nan")
+    for round_no in range(max_resketch + 1):
+        op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
+        result = op.apply(A)
+        gamma_eff = d_eff / n
+        if quality_threshold is not None:
+            threshold = float(quality_threshold)
+        elif gamma_eff > 1.0:
+            threshold = 0.5 * (1.0 + 1.0 / float(np.sqrt(gamma_eff)))
+        else:
+            threshold = 0.99
+        delta = sketch_distortion(op, A)
+        result.stats.extra.update({
+            "distortion": delta,
+            "distortion_threshold": threshold,
+            "resketches": round_no,
+        })
+        if delta <= threshold:
+            return result
+        last_d = d_eff
+        d_eff = int(np.ceil(1.5 * d_eff))
+    raise SketchQualityError(
+        f"sketch distortion {delta:.3f} exceeds threshold {threshold:.3f} "
+        f"after {max_resketch} automatic re-sketch round(s) (last d={last_d})"
+    )

@@ -4,6 +4,26 @@ Every error raised intentionally by this library derives from
 :class:`ReproError`, so downstream users can catch library failures with a
 single ``except`` clause while letting genuine programming errors
 (``TypeError`` from NumPy, etc.) propagate.
+
+Hierarchy::
+
+    ReproError
+    ├── ShapeError (ValueError)           operand dimensions inconsistent
+    ├── FormatError (ValueError)          sparse structure invariant broken
+    ├── ConfigError (ValueError)          invalid configuration / parameters
+    ├── ConvergenceError (RuntimeError)   iterative solver missed tolerance
+    ├── SingularMatrixError (RuntimeError) factorization hit rank deficiency
+    ├── SketchQualityError (RuntimeError) sketch failed a numerical guardrail
+    └── TaskFailedError (RuntimeError)    a block task failed irrecoverably
+        ├── TaskTimeoutError              task exceeded its deadline
+        └── RetryExhaustedError           task failed on every allowed attempt
+
+The three task-level errors are raised by the resilient parallel executor
+(:mod:`repro.parallel.executor`); :class:`SketchQualityError` is raised by
+its numerical guardrails (policy ``"raise"``) and by the end-of-run
+distortion spot-check in :func:`repro.core.sketch`.  Injected faults from
+:mod:`repro.faults` deliberately do **not** derive from :class:`ReproError`
+— they simulate arbitrary third-party crashes the executor must survive.
 """
 
 from __future__ import annotations
@@ -40,3 +60,29 @@ class SingularMatrixError(ReproError, RuntimeError):
     """A factorization encountered (numerical) rank deficiency that the
     selected algorithm cannot handle (e.g. SAP-QR on a singular sketch;
     the paper prescribes SAP-SVD for that regime)."""
+
+
+class SketchQualityError(ReproError, RuntimeError):
+    """A computed sketch failed a numerical guardrail.
+
+    Raised when a block contains NaN/Inf or exceeds the magnitude bound
+    implied by the entry distribution's moments (guardrail policy
+    ``"raise"``), or when the end-of-run effective-distortion spot-check
+    finds the sketch is not a usable subspace embedding even after an
+    automatic re-sketch at larger ``d``.
+    """
+
+
+class TaskFailedError(ReproError, RuntimeError):
+    """A block task of the parallel sketching executor failed and could not
+    be recovered by the configured retry/degradation policy."""
+
+
+class TaskTimeoutError(TaskFailedError):
+    """A block task exceeded its per-task deadline and straggler
+    re-execution was disabled (or itself failed)."""
+
+
+class RetryExhaustedError(TaskFailedError):
+    """A block task failed on its initial attempt and on every allowed
+    retry (including any kernel-degradation attempt)."""

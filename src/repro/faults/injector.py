@@ -1,0 +1,164 @@
+"""Runtime fault injection driven by a :class:`~repro.faults.plan.FaultPlan`.
+
+The :class:`FaultInjector` is the stateful half of the fault framework: it
+tracks per-``(spec, task)`` hit counts (thread-safely, so parallel workers
+observe the planned ``max_hits`` exactly) and records every fault it
+actually fired as a :class:`FaultEvent`, letting tests assert that a run's
+:class:`~repro.parallel.resilience.RunHealth` report matches the injected
+faults one-for-one.
+
+The executor talks to the injector through three hooks, all no-ops when no
+fault matches:
+
+* :meth:`FaultInjector.on_task_start` — may raise
+  :class:`~repro.faults.plan.InjectedFaultError` or sleep (straggler);
+* :meth:`FaultInjector.rng_for` — may wrap the task's generator in a
+  :class:`CorruptingRNG` (corrupted checkpoint state);
+* :meth:`FaultInjector.on_block_computed` — may poison the finished block
+  with NaN/Inf.
+
+Production code paths pass ``injector=None`` and pay a single ``is None``
+check per run — the framework costs ~zero when disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .plan import FaultPlan, FaultSpec, InjectedFaultError
+
+__all__ = ["FaultEvent", "FaultInjector", "CorruptingRNG"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired during a run."""
+
+    kind: str
+    task: tuple[int, int]
+    attempt: int
+    context: str      # 'parallel' (pool worker) or 'serial' (driver thread)
+    kernel: str
+
+
+class CorruptingRNG:
+    """Wraps a :class:`~repro.rng.base.SketchingRNG`, scaling every sample.
+
+    Models a corrupted RNG checkpoint: the generator keeps producing
+    finite numbers, but wildly out of distribution — the failure mode the
+    *magnitude* guardrail (not the NaN check) exists to catch.  Delegates
+    everything else to the wrapped generator, including the sample
+    counters, so run accounting stays truthful.
+    """
+
+    def __init__(self, inner, magnitude: float) -> None:
+        self._inner = inner
+        self._magnitude = float(magnitude)
+
+    def column_block_batch(self, r: int, d1: int, js: np.ndarray) -> np.ndarray:
+        return self._inner.column_block_batch(r, d1, js) * self._magnitude
+
+    def column_block(self, r: int, d1: int, j: int) -> np.ndarray:
+        return self.column_block_batch(r, d1, np.array([j]))[:, 0]
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class FaultInjector:
+    """Stateful runtime for a :class:`FaultPlan`.
+
+    Thread-safe: hit counters and the event log are lock-protected, so a
+    plan's ``max_hits`` budget is honoured exactly even when many workers
+    race into the same task's fault (e.g. a straggler's original attempt
+    and its re-execution).
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self._lock = threading.Lock()
+        self._hits: dict[tuple[object, tuple[int, int]], int] = {}
+        self.events: list[FaultEvent] = []
+
+    # -- internals --------------------------------------------------------
+
+    def _claim(self, spec_id: object, task: tuple[int, int],
+               spec: FaultSpec) -> bool:
+        """Atomically consume one firing of *spec* at *task* if any remain."""
+        key = (spec_id, tuple(task))
+        with self._lock:
+            count = self._hits.get(key, 0)
+            if spec.max_hits is not None and count >= spec.max_hits:
+                return False
+            self._hits[key] = count + 1
+            return True
+
+    def _record(self, spec: FaultSpec, task: tuple[int, int], attempt: int,
+                context: str, kernel: str) -> None:
+        event = FaultEvent(kind=spec.kind, task=tuple(task), attempt=attempt,
+                           context=context, kernel=kernel)
+        with self._lock:
+            self.events.append(event)
+
+    def _fire(self, kinds: tuple[str, ...], task: tuple[int, int],
+              kernel: str, context: str, attempt: int):
+        """Yield specs of the given *kinds* that claim a firing now."""
+        for spec_id, spec in self.plan.faults_for(task, kernel, context):
+            if spec.kind in kinds and self._claim(spec_id, task, spec):
+                self._record(spec, task, attempt, context, kernel)
+                yield spec
+
+    # -- executor hooks ---------------------------------------------------
+
+    def on_task_start(self, task: tuple[int, int], kernel: str,
+                      context: str, attempt: int) -> None:
+        """Fire ``stall`` (sleep) then ``raise`` faults for this attempt."""
+        for spec in self._fire(("stall",), task, kernel, context, attempt):
+            time.sleep(spec.sleep_seconds)
+        for spec in self._fire(("raise",), task, kernel, context, attempt):
+            raise InjectedFaultError(
+                f"injected fault at task (i={task[0]}, j={task[1]}), "
+                f"attempt {attempt} [{context}/{kernel}]"
+            )
+
+    def rng_for(self, task: tuple[int, int], kernel: str, context: str,
+                attempt: int, rng):
+        """Return *rng* or a :class:`CorruptingRNG` if an ``rng`` fault fires."""
+        for spec in self._fire(("rng",), task, kernel, context, attempt):
+            return CorruptingRNG(rng, spec.magnitude)
+        return rng
+
+    def on_block_computed(self, task: tuple[int, int], kernel: str,
+                          context: str, attempt: int,
+                          block: np.ndarray) -> None:
+        """Fire ``nan``/``inf`` corruption on the finished block (in place)."""
+        for spec in self._fire(("nan", "inf"), task, kernel, context, attempt):
+            if block.size:
+                block.flat[block.size // 2] = (np.nan if spec.kind == "nan"
+                                               else np.inf)
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def fault_count(self) -> int:
+        """Total faults fired so far."""
+        with self._lock:
+            return len(self.events)
+
+    def events_by_kind(self) -> dict[str, int]:
+        """Histogram of fired fault kinds."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for e in self.events:
+                out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def reset(self) -> None:
+        """Forget all hits and events (reuse the plan for a fresh run)."""
+        with self._lock:
+            self._hits.clear()
+            self.events.clear()

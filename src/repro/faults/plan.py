@@ -1,0 +1,215 @@
+"""Deterministic fault planning: what goes wrong, where, and how often.
+
+A :class:`FaultPlan` is a pure description of the faults to inject into a
+blocked sketching run — it holds no runtime state, so the same plan can be
+handed to many :class:`~repro.faults.injector.FaultInjector` instances and
+every run observes the *same* faults at the same block coordinates.  Plans
+are built either from explicit :class:`FaultSpec` entries (tests that
+target one block) or from :meth:`FaultPlan.random`, which decides per task
+coordinate with a splitmix64-style hash of ``(seed, i, j)`` — deterministic
+across runs, thread counts, and partition strategies, exactly like the
+sketch entries themselves (Section IV-C's counter-based RNG argument
+applied to chaos engineering).
+
+Fault kinds
+-----------
+``raise``
+    The task raises :class:`InjectedFaultError` before computing.
+``nan`` / ``inf``
+    The computed block is poisoned with a NaN / Inf entry after the kernel
+    finishes (models a corrupted write or bad FMA result).
+``stall``
+    The task sleeps for :attr:`FaultSpec.sleep_seconds` before computing —
+    a simulated straggler for deadline / re-execution testing.
+``rng``
+    The task's generator is wrapped so every sample is scaled by
+    :attr:`FaultSpec.magnitude` (models corrupted RNG checkpoint state;
+    caught by the magnitude guardrail, not the finiteness check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["InjectedFaultError", "FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = ("raise", "nan", "inf", "stall", "rng")
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer — a stateless avalanche over 64-bit ints."""
+    x &= _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return x ^ (x >> 31)
+
+
+def task_hash(seed: int, i: int, j: int, salt: int = 0) -> int:
+    """Deterministic 64-bit hash of a block-task coordinate.
+
+    Keyed on the plan seed and the task's ``(row offset, column offset)``
+    — never on thread or execution order — so random fault plans reproduce
+    bit-identically for any scheduling.
+    """
+    h = _mix64(seed + _GOLDEN)
+    h = _mix64(h ^ _mix64(i + 2 * _GOLDEN))
+    h = _mix64(h ^ _mix64(j + 3 * _GOLDEN))
+    return _mix64(h ^ _mix64(salt + 5 * _GOLDEN))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    task:
+        ``(i, j)`` — the row/column *offsets* of the targeted ``Ahat``
+        block (the first two coordinates yielded by
+        :func:`repro.kernels.iter_block_tasks`), or ``None`` to match
+        every task.
+    max_hits:
+        How many times the fault fires *per task* before going quiet
+        (``None`` = unlimited).  The default of 1 models a transient
+        fault: the first attempt fails, the retry succeeds.
+    sleep_seconds:
+        Stall duration for ``kind="stall"``.
+    magnitude:
+        Sample scale factor for ``kind="rng"`` (large values trip the
+        magnitude guardrail).
+    kernel:
+        Restrict the fault to attempts running this kernel (``"algo3"`` /
+        ``"algo4"``); ``None`` matches both.  Lets tests prove the
+        algo4→algo3 degradation path.
+    scope:
+        ``"any"`` (default), ``"parallel"`` (fire only inside pool
+        workers), or ``"serial"`` (fire only in the driver thread).
+        ``"parallel"`` faults let tests prove the parallel→serial
+        degradation path.
+    """
+
+    kind: str
+    task: tuple[int, int] | None = None
+    max_hits: int | None = 1
+    sleep_seconds: float = 0.05
+    magnitude: float = 1e30
+    kernel: str | None = None
+    scope: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.scope not in ("any", "parallel", "serial"):
+            raise ConfigError(
+                f"scope must be 'any', 'parallel' or 'serial', got {self.scope!r}"
+            )
+        if self.max_hits is not None and self.max_hits < 1:
+            raise ConfigError(f"max_hits must be >= 1 or None, got {self.max_hits}")
+        if self.sleep_seconds < 0:
+            raise ConfigError(
+                f"sleep_seconds must be non-negative, got {self.sleep_seconds}"
+            )
+
+    def matches(self, task: tuple[int, int], kernel: str, context: str) -> bool:
+        """Does this spec apply to an attempt at *task* under *kernel*?"""
+        if self.task is not None and tuple(self.task) != tuple(task):
+            return False
+        if self.kernel is not None and self.kernel != kernel:
+            return False
+        if self.scope == "parallel" and context != "parallel":
+            return False
+        if self.scope == "serial" and context != "serial":
+            return False
+        return True
+
+
+class FaultPlan:
+    """A deterministic collection of faults to inject into one run.
+
+    Parameters
+    ----------
+    specs:
+        Explicit :class:`FaultSpec` entries.
+    seed, rate, kinds:
+        Optional *random component*: every task whose
+        :func:`task_hash` falls below ``rate`` additionally suffers one
+        fault whose kind is hash-chosen from *kinds*.  Stateless, so the
+        same ``(seed, rate, kinds)`` always poisons the same tasks.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), *, seed: int = 0,
+                 rate: float = 0.0, kinds: Sequence[str] = ("raise", "nan")) -> None:
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        if not (0.0 <= rate <= 1.0):
+            raise ConfigError(f"rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        for k in kinds:
+            if k not in FAULT_KINDS:
+                raise ConfigError(f"unknown fault kind {k!r} in kinds")
+        self.kinds = tuple(kinds)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan that injects nothing (useful as a default)."""
+        return cls()
+
+    @classmethod
+    def random(cls, seed: int, rate: float,
+               kinds: Sequence[str] = ("raise", "nan"),
+               max_hits: int | None = 1) -> "FaultPlan":
+        """A purely hash-driven plan: each task fails with probability *rate*."""
+        plan = cls(seed=seed, rate=rate, kinds=kinds)
+        plan._random_max_hits = max_hits
+        return plan
+
+    _random_max_hits: int | None = 1
+
+    def faults_for(self, task: tuple[int, int], kernel: str,
+                   context: str) -> Iterator[tuple[object, FaultSpec]]:
+        """Yield ``(spec_id, spec)`` for every fault applicable to *task*.
+
+        ``spec_id`` keys the injector's per-``(spec, task)`` hit counters;
+        explicit specs use their index, the random component uses the
+        string ``"random"``.
+        """
+        for idx, spec in enumerate(self.specs):
+            if spec.matches(task, kernel, context):
+                yield idx, spec
+        if self.rate > 0.0:
+            i, j = int(task[0]), int(task[1])
+            h = task_hash(self.seed, i, j)
+            if h / float(1 << 64) < self.rate:
+                kind = self.kinds[task_hash(self.seed, i, j, salt=1)
+                                  % len(self.kinds)]
+                yield "random", FaultSpec(kind=kind,
+                                          max_hits=self._random_max_hits)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan can never fire."""
+        return not self.specs and self.rate == 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultPlan(specs={len(self.specs)}, seed={self.seed}, "
+                f"rate={self.rate})")
+
+
+class InjectedFaultError(RuntimeError):
+    """The error raised by a planned ``kind="raise"`` fault.
+
+    Deliberately **not** a :class:`repro.errors.ReproError`: it stands in
+    for an arbitrary third-party crash (a BLAS segfault surfacing as an
+    exception, a poisoned input, a worker OOM) that the resilient executor
+    must survive without special-casing.
+    """

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..errors import ConfigError
 from ..sparse.csc import CSCMatrix
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,7 +68,34 @@ def choose_kernel(machine: "MachineModel", A: CSCMatrix,
     low relative to RNG cost).  Even on a reuse-favouring machine,
     column-concentrated patterns (score above *concentration_threshold*)
     fall back to the pattern-oblivious Algorithm 3.
+
+    Inputs are validated up front: an empty matrix (zero rows, columns,
+    or nonzeros) or non-finite machine parameters raise
+    :class:`~repro.errors.ConfigError` instead of propagating raw NumPy
+    warnings through the concentration heuristic.
     """
+    m, n = A.shape
+    if m == 0 or n == 0:
+        raise ConfigError(
+            f"choose_kernel needs a non-empty matrix, got shape {A.shape}"
+        )
+    if A.nnz == 0:
+        raise ConfigError(
+            "choose_kernel needs at least one nonzero: an all-zero matrix "
+            "has no sparsity pattern to dispatch on"
+        )
+    for attr in ("h_base", "random_access_penalty", "peak_gflops",
+                 "bandwidth_gbs"):
+        value = float(getattr(machine, attr))
+        if not np.isfinite(value):
+            raise ConfigError(
+                f"machine parameter {attr} must be finite, got {value}"
+            )
+    if not np.isfinite(concentration_threshold) or concentration_threshold <= 0:
+        raise ConfigError(
+            f"concentration_threshold must be positive and finite, got "
+            f"{concentration_threshold}"
+        )
     conc = column_concentration(A)
     if not machine.favors_reuse:
         return KernelChoice(

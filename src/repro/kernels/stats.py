@@ -14,8 +14,12 @@ paper's accounting exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..utils.flops import gflops
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel.resilience import RunHealth
 
 __all__ = ["KernelStats"]
 
@@ -49,6 +53,10 @@ class KernelStats:
         Sketch size and blocking parameters used.
     extra:
         Free-form auxiliary metrics (e.g. conversion op counts).
+    health:
+        :class:`repro.parallel.resilience.RunHealth` report when the
+        invocation ran through the resilient executor (attempts, retries,
+        repaired blocks, degradation decisions); ``None`` otherwise.
     """
 
     kernel: str
@@ -63,6 +71,7 @@ class KernelStats:
     b_d: int = 0
     b_n: int = 0
     extra: dict = field(default_factory=dict)
+    health: "RunHealth | None" = None
 
     @property
     def gflops_rate(self) -> float:

@@ -21,13 +21,14 @@ import numpy as np
 
 from ..core.config import SketchConfig
 from ..core.sketch import SketchOperator
-from ..errors import ConfigError
+from ..errors import ConfigError, SingularMatrixError
 from ..model.machine import MachineModel
 from ..sparse.csc import CSCMatrix
 from ..utils.validation import check_choice, check_vector
 from .diagnostics import LstsqSolution, error_metric
 from .lsmr import lsmr
 from .lsqr import CscOperator, PreconditionedOperator, lsqr
+from .direct_qr import solve_direct_qr
 from .preconditioners import (
     DiagonalPreconditioner,
     SVDPreconditioner,
@@ -35,6 +36,24 @@ from .preconditioners import (
 )
 
 __all__ = ["solve_sap", "solve_lsqr_diag"]
+
+
+def _direct_fallback(A: CSCMatrix, b: np.ndarray, reason: str,
+                     sketch_seconds: float,
+                     factor_seconds: float = 0.0) -> LstsqSolution:
+    """Divergence safety net: re-solve with the direct sparse QR.
+
+    The wasted randomized work is kept in the timing split (``seconds``
+    includes it) and the trigger is recorded under ``details`` so the
+    degradation is auditable, mirroring the executor's RunHealth decisions.
+    """
+    sol = solve_direct_qr(A, b)
+    sol.method = f"{sol.method}(sap-fallback)"
+    sol.seconds += sketch_seconds + factor_seconds
+    sol.sketch_seconds = sketch_seconds
+    sol.factor_seconds += factor_seconds
+    sol.details["fallback"] = reason
+    return sol
 
 
 def solve_sap(
@@ -49,6 +68,7 @@ def solve_sap(
     max_iter: int | None = None,
     svd_drop_ratio: float = 1e-12,
     iterative: str = "lsqr",
+    divergence_fallback: bool = True,
 ) -> LstsqSolution:
     """Solve ``min_x ||A x - b||`` by sketch-and-precondition.
 
@@ -71,6 +91,14 @@ def solve_sap(
     iterative:
         ``"lsqr"`` (the paper's engine) or ``"lsmr"`` (Fong-Saunders;
         monotone in the Error(x) quantity).
+    divergence_fallback:
+        Divergence detection (default on): when the sketch factorization
+        hits rank deficiency (:class:`~repro.errors.SingularMatrixError`)
+        or the preconditioned LSQR/LSMR run produces a non-finite iterate
+        or error, fall back to the direct sparse QR solver instead of
+        returning garbage.  The trigger is recorded under
+        ``details["fallback"]``.  Pass ``False`` for strict behaviour
+        (errors propagate, non-finite results are returned as-is).
 
     Returns
     -------
@@ -98,10 +126,18 @@ def solve_sap(
     t_sketch = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    if method == "qr":
-        precond = TriangularPreconditioner.from_sketch(Ahat)
-    else:
-        precond = SVDPreconditioner.from_sketch(Ahat, drop_ratio=svd_drop_ratio)
+    try:
+        if method == "qr":
+            precond = TriangularPreconditioner.from_sketch(Ahat)
+        else:
+            precond = SVDPreconditioner.from_sketch(Ahat,
+                                                    drop_ratio=svd_drop_ratio)
+    except SingularMatrixError as exc:
+        if not divergence_fallback:
+            raise
+        return _direct_fallback(
+            A, b, f"sketch factorization failed ({exc}); fell back to "
+            f"direct QR", sketch_seconds=t_sketch)
     t_factor = time.perf_counter() - t1
 
     check_choice(iterative, "iterative", ("lsqr", "lsmr"))
@@ -111,6 +147,12 @@ def solve_sap(
     run = engine(B, b, atol=atol, max_iter=max_iter)
     x = precond.apply(run.z)
     t_solve = time.perf_counter() - t2
+
+    if divergence_fallback and not np.all(np.isfinite(x)):
+        return _direct_fallback(
+            A, b, f"{iterative} diverged to a non-finite iterate after "
+            f"{run.iterations} iterations; fell back to direct QR",
+            sketch_seconds=t_sketch, factor_seconds=t_factor)
 
     sketch_bytes = int(Ahat.nbytes)
     mem = sketch_bytes + precond.memory_bytes

@@ -1,8 +1,18 @@
-"""Shared-memory parallelism: task scheduling, thread-pool execution, and
-the bandwidth-saturation scaling model behind the Table VII reproduction."""
+"""Shared-memory parallelism: task scheduling, resilient thread-pool
+execution with fault recovery and numerical guardrails, and the
+bandwidth-saturation scaling model behind the Table VII reproduction."""
 
 from .bandwidth import PredictedRun, bandwidth_at, predict_time, rng_rate_per_core
-from .executor import parallel_sketch_spmm
+from .executor import ResilientExecutor, parallel_sketch_spmm
+from .resilience import (
+    DegradationPolicy,
+    ResilienceConfig,
+    RunHealth,
+    TaskFailure,
+    column_abs_sums,
+    entry_abs_bound,
+    validate_block,
+)
 from .scaling import (
     ScalingPoint,
     measure_strong_scaling,
@@ -16,7 +26,15 @@ __all__ = [
     "bandwidth_at",
     "predict_time",
     "rng_rate_per_core",
+    "ResilientExecutor",
     "parallel_sketch_spmm",
+    "DegradationPolicy",
+    "ResilienceConfig",
+    "RunHealth",
+    "TaskFailure",
+    "column_abs_sums",
+    "entry_abs_bound",
+    "validate_block",
     "ScalingPoint",
     "measure_strong_scaling",
     "parallel_efficiency",

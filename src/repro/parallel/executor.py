@@ -1,4 +1,4 @@
-"""Thread-pool execution of the blocked sketching SpMM.
+"""Thread-pool execution of the blocked sketching SpMM, with resilience.
 
 Real shared-memory parallelism over Algorithm 1's block tasks.  Every task
 writes a disjoint block of ``Ahat`` and reads only immutable inputs, so the
@@ -15,6 +15,19 @@ counter-based RNGs give thread-independent sketches; our checkpointed
 xoshiro is also thread-independent *given fixed blocking* because
 checkpoints are keyed by coordinates.)
 
+The same coordinate-keying makes the executor *resilient*: a failed block
+task can be recomputed from a fresh generator and the result is
+bit-identical to a fault-free run.  :class:`ResilientExecutor` exploits
+this with per-task bounded retries, per-task deadlines with straggler
+re-execution, numerical guardrails (NaN/Inf/magnitude checks with
+``raise``/``recompute``/``mask`` policies), and a
+:class:`~repro.parallel.resilience.DegradationPolicy` that falls back
+algo4→algo3 and parallel→serial after repeated failures — every decision
+recorded in a :class:`~repro.parallel.resilience.RunHealth` report
+attached to the returned :class:`~repro.kernels.KernelStats`.  When no
+resilience options and no fault injector are supplied, the executor takes
+the original zero-overhead path.
+
 On the Python runtime, NumPy releases the GIL inside large array
 operations, so genuine overlap occurs for the vectorized kernels when the
 host has multiple cores; on a single-core host this executor still
@@ -24,12 +37,21 @@ performance (see DESIGN.md's substitution table).
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import (
+    ConfigError,
+    RetryExhaustedError,
+    ShapeError,
+    SketchQualityError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
 from ..kernels.algo3 import algo3_block
 from ..kernels.algo4 import algo4_block
 from ..kernels.blocking import default_block_sizes, iter_block_tasks
@@ -41,11 +63,399 @@ from ..sparse.csc import CSCMatrix
 from ..utils.flops import spmm_flops
 from ..utils.timing import Stopwatch, Timer
 from ..utils.validation import check_positive_int
+from .resilience import (
+    ResilienceConfig,
+    RunHealth,
+    TaskFailure,
+    column_abs_sums,
+    entry_abs_bound,
+    validate_block,
+)
 from .scheduler import estimate_task_costs, partition_tasks
 
-__all__ = ["parallel_sketch_spmm"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+
+__all__ = ["ResilientExecutor", "parallel_sketch_spmm"]
 
 RngFactory = Callable[[int], SketchingRNG]
+
+Task = tuple[int, int, int, int]  # (i, d1, j, n1)
+
+
+class ResilientExecutor:
+    """Executes Algorithm 1's block tasks with optional fault handling.
+
+    Parameters mirror :func:`parallel_sketch_spmm` plus:
+
+    resilience:
+        A :class:`~repro.parallel.resilience.ResilienceConfig`; ``None``
+        (with no *injector*) selects the original fast path — direct
+        in-place block writes, no per-task bookkeeping, overhead within
+        noise of the pre-resilience implementation.
+    injector:
+        A :class:`repro.faults.FaultInjector` whose hooks fire around each
+        task attempt (testing only; ``None`` in production).  Supplying an
+        injector without a config enables the guarded path with default
+        :class:`ResilienceConfig` settings.
+    """
+
+    def __init__(
+        self,
+        A: CSCMatrix,
+        d: int,
+        rng_factory: RngFactory,
+        *,
+        threads: int,
+        kernel: str = "algo3",
+        b_d: int | None = None,
+        b_n: int | None = None,
+        strategy: str = "static",
+        blocked: BlockedCSR | None = None,
+        resilience: ResilienceConfig | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        self.d = check_positive_int(d, "d")
+        self.threads = check_positive_int(threads, "threads")
+        if kernel not in ("algo3", "algo4"):
+            raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+        self.A = A
+        self.kernel = kernel
+        self.rng_factory = rng_factory
+        self.strategy = strategy
+        self.blocked = blocked
+        self.injector = injector
+        self.guarded = resilience is not None or injector is not None
+        self.resilience = (resilience if resilience is not None
+                           else ResilienceConfig()) if self.guarded else None
+
+        m, n = A.shape
+        bd_default, bn_default = default_block_sizes(d, n, parallel=threads > 1)
+        self.b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
+        self.b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
+
+        self.health = RunHealth()
+
+        # Thread-private RNG / stopwatch contexts, registered for the
+        # final stats aggregation.
+        self._tls = threading.local()
+        self._ctx_lock = threading.Lock()
+        self._worker_counter = 0
+        self._all_rngs: list[SketchingRNG] = []
+        self._all_watches: list[Stopwatch] = []
+
+        # Commit bookkeeping for the guarded path (speculative duplicates
+        # from straggler re-execution race to claim each block).
+        self._claim_lock = threading.Lock()
+        self._claimed: set[int] = set()
+
+        self._colabs: np.ndarray | None = None
+        self._entry_bound = 0.0
+        self.Ahat: np.ndarray | None = None
+        self._block_by_offset: dict[int, object] = {}
+
+    # -- shared setup -----------------------------------------------------
+
+    def _prepare(self) -> tuple[list[Task], float]:
+        """Build the blocked structure (if needed) and the task list."""
+        m, n = self.A.shape
+        conversion_seconds = 0.0
+        if self.kernel == "algo4" and self.blocked is None:
+            self.blocked, conv = csc_to_blocked_csr(self.A, self.b_n,
+                                                    threads=self.threads)
+            conversion_seconds = conv.seconds
+        if self.kernel == "algo4":
+            assert self.blocked is not None
+            for j0, blk in self.blocked.iter_blocks():
+                self._block_by_offset[j0] = blk
+        tasks = list(iter_block_tasks(self.d, n, self.b_d, self.b_n))
+        self.Ahat = np.zeros((self.d, n), dtype=np.float64)
+        return tasks, conversion_seconds
+
+    def _thread_ctx(self) -> tuple[SketchingRNG, Stopwatch]:
+        tls = self._tls
+        if not hasattr(tls, "rng"):
+            with self._ctx_lock:
+                tls.worker = self._worker_counter
+                self._worker_counter += 1
+            tls.rng = self.rng_factory(tls.worker)
+            tls.watch = Stopwatch()
+            with self._ctx_lock:
+                self._all_rngs.append(tls.rng)
+                self._all_watches.append(tls.watch)
+        return tls.rng, tls.watch
+
+    def _fresh_rng(self) -> SketchingRNG:
+        """Fresh RNG re-derivation for a retry (discards any corrupted
+        checkpoint state; safe because generators are coordinate-keyed)."""
+        tls = self._tls
+        rng = self.rng_factory(getattr(tls, "worker", 0))
+        tls.rng = rng
+        with self._ctx_lock:
+            self._all_rngs.append(rng)
+        return rng
+
+    def _compute(self, task: Task, kernel: str, rng: SketchingRNG,
+                 watch: Stopwatch, out: np.ndarray) -> None:
+        """Run one kernel invocation for *task* into *out* (pre-zeroed)."""
+        i, d1, j, n1 = task
+        if kernel == "algo3":
+            algo3_block(out, self.A.col_block(j, j + n1), i, rng, watch=watch)
+        else:
+            blk = self._block_by_offset.get(j)
+            if blk is None or blk.shape[1] != n1:
+                raise ConfigError(
+                    "blocked CSR partition does not match b_n task grid"
+                )
+            algo4_block(out, blk, i, rng, watch=watch)
+
+    def _finish_stats(self, tasks: list[Task], conversion_seconds: float,
+                      total_seconds: float) -> KernelStats:
+        stats = KernelStats(
+            kernel=f"{self.kernel}-parallel",
+            sample_seconds=sum(w.total("sample") for w in self._all_watches),
+            compute_seconds=sum(w.total("compute") for w in self._all_watches),
+            conversion_seconds=conversion_seconds,
+            total_seconds=total_seconds,
+            samples_generated=sum(r.samples_generated for r in self._all_rngs),
+            flops=spmm_flops(self.d, self.A.nnz),
+            blocks_processed=len(tasks),
+            d=self.d, b_d=self.b_d, b_n=self.b_n,
+            extra={"threads": self.threads, "strategy": self.strategy,
+                   "resilient": self.guarded},
+            health=self.health if self.guarded else None,
+        )
+        return stats
+
+    def _post_scale(self) -> float:
+        if self._all_rngs:
+            return self._all_rngs[0].post_scale
+        return self.rng_factory(0).post_scale
+
+    # -- fast path (seed behaviour, zero resilience overhead) --------------
+
+    def _run_fast(self, tasks: list[Task]) -> None:
+        costs = (estimate_task_costs(self.A, tasks)
+                 if self.strategy == "guided" else None)
+        buckets = partition_tasks(tasks, self.threads, self.strategy, costs)
+
+        def run_worker(w: int) -> None:
+            rng, watch = self.rng_factory(w), Stopwatch()
+            with self._ctx_lock:
+                self._all_rngs.append(rng)
+                self._all_watches.append(watch)
+            for task in buckets[w]:
+                i, d1, j, n1 = task
+                view = self.Ahat[i:i + d1, j:j + n1]
+                self._compute(task, self.kernel, rng, watch, view)
+
+        if self.threads == 1:
+            run_worker(0)
+        else:
+            with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                futures = [pool.submit(run_worker, w)
+                           for w in range(self.threads)]
+                for f in futures:
+                    f.result()  # propagate worker exceptions
+
+    # -- guarded path ------------------------------------------------------
+
+    def _bound_for(self, task: Task) -> float | None:
+        if self._colabs is None:
+            return None
+        i, d1, j, n1 = task
+        seg = self._colabs[j:j + n1]
+        mx = float(seg.max()) if seg.size else 0.0
+        return self.resilience.guardrail_bound_factor * self._entry_bound * mx
+
+    def _note_failure(self, key: tuple[int, int], attempt: int, kind: str,
+                      message: str, context: str) -> None:
+        with self._ctx_lock:
+            self.health.failures.append(TaskFailure(
+                task=key, attempt=attempt, kind=kind,
+                message=message, context=context))
+
+    def _commit(self, idx: int, task: Task, target: np.ndarray,
+                use_scratch: bool) -> None:
+        i, d1, j, n1 = task
+        with self._claim_lock:
+            if idx in self._claimed:
+                return  # a speculative duplicate won the race; discard
+            self._claimed.add(idx)
+            if use_scratch:
+                self.Ahat[i:i + d1, j:j + n1] = target
+        with self._ctx_lock:
+            self.health.completed += 1
+
+    def _run_task(self, idx: int, task: Task, context: str) -> None:
+        """Retry / guardrail / kernel-fallback state machine for one task.
+
+        Raises :class:`SketchQualityError` (guardrail policy ``raise``) or
+        :class:`RetryExhaustedError` when every recovery avenue within the
+        task is spent; the driver may still degrade parallel→serial.
+        """
+        cfg = self.resilience
+        i, d1, j, n1 = task
+        key = (i, j)
+        with self._claim_lock:
+            if idx in self._claimed:
+                return  # already committed by a speculative duplicate
+        view = self.Ahat[i:i + d1, j:j + n1]
+        # Scratch buffers are only needed when speculative duplicates can
+        # race on the same block (deadline-triggered re-execution).
+        use_scratch = (cfg.task_timeout is not None and self.threads > 1)
+        rng, watch = self._thread_ctx()
+
+        kernels = [self.kernel]
+        if cfg.degradation.kernel_fallback and self.kernel == "algo4":
+            kernels.append("algo3")
+        budget = 1 + cfg.max_retries
+        attempt_no = 0
+        had_violation = False
+
+        for ki, kname in enumerate(kernels):
+            if ki > 0:
+                with self._ctx_lock:
+                    self.health.kernel_fallbacks += 1
+                    self.health.record(
+                        f"task {key}: {kernels[ki - 1]} exhausted its "
+                        f"retries; degrading to pattern-oblivious {kname}")
+            for local in range(budget):
+                attempt_no += 1
+                with self._ctx_lock:
+                    self.health.attempts += 1
+                target = (np.zeros((d1, n1), dtype=np.float64)
+                          if use_scratch else view)
+                if not use_scratch:
+                    target[:] = 0.0
+                failure: tuple[str, str] | None = None
+                try:
+                    use_rng = rng
+                    if self.injector is not None:
+                        self.injector.on_task_start(key, kname, context,
+                                                    attempt_no)
+                        use_rng = self.injector.rng_for(key, kname, context,
+                                                       attempt_no, rng)
+                    self._compute(task, kname, use_rng, watch, target)
+                    if self.injector is not None:
+                        self.injector.on_block_computed(key, kname, context,
+                                                        attempt_no, target)
+                    violation = (validate_block(target, self._bound_for(task))
+                                 if cfg.guardrail is not None else None)
+                    if violation is None:
+                        self._commit(idx, task, target, use_scratch)
+                        if had_violation and cfg.guardrail == "recompute":
+                            with self._ctx_lock:
+                                self.health.corrupted_blocks_repaired += 1
+                                self.health.record(
+                                    f"task {key}: corrupted block repaired "
+                                    f"by recompute (attempt {attempt_no})")
+                        return
+                    with self._ctx_lock:
+                        self.health.guardrail_violations += 1
+                    if cfg.guardrail == "raise":
+                        raise SketchQualityError(
+                            f"task {key}: {violation} values in computed "
+                            f"block (guardrail policy 'raise')")
+                    if cfg.guardrail == "mask":
+                        target[:] = 0.0
+                        self._commit(idx, task, target, use_scratch)
+                        with self._ctx_lock:
+                            self.health.masked_blocks += 1
+                            self.health.record(
+                                f"task {key}: {violation} block masked to "
+                                f"zero (guardrail policy 'mask')")
+                        return
+                    # policy 'recompute': count as a failed attempt.
+                    had_violation = True
+                    failure = (f"guardrail-{violation}",
+                               f"{violation} values in computed block")
+                except SketchQualityError:
+                    raise
+                except (ConfigError, ShapeError):
+                    raise  # configuration bugs are not transient: no retry
+                except Exception as exc:  # noqa: BLE001 - fault boundary
+                    failure = (type(exc).__name__, str(exc))
+                self._note_failure(key, attempt_no, failure[0], failure[1],
+                                   context)
+                if local + 1 < budget:
+                    with self._ctx_lock:
+                        self.health.retries += 1
+                        self.health.record(
+                            f"task {key}: attempt {attempt_no} failed "
+                            f"({failure[0]}); retrying with fresh RNG")
+                    rng = self._fresh_rng()
+        raise RetryExhaustedError(
+            f"task {key} failed after {attempt_no} attempts "
+            f"({', '.join(k for k in kernels)}); see RunHealth.failures")
+
+    def _run_guarded(self, tasks: list[Task]) -> None:
+        cfg = self.resilience
+        self.health.tasks = len(tasks)
+        if cfg.guardrail is not None:
+            self._colabs = column_abs_sums(self.A)
+            self._entry_bound = entry_abs_bound(self.rng_factory(0).dist)
+
+        if self.threads == 1:
+            for idx, task in enumerate(tasks):
+                self._run_task(idx, task, "serial")
+            return
+
+        failed: list[tuple[int, Task, TaskFailedError]] = []
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            futures = [pool.submit(self._run_task, idx, task, "parallel")
+                       for idx, task in enumerate(tasks)]
+            for idx, (fut, task) in enumerate(zip(futures, tasks)):
+                key = (task[0], task[2])
+                try:
+                    fut.result(timeout=cfg.task_timeout)
+                except FuturesTimeoutError:
+                    with self._ctx_lock:
+                        self.health.timeouts += 1
+                    if not cfg.reexecute_stragglers:
+                        raise TaskTimeoutError(
+                            f"task {key} missed its {cfg.task_timeout}s "
+                            f"deadline and straggler re-execution is "
+                            f"disabled") from None
+                    with self._ctx_lock:
+                        self.health.stragglers_reexecuted += 1
+                        self.health.record(
+                            f"task {key}: straggler past the "
+                            f"{cfg.task_timeout}s deadline; speculatively "
+                            f"re-executing in the driver thread")
+                    self._run_task(idx, task, "serial")
+                except TaskFailedError as exc:
+                    failed.append((idx, task, exc))
+        if failed:
+            if not cfg.degradation.serial_fallback:
+                raise failed[0][2]
+            with self._ctx_lock:
+                self.health.degraded_to_serial = True
+                self.health.record(
+                    f"{len(failed)} task(s) unrecoverable in the pool; "
+                    f"degrading parallel -> serial re-execution")
+            for idx, task, _exc in failed:
+                self._run_task(idx, task, "serial")
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> tuple[np.ndarray, KernelStats]:
+        """Execute the sketch; returns ``(Ahat, stats)``.
+
+        ``stats.health`` carries the :class:`RunHealth` report on guarded
+        runs (``None`` on the fast path).
+        """
+        tasks, conversion_seconds = self._prepare()
+        with Timer() as total:
+            if self.guarded:
+                self._run_guarded(tasks)
+            else:
+                self._run_fast(tasks)
+            post = self._post_scale()
+            if post != 1.0:
+                self.Ahat *= post
+        return self.Ahat, self._finish_stats(tasks, conversion_seconds,
+                                             total.elapsed)
 
 
 def parallel_sketch_spmm(
@@ -59,6 +469,8 @@ def parallel_sketch_spmm(
     b_n: int | None = None,
     strategy: str = "static",
     blocked: BlockedCSR | None = None,
+    resilience: ResilienceConfig | None = None,
+    injector: "FaultInjector | None" = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Compute ``Ahat = S @ A`` using *threads* workers over block tasks.
 
@@ -71,83 +483,26 @@ def parallel_sketch_spmm(
         callers that want private instrumentation).
     strategy:
         Task partitioning (see :func:`repro.parallel.partition_tasks`).
+        On the guarded (resilient) path tasks are submitted individually
+        in Algorithm 1 order and *strategy* only affects accounting.
     blocked:
         Pre-built blocked CSR (Algorithm 4); built here (and timed) when
         absent.
+    resilience, injector:
+        Fault handling and fault injection — see
+        :class:`ResilientExecutor`.  Both ``None`` (the default) selects
+        the original zero-overhead path.
 
     Returns
     -------
     (Ahat, stats):
         stats buckets aggregate across workers (sample/compute seconds are
-        summed CPU-seconds, not wall time; ``total_seconds`` is wall time).
+        summed CPU-seconds, not wall time; ``total_seconds`` is wall time);
+        ``stats.health`` reports fault recovery on guarded runs.
     """
-    d = check_positive_int(d, "d")
-    threads = check_positive_int(threads, "threads")
-    if kernel not in ("algo3", "algo4"):
-        raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
-    m, n = A.shape
-    bd_default, bn_default = default_block_sizes(d, n, parallel=threads > 1)
-    b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
-    b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
-
-    conversion_seconds = 0.0
-    if kernel == "algo4" and blocked is None:
-        blocked, conv = csc_to_blocked_csr(A, b_n, threads=threads)
-        conversion_seconds = conv.seconds
-
-    tasks = list(iter_block_tasks(d, n, b_d, b_n))
-    costs = estimate_task_costs(A, tasks) if strategy == "guided" else None
-    buckets = partition_tasks(tasks, threads, strategy, costs)
-
-    Ahat = np.zeros((d, n), dtype=np.float64)
-    rngs = [rng_factory(w) for w in range(threads)]
-    watches = [Stopwatch() for _ in range(threads)]
-
-    # Pre-index Algorithm 4's vertical blocks by column offset for O(1)
-    # lookup inside workers.
-    block_by_offset: dict[int, object] = {}
-    if kernel == "algo4":
-        assert blocked is not None
-        for j0, blk in blocked.iter_blocks():
-            block_by_offset[j0] = blk
-
-    def run_worker(w: int) -> None:
-        rng = rngs[w]
-        watch = watches[w]
-        for (i, d1, j, n1) in buckets[w]:
-            view = Ahat[i:i + d1, j:j + n1]
-            if kernel == "algo3":
-                algo3_block(view, A.col_block(j, j + n1), i, rng, watch=watch)
-            else:
-                blk = block_by_offset.get(j)
-                if blk is None or blk.shape[1] != n1:
-                    raise ConfigError(
-                        "blocked CSR partition does not match b_n task grid"
-                    )
-                algo4_block(view, blk, i, rng, watch=watch)
-
-    with Timer() as total:
-        if threads == 1:
-            run_worker(0)
-        else:
-            with ThreadPoolExecutor(max_workers=threads) as pool:
-                futures = [pool.submit(run_worker, w) for w in range(threads)]
-                for f in futures:
-                    f.result()  # propagate worker exceptions
-        post = rngs[0].post_scale
-        if post != 1.0:
-            Ahat *= post
-
-    stats = KernelStats(
-        kernel=f"{kernel}-parallel",
-        sample_seconds=sum(w.total("sample") for w in watches),
-        compute_seconds=sum(w.total("compute") for w in watches),
-        conversion_seconds=conversion_seconds,
-        total_seconds=total.elapsed,
-        samples_generated=sum(r.samples_generated for r in rngs),
-        flops=spmm_flops(d, A.nnz),
-        blocks_processed=len(tasks),
-        d=d, b_d=b_d, b_n=b_n,
-        extra={"threads": threads, "strategy": strategy},
+    executor = ResilientExecutor(
+        A, d, rng_factory, threads=threads, kernel=kernel, b_d=b_d, b_n=b_n,
+        strategy=strategy, blocked=blocked, resilience=resilience,
+        injector=injector,
     )
-    return Ahat, stats
+    return executor.run()

@@ -1,0 +1,282 @@
+"""Resilience policies and health reporting for the parallel executor.
+
+Distributed SpGEMM systems treat per-task scheduling and failure
+accounting as first-class citizens; this module is the shared-memory
+analogue for the blocked sketching SpMM.  It defines
+
+* :class:`ResilienceConfig` — per-task retry budget, deadlines, and the
+  numerical-guardrail policy (``raise`` / ``recompute`` / ``mask``);
+* :class:`DegradationPolicy` — what to do after repeated failures: fall
+  back algo4→algo3 (the pattern-oblivious kernel) and parallel→serial;
+* :class:`RunHealth` — the structured report of everything that happened
+  (attempts, retries, timeouts, repaired blocks, every degradation
+  decision) that rides on :class:`repro.kernels.KernelStats` and surfaces
+  in the CLI;
+* the block guardrail helpers: finiteness plus a magnitude bound derived
+  from the entry distribution's moments
+  (``|Ahat[i,k]| <= max|S| * ||A[:,k]||_1`` for bounded distributions).
+
+Retries are *safe* for this workload because both generator families key
+their output on ``(seed, block offsets, sparse row)`` — recomputing a
+block from a fresh generator reproduces it bit-identically, so a repaired
+run equals a fault-free run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng.distributions import Distribution
+from ..sparse.csc import CSCMatrix
+
+__all__ = [
+    "DegradationPolicy",
+    "ResilienceConfig",
+    "RunHealth",
+    "TaskFailure",
+    "GUARDRAIL_POLICIES",
+    "column_abs_sums",
+    "entry_abs_bound",
+    "validate_block",
+]
+
+GUARDRAIL_POLICIES = ("raise", "recompute", "mask")
+
+#: Gaussian entries are unbounded; bound them at this many standard
+#: deviations (P(|N(0,1)| > 16) ~ 1e-57 — astronomically safe per entry).
+_GAUSSIAN_SIGMAS = 16.0
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """What the executor may sacrifice to finish a run.
+
+    Fallback ordering (each step recorded in :class:`RunHealth`):
+
+    1. ``kernel_fallback`` — a task that exhausts its retries under
+       Algorithm 4 gets one fresh retry budget under Algorithm 3, the
+       pattern-oblivious kernel (Table VI shows algo4 is the fragile one
+       on adversarial patterns; algo3's strided CSC path has no blocked
+       structure to corrupt).
+    2. ``serial_fallback`` — tasks that still fail inside the thread pool
+       are re-run once in the driver thread after the pool drains
+       (isolates failures caused by parallel execution itself).
+
+    Only after both steps fail does
+    :class:`repro.errors.RetryExhaustedError` reach the caller.
+    """
+
+    kernel_fallback: bool = True
+    serial_fallback: bool = True
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Per-task fault-handling configuration for the resilient executor.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts per task after the first (0 disables retrying).
+        Recomputation is exact — generators are keyed on ``(seed, block
+        offsets)``, never on thread — so a retry reproduces the fault-free
+        block bit-identically.
+    task_timeout:
+        Per-task deadline in seconds (``None`` = no deadline).  Requires
+        ``threads >= 2``: the driver thread detects overdue tasks while
+        workers run.
+    reexecute_stragglers:
+        On deadline expiry, speculatively re-execute the task in the
+        driver thread (first finisher wins; losers are discarded).  When
+        ``False``, a deadline miss raises
+        :class:`repro.errors.TaskTimeoutError` instead.
+    guardrail:
+        Post-block validation policy: ``None`` (off — the seed
+        behaviour), ``"raise"`` (fail fast with
+        :class:`repro.errors.SketchQualityError`), ``"recompute"``
+        (treat the violation as a transient fault and retry), or
+        ``"mask"`` (zero the block, record it, continue — the sketch
+        stays finite but loses those rows' contribution).
+    guardrail_bound_factor:
+        Safety factor on the moment-derived magnitude bound
+        ``factor * max|entry| * max_k ||A[:, k]||_1``.
+    degradation:
+        See :class:`DegradationPolicy`.
+    """
+
+    max_retries: int = 2
+    task_timeout: float | None = None
+    reexecute_stragglers: bool = True
+    guardrail: str | None = None
+    guardrail_bound_factor: float = 4.0
+    degradation: DegradationPolicy = DegradationPolicy()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, (int, np.integer)) or \
+                isinstance(self.max_retries, bool) or self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be a non-negative integer, got "
+                f"{self.max_retries!r}"
+            )
+        if self.task_timeout is not None and not self.task_timeout > 0:
+            raise ConfigError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+        if self.guardrail is not None and self.guardrail not in GUARDRAIL_POLICIES:
+            raise ConfigError(
+                f"guardrail must be None or one of {GUARDRAIL_POLICIES}, "
+                f"got {self.guardrail!r}"
+            )
+        if not self.guardrail_bound_factor >= 1.0:
+            raise ConfigError(
+                f"guardrail_bound_factor must be >= 1, got "
+                f"{self.guardrail_bound_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed attempt at a block task."""
+
+    task: tuple[int, int]     # (row offset i, column offset j)
+    attempt: int
+    kind: str                 # exception class name or guardrail violation
+    message: str
+    context: str              # 'parallel' or 'serial'
+
+
+@dataclass
+class RunHealth:
+    """Structured account of one resilient run.
+
+    ``decisions`` is the human-readable audit trail: every retry, straggler
+    re-execution, guardrail action, and degradation step appends one line,
+    so a surprising sketch can always be explained after the fact.
+    """
+
+    tasks: int = 0
+    completed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failures: list = field(default_factory=list)        # list[TaskFailure]
+    timeouts: int = 0
+    stragglers_reexecuted: int = 0
+    guardrail_violations: int = 0
+    corrupted_blocks_repaired: int = 0
+    masked_blocks: int = 0
+    kernel_fallbacks: int = 0
+    degraded_to_serial: bool = False
+    decisions: list = field(default_factory=list)       # list[str]
+
+    @property
+    def ok(self) -> bool:
+        """Did every task commit a block (possibly after recovery)?"""
+        return self.completed == self.tasks
+
+    @property
+    def clean(self) -> bool:
+        """Did the run complete with no faults, retries, or degradation?"""
+        return (self.ok and self.attempts == self.tasks
+                and not self.failures and self.guardrail_violations == 0
+                and self.timeouts == 0)
+
+    def record(self, decision: str) -> None:
+        """Append one line to the audit trail."""
+        self.decisions.append(decision)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (CLI ``--json`` / logging)."""
+        return {
+            "ok": self.ok,
+            "clean": self.clean,
+            "tasks": self.tasks,
+            "completed": self.completed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failures": [
+                {"task": list(f.task), "attempt": f.attempt, "kind": f.kind,
+                 "message": f.message, "context": f.context}
+                for f in self.failures
+            ],
+            "timeouts": self.timeouts,
+            "stragglers_reexecuted": self.stragglers_reexecuted,
+            "guardrail_violations": self.guardrail_violations,
+            "corrupted_blocks_repaired": self.corrupted_blocks_repaired,
+            "masked_blocks": self.masked_blocks,
+            "kernel_fallbacks": self.kernel_fallbacks,
+            "degraded_to_serial": self.degraded_to_serial,
+            "decisions": list(self.decisions),
+        }
+
+    def summary(self) -> str:
+        """One-line digest for plain-text CLI output."""
+        parts = [f"tasks={self.completed}/{self.tasks}",
+                 f"attempts={self.attempts}", f"retries={self.retries}"]
+        if self.timeouts:
+            parts.append(f"stragglers={self.stragglers_reexecuted}/{self.timeouts}")
+        if self.guardrail_violations:
+            parts.append(f"guardrail={self.guardrail_violations}"
+                         f"(repaired={self.corrupted_blocks_repaired},"
+                         f"masked={self.masked_blocks})")
+        if self.kernel_fallbacks:
+            parts.append(f"kernel_fallbacks={self.kernel_fallbacks}")
+        if self.degraded_to_serial:
+            parts.append("degraded=serial")
+        parts.append("clean" if self.clean else "recovered" if self.ok else "FAILED")
+        return " ".join(parts)
+
+
+# -- numerical guardrails --------------------------------------------------
+
+
+def column_abs_sums(A: CSCMatrix) -> np.ndarray:
+    """Per-column ``||A[:, k]||_1`` — the data half of the magnitude bound.
+
+    One O(nnz) pass, computed once per guarded run and shared by every
+    task's validation.
+    """
+    out = np.zeros(A.shape[1], dtype=np.float64)
+    if A.nnz:
+        counts = A.col_nnz()
+        nonempty = counts > 0
+        starts = A.indptr[:-1][nonempty]
+        out[nonempty] = np.add.reduceat(np.abs(A.data), starts)
+    return out
+
+
+def entry_abs_bound(dist: Distribution) -> float:
+    """Largest |entry| the distribution can emit (pre ``post_scale``).
+
+    Uniform variants and Rademacher are hard-bounded by construction;
+    Gaussian entries are cut off at ``16 sigma`` (violation probability
+    ~1e-57 per entry — any finite sample exceeding it is corruption, not
+    luck).
+    """
+    if dist.name == "uniform":
+        return 1.0
+    if dist.name == "uniform_scaled":
+        return 2.0 ** 31
+    if dist.name == "rademacher":
+        return 1.0
+    # Generic / Gaussian: moment-based cutoff (variance is post-post_scale,
+    # so undo the scale to bound the raw kernel accumulation).
+    sigma = float(np.sqrt(dist.variance)) / dist.post_scale
+    return _GAUSSIAN_SIGMAS * sigma
+
+
+def validate_block(block: np.ndarray, bound: float | None) -> str | None:
+    """Check one computed ``Ahat`` block; return a violation label or ``None``.
+
+    ``bound`` is the precomputed magnitude ceiling for this block
+    (``None`` skips the magnitude check).  The finiteness check runs
+    first: NaN/Inf also fail any comparison, but deserve the more precise
+    label.
+    """
+    if not np.isfinite(block).all():
+        return "non-finite"
+    if bound is not None and block.size and float(np.abs(block).max()) > bound:
+        return "magnitude"
+    return None

@@ -1,0 +1,122 @@
+"""Tests for repro.faults.injector — the stateful fault runtime."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CorruptingRNG,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+)
+from repro.rng import PhiloxSketchRNG
+
+
+class TestHooks:
+    def test_raise_fault_fires_once(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="raise", task=(0, 0))]))
+        with pytest.raises(InjectedFaultError):
+            inj.on_task_start((0, 0), "algo3", "parallel", 1)
+        # max_hits=1 consumed: the retry sails through.
+        inj.on_task_start((0, 0), "algo3", "parallel", 2)
+        assert inj.fault_count == 1
+
+    def test_unlimited_budget(self):
+        inj = FaultInjector(FaultPlan(
+            [FaultSpec(kind="raise", task=(0, 0), max_hits=None)]))
+        for attempt in (1, 2, 3):
+            with pytest.raises(InjectedFaultError):
+                inj.on_task_start((0, 0), "algo3", "parallel", attempt)
+        assert inj.fault_count == 3
+
+    def test_nan_poisons_block_in_place(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="nan", task=(0, 0))]))
+        block = np.ones((4, 5))
+        inj.on_block_computed((0, 0), "algo3", "parallel", 1, block)
+        assert np.isnan(block).sum() == 1
+
+    def test_inf_poisons_block_in_place(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="inf", task=(0, 0))]))
+        block = np.ones((4, 5))
+        inj.on_block_computed((0, 0), "algo3", "parallel", 1, block)
+        assert np.isinf(block).sum() == 1
+
+    def test_untargeted_task_untouched(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="nan", task=(0, 0))]))
+        block = np.ones((4, 5))
+        inj.on_block_computed((12, 0), "algo3", "parallel", 1, block)
+        assert np.isfinite(block).all()
+        assert inj.fault_count == 0
+
+    def test_rng_fault_wraps_generator(self):
+        inj = FaultInjector(FaultPlan(
+            [FaultSpec(kind="rng", task=(0, 0), magnitude=1e6)]))
+        rng = PhiloxSketchRNG(3)
+        wrapped = inj.rng_for((0, 0), "algo3", "parallel", 1, rng)
+        assert isinstance(wrapped, CorruptingRNG)
+        # Budget consumed: next attempt gets the clean generator back.
+        assert inj.rng_for((0, 0), "algo3", "parallel", 2, rng) is rng
+
+    def test_event_log_contents(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="raise", task=(12, 10))]))
+        with pytest.raises(InjectedFaultError):
+            inj.on_task_start((12, 10), "algo4", "serial", 3)
+        (event,) = inj.events
+        assert event.kind == "raise"
+        assert event.task == (12, 10)
+        assert event.attempt == 3
+        assert event.context == "serial"
+        assert event.kernel == "algo4"
+
+    def test_events_by_kind_and_reset(self):
+        inj = FaultInjector(FaultPlan([
+            FaultSpec(kind="nan", task=(0, 0)),
+            FaultSpec(kind="nan", task=(12, 0)),
+            FaultSpec(kind="inf", task=(0, 10)),
+        ]))
+        for task in [(0, 0), (12, 0), (0, 10)]:
+            inj.on_block_computed(task, "algo3", "parallel", 1,
+                                  np.ones((2, 2)))
+        assert inj.events_by_kind() == {"nan": 2, "inf": 1}
+        inj.reset()
+        assert inj.fault_count == 0
+        # Hit budgets forgotten too: the plan fires again after reset.
+        inj.on_block_computed((0, 0), "algo3", "parallel", 1, np.ones((2, 2)))
+        assert inj.fault_count == 1
+
+
+class TestCorruptingRNG:
+    def test_scales_samples(self):
+        rng = PhiloxSketchRNG(3)
+        bad = CorruptingRNG(PhiloxSketchRNG(3), 1e6)
+        js = np.arange(5, dtype=np.int64)
+        clean = rng.column_block_batch(0, 4, js)
+        np.testing.assert_allclose(
+            bad.column_block_batch(0, 4, js), clean * 1e6)
+
+    def test_delegates_everything_else(self):
+        inner = PhiloxSketchRNG(3)
+        bad = CorruptingRNG(inner, 10.0)
+        assert bad.post_scale == inner.post_scale
+        assert bad.dist is inner.dist
+
+
+class TestDeterminism:
+    def test_same_plan_same_events(self):
+        plan = FaultPlan.random(seed=9, rate=0.4)
+        grid = [(i, j) for i in range(0, 60, 12) for j in range(0, 30, 10)]
+
+        def run(order):
+            inj = FaultInjector(plan)
+            for task in order:
+                try:
+                    inj.on_task_start(task, "algo3", "parallel", 1)
+                except InjectedFaultError:
+                    pass
+                inj.on_block_computed(task, "algo3", "parallel", 1,
+                                      np.ones((2, 2)))
+            return sorted((e.kind, e.task) for e in inj.events)
+
+        # Scheduling (visit order) must not change which faults fire.
+        assert run(grid) == run(list(reversed(grid)))

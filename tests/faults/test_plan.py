@@ -1,0 +1,125 @@
+"""Tests for repro.faults.plan — deterministic fault planning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec, task_hash
+
+
+class TestTaskHash:
+    def test_deterministic(self):
+        assert task_hash(7, 12, 30) == task_hash(7, 12, 30)
+
+    def test_sensitive_to_every_coordinate(self):
+        base = task_hash(7, 12, 30)
+        assert task_hash(8, 12, 30) != base
+        assert task_hash(7, 13, 30) != base
+        assert task_hash(7, 12, 31) != base
+        assert task_hash(7, 12, 30, salt=1) != base
+
+    def test_64_bit_range(self):
+        for seed in range(5):
+            h = task_hash(seed, 0, 0)
+            assert 0 <= h < (1 << 64)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="segfault")
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="raise", scope="gpu")
+
+    def test_bad_max_hits_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="raise", max_hits=0)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="stall", sleep_seconds=-1.0)
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind)
+
+
+class TestFaultSpecMatching:
+    def test_task_filter(self):
+        spec = FaultSpec(kind="raise", task=(12, 30))
+        assert spec.matches((12, 30), "algo3", "parallel")
+        assert not spec.matches((0, 30), "algo3", "parallel")
+
+    def test_wildcard_task(self):
+        spec = FaultSpec(kind="nan")
+        assert spec.matches((0, 0), "algo3", "serial")
+        assert spec.matches((99, 7), "algo4", "parallel")
+
+    def test_kernel_filter(self):
+        spec = FaultSpec(kind="raise", kernel="algo4")
+        assert spec.matches((0, 0), "algo4", "parallel")
+        assert not spec.matches((0, 0), "algo3", "parallel")
+
+    def test_scope_filter(self):
+        par = FaultSpec(kind="raise", scope="parallel")
+        ser = FaultSpec(kind="raise", scope="serial")
+        assert par.matches((0, 0), "algo3", "parallel")
+        assert not par.matches((0, 0), "algo3", "serial")
+        assert ser.matches((0, 0), "algo3", "serial")
+        assert not ser.matches((0, 0), "algo3", "parallel")
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert list(plan.faults_for((0, 0), "algo3", "parallel")) == []
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(rate=1.5)
+
+    def test_bad_random_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(rate=0.1, kinds=("raise", "meteor"))
+
+    def test_explicit_specs_keyed_by_index(self):
+        specs = [FaultSpec(kind="raise", task=(0, 0)),
+                 FaultSpec(kind="nan", task=(0, 0))]
+        plan = FaultPlan(specs)
+        hits = list(plan.faults_for((0, 0), "algo3", "parallel"))
+        assert [sid for sid, _ in hits] == [0, 1]
+        assert [s.kind for _, s in hits] == ["raise", "nan"]
+
+    def test_random_plan_deterministic(self):
+        grid = [(i, j) for i in range(0, 60, 12) for j in range(0, 30, 10)]
+        plan_a = FaultPlan.random(seed=5, rate=0.5)
+        plan_b = FaultPlan.random(seed=5, rate=0.5)
+        fired_a = [(t, [s.kind for _, s in plan_a.faults_for(t, "algo3", "parallel")])
+                   for t in grid]
+        fired_b = [(t, [s.kind for _, s in plan_b.faults_for(t, "algo3", "parallel")])
+                   for t in grid]
+        assert fired_a == fired_b
+
+    def test_random_plan_seed_sensitivity(self):
+        grid = [(i, j) for i in range(0, 600, 12) for j in range(0, 300, 10)]
+
+        def fired(seed):
+            plan = FaultPlan.random(seed=seed, rate=0.3)
+            return {t for t in grid
+                    if list(plan.faults_for(t, "algo3", "parallel"))}
+
+        assert fired(1) != fired(2)
+
+    def test_random_rate_roughly_honoured(self):
+        grid = [(i, j) for i in range(0, 1200, 12) for j in range(0, 300, 10)]
+        plan = FaultPlan.random(seed=11, rate=0.25)
+        hit = sum(bool(list(plan.faults_for(t, "algo3", "parallel")))
+                  for t in grid)
+        frac = hit / len(grid)
+        assert 0.15 < frac < 0.35
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan.random(seed=3, rate=0.0)
+        assert plan.is_empty

@@ -1,0 +1,112 @@
+"""End-of-run quality checks: distortion spot-check and SAP fallback."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import SketchConfig, sketch
+from repro.errors import ConfigError, SingularMatrixError, SketchQualityError
+from repro.sparse import CSCMatrix, random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(300, 20, 0.1, seed=17)
+
+
+class TestDistortionSpotCheck:
+    def test_healthy_sketch_passes(self, A):
+        result = sketch(A, gamma=4.0, quality_check=True)
+        assert result.stats.extra["resketches"] == 0
+        delta = result.stats.extra["distortion"]
+        assert 0.0 < delta <= result.stats.extra["distortion_threshold"]
+
+    def test_no_check_records_nothing(self, A):
+        result = sketch(A, gamma=4.0)
+        assert "distortion" not in result.stats.extra
+
+    def test_impossible_threshold_raises(self, A):
+        with pytest.raises(SketchQualityError):
+            sketch(A, gamma=2.0, quality_check=True, quality_threshold=1e-9,
+                   max_resketch=0)
+
+    def test_resketch_grows_d_before_raising(self, A):
+        # Force failure every round: the error message reports the final
+        # (grown) d, proving re-sketching actually escalated.
+        with pytest.raises(SketchQualityError, match=r"last d=90"):
+            sketch(A, d=40, quality_check=True, quality_threshold=1e-9,
+                   max_resketch=2)   # 40 -> 60 -> 90
+
+    def test_resketch_repairs_marginal_sketch(self, A):
+        # A threshold between gamma=2.05's typical distortion and
+        # gamma=3's: round 0 fails, the 1.5x re-sketch passes.
+        loose = sketch(A, gamma=2.05, quality_check=True).stats.extra
+        tight_threshold = loose["distortion"] - 1e-9
+        result = sketch(A, gamma=2.05, quality_check=True,
+                        quality_threshold=tight_threshold, max_resketch=3)
+        assert result.stats.extra["resketches"] >= 1
+        assert result.stats.extra["distortion"] <= tight_threshold
+        assert result.sketch.shape[0] > int(np.ceil(2.05 * A.shape[1]))
+
+    def test_negative_max_resketch_rejected(self, A):
+        with pytest.raises(ConfigError):
+            sketch(A, gamma=2.0, quality_check=True, max_resketch=-1)
+
+
+def _rank_deficient_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((80, 6))
+    dense[:, 3] = dense[:, 2]            # exact duplicate column
+    dense[np.abs(dense) < 1.0] = 0.0
+    A = CSCMatrix.from_dense(dense)
+    b = rng.standard_normal(80)
+    return A, b
+
+
+class TestSapDivergenceFallback:
+    def test_rank_deficiency_falls_back_to_direct_qr(self):
+        A, b = _rank_deficient_problem()
+        sol = repro.solve_sap(A, b, gamma=2.0)
+        assert sol.method.endswith("(sap-fallback)")
+        assert "fallback" in sol.details
+        assert np.all(np.isfinite(sol.x))
+        # The fallback really solved the problem: its residual is (near-)
+        # optimal even though A is exactly rank-deficient.
+        dense = A.to_dense()
+        best = np.linalg.lstsq(dense, b, rcond=None)[0]
+        best_res = np.linalg.norm(dense @ best - b)
+        got_res = np.linalg.norm(dense @ sol.x - b)
+        assert got_res <= 1.05 * best_res
+
+    def test_strict_mode_propagates_singularity(self):
+        A, b = _rank_deficient_problem()
+        with pytest.raises(SingularMatrixError):
+            repro.solve_sap(A, b, gamma=2.0, divergence_fallback=False)
+
+    def test_healthy_problem_untouched(self):
+        A = random_sparse(300, 20, 0.1, seed=17)
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(300)
+        sol = repro.solve_sap(A, b, gamma=2.0)
+        assert sol.method == "sap-qr"
+        assert "fallback" not in sol.details
+
+    def test_fallback_accounts_wasted_sketch_time(self):
+        A, b = _rank_deficient_problem()
+        sol = repro.solve_sap(A, b, gamma=2.0)
+        assert sol.sketch_seconds > 0.0
+        assert sol.seconds >= sol.sketch_seconds
+
+
+class TestResilientSketchIntegration:
+    def test_resilience_config_preserves_sketch(self, A):
+        from repro.parallel import ResilienceConfig
+
+        plain = sketch(A, gamma=2.0, config=SketchConfig(gamma=2.0))
+        guarded = sketch(A, gamma=2.0, config=SketchConfig(
+            gamma=2.0,
+            resilience=ResilienceConfig(max_retries=1,
+                                        guardrail="recompute")))
+        np.testing.assert_array_equal(plain.sketch, guarded.sketch)
+        assert plain.stats.health is None
+        assert guarded.stats.health.clean

@@ -1,0 +1,200 @@
+"""Input validation and error-hierarchy tests for the robustness layer."""
+
+import math
+
+import pytest
+
+from repro.core import SketchConfig
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    RetryExhaustedError,
+    SketchQualityError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
+from repro.faults import InjectedFaultError
+from repro.kernels import choose_kernel
+from repro.model import LAPTOP, MachineModel
+from repro.parallel import ResilienceConfig
+from repro.parallel.resilience import (
+    column_abs_sums,
+    entry_abs_bound,
+    validate_block,
+)
+from repro.rng.distributions import get_distribution
+from repro.sparse import CSCMatrix, random_sparse
+
+import numpy as np
+
+
+class TestErrorHierarchy:
+    def test_task_errors_under_repro_error(self):
+        assert issubclass(TaskFailedError, ReproError)
+        assert issubclass(TaskTimeoutError, TaskFailedError)
+        assert issubclass(RetryExhaustedError, TaskFailedError)
+        assert issubclass(SketchQualityError, ReproError)
+
+    def test_injected_fault_outside_hierarchy(self):
+        # Injected faults simulate third-party crashes: the executor must
+        # survive them *without* them being library errors.
+        assert not issubclass(InjectedFaultError, ReproError)
+        assert issubclass(InjectedFaultError, RuntimeError)
+
+
+class TestChooseKernelValidation:
+    def test_empty_rows_rejected(self):
+        A = CSCMatrix((0, 5), np.zeros(6, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(ConfigError):
+            choose_kernel(LAPTOP, A)
+
+    def test_empty_columns_rejected(self):
+        A = CSCMatrix((5, 0), np.zeros(1, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(ConfigError):
+            choose_kernel(LAPTOP, A)
+
+    def test_all_zero_matrix_rejected(self):
+        A = CSCMatrix((5, 4), np.zeros(5, dtype=np.int64),
+                      np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(ConfigError):
+            choose_kernel(LAPTOP, A)
+
+    @pytest.mark.parametrize("attr", ["h_base", "random_access_penalty",
+                                      "peak_gflops", "bandwidth_gbs"])
+    @pytest.mark.parametrize("bad", [math.nan, math.inf])
+    def test_non_finite_machine_parameters_rejected(self, attr, bad):
+        params = {
+            "name": "broken",
+            "peak_gflops": LAPTOP.peak_gflops,
+            "bandwidth_gbs": LAPTOP.bandwidth_gbs,
+            "cache_bytes": LAPTOP.cache_bytes,
+            "h_base": LAPTOP.h_base,
+            "random_access_penalty": LAPTOP.random_access_penalty,
+            "cores": LAPTOP.cores,
+            "bandwidth_saturation_threads":
+                LAPTOP.bandwidth_saturation_threads,
+        }
+        params[attr] = bad
+        machine = MachineModel(**params)
+        A = random_sparse(50, 10, 0.2, seed=1)
+        with pytest.raises(ConfigError):
+            choose_kernel(machine, A)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan])
+    def test_bad_concentration_threshold_rejected(self, bad):
+        A = random_sparse(50, 10, 0.2, seed=1)
+        with pytest.raises(ConfigError):
+            choose_kernel(LAPTOP, A, concentration_threshold=bad)
+
+    def test_valid_input_still_dispatches(self):
+        A = random_sparse(50, 10, 0.2, seed=1)
+        choice = choose_kernel(LAPTOP, A)
+        assert choice.kernel in ("algo3", "algo4")
+
+
+class TestResilienceConfigValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(max_retries=-1)
+
+    def test_non_integer_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(max_retries=1.5)
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(task_timeout=0.0)
+
+    def test_unknown_guardrail_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(guardrail="pray")
+
+    def test_small_bound_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(guardrail_bound_factor=0.5)
+
+    def test_sketch_config_type_checks_resilience(self):
+        with pytest.raises(ConfigError):
+            SketchConfig(resilience="retry please")
+
+    def test_defaults_valid(self):
+        cfg = ResilienceConfig()
+        assert cfg.max_retries == 2
+        assert cfg.guardrail is None
+
+
+class TestGuardrailHelpers:
+    def test_column_abs_sums(self):
+        dense = np.array([[1.0, -2.0, 0.0],
+                          [0.0, 3.0, 0.0],
+                          [-4.0, 0.0, 0.0]])
+        A = CSCMatrix.from_dense(dense)
+        np.testing.assert_allclose(column_abs_sums(A), [5.0, 5.0, 0.0])
+
+    def test_entry_abs_bound_bounded_distributions(self):
+        assert entry_abs_bound(get_distribution("uniform")) == 1.0
+        assert entry_abs_bound(get_distribution("rademacher")) == 1.0
+        assert entry_abs_bound(get_distribution("uniform_scaled")) == 2.0 ** 31
+
+    def test_entry_abs_bound_gaussian_cutoff(self):
+        dist = get_distribution("gaussian")
+        bound = entry_abs_bound(dist)
+        sigma = np.sqrt(dist.variance) / dist.post_scale
+        np.testing.assert_allclose(bound, 16.0 * sigma)
+
+    def test_validate_block_labels(self):
+        clean = np.ones((3, 3))
+        assert validate_block(clean, bound=10.0) is None
+        assert validate_block(clean, bound=None) is None
+        nanful = clean.copy()
+        nanful[1, 1] = np.nan
+        assert validate_block(nanful, bound=10.0) == "non-finite"
+        big = clean * 100.0
+        assert validate_block(big, bound=10.0) == "magnitude"
+        # Non-finite outranks magnitude in the label.
+        nanful[0, 0] = 1e9
+        assert validate_block(nanful, bound=10.0) == "non-finite"
+
+
+class TestCLIFlags:
+    def test_defaults_build_no_resilience(self):
+        from repro.cli import _resilience_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["sketch", "--random", "50", "10", "0.2"])
+        assert _resilience_from_args(args) is None
+
+    def test_flags_build_config(self):
+        from repro.cli import _resilience_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["sketch", "--random", "50", "10", "0.2", "--max-retries", "5",
+             "--task-timeout", "1.5", "--guardrail", "mask"])
+        cfg = _resilience_from_args(args)
+        assert cfg.max_retries == 5
+        assert cfg.task_timeout == 1.5
+        assert cfg.guardrail == "mask"
+
+    def test_guardrail_alone_enables_resilience(self):
+        from repro.cli import _resilience_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["sketch", "--random", "50", "10", "0.2",
+             "--guardrail", "recompute"])
+        cfg = _resilience_from_args(args)
+        assert cfg.guardrail == "recompute"
+        assert cfg.max_retries == 2   # documented default when enabled
+
+    def test_cli_surfaces_health(self, capsys):
+        from repro.cli import main
+
+        rc = main(["--json", "sketch", "--random", "60", "12", "0.1",
+                   "--gamma", "2.0", "--max-retries", "1"])
+        assert rc == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"]["ok"] is True
+        assert payload["health"]["clean"] is True

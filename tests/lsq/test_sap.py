@@ -57,10 +57,21 @@ class TestSapQr:
         )
 
     def test_qr_fails_on_rank_deficient(self):
+        # Strict mode: the QR path cannot handle rank deficiency.  (The
+        # default divergence_fallback=True instead degrades to direct QR;
+        # see tests/faults/test_quality.py.)
         A = near_rank_deficient(300, 15, 0.2, seed=3, perturb=0.0)
         b = np.random.default_rng(3).standard_normal(300)
         with pytest.raises(SingularMatrixError):
-            solve_sap(A, b, gamma=2.0, method="qr")
+            solve_sap(A, b, gamma=2.0, method="qr",
+                      divergence_fallback=False)
+
+    def test_qr_rank_deficient_falls_back_by_default(self):
+        A = near_rank_deficient(300, 15, 0.2, seed=3, perturb=0.0)
+        b = np.random.default_rng(3).standard_normal(300)
+        sol = solve_sap(A, b, gamma=2.0, method="qr")
+        assert sol.method == "direct-qr(sap-fallback)"
+        assert "fallback" in sol.details
 
     def test_gamma_too_large_for_m(self):
         A = random_sparse(30, 20, 0.3, seed=4)
