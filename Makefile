@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults bench bench-small docs examples all clean
+.PHONY: install test faults bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,12 @@ bench:
 bench-small:
 	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
 	python benchmarks/summarize_reports.py
+
+# Backend perf-regression gate: re-measure the backend matrix and fail if
+# any cell dropped more than REPRO_BENCH_GATE_TOL (default 25%) below the
+# committed benchmarks/reports/BENCH_backend.json.
+bench-gate:
+	python benchmarks/bench_backend_matrix.py
 
 docs:
 	python docs/generate_api.py

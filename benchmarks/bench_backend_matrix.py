@@ -1,0 +1,204 @@
+"""Backend performance matrix and regression gate.
+
+Measures every *available* kernel backend (numpy always; numba when
+importable) across the kernel x distribution grid and records median
+effective bandwidth (GB/s) and generation throughput (samples/s) per
+cell.  Two consumers:
+
+* ``pytest benchmarks/ --benchmark-only`` — prints the matrix next to the
+  other paper tables and refreshes ``reports/BENCH_backend.json``;
+* ``make bench-gate`` (``python benchmarks/bench_backend_matrix.py``) —
+  re-measures, compares each cell against the committed
+  ``BENCH_backend.json``, and exits non-zero if any cell regressed by
+  more than the tolerance (``REPRO_BENCH_GATE_TOL``, default 0.25, or
+  ``--tolerance``).  On a pass the baseline is refreshed so drift is
+  tracked incrementally.
+
+"Effective bytes" follows the paper's traffic accounting for the
+on-the-fly kernels: the sparse operand (values + indices) plus the
+output, plus one word per generated sample that never touches memory —
+``8 * (d*nnz + nnz + d*n)`` — so backends are compared on identical
+work, not on how much scratch they happen to stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+from _harness import REPEATS, emit_report, shape_check
+
+from repro.kernels import KernelWorkspace, available_backends, get_backend
+from repro.kernels.blocking import sketch_spmm
+from repro.rng import make_rng
+from repro.sparse import random_sparse
+
+GATE_PATH = Path(__file__).parent / "reports" / "BENCH_backend.json"
+DEFAULT_TOLERANCE = float(os.environ.get("REPRO_BENCH_GATE_TOL", "0.25"))
+
+KERNELS = ("algo3", "algo4")
+DISTS = ("uniform", "rademacher", "gaussian")
+RNG_KIND = "xoshiro"          # fastest family; both backends support it
+GAMMA = 3
+
+# Table-II-style synthetic problem (m, n, density); override for quick
+# local smoke runs, e.g. REPRO_BENCH_GATE_DIMS="4096,64,0.01".
+_DIMS = os.environ.get("REPRO_BENCH_GATE_DIMS", "262144,256,1e-3").split(",")
+GATE_M, GATE_N, GATE_DENSITY = int(_DIMS[0]), int(_DIMS[1]), float(_DIMS[2])
+
+
+def _effective_bytes(d: int, n: int, nnz: int) -> float:
+    """Comparable work volume per sketch (see module docstring)."""
+    return 8.0 * (float(d) * nnz + nnz + float(d) * n)
+
+
+def measure_backend_matrix(repeats: int = REPEATS) -> dict:
+    """Run the full backend x kernel x distribution grid once.
+
+    Returns a JSON-ready dict: ``entries["kernel/backend/dist"]`` holds
+    median seconds, GB/s, and samples/s.  JIT compilation is forced
+    before any timed run (``warmup``), so numba cells measure
+    steady-state throughput — the quantity the gate must keep stable.
+    """
+    A = random_sparse(GATE_M, GATE_N, GATE_DENSITY, seed=0)
+    m, n = A.shape
+    d = GAMMA * n
+    work_bytes = _effective_bytes(d, n, A.nnz)
+    entries: dict[str, dict] = {}
+    for backend in available_backends():
+        be = get_backend(backend)
+        workspace = KernelWorkspace()
+        for dist in DISTS:
+            be.warmup(make_rng(RNG_KIND, 0, dist), np.float64)
+            for kernel in KERNELS:
+                times = []
+                samples = 0
+                for _ in range(max(1, repeats)):
+                    rng = make_rng(RNG_KIND, 0, dist)
+                    t0 = time.perf_counter()
+                    _, stats = sketch_spmm(A, d, rng, kernel=kernel,
+                                           backend=be, workspace=workspace)
+                    times.append(time.perf_counter() - t0)
+                    samples = stats.samples_generated
+                secs = statistics.median(times)
+                entries[f"{kernel}/{backend}/{dist}"] = {
+                    "kernel": kernel,
+                    "backend": backend,
+                    "distribution": dist,
+                    "seconds": secs,
+                    "gbs": work_bytes / secs / 1e9,
+                    "samples_per_second": samples / secs,
+                }
+    return {
+        "matrix": f"synthetic({GATE_M}x{GATE_N}, rho={GATE_DENSITY})",
+        "shape": [m, n],
+        "nnz": A.nnz,
+        "d": d,
+        "rng": RNG_KIND,
+        "repeats": max(1, repeats),
+        "backends": list(available_backends()),
+        "entries": entries,
+    }
+
+
+def compare_to_baseline(baseline: dict, current: dict,
+                        tolerance: float) -> list[str]:
+    """Per-cell regression check; returns human-readable failure lines.
+
+    Only cells present in both runs are compared (a baseline recorded
+    with numba can't gate a numba-less host, and vice versa).
+    """
+    failures = []
+    base_entries = baseline.get("entries", {})
+    for key, cur in current["entries"].items():
+        base = base_entries.get(key)
+        if base is None:
+            continue
+        floor = base["gbs"] * (1.0 - tolerance)
+        if cur["gbs"] < floor:
+            failures.append(
+                f"{key}: {cur['gbs']:.3f} GB/s < floor {floor:.3f} "
+                f"(baseline {base['gbs']:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def _write_baseline(payload: dict) -> None:
+    GATE_PATH.parent.mkdir(exist_ok=True)
+    GATE_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def _report_rows(payload: dict) -> list[list]:
+    return [[e["kernel"], e["backend"], e["distribution"],
+             round(e["seconds"], 5), round(e["gbs"], 3),
+             f"{e['samples_per_second']:.3g}"]
+            for e in payload["entries"].values()]
+
+
+def test_backend_matrix_report(benchmark):
+    payload = benchmark.pedantic(measure_backend_matrix, rounds=1,
+                                 iterations=1)
+    entries = payload["entries"]
+    notes = []
+    if "numba" in payload["backends"]:
+        for kernel in KERNELS:
+            nb = entries[f"{kernel}/numba/uniform"]["gbs"]
+            npy = entries[f"{kernel}/numpy/uniform"]["gbs"]
+            notes.append(shape_check(
+                nb > npy,
+                f"{kernel}: fused numba loop beats numpy "
+                f"({nb / npy:.1f}x, uniform)",
+            ))
+    else:
+        notes.append("numba not importable on this host: numpy cells only")
+    emit_report(
+        "backend_matrix",
+        "Kernel backend matrix (median effective GB/s, samples/s)",
+        ["kernel", "backend", "dist", "seconds", "GB/s", "samples/s"],
+        _report_rows(payload),
+        notes="\n".join(notes),
+    )
+    _write_baseline(payload)
+    assert all(e["gbs"] > 0 for e in entries.values())
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Backend perf-regression gate (compare against the "
+                    "committed BENCH_backend.json)")
+    parser.add_argument("--baseline", default=str(GATE_PATH),
+                        help="baseline JSON to gate against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional GB/s drop per cell "
+                             "(default from REPRO_BENCH_GATE_TOL or 0.25)")
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--force-update", action="store_true",
+                        help="refresh the baseline even on regression")
+    args = parser.parse_args()
+
+    current = measure_backend_matrix(args.repeats)
+    for row in _report_rows(current):
+        print("  ".join(str(c) for c in row))
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        failures = compare_to_baseline(baseline, current, args.tolerance)
+        if failures:
+            print("\nbench-gate: PERFORMANCE REGRESSION", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            if not args.force_update:
+                sys.exit(1)
+        else:
+            print(f"\nbench-gate: OK ({len(current['entries'])} cells, "
+                  f"tolerance {args.tolerance:.0%})")
+    else:
+        print(f"\nbench-gate: no baseline at {baseline_path}; recording one")
+    _write_baseline(current)

@@ -59,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     sk.add_argument("--gamma", type=float, default=3.0)
     sk.add_argument("--kernel", default="auto",
                     choices=["auto", "algo3", "algo4", "pregen"])
+    sk.add_argument("--backend", default="auto",
+                    choices=["auto", "numpy", "numba"],
+                    help="kernel backend (auto = numba when importable, "
+                         "else numpy; REPRO_BACKEND overrides auto)")
     sk.add_argument("--rng", default="xoshiro",
                     choices=["xoshiro", "philox", "threefry", "junk"])
     sk.add_argument("--dist", default="uniform")
@@ -158,7 +162,7 @@ def _cmd_sketch(args) -> dict:
     A = _load_matrix(args)
     cfg = SketchConfig(gamma=args.gamma, distribution=args.dist,
                        rng_kind=args.rng, kernel=args.kernel, seed=args.seed,
-                       threads=args.threads,
+                       backend=args.backend, threads=args.threads,
                        resilience=_resilience_from_args(args))
     result = sketch(A, config=cfg)
     if args.output:
@@ -169,10 +173,12 @@ def _cmd_sketch(args) -> dict:
         "input_nnz": A.nnz,
         "sketch_shape": list(result.sketch.shape),
         "kernel": result.kernel_used,
+        "backend": st.extra.get("backend", "numpy"),
         "total_seconds": st.total_seconds,
         "sample_seconds": st.sample_seconds,
         "samples_generated": st.samples_generated,
         "gflops": st.gflops_rate,
+        "jit_compile_seconds": st.extra.get("jit_compile_seconds", 0.0),
         "output": args.output,
     }
     if st.health is not None:

@@ -43,6 +43,13 @@ class SketchConfig:
     kernel:
         ``"auto"`` dispatches via :func:`repro.kernels.choose_kernel` on
         the configured machine model; otherwise forces a kernel.
+    backend:
+        Kernel backend: ``"auto"`` (environment default — ``numba`` when
+        importable, else ``numpy``, overridable via the
+        ``REPRO_BACKEND`` environment variable) or an explicit registered
+        backend name (``"numpy"``, ``"numba"``).  An explicitly named
+        backend that is unavailable on this host falls back to ``numpy``
+        with a single informational log line.
     b_d, b_n:
         Blocking overrides; ``None`` uses heuristics/model recommendations.
     seed:
@@ -66,6 +73,7 @@ class SketchConfig:
     distribution: str = "uniform"
     rng_kind: str = "xoshiro"
     kernel: str = "auto"
+    backend: str = "auto"
     b_d: int | None = None
     b_n: int | None = None
     seed: int = 0
@@ -82,6 +90,10 @@ class SketchConfig:
         get_distribution(self.distribution)  # validates the name
         check_choice(self.rng_kind, "rng_kind", _RNG_KINDS)
         check_choice(self.kernel, "kernel", _KERNELS)
+        from ..kernels.backends import registered_backends  # local: late reg.
+
+        check_choice(self.backend, "backend",
+                     ("auto", *registered_backends()))
         if self.b_d is not None:
             check_positive_int(self.b_d, "b_d")
         if self.b_n is not None:

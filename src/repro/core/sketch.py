@@ -14,6 +14,7 @@ or — for testing and small problems — materialized.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,7 +85,8 @@ class SketchOperator:
     def _resolve_kernel(self, A: CSCMatrix) -> str:
         if self.config.kernel != "auto":
             return self.config.kernel
-        return choose_kernel(self.machine, A).kernel
+        return choose_kernel(self.machine, A,
+                             backend=self.config.backend).kernel
 
     def _blocking(self, n: int) -> tuple[int, int]:
         b_d, b_n = default_block_sizes(
@@ -116,10 +118,12 @@ class SketchOperator:
                 A, self.d, lambda w: self.config.build_rng(w),
                 threads=self.config.threads, kernel=kernel, b_d=b_d, b_n=b_n,
                 resilience=self.config.resilience,
+                backend=self.config.backend,
             )
         else:
             Ahat, stats = sketch_spmm(
-                A, self.d, self._rng(), kernel=kernel, b_d=b_d, b_n=b_n
+                A, self.d, self._rng(), kernel=kernel, b_d=b_d, b_n=b_n,
+                backend=self.config.backend,
             )
         s = self.scale()
         if s != 1.0:
@@ -165,6 +169,7 @@ class SketchOperator:
 def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
            config: SketchConfig | None = None,
            machine: MachineModel | None = None,
+           backend: str | None = None,
            quality_check: bool = False,
            quality_threshold: float | None = None,
            max_resketch: int = 1) -> SketchResult:
@@ -180,6 +185,10 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
 
     Parameters
     ----------
+    backend:
+        Kernel backend override (``"numpy"``/``"numba"``/``"auto"``);
+        ``None`` keeps the config's setting.  See
+        :attr:`repro.core.SketchConfig.backend`.
     quality_check:
         Run the end-of-run distortion spot-check: measure the realized
         sketch's effective distortion for ``range(A)`` (a dense
@@ -199,6 +208,8 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
     ``distortion_threshold``, and ``resketches``.
     """
     cfg = config if config is not None else SketchConfig()
+    if backend is not None:
+        cfg = dataclasses.replace(cfg, backend=backend)
     if gamma is not None and d is not None:
         raise ConfigError("pass at most one of gamma / d")
     if gamma is not None:

@@ -10,6 +10,15 @@ pattern-sensitive dispatcher.
 from .algo3 import algo3_block, algo3_block_reference
 from .autotune import TuneResult, autotune_blocking, autotune_kernel
 from .algo4 import algo4_block, algo4_block_reference
+from .backends import (
+    KernelBackend,
+    KernelWorkspace,
+    available_backends,
+    get_backend,
+    numba_available,
+    registered_backends,
+    resolve_backend,
+)
 from .blocking import default_block_sizes, iter_block_tasks, sketch_spmm
 from .dispatch import KernelChoice, choose_kernel, column_concentration
 from .loop_orders import (
@@ -33,6 +42,13 @@ __all__ = [
     "algo3_block_reference",
     "algo4_block",
     "algo4_block_reference",
+    "KernelBackend",
+    "KernelWorkspace",
+    "available_backends",
+    "get_backend",
+    "numba_available",
+    "registered_backends",
+    "resolve_backend",
     "default_block_sizes",
     "iter_block_tasks",
     "sketch_spmm",

@@ -21,12 +21,17 @@ Two implementations:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..errors import ShapeError
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
 from ..utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .backends import KernelWorkspace
 
 __all__ = ["algo3_block_reference", "algo3_block"]
 
@@ -65,7 +70,8 @@ def algo3_block_reference(Ahat_sub: np.ndarray, A_sub: CSCMatrix, r: int,
 
 def algo3_block(Ahat_sub: np.ndarray, A_sub: CSCMatrix, r: int,
                 rng: SketchingRNG, watch: Stopwatch | None = None,
-                panel_nnz: int = 8192) -> None:
+                panel_nnz: int = 8192,
+                workspace: "KernelWorkspace | None" = None) -> None:
     """Vectorized Algorithm 3: batched sketch panels + column matvecs.
 
     For each column ``k`` with nonzero rows ``J_k`` the update is
@@ -74,6 +80,9 @@ def algo3_block(Ahat_sub: np.ndarray, A_sub: CSCMatrix, r: int,
     generated panel remains cache-sized scratch (the role of the reusable
     vector ``v`` in the pseudocode).  When *watch* is given, RNG time is
     charged to the ``"sample"`` bucket and arithmetic to ``"compute"``.
+    A *workspace* routes the scaled-panel and segment-sum temporaries
+    through reused buffers (identical results — the out= forms of the
+    same ufuncs — with zero steady-state allocation across block calls).
     """
     d1, n1 = _check_block(Ahat_sub, A_sub)
     if panel_nnz < 1:
@@ -100,12 +109,21 @@ def algo3_block(Ahat_sub: np.ndarray, A_sub: CSCMatrix, r: int,
                 if k_end - k == 1:
                     Ahat_sub[:, k] += V @ vals
                 else:
-                    scaled = V * vals  # broadcast over rows
+                    if workspace is None:
+                        scaled = V * vals  # broadcast over rows
+                    else:
+                        scaled = workspace.get("algo3.scaled", V.shape)
+                        np.multiply(V, vals, out=scaled)
                     # Segment-sum the scaled panel into the group's columns;
                     # empty columns are skipped (they receive no update).
                     seg_starts = (indptr[k:k_end] - lo).astype(np.int64)
                     widths = np.diff(indptr[k:k_end + 1])
                     nonempty = widths > 0
-                    sums = np.add.reduceat(scaled, seg_starts[nonempty], axis=1)
+                    starts = seg_starts[nonempty]
+                    if workspace is None:
+                        sums = np.add.reduceat(scaled, starts, axis=1)
+                    else:
+                        sums = workspace.get("algo3.sums", (d1, starts.size))
+                        np.add.reduceat(scaled, starts, axis=1, out=sums)
                     Ahat_sub[:, np.arange(k, k_end)[nonempty]] += sums
         k = k_end

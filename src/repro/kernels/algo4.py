@@ -20,12 +20,17 @@ the row's column pattern, and the auxiliary blocked-CSR structure.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..errors import ShapeError
 from ..rng.base import SketchingRNG
 from ..sparse.csr import CSRMatrix
 from ..utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .backends import KernelWorkspace
 
 __all__ = ["algo4_block_reference", "algo4_block"]
 
@@ -66,7 +71,8 @@ def algo4_block_reference(Ahat_sub: np.ndarray, A_blk: CSRMatrix, r: int,
 
 def algo4_block(Ahat_sub: np.ndarray, A_blk: CSRMatrix, r: int,
                 rng: SketchingRNG, watch: Stopwatch | None = None,
-                row_chunk: int = 64) -> None:
+                row_chunk: int = 64,
+                workspace: "KernelWorkspace | None" = None) -> None:
     """Vectorized Algorithm 4: one panel per block, chunked scatter updates.
 
     The RNG is called once with every non-empty row of the block —
@@ -76,6 +82,9 @@ def algo4_block(Ahat_sub: np.ndarray, A_blk: CSRMatrix, r: int,
     rows are grouped *row_chunk* at a time into a single scatter-add.
     Both paths produce identical results (column indices within a row are
     unique; cross-row duplicates go through unbuffered accumulation).
+    A *workspace* reuses the gather/concatenation/scaled temporaries
+    across calls (same values via the out= ufunc forms, no steady-state
+    allocation).
     """
     d1, _ = _check_block(Ahat_sub, A_blk)
     if row_chunk < 1:
@@ -99,7 +108,12 @@ def algo4_block(Ahat_sub: np.ndarray, A_blk: CSRMatrix, r: int,
                 lo, hi = A_blk.indptr[j], A_blk.indptr[j + 1]
                 cols = A_blk.indices[lo:hi]
                 vals = A_blk.data[lo:hi]
-                Ahat_sub[:, cols] += V[:, t:t + 1] * vals
+                if workspace is None:
+                    Ahat_sub[:, cols] += V[:, t:t + 1] * vals
+                else:
+                    scaled = workspace.get("algo4.scaled", (d1, hi - lo))
+                    np.multiply(V[:, t:t + 1], vals, out=scaled)
+                    Ahat_sub[:, cols] += scaled
         else:
             # Many short rows: process *row_chunk* rows per scatter so the
             # Python-level loop count drops by that factor.  Duplicate
@@ -110,8 +124,25 @@ def algo4_block(Ahat_sub: np.ndarray, A_blk: CSRMatrix, r: int,
                 t1 = min(t0 + row_chunk, js.size)
                 chunk_js = js[t0:t1]
                 spans = [slice(int(indptr[j]), int(indptr[j + 1])) for j in chunk_js]
-                cols = np.concatenate([A_blk.indices[s] for s in spans])
-                vals = np.concatenate([A_blk.data[s] for s in spans])
-                owner = np.repeat(np.arange(t0, t1), row_nnz[t0:t1])
-                scaled = V[:, owner] * vals
+                chunk_nnz = int(row_nnz[t0:t1].sum())
+                if workspace is None:
+                    cols = np.concatenate([A_blk.indices[s] for s in spans])
+                    vals = np.concatenate([A_blk.data[s] for s in spans])
+                    owner = np.repeat(np.arange(t0, t1), row_nnz[t0:t1])
+                    scaled = V[:, owner] * vals
+                else:
+                    cols = workspace.get("algo4.cols", (chunk_nnz,), np.int64)
+                    np.concatenate([A_blk.indices[s] for s in spans], out=cols)
+                    vals = workspace.get("algo4.vals", (chunk_nnz,))
+                    np.concatenate([A_blk.data[s] for s in spans], out=vals)
+                    owner = workspace.get("algo4.owner", (chunk_nnz,), np.int64)
+                    pos = 0
+                    for tt in range(t0, t1):
+                        width = int(row_nnz[tt])
+                        owner[pos:pos + width] = tt
+                        pos += width
+                    taken = workspace.get("algo4.taken", (d1, chunk_nnz))
+                    np.take(V, owner, axis=1, out=taken)
+                    scaled = workspace.get("algo4.scaled", (d1, chunk_nnz))
+                    np.multiply(taken, vals, out=scaled)
                 np.add.at(Ahat_sub.T, cols, scaled.T)

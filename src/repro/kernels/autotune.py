@@ -22,6 +22,7 @@ from ..errors import ConfigError
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
 from ..utils.validation import check_positive_int
+from .backends import KernelBackend, KernelWorkspace, resolve_backend
 from .blocking import sketch_spmm
 
 __all__ = ["TuneResult", "autotune_blocking", "autotune_kernel"]
@@ -29,17 +30,25 @@ __all__ = ["TuneResult", "autotune_blocking", "autotune_kernel"]
 
 @dataclass
 class TuneResult:
-    """Outcome of an autotuning run."""
+    """Outcome of an autotuning run.
+
+    ``backend`` names the kernel backend the trials actually timed; a
+    cached result is only valid for that backend (fused JIT loops shift
+    the (b_d, b_n) cost balance, so numpy-tuned blockings must not be
+    applied to numba runs or vice versa).
+    """
 
     b_d: int
     b_n: int
     kernel: str
     seconds: float                       # winning trial time (subsampled)
     trials: list = field(default_factory=list)  # (kernel, b_d, b_n, seconds)
+    backend: str = "numpy"
 
     def describe(self) -> str:
         """One-line summary of the winner."""
-        return (f"{self.kernel} with (b_d={self.b_d}, b_n={self.b_n}): "
+        return (f"{self.kernel} [{self.backend}] with "
+                f"(b_d={self.b_d}, b_n={self.b_n}): "
                 f"{self.seconds:.4f}s on the tuning slice")
 
 
@@ -74,6 +83,7 @@ def autotune_blocking(
     candidates: Sequence[tuple[int, int]] | None = None,
     max_tuning_cols: int = 256,
     repeats: int = 2,
+    backend: "str | KernelBackend | None" = None,
 ) -> TuneResult:
     """Measure a candidate grid of ``(b_d, b_n)`` and return the fastest.
 
@@ -87,11 +97,19 @@ def autotune_blocking(
         model recommendation for this problem's density.
     max_tuning_cols:
         Trials run on a centred column slice of at most this width.
+    backend:
+        Kernel backend the trials time (name, instance, or
+        ``None``/``"auto"`` for the environment default).  The backend is
+        resolved once, warmed up *before* any trial (JIT compilation must
+        not be charged to a candidate), and recorded on the result.
     """
     d = check_positive_int(d, "d")
     repeats = check_positive_int(repeats, "repeats")
     if kernel not in ("algo3", "algo4"):
         raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+    be = resolve_backend(backend)
+    be.warmup(rng_factory(), np.float64)
+    workspace = KernelWorkspace()
     slice_A = _tuning_slice(A, max_tuning_cols)
     n_slice = slice_A.shape[1]
 
@@ -111,13 +129,14 @@ def autotune_blocking(
             rng = rng_factory()
             t0 = time.perf_counter()
             sketch_spmm(slice_A, d, rng, kernel=kernel,
-                        b_d=min(b_d, d), b_n=min(b_n, n_slice))
+                        b_d=min(b_d, d), b_n=min(b_n, n_slice),
+                        backend=be, workspace=workspace)
             best = min(best, time.perf_counter() - t0)
         trials.append((kernel, int(min(b_d, d)), int(min(b_n, n_slice)), best))
 
     kernel_name, b_d, b_n, secs = min(trials, key=lambda t: t[3])
     return TuneResult(b_d=b_d, b_n=b_n, kernel=kernel_name, seconds=secs,
-                      trials=trials)
+                      trials=trials, backend=be.name)
 
 
 def autotune_kernel(
@@ -127,15 +146,19 @@ def autotune_kernel(
     *,
     max_tuning_cols: int = 256,
     repeats: int = 2,
+    backend: "str | KernelBackend | None" = None,
 ) -> TuneResult:
     """Race Algorithm 3 vs Algorithm 4 (each at its tuned blocking).
 
     The empirical counterpart of :func:`repro.kernels.choose_kernel` for
     hosts whose cache/RNG behaviour doesn't match a preset; Algorithm 4's
-    trials include its format-conversion cost, as Table IV would.
+    trials include its format-conversion cost, as Table IV would.  Both
+    algorithms race on the same resolved *backend* (resolved once here so
+    the comparison cannot straddle an environment change mid-race).
     """
+    be = resolve_backend(backend)
     results = [
-        autotune_blocking(A, d, rng_factory, kernel=k,
+        autotune_blocking(A, d, rng_factory, kernel=k, backend=be,
                           max_tuning_cols=max_tuning_cols, repeats=repeats)
         for k in ("algo3", "algo4")
     ]

@@ -1,0 +1,337 @@
+"""JIT backend: fused RNG+SpMM inner loops compiled with Numba.
+
+The NumPy kernels pay Python dispatch and temporary-array traffic per
+column group / row chunk; at realistic sizes that overhead, not the
+roofline of DESIGN.md §3, dominates.  This backend compiles Algorithms 3
+and 4 as ``@njit(cache=True, nogil=True)`` loops that *inline* the
+counter→bits→sample pipeline (:mod:`repro.rng.jit`): each sketch entry is
+generated in registers and immediately consumed by the accumulation, with
+zero per-nonzero Python overhead and zero temporaries (the xoshiro family
+needs one reusable ``d1``-length bit buffer per block call, served from
+the :class:`~repro.kernels.backends.KernelWorkspace`).
+
+Bit-identity: the fused loops replicate the *reference* kernels'
+accumulation order exactly — per nonzero, ``Ahat[i, k] += a_jk * v[i]``
+in ascending ``i`` — so the output is bit-identical to
+:func:`~repro.kernels.algo3.algo3_block_reference` /
+:func:`~repro.kernels.algo4.algo4_block_reference` for every supported
+generator (Philox, Threefry, xoshiro) and distribution (uniform, the
+scaling trick, ±1, Gaussian).  The scalar RNG helpers are verified
+bit-for-bit against the vectorized generators in ``tests/rng/test_jit.py``.
+
+``nogil=True`` releases the GIL for the whole fused loop, so the thread
+pool in :mod:`repro.parallel.executor` gets genuine multi-core scaling —
+block tasks overlap end-to-end instead of only inside NumPy's internals.
+
+Unsupported configurations (JunkRNG, custom distributions, subclassed
+generators) transparently delegate to the ``numpy`` backend — correctness
+first, speed where the contract is provable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...errors import ShapeError
+from ...rng import jit as rj
+from ...rng.base import (
+    PhiloxSketchRNG,
+    SketchingRNG,
+    ThreefrySketchRNG,
+    XoshiroSketchRNG,
+)
+from ...rng.distributions import DISTRIBUTIONS
+from ...utils.timing import Stopwatch
+from ..algo3 import _check_block as _check_block3
+from ..algo4 import _check_block as _check_block4
+from . import KernelBackend, KernelWorkspace, register_backend
+from .numpy_backend import NumpyBackend
+
+__all__ = ["NumbaBackend"]
+
+_COUNTER = "counter"
+_XOSHIRO = "xoshiro"
+
+if rj.NUMBA_AVAILABLE:
+    from numba import njit
+
+    @njit(cache=True, nogil=True)
+    def _algo3_counter(Ahat, indptr, indices, data, r, k0, k1, rounds,
+                       rng_code, dist_code):
+        """Fused Algorithm 3 for counter-based RNGs (Philox/Threefry).
+
+        Mirrors ``algo3_block_reference``: per nonzero ``(j, k)`` the
+        ``d1`` samples of sketch column ``j`` are generated and applied
+        as ``Ahat[i, k] += a_jk * s`` in ascending ``i`` — but here the
+        sample never leaves registers.
+        """
+        d1 = Ahat.shape[0]
+        n1 = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        for k in range(n1):
+            for t in range(indptr[k], indptr[k + 1]):
+                j_u = np.uint64(indices[t])
+                a = data[t]
+                for i in range(d1):
+                    row = r_u + np.uint64(i)
+                    if rng_code == 0:
+                        bits = rj.philox_u64(row, j_u, k0, k1, rounds)
+                    else:
+                        bits = rj.threefry_u64(row, j_u, k0, k1, rounds)
+                    Ahat[i, k] += a * rj.u64_to_value(bits, dist_code)
+
+    @njit(cache=True, nogil=True)
+    def _algo3_xoshiro(Ahat, indptr, indices, data, r, seed_u, n_lanes,
+                       dist_code, state, bits):
+        """Fused Algorithm 3 for checkpointed xoshiro256**.
+
+        Each nonzero re-seeds the lane states from ``(seed, r, j)`` and
+        streams ``d1`` interleaved outputs into the reusable *bits*
+        buffer — exactly the reference's per-nonzero ``set_state`` /
+        ``get_samples`` pair.
+        """
+        d1 = Ahat.shape[0]
+        n1 = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        for k in range(n1):
+            for t in range(indptr[k], indptr[k + 1]):
+                j_u = np.uint64(indices[t])
+                a = data[t]
+                rj.xoshiro_fill(seed_u, r_u, j_u, n_lanes, state, bits)
+                for i in range(d1):
+                    Ahat[i, k] += a * rj.u64_to_value(bits[i], dist_code)
+
+    @njit(cache=True, nogil=True)
+    def _algo4_counter(Ahat, indptr, indices, data, r, k0, k1, rounds,
+                       rng_code, dist_code, v):
+        """Fused Algorithm 4 for counter-based RNGs.
+
+        One sketch column per non-empty row, generated once into the
+        reusable *v* buffer and reused across the whole row's rank-1
+        updates; returns the non-empty-row count for sample accounting.
+        """
+        d1 = Ahat.shape[0]
+        m = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        nonempty = 0
+        for j in range(m):
+            lo = indptr[j]
+            hi = indptr[j + 1]
+            if lo == hi:
+                continue
+            nonempty += 1
+            j_u = np.uint64(j)
+            for i in range(d1):
+                row = r_u + np.uint64(i)
+                if rng_code == 0:
+                    bits = rj.philox_u64(row, j_u, k0, k1, rounds)
+                else:
+                    bits = rj.threefry_u64(row, j_u, k0, k1, rounds)
+                v[i] = rj.u64_to_value(bits, dist_code)
+            for t in range(lo, hi):
+                k = indices[t]
+                a = data[t]
+                for i in range(d1):
+                    Ahat[i, k] += a * v[i]
+        return nonempty
+
+    @njit(cache=True, nogil=True)
+    def _algo4_xoshiro(Ahat, indptr, indices, data, r, seed_u, n_lanes,
+                       dist_code, state, bits, v):
+        """Fused Algorithm 4 for checkpointed xoshiro256**."""
+        d1 = Ahat.shape[0]
+        m = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        nonempty = 0
+        for j in range(m):
+            lo = indptr[j]
+            hi = indptr[j + 1]
+            if lo == hi:
+                continue
+            nonempty += 1
+            rj.xoshiro_fill(seed_u, r_u, np.uint64(j), n_lanes, state, bits)
+            for i in range(d1):
+                v[i] = rj.u64_to_value(bits[i], dist_code)
+            for t in range(lo, hi):
+                k = indices[t]
+                a = data[t]
+                for i in range(d1):
+                    Ahat[i, k] += a * v[i]
+        return nonempty
+
+
+@register_backend
+class NumbaBackend(KernelBackend):
+    """Fused JIT kernels; delegates unsupported RNG/dist combos to numpy.
+
+    ``panel_nnz`` / ``row_chunk`` are NumPy-path tuning knobs and are
+    ignored here (the fused loops have no panel or chunk granularity);
+    they remain in the signature so backends are drop-in interchangeable.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._numpy = NumpyBackend()
+        self._warmed: set[tuple[str, np.dtype]] = set()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return rj.NUMBA_AVAILABLE
+
+    # -- plan extraction ---------------------------------------------------
+
+    @staticmethod
+    def _plan(rng: SketchingRNG):
+        """Fused-kernel parameters for *rng*, or ``None`` to delegate.
+
+        Exact-type checks (not ``isinstance``) and identity checks against
+        the stock distribution registry keep the fused path provably
+        equivalent: a subclass or custom transform silently falls back to
+        the numpy backend rather than risking a different sample stream.
+        """
+        if not rj.NUMBA_AVAILABLE:
+            # Instance fetched directly despite being unavailable (e.g.
+            # via get_backend): behave as a pure delegator.
+            return None
+        dist = getattr(rng, "dist", None)
+        if dist is None or DISTRIBUTIONS.get(dist.name) is not dist:
+            return None
+        dist_code = rj.DIST_CODES.get(dist.name)
+        if dist_code is None:
+            return None
+        kind = type(rng)
+        if kind is PhiloxSketchRNG or kind is ThreefrySketchRNG:
+            k0, k1 = rng._key
+            rng_code = (rj.RNG_CODES["philox"] if kind is PhiloxSketchRNG
+                        else rj.RNG_CODES["threefry"])
+            return (_COUNTER, rng_code, np.uint64(int(k0)), np.uint64(int(k1)),
+                    int(rng.rounds), dist_code, 0)
+        if kind is XoshiroSketchRNG:
+            seed_u = np.uint64(rng.seed & 0xFFFFFFFFFFFFFFFF)
+            return (_XOSHIRO, rj.RNG_CODES["xoshiro"], seed_u, np.uint64(0),
+                    0, dist_code, int(rng.n_lanes))
+        return None
+
+    def _xoshiro_scratch(self, d1: int, n_lanes: int,
+                         workspace: KernelWorkspace | None):
+        if workspace is not None:
+            state = workspace.get("numba.xoshiro.state", (4, n_lanes),
+                                  np.uint64)
+            bits = workspace.get("numba.xoshiro.bits", (d1,), np.uint64)
+        else:
+            state = np.empty((4, n_lanes), dtype=np.uint64)
+            bits = np.empty(d1, dtype=np.uint64)
+        return state, bits
+
+    # -- kernel entry points -----------------------------------------------
+
+    def algo3_block(self, Ahat_sub, A_sub, r, rng, watch=None,
+                    panel_nnz: int = 8192,
+                    workspace: KernelWorkspace | None = None) -> None:
+        plan = self._plan(rng)
+        if plan is None:
+            self._numpy.algo3_block(Ahat_sub, A_sub, r, rng, watch=watch,
+                                    panel_nnz=panel_nnz, workspace=workspace)
+            return
+        d1, _n1 = _check_block3(Ahat_sub, A_sub)
+        if panel_nnz < 1:
+            raise ShapeError(f"panel_nnz must be positive, got {panel_nnz}")
+        sw = watch if watch is not None else Stopwatch()
+        family, rng_code, k0, k1, rounds, dist_code, n_lanes = plan
+        with sw.bucket("compute"):
+            if family == _COUNTER:
+                _algo3_counter(Ahat_sub, A_sub.indptr, A_sub.indices,
+                               A_sub.data, r, k0, k1, rounds, rng_code,
+                               dist_code)
+            else:
+                state, bits = self._xoshiro_scratch(d1, n_lanes, workspace)
+                _algo3_xoshiro(Ahat_sub, A_sub.indptr, A_sub.indices,
+                               A_sub.data, r, k0, n_lanes, dist_code,
+                               state, bits)
+        rng.samples_generated += d1 * A_sub.nnz
+
+    def algo4_block(self, Ahat_sub, A_blk, r, rng, watch=None,
+                    row_chunk: int = 64,
+                    workspace: KernelWorkspace | None = None) -> None:
+        plan = self._plan(rng)
+        if plan is None:
+            self._numpy.algo4_block(Ahat_sub, A_blk, r, rng, watch=watch,
+                                    row_chunk=row_chunk, workspace=workspace)
+            return
+        d1, _n1 = _check_block4(Ahat_sub, A_blk)
+        if row_chunk < 1:
+            raise ShapeError(f"row_chunk must be positive, got {row_chunk}")
+        sw = watch if watch is not None else Stopwatch()
+        family, rng_code, k0, k1, rounds, dist_code, n_lanes = plan
+        if workspace is not None:
+            v = workspace.get("numba.algo4.v", (d1,))
+        else:
+            v = np.empty(d1, dtype=np.float64)
+        with sw.bucket("compute"):
+            if family == _COUNTER:
+                nonempty = _algo4_counter(Ahat_sub, A_blk.indptr,
+                                          A_blk.indices, A_blk.data, r,
+                                          k0, k1, rounds, rng_code,
+                                          dist_code, v)
+            else:
+                state, bits = self._xoshiro_scratch(d1, n_lanes, workspace)
+                nonempty = _algo4_xoshiro(Ahat_sub, A_blk.indptr,
+                                          A_blk.indices, A_blk.data, r,
+                                          k0, n_lanes, dist_code, state,
+                                          bits, v)
+        rng.samples_generated += d1 * int(nonempty)
+
+    # -- compilation warmup ------------------------------------------------
+
+    def warmup(self, rng: SketchingRNG, dtype=np.float64) -> float:
+        """Compile the fused kernels for *rng*'s family and *dtype*.
+
+        Exercises C-contiguous, F-contiguous, and strided output layouts
+        (all three occur across the serial and parallel drivers) so no
+        lazy compilation fires inside a timed region.  Synthetic inputs
+        use zero data values, and the jitted functions are invoked
+        directly, so neither *rng*'s counters nor any caller-visible
+        state is touched.  Returns the seconds spent; 0.0 once this
+        (family, dtype) signature is already warm.
+        """
+        if not rj.NUMBA_AVAILABLE:
+            return 0.0
+        plan = self._plan(rng)
+        if plan is None:
+            return 0.0
+        family, rng_code, k0, k1, rounds, dist_code, n_lanes = plan
+        key = (family, np.dtype(dtype))
+        if key in self._warmed:
+            return 0.0
+        start = time.perf_counter()
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([0, 1], dtype=np.int64)
+        data = np.zeros(2, dtype=np.float64)
+        outs = [
+            np.zeros((2, 2), dtype=dtype),                    # C layout
+            np.zeros((2, 2), dtype=dtype, order="F"),         # F layout
+            np.zeros((4, 4), dtype=dtype)[1:3, 1:3],          # strided
+        ]
+        lanes = max(n_lanes, 1)
+        state = np.empty((4, lanes), dtype=np.uint64)
+        bits = np.empty(2, dtype=np.uint64)
+        v = np.empty(2, dtype=np.float64)
+        for out in outs:
+            if family == _COUNTER:
+                _algo3_counter(out, indptr, indices, data, 0, k0, k1,
+                               rounds, rng_code, dist_code)
+                _algo4_counter(out, indptr, indices, data, 0, k0, k1,
+                               rounds, rng_code, dist_code, v)
+            else:
+                _algo3_xoshiro(out, indptr, indices, data, 0, k0, lanes,
+                               dist_code, state, bits)
+                _algo4_xoshiro(out, indptr, indices, data, 0, k0, lanes,
+                               dist_code, state, bits, v)
+        self._warmed.add(key)
+        elapsed = time.perf_counter() - start
+        self.jit_compile_seconds += elapsed
+        return elapsed

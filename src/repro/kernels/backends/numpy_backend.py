@@ -1,0 +1,41 @@
+"""The always-available backend: the vectorized NumPy block kernels.
+
+A thin adapter putting :func:`repro.kernels.algo3.algo3_block` and
+:func:`repro.kernels.algo4.algo4_block` behind the
+:class:`~repro.kernels.backends.KernelBackend` interface, including the
+workspace pass-through for allocation-free steady state.  This is the
+fallback every other backend degrades to, so it has no optional
+dependencies and no warmup cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algo3 import algo3_block
+from ..algo4 import algo4_block
+from . import KernelBackend, KernelWorkspace, register_backend
+
+__all__ = ["NumpyBackend"]
+
+
+@register_backend
+class NumpyBackend(KernelBackend):
+    """Vectorized NumPy kernels (batched RNG panels + BLAS/ufunc updates)."""
+
+    name = "numpy"
+
+    def algo3_block(self, Ahat_sub, A_sub, r, rng, watch=None,
+                    panel_nnz: int = 8192,
+                    workspace: KernelWorkspace | None = None) -> None:
+        algo3_block(Ahat_sub, A_sub, r, rng, watch=watch,
+                    panel_nnz=panel_nnz, workspace=workspace)
+
+    def algo4_block(self, Ahat_sub, A_blk, r, rng, watch=None,
+                    row_chunk: int = 64,
+                    workspace: KernelWorkspace | None = None) -> None:
+        algo4_block(Ahat_sub, A_blk, r, rng, watch=watch,
+                    row_chunk=row_chunk, workspace=workspace)
+
+    def warmup(self, rng, dtype=np.float64) -> float:
+        return 0.0

@@ -30,8 +30,9 @@ from ..sparse.csc import CSCMatrix
 from ..utils.flops import spmm_flops
 from ..utils.timing import Stopwatch, Timer
 from ..utils.validation import check_positive_int
-from .algo3 import algo3_block, algo3_block_reference
-from .algo4 import algo4_block, algo4_block_reference
+from .algo3 import algo3_block_reference
+from .algo4 import algo4_block_reference
+from .backends import KernelBackend, KernelWorkspace, resolve_backend
 from .stats import KernelStats
 
 __all__ = ["sketch_spmm", "iter_block_tasks", "default_block_sizes"]
@@ -87,6 +88,8 @@ def sketch_spmm(
     blocked: BlockedCSR | None = None,
     out: np.ndarray | None = None,
     out_order: str = "F",
+    backend: str | KernelBackend | None = None,
+    workspace: KernelWorkspace | None = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Compute the sketch ``Ahat = S @ A`` with on-the-fly generation of ``S``.
 
@@ -119,6 +122,18 @@ def sketch_spmm(
         matches Julia's column-major arrays — the layout the paper's
         kernels stream — and measures ~20-25% faster for the column-wise
         updates of both kernels; pass ``"C"`` for row-major consumers.
+    backend:
+        Kernel backend name (``"numpy"``/``"numba"``), instance, or
+        ``None``/``"auto"`` for the environment default (see
+        :func:`repro.kernels.backends.resolve_backend`).  Ignored on the
+        ``reference`` path, which always runs the scalar oracle.  Any JIT
+        compilation happens *before* the timed region and is reported as
+        ``stats.extra["jit_compile_seconds"]``.
+    workspace:
+        Optional :class:`~repro.kernels.backends.KernelWorkspace` for
+        scratch reuse across calls; one is created internally per
+        invocation otherwise, so repeated block calls never churn the
+        allocator either way.
 
     Returns
     -------
@@ -151,6 +166,10 @@ def sketch_spmm(
         out[:] = 0.0
         Ahat = out
 
+    be = resolve_backend(backend)
+    ws = workspace if workspace is not None else KernelWorkspace()
+    jit_seconds = 0.0 if reference else be.warmup(rng, Ahat.dtype)
+
     sw = Stopwatch()
     samples_before = rng.samples_generated
     conversion_seconds = 0.0
@@ -178,7 +197,8 @@ def sketch_spmm(
                     if reference:
                         algo4_block_reference(view, blk, i, rng)
                     else:
-                        algo4_block(view, blk, i, rng, watch=sw)
+                        be.algo4_block(view, blk, i, rng, watch=sw,
+                                       workspace=ws)
                     blocks += 1
         else:
             for i, d1, j, n1 in iter_block_tasks(d, n, b_d, b_n):
@@ -187,7 +207,8 @@ def sketch_spmm(
                 if reference:
                     algo3_block_reference(view, A_sub, i, rng)
                 else:
-                    algo3_block(view, A_sub, i, rng, watch=sw)
+                    be.algo3_block(view, A_sub, i, rng, watch=sw,
+                                   workspace=ws)
                 blocks += 1
         if rng.post_scale != 1.0:
             Ahat *= rng.post_scale
@@ -202,6 +223,8 @@ def sketch_spmm(
         flops=spmm_flops(d, A.nnz),
         blocks_processed=blocks,
         d=d, b_d=b_d, b_n=b_n,
-        extra=conversion_extra,
+        extra={**conversion_extra,
+               "backend": "reference" if reference else be.name,
+               "jit_compile_seconds": jit_seconds},
     )
     return Ahat, stats

@@ -31,12 +31,19 @@ __all__ = ["KernelChoice", "column_concentration", "choose_kernel"]
 
 @dataclass(frozen=True)
 class KernelChoice:
-    """A kernel decision and the reasons behind it."""
+    """A kernel decision and the reasons behind it.
+
+    ``backend`` records which kernel backend the decision was resolved
+    for; autotune results and cached choices must not migrate across
+    backends (the cost balance between the algorithms shifts when the
+    RNG is fused into compiled loops).
+    """
 
     kernel: str
     reason: str
     column_concentration: float
     machine_favors_reuse: bool
+    backend: str = "numpy"
 
 
 def column_concentration(A: CSCMatrix, top_fraction: float = 0.01) -> float:
@@ -60,7 +67,8 @@ def column_concentration(A: CSCMatrix, top_fraction: float = 0.01) -> float:
 
 
 def choose_kernel(machine: "MachineModel", A: CSCMatrix,
-                  concentration_threshold: float = 0.5) -> KernelChoice:
+                  concentration_threshold: float = 0.5,
+                  backend: str | None = None) -> KernelChoice:
     """Pick Algorithm 3 or 4 for *machine* and the pattern of *A*.
 
     The machine-level signal is
@@ -73,7 +81,14 @@ def choose_kernel(machine: "MachineModel", A: CSCMatrix,
     or nonzeros) or non-finite machine parameters raise
     :class:`~repro.errors.ConfigError` instead of propagating raw NumPy
     warnings through the concentration heuristic.
+
+    *backend* (name, ``None``, or ``"auto"``) resolves through
+    :func:`repro.kernels.backends.resolve_backend` and is recorded on the
+    returned choice so it can be kept backend-consistent downstream.
     """
+    from .backends import resolve_backend
+
+    backend_name = resolve_backend(backend).name
     m, n = A.shape
     if m == 0 or n == 0:
         raise ConfigError(
@@ -106,6 +121,7 @@ def choose_kernel(machine: "MachineModel", A: CSCMatrix,
             ),
             column_concentration=conc,
             machine_favors_reuse=False,
+            backend=backend_name,
         )
     if conc >= concentration_threshold:
         return KernelChoice(
@@ -117,6 +133,7 @@ def choose_kernel(machine: "MachineModel", A: CSCMatrix,
             ),
             column_concentration=conc,
             machine_favors_reuse=True,
+            backend=backend_name,
         )
     return KernelChoice(
         kernel="algo4",
@@ -126,4 +143,5 @@ def choose_kernel(machine: "MachineModel", A: CSCMatrix,
         ),
         column_concentration=conc,
         machine_favors_reuse=True,
+        backend=backend_name,
     )

@@ -52,8 +52,11 @@ from ..errors import (
     TaskFailedError,
     TaskTimeoutError,
 )
-from ..kernels.algo3 import algo3_block
-from ..kernels.algo4 import algo4_block
+from ..kernels.backends import (
+    KernelBackend,
+    KernelWorkspace,
+    resolve_backend,
+)
 from ..kernels.blocking import default_block_sizes, iter_block_tasks
 from ..kernels.stats import KernelStats
 from ..rng.base import SketchingRNG
@@ -114,6 +117,7 @@ class ResilientExecutor:
         blocked: BlockedCSR | None = None,
         resilience: ResilienceConfig | None = None,
         injector: "FaultInjector | None" = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.d = check_positive_int(d, "d")
         self.threads = check_positive_int(threads, "threads")
@@ -121,6 +125,8 @@ class ResilientExecutor:
             raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
         self.A = A
         self.kernel = kernel
+        self.backend = resolve_backend(backend)
+        self.jit_compile_seconds = 0.0
         self.rng_factory = rng_factory
         self.strategy = strategy
         self.blocked = blocked
@@ -172,7 +178,7 @@ class ResilientExecutor:
         self.Ahat = np.zeros((self.d, n), dtype=np.float64)
         return tasks, conversion_seconds
 
-    def _thread_ctx(self) -> tuple[SketchingRNG, Stopwatch]:
+    def _thread_ctx(self) -> tuple[SketchingRNG, Stopwatch, KernelWorkspace]:
         tls = self._tls
         if not hasattr(tls, "rng"):
             with self._ctx_lock:
@@ -180,10 +186,11 @@ class ResilientExecutor:
                 self._worker_counter += 1
             tls.rng = self.rng_factory(tls.worker)
             tls.watch = Stopwatch()
+            tls.workspace = KernelWorkspace()
             with self._ctx_lock:
                 self._all_rngs.append(tls.rng)
                 self._all_watches.append(tls.watch)
-        return tls.rng, tls.watch
+        return tls.rng, tls.watch, tls.workspace
 
     def _fresh_rng(self) -> SketchingRNG:
         """Fresh RNG re-derivation for a retry (discards any corrupted
@@ -196,18 +203,21 @@ class ResilientExecutor:
         return rng
 
     def _compute(self, task: Task, kernel: str, rng: SketchingRNG,
-                 watch: Stopwatch, out: np.ndarray) -> None:
+                 watch: Stopwatch, out: np.ndarray,
+                 workspace: KernelWorkspace | None = None) -> None:
         """Run one kernel invocation for *task* into *out* (pre-zeroed)."""
         i, d1, j, n1 = task
         if kernel == "algo3":
-            algo3_block(out, self.A.col_block(j, j + n1), i, rng, watch=watch)
+            self.backend.algo3_block(out, self.A.col_block(j, j + n1), i,
+                                     rng, watch=watch, workspace=workspace)
         else:
             blk = self._block_by_offset.get(j)
             if blk is None or blk.shape[1] != n1:
                 raise ConfigError(
                     "blocked CSR partition does not match b_n task grid"
                 )
-            algo4_block(out, blk, i, rng, watch=watch)
+            self.backend.algo4_block(out, blk, i, rng, watch=watch,
+                                     workspace=workspace)
 
     def _finish_stats(self, tasks: list[Task], conversion_seconds: float,
                       total_seconds: float) -> KernelStats:
@@ -222,7 +232,8 @@ class ResilientExecutor:
             blocks_processed=len(tasks),
             d=self.d, b_d=self.b_d, b_n=self.b_n,
             extra={"threads": self.threads, "strategy": self.strategy,
-                   "resilient": self.guarded},
+                   "resilient": self.guarded, "backend": self.backend.name,
+                   "jit_compile_seconds": self.jit_compile_seconds},
             health=self.health if self.guarded else None,
         )
         return stats
@@ -241,13 +252,14 @@ class ResilientExecutor:
 
         def run_worker(w: int) -> None:
             rng, watch = self.rng_factory(w), Stopwatch()
+            workspace = KernelWorkspace()
             with self._ctx_lock:
                 self._all_rngs.append(rng)
                 self._all_watches.append(watch)
             for task in buckets[w]:
                 i, d1, j, n1 = task
                 view = self.Ahat[i:i + d1, j:j + n1]
-                self._compute(task, self.kernel, rng, watch, view)
+                self._compute(task, self.kernel, rng, watch, view, workspace)
 
         if self.threads == 1:
             run_worker(0)
@@ -304,7 +316,7 @@ class ResilientExecutor:
         # Scratch buffers are only needed when speculative duplicates can
         # race on the same block (deadline-triggered re-execution).
         use_scratch = (cfg.task_timeout is not None and self.threads > 1)
-        rng, watch = self._thread_ctx()
+        rng, watch, workspace = self._thread_ctx()
 
         kernels = [self.kernel]
         if cfg.degradation.kernel_fallback and self.kernel == "algo4":
@@ -324,10 +336,12 @@ class ResilientExecutor:
                 attempt_no += 1
                 with self._ctx_lock:
                     self.health.attempts += 1
-                target = (np.zeros((d1, n1), dtype=np.float64)
+                # Per-thread workspace scratch: speculative duplicates of
+                # the same block run in different threads, so the scratch
+                # targets never alias.
+                target = (workspace.get("executor.scratch", (d1, n1))
                           if use_scratch else view)
-                if not use_scratch:
-                    target[:] = 0.0
+                target[:] = 0.0
                 failure: tuple[str, str] | None = None
                 try:
                     use_rng = rng
@@ -336,7 +350,8 @@ class ResilientExecutor:
                                                     attempt_no)
                         use_rng = self.injector.rng_for(key, kname, context,
                                                        attempt_no, rng)
-                    self._compute(task, kname, use_rng, watch, target)
+                    self._compute(task, kname, use_rng, watch, target,
+                                  workspace)
                     if self.injector is not None:
                         self.injector.on_block_computed(key, kname, context,
                                                         attempt_no, target)
@@ -446,6 +461,12 @@ class ResilientExecutor:
         runs (``None`` on the fast path).
         """
         tasks, conversion_seconds = self._prepare()
+        # JIT backends compile outside the timed region (and nogil fused
+        # kernels then overlap end-to-end across the worker threads).
+        self.jit_compile_seconds = self.backend.warmup(
+            self.rng_factory(0), self.Ahat.dtype)
+        if self.guarded:
+            self.health.backend = self.backend.name
         with Timer() as total:
             if self.guarded:
                 self._run_guarded(tasks)
@@ -471,6 +492,7 @@ def parallel_sketch_spmm(
     blocked: BlockedCSR | None = None,
     resilience: ResilienceConfig | None = None,
     injector: "FaultInjector | None" = None,
+    backend: "str | KernelBackend | None" = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Compute ``Ahat = S @ A`` using *threads* workers over block tasks.
 
@@ -492,6 +514,12 @@ def parallel_sketch_spmm(
         Fault handling and fault injection — see
         :class:`ResilientExecutor`.  Both ``None`` (the default) selects
         the original zero-overhead path.
+    backend:
+        Kernel backend (name, instance, or ``None``/``"auto"``; see
+        :func:`repro.kernels.backends.resolve_backend`).  With the
+        ``numba`` backend the fused ``nogil`` kernels release the GIL for
+        entire block tasks, so worker threads overlap fully instead of
+        only inside NumPy calls.
 
     Returns
     -------
@@ -503,6 +531,6 @@ def parallel_sketch_spmm(
     executor = ResilientExecutor(
         A, d, rng_factory, threads=threads, kernel=kernel, b_d=b_d, b_n=b_n,
         strategy=strategy, blocked=blocked, resilience=resilience,
-        injector=injector,
+        injector=injector, backend=backend,
     )
     return executor.run()

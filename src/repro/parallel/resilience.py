@@ -170,6 +170,7 @@ class RunHealth:
     kernel_fallbacks: int = 0
     degraded_to_serial: bool = False
     decisions: list = field(default_factory=list)       # list[str]
+    backend: str = ""                                   # kernel backend used
 
     @property
     def ok(self) -> bool:
@@ -209,12 +210,15 @@ class RunHealth:
             "kernel_fallbacks": self.kernel_fallbacks,
             "degraded_to_serial": self.degraded_to_serial,
             "decisions": list(self.decisions),
+            "backend": self.backend,
         }
 
     def summary(self) -> str:
         """One-line digest for plain-text CLI output."""
         parts = [f"tasks={self.completed}/{self.tasks}",
                  f"attempts={self.attempts}", f"retries={self.retries}"]
+        if self.backend:
+            parts.insert(0, f"backend={self.backend}")
         if self.timeouts:
             parts.append(f"stragglers={self.stragglers_reexecuted}/{self.timeouts}")
         if self.guardrail_violations:

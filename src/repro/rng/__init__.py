@@ -16,6 +16,8 @@ from .base import (
     make_rng,
 )
 from .benchmark import RngProbe, estimate_h, rng_sample_rate, stream_copy_bandwidth
+from .detmath import det_cos_2pi, det_log
+from .jit import NUMBA_AVAILABLE
 from .distributions import (
     DISTRIBUTIONS,
     GAUSSIAN,
@@ -41,6 +43,9 @@ __all__ = [
     "estimate_h",
     "rng_sample_rate",
     "stream_copy_bandwidth",
+    "det_cos_2pi",
+    "det_log",
+    "NUMBA_AVAILABLE",
     "DISTRIBUTIONS",
     "GAUSSIAN",
     "RADEMACHER",

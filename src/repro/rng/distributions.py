@@ -33,6 +33,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from ..errors import ConfigError
+from .detmath import det_cos_2pi, det_log
 
 __all__ = [
     "Distribution",
@@ -82,12 +83,18 @@ def _bits_to_gaussian(bits: np.ndarray) -> np.ndarray:
     ``u1`` is offset by half an ulp so it is strictly positive (the log is
     finite); each 64-bit word yields exactly one normal deviate, keeping the
     sample-count bookkeeping identical across distributions.
+
+    The transcendentals go through :mod:`repro.rng.detmath` rather than
+    libm so the bits→sample map is a platform-independent pure function:
+    NumPy's SIMD float64 ``log`` differs from scalar libm by 1 ulp on some
+    hosts, which would break the kernel backends' bit-identity contract
+    (JIT-compiled kernels evaluate the transform one scalar at a time).
     """
     hi = (bits >> np.uint64(32)).astype(np.float64)
     lo = (bits & np.uint64(0xFFFFFFFF)).astype(np.float64)
     u1 = (hi + 0.5) / _TWO32
     u2 = (lo + 0.5) / _TWO32
-    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    return np.sqrt(-2.0 * det_log(u1)) * det_cos_2pi(u2)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,365 @@
+"""Scalar, JIT-compatible twins of the vectorized RNG primitives.
+
+The Numba kernel backend (:mod:`repro.kernels.backends.numba_backend`)
+fuses random number generation into the innermost SpMM loops, so it needs
+the counter→bits→sample pipeline as *scalar* ``uint64`` functions that
+``@njit(nogil=True)`` can inline — not as NumPy array expressions.  This
+module ports every primitive the kernels consume:
+
+* SplitMix64 (:func:`splitmix64`, :func:`mix_key3`) — seeding/mixing;
+* Philox4x32 (:func:`philox_u64`) and Threefry2x64 (:func:`threefry_u64`)
+  — one counter-addressed ``uint64`` per ``(row, column)`` coordinate;
+* the checkpointed, lane-interleaved xoshiro256** column stream
+  (:func:`xoshiro_fill`);
+* the four bit→entry transforms (:func:`u64_to_value`), including the
+  deterministic Box–Muller (:func:`log_det`, :func:`cos_2pi_det` — scalar
+  twins of :mod:`repro.rng.detmath`).
+
+Bit-identity contract: for every coordinate and seed, each function here
+returns exactly the bits/value its vectorized counterpart in
+:mod:`repro.rng` produces.  ``tests/rng/test_jit.py`` asserts this
+exhaustively, and — because the functions degrade to plain Python when
+Numba is absent — the contract is verified even on hosts without Numba
+(under ``np.errstate(over="ignore")``: NumPy warns on scalar ``uint64``
+wraparound where Numba wraps silently).
+
+When Numba is importable every function is compiled with
+``@njit(cache=True, nogil=True)`` at import time (compilation itself is
+lazy, per call signature), and the kernel backend composes them inside
+its fused loops.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "DIST_CODES",
+    "RNG_CODES",
+    "jit",
+    "splitmix64",
+    "mix_key3",
+    "philox_u64",
+    "threefry_u64",
+    "xoshiro_fill",
+    "log_det",
+    "cos_2pi_det",
+    "u64_to_uniform",
+    "u64_to_uniform_scaled",
+    "u64_to_rademacher",
+    "u64_to_gaussian",
+    "u64_to_value",
+]
+
+try:  # feature-detect, never require: the numpy backend needs nothing here
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised on numba-less CI legs
+    _njit = None
+    NUMBA_AVAILABLE = False
+
+
+def jit(func):
+    """``@njit(cache=True, nogil=True)`` when Numba exists, else identity.
+
+    The pure-Python fallback keeps every helper importable and testable
+    without Numba; only the Numba *backend* (which needs the speed) is
+    gated on availability.
+    """
+    if NUMBA_AVAILABLE:
+        return _njit(cache=True, nogil=True)(func)
+    return func
+
+
+#: Distribution name → integer code compiled into the fused kernels.
+DIST_CODES = {"uniform": 0, "uniform_scaled": 1, "rademacher": 2,
+              "gaussian": 3}
+#: Generator family → integer code compiled into the fused kernels.
+RNG_CODES = {"philox": 0, "threefry": 1, "xoshiro": 2}
+
+# -- SplitMix64 -------------------------------------------------------------
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_M2 = np.uint64(0x94D049BB133111EB)
+_MIX_INIT = np.uint64(0x243F6A8885A308D3)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_ONE64 = np.uint64(1)
+
+
+@jit
+def splitmix64(x):
+    """Scalar twin of :func:`repro.rng.splitmix.splitmix64` (uint64→uint64)."""
+    z = x + _GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _SM_M1
+    z = (z ^ (z >> np.uint64(27))) * _SM_M2
+    return z ^ (z >> np.uint64(31))
+
+
+@jit
+def mix_key3(a, b, c):
+    """Scalar twin of ``mix_key(a, b, c)`` for three uint64 parts.
+
+    Callers pass values already reinterpreted to ``uint64`` (two's
+    complement for negatives), matching the vectorized
+    ``astype(int64).view(uint64)`` convention.
+    """
+    acc = splitmix64(_MIX_INIT ^ a)
+    acc = splitmix64(acc ^ b)
+    return splitmix64(acc ^ c)
+
+
+# -- Philox4x32 -------------------------------------------------------------
+
+_PH_MUL_A = np.uint64(0xD2511F53)
+_PH_MUL_B = np.uint64(0xCD9E8D57)
+_PH_WEYL_A = np.uint64(0x9E3779B9)
+_PH_WEYL_B = np.uint64(0xBB67AE85)
+
+
+@jit
+def philox_u64(row, col, k0, k1, rounds):
+    """Scalar twin of :func:`repro.rng.philox.philox_uint64` for one coordinate.
+
+    ``row``/``col`` are the uint64 counter halves; ``k0``/``k1`` the
+    32-bit key words held in uint64.  All lane values stay 32-bit-valued
+    inside uint64 registers (masking replaces the vectorized uint32 casts).
+    """
+    x0 = row & _MASK32
+    x1 = (row >> np.uint64(32)) & _MASK32
+    x2 = col & _MASK32
+    x3 = (col >> np.uint64(32)) & _MASK32
+    for _ in range(rounds):
+        p0 = _PH_MUL_A * x0
+        p1 = _PH_MUL_B * x2
+        hi0 = p0 >> np.uint64(32)
+        lo0 = p0 & _MASK32
+        hi1 = p1 >> np.uint64(32)
+        lo1 = p1 & _MASK32
+        nx0 = hi1 ^ x1 ^ k0
+        nx2 = hi0 ^ x3 ^ k1
+        x0 = nx0
+        x1 = lo1
+        x2 = nx2
+        x3 = lo0
+        k0 = (k0 + _PH_WEYL_A) & _MASK32
+        k1 = (k1 + _PH_WEYL_B) & _MASK32
+    return x0 | (x1 << np.uint64(32))
+
+
+# -- Threefry2x64 -----------------------------------------------------------
+
+_TF_PARITY = np.uint64(0x1BD11BDAA9FC1A22)
+_TF_ROT = np.array([16, 42, 12, 31, 16, 32, 24, 21], dtype=np.uint64)
+
+
+@jit
+def threefry_u64(c0, c1, k0, k1, rounds):
+    """Scalar twin of :func:`repro.rng.threefry.threefry_uint64` (word 0)."""
+    k2 = _TF_PARITY ^ k0 ^ k1
+    x0 = c0 + k0
+    x1 = c1 + k1
+    for r in range(rounds):
+        x0 = x0 + x1
+        rot = _TF_ROT[r % 8]
+        x1 = (x1 << rot) | (x1 >> (np.uint64(64) - rot))
+        x1 = x1 ^ x0
+        if (r + 1) % 4 == 0:
+            inject = (r + 1) // 4
+            ia = inject % 3
+            ib = (inject + 1) % 3
+            ka = k0 if ia == 0 else (k1 if ia == 1 else k2)
+            kb = k0 if ib == 0 else (k1 if ib == 1 else k2)
+            x0 = x0 + ka
+            x1 = x1 + kb + np.uint64(inject)
+    return x0
+
+
+# -- Checkpointed xoshiro256** ----------------------------------------------
+
+
+@jit
+def xoshiro_fill(seed_u, r_u, j_u, n_lanes, state, out):
+    """Fill ``out`` with the checkpoint-``(r, j)`` bit stream.
+
+    Scalar twin of :func:`repro.rng.xoshiro.checkpoint_bits` for one
+    column: seeds ``n_lanes`` lane states from ``(seed, r, j, lane)``
+    (into the caller-provided ``(4, n_lanes)`` uint64 scratch ``state``)
+    and emits the interleaved lane outputs — position ``t*n_lanes + l``
+    holds lane ``l``'s step-``t`` output — until ``out`` (uint64,
+    length = sample count) is full.
+    """
+    base = mix_key3(seed_u, r_u, j_u)
+    for lane in range(n_lanes):
+        key = splitmix64(base ^ (np.uint64(lane) * _GAMMA + _ONE64))
+        for w in range(4):
+            state[w, lane] = splitmix64(key + _GAMMA * np.uint64(w))
+    count = out.shape[0]
+    steps = (count + n_lanes - 1) // n_lanes
+    for t in range(steps):
+        for lane in range(n_lanes):
+            pos = t * n_lanes + lane
+            if pos >= count:
+                break
+            s0 = state[0, lane]
+            s1 = state[1, lane]
+            s2 = state[2, lane]
+            s3 = state[3, lane]
+            result = s1 * np.uint64(5)
+            result = ((result << np.uint64(7)) |
+                      (result >> np.uint64(57))) * np.uint64(9)
+            tt = s1 << np.uint64(17)
+            s2 = s2 ^ s0
+            s3 = s3 ^ s1
+            s1 = s1 ^ s2
+            s0 = s0 ^ s3
+            s2 = s2 ^ tt
+            s3 = (s3 << np.uint64(45)) | (s3 >> np.uint64(19))
+            state[0, lane] = s0
+            state[1, lane] = s1
+            state[2, lane] = s2
+            state[3, lane] = s3
+            out[pos] = result
+
+
+# -- Deterministic Box–Muller transcendentals -------------------------------
+# Scalar twins of repro.rng.detmath — same fdlibm constants, same
+# operation order, so vectorized and scalar evaluation agree bit-for-bit.
+
+_LN2_HI = 6.93147180369123816490e-01
+_LN2_LO = 1.90821492927058770002e-10
+_LG1 = 6.666666666666735130e-01
+_LG2 = 3.999999999940941908e-01
+_LG3 = 2.857142874366239149e-01
+_LG4 = 2.222219843214978396e-01
+_LG5 = 1.818357216161805012e-01
+_LG6 = 1.531383769920937332e-01
+_LG7 = 1.479819860511658591e-01
+_SQRT_HALF = 0.70710678118654752440
+_S1 = -1.66666666666666324348e-01
+_S2 = 8.33333333332248946124e-03
+_S3 = -1.98412698298579493134e-04
+_S4 = 2.75573137070700676789e-06
+_S5 = -2.50507602534068634195e-08
+_S6 = 1.58969099521155010221e-10
+_C1 = 4.16666666666666019037e-02
+_C2 = -1.38888888888741095749e-03
+_C3 = 2.48015872894767294178e-05
+_C4 = -2.75573143513906633035e-07
+_C5 = 2.08757232129817482790e-09
+_C6 = -1.13596475577881948265e-11
+_PI_OVER_2 = 1.5707963267948966
+
+
+@jit
+def log_det(x):
+    """Scalar twin of :func:`repro.rng.detmath.det_log` (positive normal x)."""
+    m, e = math.frexp(x)
+    dk = float(e)
+    if m < _SQRT_HALF:
+        m = m + m
+        dk = dk - 1.0
+    f = m - 1.0
+    hfsq = 0.5 * f * f
+    s = f / (2.0 + f)
+    z = s * s
+    w = z * z
+    t1 = w * (_LG2 + w * (_LG4 + w * _LG6))
+    t2 = z * (_LG1 + w * (_LG3 + w * (_LG5 + w * _LG7)))
+    r = t2 + t1
+    return dk * _LN2_HI - ((hfsq - (s * (hfsq + r) + dk * _LN2_LO)) - f)
+
+
+@jit
+def cos_2pi_det(u):
+    """Scalar twin of :func:`repro.rng.detmath.det_cos_2pi` (u in [0, 1))."""
+    t = 4.0 * u
+    n = math.floor(t + 0.5)
+    g = t - n
+    theta = g * _PI_OVER_2
+    z = theta * theta
+
+    r_s = _S2 + z * (_S3 + z * (_S4 + z * (_S5 + z * _S6)))
+    sin_k = theta + (z * theta) * (_S1 + z * r_s)
+
+    r_c = z * (_C1 + z * (_C2 + z * (_C3 + z * (_C4 + z * (_C5 + z * _C6)))))
+    ax = abs(theta)
+    if ax < 0.3:
+        qx = 0.0
+    elif ax > 0.78125:
+        qx = 0.28125
+    else:
+        qx = 0.25 * ax
+    hz = 0.5 * z - qx
+    a = 1.0 - qx
+    cos_k = a - (hz - z * r_c)
+
+    q = int(n) & 3
+    if q == 0:
+        return cos_k
+    elif q == 1:
+        return -sin_k
+    elif q == 2:
+        return -cos_k
+    return sin_k
+
+
+# -- bits → entry transforms ------------------------------------------------
+
+_HALF_BIT = np.uint64(0x80000000)
+_TWO31 = 2147483648.0
+_TWO32F = 4294967296.0
+
+
+@jit
+def u64_to_uniform(bits):
+    """Scalar twin of the ``uniform`` transform: signed low 32 bits / 2^31."""
+    lo = bits & _MASK32
+    x = np.float64(lo)
+    if lo >= _HALF_BIT:
+        x = x - _TWO32F
+    return x / _TWO31
+
+
+@jit
+def u64_to_uniform_scaled(bits):
+    """Scalar twin of ``uniform_scaled``: the raw signed 32-bit integer."""
+    lo = bits & _MASK32
+    x = np.float64(lo)
+    if lo >= _HALF_BIT:
+        x = x - _TWO32F
+    return x
+
+
+@jit
+def u64_to_rademacher(bits):
+    """Scalar twin of ``rademacher``: +-1 from bit 33."""
+    if (bits >> np.uint64(33)) & _ONE64:
+        return 1.0
+    return -1.0
+
+
+@jit
+def u64_to_gaussian(bits):
+    """Scalar twin of ``gaussian``: deterministic Box–Muller on the halves."""
+    hi = np.float64(bits >> np.uint64(32))
+    lo = np.float64(bits & _MASK32)
+    u1 = (hi + 0.5) / _TWO32F
+    u2 = (lo + 0.5) / _TWO32F
+    return math.sqrt(-2.0 * log_det(u1)) * cos_2pi_det(u2)
+
+
+@jit
+def u64_to_value(bits, dist_code):
+    """Dispatch on a :data:`DIST_CODES` code inside a fused kernel."""
+    if dist_code == 0:
+        return u64_to_uniform(bits)
+    elif dist_code == 1:
+        return u64_to_uniform_scaled(bits)
+    elif dist_code == 2:
+        return u64_to_rademacher(bits)
+    return u64_to_gaussian(bits)

@@ -1,0 +1,179 @@
+"""Tests for repro.rng.jit — scalar twins of the vectorized primitives.
+
+The bit-identity contract these tests pin down is what makes the Numba
+backend's output equal to the reference kernels': every scalar helper
+must reproduce its vectorized counterpart's bits exactly, for every
+coordinate.  The helpers degrade to plain Python when Numba is absent,
+so the whole suite runs (and the contract stays guarded) on numba-less
+hosts; scalar ``uint64`` arithmetic then raises NumPy overflow warnings
+that the compiled versions don't, hence the ``errstate`` guards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rng import jit as rj
+from repro.rng.detmath import det_cos_2pi, det_log
+from repro.rng.distributions import (
+    _bits_to_gaussian,
+    _bits_to_rademacher,
+    _bits_to_uniform,
+    _bits_to_uniform_scaled,
+)
+from repro.rng.philox import key_from_seed, philox_uint64
+from repro.rng.splitmix import mix_key, splitmix64
+from repro.rng.threefry import key_pair_from_seed, threefry_uint64
+from repro.rng.xoshiro import checkpoint_bits
+
+_SEEDS = (0, 1, 42, 2**31 - 1, 2**63 + 5)
+_COORDS = [(0, 0), (1, 0), (0, 1), (7, 13), (2**40 + 3, 2**33 + 9),
+           (2**63 - 1, 2**62 + 1)]
+
+
+def _u64(x):
+    return np.uint64(x & 0xFFFFFFFFFFFFFFFF)
+
+
+class TestSplitmixTwins:
+    def test_splitmix64_matches_vectorized(self):
+        xs = np.array([0, 1, 99, 2**64 - 1, 0x9E3779B97F4A7C15],
+                      dtype=np.uint64)
+        expected = splitmix64(xs)
+        with np.errstate(over="ignore"):
+            got = [rj.splitmix64(x) for x in xs]
+        assert [int(g) for g in got] == [int(e) for e in expected]
+
+    def test_mix_key3_matches_vectorized(self):
+        for a, b, c in [(0, 0, 0), (1, 2, 3), (2**63, 7, 2**40),
+                        (-1 % 2**64, 5, 11)]:
+            expected = int(mix_key(np.uint64(a), np.uint64(b), np.uint64(c)))
+            with np.errstate(over="ignore"):
+                got = int(rj.mix_key3(_u64(a), _u64(b), _u64(c)))
+            assert got == expected
+
+
+class TestCounterTwins:
+    @pytest.mark.parametrize("seed", _SEEDS)
+    @pytest.mark.parametrize("rounds", [7, 10])
+    def test_philox_matches_vectorized(self, seed, rounds):
+        k0, k1 = key_from_seed(seed)
+        rows = np.array([c[0] for c in _COORDS], dtype=np.uint64)
+        cols = np.array([c[1] for c in _COORDS], dtype=np.uint64)
+        expected = philox_uint64(rows, cols, (k0, k1), rounds=rounds)
+        with np.errstate(over="ignore"):
+            got = [rj.philox_u64(r, c, np.uint64(k0), np.uint64(k1), rounds)
+                   for r, c in zip(rows, cols)]
+        assert [int(g) for g in got] == [int(e) for e in expected]
+
+    @pytest.mark.parametrize("seed", _SEEDS)
+    @pytest.mark.parametrize("rounds", [13, 20])
+    def test_threefry_matches_vectorized(self, seed, rounds):
+        key = key_pair_from_seed(seed)
+        rows = np.array([c[0] for c in _COORDS], dtype=np.uint64)
+        cols = np.array([c[1] for c in _COORDS], dtype=np.uint64)
+        expected = threefry_uint64(rows, cols, key, rounds=rounds)
+        with np.errstate(over="ignore"):
+            got = [rj.threefry_u64(r, c, np.uint64(key[0]), np.uint64(key[1]),
+                                   rounds)
+                   for r, c in zip(rows, cols)]
+        assert [int(g) for g in got] == [int(e) for e in expected]
+
+
+class TestXoshiroTwin:
+    @pytest.mark.parametrize("n_lanes", [1, 3, 64])
+    @pytest.mark.parametrize("count", [1, 5, 64, 200])
+    def test_fill_matches_checkpoint_bits(self, n_lanes, count):
+        seed, r, j = 1234, 17, 5
+        expected = checkpoint_bits(seed, r, np.array([j]), count,
+                                   n_lanes=n_lanes)[:, 0]
+        state = np.empty((4, n_lanes), dtype=np.uint64)
+        out = np.empty(count, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            rj.xoshiro_fill(_u64(seed), _u64(r), _u64(j), n_lanes, state, out)
+        assert np.array_equal(out, expected)
+
+    def test_negative_seed_convention(self):
+        # Vectorized mix_key reinterprets int64 → uint64 (two's complement);
+        # the caller of xoshiro_fill must pass the same reinterpretation.
+        seed = -7
+        expected = checkpoint_bits(seed, 0, np.array([2]), 8, n_lanes=2)[:, 0]
+        state = np.empty((4, 2), dtype=np.uint64)
+        out = np.empty(8, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            rj.xoshiro_fill(np.uint64(np.int64(seed)), _u64(0), _u64(2), 2,
+                            state, out)
+        assert np.array_equal(out, expected)
+
+
+class TestTransformTwins:
+    def _bits(self):
+        # Edge patterns plus a pseudo-random spread of both 32-bit halves.
+        fixed = np.array([0, 1, 2**31, 2**32 - 1, 2**63, 2**64 - 1,
+                          0x8000000080000000, 0x7FFFFFFF7FFFFFFF],
+                         dtype=np.uint64)
+        spread = splitmix64(np.arange(500, dtype=np.uint64))
+        return np.concatenate([fixed, spread])
+
+    def test_uniform(self):
+        bits = self._bits()
+        expected = _bits_to_uniform(bits)
+        got = np.array([rj.u64_to_uniform(b) for b in bits])
+        assert np.array_equal(got, expected)
+
+    def test_uniform_scaled(self):
+        bits = self._bits()
+        expected = _bits_to_uniform_scaled(bits)
+        got = np.array([rj.u64_to_uniform_scaled(b) for b in bits])
+        assert np.array_equal(got, expected)
+
+    def test_rademacher(self):
+        bits = self._bits()
+        expected = _bits_to_rademacher(bits)
+        got = np.array([rj.u64_to_rademacher(b) for b in bits])
+        assert np.array_equal(got, expected)
+        assert set(np.unique(got)) == {-1.0, 1.0}
+
+    def test_gaussian(self):
+        bits = self._bits()
+        expected = _bits_to_gaussian(bits)
+        got = np.array([rj.u64_to_gaussian(b) for b in bits])
+        assert np.array_equal(got, expected)
+
+    def test_dispatch_codes_cover_all_distributions(self):
+        bits = self._bits()[:32]
+        by_code = {0: _bits_to_uniform, 1: _bits_to_uniform_scaled,
+                   2: _bits_to_rademacher, 3: _bits_to_gaussian}
+        assert set(rj.DIST_CODES.values()) == set(by_code)
+        for name, code in rj.DIST_CODES.items():
+            expected = by_code[code](bits)
+            got = np.array([rj.u64_to_value(b, code) for b in bits])
+            assert np.array_equal(got, expected), name
+
+
+class TestDetmathTwins:
+    def test_log_det_matches_vectorized(self):
+        xs = np.concatenate([
+            np.linspace(1e-12, 1.0 - 1e-12, 400),
+            np.array([0.5, 0.25, 0.70710678, 1.0 - 2**-53]),
+        ])
+        expected = det_log(xs)
+        got = np.array([rj.log_det(x) for x in xs])
+        assert np.array_equal(got, expected)
+
+    def test_cos_2pi_det_matches_vectorized(self):
+        us = np.linspace(0.0, 1.0, 1001, endpoint=False)
+        expected = det_cos_2pi(us)
+        got = np.array([rj.cos_2pi_det(u) for u in us])
+        assert np.array_equal(got, expected)
+
+
+class TestAvailabilityFlag:
+    def test_flag_is_bool(self):
+        assert rj.NUMBA_AVAILABLE in (True, False)
+
+    def test_jit_decorator_preserves_callability(self):
+        @rj.jit
+        def plus_one(x):
+            return x + 1.0
+
+        assert plus_one(1.0) == 2.0
