@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,11 @@ test-verbose:
 # NaN/Inf handling never leaks through silent RuntimeWarnings.
 faults:
 	python -W error::RuntimeWarning -m pytest tests/faults -q
+
+# Durability suite: atomic snapshots, torn-write/bitflip injection,
+# SIGKILL-and-resume, and the RNG-replay integrity audit.
+faults-persist:
+	python -W error::RuntimeWarning -m pytest tests/faults tests/persist -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -79,6 +79,21 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["raise", "recompute", "mask"],
                     help="numerical guardrail policy for NaN/Inf/outlier "
                          "blocks (default: off)")
+    sk.add_argument("--checkpoint-dir", default=None,
+                    help="durable checkpointing: write atomic snapshots of "
+                         "the partial sketch to this directory")
+    sk.add_argument("--checkpoint-every", type=int, default=1,
+                    help="snapshot cadence in completed row blocks "
+                         "(default: every block)")
+    sk.add_argument("--resume", action="store_true",
+                    help="resume from the newest verified snapshot in "
+                         "--checkpoint-dir instead of starting over")
+    sk.add_argument("--verify", action="store_true",
+                    help="audit the newest snapshot in --checkpoint-dir "
+                         "against the input matrix (RNG replay of sampled "
+                         "tiles) instead of sketching")
+    sk.add_argument("--verify-exhaustive", action="store_true",
+                    help="with --verify: replay every tile, not a sample")
     sk.add_argument("--output", help="write the dense sketch as .npy")
 
     lsq = sub.add_parser("lsq", help="solve a least-squares problem")
@@ -160,11 +175,27 @@ def _resilience_from_args(args):
 
 def _cmd_sketch(args) -> dict:
     A = _load_matrix(args)
+    if args.verify:
+        if not args.checkpoint_dir:
+            from .errors import ConfigError
+
+            raise ConfigError("--verify requires --checkpoint-dir")
+        from .persist import verify_snapshot
+
+        report = verify_snapshot(args.checkpoint_dir, A,
+                                 exhaustive=args.verify_exhaustive,
+                                 seed=args.seed)
+        out = report.as_dict()
+        out["input_shape"] = list(A.shape)
+        out["input_nnz"] = A.nnz
+        return out
     cfg = SketchConfig(gamma=args.gamma, distribution=args.dist,
                        rng_kind=args.rng, kernel=args.kernel, seed=args.seed,
                        backend=args.backend, threads=args.threads,
                        resilience=_resilience_from_args(args))
-    result = sketch(A, config=cfg)
+    result = sketch(A, config=cfg, checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume)
     if args.output:
         np.save(args.output, result.sketch)
     st = result.stats
@@ -181,6 +212,12 @@ def _cmd_sketch(args) -> dict:
         "jit_compile_seconds": st.extra.get("jit_compile_seconds", 0.0),
         "output": args.output,
     }
+    if args.checkpoint_dir:
+        out["checkpoint_dir"] = args.checkpoint_dir
+        out["snapshots_written"] = st.extra.get("snapshots_written", 0)
+        resumed = st.extra.get("resumed_from")
+        if resumed:
+            out["resumed_from"] = str(resumed)
     if st.health is not None:
         out["health"] = st.health.as_dict() if args.json else st.health.summary()
     return out

@@ -100,25 +100,47 @@ class SketchOperator:
             b_n = self.config.b_n
         return b_d, b_n
 
-    def apply(self, A: CSCMatrix) -> SketchResult:
-        """Compute ``S @ A`` through the configured kernel path."""
+    def apply(self, A: CSCMatrix, *, checkpoint_dir=None,
+              checkpoint_every: int = 1,
+              resume: bool = False) -> SketchResult:
+        """Compute ``S @ A`` through the configured kernel path.
+
+        With *checkpoint_dir* set, the run writes durable snapshots of
+        completed row blocks every *checkpoint_every* row-block
+        completions, and ``resume=True`` restores the newest
+        verified-good snapshot before computing the rest (see
+        :mod:`repro.persist`).  Checkpointing routes through the
+        resilient executor (any thread count) and is unavailable for the
+        ``pregen`` kernel, which has no row-block barriers.
+        """
         if A.shape[0] != self.m:
             raise ShapeError(
                 f"operator expects {self.m} rows, matrix has {A.shape[0]}"
             )
+        A.validate(require_finite=True)
         kernel = self._resolve_kernel(A)
         b_d, b_n = self._blocking(A.shape[1])
+        if resume and checkpoint_dir is None:
+            raise ConfigError("resume=True requires checkpoint_dir")
         if kernel == "pregen":
+            if checkpoint_dir is not None:
+                raise ConfigError(
+                    "checkpointing is not supported for the 'pregen' kernel"
+                )
             Ahat, stats = pregen_full(A, self.d, self._rng())
-        elif self.config.threads > 1 or self.config.resilience is not None:
+        elif (self.config.threads > 1 or self.config.resilience is not None
+              or checkpoint_dir is not None):
             # The resilient executor also serves threads == 1 when a
-            # resilience policy is configured, so guardrails and retries
-            # apply to sequential runs too.
+            # resilience policy or checkpointing is configured, so
+            # guardrails, retries, and snapshot barriers apply to
+            # sequential runs too.
             Ahat, stats = parallel_sketch_spmm(
                 A, self.d, lambda w: self.config.build_rng(w),
                 threads=self.config.threads, kernel=kernel, b_d=b_d, b_n=b_n,
                 resilience=self.config.resilience,
                 backend=self.config.backend,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every, resume=resume,
             )
         else:
             Ahat, stats = sketch_spmm(
@@ -172,7 +194,10 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
            backend: str | None = None,
            quality_check: bool = False,
            quality_threshold: float | None = None,
-           max_resketch: int = 1) -> SketchResult:
+           max_resketch: int = 1,
+           checkpoint_dir=None,
+           checkpoint_every: int = 1,
+           resume: bool = False) -> SketchResult:
     """One-call sketching: ``Ahat = S A`` with ``d ~ gamma * n``.
 
     Exactly one of *gamma* / *d* may override the config's sizing.  This is
@@ -206,10 +231,23 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
 
     The accepted result's ``stats.extra`` records ``distortion``,
     ``distortion_threshold``, and ``resketches``.
+
+    checkpoint_dir, checkpoint_every, resume:
+        Durable crash recovery: write atomic snapshots of completed row
+        blocks to *checkpoint_dir* and, with ``resume=True``, restore
+        the newest verified-good one before computing the rest (see
+        :mod:`repro.persist` and :meth:`SketchOperator.apply`).
+        Incompatible with *quality_check*, whose automatic re-sketching
+        changes ``d`` mid-run and would orphan the snapshots.
     """
     cfg = config if config is not None else SketchConfig()
     if backend is not None:
         cfg = dataclasses.replace(cfg, backend=backend)
+    if checkpoint_dir is not None and quality_check:
+        raise ConfigError(
+            "checkpoint_dir is incompatible with quality_check: automatic "
+            "re-sketching changes d mid-run, orphaning the snapshots"
+        )
     if gamma is not None and d is not None:
         raise ConfigError("pass at most one of gamma / d")
     if gamma is not None:
@@ -226,7 +264,8 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
         d_eff = cfg.sketch_size(A.shape[1])
     if not quality_check:
         op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
-        return op.apply(A)
+        return op.apply(A, checkpoint_dir=checkpoint_dir,
+                        checkpoint_every=checkpoint_every, resume=resume)
 
     from ..errors import SketchQualityError
     from .distortion import sketch_distortion  # local: avoids module cycle

@@ -23,13 +23,19 @@ Determinism: for the counter-based families the final sketch is
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..errors import ConfigError, ShapeError
-from ..kernels.blocking import sketch_spmm
+from ..errors import ConfigError, FormatError, ShapeError
+from ..kernels.backends import resolve_backend
+from ..kernels.blocking import default_block_sizes, sketch_spmm
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
 from ..utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..persist.snapshot import CheckpointManager
 
 __all__ = ["StreamingSketch"]
 
@@ -75,6 +81,18 @@ class _OffsetRNG(SketchingRNG):
     def samples_generated(self, value: int) -> None:
         self._inner.samples_generated = value
 
+    @property
+    def family(self) -> str:
+        return self._inner.family
+
+    @property
+    def seed(self) -> int:
+        return self._inner.seed
+
+    @seed.setter
+    def seed(self, value: int) -> None:
+        self._inner.seed = value
+
 
 class StreamingSketch:
     """Maintains ``Ahat = S A`` while rows of ``A`` arrive in batches.
@@ -89,7 +107,21 @@ class StreamingSketch:
         The sketch generator; its state object is shared across batches so
         instrumentation (``samples_generated``) accumulates.
     kernel, b_d, b_n:
-        Kernel options forwarded to :func:`repro.kernels.sketch_spmm`.
+        Kernel options forwarded to :func:`repro.kernels.sketch_spmm`;
+        block sizes are resolved eagerly (via
+        :func:`repro.kernels.default_block_sizes`) so every batch uses the
+        same grid and checkpoints can fingerprint it.
+    backend:
+        Kernel backend name/instance (resolved eagerly; recorded in
+        checkpoint fingerprints because accumulation order — and thus bit
+        patterns — is backend-specific).
+    checkpoint, checkpoint_dir, checkpoint_every, checkpoint_keep:
+        Durable crash recovery (see :mod:`repro.persist`).  Pass either a
+        ready :class:`~repro.persist.CheckpointManager` (*checkpoint*) or
+        a directory (*checkpoint_dir*); with *checkpoint_every* set, a
+        verified-restorable snapshot of the partial sketch is written
+        atomically every time that many new rows have been absorbed.
+        Restore with :func:`repro.persist.resume_streaming`.
 
     Example
     -------
@@ -101,15 +133,26 @@ class StreamingSketch:
 
     def __init__(self, d: int, n: int, rng: SketchingRNG, *,
                  kernel: str = "algo3", b_d: int | None = None,
-                 b_n: int | None = None) -> None:
+                 b_n: int | None = None, backend=None,
+                 checkpoint: "CheckpointManager | None" = None,
+                 checkpoint_dir=None, checkpoint_every: int | None = None,
+                 checkpoint_keep: int = 2) -> None:
         self.d = check_positive_int(d, "d")
         self.n = check_positive_int(n, "n")
         self.rng = rng
         self.kernel = kernel
-        self.b_d = b_d
-        self.b_n = b_n
+        bd_default, bn_default = default_block_sizes(d, n)
+        self.b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
+        self.b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
+        self.backend = resolve_backend(backend)
         self.rows_seen = 0
         self.batches_absorbed = 0
+        #: Row batches absorbed through :meth:`absorb` as ``(offset, rows)``
+        #: pairs — the replay log checkpoint verification audits against.
+        self.batch_log: list[tuple[int, int]] = []
+        #: Chunks absorbed through :meth:`absorb_entries` (not replayable
+        #: from ``(offset, rows)`` coordinates; counted for resume-skip).
+        self.entry_chunks_absorbed = 0
         self._sketch = np.zeros((d, n), dtype=np.float64, order="F")
         if rng.post_scale != 1.0:
             # The scaling trick folds a constant into the *finished*
@@ -119,11 +162,67 @@ class StreamingSketch:
                 "StreamingSketch requires post_scale == 1 distributions; "
                 "use 'uniform' or 'rademacher'"
             )
+        if checkpoint is not None and checkpoint_dir is not None:
+            raise ConfigError("pass at most one of checkpoint / checkpoint_dir")
+        if checkpoint_every is not None:
+            check_positive_int(checkpoint_every, "checkpoint_every")
+        self.checkpoint_every = checkpoint_every
+        if checkpoint is None and checkpoint_dir is not None:
+            from ..persist.snapshot import CheckpointManager
+
+            checkpoint = CheckpointManager(checkpoint_dir,
+                                           keep=checkpoint_keep)
+        self.checkpoint = checkpoint
+        self._rows_at_last_snapshot = 0
 
     @property
     def sketch(self) -> np.ndarray:
         """The current ``d x n`` sketch of all rows absorbed so far."""
         return self._sketch
+
+    # -- durable checkpoints ------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """Immutable run identity for checkpoint compatibility checks."""
+        from ..persist.snapshot import run_fingerprint
+
+        return run_fingerprint(
+            mode="streaming", d=self.d, n=self.n, b_d=self.b_d,
+            b_n=self.b_n, kernel=self.kernel, backend=self.backend.name,
+            rng_kind=self.rng.family, seed=self.rng.seed,
+            distribution=self.rng.dist.name,
+        )
+
+    def save_checkpoint(self) -> "object | None":
+        """Write a snapshot of the current partial sketch now.
+
+        Returns the snapshot path, or ``None`` when no checkpoint manager
+        is configured.  Called automatically from :meth:`absorb` every
+        ``checkpoint_every`` rows; call it directly for externally paced
+        checkpoints (e.g. per input-file chunk).
+        """
+        if self.checkpoint is None:
+            return None
+        blocks = [(r, self._sketch[r:r + min(self.b_d, self.d - r), :])
+                  for r in range(0, self.d, self.b_d)]
+        state = {
+            "rows_seen": int(self.rows_seen),
+            "batches_absorbed": int(self.batches_absorbed),
+            "batches": [[int(off), int(cnt)] for off, cnt in self.batch_log],
+            "entry_chunks": int(self.entry_chunks_absorbed),
+            "samples_generated": int(self.rng.samples_generated),
+        }
+        path = self.checkpoint.save(blocks, self.fingerprint(), state)
+        self._rows_at_last_snapshot = self.rows_seen
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint is None or self.checkpoint_every is None:
+            return
+        if self.rows_seen - self._rows_at_last_snapshot >= self.checkpoint_every:
+            self.save_checkpoint()
+
+    # -- absorption ---------------------------------------------------------
 
     def absorb(self, batch: CSCMatrix) -> int:
         """Fold a batch of new rows into the sketch.
@@ -135,15 +234,22 @@ class StreamingSketch:
             raise ShapeError(
                 f"batch has {batch.shape[1]} columns, stream has {self.n}"
             )
+        if batch.nnz and not np.isfinite(batch.data).all():
+            raise FormatError(
+                "batch contains NaN/Inf values; refusing to absorb them "
+                "into the sketch"
+            )
         offset = self.rows_seen
         shifted = _OffsetRNG(self.rng, offset)
         update, _ = sketch_spmm(
             batch, self.d, shifted, kernel=self.kernel,
-            b_d=self.b_d, b_n=self.b_n,
+            b_d=self.b_d, b_n=self.b_n, backend=self.backend,
         )
         self._sketch += update
         self.rows_seen += batch.shape[0]
         self.batches_absorbed += 1
+        self.batch_log.append((offset, batch.shape[0]))
+        self._maybe_checkpoint()
         return offset
 
     def absorb_entries(self, rows: np.ndarray, cols: np.ndarray,
@@ -173,6 +279,11 @@ class StreamingSketch:
         # checkpoint grid the kernels use, so checkpointed generators agree
         # with the matrix path); S columns are addressed by the absolute
         # row indices, so duplicates and arbitrary entry order are fine.
+        if not np.isfinite(vals).all():
+            raise FormatError(
+                "entry values contain NaN/Inf; refusing to absorb them "
+                "into the sketch"
+            )
         b_d = self.b_d if self.b_d is not None else self.d
         for r in range(0, self.d, b_d):
             d1 = min(b_d, self.d - r)
@@ -180,26 +291,64 @@ class StreamingSketch:
             contrib = V * vals
             np.add.at(self._sketch[r:r + d1].T, cols, contrib.T)
         self.batches_absorbed += 1
+        self.entry_chunks_absorbed += 1
 
     @classmethod
     def from_matrix_market(cls, source, d: int, rng: SketchingRNG, *,
                            chunk: int = 65536, kernel: str = "algo3",
-                           b_d: int | None = None) -> "StreamingSketch":
+                           b_d: int | None = None, checkpoint_dir=None,
+                           checkpoint_every_chunks: int | None = None,
+                           resume: bool = False) -> "StreamingSketch":
         """Sketch a MatrixMarket file without ever materializing it.
 
         Streams the file's entries in *chunk*-sized batches through
         :meth:`absorb_entries`; peak memory is the ``d x n`` sketch plus
         one chunk.  Requires a ``general`` coordinate file.
+
+        With *checkpoint_dir* set, a durable snapshot is written every
+        *checkpoint_every_chunks* chunks (default: every chunk), and
+        ``resume=True`` restores the newest verified-good snapshot and
+        skips the already-absorbed chunks — a multi-hour out-of-core
+        sketch killed at 99% replays only the input scan, not the
+        arithmetic.  Chunk iteration is deterministic for a given file
+        and *chunk*, which is what makes skip-ahead exact; the chunk size
+        is part of the resume contract (it is checked via the absorbed
+        chunk count and the file's entry total).
         """
         from ..sparse.io_mm import iter_matrix_market_entries
 
         st: "StreamingSketch | None" = None
+        skip = 0
+        if resume:
+            if checkpoint_dir is None:
+                raise ConfigError("resume=True requires checkpoint_dir")
+            from ..persist.resume import try_resume_streaming
+
+            expect = {"mode": "streaming", "d": int(d),
+                      "kernel": str(kernel), "rng_kind": rng.family,
+                      "seed": rng.seed, "distribution": rng.dist.name}
+            if b_d is not None:
+                expect["b_d"] = int(b_d)
+            st = try_resume_streaming(checkpoint_dir, expect=expect)
+            if st is not None:
+                skip = st.entry_chunks_absorbed
+        every = (1 if checkpoint_every_chunks is None
+                 else check_positive_int(checkpoint_every_chunks,
+                                         "checkpoint_every_chunks"))
+        done = 0
         for (m, n, _nnz), rows, cols, vals in iter_matrix_market_entries(
                 source, chunk=chunk):
             if st is None:
-                st = cls(d, n, rng, kernel=kernel, b_d=b_d)
+                st = cls(d, n, rng, kernel=kernel, b_d=b_d,
+                         checkpoint_dir=checkpoint_dir)
                 st.rows_seen = m  # absolute coordinates; fixed stream height
+            done += 1
+            if done <= skip:
+                continue
             st.absorb_entries(rows, cols, vals)
+            if checkpoint_dir is not None and \
+                    st.entry_chunks_absorbed % every == 0:
+                st.save_checkpoint()
         if st is None:
             raise ShapeError("matrix file contained no entries")
         return st

@@ -14,16 +14,21 @@ Hierarchy::
     ├── ConvergenceError (RuntimeError)   iterative solver missed tolerance
     ├── SingularMatrixError (RuntimeError) factorization hit rank deficiency
     ├── SketchQualityError (RuntimeError) sketch failed a numerical guardrail
-    └── TaskFailedError (RuntimeError)    a block task failed irrecoverably
-        ├── TaskTimeoutError              task exceeded its deadline
-        └── RetryExhaustedError           task failed on every allowed attempt
+    ├── TaskFailedError (RuntimeError)    a block task failed irrecoverably
+    │   ├── TaskTimeoutError              task exceeded its deadline
+    │   └── RetryExhaustedError           task failed on every allowed attempt
+    └── CheckpointError (RuntimeError)    durable snapshot could not be used
+        ├── CheckpointCorruptionError     torn write / checksum mismatch
+        └── CheckpointMismatchError       snapshot fingerprint drifted
 
 The three task-level errors are raised by the resilient parallel executor
 (:mod:`repro.parallel.executor`); :class:`SketchQualityError` is raised by
 its numerical guardrails (policy ``"raise"``) and by the end-of-run
-distortion spot-check in :func:`repro.core.sketch`.  Injected faults from
-:mod:`repro.faults` deliberately do **not** derive from :class:`ReproError`
-— they simulate arbitrary third-party crashes the executor must survive.
+distortion spot-check in :func:`repro.core.sketch`.  The checkpoint errors
+are raised by the durable snapshot subsystem (:mod:`repro.persist`).
+Injected faults from :mod:`repro.faults` deliberately do **not** derive
+from :class:`ReproError` — they simulate arbitrary third-party crashes the
+executor must survive.
 """
 
 from __future__ import annotations
@@ -86,3 +91,21 @@ class TaskTimeoutError(TaskFailedError):
 class RetryExhaustedError(TaskFailedError):
     """A block task failed on its initial attempt and on every allowed
     retry (including any kernel-degradation attempt)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A durable sketch checkpoint could not be written, found, or loaded."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A snapshot on disk is damaged: a torn (partial) write, a missing or
+    truncated block file, or a content checksum that does not match the
+    manifest.  Recovery falls back to the previous verified-good snapshot;
+    this error is raised when no snapshot survives verification."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A snapshot's config fingerprint disagrees with the resuming run
+    (different ``b_d``/``b_n``, kernel, backend, RNG family, seed, or
+    distribution).  Resuming anyway would silently produce a sketch that
+    matches neither configuration, so the mismatch is always fatal."""

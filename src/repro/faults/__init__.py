@@ -4,14 +4,23 @@ The chaos-engineering half of the resilience layer (the recovery half
 lives in :mod:`repro.parallel`): seedable, coordinate-keyed fault plans
 (:class:`FaultPlan` / :class:`FaultSpec`) and the thread-safe runtime that
 fires them (:class:`FaultInjector`), injected into the executor through a
-three-hook interface that costs nothing when disabled.  Supported faults:
-task raises, NaN/Inf block corruption, simulated stragglers, and corrupted
-RNG state (:class:`CorruptingRNG`).  See ``docs/robustness.md`` for the
-fault model and recovery semantics.
+hook interface that costs nothing when disabled.  Supported faults:
+task raises, NaN/Inf block corruption, simulated stragglers, corrupted
+RNG state (:class:`CorruptingRNG`), and storage faults against the
+durable-checkpoint path (``torn_write`` crashes raising
+:class:`InjectedCrashError`, colluding ``bitflip`` corruption).  See
+``docs/robustness.md`` for the fault model and recovery semantics.
 """
 
 from .injector import CorruptingRNG, FaultEvent, FaultInjector
-from .plan import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFaultError, task_hash
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedFaultError,
+    task_hash,
+)
 
 __all__ = [
     "CorruptingRNG",
@@ -20,6 +29,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "InjectedCrashError",
     "InjectedFaultError",
     "task_hash",
 ]

@@ -17,6 +17,12 @@ fault matches:
 * :meth:`FaultInjector.on_block_computed` — may poison the finished block
   with NaN/Inf.
 
+The snapshot writer (:mod:`repro.persist.snapshot`) adds a fourth hook,
+:meth:`FaultInjector.snapshot_faults`, which reports which storage faults
+(``torn_write`` / ``bitflip``) to apply to a just-finalized snapshot; the
+task coordinate there is ``(snapshot seq, block index)`` rather than a
+kernel block offset.
+
 Production code paths pass ``injector=None`` and pay a single ``is None``
 check per run — the framework costs ~zero when disabled.
 """
@@ -29,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng.base import SketchingRNG
 from .plan import FaultPlan, FaultSpec, InjectedFaultError
 
 __all__ = ["FaultEvent", "FaultInjector", "CorruptingRNG"]
@@ -45,28 +52,65 @@ class FaultEvent:
     kernel: str
 
 
-class CorruptingRNG:
+class CorruptingRNG(SketchingRNG):
     """Wraps a :class:`~repro.rng.base.SketchingRNG`, scaling every sample.
 
     Models a corrupted RNG checkpoint: the generator keeps producing
     finite numbers, but wildly out of distribution — the failure mode the
-    *magnitude* guardrail (not the NaN check) exists to catch.  Delegates
-    everything else to the wrapped generator, including the sample
-    counters, so run accounting stays truthful.
+    *magnitude* guardrail (not the NaN check) exists to catch.
+
+    A proper :class:`~repro.rng.base.SketchingRNG` subclass (mirroring the
+    streaming layer's ``_OffsetRNG`` view): every derived entry point —
+    :meth:`~repro.rng.base.SketchingRNG.column_block`,
+    :meth:`~repro.rng.base.SketchingRNG.materialize` — routes through the
+    corrupted :meth:`column_block_batch`, and the identity / counter
+    properties forward to the wrapped generator (setters included), so the
+    corruption composes with offset views in either nesting order and run
+    accounting stays truthful.
     """
 
-    def __init__(self, inner, magnitude: float) -> None:
+    def __init__(self, inner: SketchingRNG, magnitude: float) -> None:
+        # Deliberately skip SketchingRNG.__init__: state lives in `inner`.
         self._inner = inner
         self._magnitude = float(magnitude)
+
+    def _bits_block(self, r, d1, js):  # pragma: no cover - not reached
+        raise NotImplementedError
 
     def column_block_batch(self, r: int, d1: int, js: np.ndarray) -> np.ndarray:
         return self._inner.column_block_batch(r, d1, js) * self._magnitude
 
-    def column_block(self, r: int, d1: int, j: int) -> np.ndarray:
-        return self.column_block_batch(r, d1, np.array([j]))[:, 0]
+    @property
+    def blocking_independent(self) -> bool:
+        return self._inner.blocking_independent
 
-    def __getattr__(self, name: str):
-        return getattr(self._inner, name)
+    @property
+    def dist(self):
+        return self._inner.dist
+
+    @property
+    def post_scale(self) -> float:
+        return self._inner.post_scale
+
+    @property
+    def samples_generated(self) -> int:
+        return self._inner.samples_generated
+
+    @samples_generated.setter
+    def samples_generated(self, value: int) -> None:
+        self._inner.samples_generated = value
+
+    @property
+    def family(self) -> str:
+        return self._inner.family
+
+    @property
+    def seed(self) -> int:
+        return self._inner.seed
+
+    @seed.setter
+    def seed(self, value: int) -> None:
+        self._inner.seed = value
 
 
 class FaultInjector:
@@ -140,6 +184,20 @@ class FaultInjector:
             if block.size:
                 block.flat[block.size // 2] = (np.nan if spec.kind == "nan"
                                                else np.inf)
+
+    def snapshot_faults(self, seq: int, block_index: int) -> list[str]:
+        """Storage-fault kinds to apply to block *block_index* of snapshot *seq*.
+
+        Called by :func:`repro.persist.snapshot.write_snapshot` after a
+        snapshot directory is finalized.  The task coordinate is
+        ``(seq, block_index)`` — specs targeting ``task=None`` match every
+        block of every snapshot; kernel/scope filters use the pseudo
+        kernel ``"snapshot"`` and context ``"persist"``.
+        """
+        return [spec.kind
+                for spec in self._fire(("torn_write", "bitflip"),
+                                       (int(seq), int(block_index)),
+                                       "snapshot", "persist", 1)]
 
     # -- inspection -------------------------------------------------------
 

@@ -25,6 +25,20 @@ Fault kinds
     The task's generator is wrapped so every sample is scaled by
     :attr:`FaultSpec.magnitude` (models corrupted RNG checkpoint state;
     caught by the magnitude guardrail, not the finiteness check).
+``torn_write``
+    Targets the *snapshot path* (:mod:`repro.persist.snapshot`), not a
+    kernel task: a just-finalized snapshot block file is truncated and
+    :class:`InjectedCrashError` is raised — a crash that beat the data to
+    disk while the manifest survived.  The task coordinate is
+    ``(snapshot seq, block index)``.  Loaders must reject the torn
+    snapshot (manifest size/checksum mismatch) and fall back to the
+    previous verified-good one — never resume from it.
+``bitflip``
+    Also targets the snapshot path: one byte of a finalized block file is
+    flipped *and the manifest checksum is patched to collude* — modelling
+    corruption that happened before checksumming (bad DIMM, buggy
+    writer).  Checksum verification passes by construction; only the
+    replay audit of :mod:`repro.persist.verify` can catch it.
 """
 
 from __future__ import annotations
@@ -34,9 +48,10 @@ from typing import Iterator, Sequence
 
 from ..errors import ConfigError
 
-__all__ = ["InjectedFaultError", "FaultSpec", "FaultPlan", "FAULT_KINDS"]
+__all__ = ["InjectedFaultError", "InjectedCrashError", "FaultSpec",
+           "FaultPlan", "FAULT_KINDS"]
 
-FAULT_KINDS = ("raise", "nan", "inf", "stall", "rng")
+FAULT_KINDS = ("raise", "nan", "inf", "stall", "rng", "torn_write", "bitflip")
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -212,4 +227,14 @@ class InjectedFaultError(RuntimeError):
     for an arbitrary third-party crash (a BLAS segfault surfacing as an
     exception, a poisoned input, a worker OOM) that the resilient executor
     must survive without special-casing.
+    """
+
+
+class InjectedCrashError(InjectedFaultError):
+    """A ``torn_write`` fault's simulated process death.
+
+    Unlike its parent (a *transient, retryable* task failure), this stands
+    in for the process being killed mid-snapshot: the resilient executor
+    must **not** retry past it — it propagates so the test harness can
+    observe the "crash" and exercise the resume path.
     """

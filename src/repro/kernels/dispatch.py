@@ -99,6 +99,7 @@ def choose_kernel(machine: "MachineModel", A: CSCMatrix,
             "choose_kernel needs at least one nonzero: an all-zero matrix "
             "has no sparsity pattern to dispatch on"
         )
+    A.validate(require_finite=True)
     for attr in ("h_base", "random_access_penalty", "peak_gflops",
                  "bandwidth_gbs"):
         value = float(getattr(machine, attr))

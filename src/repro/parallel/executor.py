@@ -57,6 +57,7 @@ from ..kernels.backends import (
     KernelWorkspace,
     resolve_backend,
 )
+from ..faults.plan import InjectedCrashError
 from ..kernels.blocking import default_block_sizes, iter_block_tasks
 from ..kernels.stats import KernelStats
 from ..rng.base import SketchingRNG
@@ -118,6 +119,11 @@ class ResilientExecutor:
         resilience: ResilienceConfig | None = None,
         injector: "FaultInjector | None" = None,
         backend: str | KernelBackend | None = None,
+        checkpoint: "object | None" = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        checkpoint_keep: int = 2,
+        resume: bool = False,
     ) -> None:
         self.d = check_positive_int(d, "d")
         self.threads = check_positive_int(threads, "threads")
@@ -131,7 +137,26 @@ class ResilientExecutor:
         self.strategy = strategy
         self.blocked = blocked
         self.injector = injector
-        self.guarded = resilience is not None or injector is not None
+        if checkpoint is not None and checkpoint_dir is not None:
+            raise ConfigError("pass at most one of checkpoint / checkpoint_dir")
+        if checkpoint is None and checkpoint_dir is not None:
+            from ..persist.snapshot import CheckpointManager
+
+            checkpoint = CheckpointManager(checkpoint_dir,
+                                           keep=checkpoint_keep,
+                                           injector=injector)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = check_positive_int(checkpoint_every,
+                                                   "checkpoint_every")
+        if resume and checkpoint is None:
+            raise ConfigError("resume=True requires a checkpoint directory")
+        self._resume_requested = resume
+        self.resumed_from = None
+        # Durable checkpoints need the per-task commit hooks, so their
+        # presence selects the guarded path even without a resilience
+        # policy or injector.
+        self.guarded = (resilience is not None or injector is not None
+                        or checkpoint is not None)
         self.resilience = (resilience if resilience is not None
                            else ResilienceConfig()) if self.guarded else None
 
@@ -160,6 +185,69 @@ class ResilientExecutor:
         self.Ahat: np.ndarray | None = None
         self._block_by_offset: dict[int, object] = {}
 
+        # Row-block completion tracking for checkpoint barriers: a row
+        # block is complete when all its column tiles have committed, at
+        # which point its rows of Ahat are final (pre-post_scale) and safe
+        # to persist while other row blocks are still being computed.
+        self._row_pending: dict[int, int] = {}
+        self._completed_rows: set[int] = set()
+        self._rows_since_snapshot = 0
+
+    # -- durable checkpoints ------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """Immutable run identity for checkpoint compatibility checks."""
+        from ..persist.snapshot import run_fingerprint
+
+        rng = self.rng_factory(0)
+        return run_fingerprint(
+            mode="blocked", d=self.d, n=self.A.shape[1], b_d=self.b_d,
+            b_n=self.b_n, kernel=self.kernel, backend=self.backend.name,
+            rng_kind=rng.family, seed=rng.seed,
+            distribution=rng.dist.name,
+        )
+
+    def _maybe_checkpoint(self, *, force: bool = False) -> None:
+        """Snapshot the completed row blocks if a checkpoint is due.
+
+        Called by whichever worker completes a row block; the manager
+        serializes concurrent writers.  Row blocks still in flight are
+        excluded, so every persisted byte is final.
+        """
+        if self.checkpoint is None:
+            return
+        with self._claim_lock:
+            if self._rows_since_snapshot == 0:
+                return
+            if not force and self._rows_since_snapshot < self.checkpoint_every:
+                return
+            rows = sorted(self._completed_rows)
+            self._rows_since_snapshot = 0
+        blocks = [(r, self.Ahat[r:r + min(self.b_d, self.d - r), :])
+                  for r in rows]
+        self.checkpoint.save(blocks, self.fingerprint(),
+                             {"completed_rows": rows})
+
+    def _resume_from_snapshot(self, tasks: list[Task]) -> list[Task]:
+        """Restore completed row blocks; return the tasks still to run."""
+        from ..persist.resume import latest_verified_snapshot
+        from ..persist.snapshot import check_fingerprint
+
+        snap = latest_verified_snapshot(self.checkpoint.directory)
+        if snap is None:
+            return tasks
+        check_fingerprint(snap.fingerprint, self.fingerprint())
+        completed = {int(r) for r in snap.state.get("completed_rows", [])}
+        if not completed:
+            return tasks
+        arr = snap.load_array(verify=False)  # verified at load
+        for r in sorted(completed):
+            d1 = min(self.b_d, self.d - r)
+            self.Ahat[r:r + d1, :] = arr[r:r + d1, :]
+        self._completed_rows = set(completed)
+        self.resumed_from = snap.path
+        return [t for t in tasks if t[0] not in completed]
+
     # -- shared setup -----------------------------------------------------
 
     def _prepare(self) -> tuple[list[Task], float]:
@@ -176,6 +264,10 @@ class ResilientExecutor:
                 self._block_by_offset[j0] = blk
         tasks = list(iter_block_tasks(self.d, n, self.b_d, self.b_n))
         self.Ahat = np.zeros((self.d, n), dtype=np.float64)
+        if self._resume_requested:
+            tasks = self._resume_from_snapshot(tasks)
+        for i, _d1, _j, _n1 in tasks:
+            self._row_pending[i] = self._row_pending.get(i, 0) + 1
         return tasks, conversion_seconds
 
     def _thread_ctx(self) -> tuple[SketchingRNG, Stopwatch, KernelWorkspace]:
@@ -236,6 +328,10 @@ class ResilientExecutor:
                    "jit_compile_seconds": self.jit_compile_seconds},
             health=self.health if self.guarded else None,
         )
+        if self.checkpoint is not None:
+            stats.extra["snapshots_written"] = self.checkpoint.snapshots_written
+            stats.extra["resumed_from"] = (str(self.resumed_from)
+                                           if self.resumed_from else None)
         return stats
 
     def _post_scale(self) -> float:
@@ -290,14 +386,23 @@ class ResilientExecutor:
     def _commit(self, idx: int, task: Task, target: np.ndarray,
                 use_scratch: bool) -> None:
         i, d1, j, n1 = task
+        row_done = False
         with self._claim_lock:
             if idx in self._claimed:
                 return  # a speculative duplicate won the race; discard
             self._claimed.add(idx)
             if use_scratch:
                 self.Ahat[i:i + d1, j:j + n1] = target
+            if self._row_pending:
+                left = self._row_pending[i] = self._row_pending[i] - 1
+                if left == 0:
+                    self._completed_rows.add(i)
+                    self._rows_since_snapshot += 1
+                    row_done = True
         with self._ctx_lock:
             self.health.completed += 1
+        if row_done:
+            self._maybe_checkpoint()
 
     def _run_task(self, idx: int, task: Task, context: str) -> None:
         """Retry / guardrail / kernel-fallback state machine for one task.
@@ -389,6 +494,11 @@ class ResilientExecutor:
                     raise
                 except (ConfigError, ShapeError):
                     raise  # configuration bugs are not transient: no retry
+                except InjectedCrashError:
+                    # A torn_write fault fired while _commit checkpointed:
+                    # it simulates process death, so retrying it as a
+                    # transient task failure would defeat the test.
+                    raise
                 except Exception as exc:  # noqa: BLE001 - fault boundary
                     failure = (type(exc).__name__, str(exc))
                 self._note_failure(key, attempt_no, failure[0], failure[1],
@@ -472,6 +582,10 @@ class ResilientExecutor:
                 self._run_guarded(tasks)
             else:
                 self._run_fast(tasks)
+            # Final snapshot (if one is pending) captures the completed
+            # accumulation *before* post-scaling — the stored payload is
+            # always the raw accumulator state, like an interrupted run's.
+            self._maybe_checkpoint(force=True)
             post = self._post_scale()
             if post != 1.0:
                 self.Ahat *= post
@@ -493,6 +607,11 @@ def parallel_sketch_spmm(
     resilience: ResilienceConfig | None = None,
     injector: "FaultInjector | None" = None,
     backend: "str | KernelBackend | None" = None,
+    checkpoint: "object | None" = None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 1,
+    checkpoint_keep: int = 2,
+    resume: bool = False,
 ) -> tuple[np.ndarray, KernelStats]:
     """Compute ``Ahat = S @ A`` using *threads* workers over block tasks.
 
@@ -520,6 +639,16 @@ def parallel_sketch_spmm(
         ``numba`` backend the fused ``nogil`` kernels release the GIL for
         entire block tasks, so worker threads overlap fully instead of
         only inside NumPy calls.
+    checkpoint, checkpoint_dir, checkpoint_every, checkpoint_keep, resume:
+        Durable crash recovery (see :mod:`repro.persist`).  A snapshot of
+        all *completed* row blocks is written atomically every
+        *checkpoint_every* row-block completions (and once at the end,
+        pre-``post_scale``).  ``resume=True`` restores the newest
+        verified-good snapshot from the directory — its fingerprint must
+        match this run exactly (same ``d``/blocking/kernel/backend/RNG)
+        or :class:`~repro.errors.CheckpointMismatchError` is raised — and
+        skips the tasks of already-completed row blocks.  Checkpointing
+        selects the guarded execution path.
 
     Returns
     -------
@@ -531,6 +660,8 @@ def parallel_sketch_spmm(
     executor = ResilientExecutor(
         A, d, rng_factory, threads=threads, kernel=kernel, b_d=b_d, b_n=b_n,
         strategy=strategy, blocked=blocked, resilience=resilience,
-        injector=injector, backend=backend,
+        injector=injector, backend=backend, checkpoint=checkpoint,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+        checkpoint_keep=checkpoint_keep, resume=resume,
     )
     return executor.run()

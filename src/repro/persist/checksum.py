@@ -1,0 +1,72 @@
+"""Content checksums for snapshot block files and manifests.
+
+Snapshots carry a per-file checksum in their manifest so a resuming run
+can tell a verified-good snapshot from a torn or bit-flipped one without
+recomputing any sketch data.  Two algorithms are supported:
+
+* ``crc32`` — :func:`zlib.crc32`, always available (stdlib C speed);
+* ``xxh64`` — ``xxhash.xxh64``, used automatically when the optional
+  ``xxhash`` package is importable (faster on large blocks and with a
+  longer digest).
+
+The manifest records which algorithm produced each digest, so snapshots
+written on a host with ``xxhash`` remain loadable on a host without it
+only if the algorithm is available there — an unknown algorithm raises
+:class:`~repro.errors.CheckpointCorruptionError` rather than silently
+skipping verification.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..errors import CheckpointCorruptionError
+
+__all__ = ["available_algos", "default_algo", "checksum_bytes"]
+
+try:  # optional accelerator; the stdlib path is always available
+    import xxhash as _xxhash
+except ImportError:  # pragma: no cover - environment dependent
+    _xxhash = None
+
+
+def _crc32_hex(data) -> str:
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+def _xxh64_hex(data) -> str:  # pragma: no cover - requires xxhash
+    return _xxhash.xxh64(data).hexdigest()
+
+
+def available_algos() -> tuple[str, ...]:
+    """Checksum algorithm names usable on this host."""
+    if _xxhash is not None:  # pragma: no cover - requires xxhash
+        return ("crc32", "xxh64")
+    return ("crc32",)
+
+
+def default_algo() -> str:
+    """The algorithm new snapshots are written with (best available)."""
+    return "xxh64" if _xxhash is not None else "crc32"
+
+
+def checksum_bytes(data: bytes | bytearray | memoryview, algo: str) -> str:
+    """Hex digest of *data* under *algo*.
+
+    Raises :class:`~repro.errors.CheckpointCorruptionError` for an
+    algorithm this host cannot compute — verification must never be
+    silently skipped.
+    """
+    if algo == "crc32":
+        return _crc32_hex(data)
+    if algo == "xxh64":
+        if _xxhash is None:
+            raise CheckpointCorruptionError(
+                "snapshot uses the 'xxh64' checksum but the xxhash package "
+                "is not installed; cannot verify integrity"
+            )
+        return _xxh64_hex(data)  # pragma: no cover - requires xxhash
+    raise CheckpointCorruptionError(
+        f"unknown checksum algorithm {algo!r} in snapshot manifest; "
+        f"available here: {available_algos()}"
+    )

@@ -53,6 +53,10 @@ class SketchingRNG(abc.ABC):
     by construction.
     """
 
+    #: Registry name of the generator family (``"philox"`` etc.); used by
+    #: checkpoint fingerprints to rebuild an equivalent generator on resume.
+    family: str = "abstract"
+
     def __init__(self, seed: int, dist: str | Distribution) -> None:
         self.seed = int(seed)
         self.dist = get_distribution(dist)
@@ -132,6 +136,8 @@ class PhiloxSketchRNG(SketchingRNG):
     RNG cost penalty the paper measured for Random123-style generators.
     """
 
+    family = "philox"
+
     def __init__(self, seed: int, dist: str | Distribution = "uniform",
                  rounds: int = PHILOX_DEFAULT_ROUNDS) -> None:
         super().__init__(seed, dist)
@@ -156,6 +162,8 @@ class ThreefrySketchRNG(SketchingRNG):
     thread-independent sketches) with an add-rotate-xor round function in
     place of Philox's wide multiplies.
     """
+
+    family = "threefry"
 
     def __init__(self, seed: int, dist: str | Distribution = "uniform",
                  rounds: int = THREEFRY_DEFAULT_ROUNDS) -> None:
@@ -182,6 +190,8 @@ class XoshiroSketchRNG(SketchingRNG):
     the reproducibility trade-off of Section IV-B2.
     """
 
+    family = "xoshiro"
+
     def __init__(self, seed: int, dist: str | Distribution = "uniform",
                  n_lanes: int = DEFAULT_LANES) -> None:
         super().__init__(seed, dist)
@@ -204,6 +214,8 @@ class JunkRNG(SketchingRNG):
     ``(((i + 3 j) mod 7) - 3) / 3`` — mean-zero, bounded, and cheap —
     computed directly in float to skip the bit-transform path.
     """
+
+    family = "junk"
 
     def __init__(self, seed: int = 0, dist: str | Distribution = "uniform") -> None:
         super().__init__(seed, dist)

@@ -52,8 +52,14 @@ class CSCMatrix:
 
     # -- invariants ---------------------------------------------------------
 
-    def validate(self) -> None:
-        """Raise :class:`FormatError` on any CSC structural violation."""
+    def validate(self, *, require_finite: bool = False) -> None:
+        """Raise :class:`FormatError` on any CSC structural violation.
+
+        With ``require_finite=True`` also rejects NaN/Inf values — the
+        check the sketching entry points run once on their input so a
+        poisoned matrix fails fast instead of silently corrupting the
+        whole sketch.
+        """
         m, n = self.shape
         if self.indptr.ndim != 1 or self.indptr.size != n + 1:
             raise FormatError(f"indptr must have length n+1 = {n + 1}")
@@ -70,12 +76,22 @@ class CSCMatrix:
         if nnz:
             if self.indices.min() < 0 or self.indices.max() >= m:
                 raise FormatError(f"row indices out of range [0, {m})")
-        for j in range(n):
-            lo, hi = self.indptr[j], self.indptr[j + 1]
-            col_rows = self.indices[lo:hi]
-            if col_rows.size > 1 and np.any(np.diff(col_rows) <= 0):
+            # Vectorized within-column monotonicity: row indices must be
+            # strictly increasing except exactly at column boundaries.
+            nondec = np.flatnonzero(np.diff(self.indices) <= 0) + 1
+            starts = self.indptr[1:-1]
+            bad = np.setdiff1d(nondec, starts, assume_unique=False)
+            if bad.size:
+                col = int(np.searchsorted(self.indptr, bad[0], "right")) - 1
                 raise FormatError(
-                    f"row indices in column {j} must be strictly increasing"
+                    f"row indices in column {col} must be strictly increasing"
+                )
+            if require_finite and not np.isfinite(self.data).all():
+                k = int(np.flatnonzero(~np.isfinite(self.data))[0])
+                col = int(np.searchsorted(self.indptr, k, "right")) - 1
+                raise FormatError(
+                    f"matrix data contains a non-finite value "
+                    f"({self.data[k]!r}) at entry {k} (column {col})"
                 )
 
     # -- basic properties ---------------------------------------------------
@@ -129,21 +145,33 @@ class CSCMatrix:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
-        """Compress the nonzero pattern of a dense array."""
+    def from_dense(cls, dense: np.ndarray, *, check: bool = True) -> "CSCMatrix":
+        """Compress the nonzero pattern of a dense array.
+
+        ``check=True`` (default) validates the result's CSC invariants;
+        pass ``check=False`` only on trusted hot paths.
+        """
         from .coo import COOMatrix
 
-        return COOMatrix.from_dense(dense).to_csc()
+        out = COOMatrix.from_dense(dense).to_csc()
+        if check:
+            out.validate()
+        return out
 
     @classmethod
-    def from_scipy(cls, mat) -> "CSCMatrix":
-        """Build from a ``scipy.sparse`` matrix (test interoperability)."""
+    def from_scipy(cls, mat, *, check: bool = True) -> "CSCMatrix":
+        """Build from a ``scipy.sparse`` matrix (test interoperability).
+
+        ``check=True`` (default) validates the imported structure —
+        scipy permits states (unsorted indices before ``sort_indices``,
+        out-of-range after manual mutation) this library's kernels do not.
+        """
         s = mat.tocsc()
         s.sort_indices()
         s.sum_duplicates()
         return cls(s.shape, s.indptr.astype(np.int64),
                    s.indices.astype(np.int64), s.data.astype(np.float64),
-                   check=False)
+                   check=check)
 
     # -- conversions --------------------------------------------------------
 

@@ -53,8 +53,12 @@ class CSRMatrix:
 
     # -- invariants ---------------------------------------------------------
 
-    def validate(self) -> None:
-        """Raise :class:`FormatError` on any CSR structural violation."""
+    def validate(self, *, require_finite: bool = False) -> None:
+        """Raise :class:`FormatError` on any CSR structural violation.
+
+        With ``require_finite=True`` also rejects NaN/Inf values (see
+        :meth:`repro.sparse.CSCMatrix.validate`).
+        """
         m, n = self.shape
         if self.indptr.ndim != 1 or self.indptr.size != m + 1:
             raise FormatError(f"indptr must have length m+1 = {m + 1}")
@@ -71,12 +75,22 @@ class CSRMatrix:
         if nnz:
             if self.indices.min() < 0 or self.indices.max() >= n:
                 raise FormatError(f"column indices out of range [0, {n})")
-        for i in range(m):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            row_cols = self.indices[lo:hi]
-            if row_cols.size > 1 and np.any(np.diff(row_cols) <= 0):
+            # Vectorized within-row monotonicity: column indices must be
+            # strictly increasing except exactly at row boundaries.
+            nondec = np.flatnonzero(np.diff(self.indices) <= 0) + 1
+            starts = self.indptr[1:-1]
+            bad = np.setdiff1d(nondec, starts, assume_unique=False)
+            if bad.size:
+                row = int(np.searchsorted(self.indptr, bad[0], "right")) - 1
                 raise FormatError(
-                    f"column indices in row {i} must be strictly increasing"
+                    f"column indices in row {row} must be strictly increasing"
+                )
+            if require_finite and not np.isfinite(self.data).all():
+                k = int(np.flatnonzero(~np.isfinite(self.data))[0])
+                row = int(np.searchsorted(self.indptr, k, "right")) - 1
+                raise FormatError(
+                    f"matrix data contains a non-finite value "
+                    f"({self.data[k]!r}) at entry {k} (row {row})"
                 )
 
     # -- basic properties ---------------------------------------------------
@@ -117,21 +131,32 @@ class CSRMatrix:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
-        """Compress the nonzero pattern of a dense array."""
+    def from_dense(cls, dense: np.ndarray, *, check: bool = True) -> "CSRMatrix":
+        """Compress the nonzero pattern of a dense array.
+
+        ``check=True`` (default) validates the result's CSR invariants;
+        pass ``check=False`` only on trusted hot paths.
+        """
         from .coo import COOMatrix
 
-        return COOMatrix.from_dense(dense).to_csr()
+        out = COOMatrix.from_dense(dense).to_csr()
+        if check:
+            out.validate()
+        return out
 
     @classmethod
-    def from_scipy(cls, mat) -> "CSRMatrix":
-        """Build from a ``scipy.sparse`` matrix (test interoperability)."""
+    def from_scipy(cls, mat, *, check: bool = True) -> "CSRMatrix":
+        """Build from a ``scipy.sparse`` matrix (test interoperability).
+
+        ``check=True`` (default) validates the imported structure —
+        scipy permits states this library's kernels do not.
+        """
         s = mat.tocsr()
         s.sort_indices()
         s.sum_duplicates()
         return cls(s.shape, s.indptr.astype(np.int64),
                    s.indices.astype(np.int64), s.data.astype(np.float64),
-                   check=False)
+                   check=check)
 
     # -- conversions --------------------------------------------------------
 

@@ -32,61 +32,128 @@ def _open(source: str | Path | TextIO, mode: str):
     return open(source, mode), True
 
 
+def _read_preamble(fh) -> tuple[str, str, tuple[int, int, int], int]:
+    """Parse the banner, comments, and size line; return
+    ``(field, symmetry, (m, n, nnz), lineno_of_size_line)``."""
+    header = fh.readline()
+    lineno = 1
+    if not header.startswith("%%MatrixMarket"):
+        raise FormatError("line 1: missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) != 5 or parts[1].lower() != "matrix":
+        raise FormatError(f"line 1: unsupported header: {header.strip()!r}")
+    fmt, field, symmetry = (p.lower() for p in parts[2:5])
+    if fmt != "coordinate":
+        raise FormatError(
+            f"line 1: only coordinate format supported, got {fmt!r}")
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"line 1: unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise FormatError(f"line 1: unsupported symmetry {symmetry!r}")
+
+    line = fh.readline()
+    lineno += 1
+    while line.startswith("%") or line.strip() == "":
+        if line == "":
+            raise FormatError(
+                f"line {lineno}: file ended before the size line "
+                f"(truncated file?)")
+        line = fh.readline()
+        lineno += 1
+    toks = line.split()
+    try:
+        m, n, nnz = (int(tok) for tok in toks)
+    except ValueError as exc:
+        raise FormatError(
+            f"line {lineno}: size line must be three integers "
+            f"'m n nnz', got {line.strip()!r}") from exc
+    if m < 0 or n < 0 or nnz < 0:
+        raise FormatError(
+            f"line {lineno}: size line values must be non-negative, "
+            f"got {line.strip()!r}")
+    return field, symmetry, (m, n, nnz), lineno
+
+
+def _parse_entry(line: str, lineno: int, field: str, m: int,
+                 n: int) -> tuple[int, int, float]:
+    """Parse one ``row col [value]`` data line to a 0-based entry."""
+    toks = line.split()
+    if len(toks) < 2:
+        raise FormatError(
+            f"line {lineno}: entry needs 'row col"
+            f"{'' if field == 'pattern' else ' value'}', got {line!r}")
+    try:
+        r = int(toks[0])
+        c = int(toks[1])
+    except ValueError as exc:
+        raise FormatError(
+            f"line {lineno}: non-integer index in entry {line!r}") from exc
+    if not (1 <= r <= m) or not (1 <= c <= n):
+        raise FormatError(
+            f"line {lineno}: index ({r}, {c}) out of range for a "
+            f"{m} x {n} matrix (MatrixMarket indices are 1-based)")
+    if field == "pattern":
+        return r - 1, c - 1, 1.0
+    if len(toks) < 3:
+        raise FormatError(f"line {lineno}: entry missing value: {line!r}")
+    try:
+        v = float(toks[2])
+    except ValueError as exc:
+        raise FormatError(
+            f"line {lineno}: non-numeric value in entry {line!r}") from exc
+    return r - 1, c - 1, v
+
+
 def read_matrix_market(source: str | Path | TextIO) -> CSCMatrix:
     """Parse a MatrixMarket coordinate file into CSC.
 
     Symmetric files are expanded to full storage (off-diagonal entries
     mirrored), pattern files get unit values, and 1-based indices are
     rebased, per the format specification.
+
+    Malformed input — truncated files, an entry count disagreeing with the
+    size line, zero or out-of-range indices, non-numeric tokens, duplicate
+    coordinates — raises :class:`~repro.errors.FormatError` naming the
+    offending line, never a raw ``ValueError`` or silently wrong matrix.
     """
     fh, should_close = _open(source, "r")
     try:
-        header = fh.readline()
-        if not header.startswith("%%MatrixMarket"):
-            raise FormatError("missing %%MatrixMarket header")
-        parts = header.strip().split()
-        if len(parts) != 5 or parts[1].lower() != "matrix":
-            raise FormatError(f"unsupported header: {header.strip()!r}")
-        fmt, field, symmetry = (p.lower() for p in parts[2:5])
-        if fmt != "coordinate":
-            raise FormatError(f"only coordinate format supported, got {fmt!r}")
-        if field not in _SUPPORTED_FIELDS:
-            raise FormatError(f"unsupported field {field!r}")
-        if symmetry not in _SUPPORTED_SYMMETRY:
-            raise FormatError(f"unsupported symmetry {symmetry!r}")
-
-        line = fh.readline()
-        while line.startswith("%") or line.strip() == "":
-            line = fh.readline()
-            if line == "":
-                raise FormatError("missing size line")
-        try:
-            m, n, nnz = (int(tok) for tok in line.split())
-        except ValueError as exc:
-            raise FormatError(f"bad size line: {line.strip()!r}") from exc
+        field, symmetry, (m, n, nnz), lineno = _read_preamble(fh)
 
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         vals = np.empty(nnz, dtype=np.float64)
+        linenos = np.empty(nnz, dtype=np.int64)
         count = 0
         for line in fh:
+            lineno += 1
             line = line.strip()
             if not line or line.startswith("%"):
                 continue
-            toks = line.split()
             if count >= nnz:
-                raise FormatError("more entries than declared nnz")
-            rows[count] = int(toks[0]) - 1
-            cols[count] = int(toks[1]) - 1
-            if field == "pattern":
-                vals[count] = 1.0
-            else:
-                if len(toks) < 3:
-                    raise FormatError(f"entry missing value: {line!r}")
-                vals[count] = float(toks[2])
+                raise FormatError(
+                    f"line {lineno}: more entries than the declared "
+                    f"nnz = {nnz}")
+            rows[count], cols[count], vals[count] = _parse_entry(
+                line, lineno, field, m, n)
+            linenos[count] = lineno
             count += 1
         if count != nnz:
-            raise FormatError(f"declared {nnz} entries but found {count}")
+            raise FormatError(
+                f"declared {nnz} entries but the file ended after {count} "
+                f"(line {lineno}; truncated file?)")
+        if nnz:
+            # Duplicate coordinates are ambiguous (sum? overwrite?) — the
+            # MatrixMarket spec forbids them, so refuse rather than guess.
+            keys = rows * np.int64(max(n, 1)) + cols
+            order = np.argsort(keys, kind="stable")
+            dup = np.flatnonzero(np.diff(keys[order]) == 0)
+            if dup.size:
+                first, second = order[dup[0]], order[dup[0] + 1]
+                raise FormatError(
+                    f"line {linenos[second]}: duplicate entry "
+                    f"({rows[second] + 1}, {cols[second] + 1}) — first "
+                    f"seen on line {linenos[first]}")
     finally:
         if should_close:
             fh.close()
@@ -111,36 +178,25 @@ def iter_matrix_market_entries(source: str | Path | TextIO,
     :meth:`repro.core.StreamingSketch.absorb_entries`) never hold more
     than *chunk* entries.  Symmetric files are rejected (expansion would
     need buffering); use :func:`read_matrix_market` for those.
+
+    Per-entry validation matches :func:`read_matrix_market` (truncation,
+    entry-count disagreement, out-of-range indices, and non-numeric
+    tokens all raise :class:`~repro.errors.FormatError` with the line
+    number) **except** the duplicate-coordinate check, which would
+    require holding every seen coordinate — incompatible with the O(chunk)
+    memory contract.  Consumers needing that guarantee must use
+    :func:`read_matrix_market`.
     """
     if chunk < 1:
         raise FormatError(f"chunk must be positive, got {chunk}")
     fh, should_close = _open(source, "r")
     try:
-        header = fh.readline()
-        if not header.startswith("%%MatrixMarket"):
-            raise FormatError("missing %%MatrixMarket header")
-        parts = header.strip().split()
-        if len(parts) != 5 or parts[1].lower() != "matrix":
-            raise FormatError(f"unsupported header: {header.strip()!r}")
-        fmt, field, symmetry = (p.lower() for p in parts[2:5])
-        if fmt != "coordinate":
-            raise FormatError(f"only coordinate format supported, got {fmt!r}")
-        if field not in _SUPPORTED_FIELDS:
-            raise FormatError(f"unsupported field {field!r}")
+        field, symmetry, (m, n, nnz), lineno = _read_preamble(fh)
         if symmetry != "general":
             raise FormatError(
                 "streaming supports 'general' symmetry only; use "
                 "read_matrix_market for symmetric files"
             )
-        line = fh.readline()
-        while line.startswith("%") or line.strip() == "":
-            line = fh.readline()
-            if line == "":
-                raise FormatError("missing size line")
-        try:
-            m, n, nnz = (int(tok) for tok in line.split())
-        except ValueError as exc:
-            raise FormatError(f"bad size line: {line.strip()!r}") from exc
         shape = (m, n, nnz)
 
         rows = np.empty(chunk, dtype=np.int64)
@@ -149,29 +205,27 @@ def iter_matrix_market_entries(source: str | Path | TextIO,
         fill = 0
         seen = 0
         for line in fh:
+            lineno += 1
             line = line.strip()
             if not line or line.startswith("%"):
                 continue
-            toks = line.split()
             if seen >= nnz:
-                raise FormatError("more entries than declared nnz")
-            rows[fill] = int(toks[0]) - 1
-            cols[fill] = int(toks[1]) - 1
-            if field == "pattern":
-                vals[fill] = 1.0
-            else:
-                if len(toks) < 3:
-                    raise FormatError(f"entry missing value: {line!r}")
-                vals[fill] = float(toks[2])
+                raise FormatError(
+                    f"line {lineno}: more entries than the declared "
+                    f"nnz = {nnz}")
+            rows[fill], cols[fill], vals[fill] = _parse_entry(
+                line, lineno, field, m, n)
             fill += 1
             seen += 1
             if fill == chunk:
                 yield shape, rows[:fill].copy(), cols[:fill].copy(), vals[:fill].copy()
                 fill = 0
+        if seen != nnz:
+            raise FormatError(
+                f"declared {nnz} entries but the file ended after {seen} "
+                f"(line {lineno}; truncated file?)")
         if fill:
             yield shape, rows[:fill].copy(), cols[:fill].copy(), vals[:fill].copy()
-        if seen != nnz:
-            raise FormatError(f"declared {nnz} entries but found {seen}")
     finally:
         if should_close:
             fh.close()

@@ -100,6 +100,50 @@ class TestCorruptingRNG:
         bad = CorruptingRNG(inner, 10.0)
         assert bad.post_scale == inner.post_scale
         assert bad.dist is inner.dist
+        assert bad.family == inner.family
+        assert bad.seed == inner.seed
+
+    def test_is_a_sketching_rng(self):
+        from repro.rng.base import SketchingRNG
+
+        assert isinstance(CorruptingRNG(PhiloxSketchRNG(3), 10.0),
+                          SketchingRNG)
+
+    def test_derived_helpers_route_through_corruption(self):
+        """column_block and materialize must see the scaled samples, not
+        bypass the wrapper by delegating to the inner generator."""
+        js = np.arange(5, dtype=np.int64)
+        clean = PhiloxSketchRNG(3).column_block_batch(0, 4, js)
+        bad = CorruptingRNG(PhiloxSketchRNG(3), 10.0)
+        np.testing.assert_allclose(bad.column_block(0, 4, 2), clean[:, 2] * 10.0)
+        ref = PhiloxSketchRNG(3).materialize(4, 5)
+        np.testing.assert_allclose(
+            CorruptingRNG(PhiloxSketchRNG(3), 10.0).materialize(4, 5),
+            ref * 10.0)
+
+    def test_counter_setter_forwards(self):
+        inner = PhiloxSketchRNG(3)
+        bad = CorruptingRNG(inner, 10.0)
+        bad.column_block_batch(0, 4, np.arange(5, dtype=np.int64))
+        assert bad.samples_generated == inner.samples_generated > 0
+        bad.reset_counters()
+        assert inner.samples_generated == 0
+        assert bad.samples_generated == 0
+
+    def test_composes_with_offset_views_both_ways(self):
+        """Corruption applied over or under a streaming offset view must
+        produce the same (scaled, shifted) entries."""
+        from repro.core.streaming import _OffsetRNG
+
+        js = np.arange(6, dtype=np.int64)
+        shifted = PhiloxSketchRNG(3).column_block_batch(0, 4, js + 17)
+        over = CorruptingRNG(_OffsetRNG(PhiloxSketchRNG(3), 17), 10.0)
+        under = _OffsetRNG(CorruptingRNG(PhiloxSketchRNG(3), 10.0), 17)
+        np.testing.assert_allclose(over.column_block_batch(0, 4, js),
+                                   shifted * 10.0)
+        np.testing.assert_allclose(under.column_block_batch(0, 4, js),
+                                   shifted * 10.0)
+        assert over.family == under.family == "philox"
 
 
 class TestDeterminism:

@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for the least-squares substrate."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.lsq import (
@@ -97,6 +97,11 @@ class TestGivensQrProperties:
         """||A x - b||^2 == ||R x - c||^2 + const for the transformed c:
         checked at the least-squares optimum where both give the optimal
         residual."""
+        # The comparison oracle (lstsq) switches to a truncated
+        # pseudo-inverse for ill-conditioned A while the triangular solve
+        # does not, so the fixed tolerance only holds away from
+        # rank-deficiency.
+        assume(np.linalg.cond(A.to_dense()) < 1e6)
         rng = np.random.default_rng(seed + 3)
         b = rng.standard_normal(A.shape[0])
         R = givens_qr_factorize(A, b)

@@ -1,0 +1,129 @@
+"""Malformed MatrixMarket input must fail loudly, with line numbers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import read_matrix_market
+from repro.sparse.io_mm import iter_matrix_market_entries
+
+HEADER = "%%MatrixMarket matrix coordinate real general\n"
+
+
+def _mm(*lines):
+    return io.StringIO("".join(lines))
+
+
+def _drain(source, chunk=4):
+    return list(iter_matrix_market_entries(source, chunk=chunk))
+
+
+class TestReaderMalformed:
+    def test_truncated_entry_list(self):
+        src = _mm(HEADER, "3 3 3\n", "1 1 1.0\n", "2 2 2.0\n")
+        with pytest.raises(FormatError, match=r"declared 3 entries.*after 2"):
+            read_matrix_market(src)
+
+    def test_file_ends_before_size_line(self):
+        src = _mm(HEADER, "% only comments\n", "%\n")
+        with pytest.raises(FormatError, match="before the size line"):
+            read_matrix_market(src)
+
+    def test_size_line_not_three_integers(self):
+        with pytest.raises(FormatError, match="line 2.*size line"):
+            read_matrix_market(_mm(HEADER, "3 3\n"))
+        with pytest.raises(FormatError, match="line 2.*size line"):
+            read_matrix_market(_mm(HEADER, "3 3 x\n"))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(FormatError, match="non-negative"):
+            read_matrix_market(_mm(HEADER, "3 -3 1\n", "1 1 1.0\n"))
+
+    def test_more_entries_than_declared(self):
+        src = _mm(HEADER, "3 3 1\n", "1 1 1.0\n", "2 2 2.0\n")
+        with pytest.raises(FormatError, match="line 4.*more entries"):
+            read_matrix_market(src)
+
+    def test_zero_index_rejected(self):
+        src = _mm(HEADER, "3 3 1\n", "0 1 1.0\n")
+        with pytest.raises(FormatError, match=r"line 3.*\(0, 1\).*1-based"):
+            read_matrix_market(src)
+
+    def test_out_of_range_index_rejected(self):
+        src = _mm(HEADER, "3 3 1\n", "1 4 1.0\n")
+        with pytest.raises(FormatError, match=r"line 3.*out of range"):
+            read_matrix_market(src)
+
+    def test_non_integer_index_rejected(self):
+        src = _mm(HEADER, "3 3 1\n", "1.5 2 1.0\n")
+        with pytest.raises(FormatError, match="line 3.*non-integer index"):
+            read_matrix_market(src)
+
+    def test_non_numeric_value_rejected(self):
+        src = _mm(HEADER, "3 3 1\n", "1 2 abc\n")
+        with pytest.raises(FormatError, match="line 3.*non-numeric value"):
+            read_matrix_market(src)
+
+    def test_missing_value_rejected(self):
+        src = _mm(HEADER, "3 3 1\n", "1 2\n")
+        with pytest.raises(FormatError, match="line 3.*missing value"):
+            read_matrix_market(src)
+
+    def test_single_token_entry_rejected(self):
+        src = _mm(HEADER, "3 3 1\n", "7\n")
+        with pytest.raises(FormatError, match="line 3"):
+            read_matrix_market(src)
+
+    def test_duplicate_coordinates_rejected(self):
+        src = _mm(HEADER, "3 3 3\n", "1 1 1.0\n", "2 2 2.0\n", "1 1 9.0\n")
+        with pytest.raises(FormatError,
+                           match=r"line 5: duplicate entry \(1, 1\).*line 3"):
+            read_matrix_market(src)
+
+    def test_missing_banner(self):
+        with pytest.raises(FormatError, match="line 1.*MatrixMarket"):
+            read_matrix_market(_mm("3 3 1\n", "1 1 1.0\n"))
+
+    def test_valid_files_still_parse(self):
+        A = read_matrix_market(_mm(HEADER, "% c\n", "\n", "2 3 2\n",
+                                   "1 2 1.5\n", "2 3 -2.0\n"))
+        np.testing.assert_array_equal(
+            A.to_dense(), [[0.0, 1.5, 0.0], [0.0, 0.0, -2.0]])
+        sym = read_matrix_market(_mm(
+            "%%MatrixMarket matrix coordinate real symmetric\n",
+            "2 2 2\n", "1 1 1.0\n", "2 1 3.0\n"))
+        np.testing.assert_array_equal(sym.to_dense(), [[1.0, 3.0], [3.0, 0.0]])
+        pat = read_matrix_market(_mm(
+            "%%MatrixMarket matrix coordinate pattern general\n",
+            "1 2 1\n", "1 2\n"))
+        np.testing.assert_array_equal(pat.to_dense(), [[0.0, 1.0]])
+
+
+class TestStreamingMalformed:
+    def test_truncation_detected_before_final_chunk(self):
+        src = _mm(HEADER, "9 9 9\n",
+                  *(f"{i} {i} 1.0\n" for i in range(1, 7)))
+        with pytest.raises(FormatError, match="declared 9 entries.*after 6"):
+            _drain(src, chunk=4)
+
+    def test_entry_errors_carry_line_numbers(self):
+        src = _mm(HEADER, "3 3 2\n", "1 1 1.0\n", "1 9 1.0\n")
+        with pytest.raises(FormatError, match="line 4.*out of range"):
+            _drain(src)
+        src = _mm(HEADER, "3 3 2\n", "1 1 1.0\n", "2 2 oops\n")
+        with pytest.raises(FormatError, match="line 4.*non-numeric"):
+            _drain(src)
+
+    def test_more_entries_than_declared(self):
+        src = _mm(HEADER, "3 3 1\n", "1 1 1.0\n", "2 2 2.0\n")
+        with pytest.raises(FormatError, match="line 4.*more entries"):
+            _drain(src)
+
+    def test_duplicates_pass_through_documented(self):
+        """The O(chunk)-memory iterator deliberately skips the duplicate
+        check; read_matrix_market is the validating path."""
+        src = _mm(HEADER, "3 3 2\n", "1 1 1.0\n", "1 1 9.0\n")
+        chunks = _drain(src)
+        assert sum(r.size for _s, r, _c, _v in chunks) == 2
