@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,21 @@ faults:
 # SIGKILL-and-resume, and the RNG-replay integrity audit.
 faults-persist:
 	python -W error::RuntimeWarning -m pytest tests/faults tests/persist -q
+
+# Plan-layer smoke: compile a plan, print its reasoning, dump the JSON
+# record, and execute it end-to-end on a tiny random matrix.
+plan-smoke:
+	python -m repro sketch --random 200 60 0.05 --explain
+	python -m repro sketch --random 200 60 0.05 --plan-json /tmp/repro-plan-smoke.json
+	python -c "from repro.plan import SketchPlan; \
+	  p = SketchPlan.from_json('/tmp/repro-plan-smoke.json'); \
+	  print(p.explain())"
+	python -m pytest tests/plan -q
+
+# Deprecation-shim leg: the old kwarg spellings must warn exactly where
+# the shim tests expect, and nowhere else.
+shim-strict:
+	python -W error::DeprecationWarning -m pytest tests/plan/test_shims.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -24,6 +24,7 @@ Subpackages
 ``repro.model``    roofline theory, block-size optimizer, cache simulator
 ``repro.parallel`` thread-pool executor, resilience policies, scaling model
 ``repro.faults``   deterministic fault-injection plans for robustness tests
+``repro.plan``     SketchPlan / Planner / Runtime plan-compile-execute layer
 ``repro.core``     public sketch API and distortion diagnostics
 ``repro.lsq``      LSQR, preconditioners, SAP, direct sparse QR
 ``repro.workloads`` surrogate suites for the paper's test matrices
@@ -62,6 +63,14 @@ from .lsq import (
     solve_sap,
 )
 from .model import FRONTERA, LAPTOP, PERLMUTTER, MachineModel
+from .plan import (
+    EventBus,
+    PersistencePolicy,
+    Planner,
+    Runtime,
+    SketchPlan,
+    compile_plan,
+)
 from .parallel import (
     DegradationPolicy,
     ResilienceConfig,
@@ -119,6 +128,12 @@ __all__ = [
     "LAPTOP",
     "PERLMUTTER",
     "MachineModel",
+    "EventBus",
+    "PersistencePolicy",
+    "Planner",
+    "Runtime",
+    "SketchPlan",
+    "compile_plan",
     "DegradationPolicy",
     "ResilienceConfig",
     "ResilientExecutor",

@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .core import SketchConfig, sketch
+from .core import SketchConfig
 from .lsq import CscOperator, solve_direct_qr, solve_lsqr_diag, solve_sap
 from .rng import estimate_h, stream_copy_bandwidth
 from .sparse import CSCMatrix, random_sparse, read_matrix_market
@@ -51,49 +51,83 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--calibrate", action="store_true",
                        help="measure a full MachineModel for this host")
 
-    sk = sub.add_parser("sketch", help="sketch a sparse matrix")
-    src = sk.add_mutually_exclusive_group(required=True)
+    sk = sub.add_parser(
+        "sketch", help="sketch a sparse matrix",
+        description="Sketch a sparse matrix: compile a SketchPlan "
+                    "(inspect it with --explain / --plan-json), then "
+                    "execute it on the shared runtime.")
+
+    g_problem = sk.add_argument_group(
+        "problem", "what to sketch and how large the sketch is")
+    src = g_problem.add_mutually_exclusive_group(required=True)
     src.add_argument("--matrix", help="MatrixMarket file to sketch")
     src.add_argument("--random", nargs=3, metavar=("M", "N", "DENSITY"),
                      help="generate a random input instead")
-    sk.add_argument("--gamma", type=float, default=3.0)
-    sk.add_argument("--kernel", default="auto",
-                    choices=["auto", "algo3", "algo4", "pregen"])
-    sk.add_argument("--backend", default="auto",
-                    choices=["auto", "numpy", "numba"],
-                    help="kernel backend (auto = numba when importable, "
-                         "else numpy; REPRO_BACKEND overrides auto)")
-    sk.add_argument("--rng", default="xoshiro",
-                    choices=["xoshiro", "philox", "threefry", "junk"])
-    sk.add_argument("--dist", default="uniform")
-    sk.add_argument("--seed", type=int, default=0)
-    sk.add_argument("--threads", type=int, default=1,
-                    help="worker threads for the parallel executor")
-    sk.add_argument("--max-retries", type=int, default=None,
-                    help="resilient executor: per-task retry budget "
-                         "(enables the resilient path)")
-    sk.add_argument("--task-timeout", type=float, default=None,
-                    help="resilient executor: per-task deadline in seconds; "
-                         "stragglers are re-executed")
-    sk.add_argument("--guardrail", default=None,
-                    choices=["raise", "recompute", "mask"],
-                    help="numerical guardrail policy for NaN/Inf/outlier "
-                         "blocks (default: off)")
-    sk.add_argument("--checkpoint-dir", default=None,
-                    help="durable checkpointing: write atomic snapshots of "
-                         "the partial sketch to this directory")
-    sk.add_argument("--checkpoint-every", type=int, default=1,
-                    help="snapshot cadence in completed row blocks "
-                         "(default: every block)")
-    sk.add_argument("--resume", action="store_true",
-                    help="resume from the newest verified snapshot in "
-                         "--checkpoint-dir instead of starting over")
-    sk.add_argument("--verify", action="store_true",
-                    help="audit the newest snapshot in --checkpoint-dir "
-                         "against the input matrix (RNG replay of sampled "
-                         "tiles) instead of sketching")
-    sk.add_argument("--verify-exhaustive", action="store_true",
-                    help="with --verify: replay every tile, not a sample")
+    g_problem.add_argument("--gamma", type=float, default=3.0,
+                           help="sketch-size multiplier: d = ceil(gamma * n)")
+
+    g_kernel = sk.add_argument_group(
+        "kernel", "compute kernel and Algorithm 1 blocking")
+    g_kernel.add_argument("--kernel", default="auto",
+                          choices=["auto", "algo3", "algo4", "pregen"])
+    g_kernel.add_argument("--b-d", type=int, default=None,
+                          help="row-block size override (default: planned)")
+    g_kernel.add_argument("--b-n", type=int, default=None,
+                          help="column-block size override (default: planned)")
+    g_kernel.add_argument("--rng", default="xoshiro",
+                          choices=["xoshiro", "philox", "threefry", "junk"])
+    g_kernel.add_argument("--dist", default="uniform")
+    g_kernel.add_argument("--seed", type=int, default=0)
+
+    g_backend = sk.add_argument_group(
+        "backend", "kernel backend and parallel execution")
+    g_backend.add_argument("--backend", default="auto",
+                           choices=["auto", "numpy", "numba"],
+                           help="kernel backend (auto = numba when "
+                                "importable, else numpy; REPRO_BACKEND "
+                                "overrides auto)")
+    g_backend.add_argument("--threads", type=int, default=1,
+                           help="worker threads for the execution engine")
+
+    g_resil = sk.add_argument_group(
+        "resilience", "fault handling (any flag enables the guarded path)")
+    g_resil.add_argument("--max-retries", type=int, default=None,
+                         help="per-task retry budget")
+    g_resil.add_argument("--task-timeout", type=float, default=None,
+                         help="per-task deadline in seconds; stragglers are "
+                              "re-executed")
+    g_resil.add_argument("--guardrail", default=None,
+                         choices=["raise", "recompute", "mask"],
+                         help="numerical guardrail policy for "
+                              "NaN/Inf/outlier blocks (default: off)")
+
+    g_persist = sk.add_argument_group(
+        "persistence", "durable checkpoints and resume")
+    g_persist.add_argument("--checkpoint-dir", default=None,
+                           help="write atomic snapshots of the partial "
+                                "sketch to this directory")
+    g_persist.add_argument("--checkpoint-every", type=int, default=1,
+                           help="snapshot cadence in completed row blocks "
+                                "(default: every block)")
+    g_persist.add_argument("--resume", action="store_true",
+                           help="resume from the newest verified snapshot "
+                                "in --checkpoint-dir instead of starting "
+                                "over")
+    g_persist.add_argument("--verify", action="store_true",
+                           help="audit the newest snapshot in "
+                                "--checkpoint-dir against the input matrix "
+                                "(RNG replay of sampled tiles) instead of "
+                                "sketching")
+    g_persist.add_argument("--verify-exhaustive", action="store_true",
+                           help="with --verify: replay every tile, not a "
+                                "sample")
+
+    g_plan = sk.add_argument_group(
+        "plan", "inspect the compiled SketchPlan")
+    g_plan.add_argument("--explain", action="store_true",
+                        help="print plan.explain() and exit without running")
+    g_plan.add_argument("--plan-json", metavar="PATH", default=None,
+                        help="dump the compiled SketchPlan as JSON to PATH")
     sk.add_argument("--output", help="write the dense sketch as .npy")
 
     lsq = sub.add_parser("lsq", help="solve a least-squares problem")
@@ -189,13 +223,29 @@ def _cmd_sketch(args) -> dict:
         out["input_shape"] = list(A.shape)
         out["input_nnz"] = A.nnz
         return out
+    from .plan import PersistencePolicy, Planner, Runtime
+
     cfg = SketchConfig(gamma=args.gamma, distribution=args.dist,
                        rng_kind=args.rng, kernel=args.kernel, seed=args.seed,
                        backend=args.backend, threads=args.threads,
+                       b_d=args.b_d, b_n=args.b_n,
                        resilience=_resilience_from_args(args))
-    result = sketch(A, config=cfg, checkpoint_dir=args.checkpoint_dir,
-                    checkpoint_every=args.checkpoint_every,
-                    resume=args.resume)
+    pol = PersistencePolicy(checkpoint_dir=args.checkpoint_dir,
+                            every=args.checkpoint_every, resume=args.resume)
+    plan = Planner().compile(A, cfg, persistence=pol)
+    if args.plan_json:
+        plan.to_json(args.plan_json)
+    if args.explain:
+        out = {
+            "input_shape": list(A.shape),
+            "input_nnz": A.nnz,
+            "explain": plan.explain(),
+            "plan": plan.to_dict(),
+        }
+        if args.plan_json:
+            out["plan_json"] = args.plan_json
+        return out
+    result = Runtime().run(plan, A)
     if args.output:
         np.save(args.output, result.sketch)
     st = result.stats
@@ -282,6 +332,11 @@ def _cmd_suite(args) -> dict:
 
 
 def _render(command: str, payload: dict) -> str:
+    if command == "sketch" and "explain" in payload:
+        lines = [payload["explain"]]
+        if payload.get("plan_json"):
+            lines.append(f"plan written to {payload['plan_json']}")
+        return "\n".join(lines)
     if command == "suite":
         parts = [f"scale: {payload['scale']}"]
         for label, rows in payload["suites"].items():

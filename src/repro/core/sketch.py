@@ -10,22 +10,28 @@ The operator view matters because ``S`` is never stored: a
 family, blocking) that can be applied to a sparse matrix, applied to a
 dense matrix or vector (needed to sketch right-hand sides consistently),
 or — for testing and small problems — materialized.
+
+Since the plan/compile/execute refactor this module is a thin shim:
+:meth:`SketchOperator.apply` compiles a
+:class:`~repro.plan.SketchPlan` with the :class:`~repro.plan.Planner`
+and hands it to :class:`~repro.plan.Runtime` — the same engine behind
+:class:`~repro.core.StreamingSketch` and
+:class:`~repro.parallel.ResilientExecutor`.  Outputs are bit-identical
+to the pre-plan paths; callers that want the plan itself (to inspect,
+serialize, or re-run) find it on ``SketchResult.plan``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
-from ..kernels.blocking import default_block_sizes, sketch_spmm
-from ..kernels.dispatch import choose_kernel
-from ..kernels.pregen import pregen_full
-from ..kernels.stats import KernelStats
+from ..kernels.blocking import default_block_sizes
 from ..model.machine import LAPTOP, MachineModel
-from ..parallel.executor import parallel_sketch_spmm
+from ..plan.policy import PersistencePolicy, warn_deprecated_kwargs
+from ..plan.runtime import SketchResult
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
 from ..utils.validation import check_positive_int
@@ -34,14 +40,27 @@ from .config import SketchConfig
 __all__ = ["SketchResult", "SketchOperator", "sketch"]
 
 
-@dataclass
-class SketchResult:
-    """Outcome of one sketch application."""
-
-    sketch: np.ndarray          # the d x n dense product (scaled if normalize)
-    stats: KernelStats
-    kernel_used: str
-    scale: float                # normalization factor applied (1.0 if none)
+def _persistence_from_kwargs(entry: str,
+                             persistence: PersistencePolicy | None,
+                             checkpoint_dir, checkpoint_every: int,
+                             resume: bool) -> PersistencePolicy:
+    """Fold the deprecated checkpoint kwargs into a policy (warning once)."""
+    legacy = (checkpoint_dir is not None or checkpoint_every != 1 or resume)
+    if persistence is not None:
+        if legacy:
+            raise ConfigError(
+                "pass either persistence= or the legacy checkpoint kwargs, "
+                "not both"
+            )
+        return persistence
+    if not legacy:
+        return PersistencePolicy()
+    warn_deprecated_kwargs(entry, "checkpoint_dir/checkpoint_every/resume",
+                           "persistence=PersistencePolicy(...)")
+    if resume and checkpoint_dir is None:
+        raise ConfigError("resume=True requires checkpoint_dir")
+    return PersistencePolicy(checkpoint_dir=checkpoint_dir,
+                             every=checkpoint_every, resume=resume)
 
 
 class SketchOperator:
@@ -82,12 +101,6 @@ class SketchOperator:
         dist = self._rng().dist
         return dist.normalization(self.d)
 
-    def _resolve_kernel(self, A: CSCMatrix) -> str:
-        if self.config.kernel != "auto":
-            return self.config.kernel
-        return choose_kernel(self.machine, A,
-                             backend=self.config.backend).kernel
-
     def _blocking(self, n: int) -> tuple[int, int]:
         b_d, b_n = default_block_sizes(
             self.d, n,
@@ -100,57 +113,51 @@ class SketchOperator:
             b_n = self.config.b_n
         return b_d, b_n
 
-    def apply(self, A: CSCMatrix, *, checkpoint_dir=None,
+    def plan(self, A: CSCMatrix, *,
+             persistence: PersistencePolicy | None = None):
+        """Compile the :class:`~repro.plan.SketchPlan` :meth:`apply` runs.
+
+        Exposed so callers can inspect ``plan.explain()``, serialize the
+        plan, or hand it to a :class:`~repro.plan.Runtime` themselves.
+        """
+        from ..plan.planner import Planner
+
+        return Planner(self.machine).compile(
+            A, self.config, d=self.d, persistence=persistence)
+
+    def apply(self, A: CSCMatrix, *,
+              persistence: PersistencePolicy | None = None,
+              checkpoint_dir=None,
               checkpoint_every: int = 1,
               resume: bool = False) -> SketchResult:
         """Compute ``S @ A`` through the configured kernel path.
 
-        With *checkpoint_dir* set, the run writes durable snapshots of
-        completed row blocks every *checkpoint_every* row-block
-        completions, and ``resume=True`` restores the newest
-        verified-good snapshot before computing the rest (see
-        :mod:`repro.persist`).  Checkpointing routes through the
-        resilient executor (any thread count) and is unavailable for the
-        ``pregen`` kernel, which has no row-block barriers.
+        Compiles a plan and executes it on the shared
+        :class:`~repro.plan.Runtime`; the plan is attached to the
+        returned result.
+
+        With a *persistence* policy, the run writes durable snapshots of
+        completed row blocks and can restore the newest verified-good
+        one before computing the rest (see :mod:`repro.persist` and
+        :class:`~repro.plan.PersistencePolicy`).  Checkpointing routes
+        through the execution engine (any thread count) and is
+        unavailable for the ``pregen`` kernel, which has no row-block
+        barriers.  The ``checkpoint_dir``/``checkpoint_every``/
+        ``resume`` kwargs are the deprecated spelling of the same
+        policy.
         """
+        from ..plan.runtime import Runtime
+
         if A.shape[0] != self.m:
             raise ShapeError(
                 f"operator expects {self.m} rows, matrix has {A.shape[0]}"
             )
         A.validate(require_finite=True)
-        kernel = self._resolve_kernel(A)
-        b_d, b_n = self._blocking(A.shape[1])
-        if resume and checkpoint_dir is None:
-            raise ConfigError("resume=True requires checkpoint_dir")
-        if kernel == "pregen":
-            if checkpoint_dir is not None:
-                raise ConfigError(
-                    "checkpointing is not supported for the 'pregen' kernel"
-                )
-            Ahat, stats = pregen_full(A, self.d, self._rng())
-        elif (self.config.threads > 1 or self.config.resilience is not None
-              or checkpoint_dir is not None):
-            # The resilient executor also serves threads == 1 when a
-            # resilience policy or checkpointing is configured, so
-            # guardrails, retries, and snapshot barriers apply to
-            # sequential runs too.
-            Ahat, stats = parallel_sketch_spmm(
-                A, self.d, lambda w: self.config.build_rng(w),
-                threads=self.config.threads, kernel=kernel, b_d=b_d, b_n=b_n,
-                resilience=self.config.resilience,
-                backend=self.config.backend,
-                checkpoint_dir=checkpoint_dir,
-                checkpoint_every=checkpoint_every, resume=resume,
-            )
-        else:
-            Ahat, stats = sketch_spmm(
-                A, self.d, self._rng(), kernel=kernel, b_d=b_d, b_n=b_n,
-                backend=self.config.backend,
-            )
-        s = self.scale()
-        if s != 1.0:
-            Ahat *= s
-        return SketchResult(sketch=Ahat, stats=stats, kernel_used=kernel, scale=s)
+        pol = _persistence_from_kwargs(
+            "SketchOperator.apply", persistence, checkpoint_dir,
+            checkpoint_every, resume)
+        plan = self.plan(A, persistence=pol)
+        return Runtime().run(plan, A)
 
     def apply_dense(self, X: np.ndarray) -> np.ndarray:
         """Compute ``S @ X`` for dense ``X`` (vector or matrix).
@@ -195,6 +202,7 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
            quality_check: bool = False,
            quality_threshold: float | None = None,
            max_resketch: int = 1,
+           persistence: PersistencePolicy | None = None,
            checkpoint_dir=None,
            checkpoint_every: int = 1,
            resume: bool = False) -> SketchResult:
@@ -207,6 +215,7 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
         A = random_sparse(100_000, 1_000, 5e-4, seed=0)
         result = sketch(A, gamma=3.0)
         Ahat = result.sketch          # 3000 x 1000 dense
+        print(result.plan.explain())  # why each choice was made
 
     Parameters
     ----------
@@ -232,18 +241,24 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
     The accepted result's ``stats.extra`` records ``distortion``,
     ``distortion_threshold``, and ``resketches``.
 
-    checkpoint_dir, checkpoint_every, resume:
-        Durable crash recovery: write atomic snapshots of completed row
-        blocks to *checkpoint_dir* and, with ``resume=True``, restore
-        the newest verified-good one before computing the rest (see
+    persistence:
+        Durable crash recovery as a
+        :class:`~repro.plan.PersistencePolicy`: write atomic snapshots
+        of completed row blocks and, with ``resume=True``, restore the
+        newest verified-good one before computing the rest (see
         :mod:`repro.persist` and :meth:`SketchOperator.apply`).
         Incompatible with *quality_check*, whose automatic re-sketching
         changes ``d`` mid-run and would orphan the snapshots.
+    checkpoint_dir, checkpoint_every, resume:
+        Deprecated spelling of *persistence* (one
+        ``DeprecationWarning`` per call; behaviour unchanged).
     """
     cfg = config if config is not None else SketchConfig()
     if backend is not None:
         cfg = dataclasses.replace(cfg, backend=backend)
-    if checkpoint_dir is not None and quality_check:
+    pol = _persistence_from_kwargs("sketch", persistence, checkpoint_dir,
+                                   checkpoint_every, resume)
+    if pol.enabled and quality_check:
         raise ConfigError(
             "checkpoint_dir is incompatible with quality_check: automatic "
             "re-sketching changes d mid-run, orphaning the snapshots"
@@ -264,8 +279,7 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
         d_eff = cfg.sketch_size(A.shape[1])
     if not quality_check:
         op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
-        return op.apply(A, checkpoint_dir=checkpoint_dir,
-                        checkpoint_every=checkpoint_every, resume=resume)
+        return op.apply(A, persistence=pol)
 
     from ..errors import SketchQualityError
     from .distortion import sketch_distortion  # local: avoids module cycle

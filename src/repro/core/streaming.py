@@ -29,7 +29,9 @@ import numpy as np
 
 from ..errors import ConfigError, FormatError, ShapeError
 from ..kernels.backends import resolve_backend
-from ..kernels.blocking import default_block_sizes, sketch_spmm
+from ..kernels.blocking import default_block_sizes
+from ..plan.policy import PersistencePolicy, warn_deprecated_kwargs
+from ..plan.spec import ProblemSpec, RngSpec, SketchPlan
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
 from ..utils.validation import check_positive_int
@@ -115,13 +117,20 @@ class StreamingSketch:
         Kernel backend name/instance (resolved eagerly; recorded in
         checkpoint fingerprints because accumulation order — and thus bit
         patterns — is backend-specific).
+    persistence:
+        Durable crash recovery as a
+        :class:`~repro.plan.PersistencePolicy` (see
+        :mod:`repro.persist`): a verified-restorable snapshot of the
+        partial sketch is written atomically every ``every`` newly
+        absorbed rows.  Restore with
+        :func:`repro.persist.resume_streaming`.
     checkpoint, checkpoint_dir, checkpoint_every, checkpoint_keep:
-        Durable crash recovery (see :mod:`repro.persist`).  Pass either a
-        ready :class:`~repro.persist.CheckpointManager` (*checkpoint*) or
-        a directory (*checkpoint_dir*); with *checkpoint_every* set, a
-        verified-restorable snapshot of the partial sketch is written
-        atomically every time that many new rows have been absorbed.
-        Restore with :func:`repro.persist.resume_streaming`.
+        Deprecated spelling of *persistence* (one ``DeprecationWarning``
+        per construction; behaviour unchanged): pass either a ready
+        :class:`~repro.persist.CheckpointManager` (*checkpoint*) or a
+        directory (*checkpoint_dir*); ``checkpoint_every=None`` disables
+        the automatic cadence (snapshots only via
+        :meth:`save_checkpoint`).
 
     Example
     -------
@@ -136,10 +145,14 @@ class StreamingSketch:
                  b_n: int | None = None, backend=None,
                  checkpoint: "CheckpointManager | None" = None,
                  checkpoint_dir=None, checkpoint_every: int | None = None,
-                 checkpoint_keep: int = 2) -> None:
+                 checkpoint_keep: int = 2,
+                 persistence: PersistencePolicy | None = None) -> None:
         self.d = check_positive_int(d, "d")
         self.n = check_positive_int(n, "n")
         self.rng = rng
+        if kernel not in ("algo3", "algo4"):
+            raise ConfigError(
+                f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
         self.kernel = kernel
         bd_default, bn_default = default_block_sizes(d, n)
         self.b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
@@ -162,18 +175,51 @@ class StreamingSketch:
                 "StreamingSketch requires post_scale == 1 distributions; "
                 "use 'uniform' or 'rademacher'"
             )
-        if checkpoint is not None and checkpoint_dir is not None:
-            raise ConfigError("pass at most one of checkpoint / checkpoint_dir")
-        if checkpoint_every is not None:
-            check_positive_int(checkpoint_every, "checkpoint_every")
-        self.checkpoint_every = checkpoint_every
-        if checkpoint is None and checkpoint_dir is not None:
-            from ..persist.snapshot import CheckpointManager
-
-            checkpoint = CheckpointManager(checkpoint_dir,
-                                           keep=checkpoint_keep)
-        self.checkpoint = checkpoint
+        if persistence is not None:
+            if (checkpoint is not None or checkpoint_dir is not None
+                    or checkpoint_every is not None or checkpoint_keep != 2):
+                raise ConfigError(
+                    "pass either persistence= or the legacy checkpoint "
+                    "kwargs, not both"
+                )
+            pol = persistence
+            self.checkpoint_every = pol.every if pol.enabled else None
+        else:
+            if checkpoint is not None or checkpoint_dir is not None:
+                warn_deprecated_kwargs(
+                    "StreamingSketch",
+                    "checkpoint/checkpoint_dir/checkpoint_every/"
+                    "checkpoint_keep",
+                    "persistence=PersistencePolicy(...)")
+            if checkpoint_every is not None:
+                check_positive_int(checkpoint_every, "checkpoint_every")
+            self.checkpoint_every = checkpoint_every
+            pol = PersistencePolicy.from_legacy(
+                checkpoint=checkpoint, checkpoint_dir=checkpoint_dir,
+                checkpoint_every=(1 if checkpoint_every is None
+                                  else checkpoint_every),
+                checkpoint_keep=checkpoint_keep)
+        self.persistence = pol
+        self.checkpoint = pol.build_manager()
         self._rows_at_last_snapshot = 0
+
+    def _batch_plan(self, batch: CSCMatrix) -> SketchPlan:
+        """The per-batch plan :meth:`absorb` hands to the runtime.
+
+        Streaming runs each batch on the serial driver with persistence
+        disabled — streaming snapshots capture the *accumulated* sketch
+        plus the batch replay log (``mode="streaming"``), which the
+        engine's per-row-block checkpoints cannot express.
+        """
+        return SketchPlan(
+            problem=ProblemSpec(m=batch.shape[0], n=self.n, d=self.d,
+                                nnz=batch.nnz),
+            kernel=self.kernel, b_d=self.b_d, b_n=self.b_n,
+            backend=self.backend.name,
+            rng=RngSpec(kind=self.rng.family, seed=self.rng.seed,
+                        distribution=self.rng.dist.name),
+            driver="serial",
+        )
 
     @property
     def sketch(self) -> np.ndarray:
@@ -241,11 +287,11 @@ class StreamingSketch:
             )
         offset = self.rows_seen
         shifted = _OffsetRNG(self.rng, offset)
-        update, _ = sketch_spmm(
-            batch, self.d, shifted, kernel=self.kernel,
-            b_d=self.b_d, b_n=self.b_n, backend=self.backend,
-        )
-        self._sketch += update
+        from ..plan.runtime import Runtime
+
+        result = Runtime().run(self._batch_plan(batch), batch,
+                               rng_factory=lambda w: shifted)
+        self._sketch += result.sketch
         self.rows_seen += batch.shape[0]
         self.batches_absorbed += 1
         self.batch_log.append((offset, batch.shape[0]))
@@ -339,8 +385,10 @@ class StreamingSketch:
         for (m, n, _nnz), rows, cols, vals in iter_matrix_market_entries(
                 source, chunk=chunk):
             if st is None:
-                st = cls(d, n, rng, kernel=kernel, b_d=b_d,
-                         checkpoint_dir=checkpoint_dir)
+                pol = (PersistencePolicy(checkpoint_dir=str(checkpoint_dir))
+                       if checkpoint_dir is not None else None)
+                st = cls(d, n, rng, kernel=kernel, b_d=b_d, persistence=pol)
+                st.checkpoint_every = None  # externally paced (per chunk)
                 st.rows_seen = m  # absolute coordinates; fixed stream height
             done += 1
             if done <= skip:

@@ -7,8 +7,8 @@ actually fired as a :class:`FaultEvent`, letting tests assert that a run's
 :class:`~repro.parallel.resilience.RunHealth` report matches the injected
 faults one-for-one.
 
-The executor talks to the injector through three hooks, all no-ops when no
-fault matches:
+The execution engine talks to the injector through three hooks, all no-ops
+when no fault matches:
 
 * :meth:`FaultInjector.on_task_start` — may raise
   :class:`~repro.faults.plan.InjectedFaultError` or sleep (straggler);
@@ -16,6 +16,13 @@ fault matches:
   :class:`CorruptingRNG` (corrupted checkpoint state);
 * :meth:`FaultInjector.on_block_computed` — may poison the finished block
   with NaN/Inf.
+
+Since the plan/compile/execute refactor these hooks are not called
+directly by the engine: :meth:`FaultInjector.register` subscribes them to
+the ``task_start`` / ``rng_request`` / ``block_computed`` events on a
+:class:`~repro.plan.EventBus`, and the engine simply emits.  Anything
+else that wants to perturb or observe per-attempt execution can
+subscribe to the same events without the engine changing.
 
 The snapshot writer (:mod:`repro.persist.snapshot`) adds a fourth hook,
 :meth:`FaultInjector.snapshot_faults`, which reports which storage faults
@@ -184,6 +191,52 @@ class FaultInjector:
             if block.size:
                 block.flat[block.size // 2] = (np.nan if spec.kind == "nan"
                                                else np.inf)
+
+    # -- event-bus wiring -------------------------------------------------
+
+    def register(self, bus) -> None:
+        """Subscribe this injector's hooks to *bus* (idempotent per bus).
+
+        Adapts the three executor hooks to the
+        :data:`~repro.plan.events.FAULT_HOOK_EVENTS`:
+
+        * ``task_start`` → :meth:`on_task_start` (may sleep or raise);
+        * ``rng_request`` → :meth:`rng_for`, writing the (possibly
+          corrupting) generator back into the event's ``rng`` slot;
+        * ``block_computed`` → :meth:`on_block_computed` (in-place
+          block poisoning).
+
+        The snapshot-storage hook stays out of band: snapshots are
+        written by the checkpoint manager, which takes the injector
+        directly (see :class:`repro.persist.CheckpointManager`).
+        """
+        from ..plan.events import BLOCK_COMPUTED, RNG_REQUEST, TASK_START
+
+        with self._lock:
+            registered = getattr(self, "_registered_buses", None)
+            if registered is None:
+                registered = self._registered_buses = set()
+            if id(bus) in registered:
+                return
+            registered.add(id(bus))
+
+        def _on_task_start(event) -> None:
+            self.on_task_start(event["task"], event["kernel"],
+                               event["context"], event["attempt"])
+
+        def _on_rng_request(event) -> None:
+            event["rng"] = self.rng_for(event["task"], event["kernel"],
+                                        event["context"], event["attempt"],
+                                        event["rng"])
+
+        def _on_block_computed(event) -> None:
+            self.on_block_computed(event["task"], event["kernel"],
+                                   event["context"], event["attempt"],
+                                   event["block"])
+
+        bus.subscribe(TASK_START, _on_task_start)
+        bus.subscribe(RNG_REQUEST, _on_rng_request)
+        bus.subscribe(BLOCK_COMPUTED, _on_block_computed)
 
     def snapshot_faults(self, seq: int, block_index: int) -> list[str]:
         """Storage-fault kinds to apply to block *block_index* of snapshot *seq*.

@@ -18,7 +18,7 @@ of the two loops in Algorithm 1").
 
 from __future__ import annotations
 
-from typing import Iterator, Literal
+from typing import Callable, Iterator, Literal
 
 import numpy as np
 
@@ -90,6 +90,7 @@ def sketch_spmm(
     out_order: str = "F",
     backend: str | KernelBackend | None = None,
     workspace: KernelWorkspace | None = None,
+    on_block: Callable[[str, int, int, int, int], None] | None = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Compute the sketch ``Ahat = S @ A`` with on-the-fly generation of ``S``.
 
@@ -134,6 +135,12 @@ def sketch_spmm(
         scratch reuse across calls; one is created internally per
         invocation otherwise, so repeated block calls never churn the
         allocator either way.
+    on_block:
+        Optional observer called as ``on_block(phase, i, d1, j, n1)``
+        with ``phase`` in ``("block_start", "block_done")`` around every
+        kernel invocation — how the plan runtime's serial driver feeds
+        lifecycle events to its bus without this module knowing about
+        event buses.  ``None`` (the default) costs nothing.
 
     Returns
     -------
@@ -193,6 +200,8 @@ def sketch_spmm(
                 width = blk.shape[1]
                 for i in range(0, d, b_d):
                     d1 = min(b_d, d - i)
+                    if on_block is not None:
+                        on_block("block_start", i, d1, j0, width)
                     view = Ahat[i:i + d1, j0:j0 + width]
                     if reference:
                         algo4_block_reference(view, blk, i, rng)
@@ -200,8 +209,12 @@ def sketch_spmm(
                         be.algo4_block(view, blk, i, rng, watch=sw,
                                        workspace=ws)
                     blocks += 1
+                    if on_block is not None:
+                        on_block("block_done", i, d1, j0, width)
         else:
             for i, d1, j, n1 in iter_block_tasks(d, n, b_d, b_n):
+                if on_block is not None:
+                    on_block("block_start", i, d1, j, n1)
                 view = Ahat[i:i + d1, j:j + n1]
                 A_sub = A.col_block(j, j + n1)
                 if reference:
@@ -210,6 +223,8 @@ def sketch_spmm(
                     be.algo3_block(view, A_sub, i, rng, watch=sw,
                                    workspace=ws)
                 blocks += 1
+                if on_block is not None:
+                    on_block("block_done", i, d1, j, n1)
         if rng.post_scale != 1.0:
             Ahat *= rng.post_scale
 

@@ -1,10 +1,14 @@
-"""Thread-pool execution of the blocked sketching SpMM, with resilience.
+"""Plan-driven execution engine for the blocked sketching SpMM.
 
-Real shared-memory parallelism over Algorithm 1's block tasks.  Every task
-writes a disjoint block of ``Ahat`` and reads only immutable inputs, so the
-execution is race-free by construction; each worker gets its *own*
-:class:`~repro.rng.SketchingRNG` instance (from a factory), so RNG state
-and instrumentation counters are thread-private.
+:class:`PlanExecutionEngine` is the ``"engine"`` driver of
+:class:`repro.plan.Runtime`: it executes a compiled
+:class:`~repro.plan.SketchPlan` over Algorithm 1's block tasks with real
+shared-memory parallelism, optional fault handling, and durable
+checkpoints.  Every task writes a disjoint block of ``Ahat`` and reads
+only immutable inputs, so the execution is race-free by construction;
+each worker gets its *own* :class:`~repro.rng.SketchingRNG` instance
+(from a factory), so RNG state and instrumentation counters are
+thread-private.
 
 Reproducibility across thread counts: both generator families key their
 output on ``(seed, block row offset, sparse row)``, never on which thread
@@ -15,24 +19,29 @@ counter-based RNGs give thread-independent sketches; our checkpointed
 xoshiro is also thread-independent *given fixed blocking* because
 checkpoints are keyed by coordinates.)
 
-The same coordinate-keying makes the executor *resilient*: a failed block
+The same coordinate-keying makes the engine *resilient*: a failed block
 task can be recomputed from a fresh generator and the result is
-bit-identical to a fault-free run.  :class:`ResilientExecutor` exploits
-this with per-task bounded retries, per-task deadlines with straggler
+bit-identical to a fault-free run.  The guarded path exploits this with
+per-task bounded retries, per-task deadlines with straggler
 re-execution, numerical guardrails (NaN/Inf/magnitude checks with
 ``raise``/``recompute``/``mask`` policies), and a
 :class:`~repro.parallel.resilience.DegradationPolicy` that falls back
 algo4→algo3 and parallel→serial after repeated failures — every decision
 recorded in a :class:`~repro.parallel.resilience.RunHealth` report
 attached to the returned :class:`~repro.kernels.KernelStats`.  When no
-resilience options and no fault injector are supplied, the executor takes
-the original zero-overhead path.
+resilience options, no checkpoints, and no fault-hook subscribers are
+present, the engine takes the original zero-overhead path.
 
-On the Python runtime, NumPy releases the GIL inside large array
-operations, so genuine overlap occurs for the vectorized kernels when the
-host has multiple cores; on a single-core host this executor still
-validates correctness while :mod:`repro.parallel.scaling` models the
-performance (see DESIGN.md's substitution table).
+Observation happens through the plan layer's event bus rather than
+callbacks threaded through the internals: the engine emits
+``block_start``/``block_done``, ``retry``, ``degraded``, and
+``checkpoint_written`` lifecycle events, and fires the
+``task_start``/``rng_request``/``block_computed`` hook events that fault
+injection subscribes to (see :meth:`repro.faults.FaultInjector.register`).
+
+:class:`ResilientExecutor` and :func:`parallel_sketch_spmm` remain the
+public entry points, now as thin shims that compile a plan from their
+keyword arguments and delegate to ``Runtime.run(plan)``.
 """
 
 from __future__ import annotations
@@ -52,14 +61,28 @@ from ..errors import (
     TaskFailedError,
     TaskTimeoutError,
 )
+from ..faults.plan import InjectedCrashError
 from ..kernels.backends import (
     KernelBackend,
     KernelWorkspace,
     resolve_backend,
 )
-from ..faults.plan import InjectedCrashError
 from ..kernels.blocking import default_block_sizes, iter_block_tasks
 from ..kernels.stats import KernelStats
+from ..plan.events import (
+    BLOCK_COMPUTED,
+    BLOCK_DONE,
+    BLOCK_START,
+    CHECKPOINT_WRITTEN,
+    DEGRADED,
+    FAULT_HOOK_EVENTS,
+    RETRY,
+    RNG_REQUEST,
+    TASK_START,
+    EventBus,
+)
+from ..plan.policy import PersistencePolicy, warn_deprecated_kwargs
+from ..plan.spec import ProblemSpec, RngSpec, SketchPlan
 from ..rng.base import SketchingRNG
 from ..sparse.blocked_csr import BlockedCSR
 from ..sparse.convert import csc_to_blocked_csr
@@ -80,90 +103,82 @@ from .scheduler import estimate_task_costs, partition_tasks
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
 
-__all__ = ["ResilientExecutor", "parallel_sketch_spmm"]
+__all__ = ["PlanExecutionEngine", "ResilientExecutor", "parallel_sketch_spmm"]
 
 RngFactory = Callable[[int], SketchingRNG]
 
 Task = tuple[int, int, int, int]  # (i, d1, j, n1)
 
 
-class ResilientExecutor:
-    """Executes Algorithm 1's block tasks with optional fault handling.
+class PlanExecutionEngine:
+    """Executes a compiled :class:`~repro.plan.SketchPlan` over block tasks.
 
-    Parameters mirror :func:`parallel_sketch_spmm` plus:
-
-    resilience:
-        A :class:`~repro.parallel.resilience.ResilienceConfig`; ``None``
-        (with no *injector*) selects the original fast path — direct
-        in-place block writes, no per-task bookkeeping, overhead within
-        noise of the pre-resilience implementation.
+    Parameters
+    ----------
+    plan:
+        The decision record: ``d``, kernel, blocking, backend, threads,
+        strategy, resilience policy, persistence policy.  The kernel
+        must be ``algo3`` or ``algo4`` (``pregen`` has no block tasks
+        and runs on the runtime's pregen driver).
+    A, rng_factory:
+        The input matrix and the per-worker generator factory.
+    bus:
+        The :class:`~repro.plan.EventBus` lifecycle and fault-hook
+        events fire on.  Hook subscriptions are snapshotted at
+        construction: their presence selects the guarded path, exactly
+        as passing ``injector=`` used to.
+    blocked:
+        Pre-built blocked CSR (Algorithm 4); built here (and timed) when
+        absent.
     injector:
-        A :class:`repro.faults.FaultInjector` whose hooks fire around each
-        task attempt (testing only; ``None`` in production).  Supplying an
-        injector without a config enables the guarded path with default
-        :class:`ResilienceConfig` settings.
+        Passed through to the checkpoint manager's storage-fault hooks
+        only; task-level injection reaches the engine via bus
+        subscriptions (:meth:`repro.faults.FaultInjector.register`).
     """
 
     def __init__(
         self,
+        plan: SketchPlan,
         A: CSCMatrix,
-        d: int,
         rng_factory: RngFactory,
         *,
-        threads: int,
-        kernel: str = "algo3",
-        b_d: int | None = None,
-        b_n: int | None = None,
-        strategy: str = "static",
+        bus: EventBus | None = None,
         blocked: BlockedCSR | None = None,
-        resilience: ResilienceConfig | None = None,
         injector: "FaultInjector | None" = None,
-        backend: str | KernelBackend | None = None,
-        checkpoint: "object | None" = None,
-        checkpoint_dir=None,
-        checkpoint_every: int = 1,
-        checkpoint_keep: int = 2,
-        resume: bool = False,
     ) -> None:
-        self.d = check_positive_int(d, "d")
-        self.threads = check_positive_int(threads, "threads")
-        if kernel not in ("algo3", "algo4"):
-            raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+        if plan.kernel not in ("algo3", "algo4"):
+            raise ConfigError(
+                f"kernel must be 'algo3' or 'algo4', got {plan.kernel!r}")
+        self.plan = plan
         self.A = A
-        self.kernel = kernel
-        self.backend = resolve_backend(backend)
+        self.d = plan.problem.d
+        self.threads = plan.threads
+        self.kernel = plan.kernel
+        self.b_d = plan.b_d
+        self.b_n = plan.b_n
+        self.strategy = plan.strategy
+        self.backend = resolve_backend(plan.backend)
         self.jit_compile_seconds = 0.0
         self.rng_factory = rng_factory
-        self.strategy = strategy
         self.blocked = blocked
-        self.injector = injector
-        if checkpoint is not None and checkpoint_dir is not None:
-            raise ConfigError("pass at most one of checkpoint / checkpoint_dir")
-        if checkpoint is None and checkpoint_dir is not None:
-            from ..persist.snapshot import CheckpointManager
+        self.bus = bus if bus is not None else EventBus()
+        # Hook subscriptions are sampled once: the injector registers
+        # before the run starts, and per-attempt has_subscribers calls
+        # would put a lock acquisition on the hot path.
+        self._hooked = self.bus.has_subscribers(*FAULT_HOOK_EVENTS)
+        self._track_blocks = self.bus.has_subscribers(BLOCK_START, BLOCK_DONE)
 
-            checkpoint = CheckpointManager(checkpoint_dir,
-                                           keep=checkpoint_keep,
-                                           injector=injector)
-        self.checkpoint = checkpoint
-        self.checkpoint_every = check_positive_int(checkpoint_every,
-                                                   "checkpoint_every")
-        if resume and checkpoint is None:
-            raise ConfigError("resume=True requires a checkpoint directory")
-        self._resume_requested = resume
+        self.checkpoint = plan.persistence.build_manager(injector)
+        self.checkpoint_every = plan.persistence.every
+        self._resume_requested = plan.persistence.resume
         self.resumed_from = None
         # Durable checkpoints need the per-task commit hooks, so their
         # presence selects the guarded path even without a resilience
-        # policy or injector.
-        self.guarded = (resilience is not None or injector is not None
-                        or checkpoint is not None)
-        self.resilience = (resilience if resilience is not None
+        # policy or fault-hook subscribers.
+        self.guarded = (plan.resilience is not None or self._hooked
+                        or self.checkpoint is not None)
+        self.resilience = (plan.resilience if plan.resilience is not None
                            else ResilienceConfig()) if self.guarded else None
-
-        m, n = A.shape
-        bd_default, bn_default = default_block_sizes(d, n, parallel=threads > 1)
-        self.b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
-        self.b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
 
         self.health = RunHealth()
 
@@ -196,7 +211,12 @@ class ResilientExecutor:
     # -- durable checkpoints ------------------------------------------------
 
     def fingerprint(self) -> dict:
-        """Immutable run identity for checkpoint compatibility checks."""
+        """Immutable run identity for checkpoint compatibility checks.
+
+        Derived from the *live* generator factory rather than the plan's
+        declarative RNG spec, so executor callers with custom factories
+        fingerprint what actually ran.
+        """
         from ..persist.snapshot import run_fingerprint
 
         rng = self.rng_factory(0)
@@ -225,8 +245,10 @@ class ResilientExecutor:
             self._rows_since_snapshot = 0
         blocks = [(r, self.Ahat[r:r + min(self.b_d, self.d - r), :])
                   for r in rows]
-        self.checkpoint.save(blocks, self.fingerprint(),
-                             {"completed_rows": rows})
+        path = self.checkpoint.save(blocks, self.fingerprint(),
+                                    {"completed_rows": rows})
+        self.bus.emit(CHECKPOINT_WRITTEN, path=path, rows=rows,
+                      snapshots_written=self.checkpoint.snapshots_written)
 
     def _resume_from_snapshot(self, tasks: list[Task]) -> list[Task]:
         """Restore completed row blocks; return the tasks still to run."""
@@ -345,6 +367,7 @@ class ResilientExecutor:
         costs = (estimate_task_costs(self.A, tasks)
                  if self.strategy == "guided" else None)
         buckets = partition_tasks(tasks, self.threads, self.strategy, costs)
+        track = self._track_blocks
 
         def run_worker(w: int) -> None:
             rng, watch = self.rng_factory(w), Stopwatch()
@@ -354,8 +377,14 @@ class ResilientExecutor:
                 self._all_watches.append(watch)
             for task in buckets[w]:
                 i, d1, j, n1 = task
+                if track:
+                    self.bus.emit(BLOCK_START, task=(i, j), i=i, d1=d1,
+                                  j=j, n1=n1, kernel=self.kernel)
                 view = self.Ahat[i:i + d1, j:j + n1]
                 self._compute(task, self.kernel, rng, watch, view, workspace)
+                if track:
+                    self.bus.emit(BLOCK_DONE, task=(i, j), i=i, d1=d1,
+                                  j=j, n1=n1, kernel=self.kernel)
 
         if self.threads == 1:
             run_worker(0)
@@ -401,6 +430,9 @@ class ResilientExecutor:
                     row_done = True
         with self._ctx_lock:
             self.health.completed += 1
+        if self._track_blocks:
+            self.bus.emit(BLOCK_DONE, task=(i, j), i=i, d1=d1, j=j, n1=n1,
+                          kernel=self.kernel)
         if row_done:
             self._maybe_checkpoint()
 
@@ -417,6 +449,9 @@ class ResilientExecutor:
         with self._claim_lock:
             if idx in self._claimed:
                 return  # already committed by a speculative duplicate
+        if self._track_blocks:
+            self.bus.emit(BLOCK_START, task=key, i=i, d1=d1, j=j, n1=n1,
+                          kernel=self.kernel)
         view = self.Ahat[i:i + d1, j:j + n1]
         # Scratch buffers are only needed when speculative duplicates can
         # race on the same block (deadline-triggered re-execution).
@@ -437,6 +472,8 @@ class ResilientExecutor:
                     self.health.record(
                         f"task {key}: {kernels[ki - 1]} exhausted its "
                         f"retries; degrading to pattern-oblivious {kname}")
+                self.bus.emit(DEGRADED, kind="kernel_fallback", task=key,
+                              from_kernel=kernels[ki - 1], to_kernel=kname)
             for local in range(budget):
                 attempt_no += 1
                 with self._ctx_lock:
@@ -450,16 +487,19 @@ class ResilientExecutor:
                 failure: tuple[str, str] | None = None
                 try:
                     use_rng = rng
-                    if self.injector is not None:
-                        self.injector.on_task_start(key, kname, context,
-                                                    attempt_no)
-                        use_rng = self.injector.rng_for(key, kname, context,
-                                                       attempt_no, rng)
+                    if self._hooked:
+                        self.bus.emit(TASK_START, task=key, kernel=kname,
+                                      context=context, attempt=attempt_no)
+                        use_rng = self.bus.emit(
+                            RNG_REQUEST, task=key, kernel=kname,
+                            context=context, attempt=attempt_no, rng=rng,
+                        )["rng"]
                     self._compute(task, kname, use_rng, watch, target,
                                   workspace)
-                    if self.injector is not None:
-                        self.injector.on_block_computed(key, kname, context,
-                                                        attempt_no, target)
+                    if self._hooked:
+                        self.bus.emit(BLOCK_COMPUTED, task=key, kernel=kname,
+                                      context=context, attempt=attempt_no,
+                                      block=target)
                     violation = (validate_block(target, self._bound_for(task))
                                  if cfg.guardrail is not None else None)
                     if violation is None:
@@ -509,6 +549,8 @@ class ResilientExecutor:
                         self.health.record(
                             f"task {key}: attempt {attempt_no} failed "
                             f"({failure[0]}); retrying with fresh RNG")
+                    self.bus.emit(RETRY, task=key, attempt=attempt_no,
+                                  kind=failure[0], context=context)
                     rng = self._fresh_rng()
         raise RetryExhaustedError(
             f"task {key} failed after {attempt_no} attempts "
@@ -548,6 +590,8 @@ class ResilientExecutor:
                             f"task {key}: straggler past the "
                             f"{cfg.task_timeout}s deadline; speculatively "
                             f"re-executing in the driver thread")
+                    self.bus.emit(RETRY, task=key, attempt=0,
+                                  kind="straggler", context="serial")
                     self._run_task(idx, task, "serial")
                 except TaskFailedError as exc:
                     failed.append((idx, task, exc))
@@ -559,13 +603,15 @@ class ResilientExecutor:
                 self.health.record(
                     f"{len(failed)} task(s) unrecoverable in the pool; "
                     f"degrading parallel -> serial re-execution")
+            self.bus.emit(DEGRADED, kind="serial_fallback",
+                          tasks=len(failed))
             for idx, task, _exc in failed:
                 self._run_task(idx, task, "serial")
 
     # -- entry point -------------------------------------------------------
 
-    def run(self) -> tuple[np.ndarray, KernelStats]:
-        """Execute the sketch; returns ``(Ahat, stats)``.
+    def execute(self) -> tuple[np.ndarray, KernelStats]:
+        """Execute the plan; returns ``(Ahat, stats)``.
 
         ``stats.health`` carries the :class:`RunHealth` report on guarded
         runs (``None`` on the fast path).
@@ -593,6 +639,167 @@ class ResilientExecutor:
                                              total.elapsed)
 
 
+# -- public shims -----------------------------------------------------------
+
+
+def _plan_from_executor_args(
+    A: CSCMatrix,
+    d: int,
+    rng_factory: RngFactory,
+    *,
+    threads: int,
+    kernel: str,
+    b_d: int | None,
+    b_n: int | None,
+    strategy: str,
+    resilience: ResilienceConfig | None,
+    persistence: PersistencePolicy | None,
+) -> SketchPlan:
+    """Compile a plan from the legacy executor keyword surface."""
+    d = check_positive_int(d, "d")
+    threads = check_positive_int(threads, "threads")
+    if kernel not in ("algo3", "algo4"):
+        raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+    m, n = A.shape
+    bd_default, bn_default = default_block_sizes(d, n, parallel=threads > 1)
+    b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
+    b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
+    probe = rng_factory(0)
+    return SketchPlan(
+        problem=ProblemSpec(m=m, n=n, d=d, nnz=A.nnz),
+        kernel=kernel, b_d=b_d, b_n=b_n,
+        backend=resolve_backend(None).name,  # overridden below when given
+        rng=RngSpec(kind=probe.family, seed=probe.seed,
+                    distribution=probe.dist.name),
+        threads=threads, strategy=strategy, driver="engine",
+        resilience=resilience,
+        persistence=(persistence if persistence is not None
+                     else PersistencePolicy()),
+    )
+
+
+class ResilientExecutor:
+    """Legacy keyword surface over the plan/compile/execute stack.
+
+    Compiles a :class:`~repro.plan.SketchPlan` from the pre-refactor
+    keyword arguments and delegates execution to
+    ``Runtime.run(plan)`` — behaviour and outputs are bit-identical to
+    the pre-plan executor.  New code should compile a plan (see
+    :class:`repro.plan.Planner`) and call the runtime directly.
+
+    Parameters mirror :func:`parallel_sketch_spmm` plus:
+
+    resilience:
+        A :class:`~repro.parallel.resilience.ResilienceConfig`; ``None``
+        (with no *injector* and no persistence) selects the original
+        fast path — direct in-place block writes, no per-task
+        bookkeeping.
+    injector:
+        A :class:`repro.faults.FaultInjector` wired into the run
+        (testing only; ``None`` in production): registered on the event
+        bus for the task hooks and handed to the checkpoint manager for
+        storage faults.
+    persistence:
+        A :class:`~repro.plan.PersistencePolicy`; the preferred spelling
+        of the deprecated ``checkpoint``/``checkpoint_dir``/
+        ``checkpoint_every``/``checkpoint_keep``/``resume`` kwargs.
+    bus:
+        The :class:`~repro.plan.EventBus` lifecycle events fire on; a
+        private bus is created when omitted.
+    """
+
+    def __init__(
+        self,
+        A: CSCMatrix,
+        d: int,
+        rng_factory: RngFactory,
+        *,
+        threads: int,
+        kernel: str = "algo3",
+        b_d: int | None = None,
+        b_n: int | None = None,
+        strategy: str = "static",
+        blocked: BlockedCSR | None = None,
+        resilience: ResilienceConfig | None = None,
+        injector: "FaultInjector | None" = None,
+        backend: str | KernelBackend | None = None,
+        checkpoint: "object | None" = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        checkpoint_keep: int = 2,
+        resume: bool = False,
+        persistence: PersistencePolicy | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
+        legacy_ck = (checkpoint is not None or checkpoint_dir is not None
+                     or checkpoint_every != 1 or checkpoint_keep != 2
+                     or resume)
+        if persistence is not None:
+            if legacy_ck:
+                raise ConfigError(
+                    "pass either persistence= or the legacy checkpoint "
+                    "kwargs, not both"
+                )
+        elif legacy_ck:
+            warn_deprecated_kwargs(
+                "ResilientExecutor",
+                "checkpoint/checkpoint_dir/checkpoint_every/"
+                "checkpoint_keep/resume",
+                "persistence=PersistencePolicy(...)")
+            persistence = PersistencePolicy.from_legacy(
+                checkpoint=checkpoint, checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                checkpoint_keep=checkpoint_keep, resume=resume)
+        plan = _plan_from_executor_args(
+            A, d, rng_factory, threads=threads, kernel=kernel, b_d=b_d,
+            b_n=b_n, strategy=strategy, resilience=resilience,
+            persistence=persistence)
+        backend_name = resolve_backend(backend).name
+        if backend_name != plan.backend:
+            import dataclasses
+
+            plan = dataclasses.replace(plan, backend=backend_name)
+        self.plan = plan
+        self.A = A
+        self.rng_factory = rng_factory
+        self.blocked = blocked
+        self.injector = injector
+        self.bus = bus if bus is not None else EventBus()
+
+    @property
+    def b_d(self) -> int:
+        return self.plan.b_d
+
+    @property
+    def b_n(self) -> int:
+        return self.plan.b_n
+
+    def fingerprint(self) -> dict:
+        """Immutable run identity for checkpoint compatibility checks."""
+        rng = self.rng_factory(0)
+        from ..persist.snapshot import run_fingerprint
+
+        return run_fingerprint(
+            mode="blocked", d=self.plan.problem.d, n=self.A.shape[1],
+            b_d=self.plan.b_d, b_n=self.plan.b_n, kernel=self.plan.kernel,
+            backend=self.plan.backend, rng_kind=rng.family, seed=rng.seed,
+            distribution=rng.dist.name,
+        )
+
+    def run(self) -> tuple[np.ndarray, KernelStats]:
+        """Execute the sketch; returns ``(Ahat, stats)``.
+
+        ``stats.health`` carries the :class:`RunHealth` report on guarded
+        runs (``None`` on the fast path).
+        """
+        from ..plan.runtime import Runtime
+
+        result = Runtime(bus=self.bus).run(
+            self.plan, self.A, rng_factory=self.rng_factory,
+            blocked=self.blocked, injector=self.injector)
+        return result.sketch, result.stats
+
+
 def parallel_sketch_spmm(
     A: CSCMatrix,
     d: int,
@@ -612,8 +819,14 @@ def parallel_sketch_spmm(
     checkpoint_every: int = 1,
     checkpoint_keep: int = 2,
     resume: bool = False,
+    persistence: PersistencePolicy | None = None,
+    bus: EventBus | None = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Compute ``Ahat = S @ A`` using *threads* workers over block tasks.
+
+    A thin shim over the plan/compile/execute stack: compiles a
+    :class:`~repro.plan.SketchPlan` from these keyword arguments and runs
+    it through ``Runtime.run(plan)``.
 
     Parameters
     ----------
@@ -639,16 +852,23 @@ def parallel_sketch_spmm(
         ``numba`` backend the fused ``nogil`` kernels release the GIL for
         entire block tasks, so worker threads overlap fully instead of
         only inside NumPy calls.
-    checkpoint, checkpoint_dir, checkpoint_every, checkpoint_keep, resume:
-        Durable crash recovery (see :mod:`repro.persist`).  A snapshot of
-        all *completed* row blocks is written atomically every
-        *checkpoint_every* row-block completions (and once at the end,
-        pre-``post_scale``).  ``resume=True`` restores the newest
-        verified-good snapshot from the directory — its fingerprint must
-        match this run exactly (same ``d``/blocking/kernel/backend/RNG)
-        or :class:`~repro.errors.CheckpointMismatchError` is raised — and
+    persistence:
+        Durable crash recovery as a
+        :class:`~repro.plan.PersistencePolicy` — the preferred spelling
+        of the deprecated ``checkpoint``/``checkpoint_dir``/
+        ``checkpoint_every``/``checkpoint_keep``/``resume`` kwargs (see
+        :mod:`repro.persist`).  A snapshot of all *completed* row blocks
+        is written atomically every ``every`` row-block completions (and
+        once at the end, pre-``post_scale``).  ``resume=True`` restores
+        the newest verified-good snapshot from the directory — its
+        fingerprint must match this run exactly (same
+        ``d``/blocking/kernel/backend/RNG) or
+        :class:`~repro.errors.CheckpointMismatchError` is raised — and
         skips the tasks of already-completed row blocks.  Checkpointing
         selects the guarded execution path.
+    bus:
+        Event bus for lifecycle events (``block_start``/``block_done``,
+        ``retry``, ``degraded``, ``checkpoint_written``).
 
     Returns
     -------
@@ -663,5 +883,6 @@ def parallel_sketch_spmm(
         injector=injector, backend=backend, checkpoint=checkpoint,
         checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
         checkpoint_keep=checkpoint_keep, resume=resume,
+        persistence=persistence, bus=bus,
     )
     return executor.run()

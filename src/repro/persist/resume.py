@@ -87,11 +87,14 @@ def _restore_streaming(snap: Snapshot, *, checkpoint_every: int | None,
     rng.samples_generated = int(state.get("samples_generated", 0))
     manager = CheckpointManager(snap.path.parent, keep=keep,
                                 injector=injector)
+    from ..plan.policy import PersistencePolicy
+
     st = StreamingSketch(
         int(fp["d"]), int(fp["n"]), rng, kernel=fp["kernel"],
         b_d=int(fp["b_d"]), b_n=int(fp["b_n"]), backend=fp["backend"],
-        checkpoint=manager, checkpoint_every=checkpoint_every,
+        persistence=PersistencePolicy(manager=manager),
     )
+    st.checkpoint_every = checkpoint_every
     if st.backend.name != fp["backend"]:
         # resolve_backend silently downgrades an unavailable backend; for
         # resume that would break bit-identity, so make it loud.

@@ -1,0 +1,103 @@
+"""Plan/compile/execute: the decision layer above the sketching kernels.
+
+Three pieces (see ``docs/architecture.md``):
+
+* :class:`SketchPlan` — an immutable, JSON-serializable record of every
+  decision a run needs (problem, ``d``, kernel, blocking, backend, RNG,
+  resilience, persistence) plus the reasons behind each choice;
+* :class:`Planner` / :func:`compile_plan` — compiles a plan from a
+  :class:`~repro.core.SketchConfig` and a
+  :class:`~repro.model.MachineModel`, consolidating the kernel dispatch,
+  blocking heuristics, Eq. 4 model numbers, and autotuning in one place;
+* :class:`Runtime` — executes a plan through pluggable drivers (serial /
+  engine / pregen) and emits lifecycle events (``plan_compiled``,
+  ``block_start``/``block_done``, ``checkpoint_written``, ``retry``,
+  ``degraded``, ``done``) on an :class:`EventBus`.
+
+``Planner`` and ``Runtime`` are loaded lazily to keep this package
+importable from low-level modules without cycles.
+"""
+
+from .events import (
+    BLOCK_COMPUTED,
+    BLOCK_DONE,
+    BLOCK_START,
+    CHECKPOINT_WRITTEN,
+    DEGRADED,
+    DONE,
+    FAULT_HOOK_EVENTS,
+    LIFECYCLE_EVENTS,
+    PLAN_COMPILED,
+    RETRY,
+    RNG_REQUEST,
+    TASK_START,
+    Event,
+    EventBus,
+)
+from .policy import PersistencePolicy
+from .spec import (
+    PLAN_FORMAT_VERSION,
+    PlanDecision,
+    ProblemSpec,
+    RngSpec,
+    SketchPlan,
+    resilience_from_dict,
+    resilience_to_dict,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "PLAN_COMPILED",
+    "BLOCK_START",
+    "BLOCK_DONE",
+    "TASK_START",
+    "RNG_REQUEST",
+    "BLOCK_COMPUTED",
+    "CHECKPOINT_WRITTEN",
+    "RETRY",
+    "DEGRADED",
+    "DONE",
+    "LIFECYCLE_EVENTS",
+    "FAULT_HOOK_EVENTS",
+    "PersistencePolicy",
+    "PLAN_FORMAT_VERSION",
+    "ProblemSpec",
+    "RngSpec",
+    "PlanDecision",
+    "SketchPlan",
+    "resilience_to_dict",
+    "resilience_from_dict",
+    "Planner",
+    "compile_plan",
+    "Runtime",
+    "SketchResult",
+    "register_driver",
+    "available_drivers",
+]
+
+_LAZY = {
+    "Planner": ("planner", "Planner"),
+    "compile_plan": ("planner", "compile_plan"),
+    "Runtime": ("runtime", "Runtime"),
+    "SketchResult": ("runtime", "SketchResult"),
+    "register_driver": ("runtime", "register_driver"),
+    "available_drivers": ("runtime", "available_drivers"),
+}
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy loading: planner/runtime import core.config and the
+    # executor, which import this package's low-level modules — loading
+    # them eagerly here would cycle during ``import repro``.
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,149 @@
+"""Lightweight lifecycle-event bus for the plan/compile/execute stack.
+
+Every layer of the runtime announces what it is doing through a shared
+:class:`EventBus` instead of calling its observers directly: the engine
+emits ``block_start``/``block_done`` around every kernel invocation,
+``retry``/``degraded`` when the resilience machinery intervenes, and
+``checkpoint_written`` after each durable snapshot; the runtime brackets
+the whole run with ``plan_compiled`` and ``done``.  Anything that wants
+to watch a run — :class:`~repro.parallel.resilience.RunHealth`
+consumers, CLI progress output, tracing, the fault injector — subscribes
+to the names it cares about and never has to be threaded through
+executor internals.
+
+The bus is deliberately tiny and synchronous:
+
+* ``emit`` with zero subscribers is one dictionary lookup, so
+  instrumenting the hot path costs nothing when nobody is listening;
+* handlers run inline in the emitting thread and may *raise* — that is a
+  feature, not a bug: the fault injector's ``task_start`` subscriber
+  injects failures exactly this way;
+* handlers may *mutate* the event's payload — the ``rng_request``
+  subscriber swaps in a corrupted generator by assigning
+  ``event["rng"]``.
+
+Subscribing is thread-safe; emission takes a snapshot of the handler
+list, so a handler registered mid-run sees only subsequent events.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "PLAN_COMPILED",
+    "BLOCK_START",
+    "BLOCK_DONE",
+    "TASK_START",
+    "RNG_REQUEST",
+    "BLOCK_COMPUTED",
+    "CHECKPOINT_WRITTEN",
+    "RETRY",
+    "DEGRADED",
+    "DONE",
+    "LIFECYCLE_EVENTS",
+]
+
+#: Lifecycle events every run emits (in roughly this order).
+PLAN_COMPILED = "plan_compiled"
+BLOCK_START = "block_start"
+BLOCK_DONE = "block_done"
+CHECKPOINT_WRITTEN = "checkpoint_written"
+RETRY = "retry"
+DEGRADED = "degraded"
+DONE = "done"
+
+#: Interposition hooks: fired around each task attempt on the guarded
+#: path so subscribers (the fault injector) can fail, delay, or corrupt
+#: an attempt.  Payloads are mutable; ``rng_request`` handlers may
+#: replace ``event["rng"]``.
+TASK_START = "task_start"
+RNG_REQUEST = "rng_request"
+BLOCK_COMPUTED = "block_computed"
+
+LIFECYCLE_EVENTS = (
+    PLAN_COMPILED, BLOCK_START, BLOCK_DONE, CHECKPOINT_WRITTEN,
+    RETRY, DEGRADED, DONE,
+)
+
+#: Hook events whose mere presence switches the engine onto the guarded
+#: (per-task bookkeeping) path, exactly as passing ``injector=`` used to.
+FAULT_HOOK_EVENTS = (TASK_START, RNG_REQUEST, BLOCK_COMPUTED)
+
+
+class Event:
+    """One emitted event: a name plus a mutable payload dict.
+
+    Payload entries are exposed both as mapping items (``event["task"]``)
+    and via :meth:`get`; handlers that need to hand a value back to the
+    emitter (e.g. a replacement RNG) assign into the payload.
+    """
+
+    __slots__ = ("name", "payload")
+
+    def __init__(self, name: str, payload: dict | None = None) -> None:
+        self.name = name
+        self.payload = payload if payload is not None else {}
+
+    def __getitem__(self, key: str):
+        return self.payload[key]
+
+    def __setitem__(self, key: str, value) -> None:
+        self.payload[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.payload
+
+    def get(self, key: str, default=None):
+        return self.payload.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.name!r}, {self.payload!r})"
+
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub keyed by event name."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._handlers: dict[str, list[Handler]] = {}
+
+    def subscribe(self, name: str, handler: Handler) -> Handler:
+        """Register *handler* for events named *name*; returns the handler
+        (convenient for later :meth:`unsubscribe`)."""
+        with self._lock:
+            self._handlers.setdefault(name, []).append(handler)
+        return handler
+
+    def unsubscribe(self, name: str, handler: Handler) -> None:
+        """Remove a previously subscribed handler (no-op if absent)."""
+        with self._lock:
+            handlers = self._handlers.get(name)
+            if handlers and handler in handlers:
+                handlers.remove(handler)
+
+    def has_subscribers(self, *names: str) -> bool:
+        """True if any of *names* has at least one handler."""
+        with self._lock:
+            return any(self._handlers.get(n) for n in names)
+
+    def emit(self, name: str, **payload) -> Event:
+        """Dispatch an event to its subscribers (in registration order).
+
+        Returns the (possibly handler-mutated) :class:`Event` so emitters
+        can read values subscribers handed back.  Handler exceptions
+        propagate to the emitter — the guarded executor treats them as
+        task failures, which is how injected faults enter the run.
+        """
+        with self._lock:
+            handlers = list(self._handlers.get(name, ()))
+        event = Event(name, payload)
+        for handler in handlers:
+            handler(event)
+        return event

@@ -1,0 +1,223 @@
+"""The planner: compile a :class:`~repro.plan.SketchPlan` from a config.
+
+Before this layer existed, the choice of kernel lived in
+``kernels/dispatch.choose_kernel``, the blocking defaults in
+``kernels/blocking.default_block_sizes`` (with a second, divergent copy
+of the defaults inside the executor), the model-derived blocking in
+``model/blocksize.recommend_block_sizes``, the empirical search in
+``kernels/autotune``, and the sketch-size arithmetic in ``core/config``
+— and each execution path re-assembled a different subset of them.  The
+:class:`Planner` consolidates all of it behind one call::
+
+    plan = Planner(machine).compile(A, config, gamma=3.0)
+    print(plan.explain())          # why each choice was made
+    result = Runtime().run(plan, A)
+
+Every decision is recorded as a :class:`~repro.plan.PlanDecision`,
+including the Section III (Eq. 4) computational-intensity numbers the
+machine model produced for this problem's density, so
+``plan.explain()`` answers "why this kernel / this blocking" with the
+paper's own quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..core.config import SketchConfig
+from ..errors import ConfigError
+from ..kernels.blocking import default_block_sizes
+from ..kernels.dispatch import choose_kernel
+from ..model.machine import LAPTOP, MachineModel
+from ..utils.validation import check_choice, check_positive_int
+from .policy import PersistencePolicy
+from .spec import PlanDecision, ProblemSpec, RngSpec, SketchPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sparse.csc import CSCMatrix
+
+__all__ = ["Planner", "compile_plan"]
+
+_TUNE_MODES = ("model", "measure")
+
+
+class Planner:
+    """Compiles :class:`SketchPlan` objects for a machine model.
+
+    Parameters
+    ----------
+    machine:
+        The :class:`~repro.model.MachineModel` that drives kernel
+        dispatch and blocking (default: the conservative ``LAPTOP``).
+    tune:
+        ``"model"`` (default) sizes blocks from the cache heuristic and
+        reports the Eq. 4 model numbers; ``"measure"`` additionally runs
+        the empirical autotuner on a column slice and adopts the
+        measured winner (slower to plan, faster to run).
+    """
+
+    def __init__(self, machine: MachineModel | None = None, *,
+                 tune: str = "model") -> None:
+        self.machine = machine if machine is not None else LAPTOP
+        check_choice(tune, "tune", _TUNE_MODES)
+        self.tune = tune
+
+    # -- sketch-size resolution ---------------------------------------------
+
+    def _resolve_d(self, n: int, cfg: SketchConfig, d: int | None,
+                   gamma: float | None) -> tuple[int, float | None]:
+        if gamma is not None and d is not None:
+            raise ConfigError("pass at most one of gamma / d")
+        if gamma is not None:
+            if gamma <= 1.0:
+                raise ConfigError(f"gamma must exceed 1, got {gamma}")
+            return int(math.ceil(gamma * n)), float(gamma)
+        if d is not None:
+            return check_positive_int(d, "d"), None
+        return cfg.sketch_size(n), float(cfg.gamma)
+
+    # -- the compile step ----------------------------------------------------
+
+    def compile(self, A: "CSCMatrix", config: SketchConfig | None = None, *,
+                d: int | None = None, gamma: float | None = None,
+                persistence: PersistencePolicy | None = None,
+                driver: str = "auto") -> SketchPlan:
+        """Compile the full decision record for sketching *A*.
+
+        Exactly one of *gamma* / *d* may override the config's sizing
+        (same contract as :func:`repro.sketch`).  *persistence* attaches
+        a durable-checkpoint policy; *driver* pins the execution driver
+        (``"auto"`` lets the runtime choose serial vs engine).
+        """
+        from ..kernels.backends import resolve_backend
+
+        cfg = config if config is not None else SketchConfig()
+        m, n = A.shape
+        check_positive_int(m, "m")
+        check_positive_int(n, "n")
+        d_eff, gamma_used = self._resolve_d(n, cfg, d, gamma)
+        decisions: list[PlanDecision] = []
+
+        decisions.append(PlanDecision(
+            field="d", value=str(d_eff),
+            reason=(f"d = ceil(gamma * n) with gamma={gamma_used:g}"
+                    if gamma_used is not None else "explicit d override"),
+            data={"n": n, "gamma": gamma_used} if gamma_used is not None
+            else {"n": n},
+        ))
+
+        # Kernel: user override, else the Section II-B / Table VI dispatch.
+        if cfg.kernel != "auto":
+            kernel = cfg.kernel
+            decisions.append(PlanDecision(
+                field="kernel", value=kernel,
+                reason="forced by SketchConfig.kernel"))
+        else:
+            choice = choose_kernel(self.machine, A, backend=cfg.backend)
+            kernel = choice.kernel
+            decisions.append(PlanDecision(
+                field="kernel", value=kernel, reason=choice.reason,
+                data={
+                    "column_concentration": choice.column_concentration,
+                    "machine_favors_reuse": choice.machine_favors_reuse,
+                    "machine": self.machine.name,
+                }))
+
+        # Backend: resolve once, record requested vs. resolved.
+        backend = resolve_backend(cfg.backend)
+        decisions.append(PlanDecision(
+            field="backend", value=backend.name,
+            reason=(f"requested {cfg.backend!r}"
+                    + ("" if cfg.backend in (backend.name,)
+                       else f", resolved to {backend.name!r}"))))
+
+        # Blocking: cache heuristic -> model numbers -> explicit overrides
+        # -> (optionally) the measured autotune winner.
+        b_d, b_n = default_block_sizes(
+            d_eff, n, cache_bytes=self.machine.cache_bytes,
+            parallel=cfg.threads > 1)
+        block_reason = (
+            f"cache heuristic: output block sized to half of "
+            f"{self.machine.name}'s {self.machine.cache_bytes} B cache"
+            + (" (parallel shape: tall b_d, narrow b_n)"
+               if cfg.threads > 1 else ""))
+        block_data = self._model_numbers(A, cfg)
+        if self.tune == "measure" and cfg.b_d is None and cfg.b_n is None \
+                and kernel in ("algo3", "algo4"):
+            from ..kernels.autotune import autotune_blocking
+
+            tuned = autotune_blocking(
+                A, d_eff, lambda: cfg.build_rng(), kernel=kernel,
+                backend=backend)
+            b_d, b_n = tuned.b_d, tuned.b_n
+            block_reason = (f"autotuned on a column slice: "
+                            f"{tuned.seconds:.4f}s winning trial")
+            block_data = {**block_data, "trials": len(tuned.trials)}
+        if cfg.b_d is not None:
+            b_d = cfg.b_d
+            block_reason += "; b_d overridden by config"
+        if cfg.b_n is not None:
+            b_n = cfg.b_n
+            block_reason += "; b_n overridden by config"
+        decisions.append(PlanDecision(
+            field="blocking", value=f"(b_d={b_d}, b_n={b_n})",
+            reason=block_reason, data=block_data))
+
+        # RNG: straight from the config (already validated there).
+        decisions.append(PlanDecision(
+            field="rng",
+            value=f"{cfg.rng_kind} seed={cfg.seed} {cfg.distribution}",
+            reason=("counter-based: fully reproducible across any blocking"
+                    if cfg.rng_kind in ("philox", "threefry")
+                    else "checkpointed: reproducible for this b_d grid")))
+
+        pol = persistence if persistence is not None else PersistencePolicy()
+        plan = SketchPlan(
+            problem=ProblemSpec(m=m, n=n, d=d_eff, nnz=A.nnz,
+                                gamma=gamma_used),
+            kernel=kernel, b_d=b_d, b_n=b_n, backend=backend.name,
+            rng=RngSpec(kind=cfg.rng_kind, seed=cfg.seed,
+                        distribution=cfg.distribution,
+                        normalize=cfg.normalize),
+            threads=cfg.threads, strategy="static", driver=driver,
+            resilience=cfg.resilience, persistence=pol,
+            decisions=tuple(decisions),
+        )
+        return plan
+
+    def _model_numbers(self, A: "CSCMatrix", cfg: SketchConfig) -> dict:
+        """The Eq. 4 quantities for this problem on this machine.
+
+        Returns the density ``rho``, RNG cost ``h``, cache words ``M``,
+        the model-optimal block column width and its computational
+        intensity, and the machine balance ``B`` the CI is compared to.
+        """
+        rho = A.density
+        if not (0.0 < rho <= 1.0):
+            return {}
+        from ..model.blocksize import optimize_blocks
+
+        h = self.machine.h(cfg.distribution)
+        M = self.machine.cache_words
+        model = optimize_blocks(rho, M, h)
+        return {
+            "rho": rho, "h": h, "M_words": M,
+            "model_n1": model.n1, "model_d1": model.d1,
+            "model_ci": model.ci,
+            "machine_balance": self.machine.machine_balance,
+        }
+
+
+def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
+                 machine: MachineModel | None = None,
+                 d: int | None = None, gamma: float | None = None,
+                 persistence: PersistencePolicy | None = None,
+                 tune: str = "model", driver: str = "auto") -> SketchPlan:
+    """One-call planning: ``compile_plan(A, cfg, gamma=3.0)``.
+
+    Convenience wrapper over :class:`Planner` for callers that don't
+    keep a planner around.
+    """
+    return Planner(machine, tune=tune).compile(
+        A, config, d=d, gamma=gamma, persistence=persistence, driver=driver)

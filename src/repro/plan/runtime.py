@@ -1,0 +1,221 @@
+"""The single instrumented runtime: ``Runtime.run(plan, A)``.
+
+One engine behind every public entry point.  ``sketch()`` /
+:class:`~repro.core.SketchOperator`, :class:`~repro.core.StreamingSketch`
+(per absorbed batch), and :class:`~repro.parallel.ResilientExecutor` all
+compile a :class:`~repro.plan.SketchPlan` and delegate here; the runtime
+resolves the plan to one of three *drivers* and brackets the execution
+with lifecycle events on its :class:`~repro.plan.EventBus`:
+
+``serial``
+    The single-pass blocked loop (:func:`repro.kernels.sketch_spmm`) —
+    the zero-overhead path for sequential, non-resilient,
+    non-checkpointed runs.
+``engine``
+    The resilient block executor (any thread count): per-task retries,
+    deadlines, guardrails, degradation, durable checkpoints.
+``pregen``
+    The materialize-``S``-then-GEMM baseline (no row-block structure,
+    so no checkpointing).
+
+Lifecycle events: ``plan_compiled`` at entry, ``block_start`` /
+``block_done`` around kernel invocations, ``checkpoint_written`` after
+each durable snapshot, ``retry`` / ``degraded`` when the resilience
+machinery intervenes, and ``done`` with the final stats.  Fault
+injection subscribes to the ``task_start`` / ``rng_request`` /
+``block_computed`` hook events (see
+:meth:`repro.faults.FaultInjector.register`) instead of being threaded
+through executor internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..kernels.stats import KernelStats
+from .events import (
+    BLOCK_DONE,
+    BLOCK_START,
+    DONE,
+    FAULT_HOOK_EVENTS,
+    PLAN_COMPILED,
+    EventBus,
+)
+from .spec import SketchPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+    from ..rng.base import SketchingRNG
+    from ..sparse.blocked_csr import BlockedCSR
+    from ..sparse.csc import CSCMatrix
+
+__all__ = ["SketchResult", "Runtime", "register_driver", "available_drivers"]
+
+
+@dataclass
+class SketchResult:
+    """Outcome of one sketch application."""
+
+    sketch: np.ndarray          # the d x n dense product (scaled if normalize)
+    stats: KernelStats
+    kernel_used: str
+    scale: float                # normalization factor applied (1.0 if none)
+    plan: "SketchPlan | None" = None  # the compiled plan, when one was built
+
+
+RngFactory = Callable[[int], "SketchingRNG"]
+
+#: Driver registry: name -> callable(runtime, plan, A, factory, blocked,
+#: injector) -> (Ahat, stats).  ``register_driver`` adds entries, so a
+#: future distributed/async driver plugs in without touching the runtime.
+_DRIVERS: dict[str, Callable] = {}
+
+
+def register_driver(name: str, fn: Callable) -> None:
+    """Register an execution driver under *name* (replaces any previous)."""
+    _DRIVERS[name] = fn
+
+
+def available_drivers() -> tuple[str, ...]:
+    """Names of the registered execution drivers."""
+    return tuple(sorted(_DRIVERS))
+
+
+def _serial_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
+                   blocked, injector):
+    """Single-pass blocked loop — the pre-refactor sequential path."""
+    from ..kernels.blocking import sketch_spmm
+
+    bus = runtime.bus
+    on_block = None
+    if bus.has_subscribers(BLOCK_START, BLOCK_DONE):
+        def on_block(phase: str, i: int, d1: int, j: int, n1: int) -> None:
+            bus.emit(phase, task=(i, j), i=i, d1=d1, j=j, n1=n1,
+                     kernel=plan.kernel)
+    return sketch_spmm(
+        A, plan.problem.d, factory(0), kernel=plan.kernel,
+        b_d=plan.b_d, b_n=plan.b_n, backend=plan.backend,
+        blocked=blocked, on_block=on_block,
+    )
+
+
+def _engine_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
+                   blocked, injector):
+    """The resilient block executor (guarded or fast, any thread count)."""
+    from ..parallel.executor import PlanExecutionEngine
+
+    engine = PlanExecutionEngine(plan, A, factory, bus=runtime.bus,
+                                 blocked=blocked, injector=injector)
+    return engine.execute()
+
+
+def _pregen_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
+                   blocked, injector):
+    """Materialize ``S`` densely, then one GEMM (baseline kernel)."""
+    from ..kernels.pregen import pregen_full
+
+    return pregen_full(A, plan.problem.d, factory(0))
+
+
+register_driver("serial", _serial_driver)
+register_driver("engine", _engine_driver)
+register_driver("pregen", _pregen_driver)
+
+
+class Runtime:
+    """Executes compiled :class:`SketchPlan` objects.
+
+    Parameters
+    ----------
+    bus:
+        The :class:`~repro.plan.EventBus` lifecycle events are emitted
+        on; a private bus is created when omitted.  Subscribe before
+        calling :meth:`run` — the engine snapshots hook subscriptions at
+        entry.
+    """
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.bus = bus if bus is not None else EventBus()
+
+    # -- driver resolution ---------------------------------------------------
+
+    def resolve_driver(self, plan: SketchPlan,
+                       injector: "FaultInjector | None" = None) -> str:
+        """Which driver this plan executes on.
+
+        ``pregen`` plans always use the pregen driver; an explicit
+        ``plan.driver`` wins otherwise; ``"auto"`` selects the engine
+        when anything needs per-task machinery (threads, resilience,
+        persistence, fault hooks) and the serial fast path otherwise —
+        exactly the pre-refactor dispatch in ``SketchOperator.apply``.
+        """
+        if plan.kernel == "pregen":
+            return "pregen"
+        if plan.driver != "auto":
+            return plan.driver
+        if (plan.threads > 1 or plan.resilience is not None
+                or plan.persistence.enabled or injector is not None
+                or self.bus.has_subscribers(*FAULT_HOOK_EVENTS)):
+            return "engine"
+        return "serial"
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, plan: SketchPlan, A: "CSCMatrix", *,
+            rng_factory: RngFactory | None = None,
+            blocked: "BlockedCSR | None" = None,
+            injector: "FaultInjector | None" = None) -> SketchResult:
+        """Execute *plan* against *A*; returns the sketch and its stats.
+
+        Parameters
+        ----------
+        rng_factory:
+            Override the plan's generator recipe with live generator
+            instances (used by the streaming layer's offset views and by
+            executor callers with custom factories); ``None`` builds
+            generators from ``plan.rng``.
+        blocked:
+            Pre-built blocked CSR for Algorithm 4 (skips conversion).
+        injector:
+            A :class:`~repro.faults.FaultInjector` to wire into this
+            run: registered on the bus for the task hooks and handed to
+            the checkpoint manager for storage faults.  Testing only.
+        """
+        if not isinstance(plan, SketchPlan):
+            raise ConfigError(
+                f"plan must be a SketchPlan, got {type(plan).__name__}"
+            )
+        if A.shape != (plan.problem.m, plan.problem.n):
+            raise ShapeError(
+                f"plan was compiled for a {plan.problem.m} x "
+                f"{plan.problem.n} input, matrix has shape {A.shape}"
+            )
+        if injector is not None:
+            injector.register(self.bus)
+        factory = rng_factory if rng_factory is not None \
+            else plan.rng_factory()
+        driver_name = self.resolve_driver(plan, injector)
+        if driver_name == "serial" and plan.persistence.enabled:
+            raise ConfigError(
+                "the serial driver cannot honour a persistence policy; "
+                "use driver='engine' (or 'auto') for checkpointed runs"
+            )
+        try:
+            driver = _DRIVERS[driver_name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown execution driver {driver_name!r}; registered: "
+                f"{', '.join(available_drivers())}"
+            ) from None
+        self.bus.emit(PLAN_COMPILED, plan=plan, driver=driver_name)
+        Ahat, stats = driver(self, plan, A, factory, blocked, injector)
+        s = plan.scale()
+        if s != 1.0:
+            Ahat *= s
+        self.bus.emit(DONE, plan=plan, stats=stats, driver=driver_name)
+        return SketchResult(sketch=Ahat, stats=stats,
+                            kernel_used=plan.kernel, scale=s, plan=plan)

@@ -1,0 +1,377 @@
+"""``SketchPlan`` — the immutable, serializable record of a sketching run.
+
+The paper's whole design is a *planning* problem: pick a kernel
+(Algorithm 3 vs 4), a blocking ``(b_d, b_n)``, an RNG family, and a
+layout from the machine model (Section III, Eq. 4–7).  A
+:class:`SketchPlan` is that decision record made explicit: everything
+needed to execute — problem shape, ``d``, kernel, blocking, backend,
+generator spec, resilience policy, persistence policy — plus a list of
+:class:`PlanDecision` entries recording *why* each choice was made
+(rendered by :meth:`SketchPlan.explain`).
+
+Because a plan is a frozen dataclass with a JSON round trip
+(:meth:`to_json` / :meth:`from_json`), it is the unit you can cache,
+diff, ship to a worker, or replay: two runs of the same plan produce
+bit-identical sketches (the property the golden-equivalence suite
+asserts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..errors import ConfigError
+from ..parallel.resilience import DegradationPolicy, ResilienceConfig
+from ..rng.base import SketchingRNG, make_rng
+from ..rng.distributions import get_distribution
+from ..utils.validation import check_choice, check_positive_int
+from .policy import PersistencePolicy
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "ProblemSpec",
+    "RngSpec",
+    "PlanDecision",
+    "SketchPlan",
+    "resilience_to_dict",
+    "resilience_from_dict",
+]
+
+PLAN_FORMAT_VERSION = 1
+
+_PLAN_KERNELS = ("algo3", "algo4", "pregen")
+_DRIVERS = ("auto", "serial", "engine")
+
+
+# -- resilience serialization ------------------------------------------------
+
+
+def resilience_to_dict(cfg: ResilienceConfig | None) -> dict | None:
+    """JSON-ready record of a :class:`ResilienceConfig` (or ``None``)."""
+    if cfg is None:
+        return None
+    return {
+        "max_retries": int(cfg.max_retries),
+        "task_timeout": (None if cfg.task_timeout is None
+                         else float(cfg.task_timeout)),
+        "reexecute_stragglers": bool(cfg.reexecute_stragglers),
+        "guardrail": cfg.guardrail,
+        "guardrail_bound_factor": float(cfg.guardrail_bound_factor),
+        "degradation": {
+            "kernel_fallback": bool(cfg.degradation.kernel_fallback),
+            "serial_fallback": bool(cfg.degradation.serial_fallback),
+        },
+    }
+
+
+def resilience_from_dict(data: dict | None) -> ResilienceConfig | None:
+    """Inverse of :func:`resilience_to_dict`."""
+    if data is None:
+        return None
+    deg = data.get("degradation", {})
+    return ResilienceConfig(
+        max_retries=int(data.get("max_retries", 2)),
+        task_timeout=data.get("task_timeout"),
+        reexecute_stragglers=bool(data.get("reexecute_stragglers", True)),
+        guardrail=data.get("guardrail"),
+        guardrail_bound_factor=float(data.get("guardrail_bound_factor", 4.0)),
+        degradation=DegradationPolicy(
+            kernel_fallback=bool(deg.get("kernel_fallback", True)),
+            serial_fallback=bool(deg.get("serial_fallback", True)),
+        ),
+    )
+
+
+# -- plan components ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """The input problem and the sketch size chosen for it."""
+
+    m: int                      # rows of A (columns of the implicit S)
+    n: int                      # columns of A
+    d: int                      # sketch size (rows of S)
+    nnz: int | None = None      # nonzeros of A, when known at plan time
+    gamma: float | None = None  # the multiplier d was derived from, if any
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.n, "n")
+        check_positive_int(self.d, "d")
+
+    @property
+    def density(self) -> float | None:
+        if self.nnz is None:
+            return None
+        return self.nnz / (self.m * self.n)
+
+    def to_dict(self) -> dict:
+        return {"m": int(self.m), "n": int(self.n), "d": int(self.d),
+                "nnz": (None if self.nnz is None else int(self.nnz)),
+                "gamma": (None if self.gamma is None else float(self.gamma))}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemSpec":
+        return cls(m=int(data["m"]), n=int(data["n"]), d=int(data["d"]),
+                   nnz=(None if data.get("nnz") is None
+                        else int(data["nnz"])),
+                   gamma=(None if data.get("gamma") is None
+                          else float(data["gamma"])))
+
+
+@dataclass(frozen=True)
+class RngSpec:
+    """The generator recipe: family, seed, entry distribution, scaling."""
+
+    kind: str = "xoshiro"
+    seed: int = 0
+    distribution: str = "uniform"
+    normalize: bool = False
+
+    def __post_init__(self) -> None:
+        get_distribution(self.distribution)  # validates the name
+
+    def build(self, worker: int = 0) -> SketchingRNG:
+        """Instantiate the generator (fresh counters per call; *worker*
+        exists for factory-signature compatibility and is unused — both
+        families key output on coordinates, never on the worker)."""
+        return make_rng(self.kind, self.seed, self.distribution)
+
+    def normalization(self, d: int) -> float:
+        """The ``1/sqrt(d * var)`` isometry factor (1.0 when disabled)."""
+        if not self.normalize:
+            return 1.0
+        return get_distribution(self.distribution).normalization(d)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "seed": int(self.seed),
+                "distribution": self.distribution,
+                "normalize": bool(self.normalize)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RngSpec":
+        return cls(kind=data.get("kind", "xoshiro"),
+                   seed=int(data.get("seed", 0)),
+                   distribution=data.get("distribution", "uniform"),
+                   normalize=bool(data.get("normalize", False)))
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One planning choice and the reason it was made."""
+
+    field: str        # which plan field this decision set
+    value: str        # human-readable rendering of the chosen value
+    reason: str       # why (model rule, user override, heuristic)
+    data: dict = dataclasses.field(default_factory=dict)  # model numbers
+
+    def to_dict(self) -> dict:
+        return {"field": self.field, "value": self.value,
+                "reason": self.reason, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanDecision":
+        return cls(field=data["field"], value=data["value"],
+                   reason=data.get("reason", ""),
+                   data=dict(data.get("data", {})))
+
+
+# -- the plan ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SketchPlan:
+    """The full decision record for one sketching run.
+
+    Attributes
+    ----------
+    problem:
+        Shape/size of the input and the chosen sketch size ``d``.
+    kernel:
+        ``"algo3"``, ``"algo4"``, or ``"pregen"`` — resolved, never
+        ``"auto"`` (resolution is the planner's job).
+    b_d, b_n:
+        The Algorithm 1 blocking.
+    backend:
+        Resolved kernel-backend name (``"numpy"``/``"numba"``).
+    rng:
+        Generator recipe (family, seed, distribution, normalization).
+    threads, strategy:
+        Executor parallelism and task-partitioning strategy.
+    driver:
+        Execution driver: ``"auto"`` (runtime picks serial vs engine
+        from the plan), ``"serial"`` (single-pass blocked loop), or
+        ``"engine"`` (the resilient block executor, any thread count).
+    resilience:
+        Fault-handling policy, or ``None`` for the fast path.
+    persistence:
+        Durable-checkpoint policy (see :class:`PersistencePolicy`).
+    decisions:
+        Why each choice was made; rendered by :meth:`explain`.
+    """
+
+    problem: ProblemSpec
+    kernel: str
+    b_d: int
+    b_n: int
+    backend: str = "numpy"
+    rng: RngSpec = RngSpec()
+    threads: int = 1
+    strategy: str = "static"
+    driver: str = "auto"
+    resilience: ResilienceConfig | None = None
+    persistence: PersistencePolicy = field(default_factory=PersistencePolicy)
+    decisions: tuple = ()
+
+    def __post_init__(self) -> None:
+        check_choice(self.kernel, "kernel", _PLAN_KERNELS)
+        check_choice(self.driver, "driver", _DRIVERS)
+        check_positive_int(self.b_d, "b_d")
+        check_positive_int(self.b_n, "b_n")
+        check_positive_int(self.threads, "threads")
+        if self.kernel == "pregen" and self.persistence.enabled:
+            raise ConfigError(
+                "checkpointing is not supported for the 'pregen' kernel"
+            )
+        if self.resilience is not None and \
+                not isinstance(self.resilience, ResilienceConfig):
+            raise ConfigError(
+                f"resilience must be a ResilienceConfig or None, got "
+                f"{type(self.resilience).__name__}"
+            )
+        object.__setattr__(self, "decisions", tuple(self.decisions))
+
+    # -- execution hooks -----------------------------------------------------
+
+    def rng_factory(self) -> Callable[[int], SketchingRNG]:
+        """The worker-indexed generator factory the runtime executes with."""
+        return self.rng.build
+
+    def scale(self) -> float:
+        """Normalization factor applied to the finished sketch."""
+        return self.rng.normalization(self.problem.d)
+
+    def fingerprint(self, mode: str = "blocked") -> dict:
+        """Immutable run identity for checkpoint compatibility checks."""
+        from ..persist.snapshot import run_fingerprint
+
+        return run_fingerprint(
+            mode=mode, d=self.problem.d, n=self.problem.n,
+            b_d=self.b_d, b_n=self.b_n, kernel=self.kernel,
+            backend=self.backend, rng_kind=self.rng.kind,
+            seed=self.rng.seed, distribution=self.rng.distribution,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "problem": self.problem.to_dict(),
+            "kernel": self.kernel,
+            "b_d": int(self.b_d),
+            "b_n": int(self.b_n),
+            "backend": self.backend,
+            "rng": self.rng.to_dict(),
+            "threads": int(self.threads),
+            "strategy": self.strategy,
+            "driver": self.driver,
+            "resilience": resilience_to_dict(self.resilience),
+            "persistence": self.persistence.to_dict(),
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SketchPlan":
+        version = int(data.get("version", PLAN_FORMAT_VERSION))
+        if version > PLAN_FORMAT_VERSION:
+            raise ConfigError(
+                f"plan format version {version} is newer than this library "
+                f"understands (max {PLAN_FORMAT_VERSION})"
+            )
+        return cls(
+            problem=ProblemSpec.from_dict(data["problem"]),
+            kernel=data["kernel"],
+            b_d=int(data["b_d"]),
+            b_n=int(data["b_n"]),
+            backend=data.get("backend", "numpy"),
+            rng=RngSpec.from_dict(data.get("rng", {})),
+            threads=int(data.get("threads", 1)),
+            strategy=data.get("strategy", "static"),
+            driver=data.get("driver", "auto"),
+            resilience=resilience_from_dict(data.get("resilience")),
+            persistence=PersistencePolicy.from_dict(
+                data.get("persistence", {})),
+            decisions=tuple(PlanDecision.from_dict(d)
+                            for d in data.get("decisions", ())),
+        )
+
+    def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        """Serialize to JSON; optionally also write the text to *path*."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "SketchPlan":
+        """Deserialize from a JSON string or a path to a JSON file."""
+        if isinstance(source, Path) or (
+                isinstance(source, str) and "\n" not in source
+                and not source.lstrip().startswith("{")):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        return cls.from_dict(json.loads(text))
+
+    # -- presentation --------------------------------------------------------
+
+    def explain(self) -> str:
+        """Render the plan and the reasoning behind every choice."""
+        p = self.problem
+        nnz = "?" if p.nnz is None else f"{p.nnz}"
+        dens = "" if p.density is None else f", density {p.density:.2e}"
+        gamma = "" if p.gamma is None else f" (gamma={p.gamma:g})"
+        lines = [
+            f"SketchPlan: {p.m} x {p.n} sparse input (nnz={nnz}{dens}) "
+            f"-> {p.d} x {p.n} sketch, d={p.d}{gamma}",
+            f"  kernel      : {self.kernel}",
+            f"  blocking    : b_d={self.b_d}, b_n={self.b_n}",
+            f"  backend     : {self.backend}",
+            f"  rng         : {self.rng.kind} seed={self.rng.seed} "
+            f"{self.rng.distribution}"
+            f"{' (normalized)' if self.rng.normalize else ''}",
+            f"  execution   : driver={self.driver}, threads={self.threads}, "
+            f"strategy={self.strategy}",
+            f"  resilience  : "
+            + ("off" if self.resilience is None else
+               f"max_retries={self.resilience.max_retries}, "
+               f"timeout={self.resilience.task_timeout}, "
+               f"guardrail={self.resilience.guardrail}"),
+            f"  persistence : "
+            + ("off" if not self.persistence.enabled else
+               f"dir={self.persistence.to_dict()['checkpoint_dir']}, "
+               f"every={self.persistence.every}, "
+               f"keep={self.persistence.keep}, "
+               f"resume={self.persistence.resume}"),
+        ]
+        if self.decisions:
+            lines.append("decisions:")
+            for dec in self.decisions:
+                lines.append(f"  - {dec.field} = {dec.value}: {dec.reason}")
+                if dec.data:
+                    detail = ", ".join(
+                        f"{k}={_fmt(v)}" for k, v in sorted(dec.data.items()))
+                    lines.append(f"      [{detail}]")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

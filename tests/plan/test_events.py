@@ -1,0 +1,101 @@
+"""Tests for repro.plan.events (the lifecycle event bus)."""
+
+import threading
+
+import pytest
+
+from repro.plan import (
+    BLOCK_DONE,
+    BLOCK_START,
+    FAULT_HOOK_EVENTS,
+    LIFECYCLE_EVENTS,
+    RNG_REQUEST,
+    Event,
+    EventBus,
+)
+
+
+class TestEvent:
+    def test_mapping_protocol(self):
+        e = Event("block_start", {"task": (0, 0), "i": 0})
+        assert e["task"] == (0, 0)
+        assert "i" in e and "j" not in e
+        assert e.get("j", 7) == 7
+        e["j"] = 3
+        assert e["j"] == 3
+
+    def test_name_constants_cover_hooks(self):
+        assert set(FAULT_HOOK_EVENTS).isdisjoint(LIFECYCLE_EVENTS)
+        assert BLOCK_START in LIFECYCLE_EVENTS
+        assert RNG_REQUEST in FAULT_HOOK_EVENTS
+
+
+class TestEventBus:
+    def test_emit_without_subscribers_is_noop(self):
+        bus = EventBus()
+        event = bus.emit("anything", x=1)
+        assert event["x"] == 1
+
+    def test_handlers_run_in_registration_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("tick", lambda e: seen.append("a"))
+        bus.subscribe("tick", lambda e: seen.append("b"))
+        bus.emit("tick")
+        assert seen == ["a", "b"]
+
+    def test_handler_mutation_is_visible_to_emitter(self):
+        bus = EventBus()
+        bus.subscribe(RNG_REQUEST, lambda e: e.__setitem__("rng", "swapped"))
+        assert bus.emit(RNG_REQUEST, rng="original")["rng"] == "swapped"
+
+    def test_handler_exceptions_propagate(self):
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("injected")
+
+        bus.subscribe("tick", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            bus.emit("tick")
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe("tick", lambda e: seen.append(1))
+        bus.emit("tick")
+        bus.unsubscribe("tick", handler)
+        bus.emit("tick")
+        assert seen == [1]
+        bus.unsubscribe("tick", handler)  # no-op, no error
+
+    def test_has_subscribers(self):
+        bus = EventBus()
+        assert not bus.has_subscribers(BLOCK_START, BLOCK_DONE)
+        bus.subscribe(BLOCK_DONE, lambda e: None)
+        assert bus.has_subscribers(BLOCK_START, BLOCK_DONE)
+        assert not bus.has_subscribers(BLOCK_START)
+
+    def test_thread_safe_subscription(self):
+        bus = EventBus()
+
+        def add_handlers():
+            for _ in range(100):
+                bus.subscribe("tick", lambda e: None)
+
+        threads = [threading.Thread(target=add_handlers) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        count = 0
+
+        def counter(event):
+            nonlocal count
+            count += 1
+
+        # 400 registered handlers plus this one all fire.
+        bus.subscribe("tick", counter)
+        bus.emit("tick")
+        assert count == 1
+        assert bus.has_subscribers("tick")

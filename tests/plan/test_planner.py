@@ -1,0 +1,117 @@
+"""Planner.compile: d/gamma resolution, kernel dispatch, Eq. 4 numbers."""
+
+import math
+
+import pytest
+
+from repro.core import SketchConfig
+from repro.errors import ConfigError
+from repro.model import LAPTOP
+from repro.plan import PersistencePolicy, Planner, compile_plan
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(120, 30, 0.1, seed=301)
+
+
+class TestSketchSizeResolution:
+    def test_gamma_and_d_mutually_exclusive(self, A):
+        with pytest.raises(ConfigError, match="at most one of gamma / d"):
+            Planner().compile(A, gamma=3.0, d=90)
+
+    def test_gamma_must_exceed_one(self, A):
+        with pytest.raises(ConfigError, match="gamma must exceed 1"):
+            Planner().compile(A, gamma=1.0)
+
+    def test_gamma_override(self, A):
+        plan = Planner().compile(A, gamma=2.5)
+        assert plan.problem.d == int(math.ceil(2.5 * 30))
+        assert plan.problem.gamma == 2.5
+
+    def test_explicit_d(self, A):
+        plan = Planner().compile(A, d=77)
+        assert plan.problem.d == 77
+        assert plan.problem.gamma is None
+
+    def test_config_gamma_default(self, A):
+        cfg = SketchConfig(gamma=4.0)
+        plan = Planner().compile(A, cfg)
+        assert plan.problem.d == cfg.sketch_size(30)
+        assert plan.problem.gamma == 4.0
+
+
+class TestDecisions:
+    def test_forced_kernel_recorded(self, A):
+        plan = Planner().compile(A, SketchConfig(kernel="algo4"))
+        assert plan.kernel == "algo4"
+        dec = {d.field: d for d in plan.decisions}
+        assert "forced" in dec["kernel"].reason
+
+    def test_auto_kernel_records_dispatch_reason(self, A):
+        plan = Planner().compile(A, SketchConfig(kernel="auto"))
+        assert plan.kernel in ("algo3", "algo4")
+        dec = {d.field: d for d in plan.decisions}
+        assert "column_concentration" in dec["kernel"].data
+        assert dec["kernel"].data["machine"] == LAPTOP.name
+
+    def test_blocking_overrides_noted(self, A):
+        plan = Planner().compile(A, SketchConfig(b_d=8, b_n=5))
+        assert (plan.b_d, plan.b_n) == (8, 5)
+        dec = {d.field: d for d in plan.decisions}
+        assert "overridden by config" in dec["blocking"].reason
+
+    def test_eq4_model_numbers_in_blocking_decision(self, A):
+        plan = Planner().compile(A)
+        dec = {d.field: d for d in plan.decisions}
+        data = dec["blocking"].data
+        for key in ("rho", "h", "M_words", "model_n1", "model_d1",
+                    "model_ci", "machine_balance"):
+            assert key in data, key
+        assert data["rho"] == pytest.approx(A.density)
+        # the model numbers surface in explain() too
+        assert "model_ci" in plan.explain()
+
+    def test_problem_records_nnz(self, A):
+        plan = Planner().compile(A)
+        assert plan.problem.nnz == A.nnz
+        assert (plan.problem.m, plan.problem.n) == A.shape
+
+
+class TestCompileOptions:
+    def test_persistence_attached(self, A, tmp_path):
+        pol = PersistencePolicy(checkpoint_dir=str(tmp_path), every=2)
+        plan = Planner().compile(A, persistence=pol)
+        assert plan.persistence is pol
+
+    def test_driver_pinned(self, A):
+        assert Planner().compile(A, driver="engine").driver == "engine"
+        assert Planner().compile(A).driver == "auto"
+
+    def test_threads_from_config(self, A):
+        plan = Planner().compile(A, SketchConfig(threads=4))
+        assert plan.threads == 4
+
+    def test_rng_spec_mirrors_config(self, A):
+        cfg = SketchConfig(rng_kind="philox", seed=13,
+                           distribution="rademacher")
+        plan = Planner().compile(A, cfg)
+        assert plan.rng.kind == "philox"
+        assert plan.rng.seed == 13
+        assert plan.rng.distribution == "rademacher"
+
+    def test_invalid_tune_mode(self):
+        with pytest.raises(ConfigError):
+            Planner(tune="guess")
+
+    def test_compile_plan_wrapper(self, A):
+        plan = compile_plan(A, gamma=3.0, driver="serial")
+        assert plan.driver == "serial"
+        assert plan.problem.d == 90
+
+    def test_measure_tune_adopts_a_measured_blocking(self, A):
+        plan = Planner(tune="measure").compile(A, SketchConfig(seed=3))
+        dec = {d.field: d for d in plan.decisions}
+        assert "autotuned" in dec["blocking"].reason
+        assert dec["blocking"].data.get("trials", 0) > 0

@@ -1,0 +1,134 @@
+"""Deprecation shims: old kwarg spellings warn, both spellings conflict,
+and old vs new produce identical bits.
+
+This file is the CI deprecation leg: it must pass under
+``python -W error::DeprecationWarning`` (``pytest.warns`` still captures
+the warning; any *unexpected* DeprecationWarning escalates to an error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingSketch, sketch
+from repro.errors import ConfigError
+from repro.parallel import ResilientExecutor, parallel_sketch_spmm
+from repro.plan import PersistencePolicy
+from repro.rng import make_rng
+from repro.sparse import random_sparse
+
+D, B_D, B_N = 36, 12, 10
+SEED = 9
+
+LEGACY_MSG = "deprecated; pass persistence=PersistencePolicy"
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_sparse(120, 30, 0.1, seed=301)
+
+
+def factory(w):
+    return make_rng("philox", SEED)
+
+
+class TestSketchShim:
+    def test_legacy_checkpoint_dir_warns(self, A, tmp_path):
+        with pytest.warns(DeprecationWarning, match=LEGACY_MSG):
+            sketch(A, d=D, checkpoint_dir=str(tmp_path))
+
+    def test_policy_spelling_is_quiet(self, A, tmp_path, recwarn):
+        sketch(A, d=D, persistence=PersistencePolicy(
+            checkpoint_dir=str(tmp_path)))
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_both_spellings_conflict(self, A, tmp_path):
+        with pytest.raises(ConfigError, match="not both"):
+            sketch(A, d=D, checkpoint_dir=str(tmp_path),
+                   persistence=PersistencePolicy())
+
+    def test_resume_without_dir_rejected(self, A):
+        with pytest.raises(ConfigError, match="resume=True requires"), \
+                pytest.warns(DeprecationWarning):
+            sketch(A, d=D, resume=True)
+
+    def test_old_and_new_spelling_identical(self, A, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            old = sketch(A, d=D, checkpoint_dir=str(tmp_path / "old"))
+        new = sketch(A, d=D, persistence=PersistencePolicy(
+            checkpoint_dir=str(tmp_path / "new")))
+        np.testing.assert_array_equal(old.sketch, new.sketch)
+
+
+class TestStreamingShim:
+    def test_legacy_checkpoint_dir_warns(self, A, tmp_path):
+        with pytest.warns(DeprecationWarning, match=LEGACY_MSG):
+            StreamingSketch(D, A.shape[1], make_rng("philox", SEED),
+                            checkpoint_dir=str(tmp_path))
+
+    def test_policy_spelling_is_quiet(self, A, tmp_path, recwarn):
+        StreamingSketch(D, A.shape[1], make_rng("philox", SEED),
+                        persistence=PersistencePolicy(
+                            checkpoint_dir=str(tmp_path)))
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_both_spellings_conflict(self, A, tmp_path):
+        with pytest.raises(ConfigError, match="not both"):
+            StreamingSketch(D, A.shape[1], make_rng("philox", SEED),
+                            checkpoint_dir=str(tmp_path),
+                            persistence=PersistencePolicy())
+
+    def test_old_and_new_spelling_identical(self, A, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            old = StreamingSketch(D, A.shape[1], make_rng("philox", SEED),
+                                  checkpoint_dir=str(tmp_path / "old"))
+        new = StreamingSketch(D, A.shape[1], make_rng("philox", SEED),
+                              persistence=PersistencePolicy(
+                                  checkpoint_dir=str(tmp_path / "new")))
+        old.absorb(A)
+        new.absorb(A)
+        np.testing.assert_array_equal(old.sketch, new.sketch)
+
+    def test_policy_cadence_maps_to_checkpoint_every(self, A, tmp_path):
+        st = StreamingSketch(D, A.shape[1], make_rng("philox", SEED),
+                             persistence=PersistencePolicy(
+                                 checkpoint_dir=str(tmp_path), every=40))
+        assert st.checkpoint_every == 40
+
+
+class TestExecutorShim:
+    def test_legacy_checkpoint_kwargs_warn(self, A, tmp_path):
+        with pytest.warns(DeprecationWarning, match=LEGACY_MSG):
+            ResilientExecutor(A, D, factory, threads=2, kernel="algo3",
+                              b_d=B_D, b_n=B_N,
+                              checkpoint_dir=str(tmp_path))
+
+    def test_policy_spelling_is_quiet(self, A, tmp_path, recwarn):
+        ResilientExecutor(A, D, factory, threads=2, kernel="algo3",
+                          b_d=B_D, b_n=B_N,
+                          persistence=PersistencePolicy(
+                              checkpoint_dir=str(tmp_path)))
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_both_spellings_conflict(self, A, tmp_path):
+        with pytest.raises(ConfigError, match="not both"):
+            ResilientExecutor(A, D, factory, threads=2, kernel="algo3",
+                              checkpoint_dir=str(tmp_path),
+                              persistence=PersistencePolicy())
+
+    def test_parallel_sketch_spmm_legacy_warns(self, A, tmp_path):
+        with pytest.warns(DeprecationWarning, match=LEGACY_MSG):
+            out, _ = parallel_sketch_spmm(
+                A, D, factory, threads=2, kernel="algo3", b_d=B_D, b_n=B_N,
+                checkpoint_dir=str(tmp_path))
+        clean, _ = parallel_sketch_spmm(
+            A, D, factory, threads=2, kernel="algo3", b_d=B_D, b_n=B_N)
+        np.testing.assert_array_equal(out, clean)
+
+    def test_plain_run_is_quiet(self, A, recwarn):
+        ResilientExecutor(A, D, factory, threads=2, kernel="algo3",
+                          b_d=B_D, b_n=B_N).run()
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
