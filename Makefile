@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist plan-smoke shim-strict bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,19 @@ plan-smoke:
 # the shim tests expect, and nowhere else.
 shim-strict:
 	python -W error::DeprecationWarning -m pytest tests/plan/test_shims.py -q
+
+# Observability smoke: run a sketch with every exporter enabled, validate
+# the emitted Prometheus text and profile JSON against the schema, and
+# run the reconciliation suite (exported metrics == KernelStats totals).
+obs-smoke:
+	python -m repro sketch --random 400 80 0.05 --threads 2 \
+	  --metrics-out /tmp/repro-obs-smoke.prom \
+	  --trace-out /tmp/repro-obs-smoke-trace.json \
+	  --profile --profile-out /tmp/repro-obs-smoke-profile.json
+	python -c "from repro.obs.schema import main; import sys; \
+	  sys.exit(main(['--profile', '/tmp/repro-obs-smoke-profile.json', \
+	                 '--metrics', '/tmp/repro-obs-smoke.prom']))"
+	python -m pytest tests/obs -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -6,6 +6,12 @@ lines to ``benchmarks/reports/<name>.txt``; this script tallies them per
 experiment and writes ``benchmarks/reports/SUMMARY.txt`` — the at-a-glance
 answer to "did the reproduction hold?".
 
+Profile JSON files (written by ``repro sketch --profile-out`` or
+``repro.obs.build_profile``) dropped into the reports directory as
+``PROFILE_*.json`` are ingested into the same scorecard: one line per
+profile with the measured GFlop/s, sample fraction, and the
+attained-over-predicted roofline ratio.
+
 Run after a bench sweep:
     pytest benchmarks/ --benchmark-only
     python benchmarks/summarize_reports.py
@@ -13,6 +19,7 @@ Run after a bench sweep:
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -20,10 +27,40 @@ from pathlib import Path
 REPORTS = Path(__file__).parent / "reports"
 
 
+def _profile_line(path: Path) -> str:
+    """One scorecard line for a profile JSON file (never raises: a bad
+    profile is reported, not fatal — the scorecard must always build)."""
+    try:
+        payload = json.loads(path.read_text())
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+        try:
+            from repro.obs.schema import validate_profile
+
+            validate_profile(payload)
+        finally:
+            sys.path.pop(0)
+        measured = payload["measured"]
+        roofline = payload["roofline"]
+        problem = payload["problem"]
+        ratio = roofline.get("model_ratio")
+        ratio_s = "n/a" if ratio is None else f"{ratio:.3f}"
+        return (
+            f"   {path.stem}: {payload['kernel']}/{payload['driver'] or '?'}"
+            f" on {payload['machine']}"
+            f"  {problem['m']}x{problem['n']} d={problem['d']}"
+            f"  {measured['attained_gflops']:.3f} GFlop/s"
+            f"  sample={measured['sample_fraction']:.1%}"
+            f"  attained/predicted={ratio_s}"
+        )
+    except Exception as exc:  # noqa: BLE001 - scorecard is best-effort
+        return f"!! {path.stem}: unreadable profile ({exc})"
+
+
 def summarize() -> str:
     files = sorted(REPORTS.glob("*.txt"))
     files = [f for f in files if f.name != "SUMMARY.txt"]
-    if not files:
+    profiles = sorted(REPORTS.glob("PROFILE_*.json"))
+    if not files and not profiles:
         return "no reports found — run `pytest benchmarks/ --benchmark-only` first\n"
     rows = []
     total_ok = total_warn = 0
@@ -39,7 +76,6 @@ def summarize() -> str:
         total_warn += warn
         title = text.splitlines()[0].split("  [scale")[0] if text else f.stem
         rows.append((f.stem, ok, warn, title))
-    width = max(len(r[0]) for r in rows)
     lines = [
         "REPRODUCTION SCORECARD",
         "======================",
@@ -47,9 +83,17 @@ def summarize() -> str:
         f"{total_warn} WARNING   (scale={scale})",
         "",
     ]
-    for stem, ok, warn, title in rows:
-        flag = "  " if warn == 0 else "!!"
-        lines.append(f"{flag} {stem.ljust(width)}  OK={ok:<3d} WARN={warn:<2d} {title}")
+    if rows:
+        width = max(len(r[0]) for r in rows)
+        for stem, ok, warn, title in rows:
+            flag = "  " if warn == 0 else "!!"
+            lines.append(
+                f"{flag} {stem.ljust(width)}  OK={ok:<3d} WARN={warn:<2d} {title}")
+    if profiles:
+        lines.append("")
+        lines.append(f"roofline profiles ({len(profiles)}):")
+        for p in profiles:
+            lines.append(_profile_line(p))
     if total_warn:
         lines.append("")
         lines.append("warnings (expected deviations are documented in "

@@ -128,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print plan.explain() and exit without running")
     g_plan.add_argument("--plan-json", metavar="PATH", default=None,
                         help="dump the compiled SketchPlan as JSON to PATH")
+
+    g_obs = sk.add_argument_group(
+        "observability", "metrics, traces and roofline profiles "
+        "(observer-isolated: cannot fail or slow-path the sketch)")
+    g_obs.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write run metrics in Prometheus text format "
+                            "(.json suffix switches to the JSON exporter)")
+    g_obs.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the span trace as JSON "
+                            "(.chrome.json suffix emits the Chrome "
+                            "trace-event format)")
+    g_obs.add_argument("--profile", action="store_true",
+                       help="append a roofline-model profile (attained vs "
+                            "Eq. 4 predicted GFlop/s) to the report")
+    g_obs.add_argument("--profile-out", metavar="PATH", default=None,
+                       help="also write the profile as JSON to PATH "
+                            "(implies --profile)")
     sk.add_argument("--output", help="write the dense sketch as .npy")
 
     lsq = sub.add_parser("lsq", help="solve a least-squares problem")
@@ -245,7 +262,15 @@ def _cmd_sketch(args) -> dict:
         if args.plan_json:
             out["plan_json"] = args.plan_json
         return out
-    result = Runtime().run(plan, A)
+    want_profile = args.profile or args.profile_out is not None
+    observer = None
+    runtime = Runtime()
+    if args.metrics_out or args.trace_out or want_profile:
+        from .obs import RunObserver
+
+        observer = RunObserver(trace=args.trace_out is not None)
+        observer.attach(runtime.bus)
+    result = runtime.run(plan, A)
     if args.output:
         np.save(args.output, result.sketch)
     st = result.stats
@@ -270,6 +295,37 @@ def _cmd_sketch(args) -> dict:
             out["resumed_from"] = str(resumed)
     if st.health is not None:
         out["health"] = st.health.as_dict() if args.json else st.health.summary()
+    if observer is not None:
+        if args.metrics_out:
+            if str(args.metrics_out).endswith(".json"):
+                observer._sync_dropped()
+                observer.registry.write_json(args.metrics_out)
+            else:
+                observer.write_metrics(args.metrics_out)
+            out["metrics_out"] = args.metrics_out
+        if args.trace_out:
+            if str(args.trace_out).endswith(".chrome.json"):
+                from pathlib import Path
+
+                Path(args.trace_out).write_text(
+                    json.dumps(observer.tracer.to_chrome(), indent=2) + "\n",
+                    encoding="utf-8")
+            else:
+                observer.tracer.to_json(args.trace_out)
+            out["trace_out"] = args.trace_out
+        if want_profile:
+            profile = observer.profile(result)
+            out["profile"] = profile.as_dict()
+            if not args.json:
+                out["profile_text"] = profile.render()
+            if args.profile_out:
+                from pathlib import Path
+
+                Path(args.profile_out).write_text(
+                    json.dumps(profile.as_dict(), indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+                out["profile_out"] = args.profile_out
+        observer.detach()
     return out
 
 
@@ -337,6 +393,12 @@ def _render(command: str, payload: dict) -> str:
         if payload.get("plan_json"):
             lines.append(f"plan written to {payload['plan_json']}")
         return "\n".join(lines)
+    if command == "sketch" and "profile_text" in payload:
+        payload = dict(payload)
+        profile_text = payload.pop("profile_text")
+        payload.pop("profile", None)
+        return render_kv_block(command, list(payload.items())) \
+            + "\n\n" + profile_text
     if command == "suite":
         parts = [f"scale: {payload['scale']}"]
         for label, rows in payload["suites"].items():

@@ -30,10 +30,12 @@ import numpy as np
 from ..errors import ConfigError, FormatError, ShapeError
 from ..kernels.backends import resolve_backend
 from ..kernels.blocking import default_block_sizes
+from ..plan.events import CHECKPOINT_WRITTEN, EventBus
 from ..plan.policy import PersistencePolicy, warn_deprecated_kwargs
 from ..plan.spec import ProblemSpec, RngSpec, SketchPlan
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
+from ..utils.timing import Timer
 from ..utils.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -131,6 +133,12 @@ class StreamingSketch:
         directory (*checkpoint_dir*); ``checkpoint_every=None`` disables
         the automatic cadence (snapshots only via
         :meth:`save_checkpoint`).
+    bus:
+        An :class:`~repro.plan.EventBus` for observability: each
+        absorbed batch's per-batch runtime emits its lifecycle events
+        here (so a :class:`~repro.obs.RunObserver` sees every batch),
+        and :meth:`save_checkpoint` emits ``checkpoint_written`` with
+        the measured write latency.  Omitted: no events, no overhead.
 
     Example
     -------
@@ -146,7 +154,8 @@ class StreamingSketch:
                  checkpoint: "CheckpointManager | None" = None,
                  checkpoint_dir=None, checkpoint_every: int | None = None,
                  checkpoint_keep: int = 2,
-                 persistence: PersistencePolicy | None = None) -> None:
+                 persistence: PersistencePolicy | None = None,
+                 bus: "EventBus | None" = None) -> None:
         self.d = check_positive_int(d, "d")
         self.n = check_positive_int(n, "n")
         self.rng = rng
@@ -202,6 +211,7 @@ class StreamingSketch:
         self.persistence = pol
         self.checkpoint = pol.build_manager()
         self._rows_at_last_snapshot = 0
+        self.bus = bus
 
     def _batch_plan(self, batch: CSCMatrix) -> SketchPlan:
         """The per-batch plan :meth:`absorb` hands to the runtime.
@@ -258,8 +268,14 @@ class StreamingSketch:
             "entry_chunks": int(self.entry_chunks_absorbed),
             "samples_generated": int(self.rng.samples_generated),
         }
-        path = self.checkpoint.save(blocks, self.fingerprint(), state)
+        with Timer() as write:
+            path = self.checkpoint.save(blocks, self.fingerprint(), state)
         self._rows_at_last_snapshot = self.rows_seen
+        if self.bus is not None:
+            self.bus.emit(CHECKPOINT_WRITTEN, path=path,
+                          rows=(0, self.rows_seen),
+                          snapshots_written=self.checkpoint.snapshots_written,
+                          seconds=write.elapsed)
         return path
 
     def _maybe_checkpoint(self) -> None:
@@ -289,8 +305,8 @@ class StreamingSketch:
         shifted = _OffsetRNG(self.rng, offset)
         from ..plan.runtime import Runtime
 
-        result = Runtime().run(self._batch_plan(batch), batch,
-                               rng_factory=lambda w: shifted)
+        result = Runtime(bus=self.bus).run(self._batch_plan(batch), batch,
+                                           rng_factory=lambda w: shifted)
         self._sketch += result.sketch
         self.rows_seen += batch.shape[0]
         self.batches_absorbed += 1

@@ -9,13 +9,22 @@ RNG-volume counters (Section III-B: Algorithm 3 always generates
 ``d * nnz(A)`` numbers; Algorithm 4 cuts this to roughly
 ``d * m * ceil(n / b_n)`` minus empty rows) that let tests assert the
 paper's accounting exactly.
+
+Parallel runs need two time axes: ``total_seconds`` stays the historical
+per-invocation bucket (wall time for a single kernel call, summed across
+calls by :meth:`KernelStats.merge`), while ``cpu_seconds`` /
+``wall_seconds`` record the engine path's busy-time and wall-clock
+explicitly so derived rates never over- or under-count when the sum of
+per-worker totals exceeds the wall clock.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from numbers import Number
 from typing import TYPE_CHECKING
 
+from ..errors import ConfigError
 from ..utils.flops import gflops
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +52,15 @@ class KernelStats:
         Full kernel wall time (sample + compute + driver overhead; the
         paper notes totals run slightly above the sum because "the timer
         creates additional overhead").
+    cpu_seconds:
+        Summed per-worker busy seconds on the engine path (exceeds
+        ``wall_seconds`` once more than one thread does useful work);
+        0 means "not recorded" and derived rates fall back to
+        ``total_seconds``.
+    wall_seconds:
+        Wall-clock duration of the invocation on the engine path; under
+        :meth:`merge` the *maximum* is kept (merged parallel pieces
+        overlap in time), unlike ``total_seconds`` which sums.
     samples_generated:
         Number of sketch entries produced by the RNG.
     flops:
@@ -64,6 +82,8 @@ class KernelStats:
     compute_seconds: float = 0.0
     conversion_seconds: float = 0.0
     total_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    wall_seconds: float = 0.0
     samples_generated: int = 0
     flops: int = 0
     blocks_processed: int = 0
@@ -75,24 +95,75 @@ class KernelStats:
 
     @property
     def gflops_rate(self) -> float:
-        """Useful GFlop/s over the total time (Table VII's metric)."""
-        if self.total_seconds <= 0:
+        """Useful GFlop/s over the wall time (Table VII's metric).
+
+        Uses ``wall_seconds`` when the engine recorded it (parallel
+        runs sum per-worker busy time into ``cpu_seconds``, so dividing
+        by that would under-report), else ``total_seconds``.
+        """
+        seconds = self.wall_seconds if self.wall_seconds > 0 \
+            else self.total_seconds
+        if seconds <= 0:
             return 0.0
-        return gflops(self.flops, self.total_seconds)
+        return gflops(self.flops, seconds)
 
     @property
     def sample_fraction(self) -> float:
-        """Share of total time spent generating random numbers."""
-        if self.total_seconds <= 0:
+        """Share of busy time spent generating random numbers.
+
+        The denominator is ``cpu_seconds`` when recorded (per-worker
+        busy time is the axis ``sample_seconds`` accumulates on), else
+        ``total_seconds``; the result is clamped to ``[0, 1]`` so timer
+        overhead (``sample_seconds`` slightly above a tiny total) can
+        never report an impossible fraction.
+        """
+        base = self.cpu_seconds if self.cpu_seconds > 0 else self.total_seconds
+        if base <= 0:
             return 0.0
-        return self.sample_seconds / self.total_seconds
+        return min(1.0, self.sample_seconds / base)
 
     def merge(self, other: "KernelStats") -> None:
-        """Accumulate another invocation's costs into this record."""
+        """Accumulate another invocation's costs into this record.
+
+        Time buckets, RNG/flop counters, and numeric ``extra`` entries
+        add; ``wall_seconds`` keeps the maximum (merged parallel pieces
+        overlap in time); blocking parameters (``d``/``b_d``/``b_n``)
+        are adopted when unset here and must agree when both records
+        carry them (:class:`~repro.errors.ConfigError` otherwise — a
+        merge across different grids would mis-attribute every derived
+        rate); ``health`` reports are folded via
+        :meth:`repro.parallel.resilience.RunHealth.merge`.
+        """
+        for name in ("d", "b_d", "b_n"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine and theirs and mine != theirs:
+                raise ConfigError(
+                    f"cannot merge KernelStats with different {name}: "
+                    f"{mine} != {theirs}"
+                )
+            if not mine:
+                setattr(self, name, theirs)
         self.sample_seconds += other.sample_seconds
         self.compute_seconds += other.compute_seconds
         self.conversion_seconds += other.conversion_seconds
         self.total_seconds += other.total_seconds
+        self.cpu_seconds += other.cpu_seconds
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
         self.samples_generated += other.samples_generated
         self.flops += other.flops
         self.blocks_processed += other.blocks_processed
+        for key, value in other.extra.items():
+            if key not in self.extra:
+                self.extra[key] = value
+            elif (isinstance(value, Number)
+                  and not isinstance(value, bool)
+                  and isinstance(self.extra[key], Number)
+                  and not isinstance(self.extra[key], bool)):
+                self.extra[key] = self.extra[key] + value
+            # conflicting non-numeric values: first writer wins (backend
+            # attribution etc. must not be silently overwritten)
+        if other.health is not None:
+            if self.health is None:
+                self.health = other.health
+            else:
+                self.health.merge(other.health)

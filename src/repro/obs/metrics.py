@@ -1,0 +1,335 @@
+"""Label-aware metrics primitives with Prometheus and JSON exporters.
+
+A small, dependency-free subset of the Prometheus client-library data
+model — counters, gauges, histograms, each with a fixed label schema —
+sized for this library's needs: the observability layer
+(:mod:`repro.obs.observer`) fills a :class:`MetricsRegistry` from
+:class:`~repro.plan.EventBus` lifecycle events and the CLI dumps it with
+``--metrics-out``.
+
+Design rules, chosen so a scrape can never lie:
+
+* a metric family is registered once with a fixed tuple of label names;
+  every update must supply exactly those labels (missing/extra label
+  keys raise immediately rather than silently creating a second series);
+* counters only go up (negative increments raise);
+* export is deterministic: families in registration order, series
+  sorted by label values, so diffs between scrapes are meaningful;
+* updates are thread-safe (one lock per family — the engine's workers
+  emit events concurrently).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from pathlib import Path
+
+from ..errors import ConfigError
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds-flavoured, like the Prometheus
+#: client defaults but extended downward for sub-millisecond kernels).
+DEFAULT_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _MetricFamily:
+    """Shared bookkeeping: name, help text, label schema, sample store."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labels: tuple[str, ...]) -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ConfigError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.labels = tuple(labels)
+        self._lock = threading.Lock()
+        self._samples: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict) -> tuple[str, ...]:
+        if set(labels) != set(self.labels):
+            raise ConfigError(
+                f"metric {self.name!r} takes labels {list(self.labels)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labels)
+
+    def _label_str(self, key: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+        pairs = [(n, v) for n, v in zip(self.labels, key)] + list(extra)
+        if not pairs:
+            return ""
+        body = ",".join(f'{n}="{_escape_label_value(v)}"' for n, v in pairs)
+        return "{" + body + "}"
+
+    def _sorted_samples(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._samples.items())
+
+    # Subclasses implement render_prometheus / sample_dicts.
+
+
+class Counter(_MetricFamily):
+    """Monotonically increasing count (events, seconds, samples, flops)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add *amount* (must be >= 0) to the series at *labels*."""
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of the series at *labels* (0 if never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            return float(self._samples.get(key, 0.0))
+
+    def render_prometheus(self) -> list[str]:
+        return [f"{self.name}{self._label_str(key)} {_format_value(val)}"
+                for key, val in self._sorted_samples()]
+
+    def sample_dicts(self) -> list[dict]:
+        return [{"labels": dict(zip(self.labels, key)), "value": val}
+                for key, val in self._sorted_samples()]
+
+
+class Gauge(_MetricFamily):
+    """A value that can go up and down (in-flight blocks, last-run ratio)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._samples.get(key, 0.0))
+
+    render_prometheus = Counter.render_prometheus
+    sample_dicts = Counter.sample_dicts
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.counts = [0] * nbuckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_MetricFamily):
+    """Cumulative-bucket histogram (latencies: blocks, checkpoints, runs)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, labels: tuple[str, ...],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigError(
+                f"histogram {name!r} buckets must be strictly increasing")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation of *value* at *labels*."""
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            series = self._samples.get(key)
+            if series is None:
+                series = self._samples[key] = \
+                    _HistogramSeries(len(self.buckets))
+            for idx, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.counts[idx] += 1
+            series.total += value
+            series.count += 1
+
+    def series(self, **labels) -> dict:
+        """``{"count": n, "sum": s, "buckets": {le: cumulative}}`` at
+        *labels* (zeros if never observed)."""
+        key = self._key(labels)
+        with self._lock:
+            s = self._samples.get(key)
+            if s is None:
+                return {"count": 0, "sum": 0.0,
+                        "buckets": {_format_value(b): 0
+                                    for b in self.buckets + (math.inf,)}}
+            buckets = {_format_value(b): c
+                       for b, c in zip(self.buckets, s.counts)}
+            buckets["+Inf"] = s.count
+            return {"count": s.count, "sum": s.total, "buckets": buckets}
+
+    def render_prometheus(self) -> list[str]:
+        lines = []
+        for key, s in self._sorted_samples():
+            for bound, cum in zip(self.buckets, s.counts):
+                le = (("le", _format_value(float(bound))),)
+                lines.append(f"{self.name}_bucket"
+                             f"{self._label_str(key, le)} {cum}")
+            lines.append(f"{self.name}_bucket"
+                         f"{self._label_str(key, (('le', '+Inf'),))} "
+                         f"{s.count}")
+            lines.append(f"{self.name}_sum{self._label_str(key)} "
+                         f"{_format_value(s.total)}")
+            lines.append(f"{self.name}_count{self._label_str(key)} {s.count}")
+        return lines
+
+    def sample_dicts(self) -> list[dict]:
+        out = []
+        for key, s in self._sorted_samples():
+            buckets = {_format_value(float(b)): c
+                       for b, c in zip(self.buckets, s.counts)}
+            buckets["+Inf"] = s.count
+            out.append({"labels": dict(zip(self.labels, key)),
+                        "count": s.count, "sum": s.total,
+                        "buckets": buckets})
+        return out
+
+
+class MetricsRegistry:
+    """Named collection of metric families with a shared namespace prefix.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the registered family (and raises if the kind
+    or label schema disagrees), so independent subscribers can share
+    series safely.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        if namespace and not _NAME_RE.match(namespace):
+            raise ConfigError(f"invalid metrics namespace {namespace!r}")
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._families: dict[str, _MetricFamily] = {}
+
+    def _full_name(self, name: str) -> str:
+        return f"{self.namespace}_{name}" if self.namespace else name
+
+    def _register(self, cls, name: str, help_text: str,
+                  labels: tuple[str, ...], **kwargs) -> _MetricFamily:
+        full = self._full_name(name)
+        with self._lock:
+            existing = self._families.get(full)
+            if existing is not None:
+                if not isinstance(existing, cls) \
+                        or existing.labels != tuple(labels):
+                    raise ConfigError(
+                        f"metric {full!r} already registered as "
+                        f"{existing.kind} with labels "
+                        f"{list(existing.labels)}"
+                    )
+                return existing
+            family = cls(full, help_text, tuple(labels), **kwargs)
+            self._families[full] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: tuple[str, ...] = ()) -> Counter:
+        """Get or create a :class:`Counter` named ``<namespace>_<name>``."""
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: tuple[str, ...] = ()) -> Gauge:
+        """Get or create a :class:`Gauge` named ``<namespace>_<name>``."""
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram` named
+        ``<namespace>_<name>``."""
+        return self._register(Histogram, name, help_text, labels,
+                              buckets=buckets)
+
+    def families(self) -> list[_MetricFamily]:
+        """Registered families, in registration order."""
+        with self._lock:
+            return list(self._families.values())
+
+    # -- exporters -----------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.extend(family.render_prometheus())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every family and series."""
+        return {
+            "namespace": self.namespace,
+            "metrics": [
+                {"name": f.name, "type": f.kind, "help": f.help,
+                 "labels": list(f.labels), "samples": f.sample_dicts()}
+                for f in self.families()
+            ],
+        }
+
+    def write_prometheus(self, path) -> Path:
+        """Write :meth:`to_prometheus` output to *path*; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_prometheus(), encoding="utf-8")
+        return path
+
+    def write_json(self, path) -> Path:
+        """Write :meth:`to_dict` as JSON to *path*; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        return path

@@ -1,0 +1,323 @@
+"""The run observer: EventBus lifecycle events → metrics, traces, profiles.
+
+:class:`RunObserver` is the one object callers attach to get the full
+observability surface::
+
+    from repro.plan import Planner, Runtime
+    from repro.obs import RunObserver
+
+    rt = Runtime()
+    obs = RunObserver().attach(rt.bus)
+    result = rt.run(plan, A)
+    obs.metrics_text()            # Prometheus exposition format
+    obs.tracer.to_json("t.json")  # span trace
+    obs.profile(result).render()  # roofline-annotated accounting
+
+Every subscription goes through
+:meth:`~repro.plan.EventBus.subscribe_observer`, so the documented
+guarantee holds by construction: an observer handler that raises is
+isolated and counted in the bus's ``dropped_events`` tally (exported as
+the ``repro_dropped_events`` metric); it can never change a sketch's
+output, exit code, or execution path.  When nothing is attached, the
+emitting side pays only the bus's lock-free no-subscriber probe.
+
+Metric catalogue (all names under the ``repro_`` namespace; see
+``docs/observability.md`` for the event → metric mapping):
+
+=============================== ========= ==========================================
+metric                          type      labels
+=============================== ========= ==========================================
+``runs_total``                  counter   ``kernel``, ``driver``
+``run_seconds``                 histogram ``kernel``, ``driver``
+``blocks_total``                counter   ``kernel``, ``phase`` (start/done)
+``blocks_in_flight``            gauge     —
+``block_seconds``               histogram ``kernel``
+``sample_seconds_total``        counter   ``kernel``
+``compute_seconds_total``       counter   ``kernel``
+``conversion_seconds_total``    counter   ``kernel``
+``cpu_seconds_total``           counter   ``kernel``
+``wall_seconds_total``          counter   ``kernel``
+``samples_generated_total``     counter   ``kernel``
+``flops_total``                 counter   ``kernel``
+``sample_fraction``             gauge     ``kernel`` (last finished run)
+``attained_gflops``             gauge     ``kernel`` (last finished run)
+``checkpoints_total``           counter   —
+``checkpoint_seconds``          histogram —
+``retries_total``               counter   ``kind``
+``degraded_total``              counter   ``kind``
+``dropped_events``              gauge     ``event`` (synced at export time)
+=============================== ========= ==========================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from ..model.machine import MachineModel
+from ..plan.events import (
+    BLOCK_DONE,
+    BLOCK_START,
+    CHECKPOINT_WRITTEN,
+    DEGRADED,
+    DONE,
+    PLAN_COMPILED,
+    RETRY,
+    EventBus,
+)
+from .metrics import MetricsRegistry
+from .profile import ProfileReport, build_profile
+from .tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..plan.runtime import SketchResult
+
+__all__ = ["RunObserver"]
+
+
+class RunObserver:
+    """Subscribes metrics + tracing to a bus and aggregates run context.
+
+    Parameters
+    ----------
+    registry:
+        A shared :class:`~repro.obs.MetricsRegistry`; a private one is
+        created when omitted.  Families are get-or-create, so many
+        observers can feed one registry.
+    machine:
+        The :class:`~repro.model.MachineModel` profiles are scored
+        against (default: the planner's ``LAPTOP`` preset).
+    trace:
+        Set ``False`` to skip span collection (metrics only).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, *,
+                 machine: MachineModel | None = None,
+                 trace: bool = True) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.machine = machine
+        self.tracer = Tracer() if trace else None
+        self._lock = threading.Lock()
+        self._bus: EventBus | None = None
+        self._handlers: list[tuple[str, object]] = []
+        # Per-attach aggregates the profile builder consumes.
+        self._driver = ""
+        self._run_started: float | None = None
+        self._checkpoints = 0
+        self._checkpoint_seconds = 0.0
+        self._checkpoint_max = 0.0
+        self._retries = 0
+        self._degraded = 0
+
+        r = self.registry
+        self._m_runs = r.counter(
+            "runs_total", "Finished sketch runs.", ("kernel", "driver"))
+        self._m_run_seconds = r.histogram(
+            "run_seconds", "Wall time of finished runs.",
+            ("kernel", "driver"))
+        self._m_blocks = r.counter(
+            "blocks_total", "Block task lifecycle events.",
+            ("kernel", "phase"))
+        self._m_in_flight = r.gauge(
+            "blocks_in_flight", "Block tasks currently executing.")
+        self._m_block_seconds = r.histogram(
+            "block_seconds", "Wall time per block task.", ("kernel",))
+        self._m_sample = r.counter(
+            "sample_seconds_total", "RNG sample time (Tables III/V).",
+            ("kernel",))
+        self._m_compute = r.counter(
+            "compute_seconds_total", "Arithmetic time.", ("kernel",))
+        self._m_conversion = r.counter(
+            "conversion_seconds_total",
+            "Blocked-CSR conversion time (Tables IV/VI).", ("kernel",))
+        self._m_cpu = r.counter(
+            "cpu_seconds_total", "Summed per-worker busy seconds.",
+            ("kernel",))
+        self._m_wall = r.counter(
+            "wall_seconds_total", "Wall-clock seconds of runs.", ("kernel",))
+        self._m_samples = r.counter(
+            "samples_generated_total", "Sketch entries generated on the fly.",
+            ("kernel",))
+        self._m_flops = r.counter(
+            "flops_total", "Useful flops (2 * d * nnz).", ("kernel",))
+        self._m_sample_fraction = r.gauge(
+            "sample_fraction", "Sample-time share of the last finished run.",
+            ("kernel",))
+        self._m_gflops = r.gauge(
+            "attained_gflops", "GFlop/s of the last finished run.",
+            ("kernel",))
+        self._m_checkpoints = r.counter(
+            "checkpoints_total", "Durable snapshots written.")
+        self._m_checkpoint_seconds = r.histogram(
+            "checkpoint_seconds", "Snapshot write latency.")
+        self._m_retries = r.counter(
+            "retries_total", "Task retries by failure kind.", ("kind",))
+        self._m_degraded = r.counter(
+            "degraded_total", "Degradation decisions by kind.", ("kind",))
+        self._m_dropped = r.gauge(
+            "dropped_events", "Observer exceptions swallowed by the bus.",
+            ("event",))
+        self._block_starts: dict[tuple, float] = {}
+
+    # -- bus wiring ----------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "RunObserver":
+        """Subscribe (as isolated observers) to *bus*; returns ``self``."""
+        if self._bus is not None:
+            raise RuntimeError("observer is already attached to a bus")
+        handlers = [
+            (PLAN_COMPILED, self._on_plan_compiled),
+            (BLOCK_START, self._on_block_start),
+            (BLOCK_DONE, self._on_block_done),
+            (CHECKPOINT_WRITTEN, self._on_checkpoint),
+            (RETRY, self._on_retry),
+            (DEGRADED, self._on_degraded),
+            (DONE, self._on_done),
+        ]
+        for name, handler in handlers:
+            bus.subscribe_observer(name, handler)
+        self._handlers = handlers
+        self._bus = bus
+        if self.tracer is not None:
+            self.tracer.attach(bus)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe every handler registered by :meth:`attach`."""
+        if self._bus is None:
+            return
+        for name, handler in self._handlers:
+            self._bus.unsubscribe(name, handler)
+        if self.tracer is not None:
+            self.tracer.detach()
+        self._handlers = []
+        self._bus = None
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_plan_compiled(self, event) -> None:
+        with self._lock:
+            self._driver = str(event.get("driver", ""))
+            self._run_started = time.perf_counter()
+
+    def _on_block_start(self, event) -> None:
+        kernel = str(event.get("kernel", ""))
+        self._m_blocks.inc(kernel=kernel, phase="start")
+        self._m_in_flight.inc()
+        with self._lock:
+            self._block_starts.setdefault(event.get("task"),
+                                          time.perf_counter())
+
+    def _on_block_done(self, event) -> None:
+        kernel = str(event.get("kernel", ""))
+        self._m_blocks.inc(kernel=kernel, phase="done")
+        self._m_in_flight.dec()
+        with self._lock:
+            started = self._block_starts.pop(event.get("task"), None)
+        if started is not None:
+            self._m_block_seconds.observe(time.perf_counter() - started,
+                                          kernel=kernel)
+
+    def _on_checkpoint(self, event) -> None:
+        seconds = float(event.get("seconds", 0.0) or 0.0)
+        self._m_checkpoints.inc()
+        self._m_checkpoint_seconds.observe(seconds)
+        with self._lock:
+            self._checkpoints += 1
+            self._checkpoint_seconds += seconds
+            self._checkpoint_max = max(self._checkpoint_max, seconds)
+
+    def _on_retry(self, event) -> None:
+        self._m_retries.inc(kind=str(event.get("kind", "unknown")))
+        with self._lock:
+            self._retries += 1
+
+    def _on_degraded(self, event) -> None:
+        self._m_degraded.inc(kind=str(event.get("kind", "unknown")))
+        with self._lock:
+            self._degraded += 1
+
+    def _on_done(self, event) -> None:
+        stats = event.get("stats")
+        driver = str(event.get("driver", self._driver))
+        if stats is None:
+            return
+        kernel = stats.kernel
+        self._m_runs.inc(kernel=kernel, driver=driver)
+        with self._lock:
+            started = self._run_started
+            self._run_started = None
+        if started is not None:
+            self._m_run_seconds.observe(time.perf_counter() - started,
+                                        kernel=kernel, driver=driver)
+        self._m_sample.inc(stats.sample_seconds, kernel=kernel)
+        self._m_compute.inc(stats.compute_seconds, kernel=kernel)
+        self._m_conversion.inc(stats.conversion_seconds, kernel=kernel)
+        self._m_cpu.inc(stats.cpu_seconds, kernel=kernel)
+        self._m_wall.inc(stats.wall_seconds or stats.total_seconds,
+                         kernel=kernel)
+        self._m_samples.inc(stats.samples_generated, kernel=kernel)
+        self._m_flops.inc(stats.flops, kernel=kernel)
+        self._m_sample_fraction.set(stats.sample_fraction, kernel=kernel)
+        self._m_gflops.set(stats.gflops_rate, kernel=kernel)
+        with self._lock:
+            self._block_starts.clear()
+            self._m_in_flight.set(0.0)
+
+    # -- export --------------------------------------------------------------
+
+    def _sync_dropped(self) -> int:
+        """Mirror the bus's dropped-event tally into the registry.
+
+        Done at export time because a handler that just crashed cannot
+        count its own failure; the bus is the source of truth.
+        """
+        if self._bus is None:
+            return 0
+        total = 0
+        with self._bus._lock:
+            dropped = dict(self._bus.dropped_events)
+        for name, count in dropped.items():
+            self._m_dropped.set(float(count), event=name)
+            total += count
+        return total
+
+    def dropped_events(self) -> int:
+        """Total observer exceptions the bus has swallowed so far."""
+        return self._sync_dropped()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the registry (dropped-event
+        counts synced from the bus first)."""
+        self._sync_dropped()
+        return self.registry.to_prometheus()
+
+    def metrics_dict(self) -> dict:
+        """JSON-ready snapshot of the registry."""
+        self._sync_dropped()
+        return self.registry.to_dict()
+
+    def write_metrics(self, path) -> None:
+        """Write :meth:`metrics_text` to *path*."""
+        self._sync_dropped()
+        self.registry.write_prometheus(path)
+
+    def profile(self, result: "SketchResult",
+                machine: MachineModel | None = None) -> ProfileReport:
+        """Build the roofline-annotated :class:`ProfileReport` for
+        *result*, folding in the event aggregates this observer saw."""
+        with self._lock:
+            checkpoints = (self._checkpoints, self._checkpoint_seconds,
+                           self._checkpoint_max)
+            retries, degraded, driver = \
+                self._retries, self._degraded, self._driver
+        return build_profile(
+            result,
+            machine=machine if machine is not None else self.machine,
+            driver=driver,
+            checkpoints=checkpoints,
+            retries=retries,
+            degraded=degraded,
+            dropped_events=self._sync_dropped(),
+        )

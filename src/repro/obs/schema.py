@@ -1,0 +1,289 @@
+"""Hand-rolled validation of observability exporter output.
+
+``make obs-smoke`` (and the CI leg behind it) runs a tiny sketch with
+``--metrics-out``/``--profile-out`` and then validates the files with
+this module — no ``jsonschema`` dependency, just explicit structural
+checks:
+
+* :func:`validate_profile` checks a profile-JSON payload against
+  :data:`PROFILE_SCHEMA` (a JSON-Schema-shaped dict kept for
+  documentation and for the declared-vs-checked fields to stay in one
+  place);
+* :func:`validate_prometheus_text` checks Prometheus text exposition
+  output line-by-line (HELP/TYPE ordering, metric-name and label
+  syntax, parseable sample values, histogram ``_bucket``/``_sum``/
+  ``_count`` completeness).
+
+Both raise :class:`SchemaError` with a path-qualified message on the
+first violation.  Run as a module to validate files from the shell::
+
+    python -m repro.obs.schema --profile profile.json --metrics m.prom
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+__all__ = [
+    "SchemaError",
+    "PROFILE_SCHEMA",
+    "validate_profile",
+    "validate_prometheus_text",
+    "main",
+]
+
+
+class SchemaError(ValueError):
+    """Exporter output does not match its declared schema."""
+
+
+#: Declarative shape of a profile-JSON payload (JSON-Schema subset:
+#: ``type``, ``required``, ``properties``; number accepts int).  Kept in
+#: data form so docs and the validator cannot drift apart.
+PROFILE_SCHEMA = {
+    "type": "object",
+    "required": ["version", "kernel", "backend", "driver", "machine",
+                 "problem", "measured", "roofline", "events"],
+    "properties": {
+        "version": {"type": "integer"},
+        "kernel": {"type": "string"},
+        "backend": {"type": "string"},
+        "driver": {"type": "string"},
+        "machine": {"type": "string"},
+        "problem": {
+            "type": "object",
+            "required": ["m", "n", "d"],
+            "properties": {
+                "m": {"type": "integer"},
+                "n": {"type": "integer"},
+                "d": {"type": "integer"},
+                "nnz": {"type": ["integer", "null"]},
+                "rho": {"type": ["number", "null"]},
+            },
+        },
+        "measured": {
+            "type": "object",
+            "required": ["total_seconds", "sample_seconds",
+                         "compute_seconds", "conversion_seconds",
+                         "cpu_seconds", "wall_seconds", "sample_fraction",
+                         "attained_gflops", "samples_generated", "flops",
+                         "blocks_processed", "rng_samples_per_second"],
+            "properties": {
+                "total_seconds": {"type": "number", "minimum": 0},
+                "sample_seconds": {"type": "number", "minimum": 0},
+                "compute_seconds": {"type": "number", "minimum": 0},
+                "conversion_seconds": {"type": "number", "minimum": 0},
+                "cpu_seconds": {"type": "number", "minimum": 0},
+                "wall_seconds": {"type": "number", "minimum": 0},
+                "sample_fraction": {"type": "number",
+                                    "minimum": 0, "maximum": 1},
+                "attained_gflops": {"type": "number", "minimum": 0},
+                "samples_generated": {"type": "integer", "minimum": 0},
+                "flops": {"type": "integer", "minimum": 0},
+                "blocks_processed": {"type": "integer", "minimum": 0},
+                "rng_samples_per_second": {"type": "number", "minimum": 0},
+            },
+        },
+        "roofline": {
+            "type": "object",
+            "required": ["machine_balance", "peak_gflops",
+                         "attained_fraction_of_peak", "gemm_ci"],
+            "properties": {
+                "model_ci": {"type": ["number", "null"]},
+                "machine_balance": {"type": "number", "minimum": 0},
+                "peak_gflops": {"type": "number", "minimum": 0},
+                "predicted_fraction_of_peak": {"type": ["number", "null"]},
+                "predicted_gflops": {"type": ["number", "null"]},
+                "attained_fraction_of_peak": {"type": "number",
+                                              "minimum": 0},
+                "model_ratio": {"type": ["number", "null"]},
+                "gemm_ci": {"type": "number", "minimum": 0},
+            },
+        },
+        "events": {
+            "type": "object",
+            "required": ["checkpoints_written", "checkpoint_seconds",
+                         "retries", "degraded", "dropped_events"],
+            "properties": {
+                "checkpoints_written": {"type": "integer", "minimum": 0},
+                "checkpoint_seconds": {"type": "number", "minimum": 0},
+                "checkpoint_max_seconds": {"type": "number", "minimum": 0},
+                "retries": {"type": "integer", "minimum": 0},
+                "degraded": {"type": "integer", "minimum": 0},
+                "dropped_events": {"type": "integer", "minimum": 0},
+            },
+        },
+        "extra": {"type": "object"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "null": lambda v: v is None,
+    "array": lambda v: isinstance(v, list),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def _check(value, schema: dict, path: str) -> None:
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise SchemaError(
+                f"{path}: expected {'/'.join(types)}, "
+                f"got {type(value).__name__}")
+    if value is None:
+        return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if math.isnan(value):
+            raise SchemaError(f"{path}: NaN is not a valid metric value")
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            raise SchemaError(f"{path}: {value} < minimum {minimum}")
+        maximum = schema.get("maximum")
+        if maximum is not None and value > maximum:
+            raise SchemaError(f"{path}: {value} > maximum {maximum}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                _check(value[name], sub, f"{path}.{name}")
+
+
+def validate_profile(payload) -> dict:
+    """Validate a profile payload (dict or JSON text); returns the dict."""
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"profile is not valid JSON: {exc}") from exc
+    _check(payload, PROFILE_SCHEMA, "profile")
+    version = payload["version"]
+    if version != 1:
+        raise SchemaError(f"profile.version: unsupported version {version}")
+    return payload
+
+
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+_TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(counter|gauge|histogram|summary|untyped)$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{(.*)\})?"                          # optional label block
+    r" ([^ ]+)(?: [0-9]+)?$")                 # value, optional timestamp
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_sample_value(text: str, lineno: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise SchemaError(
+            f"line {lineno}: unparseable sample value {text!r}") from None
+
+
+def validate_prometheus_text(text: str) -> dict[str, str]:
+    """Validate Prometheus text exposition output.
+
+    Checks comment structure, name/label syntax, value parseability and
+    histogram series completeness.  Returns ``{metric_name: type}`` for
+    every family seen.
+    """
+    types: dict[str, str] = {}
+    helped: set[str] = set()
+    histogram_parts: dict[str, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if m := _HELP_RE.match(line):
+                if m.group(1) in helped:
+                    raise SchemaError(
+                        f"line {lineno}: duplicate HELP for {m.group(1)}")
+                helped.add(m.group(1))
+                continue
+            if m := _TYPE_RE.match(line):
+                name = m.group(1)
+                if name in types:
+                    raise SchemaError(
+                        f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = m.group(2)
+                continue
+            raise SchemaError(f"line {lineno}: malformed comment {line!r}")
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise SchemaError(f"line {lineno}: malformed sample {line!r}")
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        _parse_sample_value(value, lineno)
+        if labels:
+            consumed = _LABEL_PAIR_RE.sub("", labels).strip(", ")
+            if consumed:
+                raise SchemaError(
+                    f"line {lineno}: malformed label block {{{labels}}}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stripped and types.get(stripped) == "histogram":
+                base = stripped
+                histogram_parts.setdefault(base, set()).add(suffix)
+                if suffix == "_bucket" and (labels is None
+                                            or 'le="' not in labels):
+                    raise SchemaError(
+                        f"line {lineno}: histogram bucket without le label")
+                break
+        if base not in types:
+            raise SchemaError(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE")
+    for name, parts in histogram_parts.items():
+        missing = {"_bucket", "_sum", "_count"} - parts
+        if missing:
+            raise SchemaError(
+                f"histogram {name}: missing series {sorted(missing)}")
+    return types
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: validate exporter files, exit non-zero on failure."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate observability exporter output files.")
+    parser.add_argument("--profile", action="append", default=[],
+                        metavar="FILE", help="profile JSON file to validate")
+    parser.add_argument("--metrics", action="append", default=[],
+                        metavar="FILE",
+                        help="Prometheus text file to validate")
+    args = parser.parse_args(argv)
+    if not args.profile and not args.metrics:
+        parser.error("nothing to validate (pass --profile and/or --metrics)")
+    for path in args.profile:
+        validate_profile(Path(path).read_text(encoding="utf-8"))
+        print(f"ok profile {path}")
+    for path in args.metrics:
+        families = validate_prometheus_text(
+            Path(path).read_text(encoding="utf-8"))
+        print(f"ok metrics {path} ({len(families)} families)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -245,10 +245,12 @@ class PlanExecutionEngine:
             self._rows_since_snapshot = 0
         blocks = [(r, self.Ahat[r:r + min(self.b_d, self.d - r), :])
                   for r in rows]
-        path = self.checkpoint.save(blocks, self.fingerprint(),
-                                    {"completed_rows": rows})
+        with Timer() as write:
+            path = self.checkpoint.save(blocks, self.fingerprint(),
+                                        {"completed_rows": rows})
         self.bus.emit(CHECKPOINT_WRITTEN, path=path, rows=rows,
-                      snapshots_written=self.checkpoint.snapshots_written)
+                      snapshots_written=self.checkpoint.snapshots_written,
+                      seconds=write.elapsed)
 
     def _resume_from_snapshot(self, tasks: list[Task]) -> list[Task]:
         """Restore completed row blocks; return the tasks still to run."""
@@ -335,12 +337,18 @@ class PlanExecutionEngine:
 
     def _finish_stats(self, tasks: list[Task], conversion_seconds: float,
                       total_seconds: float) -> KernelStats:
+        # Two time axes: per-worker busy seconds sum (cpu_seconds) vs.
+        # the driver's wall clock — with threads > 1 the former exceeds
+        # the latter, and derived rates must not mix them up.
+        cpu_seconds = sum(w.total() for w in self._all_watches)
         stats = KernelStats(
             kernel=f"{self.kernel}-parallel",
             sample_seconds=sum(w.total("sample") for w in self._all_watches),
             compute_seconds=sum(w.total("compute") for w in self._all_watches),
             conversion_seconds=conversion_seconds,
             total_seconds=total_seconds,
+            cpu_seconds=cpu_seconds,
+            wall_seconds=total_seconds,
             samples_generated=sum(r.samples_generated for r in self._all_rngs),
             flops=spmm_flops(self.d, self.A.nnz),
             blocks_processed=len(tasks),

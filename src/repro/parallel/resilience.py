@@ -213,6 +213,31 @@ class RunHealth:
             "backend": self.backend,
         }
 
+    def merge(self, other: "RunHealth") -> None:
+        """Fold another run's health report into this one.
+
+        Counters add, lists extend, ``degraded_to_serial`` ORs, and the
+        backend attribution is adopted when unset here (used by
+        :meth:`repro.kernels.KernelStats.merge` so aggregating parallel
+        shards never drops recovery history).
+        """
+        self.tasks += other.tasks
+        self.completed += other.completed
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.failures.extend(other.failures)
+        self.timeouts += other.timeouts
+        self.stragglers_reexecuted += other.stragglers_reexecuted
+        self.guardrail_violations += other.guardrail_violations
+        self.corrupted_blocks_repaired += other.corrupted_blocks_repaired
+        self.masked_blocks += other.masked_blocks
+        self.kernel_fallbacks += other.kernel_fallbacks
+        self.degraded_to_serial = (self.degraded_to_serial
+                                   or other.degraded_to_serial)
+        self.decisions.extend(other.decisions)
+        if not self.backend:
+            self.backend = other.backend
+
     def summary(self) -> str:
         """One-line digest for plain-text CLI output."""
         parts = [f"tasks={self.completed}/{self.tasks}",

@@ -7,23 +7,34 @@ emits ``block_start``/``block_done`` around every kernel invocation,
 ``checkpoint_written`` after each durable snapshot; the runtime brackets
 the whole run with ``plan_compiled`` and ``done``.  Anything that wants
 to watch a run — :class:`~repro.parallel.resilience.RunHealth`
-consumers, CLI progress output, tracing, the fault injector — subscribes
-to the names it cares about and never has to be threaded through
-executor internals.
+consumers, CLI progress output, the observability layer
+(:mod:`repro.obs`), the fault injector — subscribes to the names it
+cares about and never has to be threaded through executor internals.
 
-The bus is deliberately tiny and synchronous:
+The bus distinguishes two kinds of subscriber, because they have
+opposite failure contracts:
 
-* ``emit`` with zero subscribers is one dictionary lookup, so
-  instrumenting the hot path costs nothing when nobody is listening;
-* handlers run inline in the emitting thread and may *raise* — that is a
-  feature, not a bug: the fault injector's ``task_start`` subscriber
-  injects failures exactly this way;
-* handlers may *mutate* the event's payload — the ``rng_request``
-  subscriber swaps in a corrupted generator by assigning
-  ``event["rng"]``.
+* **Intervention handlers** (:meth:`EventBus.subscribe`) run inline in
+  the emitting thread and may *raise* — that is a feature, not a bug:
+  the fault injector's ``task_start`` subscriber injects failures
+  exactly this way.  They may also *mutate* the event's payload — the
+  ``rng_request`` subscriber swaps in a corrupted generator by
+  assigning ``event["rng"]``.
+* **Observers** (:meth:`EventBus.subscribe_observer`) watch but must
+  never be able to abort or corrupt a sketch: any exception they raise
+  is swallowed and counted in :attr:`EventBus.dropped_events`, so a
+  bug in a metrics exporter can never change a run's output or exit
+  code.  Observers run after the intervention handlers for the same
+  event and see their payload mutations.
 
-Subscribing is thread-safe; emission takes a snapshot of the handler
-list, so a handler registered mid-run sees only subsequent events.
+The bus is deliberately tiny and synchronous.  ``emit`` with zero
+subscribers for a name is one lock-free dictionary probe, so
+instrumenting the hot path costs nothing when nobody is listening
+(dispatch reads an immutable snapshot that is rebuilt on every
+``subscribe``/``unsubscribe``, never mutated in place).
+
+Subscribing is thread-safe; a handler registered mid-run sees only
+subsequent events.
 """
 
 from __future__ import annotations
@@ -108,42 +119,105 @@ Handler = Callable[[Event], None]
 
 
 class EventBus:
-    """Synchronous publish/subscribe hub keyed by event name."""
+    """Synchronous publish/subscribe hub keyed by event name.
+
+    Attributes
+    ----------
+    dropped_events:
+        Count of observer-handler exceptions swallowed so far, keyed by
+        event name.  Exported by the observability layer as the
+        ``dropped_events`` metric; always zero for intervention
+        handlers, whose exceptions propagate.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._handlers: dict[str, list[Handler]] = {}
+        self._observers: dict[str, list[Handler]] = {}
+        # Immutable dispatch snapshot: name -> (intervention, observers).
+        # Rebuilt (never mutated) under the lock so ``emit`` can read it
+        # without taking the lock.
+        self._snapshot: dict[str, tuple[tuple[Handler, ...],
+                                        tuple[Handler, ...]]] = {}
+        self.dropped_events: dict[str, int] = {}
+
+    def _rebuild_snapshot(self) -> None:
+        names = set(self._handlers) | set(self._observers)
+        self._snapshot = {
+            name: (tuple(self._handlers.get(name, ())),
+                   tuple(self._observers.get(name, ())))
+            for name in names
+            if self._handlers.get(name) or self._observers.get(name)
+        }
 
     def subscribe(self, name: str, handler: Handler) -> Handler:
-        """Register *handler* for events named *name*; returns the handler
-        (convenient for later :meth:`unsubscribe`)."""
+        """Register an *intervention* handler for events named *name*.
+
+        Intervention handlers run inline, may mutate the payload, and
+        may raise — their exceptions propagate to the emitter (the
+        fault injector depends on this).  Returns the handler
+        (convenient for later :meth:`unsubscribe`).
+        """
         with self._lock:
             self._handlers.setdefault(name, []).append(handler)
+            self._rebuild_snapshot()
+        return handler
+
+    def subscribe_observer(self, name: str, handler: Handler) -> Handler:
+        """Register an *observer* handler for events named *name*.
+
+        Observers run after the intervention handlers; any exception
+        they raise is swallowed and counted in :attr:`dropped_events`,
+        so an observer bug can never abort or slow-path a sketch.
+        """
+        with self._lock:
+            self._observers.setdefault(name, []).append(handler)
+            self._rebuild_snapshot()
         return handler
 
     def unsubscribe(self, name: str, handler: Handler) -> None:
-        """Remove a previously subscribed handler (no-op if absent)."""
+        """Remove a previously subscribed handler of either kind
+        (no-op if absent)."""
         with self._lock:
-            handlers = self._handlers.get(name)
-            if handlers and handler in handlers:
-                handlers.remove(handler)
+            for table in (self._handlers, self._observers):
+                handlers = table.get(name)
+                if handlers and handler in handlers:
+                    handlers.remove(handler)
+            self._rebuild_snapshot()
 
     def has_subscribers(self, *names: str) -> bool:
-        """True if any of *names* has at least one handler."""
+        """True if any of *names* has at least one handler (of either
+        kind)."""
+        snapshot = self._snapshot
+        return any(n in snapshot for n in names)
+
+    def dropped_total(self) -> int:
+        """Total observer exceptions swallowed across all event names."""
         with self._lock:
-            return any(self._handlers.get(n) for n in names)
+            return sum(self.dropped_events.values())
 
     def emit(self, name: str, **payload) -> Event:
         """Dispatch an event to its subscribers (in registration order).
 
         Returns the (possibly handler-mutated) :class:`Event` so emitters
-        can read values subscribers handed back.  Handler exceptions
-        propagate to the emitter — the guarded executor treats them as
-        task failures, which is how injected faults enter the run.
+        can read values subscribers handed back.  Intervention-handler
+        exceptions propagate to the emitter — the guarded executor treats
+        them as task failures, which is how injected faults enter the
+        run.  Observer exceptions are swallowed and counted in
+        :attr:`dropped_events`.
         """
-        with self._lock:
-            handlers = list(self._handlers.get(name, ()))
+        entry = self._snapshot.get(name)
         event = Event(name, payload)
-        for handler in handlers:
+        if entry is None:
+            return event
+        intervention, observers = entry
+        for handler in intervention:
             handler(event)
+        for handler in observers:
+            try:
+                handler(event)
+            except Exception:  # noqa: BLE001 - observer isolation boundary
+                with self._lock:
+                    self.dropped_events[name] = \
+                        self.dropped_events.get(name, 0) + 1
         return event

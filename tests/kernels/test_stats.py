@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.kernels import KernelStats
+from repro.parallel.resilience import RunHealth
 
 
 class TestKernelStats:
@@ -40,3 +42,82 @@ class TestKernelStats:
         b = KernelStats(kernel="y")
         a.extra["k"] = 1
         assert "k" not in b.extra
+
+    def test_gflops_rate_prefers_wall_clock(self):
+        """With both axes recorded, the rate uses wall time — summing
+        per-thread time would under-report parallel throughput."""
+        s = KernelStats(kernel="x", total_seconds=8.0, wall_seconds=2.0,
+                        flops=4_000_000_000)
+        assert s.gflops_rate == pytest.approx(2.0)
+
+    def test_sample_fraction_uses_cpu_axis(self):
+        """sample_seconds is summed across workers, so the denominator
+        must be the matching cpu axis, not a smaller wall clock."""
+        s = KernelStats(kernel="x", total_seconds=1.0, wall_seconds=1.0,
+                        cpu_seconds=4.0, sample_seconds=3.0)
+        assert s.sample_fraction == pytest.approx(0.75)
+
+    def test_sample_fraction_clamped_to_one(self):
+        """Timer jitter can make sample_seconds exceed the total; the
+        fraction is a share and must never leave [0, 1]."""
+        s = KernelStats(kernel="x", total_seconds=1.0, sample_seconds=1.5)
+        assert s.sample_fraction == 1.0
+
+
+class TestKernelStatsMerge:
+    def test_merge_numeric_extra_adds(self):
+        a = KernelStats(kernel="x",
+                        extra={"snapshots_written": 2, "bytes": 10.5})
+        b = KernelStats(kernel="x",
+                        extra={"snapshots_written": 1, "bytes": 2.5})
+        a.merge(b)
+        assert a.extra["snapshots_written"] == 3
+        assert a.extra["bytes"] == 13.0
+
+    def test_merge_non_numeric_extra_first_writer_wins(self):
+        a = KernelStats(kernel="x", extra={"backend": "numpy"})
+        b = KernelStats(kernel="x", extra={"backend": "numba",
+                                           "resumed_from": "/tmp/ck"})
+        a.merge(b)
+        assert a.extra["backend"] == "numpy"
+        assert a.extra["resumed_from"] == "/tmp/ck"
+
+    def test_merge_bool_extra_not_summed(self):
+        a = KernelStats(kernel="x", extra={"flag": True})
+        a.merge(KernelStats(kernel="x", extra={"flag": True}))
+        assert a.extra["flag"] is True
+
+    def test_merge_adopts_blocking_params(self):
+        a = KernelStats(kernel="x")
+        a.merge(KernelStats(kernel="x", d=36, b_d=12, b_n=10))
+        assert (a.d, a.b_d, a.b_n) == (36, 12, 10)
+
+    def test_merge_rejects_conflicting_blocking_params(self):
+        a = KernelStats(kernel="x", b_d=12)
+        with pytest.raises(ConfigError):
+            a.merge(KernelStats(kernel="x", b_d=16))
+
+    def test_merge_health(self):
+        a = KernelStats(kernel="x", health=RunHealth(tasks=2, retries=1))
+        b = KernelStats(kernel="x", health=RunHealth(tasks=3, timeouts=2))
+        a.merge(b)
+        assert a.health.tasks == 5
+        assert a.health.retries == 1
+        assert a.health.timeouts == 2
+
+    def test_merge_adopts_health_when_unset(self):
+        a = KernelStats(kernel="x")
+        health = RunHealth(tasks=3)
+        a.merge(KernelStats(kernel="x", health=health))
+        assert a.health is health
+
+    def test_merge_cpu_sums_wall_maxes(self):
+        """Parallel pieces overlap in wall time: cpu adds, wall takes
+        the max, total keeps its historical summing behaviour."""
+        a = KernelStats(kernel="x", total_seconds=2.0, cpu_seconds=2.0,
+                        wall_seconds=2.0)
+        a.merge(KernelStats(kernel="x", total_seconds=1.5, cpu_seconds=1.5,
+                            wall_seconds=1.5))
+        assert a.cpu_seconds == 3.5
+        assert a.wall_seconds == 2.0
+        assert a.total_seconds == 3.5

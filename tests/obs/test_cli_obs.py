@@ -1,0 +1,98 @@
+"""CLI observability flags: --metrics-out / --trace-out / --profile."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_profile, validate_prometheus_text
+
+ARGS = ["sketch", "--random", "120", "30", "0.1", "--seed", "3"]
+
+
+class TestCliObservability:
+    def test_metrics_out_writes_valid_prometheus(self, tmp_path, capsys):
+        path = tmp_path / "m.prom"
+        assert main(ARGS + ["--metrics-out", str(path)]) == 0
+        families = validate_prometheus_text(path.read_text())
+        assert "repro_runs_total" in families
+        assert str(path) in capsys.readouterr().out
+
+    def test_metrics_out_json_flavour(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        assert main(ARGS + ["--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["namespace"] == "repro"
+        names = {m["name"] for m in payload["metrics"]}
+        assert "repro_runs_total" in names
+
+    def test_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(ARGS + ["--trace-out", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert [s["name"] for s in trace["spans"]][0] == "run"
+
+    def test_trace_out_chrome_flavour(self, tmp_path, capsys):
+        path = tmp_path / "t.chrome.json"
+        assert main(ARGS + ["--trace-out", str(path)]) == 0
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events[0]["ph"] in ("X", "i")
+
+    def test_profile_text_and_json(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(ARGS + ["--profile", "--profile-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "roofline" in out
+        payload = validate_profile(path.read_text())
+        assert payload["kernel"] in ("algo3", "algo4", "pregen")
+
+    def test_profile_reconciles_with_reported_stats(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["--json"] + ARGS
+                    + ["--profile-out", str(path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        payload = validate_profile(path.read_text())
+        assert payload == report["profile"]
+        assert payload["measured"]["attained_gflops"] == report["gflops"]
+        assert payload["measured"]["total_seconds"] == \
+            report["total_seconds"]
+        assert payload["measured"]["sample_seconds"] == \
+            report["sample_seconds"]
+        assert payload["measured"]["samples_generated"] == \
+            report["samples_generated"]
+
+    def test_raising_observer_changes_neither_output_nor_exit_code(
+            self, tmp_path, capsys, monkeypatch):
+        """The acceptance test: sabotage every metric handler so each
+        event drops, and the sketch bytes and exit code are unchanged."""
+        out_plain = tmp_path / "plain.npy"
+        out_observed = tmp_path / "observed.npy"
+        assert main(ARGS + ["--output", str(out_plain)]) == 0
+        capsys.readouterr()
+
+        from repro.obs import observer as observer_mod
+
+        class SabotagedObserver(observer_mod.RunObserver):
+            def attach(self, bus):
+                for name in ("plan_compiled", "block_start", "block_done",
+                             "checkpoint_written", "retry", "degraded",
+                             "done"):
+                    bus.subscribe_observer(name, self._boom)
+                self._bus = bus
+                return self
+
+            @staticmethod
+            def _boom(event):
+                raise RuntimeError("deliberately broken metrics subscriber")
+
+        monkeypatch.setattr("repro.obs.RunObserver", SabotagedObserver)
+        metrics = tmp_path / "m.prom"
+        code = main(ARGS + ["--output", str(out_observed),
+                            "--metrics-out", str(metrics)])
+        assert code == 0
+        np.testing.assert_array_equal(np.load(out_plain),
+                                      np.load(out_observed))
+        text = metrics.read_text()
+        validate_prometheus_text(text)
+        assert 'repro_dropped_events{event="done"} 1' in text

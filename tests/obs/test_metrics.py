@@ -1,0 +1,182 @@
+"""Tests for repro.obs.metrics (registry, families, exporters)."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, validate_prometheus_text
+from repro.obs.schema import SchemaError
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("hits_total", "x", ("kernel",))
+        c.inc(kernel="algo3")
+        c.inc(2.5, kernel="algo3")
+        c.inc(kernel="algo4")
+        assert c.value(kernel="algo3") == 3.5
+        assert c.value(kernel="algo4") == 1.0
+        assert c.value(kernel="missing") == 0.0
+
+    def test_counter_cannot_decrease(self):
+        c = MetricsRegistry().counter("hits_total")
+        with pytest.raises(ConfigError):
+            c.inc(-1.0)
+
+    def test_label_schema_enforced(self):
+        c = MetricsRegistry().counter("hits_total", "x", ("kernel",))
+        with pytest.raises(ConfigError):
+            c.inc()  # missing label
+        with pytest.raises(ConfigError):
+            c.inc(kernel="a", extra="b")  # extra label
+
+    def test_float_add_is_exact(self):
+        # Reconciliation relies on 0.0 + x == x bit-for-bit.
+        c = MetricsRegistry().counter("seconds_total")
+        value = 0.12345678901234567
+        c.inc(value)
+        assert c.value() == value
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("in_flight")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value() == 1.0
+        g.set(7.5)
+        assert g.value() == 7.5
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        h = MetricsRegistry().histogram("lat", "x", (),
+                                        buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        s = h.series()
+        assert s["count"] == 5
+        assert s["sum"] == pytest.approx(56.05)
+        assert s["buckets"]["0.1"] == 1
+        assert s["buckets"]["1"] == 3
+        assert s["buckets"]["10"] == 4
+        assert s["buckets"]["+Inf"] == 5
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("lat", buckets=(1.0, 0.5))
+
+    def test_empty_series(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert h.series() == {"count": 0, "sum": 0.0,
+                              "buckets": {"1": 0, "+Inf": 0}}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        r = MetricsRegistry()
+        assert r.counter("a_total", "x", ("k",)) is \
+            r.counter("a_total", "x", ("k",))
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        with pytest.raises(ConfigError):
+            r.gauge("a_total")
+
+    def test_label_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a_total", "x", ("k",))
+        with pytest.raises(ConfigError):
+            r.counter("a_total", "x", ("other",))
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            r.counter("bad name")
+        with pytest.raises(ConfigError):
+            r.counter("ok_total", "x", ("bad-label",))
+
+    def test_namespace_prefix(self):
+        r = MetricsRegistry(namespace="myns")
+        c = r.counter("a_total")
+        assert c.name == "myns_a_total"
+
+    def test_concurrent_updates(self):
+        c = MetricsRegistry().counter("n_total")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000.0
+
+
+class TestExporters:
+    def _populated(self):
+        r = MetricsRegistry()
+        r.counter("runs_total", "Runs.", ("kernel",)).inc(kernel="algo3")
+        r.gauge("ratio", "Ratio.").set(0.5)
+        h = r.histogram("lat_seconds", "Latency.", ("kernel",),
+                        buckets=(0.1, 1.0))
+        h.observe(0.05, kernel="algo3")
+        h.observe(5.0, kernel="algo3")
+        return r
+
+    def test_prometheus_text_validates(self):
+        text = self._populated().to_prometheus()
+        families = validate_prometheus_text(text)
+        assert families == {"repro_runs_total": "counter",
+                            "repro_ratio": "gauge",
+                            "repro_lat_seconds": "histogram"}
+
+    def test_prometheus_escapes_label_values(self):
+        r = MetricsRegistry()
+        r.counter("a_total", "x", ("k",)).inc(k='we"ird\\v')
+        text = r.to_prometheus()
+        assert r'k="we\"ird\\v"' in text
+        validate_prometheus_text(text)
+
+    def test_histogram_renders_inf_bucket(self):
+        text = self._populated().to_prometheus()
+        assert 'le="+Inf"' in text
+        assert "repro_lat_seconds_sum" in text
+        assert "repro_lat_seconds_count" in text
+
+    def test_json_round_trips(self):
+        payload = json.loads(json.dumps(self._populated().to_dict()))
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["repro_runs_total"]["samples"] == \
+            [{"labels": {"kernel": "algo3"}, "value": 1.0}]
+        hist = by_name["repro_lat_seconds"]["samples"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"]["+Inf"] == 2
+
+    def test_write_files(self, tmp_path):
+        r = self._populated()
+        prom = r.write_prometheus(tmp_path / "m.prom")
+        js = r.write_json(tmp_path / "m.json")
+        validate_prometheus_text(prom.read_text())
+        json.loads(js.read_text())
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            validate_prometheus_text("repro_orphan 1\n")
+        with pytest.raises(SchemaError):
+            validate_prometheus_text("# TYPE a counter\na {=} 1\n")
+        with pytest.raises(SchemaError):
+            validate_prometheus_text("# TYPE a counter\na one\n")
+
+    def test_format_inf_values(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(math.inf)
+        assert g.render_prometheus() == ["repro_g +Inf"]

@@ -1,0 +1,130 @@
+"""Tests for repro.obs.profile (roofline-annotated run profiles)."""
+
+import json
+
+import pytest
+
+from repro.kernels import KernelStats
+from repro.model import FRONTERA, LAPTOP
+from repro.model.roofline import fraction_of_peak, gemm_ci
+from repro.obs import build_profile, validate_profile
+from repro.obs.schema import SchemaError
+from repro.plan import Planner, Runtime
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(120, 30, 0.1, seed=301)
+
+
+def run(A, **kwargs):
+    plan = Planner().compile(A, d=36, **kwargs)
+    return Runtime().run(plan, A)
+
+
+class TestBuildProfile:
+    def test_measured_numbers_are_bit_for_bit(self, A):
+        result = run(A)
+        prof = build_profile(result, driver="serial")
+        st = result.stats
+        assert prof.total_seconds == st.total_seconds
+        assert prof.sample_seconds == st.sample_seconds
+        assert prof.compute_seconds == st.compute_seconds
+        assert prof.conversion_seconds == st.conversion_seconds
+        assert prof.attained_gflops == st.gflops_rate
+        assert prof.sample_fraction == st.sample_fraction
+        assert prof.samples_generated == st.samples_generated
+        assert prof.flops == st.flops
+        assert prof.blocks_processed == st.blocks_processed
+
+    def test_problem_numbers_come_from_plan(self, A):
+        prof = build_profile(run(A))
+        assert (prof.m, prof.n) == A.shape
+        assert prof.nnz == A.nnz
+        assert prof.rho == pytest.approx(A.nnz / (A.shape[0] * A.shape[1]))
+        assert prof.d == 36
+
+    def test_roofline_prediction_reuses_planner_decision(self, A):
+        """The plan's blocking decision recorded model_ci; the profile's
+        prediction must agree with Eq. 4 applied to that CI."""
+        result = run(A)
+        blocking = [d for d in result.plan.decisions
+                    if d.field == "blocking"][0]
+        prof = build_profile(result)
+        assert prof.model_ci == pytest.approx(blocking.data["model_ci"])
+        expected = fraction_of_peak(prof.model_ci, LAPTOP)
+        assert prof.predicted_fraction_of_peak == pytest.approx(expected)
+        assert prof.predicted_gflops == \
+            pytest.approx(expected * LAPTOP.peak_gflops)
+
+    def test_pregen_scored_against_gemm_ci(self):
+        prof = build_profile(stats=KernelStats(kernel="pregen",
+                                               total_seconds=1.0,
+                                               flops=10, d=36),
+                             plan=None)
+        assert prof.model_ci == pytest.approx(gemm_ci(LAPTOP.cache_words))
+
+    def test_machine_override(self, A):
+        prof = build_profile(run(A), machine=FRONTERA)
+        assert prof.machine == "frontera"
+        assert prof.peak_gflops == FRONTERA.peak_gflops
+        assert prof.gemm_ci == pytest.approx(gemm_ci(FRONTERA.cache_words))
+
+    def test_model_ratio(self, A):
+        prof = build_profile(run(A))
+        assert prof.model_ratio == \
+            pytest.approx(prof.attained_gflops / prof.predicted_gflops)
+
+    def test_stats_only_profile(self):
+        st = KernelStats(kernel="algo3", total_seconds=2.0,
+                         sample_seconds=1.0, flops=100, d=8)
+        prof = build_profile(stats=st)
+        assert prof.m == 0 and prof.nnz is None
+        assert prof.predicted_gflops is None  # density unknown
+        assert prof.model_ratio is None
+        validate_profile(prof.as_dict())
+
+    def test_requires_result_or_stats(self):
+        with pytest.raises(ValueError):
+            build_profile()
+
+
+class TestProfileSerialization:
+    def test_as_dict_validates_and_round_trips(self, A):
+        prof = build_profile(run(A), driver="serial",
+                             checkpoints=(2, 0.5, 0.3), retries=1,
+                             degraded=0, dropped_events=4)
+        payload = validate_profile(json.dumps(prof.as_dict()))
+        assert payload["version"] == 1
+        assert payload["events"] == {
+            "checkpoints_written": 2, "checkpoint_seconds": 0.5,
+            "checkpoint_max_seconds": 0.3, "retries": 1, "degraded": 0,
+            "dropped_events": 4}
+
+    def test_render_mentions_key_numbers(self, A):
+        prof = build_profile(run(A), driver="serial",
+                             checkpoints=(1, 0.2, 0.2), retries=2,
+                             degraded=1, dropped_events=3)
+        text = prof.render()
+        assert "roofline" in text
+        assert "checkpoints : 1 written" in text
+        assert "retries=2" in text
+        assert "3 event(s)" in text
+
+    def test_validator_rejects_bad_payloads(self, A):
+        good = build_profile(run(A)).as_dict()
+        bad = dict(good)
+        del bad["roofline"]
+        with pytest.raises(SchemaError):
+            validate_profile(bad)
+        bad = json.loads(json.dumps(good))
+        bad["measured"]["sample_fraction"] = 1.5
+        with pytest.raises(SchemaError):
+            validate_profile(bad)
+        bad = json.loads(json.dumps(good))
+        bad["version"] = 99
+        with pytest.raises(SchemaError):
+            validate_profile(bad)
+        with pytest.raises(SchemaError):
+            validate_profile("not json{")

@@ -76,6 +76,73 @@ class TestEventBus:
         assert bus.has_subscribers(BLOCK_START, BLOCK_DONE)
         assert not bus.has_subscribers(BLOCK_START)
 
+    def test_observer_exceptions_are_isolated(self):
+        """An observer that raises must not starve later subscribers or
+        propagate to the emitter; the drop is counted."""
+        bus = EventBus()
+        seen = []
+
+        def boom(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe_observer("tick", boom)
+        bus.subscribe_observer("tick", lambda e: seen.append("after"))
+        event = bus.emit("tick", x=1)
+        assert event["x"] == 1
+        assert seen == ["after"]
+        assert bus.dropped_events == {"tick": 1}
+        assert bus.dropped_total() == 1
+
+    def test_intervention_exceptions_still_propagate_past_observers(self):
+        """The fault-injection contract is unchanged: intervention
+        handlers raise through emit even when observers are present."""
+        bus = EventBus()
+        bus.subscribe_observer("tick", lambda e: None)
+
+        def boom(event):
+            raise RuntimeError("injected")
+
+        bus.subscribe("tick", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            bus.emit("tick")
+
+    def test_interventions_run_before_observers(self):
+        """Observers see the payload after intervention mutation."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe_observer(RNG_REQUEST, lambda e: seen.append(e["rng"]))
+        bus.subscribe(RNG_REQUEST, lambda e: e.__setitem__("rng", "swapped"))
+        bus.emit(RNG_REQUEST, rng="original")
+        assert seen == ["swapped"]
+
+    def test_observer_counts_toward_has_subscribers(self):
+        bus = EventBus()
+        bus.subscribe_observer(BLOCK_DONE, lambda e: None)
+        assert bus.has_subscribers(BLOCK_DONE)
+
+    def test_unsubscribe_removes_observers_too(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe_observer("tick", lambda e: seen.append(1))
+        bus.emit("tick")
+        bus.unsubscribe("tick", handler)
+        bus.emit("tick")
+        assert seen == [1]
+
+    def test_dropped_events_accumulate_per_event_name(self):
+        bus = EventBus()
+
+        def boom(event):
+            raise ValueError("x")
+
+        bus.subscribe_observer("a", boom)
+        bus.subscribe_observer("b", boom)
+        bus.emit("a")
+        bus.emit("a")
+        bus.emit("b")
+        assert bus.dropped_events == {"a": 2, "b": 1}
+        assert bus.dropped_total() == 3
+
     def test_thread_safe_subscription(self):
         bus = EventBus()
 
