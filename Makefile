@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,16 @@ obs-smoke:
 	  sys.exit(main(['--profile', '/tmp/repro-obs-smoke-profile.json', \
 	                 '--metrics', '/tmp/repro-obs-smoke.prom']))"
 	python -m pytest tests/obs -q
+
+# Process-pool crash-tolerance leg: the supervised worker-pool suite
+# (SIGKILL / hang / corrupt-tile recovery, bit-identical output) plus a
+# CLI smoke run on the process driver.  Everything is wrapped in a hard
+# wall-clock timeout so a supervisor deadlock fails the build instead of
+# hanging it.
+procpool-smoke:
+	timeout 300 python -m pytest tests/parallel/test_procpool.py -q
+	timeout 120 python -m repro sketch --random 200 60 0.05 \
+	  --driver process --workers 2 --worker-heartbeat 10
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -88,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
                                 "overrides auto)")
     g_backend.add_argument("--threads", type=int, default=1,
                            help="worker threads for the execution engine")
+    g_backend.add_argument("--driver", default="auto",
+                           choices=["auto", "serial", "engine", "process"],
+                           help="execution driver (auto = serial or engine "
+                                "as the plan requires; process = the "
+                                "crash-tolerant supervised worker pool)")
+    g_backend.add_argument("--workers", type=int, default=None,
+                           help="worker processes for --driver process "
+                                "(default: 2)")
+    g_backend.add_argument("--worker-heartbeat", type=float, default=None,
+                           metavar="SECONDS",
+                           help="heartbeat deadline for --driver process: "
+                                "a worker silent this long with assigned "
+                                "tasks is declared hung and replaced "
+                                "(default: 30)")
 
     g_resil = sk.add_argument_group(
         "resilience", "fault handling (any flag enables the guarded path)")
@@ -249,7 +263,22 @@ def _cmd_sketch(args) -> dict:
                        resilience=_resilience_from_args(args))
     pol = PersistencePolicy(checkpoint_dir=args.checkpoint_dir,
                             every=args.checkpoint_every, resume=args.resume)
-    plan = Planner().compile(A, cfg, persistence=pol)
+    pool = None
+    if args.workers is not None or args.worker_heartbeat is not None:
+        if args.driver != "process":
+            from .errors import ConfigError
+
+            raise ConfigError(
+                "--workers / --worker-heartbeat require --driver process")
+        from .parallel import WorkerPoolConfig
+
+        pool = WorkerPoolConfig(
+            workers=args.workers if args.workers is not None else 2,
+            heartbeat_timeout=(args.worker_heartbeat
+                               if args.worker_heartbeat is not None else 30.0),
+        )
+    plan = Planner().compile(A, cfg, persistence=pol, driver=args.driver,
+                             pool=pool)
     if args.plan_json:
         plan.to_json(args.plan_json)
     if args.explain:
@@ -295,6 +324,14 @@ def _cmd_sketch(args) -> dict:
             out["resumed_from"] = str(resumed)
     if st.health is not None:
         out["health"] = st.health.as_dict() if args.json else st.health.summary()
+    dropped = runtime.bus.dropped_total()
+    if dropped:
+        # Observer handlers are isolated by design, but a silently broken
+        # metrics/tracing pipeline should not go unnoticed in scripts.
+        out["dropped_events"] = dropped
+        print(f"warning: {dropped} observer event(s) dropped during this "
+              f"run (a metrics/tracing handler raised); the sketch itself "
+              f"is unaffected", file=sys.stderr)
     if observer is not None:
         if args.metrics_out:
             if str(args.metrics_out).endswith(".json"):

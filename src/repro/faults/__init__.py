@@ -6,15 +6,18 @@ lives in :mod:`repro.parallel`): seedable, coordinate-keyed fault plans
 fires them (:class:`FaultInjector`), injected into the executor through a
 hook interface that costs nothing when disabled.  Supported faults:
 task raises, NaN/Inf block corruption, simulated stragglers, corrupted
-RNG state (:class:`CorruptingRNG`), and storage faults against the
+RNG state (:class:`CorruptingRNG`), storage faults against the
 durable-checkpoint path (``torn_write`` crashes raising
-:class:`InjectedCrashError`, colluding ``bitflip`` corruption).  See
+:class:`InjectedCrashError`, colluding ``bitflip`` corruption), and
+process-pool faults against the supervised worker fleet
+(``kill_worker`` / ``hang_worker`` / ``corrupt_tile``).  See
 ``docs/robustness.md`` for the fault model and recovery semantics.
 """
 
 from .injector import CorruptingRNG, FaultEvent, FaultInjector
 from .plan import (
     FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
     InjectedCrashError,
@@ -27,6 +30,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedCrashError",

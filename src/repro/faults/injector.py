@@ -238,6 +238,27 @@ class FaultInjector:
         bus.subscribe(RNG_REQUEST, _on_rng_request)
         bus.subscribe(BLOCK_COMPUTED, _on_block_computed)
 
+    def process_faults(self, task: tuple[int, int], kernel: str,
+                       attempt: int) -> list[dict]:
+        """Process-pool faults to ship to the worker assigned *task*.
+
+        Called by the :mod:`repro.parallel.procpool` supervisor at
+        *dispatch* time — hits are claimed here, in the supervisor
+        process, so a spec's ``max_hits`` budget is honoured exactly
+        across requeues and respawned workers (worker processes never
+        share this injector's counters).  Each returned dict is a
+        self-contained instruction the worker applies mechanically:
+        ``{"kind": ..., "sleep_seconds": ...}``.  The context is
+        ``"process"``; ``scope="parallel"`` specs do not match it
+        (pool workers are processes, not threads).
+        """
+        from .plan import PROCESS_FAULT_KINDS
+
+        return [{"kind": spec.kind,
+                 "sleep_seconds": float(spec.sleep_seconds)}
+                for spec in self._fire(PROCESS_FAULT_KINDS, tuple(task),
+                                       kernel, "process", attempt)]
+
     def snapshot_faults(self, seq: int, block_index: int) -> list[str]:
         """Storage-fault kinds to apply to block *block_index* of snapshot *seq*.
 

@@ -39,6 +39,23 @@ Fault kinds
     corruption that happened before checksumming (bad DIMM, buggy
     writer).  Checksum verification passes by construction; only the
     replay audit of :mod:`repro.persist.verify` can catch it.
+``kill_worker``
+    Targets the *process pool* (:mod:`repro.parallel.procpool`): the
+    worker process assigned the task SIGKILLs itself before computing —
+    a real process death with no cleanup, exactly like an OOM kill.  The
+    supervisor must detect the dead pipe, requeue the worker's claimed
+    tasks, and respawn a warm replacement.
+``hang_worker``
+    Also targets the process pool: the worker sleeps for
+    :attr:`FaultSpec.sleep_seconds` *without heartbeating* before
+    computing — a wedged worker.  The supervisor must notice the missed
+    heartbeat deadline, kill the worker, and requeue its tasks.
+``corrupt_tile``
+    Also targets the process pool: the worker computes the tile
+    correctly, checksums the *correct* bytes, then flips one byte of the
+    shared-memory tile before committing — a write that raced or tore
+    between checksum and commit.  The supervisor's claimed-before-commit
+    verification must reject the commit and requeue the task.
 """
 
 from __future__ import annotations
@@ -49,9 +66,14 @@ from typing import Iterator, Sequence
 from ..errors import ConfigError
 
 __all__ = ["InjectedFaultError", "InjectedCrashError", "FaultSpec",
-           "FaultPlan", "FAULT_KINDS"]
+           "FaultPlan", "FAULT_KINDS", "PROCESS_FAULT_KINDS"]
 
-FAULT_KINDS = ("raise", "nan", "inf", "stall", "rng", "torn_write", "bitflip")
+FAULT_KINDS = ("raise", "nan", "inf", "stall", "rng", "torn_write", "bitflip",
+               "kill_worker", "hang_worker", "corrupt_tile")
+
+#: The subset of :data:`FAULT_KINDS` applied by process-pool workers
+#: (claimed supervisor-side at dispatch, executed worker-side).
+PROCESS_FAULT_KINDS = ("kill_worker", "hang_worker", "corrupt_tile")
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15

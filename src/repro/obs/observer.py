@@ -45,6 +45,10 @@ metric                          type      labels
 ``checkpoint_seconds``          histogram —
 ``retries_total``               counter   ``kind``
 ``degraded_total``              counter   ``kind``
+``pool_workers``                gauge     — (live supervised worker processes)
+``pool_workers_lost_total``     counter   ``reason`` (crashed/hung/shutdown)
+``pool_respawns_total``         counter   —
+``pool_requeues_total``         counter   ``reason``
 ``dropped_events``              gauge     ``event`` (synced at export time)
 =============================== ========= ==========================================
 """
@@ -64,6 +68,9 @@ from ..plan.events import (
     DONE,
     PLAN_COMPILED,
     RETRY,
+    TASK_REQUEUED,
+    WORKER_LOST,
+    WORKER_SPAWNED,
     EventBus,
 )
 from .metrics import MetricsRegistry
@@ -155,6 +162,17 @@ class RunObserver:
             "retries_total", "Task retries by failure kind.", ("kind",))
         self._m_degraded = r.counter(
             "degraded_total", "Degradation decisions by kind.", ("kind",))
+        self._m_pool_workers = r.gauge(
+            "pool_workers", "Live supervised worker processes.")
+        self._m_pool_lost = r.counter(
+            "pool_workers_lost_total",
+            "Worker processes lost, by reason.", ("reason",))
+        self._m_pool_respawns = r.counter(
+            "pool_respawns_total", "Warm worker respawns.")
+        self._m_pool_requeues = r.counter(
+            "pool_requeues_total",
+            "Tasks requeued after a worker loss or failed commit.",
+            ("reason",))
         self._m_dropped = r.gauge(
             "dropped_events", "Observer exceptions swallowed by the bus.",
             ("event",))
@@ -173,6 +191,9 @@ class RunObserver:
             (CHECKPOINT_WRITTEN, self._on_checkpoint),
             (RETRY, self._on_retry),
             (DEGRADED, self._on_degraded),
+            (WORKER_SPAWNED, self._on_worker_spawned),
+            (WORKER_LOST, self._on_worker_lost),
+            (TASK_REQUEUED, self._on_task_requeued),
             (DONE, self._on_done),
         ]
         for name, handler in handlers:
@@ -237,6 +258,18 @@ class RunObserver:
         self._m_degraded.inc(kind=str(event.get("kind", "unknown")))
         with self._lock:
             self._degraded += 1
+
+    def _on_worker_spawned(self, event) -> None:
+        self._m_pool_workers.inc()
+        if event.get("respawn"):
+            self._m_pool_respawns.inc()
+
+    def _on_worker_lost(self, event) -> None:
+        self._m_pool_workers.dec()
+        self._m_pool_lost.inc(reason=str(event.get("reason", "unknown")))
+
+    def _on_task_requeued(self, event) -> None:
+        self._m_pool_requeues.inc(reason=str(event.get("reason", "unknown")))
 
     def _on_done(self, event) -> None:
         stats = event.get("stats")

@@ -9,8 +9,11 @@ a tree of :class:`Span` records:
   (re-emitted starts from straggler re-execution reuse the open span);
 * ``checkpoint_written`` records a ``checkpoint`` span whose duration is
   the measured write latency carried in the event payload;
-* ``retry`` and ``degraded`` become zero-duration *annotations* attached
-  to the trace.
+* ``worker_spawned``/``worker_lost`` bracket one ``worker`` span per
+  supervised process-pool worker (attrs carry the pid, whether the spawn
+  was a warm respawn, and the loss reason);
+* ``retry``, ``degraded``, and ``task_requeued`` become zero-duration
+  *annotations* attached to the trace.
 
 Timestamps are ``time.perf_counter`` values rebased to the first event,
 so a trace is self-contained and diffable; :meth:`Tracer.to_chrome`
@@ -34,6 +37,9 @@ from ..plan.events import (
     DONE,
     PLAN_COMPILED,
     RETRY,
+    TASK_REQUEUED,
+    WORKER_LOST,
+    WORKER_SPAWNED,
     EventBus,
 )
 
@@ -75,6 +81,7 @@ class Tracer:
         self.spans: list[Span] = []
         self.annotations: list[Span] = []
         self._open_blocks: dict[tuple, Span] = {}
+        self._open_workers: dict[int, Span] = {}
         self._run: Span | None = None
         self._handlers: list[tuple[str, object]] = []
         self._bus: EventBus | None = None
@@ -100,6 +107,9 @@ class Tracer:
             (CHECKPOINT_WRITTEN, self._on_checkpoint),
             (RETRY, self._on_annotation),
             (DEGRADED, self._on_annotation),
+            (WORKER_SPAWNED, self._on_worker_spawned),
+            (WORKER_LOST, self._on_worker_lost),
+            (TASK_REQUEUED, self._on_annotation),
             (DONE, self._on_done),
         ]
         for name, handler in handlers:
@@ -163,6 +173,24 @@ class Tracer:
                        "rows": list(event.get("rows") or ()),
                        "snapshot": event.get("snapshots_written")}))
 
+    def _on_worker_spawned(self, event) -> None:
+        with self._lock:
+            wid = event.get("worker")
+            span = Span("worker", self._now(),
+                        attrs={"worker": wid, "pid": event.get("pid"),
+                               "respawn": bool(event.get("respawn"))})
+            # A respawn reuses the worker id; the previous span was
+            # closed by the worker_lost that triggered the respawn.
+            self._open_workers[wid] = span
+            self.spans.append(span)
+
+    def _on_worker_lost(self, event) -> None:
+        with self._lock:
+            span = self._open_workers.pop(event.get("worker"), None)
+            if span is not None:
+                span.end = self._now()
+                span.attrs["reason"] = event.get("reason")
+
     def _on_annotation(self, event) -> None:
         with self._lock:
             now = self._now()
@@ -180,6 +208,9 @@ class Tracer:
             for span in self._open_blocks.values():
                 span.attrs["unfinished"] = True
             self._open_blocks.clear()
+            for span in self._open_workers.values():
+                span.attrs["unfinished"] = True
+            self._open_workers.clear()
 
     # -- export --------------------------------------------------------------
 

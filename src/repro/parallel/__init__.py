@@ -1,14 +1,17 @@
 """Shared-memory parallelism: task scheduling, resilient thread-pool
-execution with fault recovery and numerical guardrails, and the
+execution with fault recovery and numerical guardrails, the supervised
+multi-process pool behind the ``process`` driver, and the
 bandwidth-saturation scaling model behind the Table VII reproduction."""
 
 from .bandwidth import PredictedRun, bandwidth_at, predict_time, rng_rate_per_core
 from .executor import ResilientExecutor, parallel_sketch_spmm
+from .procpool import ProcessPoolSupervisor, WorkerPoolConfig, pool_start_method
 from .resilience import (
     DegradationPolicy,
     ResilienceConfig,
     RunHealth,
     TaskFailure,
+    backoff_seconds,
     column_abs_sums,
     entry_abs_bound,
     validate_block,
@@ -28,10 +31,14 @@ __all__ = [
     "rng_rate_per_core",
     "ResilientExecutor",
     "parallel_sketch_spmm",
+    "ProcessPoolSupervisor",
+    "WorkerPoolConfig",
+    "pool_start_method",
     "DegradationPolicy",
     "ResilienceConfig",
     "RunHealth",
     "TaskFailure",
+    "backoff_seconds",
     "column_abs_sums",
     "entry_abs_bound",
     "validate_block",

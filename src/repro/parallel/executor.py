@@ -47,6 +47,7 @@ keyword arguments and delegate to ``Runtime.run(plan)``.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import TYPE_CHECKING, Callable
@@ -94,6 +95,7 @@ from .resilience import (
     ResilienceConfig,
     RunHealth,
     TaskFailure,
+    backoff_seconds,
     column_abs_sums,
     entry_abs_bound,
     validate_block,
@@ -559,6 +561,15 @@ class PlanExecutionEngine:
                             f"({failure[0]}); retrying with fresh RNG")
                     self.bus.emit(RETRY, task=key, attempt=attempt_no,
                                   kind=failure[0], context=context)
+                    if cfg.retry_backoff > 0.0:
+                        # Deterministic jitter keyed on the task's RNG
+                        # coordinates: two runs of the same plan sleep the
+                        # same amount, so retry timing never introduces
+                        # wall-clock entropy into recorded traces.
+                        time.sleep(backoff_seconds(
+                            cfg.retry_backoff, cfg.retry_backoff_factor,
+                            cfg.retry_backoff_max, seed=self.plan.rng.seed,
+                            task=key, attempt=attempt_no))
                     rng = self._fresh_rng()
         raise RetryExhaustedError(
             f"task {key} failed after {attempt_no} attempts "

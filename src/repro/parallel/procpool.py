@@ -1,0 +1,878 @@
+"""Crash-tolerant multi-process execution: the ``process`` Runtime driver.
+
+The thread-pool engine (:mod:`repro.parallel.executor`) is GIL-bound:
+with the numpy backend, worker threads only overlap inside individual
+NumPy calls, so a multi-core machine is mostly idle and a single wedged
+worker can stall a whole sketch.  This module runs the same Algorithm 1
+block tasks across N long-lived **worker processes** supervised by the
+driver process:
+
+* the frozen, JSON-round-trippable :class:`~repro.plan.SketchPlan` is
+  exactly the unit that ships to a worker — each worker rebuilds the
+  input matrix from :mod:`multiprocessing.shared_memory` segments and
+  derives its generators from the plan's RNG spec, so any worker can
+  compute any tile bit-identically;
+* output tiles are collected through a **claimed-before-commit**
+  protocol: the worker writes the tile into the shared output buffer,
+  checksums the *correct* bytes (:mod:`repro.persist.checksum`), and
+  commits a claim record over its pipe; the supervisor re-reads the
+  shared bytes and only accepts the commit when the digest matches —
+  a torn or corrupted write is requeued, never trusted;
+* **liveness** is supervised per worker: every task message doubles as
+  a heartbeat, so a SIGKILLed worker surfaces as a dead pipe and a hung
+  worker as a stale heartbeat past its deadline; either way the
+  supervisor requeues the worker's uncommitted tasks (bit-identical
+  RNG re-derivation makes the replay exact), kills what is left of the
+  worker, and warm-respawns a replacement within a bounded budget;
+* replays use **deterministic exponential backoff**
+  (:func:`~repro.parallel.resilience.backoff_seconds`, jitter keyed on
+  the task's RNG coordinates) and a task that keeps killing its worker
+  is **quarantined** after ``max_requeues`` replays instead of being
+  retried forever;
+* when the pool cannot finish — every worker lost with the respawn
+  budget spent, or quarantined poison tasks remain — the supervisor
+  walks the **degradation ladder** process → thread → serial in the
+  driver process, emitting ``degraded`` events so
+  :class:`~repro.parallel.resilience.RunHealth`, metrics, and traces
+  all observe the decision.
+
+Supervision events (``worker_spawned`` / ``worker_lost`` /
+``task_requeued``) fire on the runtime's
+:class:`~repro.plan.EventBus` from the supervisor process only; worker
+processes never touch the bus, the injector, or the checkpoint stack.
+Process-level fault injection (``kill_worker`` / ``hang_worker`` /
+``corrupt_tile``) is claimed supervisor-side at dispatch time — so
+``max_hits`` budgets are exact across requeues and respawns — and
+shipped to the worker as plain instructions it applies mechanically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+from ..utils.validation import check_choice, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+    from ..plan.events import EventBus
+    from ..plan.spec import SketchPlan
+    from ..sparse.csc import CSCMatrix
+
+__all__ = ["WorkerPoolConfig", "ProcessPoolSupervisor", "pool_start_method"]
+
+Task = tuple[int, int, int, int]  # (i, d1, j, n1)
+
+_START_METHODS = ("auto", "fork", "spawn")
+
+
+def pool_start_method(requested: str = "auto") -> str:
+    """Resolve the multiprocessing start method for the worker fleet.
+
+    ``fork`` is preferred when the platform offers it (fast spawn, no
+    module re-import); ``spawn`` is the portable fallback.
+    """
+    check_choice(requested, "start_method", _START_METHODS)
+    if requested != "auto":
+        return requested
+    import multiprocessing
+
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+@dataclass(frozen=True)
+class WorkerPoolConfig:
+    """Supervision policy for the ``process`` driver's worker fleet.
+
+    Attributes
+    ----------
+    workers:
+        Number of long-lived worker processes.
+    heartbeat_timeout:
+        Seconds of heartbeat silence after which a worker *with claimed
+        tasks* is declared hung, killed, and its tasks requeued.  Idle
+        workers never time out.  Every pipe message doubles as a
+        heartbeat, and workers send one immediately before each task.
+    batch_size:
+        Tasks shipped per dispatch message (0 = auto-sized from the
+        task count and worker count).  Smaller batches narrow the blast
+        radius of a lost worker; larger ones cut pipe round trips.
+    max_requeues:
+        Replay budget per task.  A task that exceeds it (it keeps
+        killing, hanging, or corrupting) is quarantined and finished on
+        the in-process degradation ladder instead of poisoning the pool
+        forever.
+    max_respawns:
+        Total warm worker respawns the supervisor may perform before it
+        declares the pool collapsed and degrades.
+    backoff_base, backoff_factor, backoff_max:
+        Deterministic exponential backoff applied before a requeued
+        task becomes dispatchable again (see
+        :func:`~repro.parallel.resilience.backoff_seconds`; the jitter
+        is keyed on the task's RNG coordinates, never wall-clock
+        entropy).
+    start_method:
+        ``"auto"`` (fork when available), ``"fork"``, or ``"spawn"``.
+    """
+
+    workers: int = 2
+    heartbeat_timeout: float = 30.0
+    batch_size: int = 0
+    max_requeues: int = 3
+    max_respawns: int = 8
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    start_method: str = "auto"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.workers, "workers")
+        if not self.heartbeat_timeout > 0:
+            raise ConfigError(
+                f"heartbeat_timeout must be positive, got "
+                f"{self.heartbeat_timeout}"
+            )
+        if self.batch_size < 0:
+            raise ConfigError(
+                f"batch_size must be >= 0 (0 = auto), got {self.batch_size}"
+            )
+        if self.max_requeues < 0:
+            raise ConfigError(
+                f"max_requeues must be >= 0, got {self.max_requeues}"
+            )
+        if self.max_respawns < 0:
+            raise ConfigError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if not self.backoff_base >= 0:
+            raise ConfigError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if not self.backoff_factor >= 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not self.backoff_max >= 0:
+            raise ConfigError(
+                f"backoff_max must be non-negative, got {self.backoff_max}"
+            )
+        check_choice(self.start_method, "start_method", _START_METHODS)
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": int(self.workers),
+            "heartbeat_timeout": float(self.heartbeat_timeout),
+            "batch_size": int(self.batch_size),
+            "max_requeues": int(self.max_requeues),
+            "max_respawns": int(self.max_respawns),
+            "backoff_base": float(self.backoff_base),
+            "backoff_factor": float(self.backoff_factor),
+            "backoff_max": float(self.backoff_max),
+            "start_method": self.start_method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerPoolConfig":
+        return cls(
+            workers=int(data.get("workers", 2)),
+            heartbeat_timeout=float(data.get("heartbeat_timeout", 30.0)),
+            batch_size=int(data.get("batch_size", 0)),
+            max_requeues=int(data.get("max_requeues", 3)),
+            max_respawns=int(data.get("max_respawns", 8)),
+            backoff_base=float(data.get("backoff_base", 0.05)),
+            backoff_factor=float(data.get("backoff_factor", 2.0)),
+            backoff_max=float(data.get("backoff_max", 1.0)),
+            start_method=data.get("start_method", "auto"),
+        )
+
+
+# -- worker process ---------------------------------------------------------
+
+
+def _open_shared_matrix(shm_seg, spec):
+    """Rebuild a :class:`CSCMatrix` over shared-memory-backed arrays."""
+    import numpy as np
+
+    from ..sparse.csc import CSCMatrix
+
+    def arr(name, dtype, shape):
+        return np.ndarray(shape, dtype=dtype, buffer=shm_seg[name].buf)
+
+    indptr = arr("indptr", np.int64, (spec["n"] + 1,))
+    indices = arr("indices", np.int64, (spec["nnz"],))
+    data = arr("data", np.float64, (spec["nnz"],))
+    return CSCMatrix((spec["m"], spec["n"]), indptr, indices, data,
+                     check=False)
+
+
+def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
+                 problem: dict) -> None:
+    """Entry point of one worker process.
+
+    Rebuilds the input matrix from shared memory, derives its own
+    generators from the shipped plan, then serves task batches until a
+    ``shutdown`` message or pipe closure.  Injected process faults
+    arrive as plain dicts attached to each task and are applied
+    mechanically — the worker holds no injector state.
+    """
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    from ..kernels.backends import KernelWorkspace, resolve_backend
+    from ..persist.checksum import checksum_bytes, default_algo
+    from ..plan.spec import SketchPlan
+    from ..utils.timing import Stopwatch, Timer
+
+    segs = {}
+    try:
+        for name, shm_name in shm_names.items():
+            segs[name] = shared_memory.SharedMemory(name=shm_name)
+        plan = SketchPlan.from_dict(plan_data)
+        A = _open_shared_matrix(segs, problem)
+        d, n = plan.problem.d, plan.problem.n
+        Ahat = np.ndarray((d, n), dtype=np.float64, buffer=segs["ahat"].buf)
+        backend = resolve_backend(plan.backend)
+        rng = plan.rng.build(wid)
+        watch = Stopwatch()
+        workspace = KernelWorkspace()
+        algo = default_algo()
+
+        block_by_offset = {}
+        conversion_seconds = 0.0
+        if plan.kernel == "algo4":
+            from ..sparse.convert import csc_to_blocked_csr
+
+            with Timer() as conv:
+                blocked, _stats = csc_to_blocked_csr(A, plan.b_n, threads=1)
+            conversion_seconds = conv.elapsed
+            for j0, blk in blocked.iter_blocks():
+                block_by_offset[j0] = blk
+        backend.warmup(rng, np.float64)
+        conn.send(("ready", wid, os.getpid(), conversion_seconds))
+
+        while True:
+            msg = conn.recv()
+            if msg[0] == "shutdown":
+                break
+            if msg[0] != "tasks":  # pragma: no cover - protocol guard
+                continue
+            for idx, task, faults in msg[1]:
+                conn.send(("hb", wid, idx))
+                i, d1, j, n1 = task
+                kinds = {f["kind"] for f in faults}
+                try:
+                    if "kill_worker" in kinds:
+                        # A real process death: no cleanup, no goodbye.
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if "hang_worker" in kinds:
+                        # Wedge without heartbeating; the supervisor's
+                        # deadline, not this sleep, decides our fate.
+                        time.sleep(max(f["sleep_seconds"] for f in faults
+                                       if f["kind"] == "hang_worker"))
+                    samples0 = rng.samples_generated
+                    s0 = watch.total("sample")
+                    c0 = watch.total("compute")
+                    tile = np.zeros((d1, n1), dtype=np.float64)
+                    if plan.kernel == "algo3":
+                        backend.algo3_block(tile, A.col_block(j, j + n1), i,
+                                            rng, watch=watch,
+                                            workspace=workspace)
+                    else:
+                        blk = block_by_offset.get(j)
+                        if blk is None or blk.shape[1] != n1:
+                            raise ConfigError(
+                                "blocked CSR partition does not match the "
+                                "b_n task grid")
+                        backend.algo4_block(tile, blk, i, rng, watch=watch,
+                                            workspace=workspace)
+                    Ahat[i:i + d1, j:j + n1] = tile
+                    # Claimed-before-commit: digest the *correct* bytes;
+                    # the supervisor re-reads shared memory and verifies.
+                    digest = checksum_bytes(tile.tobytes(), algo)
+                    if "corrupt_tile" in kinds and tile.size:
+                        # Corrupt the shared tile after checksumming — the
+                        # supervisor must reject this commit.
+                        Ahat[i + d1 // 2, j + n1 // 2] = np.nan
+                    conn.send(("commit", wid, idx, task, algo, digest, {
+                        "sample": watch.total("sample") - s0,
+                        "compute": watch.total("compute") - c0,
+                        "samples": rng.samples_generated - samples0,
+                    }))
+                except Exception as exc:  # noqa: BLE001 - fault boundary
+                    conn.send(("error", wid, idx, task,
+                               type(exc).__name__, str(exc)))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass  # supervisor went away; nothing to report to
+    finally:
+        for seg in segs.values():
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+
+# -- supervisor -------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Supervisor-side record of one live worker process."""
+
+    __slots__ = ("wid", "proc", "conn", "last_seen", "assigned", "pid")
+
+    def __init__(self, wid, proc, conn) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.last_seen = time.monotonic()
+        self.assigned: set[int] = set()
+        self.pid = proc.pid
+
+
+class ProcessPoolSupervisor:
+    """Supervises N worker processes executing one plan's block tasks.
+
+    The ``process`` driver of :class:`repro.plan.Runtime`: constructed
+    per run, returns ``(Ahat, stats)`` from :meth:`run`.  All lifecycle
+    and supervision events fire on *bus* from the supervisor process.
+
+    Parameters
+    ----------
+    plan:
+        The compiled :class:`~repro.plan.SketchPlan`; ``plan.pool``
+        (or a default :class:`WorkerPoolConfig`) sets the supervision
+        policy.  The kernel must be ``algo3`` or ``algo4``.
+    A, rng_factory:
+        The input matrix and the generator factory.  Worker processes
+        derive their generators from ``plan.rng`` — a custom factory
+        only affects the in-process degradation ladder and the final
+        ``post_scale`` — so factories that do not match the plan's RNG
+        spec are unsupported on this driver.
+    bus, injector:
+        Event bus for lifecycle/supervision events, and the optional
+        fault injector whose process-level faults
+        (``kill_worker``/``hang_worker``/``corrupt_tile``) are claimed
+        at dispatch time.
+    """
+
+    def __init__(self, plan: "SketchPlan", A: "CSCMatrix", rng_factory, *,
+                 bus: "EventBus | None" = None,
+                 injector: "FaultInjector | None" = None) -> None:
+        from ..kernels.backends import resolve_backend
+        from ..plan.events import EventBus
+        from .resilience import RunHealth
+
+        if plan.kernel not in ("algo3", "algo4"):
+            raise ConfigError(
+                f"the process driver requires kernel 'algo3' or 'algo4', "
+                f"got {plan.kernel!r}")
+        if plan.persistence.enabled:
+            raise ConfigError(
+                "the process driver cannot honour a persistence policy yet; "
+                "use driver='engine' for checkpointed runs")
+        self.plan = plan
+        self.A = A
+        self.rng_factory = rng_factory
+        self.bus = bus if bus is not None else EventBus()
+        self.injector = injector
+        self.pool = plan.pool if plan.pool is not None else WorkerPoolConfig()
+        self.backend = resolve_backend(plan.backend)
+        self.health = RunHealth()
+        self.Ahat = None
+
+        self._segs: dict[str, object] = {}
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._next_wid = 0
+        self._respawns_used = 0
+        self._committed: set[int] = set()
+        self._replays: dict[int, int] = {}
+        self._dispatches: dict[int, int] = {}
+        self._quarantined: list[int] = []
+        self._ready: deque[int] = deque()
+        self._backoff_heap: list[tuple[float, int]] = []
+        self._tasks: list[Task] = []
+        self._worker_stats = {"sample": 0.0, "compute": 0.0, "samples": 0}
+        self._conversion_seconds = 0.0
+        self._track_blocks = False
+        self._fallback_blocks: dict[int, object] = {}
+        self._stats_lock = threading.Lock()
+
+    # -- shared-memory plumbing --------------------------------------------
+
+    def _create_segments(self) -> dict[str, str]:
+        """Allocate shared segments for A's arrays and the output buffer."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        d, n = self.plan.problem.d, self.plan.problem.n
+
+        def create(name, src_dtype, shape):
+            count = 1
+            for s in shape:
+                count *= s
+            nbytes = max(1, count * np.dtype(src_dtype).itemsize)
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._segs[name] = seg
+            return np.ndarray(shape, dtype=src_dtype, buffer=seg.buf)
+
+        create("indptr", np.int64, self.A.indptr.shape)[:] = self.A.indptr
+        create("indices", np.int64, self.A.indices.shape)[:] = self.A.indices
+        create("data", np.float64, self.A.data.shape)[:] = self.A.data
+        ahat = create("ahat", np.float64, (d, n))
+        ahat[:] = 0.0
+        self.Ahat = ahat
+        return {name: seg.name for name, seg in self._segs.items()}
+
+    def _release_segments(self) -> None:
+        for seg in self._segs.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segs.clear()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn_worker(self, ctx, shm_names: dict, *,
+                      respawn: bool = False) -> _WorkerHandle:
+        from ..plan.events import WORKER_SPAWNED
+
+        wid = self._next_wid
+        self._next_wid += 1
+        parent_conn, child_conn = ctx.Pipe()
+        problem = {"m": self.A.shape[0], "n": self.A.shape[1],
+                   "nnz": int(self.A.nnz)}
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, self.plan.to_dict(), shm_names, problem),
+            daemon=True, name=f"repro-worker-{wid}")
+        proc.start()
+        child_conn.close()
+        handle = _WorkerHandle(wid, proc, parent_conn)
+        self._workers[wid] = handle
+        self.health.workers_spawned += 1
+        if respawn:
+            self.health.worker_respawns += 1
+            self.health.record(
+                f"worker {wid}: warm respawn "
+                f"({self._respawns_used}/{self.pool.max_respawns} used)")
+        self.bus.emit(WORKER_SPAWNED, worker=wid, pid=handle.pid,
+                      respawn=respawn)
+        return handle
+
+    def _lose_worker(self, handle: _WorkerHandle, reason: str) -> None:
+        """Declare *handle* dead: kill, requeue its tasks, maybe respawn."""
+        from ..plan.events import WORKER_LOST
+
+        self._workers.pop(handle.wid, None)
+        if handle.proc.is_alive():
+            try:
+                os.kill(handle.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+        handle.proc.join(timeout=5)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+        self.health.workers_lost += 1
+        self.health.record(f"worker {handle.wid} (pid {handle.pid}) lost: "
+                           f"{reason}; {len(handle.assigned)} task(s) "
+                           f"requeued")
+        self.bus.emit(WORKER_LOST, worker=handle.wid, pid=handle.pid,
+                      reason=reason)
+        for idx in sorted(handle.assigned):
+            self._requeue(idx, f"worker_{reason}")
+        handle.assigned.clear()
+
+    def _maybe_respawn(self, ctx, shm_names: dict) -> None:
+        remaining = (len(self._tasks) - len(self._committed)
+                     - len(self._quarantined))
+        # Top up only to the fleet size actually spawned at startup
+        # (capped by the task count), so a small problem never triggers
+        # phantom "respawns" of workers that were never wanted.
+        target = min(self.pool.workers, max(1, remaining))
+        while (remaining > 0 and len(self._workers) < target
+                and self._respawns_used < self.pool.max_respawns):
+            self._respawns_used += 1
+            self._spawn_worker(ctx, shm_names, respawn=True)
+
+    # -- task bookkeeping --------------------------------------------------
+
+    def _key(self, idx: int) -> tuple[int, int]:
+        t = self._tasks[idx]
+        return (t[0], t[2])
+
+    def _requeue(self, idx: int, reason: str) -> None:
+        from ..plan.events import TASK_REQUEUED
+        from .resilience import backoff_seconds
+
+        if idx in self._committed:
+            return
+        key = self._key(idx)
+        replays = self._replays.get(idx, 0) + 1
+        self._replays[idx] = replays
+        if replays > self.pool.max_requeues:
+            self._quarantined.append(idx)
+            self.health.quarantined_tasks += 1
+            self.health.record(
+                f"task {key}: poison — {replays - 1} replays failed "
+                f"({reason}); quarantined for the degradation ladder")
+            return
+        pool = self.pool
+        delay = backoff_seconds(pool.backoff_base, pool.backoff_factor,
+                                pool.backoff_max, seed=self.plan.rng.seed,
+                                task=key, attempt=replays)
+        self.health.tasks_requeued += 1
+        self.health.record(
+            f"task {key}: requeued ({reason}), replay {replays}"
+            f"/{pool.max_requeues}, backoff {delay * 1e3:.1f} ms")
+        self.bus.emit(TASK_REQUEUED, task=key, reason=reason,
+                      replays=replays, backoff=delay)
+        if delay > 0:
+            heapq.heappush(self._backoff_heap,
+                           (time.monotonic() + delay, idx))
+        else:
+            self._ready.append(idx)
+
+    def _drain_backoff(self) -> None:
+        now = time.monotonic()
+        while self._backoff_heap and self._backoff_heap[0][0] <= now:
+            _due, idx = heapq.heappop(self._backoff_heap)
+            self._ready.append(idx)
+
+    def _dispatch(self, handle: _WorkerHandle, batch: int) -> None:
+        from ..plan.events import BLOCK_START
+
+        items = []
+        while self._ready and len(items) < batch:
+            idx = self._ready.popleft()
+            if idx in self._committed:
+                continue
+            task = self._tasks[idx]
+            key = (task[0], task[2])
+            attempt = self._dispatches.get(idx, 0) + 1
+            self._dispatches[idx] = attempt
+            faults = (self.injector.process_faults(key, self.plan.kernel,
+                                                   attempt)
+                      if self.injector is not None else [])
+            self.health.attempts += 1
+            if self._track_blocks:
+                self.bus.emit(BLOCK_START, task=key, i=task[0], d1=task[1],
+                              j=task[2], n1=task[3], kernel=self.plan.kernel)
+            items.append((idx, task, faults))
+            handle.assigned.add(idx)
+        if items:
+            try:
+                handle.conn.send(("tasks", items))
+            except (OSError, BrokenPipeError):
+                # The worker died between wait() and dispatch; undo the
+                # claim and let the liveness pass requeue cleanly.
+                for idx, _task, _faults in items:
+                    handle.assigned.discard(idx)
+                    self._dispatches[idx] -= 1
+                    self.health.attempts -= 1
+                    self._ready.appendleft(idx)
+                self._lose_worker(handle, "crashed")
+
+    # -- message handling --------------------------------------------------
+
+    def _verify_commit(self, idx: int, task: Task, algo: str,
+                       digest: str) -> bool:
+        import numpy as np
+
+        from ..persist.checksum import checksum_bytes
+
+        i, d1, j, n1 = task
+        view = np.ascontiguousarray(self.Ahat[i:i + d1, j:j + n1])
+        return checksum_bytes(view.tobytes(), algo) == digest
+
+    def _on_commit(self, handle: _WorkerHandle, msg) -> None:
+        from ..plan.events import BLOCK_DONE
+        from .resilience import TaskFailure
+
+        _tag, _wid, idx, task, algo, digest, stats = msg
+        handle.assigned.discard(idx)
+        if idx in self._committed:
+            return  # duplicate from a worker we already replaced
+        if not self._verify_commit(idx, tuple(task), algo, digest):
+            i, d1, j, n1 = task
+            self.Ahat[i:i + d1, j:j + n1] = 0.0
+            self.health.failures.append(TaskFailure(
+                task=(task[0], task[2]),
+                attempt=self._dispatches.get(idx, 1),
+                kind="checksum_mismatch",
+                message="shared-memory tile bytes do not match the "
+                        "committed digest",
+                context="process"))
+            self._requeue(idx, "checksum_mismatch")
+            return
+        self._committed.add(idx)
+        self.health.completed += 1
+        for k in ("sample", "compute"):
+            self._worker_stats[k] += float(stats.get(k, 0.0))
+        self._worker_stats["samples"] += int(stats.get("samples", 0))
+        if self._track_blocks:
+            i, d1, j, n1 = task
+            self.bus.emit(BLOCK_DONE, task=(i, j), i=i, d1=d1, j=j, n1=n1,
+                          kernel=self.plan.kernel)
+
+    def _on_error(self, handle: _WorkerHandle, msg) -> None:
+        from .resilience import TaskFailure
+
+        _tag, _wid, idx, task, kind, message = msg
+        handle.assigned.discard(idx)
+        self.health.failures.append(TaskFailure(
+            task=(task[0], task[2]), attempt=self._dispatches.get(idx, 1),
+            kind=kind, message=message, context="process"))
+        self._requeue(idx, kind)
+
+    def _pump_worker(self, handle: _WorkerHandle) -> None:
+        """Drain every buffered message from one worker's pipe."""
+        try:
+            while handle.conn.poll():
+                msg = handle.conn.recv()
+                handle.last_seen = time.monotonic()
+                tag = msg[0]
+                if tag == "commit":
+                    self._on_commit(handle, msg)
+                elif tag == "error":
+                    self._on_error(handle, msg)
+                elif tag == "ready":
+                    self._conversion_seconds = max(self._conversion_seconds,
+                                                   float(msg[3]))
+                # "hb" needs no body: last_seen is already refreshed.
+        except (EOFError, OSError):
+            self._lose_worker(handle, "crashed")
+
+    def _check_liveness(self) -> None:
+        now = time.monotonic()
+        for handle in list(self._workers.values()):
+            if not handle.proc.is_alive():
+                self._pump_worker(handle)  # salvage buffered commits
+                if handle.wid in self._workers:
+                    self._lose_worker(handle, "crashed")
+            elif (handle.assigned
+                    and now - handle.last_seen > self.pool.heartbeat_timeout):
+                self._lose_worker(handle, "hung")
+
+    # -- degradation ladder ------------------------------------------------
+
+    def _compute_local(self, task: Task, out) -> None:
+        """One in-process kernel invocation (thread/serial rungs).
+
+        Each call uses a fresh coordinate-keyed generator and a private
+        stopwatch, so concurrent thread-rung calls never share mutable
+        state; the accounting is folded in under a lock afterwards.
+        """
+        from ..kernels.backends import KernelWorkspace
+        from ..utils.timing import Stopwatch
+
+        i, d1, j, n1 = task
+        rng = self.rng_factory(0)
+        watch = Stopwatch()
+        out[:] = 0.0
+        if self.plan.kernel == "algo3":
+            self.backend.algo3_block(out, self.A.col_block(j, j + n1), i,
+                                     rng, watch=watch,
+                                     workspace=KernelWorkspace())
+        else:
+            blk = self._fallback_blocks.get(j)
+            if blk is None or blk.shape[1] != n1:
+                raise ConfigError(
+                    "blocked CSR partition does not match the b_n task grid")
+            self.backend.algo4_block(out, blk, i, rng, watch=watch,
+                                     workspace=KernelWorkspace())
+        with self._stats_lock:
+            self._worker_stats["sample"] += watch.total("sample")
+            self._worker_stats["compute"] += watch.total("compute")
+            self._worker_stats["samples"] += rng.samples_generated
+
+    def _run_fallback(self, leftover: list[int]) -> None:
+        """Finish *leftover* tasks in-process: thread rung, then serial.
+
+        The pool could not complete these (collapse or quarantine).
+        Tiles recompute bit-identically in the driver process because
+        generators are coordinate-keyed; each rung's decision is
+        emitted as a ``degraded`` event.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..plan.events import DEGRADED
+        from ..sparse.convert import csc_to_blocked_csr
+
+        self._fallback_blocks = {}
+        if self.plan.kernel == "algo4":
+            blocked, _stats = csc_to_blocked_csr(self.A, self.plan.b_n,
+                                                 threads=1)
+            for j0, blk in blocked.iter_blocks():
+                self._fallback_blocks[j0] = blk
+
+        self.health.degraded_to_thread = True
+        self.health.record(
+            f"{len(leftover)} task(s) unfinishable in the process pool; "
+            f"degrading process -> thread")
+        self.bus.emit(DEGRADED, kind="pool_fallback", tasks=len(leftover))
+
+        def run_one(idx: int) -> None:
+            task = self._tasks[idx]
+            i, d1, j, n1 = task
+            self.health.attempts += 1
+            self._compute_local(task, self.Ahat[i:i + d1, j:j + n1])
+
+        threads = max(1, min(4, self.plan.threads))
+        failed: list[int] = []
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = {idx: pool.submit(run_one, idx) for idx in leftover}
+            for idx, fut in futures.items():
+                try:
+                    fut.result()
+                    self._committed.add(idx)
+                    self.health.completed += 1
+                except Exception:  # noqa: BLE001 - last rung handles it
+                    failed.append(idx)
+        if not failed:
+            return
+        self.health.degraded_to_serial = True
+        self.health.record(
+            f"{len(failed)} task(s) failed on the thread rung; "
+            f"degrading thread -> serial")
+        self.bus.emit(DEGRADED, kind="serial_fallback", tasks=len(failed))
+        for idx in failed:
+            self.health.attempts += 1
+            run = self._tasks[idx]
+            i, d1, j, n1 = run
+            self._compute_local(run, self.Ahat[i:i + d1, j:j + n1])
+            self._committed.add(idx)
+            self.health.completed += 1
+
+    # -- stats -------------------------------------------------------------
+
+    def _finish_stats(self, total_seconds: float):
+        from ..kernels.stats import KernelStats
+        from ..utils.flops import spmm_flops
+
+        sample = self._worker_stats["sample"]
+        compute = self._worker_stats["compute"]
+        samples = self._worker_stats["samples"]
+        stats = KernelStats(
+            kernel=f"{self.plan.kernel}-procpool",
+            sample_seconds=sample,
+            compute_seconds=compute,
+            conversion_seconds=self._conversion_seconds,
+            total_seconds=total_seconds,
+            cpu_seconds=sample + compute,
+            wall_seconds=total_seconds,
+            samples_generated=samples,
+            flops=spmm_flops(self.plan.problem.d, self.A.nnz),
+            blocks_processed=len(self._tasks),
+            d=self.plan.problem.d, b_d=self.plan.b_d, b_n=self.plan.b_n,
+            extra={"driver": "process", "workers": self.pool.workers,
+                   "start_method": pool_start_method(self.pool.start_method),
+                   "backend": self.backend.name,
+                   "respawns_used": self._respawns_used},
+            health=self.health,
+        )
+        return stats
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self):
+        """Execute the plan across the worker fleet; ``(Ahat, stats)``."""
+        import multiprocessing
+        import numpy as np
+
+        from ..kernels.blocking import iter_block_tasks
+        from ..plan.events import BLOCK_DONE, BLOCK_START
+        from ..utils.timing import Timer
+
+        plan = self.plan
+        d, n = plan.problem.d, plan.problem.n
+        self._tasks = list(iter_block_tasks(d, n, plan.b_d, plan.b_n))
+        self._ready = deque(range(len(self._tasks)))
+        self.health.tasks = len(self._tasks)
+        self.health.backend = self.backend.name
+        self._track_blocks = self.bus.has_subscribers(BLOCK_START, BLOCK_DONE)
+
+        ctx = multiprocessing.get_context(
+            pool_start_method(self.pool.start_method))
+        batch = self.pool.batch_size
+        if batch <= 0:
+            batch = max(1, min(
+                8, (len(self._tasks) + 4 * self.pool.workers - 1)
+                // (4 * self.pool.workers)))
+        tick = min(0.05, self.pool.heartbeat_timeout / 5.0)
+
+        with Timer() as total:
+            try:
+                shm_names = self._create_segments()
+                workers = min(self.pool.workers, max(1, len(self._tasks)))
+                for _ in range(workers):
+                    self._spawn_worker(ctx, shm_names)
+
+                while (self._workers
+                        and (self._ready or self._backoff_heap
+                             or any(h.assigned
+                                    for h in self._workers.values()))):
+                    self._drain_backoff()
+                    for handle in list(self._workers.values()):
+                        if not handle.assigned and self._ready:
+                            self._dispatch(handle, batch)
+                    conns = {h.conn: h for h in self._workers.values()}
+                    if conns:
+                        readable = multiprocessing.connection.wait(
+                            list(conns), timeout=tick)
+                        for conn in readable:
+                            handle = conns.get(conn)
+                            if handle is not None \
+                                    and handle.wid in self._workers:
+                                self._pump_worker(handle)
+                    self._check_liveness()
+                    self._maybe_respawn(ctx, shm_names)
+
+                self._shutdown_workers()
+                leftover = sorted(
+                    set(range(len(self._tasks))) - self._committed)
+                if leftover:
+                    self._run_fallback(leftover)
+                # Detach the result from shared memory before unlinking.
+                result = np.array(self.Ahat, copy=True)
+            finally:
+                self._shutdown_workers()
+                self._release_segments()
+            post = self.rng_factory(0).post_scale
+            if post != 1.0:
+                result *= post
+        self.Ahat = result
+        return result, self._finish_stats(total.elapsed)
+
+    def _shutdown_workers(self) -> None:
+        from ..plan.events import WORKER_LOST
+
+        for handle in list(self._workers.values()):
+            self._workers.pop(handle.wid, None)
+            try:
+                handle.conn.send(("shutdown",))
+            except (OSError, BrokenPipeError):
+                pass
+            handle.proc.join(timeout=2)
+            if handle.proc.is_alive():  # pragma: no cover - stuck worker
+                try:
+                    os.kill(handle.pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+                handle.proc.join(timeout=5)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+            self.bus.emit(WORKER_LOST, worker=handle.wid, pid=handle.pid,
+                          reason="shutdown")

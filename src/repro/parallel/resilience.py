@@ -38,6 +38,7 @@ __all__ = [
     "RunHealth",
     "TaskFailure",
     "GUARDRAIL_POLICIES",
+    "backoff_seconds",
     "column_abs_sums",
     "entry_abs_bound",
     "validate_block",
@@ -105,6 +106,19 @@ class ResilienceConfig:
         ``factor * max|entry| * max_k ||A[:, k]||_1``.
     degradation:
         See :class:`DegradationPolicy`.
+    retry_backoff:
+        Base delay in seconds slept before each retry (0.0 — the seed
+        behaviour — disables backoff entirely).  The delay grows by
+        ``retry_backoff_factor`` per failed attempt, is capped at
+        ``retry_backoff_max``, and is jittered *deterministically*: the
+        jitter fraction is derived from the task's RNG key via
+        :func:`repro.faults.plan.task_hash`, never from wall-clock
+        entropy, so fault-injection runs replay bit-identically (see
+        :func:`backoff_seconds`).
+    retry_backoff_factor:
+        Exponential growth factor per additional failure (>= 1).
+    retry_backoff_max:
+        Ceiling on any single backoff sleep, pre-jitter.
     """
 
     max_retries: int = 2
@@ -113,6 +127,9 @@ class ResilienceConfig:
     guardrail: str | None = None
     guardrail_bound_factor: float = 4.0
     degradation: DegradationPolicy = DegradationPolicy()
+    retry_backoff: float = 0.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 1.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_retries, (int, np.integer)) or \
@@ -135,6 +152,43 @@ class ResilienceConfig:
                 f"guardrail_bound_factor must be >= 1, got "
                 f"{self.guardrail_bound_factor}"
             )
+        if not self.retry_backoff >= 0.0:
+            raise ConfigError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        if not self.retry_backoff_factor >= 1.0:
+            raise ConfigError(
+                f"retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor}"
+            )
+        if not self.retry_backoff_max >= 0.0:
+            raise ConfigError(
+                f"retry_backoff_max must be non-negative, got "
+                f"{self.retry_backoff_max}"
+            )
+
+
+def backoff_seconds(base: float, factor: float, cap: float, *,
+                    seed: int, task: tuple[int, int], attempt: int) -> float:
+    """Deterministic exponential backoff with task-keyed jitter.
+
+    ``min(cap, base * factor**(attempt - 1))`` scaled into
+    ``[0.5, 1.0)`` by a jitter fraction derived from
+    :func:`repro.faults.plan.task_hash` of ``(seed, i, j)`` salted with
+    the attempt number — the same key the generators use, never
+    wall-clock entropy.  Two runs of the same plan with the same fault
+    schedule therefore sleep the *exact* same durations, which keeps
+    fault-injection replays bit-identical in their scheduling too.
+    *attempt* counts from 1 (the first retry).
+    """
+    if base <= 0.0 or attempt < 1:
+        return 0.0
+    from ..faults.plan import task_hash
+
+    raw = min(cap, base * factor ** (attempt - 1))
+    i, j = int(task[0]), int(task[1])
+    frac = task_hash(seed, i, j, salt=0x42AC0FF ^ attempt) / float(1 << 64)
+    return raw * (0.5 + 0.5 * frac)
 
 
 @dataclass(frozen=True)
@@ -171,6 +225,16 @@ class RunHealth:
     degraded_to_serial: bool = False
     decisions: list = field(default_factory=list)       # list[str]
     backend: str = ""                                   # kernel backend used
+    # Process-pool supervision (zero outside the "process" driver).
+    workers_spawned: int = 0
+    workers_lost: int = 0
+    worker_respawns: int = 0
+    tasks_requeued: int = 0
+    quarantined_tasks: int = 0
+    degraded_to_thread: bool = False
+    # Observer exceptions the EventBus swallowed during the run —
+    # surfaced here so silent metrics/tracing failures reach run reports.
+    dropped_events: int = 0
 
     @property
     def ok(self) -> bool:
@@ -179,10 +243,15 @@ class RunHealth:
 
     @property
     def clean(self) -> bool:
-        """Did the run complete with no faults, retries, or degradation?"""
+        """Did the run complete with no faults, retries, or degradation?
+
+        Dropped observer events deliberately do *not* taint cleanliness:
+        observers cannot perturb a sketch, only fail to watch it.
+        """
         return (self.ok and self.attempts == self.tasks
                 and not self.failures and self.guardrail_violations == 0
-                and self.timeouts == 0)
+                and self.timeouts == 0 and self.workers_lost == 0
+                and self.quarantined_tasks == 0)
 
     def record(self, decision: str) -> None:
         """Append one line to the audit trail."""
@@ -211,6 +280,13 @@ class RunHealth:
             "degraded_to_serial": self.degraded_to_serial,
             "decisions": list(self.decisions),
             "backend": self.backend,
+            "workers_spawned": self.workers_spawned,
+            "workers_lost": self.workers_lost,
+            "worker_respawns": self.worker_respawns,
+            "tasks_requeued": self.tasks_requeued,
+            "quarantined_tasks": self.quarantined_tasks,
+            "degraded_to_thread": self.degraded_to_thread,
+            "dropped_events": self.dropped_events,
         }
 
     def merge(self, other: "RunHealth") -> None:
@@ -234,6 +310,14 @@ class RunHealth:
         self.kernel_fallbacks += other.kernel_fallbacks
         self.degraded_to_serial = (self.degraded_to_serial
                                    or other.degraded_to_serial)
+        self.workers_spawned += other.workers_spawned
+        self.workers_lost += other.workers_lost
+        self.worker_respawns += other.worker_respawns
+        self.tasks_requeued += other.tasks_requeued
+        self.quarantined_tasks += other.quarantined_tasks
+        self.degraded_to_thread = (self.degraded_to_thread
+                                   or other.degraded_to_thread)
+        self.dropped_events += other.dropped_events
         self.decisions.extend(other.decisions)
         if not self.backend:
             self.backend = other.backend
@@ -252,8 +336,20 @@ class RunHealth:
                          f"masked={self.masked_blocks})")
         if self.kernel_fallbacks:
             parts.append(f"kernel_fallbacks={self.kernel_fallbacks}")
+        if self.workers_spawned or self.workers_lost:
+            parts.append(f"workers={self.workers_spawned}"
+                         f"(lost={self.workers_lost},"
+                         f"respawned={self.worker_respawns})")
+        if self.tasks_requeued:
+            parts.append(f"requeued={self.tasks_requeued}")
+        if self.quarantined_tasks:
+            parts.append(f"quarantined={self.quarantined_tasks}")
+        if self.degraded_to_thread:
+            parts.append("degraded=thread")
         if self.degraded_to_serial:
             parts.append("degraded=serial")
+        if self.dropped_events:
+            parts.append(f"dropped_events={self.dropped_events}")
         parts.append("clean" if self.clean else "recovered" if self.ok else "FAILED")
         return " ".join(parts)
 

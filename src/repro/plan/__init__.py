@@ -30,7 +30,10 @@ from .events import (
     PLAN_COMPILED,
     RETRY,
     RNG_REQUEST,
+    TASK_REQUEUED,
     TASK_START,
+    WORKER_LOST,
+    WORKER_SPAWNED,
     Event,
     EventBus,
 )
@@ -58,6 +61,9 @@ __all__ = [
     "RETRY",
     "DEGRADED",
     "DONE",
+    "WORKER_SPAWNED",
+    "WORKER_LOST",
+    "TASK_REQUEUED",
     "LIFECYCLE_EVENTS",
     "FAULT_HOOK_EVENTS",
     "PersistencePolicy",

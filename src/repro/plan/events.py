@@ -55,6 +55,9 @@ __all__ = [
     "RETRY",
     "DEGRADED",
     "DONE",
+    "WORKER_SPAWNED",
+    "WORKER_LOST",
+    "TASK_REQUEUED",
     "LIFECYCLE_EVENTS",
 ]
 
@@ -67,6 +70,17 @@ RETRY = "retry"
 DEGRADED = "degraded"
 DONE = "done"
 
+#: Process-pool supervision events (the ``process`` driver only):
+#: ``worker_spawned`` when the supervisor starts a worker (payload
+#: ``worker``, ``pid``, ``respawn``), ``worker_lost`` when it declares
+#: one dead (payload ``worker``, ``pid``, ``reason`` — ``"crashed"`` /
+#: ``"hung"`` / ``"shutdown"``), and ``task_requeued`` when a claimed
+#: task returns to the queue (payload ``task``, ``reason``,
+#: ``replays``, ``backoff``).
+WORKER_SPAWNED = "worker_spawned"
+WORKER_LOST = "worker_lost"
+TASK_REQUEUED = "task_requeued"
+
 #: Interposition hooks: fired around each task attempt on the guarded
 #: path so subscribers (the fault injector) can fail, delay, or corrupt
 #: an attempt.  Payloads are mutable; ``rng_request`` handlers may
@@ -77,7 +91,7 @@ BLOCK_COMPUTED = "block_computed"
 
 LIFECYCLE_EVENTS = (
     PLAN_COMPILED, BLOCK_START, BLOCK_DONE, CHECKPOINT_WRITTEN,
-    RETRY, DEGRADED, DONE,
+    RETRY, DEGRADED, DONE, WORKER_SPAWNED, WORKER_LOST, TASK_REQUEUED,
 )
 
 #: Hook events whose mere presence switches the engine onto the guarded

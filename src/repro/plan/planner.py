@@ -35,6 +35,7 @@ from .policy import PersistencePolicy
 from .spec import PlanDecision, ProblemSpec, RngSpec, SketchPlan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel.procpool import WorkerPoolConfig
     from ..sparse.csc import CSCMatrix
 
 __all__ = ["Planner", "compile_plan"]
@@ -82,13 +83,17 @@ class Planner:
     def compile(self, A: "CSCMatrix", config: SketchConfig | None = None, *,
                 d: int | None = None, gamma: float | None = None,
                 persistence: PersistencePolicy | None = None,
-                driver: str = "auto") -> SketchPlan:
+                driver: str = "auto",
+                pool: "WorkerPoolConfig | None" = None) -> SketchPlan:
         """Compile the full decision record for sketching *A*.
 
         Exactly one of *gamma* / *d* may override the config's sizing
         (same contract as :func:`repro.sketch`).  *persistence* attaches
         a durable-checkpoint policy; *driver* pins the execution driver
-        (``"auto"`` lets the runtime choose serial vs engine).
+        (``"auto"`` lets the runtime choose serial vs engine); *pool*
+        configures the supervised worker pool when ``driver="process"``
+        (a default :class:`~repro.parallel.WorkerPoolConfig` is
+        synthesized when omitted).
         """
         from ..kernels.backends import resolve_backend
 
@@ -181,7 +186,7 @@ class Planner:
                         distribution=cfg.distribution,
                         normalize=cfg.normalize),
             threads=cfg.threads, strategy="static", driver=driver,
-            resilience=cfg.resilience, persistence=pol,
+            resilience=cfg.resilience, persistence=pol, pool=pool,
             decisions=tuple(decisions),
         )
         return plan
@@ -213,11 +218,13 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
                  machine: MachineModel | None = None,
                  d: int | None = None, gamma: float | None = None,
                  persistence: PersistencePolicy | None = None,
-                 tune: str = "model", driver: str = "auto") -> SketchPlan:
+                 tune: str = "model", driver: str = "auto",
+                 pool: "WorkerPoolConfig | None" = None) -> SketchPlan:
     """One-call planning: ``compile_plan(A, cfg, gamma=3.0)``.
 
     Convenience wrapper over :class:`Planner` for callers that don't
     keep a planner around.
     """
     return Planner(machine, tune=tune).compile(
-        A, config, d=d, gamma=gamma, persistence=persistence, driver=driver)
+        A, config, d=d, gamma=gamma, persistence=persistence, driver=driver,
+        pool=pool)

@@ -17,6 +17,12 @@ with lifecycle events on its :class:`~repro.plan.EventBus`:
 ``pregen``
     The materialize-``S``-then-GEMM baseline (no row-block structure,
     so no checkpointing).
+``process``
+    The crash-tolerant multi-process pool
+    (:mod:`repro.parallel.procpool`): N supervised worker processes,
+    shared-memory tiles with claimed-before-commit verification,
+    heartbeat liveness, deterministic requeue, and the
+    process → thread → serial degradation ladder.
 
 Lifecycle events: ``plan_compiled`` at entry, ``block_start`` /
 ``block_done`` around kernel invocations, ``checkpoint_written`` after
@@ -121,9 +127,20 @@ def _pregen_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
     return pregen_full(A, plan.problem.d, factory(0))
 
 
+def _process_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
+                    blocked, injector):
+    """The supervised multi-process worker pool (crash-tolerant)."""
+    from ..parallel.procpool import ProcessPoolSupervisor
+
+    supervisor = ProcessPoolSupervisor(plan, A, factory, bus=runtime.bus,
+                                       injector=injector)
+    return supervisor.run()
+
+
 register_driver("serial", _serial_driver)
 register_driver("engine", _engine_driver)
 register_driver("pregen", _pregen_driver)
+register_driver("process", _process_driver)
 
 
 class Runtime:
@@ -204,6 +221,11 @@ class Runtime:
                 "the serial driver cannot honour a persistence policy; "
                 "use driver='engine' (or 'auto') for checkpointed runs"
             )
+        if driver_name == "process" and plan.persistence.enabled:
+            raise ConfigError(
+                "the process driver cannot honour a persistence policy yet; "
+                "use driver='engine' for checkpointed runs"
+            )
         try:
             driver = _DRIVERS[driver_name]
         except KeyError:
@@ -216,6 +238,11 @@ class Runtime:
         s = plan.scale()
         if s != 1.0:
             Ahat *= s
+        if stats.health is not None:
+            # Surface silent observer failures in the run report: any
+            # exception the bus swallowed during this run is now visible
+            # wherever RunHealth is (CLI reports, tests, logs).
+            stats.health.dropped_events = self.bus.dropped_total()
         self.bus.emit(DONE, plan=plan, stats=stats, driver=driver_name)
         return SketchResult(sketch=Ahat, stats=stats,
                             kernel_used=plan.kernel, scale=s, plan=plan)

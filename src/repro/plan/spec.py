@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..errors import ConfigError
+from ..parallel.procpool import WorkerPoolConfig
 from ..parallel.resilience import DegradationPolicy, ResilienceConfig
 from ..rng.base import SketchingRNG, make_rng
 from ..rng.distributions import get_distribution
@@ -44,7 +45,7 @@ __all__ = [
 PLAN_FORMAT_VERSION = 1
 
 _PLAN_KERNELS = ("algo3", "algo4", "pregen")
-_DRIVERS = ("auto", "serial", "engine")
+_DRIVERS = ("auto", "serial", "engine", "process")
 
 
 # -- resilience serialization ------------------------------------------------
@@ -65,6 +66,9 @@ def resilience_to_dict(cfg: ResilienceConfig | None) -> dict | None:
             "kernel_fallback": bool(cfg.degradation.kernel_fallback),
             "serial_fallback": bool(cfg.degradation.serial_fallback),
         },
+        "retry_backoff": float(cfg.retry_backoff),
+        "retry_backoff_factor": float(cfg.retry_backoff_factor),
+        "retry_backoff_max": float(cfg.retry_backoff_max),
     }
 
 
@@ -83,6 +87,9 @@ def resilience_from_dict(data: dict | None) -> ResilienceConfig | None:
             kernel_fallback=bool(deg.get("kernel_fallback", True)),
             serial_fallback=bool(deg.get("serial_fallback", True)),
         ),
+        retry_backoff=float(data.get("retry_backoff", 0.0)),
+        retry_backoff_factor=float(data.get("retry_backoff_factor", 2.0)),
+        retry_backoff_max=float(data.get("retry_backoff_max", 1.0)),
     )
 
 
@@ -205,12 +212,19 @@ class SketchPlan:
         Executor parallelism and task-partitioning strategy.
     driver:
         Execution driver: ``"auto"`` (runtime picks serial vs engine
-        from the plan), ``"serial"`` (single-pass blocked loop), or
-        ``"engine"`` (the resilient block executor, any thread count).
+        from the plan), ``"serial"`` (single-pass blocked loop),
+        ``"engine"`` (the resilient block executor, any thread count),
+        or ``"process"`` (the supervised multi-process pool of
+        :mod:`repro.parallel.procpool`).
     resilience:
         Fault-handling policy, or ``None`` for the fast path.
     persistence:
         Durable-checkpoint policy (see :class:`PersistencePolicy`).
+    pool:
+        Worker-fleet supervision policy for the ``process`` driver
+        (see :class:`~repro.parallel.procpool.WorkerPoolConfig`);
+        ``None`` everywhere else (a default config is synthesized when
+        the driver is ``"process"``).
     decisions:
         Why each choice was made; rendered by :meth:`explain`.
     """
@@ -226,6 +240,7 @@ class SketchPlan:
     driver: str = "auto"
     resilience: ResilienceConfig | None = None
     persistence: PersistencePolicy = field(default_factory=PersistencePolicy)
+    pool: WorkerPoolConfig | None = None
     decisions: tuple = ()
 
     def __post_init__(self) -> None:
@@ -244,6 +259,14 @@ class SketchPlan:
                 f"resilience must be a ResilienceConfig or None, got "
                 f"{type(self.resilience).__name__}"
             )
+        if self.pool is not None and \
+                not isinstance(self.pool, WorkerPoolConfig):
+            raise ConfigError(
+                f"pool must be a WorkerPoolConfig or None, got "
+                f"{type(self.pool).__name__}"
+            )
+        if self.driver == "process" and self.pool is None:
+            object.__setattr__(self, "pool", WorkerPoolConfig())
         object.__setattr__(self, "decisions", tuple(self.decisions))
 
     # -- execution hooks -----------------------------------------------------
@@ -283,6 +306,7 @@ class SketchPlan:
             "driver": self.driver,
             "resilience": resilience_to_dict(self.resilience),
             "persistence": self.persistence.to_dict(),
+            "pool": (None if self.pool is None else self.pool.to_dict()),
             "decisions": [d.to_dict() for d in self.decisions],
         }
 
@@ -307,6 +331,8 @@ class SketchPlan:
             resilience=resilience_from_dict(data.get("resilience")),
             persistence=PersistencePolicy.from_dict(
                 data.get("persistence", {})),
+            pool=(None if data.get("pool") is None
+                  else WorkerPoolConfig.from_dict(data["pool"])),
             decisions=tuple(PlanDecision.from_dict(d)
                             for d in data.get("decisions", ())),
         )
@@ -360,6 +386,12 @@ class SketchPlan:
                f"keep={self.persistence.keep}, "
                f"resume={self.persistence.resume}"),
         ]
+        if self.pool is not None:
+            lines.append(
+                f"  pool        : workers={self.pool.workers}, "
+                f"heartbeat={self.pool.heartbeat_timeout:g}s, "
+                f"max_requeues={self.pool.max_requeues}, "
+                f"max_respawns={self.pool.max_respawns}")
         if self.decisions:
             lines.append("decisions:")
             for dec in self.decisions:
