@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -58,6 +58,14 @@ procpool-smoke:
 	timeout 300 python -m pytest tests/parallel/test_procpool.py -q
 	timeout 120 python -m repro sketch --random 200 60 0.05 \
 	  --driver process --workers 2 --worker-heartbeat 10
+
+# Artifact-cache leg: the cache test suite, then a warm-vs-cold gate run
+# proving a second process pays zero autotune probes and zero blocked-CSR
+# conversions, beats the cold run by the speedup floor, and returns a
+# bit-identical sketch (compared against reports/BENCH_cache.json).
+cache-smoke:
+	python -m pytest tests/cache -q
+	timeout 600 python benchmarks/bench_cache_warm.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

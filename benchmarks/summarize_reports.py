@@ -12,6 +12,13 @@ Profile JSON files (written by ``repro sketch --profile-out`` or
 profile with the measured GFlop/s, sample fraction, and the
 attained-over-predicted roofline ratio.
 
+Metrics JSON files (``repro sketch --metrics-out run.json``) dropped in
+as ``METRICS_*.json`` contribute a runtime-health section: the bus's
+``dropped_events`` tally (a silently broken observer pipeline should not
+hide in a scorecard that says everything held) and the artifact-cache
+hit/miss/eviction counters.  The warm-cache gate baseline
+(``BENCH_cache.json``) is summarized the same way.
+
 Run after a bench sweep:
     pytest benchmarks/ --benchmark-only
     python benchmarks/summarize_reports.py
@@ -56,6 +63,67 @@ def _profile_line(path: Path) -> str:
         return f"!! {path.stem}: unreadable profile ({exc})"
 
 
+def _metric_total(payload: dict, name: str) -> float | None:
+    """Sum one family's samples from a MetricsRegistry JSON snapshot.
+
+    Family names are stored namespace-prefixed (``repro_cache_hits_total``)
+    so matching is by suffix; ``None`` distinguishes "family absent" from
+    a genuine zero.
+    """
+    for family in payload.get("metrics", []):
+        fname = family.get("name", "")
+        if fname == name or fname.endswith(f"_{name}"):
+            return float(sum(s.get("value", 0.0)
+                             for s in family.get("samples", [])))
+    return None
+
+
+def _metrics_line(path: Path) -> str:
+    """One runtime-health line for a METRICS_*.json file (best-effort)."""
+    try:
+        payload = json.loads(path.read_text())
+        dropped = _metric_total(payload, "dropped_events") or 0.0
+        parts = [f"dropped_events={int(dropped)}"
+                 + ("  <-- observer pipeline broke" if dropped else "")]
+        cache_bits = []
+        for counter, label in (("cache_hits_total", "hits"),
+                               ("cache_misses_total", "misses"),
+                               ("cache_evictions_total", "evictions")):
+            total = _metric_total(payload, counter)
+            if total is not None:
+                cache_bits.append(f"{label}={int(total)}")
+        if cache_bits:
+            parts.append("cache " + "/".join(cache_bits))
+        flag = "!!" if dropped else "  "
+        return f"{flag} {path.stem}: " + "  ".join(parts)
+    except Exception as exc:  # noqa: BLE001 - scorecard is best-effort
+        return f"!! {path.stem}: unreadable metrics ({exc})"
+
+
+def _cache_gate_lines() -> list[str]:
+    """Summarize the committed warm-cache baseline, if present."""
+    path = REPORTS / "BENCH_cache.json"
+    if not path.exists():
+        return []
+    try:
+        p = json.loads(path.read_text())
+        clean = (p.get("warm_tune_misses") == 0
+                 and p.get("warm_blocked_misses") == 0
+                 and p.get("sketch_identical", False))
+        flag = "  " if clean else "!!"
+        return [
+            "",
+            "artifact cache (warm-vs-cold gate baseline):",
+            f"{flag} cold {p['cold_seconds']:.3f}s -> warm "
+            f"{p['warm_seconds']:.3f}s ({p['warm_speedup']:.2f}x)  "
+            f"warm misses: tune={p.get('warm_tune_misses', '?')} "
+            f"blocked_csr={p.get('warm_blocked_misses', '?')}  "
+            f"bit-identical={'yes' if p.get('sketch_identical') else 'NO'}",
+        ]
+    except Exception as exc:  # noqa: BLE001
+        return ["", f"!! BENCH_cache.json: unreadable ({exc})"]
+
+
 def summarize() -> str:
     files = sorted(REPORTS.glob("*.txt"))
     files = [f for f in files if f.name != "SUMMARY.txt"]
@@ -94,6 +162,13 @@ def summarize() -> str:
         lines.append(f"roofline profiles ({len(profiles)}):")
         for p in profiles:
             lines.append(_profile_line(p))
+    metrics = sorted(REPORTS.glob("METRICS_*.json"))
+    if metrics:
+        lines.append("")
+        lines.append(f"runtime health ({len(metrics)}):")
+        for m_path in metrics:
+            lines.append(_metrics_line(m_path))
+    lines.extend(_cache_gate_lines())
     if total_warn:
         lines.append("")
         lines.append("warnings (expected deviations are documented in "

@@ -25,11 +25,13 @@ Subpackages
 ``repro.parallel`` thread-pool executor, resilience policies, scaling model
 ``repro.faults``   deterministic fault-injection plans for robustness tests
 ``repro.plan``     SketchPlan / Planner / Runtime plan-compile-execute layer
+``repro.cache``    content-addressed artifact cache for repeated-A sketching
 ``repro.core``     public sketch API and distortion diagnostics
 ``repro.lsq``      LSQR, preconditioners, SAP, direct sparse QR
 ``repro.workloads`` surrogate suites for the paper's test matrices
 """
 
+from .cache import ArtifactCache, CachePolicy
 from .core import (
     SketchConfig,
     SketchOperator,
@@ -93,6 +95,8 @@ from .sparse import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
+    "CachePolicy",
     "SketchConfig",
     "SketchOperator",
     "SketchResult",

@@ -1,0 +1,245 @@
+"""Typed artifact classes over the raw :class:`~repro.cache.ArtifactCache`.
+
+Three artifact classes are cached, each with its own key recipe:
+
+``tune``
+    :class:`~repro.kernels.TuneResult` records from
+    :func:`~repro.kernels.autotune_blocking` /
+    :func:`~repro.kernels.autotune_kernel`.  Keyed by the **pattern**
+    fingerprint (tuning depends on structure, not values), the machine
+    profile, the backend, and every tuning parameter including the
+    recorded ``tuning_seed``.
+``kernel_choice``
+    :class:`~repro.kernels.KernelChoice` records from
+    :func:`~repro.kernels.choose_kernel` (the column-concentration scan
+    is O(nnz + n log n) — worth skipping on repeat traffic).
+``blocked_csr``
+    The blocked-CSR conversion of ``A`` itself.  Keyed by the **full
+    matrix** fingerprint (values included): serving another matrix's
+    blocks would be a wrong answer, the one failure a cache may not
+    have.  Stored as four ``.npy`` payloads (block starts, stacked
+    per-block indptr, concatenated indices/data) so workers can rebuild
+    every block as zero-copy views.
+``jit_warmup``
+    Markers recording that a (kernel, backend, machine) combination has
+    been JIT-warmed, with the measured compile seconds — so
+    ``jit_compile_seconds`` is paid once per machine, not per run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..persist.snapshot import _array_to_npy_bytes, _npy_bytes_to_array
+from ..sparse.blocked_csr import BlockedCSR
+from ..sparse.csr import CSRMatrix
+from .keys import cache_key, machine_fingerprint, matrix_fingerprint, \
+    pattern_fingerprint
+from .store import ArtifactCache, CacheEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernels.autotune import TuneResult
+    from ..kernels.dispatch import KernelChoice
+    from ..model.machine import MachineModel
+    from ..sparse.csc import CSCMatrix
+
+__all__ = [
+    "TUNE_ARTIFACT", "CHOICE_ARTIFACT", "BLOCKED_ARTIFACT", "JIT_ARTIFACT",
+    "tune_key", "fetch_tune_result", "store_tune_result",
+    "kernel_choice_key", "fetch_kernel_choice", "store_kernel_choice",
+    "blocked_csr_key", "fetch_blocked_csr", "store_blocked_csr",
+    "jit_warmup_key", "fetch_jit_marker", "store_jit_marker",
+]
+
+TUNE_ARTIFACT = "tune"
+CHOICE_ARTIFACT = "kernel_choice"
+BLOCKED_ARTIFACT = "blocked_csr"
+JIT_ARTIFACT = "jit_warmup"
+
+
+# -- autotune results --------------------------------------------------------
+
+
+def tune_key(A: "CSCMatrix", *, kernel: str, d: int, backend: str,
+             max_tuning_cols: int, repeats: int, tuning_seed: int,
+             machine: "MachineModel | None" = None,
+             candidates=None) -> str:
+    """Cache key for one autotune invocation (``kernel="race"`` for the
+    algo3-vs-algo4 race of :func:`~repro.kernels.autotune_kernel`)."""
+    return cache_key(TUNE_ARTIFACT, {
+        "pattern": pattern_fingerprint(A),
+        "machine": machine_fingerprint(machine),
+        "backend": str(backend),
+        "kernel": str(kernel),
+        "d": int(d),
+        "max_tuning_cols": int(max_tuning_cols),
+        "repeats": int(repeats),
+        "tuning_seed": int(tuning_seed),
+        "candidates": (None if candidates is None else
+                       [[int(bd), int(bn)] for bd, bn in candidates]),
+    })
+
+
+def fetch_tune_result(cache: ArtifactCache, key: str) -> "TuneResult | None":
+    from ..kernels.autotune import TuneResult
+
+    def _load(entry: CacheEntry) -> "TuneResult":
+        return TuneResult.from_json(
+            entry.payloads["tune.json"].decode("utf-8"))
+
+    return cache.fetch(TUNE_ARTIFACT, key, _load)
+
+
+def store_tune_result(cache: ArtifactCache, key: str,
+                      result: "TuneResult") -> None:
+    cache.insert(TUNE_ARTIFACT, key,
+                 meta={"kernel": result.kernel, "backend": result.backend},
+                 payloads={"tune.json": result.to_json().encode("utf-8")},
+                 obj=result)
+
+
+# -- kernel choices ----------------------------------------------------------
+
+
+def kernel_choice_key(A: "CSCMatrix", *, backend: str,
+                      concentration_threshold: float,
+                      machine: "MachineModel | None" = None) -> str:
+    return cache_key(CHOICE_ARTIFACT, {
+        "pattern": pattern_fingerprint(A),
+        "machine": machine_fingerprint(machine),
+        "backend": str(backend),
+        "concentration_threshold": float(concentration_threshold),
+    })
+
+
+def fetch_kernel_choice(cache: ArtifactCache,
+                        key: str) -> "KernelChoice | None":
+    from ..kernels.dispatch import KernelChoice
+
+    def _load(entry: CacheEntry) -> "KernelChoice":
+        return KernelChoice.from_json(
+            entry.payloads["choice.json"].decode("utf-8"))
+
+    return cache.fetch(CHOICE_ARTIFACT, key, _load)
+
+
+def store_kernel_choice(cache: ArtifactCache, key: str,
+                        choice: "KernelChoice") -> None:
+    cache.insert(CHOICE_ARTIFACT, key,
+                 meta={"kernel": choice.kernel, "backend": choice.backend},
+                 payloads={"choice.json": choice.to_json().encode("utf-8")},
+                 obj=choice)
+
+
+# -- the blocked-CSR conversion ----------------------------------------------
+
+
+def blocked_csr_key(A: "CSCMatrix", b_n: int) -> str:
+    """Key for ``A``'s width-``b_n`` blocked-CSR conversion (values pinned)."""
+    return cache_key(BLOCKED_ARTIFACT, {
+        "matrix": matrix_fingerprint(A),
+        "b_n": int(b_n),
+    })
+
+
+def store_blocked_csr(cache: ArtifactCache, key: str, blocked: BlockedCSR,
+                      *, b_n: int) -> None:
+    """Serialize *blocked* into four npy payloads (one checksum each)."""
+    m, n = blocked.shape
+    indptr = np.stack([blk.indptr for blk in blocked.blocks]) \
+        if blocked.n_blocks else np.zeros((0, m + 1), dtype=np.int64)
+    indices = np.concatenate([blk.indices for blk in blocked.blocks]) \
+        if blocked.n_blocks else np.zeros(0, dtype=np.int64)
+    data = np.concatenate([blk.data for blk in blocked.blocks]) \
+        if blocked.n_blocks else np.zeros(0, dtype=np.float64)
+    cache.insert(
+        BLOCKED_ARTIFACT, key,
+        meta={"m": int(m), "n": int(n), "b_n": int(b_n),
+              "n_blocks": int(blocked.n_blocks), "nnz": int(blocked.nnz)},
+        payloads={
+            "block_starts.npy": _array_to_npy_bytes(blocked.block_starts),
+            "indptr.npy": _array_to_npy_bytes(indptr),
+            "indices.npy": _array_to_npy_bytes(indices),
+            "data.npy": _array_to_npy_bytes(data),
+        },
+        obj=blocked,
+    )
+
+
+def blocked_csr_from_arrays(shape: tuple[int, int], block_starts: np.ndarray,
+                            indptr: np.ndarray, indices: np.ndarray,
+                            data: np.ndarray) -> BlockedCSR:
+    """Rebuild a :class:`BlockedCSR` from its flat serialized arrays.
+
+    Blocks are zero-copy views into *indices*/*data*, so the same
+    routine reconstructs entries loaded from disk **and** blocks mapped
+    from shared memory in pool workers (no per-worker reconversion).
+    """
+    m, n = int(shape[0]), int(shape[1])
+    block_starts = np.asarray(block_starts, dtype=np.int64)
+    blocks = []
+    offset = 0
+    for b in range(block_starts.size - 1):
+        width = int(block_starts[b + 1] - block_starts[b])
+        ip = indptr[b]
+        nnz_b = int(ip[-1])
+        blocks.append(CSRMatrix((m, width), ip,
+                                indices[offset:offset + nnz_b],
+                                data[offset:offset + nnz_b], check=False))
+        offset += nnz_b
+    return BlockedCSR((m, n), block_starts, blocks, check=False)
+
+
+def fetch_blocked_csr(cache: ArtifactCache, key: str,
+                      expected_shape: tuple[int, int]) -> BlockedCSR | None:
+    """Load a cached conversion; shape drift is treated as corruption."""
+
+    def _load(entry: CacheEntry) -> BlockedCSR:
+        meta = entry.meta
+        shape = (int(meta["m"]), int(meta["n"]))
+        if shape != tuple(expected_shape):
+            raise ValueError(
+                f"cached blocked CSR has shape {shape}, expected "
+                f"{tuple(expected_shape)}"
+            )
+        block_starts = _npy_bytes_to_array(entry.payloads["block_starts.npy"])
+        indptr = _npy_bytes_to_array(entry.payloads["indptr.npy"])
+        indices = _npy_bytes_to_array(entry.payloads["indices.npy"])
+        data = _npy_bytes_to_array(entry.payloads["data.npy"])
+        blocked = blocked_csr_from_arrays(shape, block_starts, indptr,
+                                          indices, data)
+        if blocked.n_blocks != int(meta["n_blocks"]) or \
+                blocked.nnz != int(meta["nnz"]):
+            raise ValueError("cached blocked CSR does not match its manifest")
+        return blocked
+
+    return cache.fetch(BLOCKED_ARTIFACT, key, _load)
+
+
+# -- JIT warm-up markers -----------------------------------------------------
+
+
+def jit_warmup_key(*, kernel: str, backend: str, rng_kind: str,
+                   machine: "MachineModel | None" = None) -> str:
+    return cache_key(JIT_ARTIFACT, {
+        "machine": machine_fingerprint(machine),
+        "backend": str(backend),
+        "kernel": str(kernel),
+        "rng_kind": str(rng_kind),
+    })
+
+
+def fetch_jit_marker(cache: ArtifactCache, key: str) -> dict | None:
+    def _load(entry: CacheEntry) -> dict:
+        return dict(entry.meta)
+
+    return cache.fetch(JIT_ARTIFACT, key, _load)
+
+
+def store_jit_marker(cache: ArtifactCache, key: str, *, kernel: str,
+                     backend: str, jit_compile_seconds: float) -> None:
+    meta = {"kernel": str(kernel), "backend": str(backend),
+            "jit_compile_seconds": float(jit_compile_seconds)}
+    cache.insert(JIT_ARTIFACT, key, meta=meta, payloads={}, obj=meta)

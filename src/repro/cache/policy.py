@@ -1,0 +1,100 @@
+"""The cache policy: one home for the artifact-cache knobs.
+
+A :class:`CachePolicy` is the sibling of
+:class:`~repro.plan.PersistencePolicy`: a small frozen record validating
+the cache configuration once (directory, size budget, readonly mode) so
+``sketch()``, the :class:`~repro.plan.Planner`, the
+:class:`~repro.plan.Runtime`, and the CLI all consume the same object
+instead of re-threading three loose kwargs.
+
+Unlike the persistence policy it is deliberately **not** serialized onto
+the :class:`~repro.plan.SketchPlan`: caching is an execution-environment
+concern — outputs are bit-identical with the cache on, off, hit, or
+cold — so a plan's JSON record and digest must not change when a cache
+directory appears on one host and not another.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..utils.validation import check_positive_int
+
+__all__ = ["CACHE_DIR_ENV_VAR", "DEFAULT_MAX_BYTES", "CachePolicy"]
+
+#: Environment variable consulted by :meth:`CachePolicy.from_env` when no
+#: explicit cache directory is configured.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default on-disk budget before LRU eviction kicks in (256 MiB).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Artifact-cache policy consumed by :class:`~repro.cache.ArtifactCache`.
+
+    Attributes
+    ----------
+    cache_dir:
+        Directory holding the content-addressed entries; ``None``
+        disables the cache entirely (every lookup is a structural miss
+        and nothing is written).
+    max_bytes:
+        On-disk budget.  After every store the least-recently-used
+        entries are evicted until the total payload size fits.
+    readonly:
+        Serve hits from an existing cache but never write, evict, or
+        repair it — for shared read-only caches (CI images, network
+        mounts) where many processes hit one warmed directory.
+    """
+
+    cache_dir: str | None = None
+    max_bytes: int = DEFAULT_MAX_BYTES
+    readonly: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_bytes, "max_bytes")
+        if self.readonly and self.cache_dir is None:
+            raise ConfigError("readonly=True requires a cache directory")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this policy caches anything at all."""
+        return self.cache_dir is not None
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "CachePolicy":
+        """The no-cache policy."""
+        return cls()
+
+    @classmethod
+    def from_env(cls, *, max_bytes: int = DEFAULT_MAX_BYTES,
+                 readonly: bool = False) -> "CachePolicy":
+        """A policy from :data:`CACHE_DIR_ENV_VAR` (disabled when unset)."""
+        directory = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+        if not directory:
+            return cls.disabled()
+        return cls(cache_dir=directory, max_bytes=max_bytes,
+                   readonly=readonly)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "cache_dir": self.cache_dir,
+            "max_bytes": int(self.max_bytes),
+            "readonly": bool(self.readonly),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CachePolicy":
+        return cls(
+            cache_dir=data.get("cache_dir"),
+            max_bytes=int(data.get("max_bytes", DEFAULT_MAX_BYTES)),
+            readonly=bool(data.get("readonly", False)),
+        )

@@ -10,7 +10,9 @@ be exercised without writing Python:
 * ``lsq``    — solve a least-squares problem with SAP / LSQR-D / direct QR
   and report time, iterations, error, and workspace;
 * ``svd``    — randomized low-rank SVD via the sketching kernels;
-* ``suite``  — list the paper's surrogate test suites at the active scale.
+* ``suite``  — list the paper's surrogate test suites at the active scale;
+* ``cache``  — inspect, clear, or verify the content-addressed artifact
+  cache used by repeated runs over the same matrix.
 
 Every command prints a plain-text report to stdout; machine-readable
 output (``--json``) covers scripting uses.
@@ -136,6 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="with --verify: replay every tile, not a "
                                 "sample")
 
+    g_cache = sk.add_argument_group(
+        "cache", "content-addressed artifact cache for repeated runs "
+        "over the same matrix (plans, autotune results, blocked-CSR "
+        "conversion, JIT warm-up)")
+    g_cache.add_argument("--cache-dir", default=None,
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "when set, else caching is off)")
+    g_cache.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache even when "
+                              "$REPRO_CACHE_DIR is set")
+
     g_plan = sk.add_argument_group(
         "plan", "inspect the compiled SketchPlan")
     g_plan.add_argument("--explain", action="store_true",
@@ -179,6 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     svd.add_argument("--power-iters", type=int, default=1)
     svd.add_argument("--seed", type=int, default=0)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the artifact cache")
+    cache.add_argument("action", choices=["stats", "clear", "verify"],
+                       help="stats: entry/byte counts per artifact class; "
+                            "clear: delete every entry; verify: checksum "
+                            "every entry, quarantining corrupt ones")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR)")
+
     sub.add_parser("suite", help="list the surrogate experiment suites")
     return p
 
@@ -218,6 +240,23 @@ def _cmd_probe(args) -> dict:
             "recommended_kernel": choice.kernel,
         })
     return out
+
+
+def _cache_policy_from_args(args):
+    """Resolve the artifact-cache policy for this invocation.
+
+    Explicit ``--cache-dir`` wins; otherwise ``$REPRO_CACHE_DIR`` is
+    consulted; ``--no-cache`` (or neither source) disables caching.
+    Returns ``None`` when disabled so callers pay nothing.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    from .cache import CachePolicy
+
+    if getattr(args, "cache_dir", None):
+        return CachePolicy(cache_dir=args.cache_dir)
+    policy = CachePolicy.from_env()
+    return policy if policy.enabled else None
 
 
 def _resilience_from_args(args):
@@ -277,8 +316,22 @@ def _cmd_sketch(args) -> dict:
             heartbeat_timeout=(args.worker_heartbeat
                                if args.worker_heartbeat is not None else 30.0),
         )
+    want_profile = args.profile or args.profile_out is not None
+    observer = None
+    runtime = Runtime()
+    if args.metrics_out or args.trace_out or want_profile:
+        from .obs import RunObserver
+
+        observer = RunObserver(trace=args.trace_out is not None)
+        observer.attach(runtime.bus)
+    cache = None
+    cache_policy = _cache_policy_from_args(args)
+    if cache_policy is not None:
+        from .cache import ArtifactCache
+
+        cache = ArtifactCache(cache_policy, bus=runtime.bus)
     plan = Planner().compile(A, cfg, persistence=pol, driver=args.driver,
-                             pool=pool)
+                             pool=pool, cache=cache)
     if args.plan_json:
         plan.to_json(args.plan_json)
     if args.explain:
@@ -291,15 +344,7 @@ def _cmd_sketch(args) -> dict:
         if args.plan_json:
             out["plan_json"] = args.plan_json
         return out
-    want_profile = args.profile or args.profile_out is not None
-    observer = None
-    runtime = Runtime()
-    if args.metrics_out or args.trace_out or want_profile:
-        from .obs import RunObserver
-
-        observer = RunObserver(trace=args.trace_out is not None)
-        observer.attach(runtime.bus)
-    result = runtime.run(plan, A)
+    result = runtime.run(plan, A, cache=cache)
     if args.output:
         np.save(args.output, result.sketch)
     st = result.stats
@@ -322,6 +367,19 @@ def _cmd_sketch(args) -> dict:
         resumed = st.extra.get("resumed_from")
         if resumed:
             out["resumed_from"] = str(resumed)
+    if cache is not None:
+        # Whole-invocation counters (compile-time autotune/kernel-choice
+        # lookups happen before Runtime.run, so read the cache itself
+        # rather than the per-run deltas in stats.extra).
+        out["cache"] = {
+            "dir": str(cache.root),
+            "hits": cache.hit_total(),
+            "misses": cache.miss_total(),
+            "evictions": cache.eviction_total(),
+        }
+        source = st.extra.get("blocked_csr_source")
+        if source is not None:
+            out["cache"]["blocked_csr_source"] = source
     if st.health is not None:
         out["health"] = st.health.as_dict() if args.json else st.health.summary()
     dropped = runtime.bus.dropped_total()
@@ -424,6 +482,35 @@ def _cmd_suite(args) -> dict:
     return out
 
 
+def _cmd_cache(args) -> dict:
+    """``repro cache {stats,clear,verify}`` maintenance subcommand."""
+    from .cache import ArtifactCache, CachePolicy
+
+    if args.cache_dir:
+        policy = CachePolicy(cache_dir=args.cache_dir)
+    else:
+        policy = CachePolicy.from_env()
+        if not policy.enabled:
+            from .errors import ConfigError
+
+            raise ConfigError(
+                "no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR")
+    cache = ArtifactCache(policy)
+    if args.action == "stats":
+        out = cache.stats()
+        # Counters are per-process and this process did no lookups;
+        # the on-disk inventory is the useful part here.
+        for transient in ("hits", "misses", "evictions"):
+            out.pop(transient, None)
+        return {"action": "stats", **out}
+    if args.action == "clear":
+        removed = cache.clear()
+        return {"action": "clear", "cache_dir": str(cache.root),
+                "removed_entries": removed}
+    report = cache.verify()
+    return {"action": "verify", "cache_dir": str(cache.root), **report}
+
+
 def _render(command: str, payload: dict) -> str:
     if command == "sketch" and "explain" in payload:
         lines = [payload["explain"]]
@@ -459,6 +546,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lsq": _cmd_lsq,
         "svd": _cmd_svd,
         "suite": _cmd_suite,
+        "cache": _cmd_cache,
     }
     try:
         payload = handlers[args.command](args)

@@ -114,19 +114,24 @@ class SketchOperator:
         return b_d, b_n
 
     def plan(self, A: CSCMatrix, *,
-             persistence: PersistencePolicy | None = None):
+             persistence: PersistencePolicy | None = None,
+             cache=None):
         """Compile the :class:`~repro.plan.SketchPlan` :meth:`apply` runs.
 
         Exposed so callers can inspect ``plan.explain()``, serialize the
         plan, or hand it to a :class:`~repro.plan.Runtime` themselves.
+        *cache* (an :class:`~repro.cache.ArtifactCache` or
+        :class:`~repro.cache.CachePolicy`) memoizes the planner's
+        pattern scan and autotune trials.
         """
         from ..plan.planner import Planner
 
         return Planner(self.machine).compile(
-            A, self.config, d=self.d, persistence=persistence)
+            A, self.config, d=self.d, persistence=persistence, cache=cache)
 
     def apply(self, A: CSCMatrix, *,
               persistence: PersistencePolicy | None = None,
+              cache=None,
               checkpoint_dir=None,
               checkpoint_every: int = 1,
               resume: bool = False) -> SketchResult:
@@ -145,6 +150,13 @@ class SketchOperator:
         barriers.  The ``checkpoint_dir``/``checkpoint_every``/
         ``resume`` kwargs are the deprecated spelling of the same
         policy.
+
+        With a *cache* (:class:`~repro.cache.ArtifactCache` or
+        :class:`~repro.cache.CachePolicy`), planning decisions, the
+        Algorithm 4 blocked-CSR conversion, and JIT warm-up costs are
+        reused across runs over the same ``A`` — the "fixed A, many
+        sketches" hot path.  Outputs are bit-identical with or without
+        the cache.
         """
         from ..plan.runtime import Runtime
 
@@ -156,8 +168,14 @@ class SketchOperator:
         pol = _persistence_from_kwargs(
             "SketchOperator.apply", persistence, checkpoint_dir,
             checkpoint_every, resume)
-        plan = self.plan(A, persistence=pol)
-        return Runtime().run(plan, A)
+        if cache is not None:
+            from ..cache.store import ArtifactCache
+
+            # One shared instance across plan + run, so hit/miss
+            # accounting and the in-memory memo accumulate in one place.
+            cache = ArtifactCache.ensure(cache)
+        plan = self.plan(A, persistence=pol, cache=cache)
+        return Runtime().run(plan, A, cache=cache)
 
     def apply_dense(self, X: np.ndarray) -> np.ndarray:
         """Compute ``S @ X`` for dense ``X`` (vector or matrix).
@@ -203,6 +221,7 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
            quality_threshold: float | None = None,
            max_resketch: int = 1,
            persistence: PersistencePolicy | None = None,
+           cache=None,
            checkpoint_dir=None,
            checkpoint_every: int = 1,
            resume: bool = False) -> SketchResult:
@@ -249,6 +268,12 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
         :mod:`repro.persist` and :meth:`SketchOperator.apply`).
         Incompatible with *quality_check*, whose automatic re-sketching
         changes ``d`` mid-run and would orphan the snapshots.
+    cache:
+        An :class:`~repro.cache.ArtifactCache` or
+        :class:`~repro.cache.CachePolicy`: reuse planning decisions,
+        autotune results, the blocked-CSR conversion, and JIT warm-up
+        across repeated sketches of the same matrix.  Bit-identical
+        outputs either way.
     checkpoint_dir, checkpoint_every, resume:
         Deprecated spelling of *persistence* (one
         ``DeprecationWarning`` per call; behaviour unchanged).
@@ -279,7 +304,7 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
         d_eff = cfg.sketch_size(A.shape[1])
     if not quality_check:
         op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
-        return op.apply(A, persistence=pol)
+        return op.apply(A, persistence=pol, cache=cache)
 
     from ..errors import SketchQualityError
     from .distortion import sketch_distortion  # local: avoids module cycle
@@ -291,7 +316,7 @@ def sketch(A: CSCMatrix, gamma: float | None = None, d: int | None = None,
     delta = threshold = float("nan")
     for round_no in range(max_resketch + 1):
         op = SketchOperator(d_eff, A.shape[0], config=cfg, machine=machine)
-        result = op.apply(A)
+        result = op.apply(A, cache=cache)
         gamma_eff = d_eff / n
         if quality_threshold is not None:
             threshold = float(quality_threshold)

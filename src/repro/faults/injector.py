@@ -273,6 +273,19 @@ class FaultInjector:
                                        (int(seq), int(block_index)),
                                        "snapshot", "persist", 1)]
 
+    def cache_faults(self, seq: int) -> list[str]:
+        """Storage-fault kinds to apply to the *seq*-th cache entry written.
+
+        Called by :class:`repro.cache.ArtifactCache` after an entry
+        directory is finalized — the same out-of-band damage model as
+        :meth:`snapshot_faults`, addressed by store order.  The task
+        coordinate is ``(seq, 0)``; kernel/scope filters use the pseudo
+        kernel ``"cache"`` and context ``"cache"``.
+        """
+        return [spec.kind
+                for spec in self._fire(("torn_write", "bitflip"),
+                                       (int(seq), 0), "cache", "cache", 1)]
+
     # -- inspection -------------------------------------------------------
 
     @property

@@ -12,20 +12,28 @@ dispatch for hosts that don't match either machine preset.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..errors import ConfigError
 from ..rng.base import SketchingRNG
 from ..sparse.csc import CSCMatrix
+from ..utils.canonical import canonical_json
 from ..utils.validation import check_positive_int
 from .backends import KernelBackend, KernelWorkspace, resolve_backend
 from .blocking import sketch_spmm
 
-__all__ = ["TuneResult", "autotune_blocking", "autotune_kernel"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.store import ArtifactCache
+
+__all__ = ["TUNE_RESULT_VERSION", "TuneResult", "autotune_blocking",
+           "autotune_kernel"]
+
+TUNE_RESULT_VERSION = 1
 
 
 @dataclass
@@ -35,7 +43,9 @@ class TuneResult:
     ``backend`` names the kernel backend the trials actually timed; a
     cached result is only valid for that backend (fused JIT loops shift
     the (b_d, b_n) cost balance, so numpy-tuned blockings must not be
-    applied to numba runs or vice versa).
+    applied to numba runs or vice versa).  ``tuning_seed`` is the RNG
+    seed the tuning column slice was derived from, so a cached result
+    names the exact subproblem it was measured on.
     """
 
     b_d: int
@@ -44,12 +54,51 @@ class TuneResult:
     seconds: float                       # winning trial time (subsampled)
     trials: list = field(default_factory=list)  # (kernel, b_d, b_n, seconds)
     backend: str = "numpy"
+    tuning_seed: int = 0
 
     def describe(self) -> str:
         """One-line summary of the winner."""
         return (f"{self.kernel} [{self.backend}] with "
                 f"(b_d={self.b_d}, b_n={self.b_n}): "
                 f"{self.seconds:.4f}s on the tuning slice")
+
+    # -- serialization (stable: the artifact cache stores this verbatim) ----
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TUNE_RESULT_VERSION,
+            "b_d": int(self.b_d), "b_n": int(self.b_n),
+            "kernel": self.kernel, "seconds": float(self.seconds),
+            "trials": [[k, int(bd), int(bn), float(s)]
+                       for k, bd, bn, s in self.trials],
+            "backend": self.backend,
+            "tuning_seed": int(self.tuning_seed),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, compact, stable float repr)."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuneResult":
+        version = int(data.get("version", TUNE_RESULT_VERSION))
+        if version > TUNE_RESULT_VERSION:
+            raise ConfigError(
+                f"TuneResult format version {version} is newer than this "
+                f"library understands (max {TUNE_RESULT_VERSION})"
+            )
+        return cls(
+            b_d=int(data["b_d"]), b_n=int(data["b_n"]),
+            kernel=str(data["kernel"]), seconds=float(data["seconds"]),
+            trials=[(str(k), int(bd), int(bn), float(s))
+                    for k, bd, bn, s in data.get("trials", [])],
+            backend=str(data.get("backend", "numpy")),
+            tuning_seed=int(data.get("tuning_seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuneResult":
+        return cls.from_dict(json.loads(text))
 
 
 def _candidate_grid(d: int, n: int, base: tuple[int, int]) -> list[tuple[int, int]]:
@@ -65,12 +114,20 @@ def _candidate_grid(d: int, n: int, base: tuple[int, int]) -> list[tuple[int, in
     return sorted(cands)
 
 
-def _tuning_slice(A: CSCMatrix, max_cols: int) -> CSCMatrix:
-    """A contiguous column slice keeping trials cheap but representative."""
+def _tuning_slice(A: CSCMatrix, max_cols: int, seed: int = 0) -> CSCMatrix:
+    """A contiguous column slice keeping trials cheap but representative.
+
+    The window start is drawn from a seeded generator (not a fixed
+    centre), so repeat tunings with the same *seed* measure the exact
+    same subproblem — the property that makes cached
+    :class:`TuneResult` records reproducible and auditable — while
+    different seeds sample different regions of a structured pattern.
+    """
     n = A.shape[1]
     if n <= max_cols:
         return A
-    start = (n - max_cols) // 2
+    rng = np.random.default_rng(int(seed))
+    start = int(rng.integers(0, n - max_cols + 1))
     return A.col_block(start, start + max_cols)
 
 
@@ -84,6 +141,8 @@ def autotune_blocking(
     max_tuning_cols: int = 256,
     repeats: int = 2,
     backend: "str | KernelBackend | None" = None,
+    tuning_seed: int = 0,
+    cache: "ArtifactCache | None" = None,
 ) -> TuneResult:
     """Measure a candidate grid of ``(b_d, b_n)`` and return the fastest.
 
@@ -96,21 +155,39 @@ def autotune_blocking(
         Explicit grid; default is a geometric neighbourhood around the
         model recommendation for this problem's density.
     max_tuning_cols:
-        Trials run on a centred column slice of at most this width.
+        Trials run on a seeded column slice of at most this width.
     backend:
         Kernel backend the trials time (name, instance, or
         ``None``/``"auto"`` for the environment default).  The backend is
         resolved once, warmed up *before* any trial (JIT compilation must
         not be charged to a candidate), and recorded on the result.
+    tuning_seed:
+        Seed for the column-slice placement; recorded on the result so a
+        cached tuning names the exact subproblem it measured.
+    cache:
+        Optional :class:`~repro.cache.ArtifactCache`; a prior result for
+        the same (pattern, machine, backend, tuning parameters) is
+        returned without running a single trial, and fresh results are
+        stored for the next caller.
     """
     d = check_positive_int(d, "d")
     repeats = check_positive_int(repeats, "repeats")
     if kernel not in ("algo3", "algo4"):
         raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
     be = resolve_backend(backend)
+    key = None
+    if cache is not None:
+        from ..cache.artifacts import fetch_tune_result, tune_key
+
+        key = tune_key(A, kernel=kernel, d=d, backend=be.name,
+                       max_tuning_cols=max_tuning_cols, repeats=repeats,
+                       tuning_seed=tuning_seed, candidates=candidates)
+        cached = fetch_tune_result(cache, key)
+        if cached is not None:
+            return cached
     be.warmup(rng_factory(), np.float64)
     workspace = KernelWorkspace()
-    slice_A = _tuning_slice(A, max_tuning_cols)
+    slice_A = _tuning_slice(A, max_tuning_cols, tuning_seed)
     n_slice = slice_A.shape[1]
 
     if candidates is None:
@@ -135,8 +212,14 @@ def autotune_blocking(
         trials.append((kernel, int(min(b_d, d)), int(min(b_n, n_slice)), best))
 
     kernel_name, b_d, b_n, secs = min(trials, key=lambda t: t[3])
-    return TuneResult(b_d=b_d, b_n=b_n, kernel=kernel_name, seconds=secs,
-                      trials=trials, backend=be.name)
+    result = TuneResult(b_d=b_d, b_n=b_n, kernel=kernel_name, seconds=secs,
+                        trials=trials, backend=be.name,
+                        tuning_seed=int(tuning_seed))
+    if cache is not None:
+        from ..cache.artifacts import store_tune_result
+
+        store_tune_result(cache, key, result)
+    return result
 
 
 def autotune_kernel(
@@ -147,6 +230,8 @@ def autotune_kernel(
     max_tuning_cols: int = 256,
     repeats: int = 2,
     backend: "str | KernelBackend | None" = None,
+    tuning_seed: int = 0,
+    cache: "ArtifactCache | None" = None,
 ) -> TuneResult:
     """Race Algorithm 3 vs Algorithm 4 (each at its tuned blocking).
 
@@ -155,13 +240,38 @@ def autotune_kernel(
     trials include its format-conversion cost, as Table IV would.  Both
     algorithms race on the same resolved *backend* (resolved once here so
     the comparison cannot straddle an environment change mid-race).
+
+    With a *cache*, a prior race for the same inputs returns without any
+    trials (the per-kernel legs cache their own entries too, so a race
+    can also partially reuse a single-kernel tuning).
     """
     be = resolve_backend(backend)
+    key = None
+    if cache is not None:
+        from ..cache.artifacts import fetch_tune_result, tune_key
+
+        key = tune_key(A, kernel="race", d=d, backend=be.name,
+                       max_tuning_cols=max_tuning_cols, repeats=repeats,
+                       tuning_seed=tuning_seed, candidates=None)
+        cached = fetch_tune_result(cache, key)
+        if cached is not None:
+            return cached
     results = [
         autotune_blocking(A, d, rng_factory, kernel=k, backend=be,
-                          max_tuning_cols=max_tuning_cols, repeats=repeats)
+                          max_tuning_cols=max_tuning_cols, repeats=repeats,
+                          tuning_seed=tuning_seed, cache=cache)
         for k in ("algo3", "algo4")
     ]
-    winner = min(results, key=lambda r: r.seconds)
-    winner.trials = [t for r in results for t in r.trials]
+    best = min(results, key=lambda r: r.seconds)
+    # Fresh record (never mutate `best`: the per-kernel legs may have
+    # memoized that exact object in the cache).
+    winner = TuneResult(
+        b_d=best.b_d, b_n=best.b_n, kernel=best.kernel, seconds=best.seconds,
+        trials=[t for r in results for t in r.trials],
+        backend=best.backend, tuning_seed=best.tuning_seed,
+    )
+    if cache is not None:
+        from ..cache.artifacts import store_tune_result
+
+        store_tune_result(cache, key, winner)
     return winner

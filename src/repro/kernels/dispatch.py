@@ -15,6 +15,7 @@ sparsity pattern does not have Abnormal_C-style column concentration.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -22,11 +23,15 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..sparse.csc import CSCMatrix
+from ..utils.canonical import canonical_json
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..model.machine import MachineModel
 
-__all__ = ["KernelChoice", "column_concentration", "choose_kernel"]
+__all__ = ["KERNEL_CHOICE_VERSION", "KernelChoice", "column_concentration",
+           "choose_kernel"]
+
+KERNEL_CHOICE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -44,6 +49,42 @@ class KernelChoice:
     column_concentration: float
     machine_favors_reuse: bool
     backend: str = "numpy"
+
+    # -- serialization (stable: the artifact cache stores this verbatim) ----
+
+    def to_dict(self) -> dict:
+        return {
+            "version": KERNEL_CHOICE_VERSION,
+            "kernel": self.kernel,
+            "reason": self.reason,
+            "column_concentration": float(self.column_concentration),
+            "machine_favors_reuse": bool(self.machine_favors_reuse),
+            "backend": self.backend,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, compact, stable float repr)."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelChoice":
+        version = int(data.get("version", KERNEL_CHOICE_VERSION))
+        if version > KERNEL_CHOICE_VERSION:
+            raise ConfigError(
+                f"KernelChoice format version {version} is newer than this "
+                f"library understands (max {KERNEL_CHOICE_VERSION})"
+            )
+        return cls(
+            kernel=str(data["kernel"]),
+            reason=str(data.get("reason", "")),
+            column_concentration=float(data["column_concentration"]),
+            machine_favors_reuse=bool(data["machine_favors_reuse"]),
+            backend=str(data.get("backend", "numpy")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "KernelChoice":
+        return cls.from_dict(json.loads(text))
 
 
 def column_concentration(A: CSCMatrix, top_fraction: float = 0.01) -> float:

@@ -49,6 +49,9 @@ metric                          type      labels
 ``pool_workers_lost_total``     counter   ``reason`` (crashed/hung/shutdown)
 ``pool_respawns_total``         counter   —
 ``pool_requeues_total``         counter   ``reason``
+``cache_hits_total``            counter   ``artifact``, ``source`` (memory/disk)
+``cache_misses_total``          counter   ``artifact``, ``reason`` (absent/corrupt)
+``cache_evictions_total``       counter   ``artifact``
 ``dropped_events``              gauge     ``event`` (synced at export time)
 =============================== ========= ==========================================
 """
@@ -63,6 +66,9 @@ from ..model.machine import MachineModel
 from ..plan.events import (
     BLOCK_DONE,
     BLOCK_START,
+    CACHE_EVICTED,
+    CACHE_HIT,
+    CACHE_MISS,
     CHECKPOINT_WRITTEN,
     DEGRADED,
     DONE,
@@ -173,6 +179,18 @@ class RunObserver:
             "pool_requeues_total",
             "Tasks requeued after a worker loss or failed commit.",
             ("reason",))
+        self._m_cache_hits = r.counter(
+            "cache_hits_total",
+            "Artifact-cache lookups served from memory or verified disk.",
+            ("artifact", "source"))
+        self._m_cache_misses = r.counter(
+            "cache_misses_total",
+            "Artifact-cache lookups that fell through to recompute.",
+            ("artifact", "reason"))
+        self._m_cache_evictions = r.counter(
+            "cache_evictions_total",
+            "Artifact-cache entries dropped by the LRU sweep.",
+            ("artifact",))
         self._m_dropped = r.gauge(
             "dropped_events", "Observer exceptions swallowed by the bus.",
             ("event",))
@@ -194,6 +212,9 @@ class RunObserver:
             (WORKER_SPAWNED, self._on_worker_spawned),
             (WORKER_LOST, self._on_worker_lost),
             (TASK_REQUEUED, self._on_task_requeued),
+            (CACHE_HIT, self._on_cache_hit),
+            (CACHE_MISS, self._on_cache_miss),
+            (CACHE_EVICTED, self._on_cache_evicted),
             (DONE, self._on_done),
         ]
         for name, handler in handlers:
@@ -270,6 +291,20 @@ class RunObserver:
 
     def _on_task_requeued(self, event) -> None:
         self._m_pool_requeues.inc(reason=str(event.get("reason", "unknown")))
+
+    def _on_cache_hit(self, event) -> None:
+        self._m_cache_hits.inc(
+            artifact=str(event.get("artifact", "unknown")),
+            source=str(event.get("source", "unknown")))
+
+    def _on_cache_miss(self, event) -> None:
+        self._m_cache_misses.inc(
+            artifact=str(event.get("artifact", "unknown")),
+            reason=str(event.get("reason", "unknown")))
+
+    def _on_cache_evicted(self, event) -> None:
+        self._m_cache_evictions.inc(
+            artifact=str(event.get("artifact", "unknown")))
 
     def _on_done(self, event) -> None:
         stats = event.get("stats")

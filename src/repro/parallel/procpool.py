@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
     from ..plan.events import EventBus
     from ..plan.spec import SketchPlan
+    from ..sparse.blocked_csr import BlockedCSR
     from ..sparse.csc import CSCMatrix
 
 __all__ = ["WorkerPoolConfig", "ProcessPoolSupervisor", "pool_start_method"]
@@ -213,6 +214,30 @@ def _open_shared_matrix(shm_seg, spec):
                      check=False)
 
 
+def _open_shared_blocked(shm_seg, spec):
+    """Rebuild the supervisor's blocked CSR over shared-memory arrays.
+
+    The supervisor converts (or loads from the artifact cache) exactly
+    once and ships the four flat arrays; every worker maps them as
+    zero-copy views instead of re-running the O(nnz) conversion
+    per process.
+    """
+    import numpy as np
+
+    from ..cache.artifacts import blocked_csr_from_arrays
+
+    def arr(name, dtype, shape):
+        return np.ndarray(shape, dtype=dtype, buffer=shm_seg[name].buf)
+
+    n_blocks = spec["n_blocks"]
+    block_starts = arr("blk_starts", np.int64, (n_blocks + 1,))
+    indptr = arr("blk_indptr", np.int64, (n_blocks, spec["m"] + 1))
+    indices = arr("blk_indices", np.int64, (spec["blk_nnz"],))
+    data = arr("blk_data", np.float64, (spec["blk_nnz"],))
+    return blocked_csr_from_arrays((spec["m"], spec["n"]), block_starts,
+                                   indptr, indices, data)
+
+
 def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
                  problem: dict) -> None:
     """Entry point of one worker process.
@@ -229,7 +254,7 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
     from ..kernels.backends import KernelWorkspace, resolve_backend
     from ..persist.checksum import checksum_bytes, default_algo
     from ..plan.spec import SketchPlan
-    from ..utils.timing import Stopwatch, Timer
+    from ..utils.timing import Stopwatch
 
     segs = {}
     try:
@@ -246,17 +271,14 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
         algo = default_algo()
 
         block_by_offset = {}
-        conversion_seconds = 0.0
         if plan.kernel == "algo4":
-            from ..sparse.convert import csc_to_blocked_csr
-
-            with Timer() as conv:
-                blocked, _stats = csc_to_blocked_csr(A, plan.b_n, threads=1)
-            conversion_seconds = conv.elapsed
+            # Zero-copy views over the supervisor's one shared conversion
+            # — workers never re-run csc_to_blocked_csr.
+            blocked = _open_shared_blocked(segs, problem)
             for j0, blk in blocked.iter_blocks():
                 block_by_offset[j0] = blk
         backend.warmup(rng, np.float64)
-        conn.send(("ready", wid, os.getpid(), conversion_seconds))
+        conn.send(("ready", wid, os.getpid(), 0.0))
 
         while True:
             msg = conn.recv()
@@ -360,11 +382,18 @@ class ProcessPoolSupervisor:
         fault injector whose process-level faults
         (``kill_worker``/``hang_worker``/``corrupt_tile``) are claimed
         at dispatch time.
+    blocked:
+        Pre-built blocked CSR for Algorithm 4 plans (e.g. served from
+        the artifact cache by the runtime).  With or without it the
+        supervisor materializes the conversion exactly **once** and
+        ships it to workers through shared memory; workers map the
+        blocks as zero-copy views and never reconvert.
     """
 
     def __init__(self, plan: "SketchPlan", A: "CSCMatrix", rng_factory, *,
                  bus: "EventBus | None" = None,
-                 injector: "FaultInjector | None" = None) -> None:
+                 injector: "FaultInjector | None" = None,
+                 blocked: "BlockedCSR | None" = None) -> None:
         from ..kernels.backends import resolve_backend
         from ..plan.events import EventBus
         from .resilience import RunHealth
@@ -377,8 +406,13 @@ class ProcessPoolSupervisor:
             raise ConfigError(
                 "the process driver cannot honour a persistence policy yet; "
                 "use driver='engine' for checkpointed runs")
+        if blocked is not None and blocked.shape != A.shape:
+            raise ConfigError(
+                f"blocked CSR shape {blocked.shape} does not match A "
+                f"{A.shape}")
         self.plan = plan
         self.A = A
+        self.blocked = blocked
         self.rng_factory = rng_factory
         self.bus = bus if bus is not None else EventBus()
         self.injector = injector
@@ -406,6 +440,22 @@ class ProcessPoolSupervisor:
 
     # -- shared-memory plumbing --------------------------------------------
 
+    def _ensure_blocked(self) -> None:
+        """Materialize the Algorithm 4 conversion once, supervisor-side.
+
+        A pre-built structure (from the caller or the artifact cache)
+        is used as-is with zero conversion cost; otherwise the
+        supervisor converts here — once per run, not once per worker —
+        and records the time in the run's ``conversion_seconds``.
+        """
+        if self.plan.kernel != "algo4" or self.blocked is not None:
+            return
+        from ..sparse.convert import csc_to_blocked_csr
+
+        self.blocked, conv = csc_to_blocked_csr(self.A, self.plan.b_n,
+                                                threads=1)
+        self._conversion_seconds = conv.seconds
+
     def _create_segments(self) -> dict[str, str]:
         """Allocate shared segments for A's arrays and the output buffer."""
         import numpy as np
@@ -425,6 +475,22 @@ class ProcessPoolSupervisor:
         create("indptr", np.int64, self.A.indptr.shape)[:] = self.A.indptr
         create("indices", np.int64, self.A.indices.shape)[:] = self.A.indices
         create("data", np.float64, self.A.data.shape)[:] = self.A.data
+        if self.blocked is not None:
+            m = self.A.shape[0]
+            blocked = self.blocked
+            n_blocks = blocked.n_blocks
+            create("blk_starts", np.int64, (n_blocks + 1,))[:] = \
+                blocked.block_starts
+            blk_indptr = create("blk_indptr", np.int64, (n_blocks, m + 1))
+            offset = 0
+            blk_indices = create("blk_indices", np.int64, (blocked.nnz,))
+            blk_data = create("blk_data", np.float64, (blocked.nnz,))
+            for b, blk in enumerate(blocked.blocks):
+                blk_indptr[b, :] = blk.indptr
+                nnz_b = blk.indices.size
+                blk_indices[offset:offset + nnz_b] = blk.indices
+                blk_data[offset:offset + nnz_b] = blk.data
+                offset += nnz_b
         ahat = create("ahat", np.float64, (d, n))
         ahat[:] = 0.0
         self.Ahat = ahat
@@ -450,6 +516,9 @@ class ProcessPoolSupervisor:
         parent_conn, child_conn = ctx.Pipe()
         problem = {"m": self.A.shape[0], "n": self.A.shape[1],
                    "nnz": int(self.A.nnz)}
+        if self.blocked is not None:
+            problem["n_blocks"] = int(self.blocked.n_blocks)
+            problem["blk_nnz"] = int(self.blocked.nnz)
         proc = ctx.Process(
             target=_worker_main,
             args=(wid, child_conn, self.plan.to_dict(), shm_names, problem),
@@ -707,13 +776,13 @@ class ProcessPoolSupervisor:
         from concurrent.futures import ThreadPoolExecutor
 
         from ..plan.events import DEGRADED
-        from ..sparse.convert import csc_to_blocked_csr
 
         self._fallback_blocks = {}
         if self.plan.kernel == "algo4":
-            blocked, _stats = csc_to_blocked_csr(self.A, self.plan.b_n,
-                                                 threads=1)
-            for j0, blk in blocked.iter_blocks():
+            # The supervisor's one conversion (built or cache-served in
+            # run()) serves the degradation rungs too — no reconversion.
+            self._ensure_blocked()
+            for j0, blk in self.blocked.iter_blocks():
                 self._fallback_blocks[j0] = blk
 
         self.health.degraded_to_thread = True
@@ -813,6 +882,7 @@ class ProcessPoolSupervisor:
 
         with Timer() as total:
             try:
+                self._ensure_blocked()
                 shm_names = self._create_segments()
                 workers = min(self.pool.workers, max(1, len(self._tasks)))
                 for _ in range(workers):

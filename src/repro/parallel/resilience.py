@@ -235,6 +235,12 @@ class RunHealth:
     # Observer exceptions the EventBus swallowed during the run —
     # surfaced here so silent metrics/tracing failures reach run reports.
     dropped_events: int = 0
+    # Artifact-cache traffic during the run (zero when no cache is
+    # attached); a warm "fixed A, many sketches" run shows hits with no
+    # misses — the property tests and the cache-smoke CI leg assert on
+    # exactly these fields.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -287,6 +293,8 @@ class RunHealth:
             "quarantined_tasks": self.quarantined_tasks,
             "degraded_to_thread": self.degraded_to_thread,
             "dropped_events": self.dropped_events,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
     def merge(self, other: "RunHealth") -> None:
@@ -318,6 +326,8 @@ class RunHealth:
         self.degraded_to_thread = (self.degraded_to_thread
                                    or other.degraded_to_thread)
         self.dropped_events += other.dropped_events
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.decisions.extend(other.decisions)
         if not self.backend:
             self.backend = other.backend
@@ -350,6 +360,8 @@ class RunHealth:
             parts.append("degraded=serial")
         if self.dropped_events:
             parts.append(f"dropped_events={self.dropped_events}")
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache={self.cache_hits}h/{self.cache_misses}m")
         parts.append("clean" if self.clean else "recovered" if self.ok else "FAILED")
         return " ".join(parts)
 

@@ -22,6 +22,9 @@ from .events import (
     BLOCK_COMPUTED,
     BLOCK_DONE,
     BLOCK_START,
+    CACHE_EVICTED,
+    CACHE_HIT,
+    CACHE_MISS,
     CHECKPOINT_WRITTEN,
     DEGRADED,
     DONE,
@@ -64,6 +67,9 @@ __all__ = [
     "WORKER_SPAWNED",
     "WORKER_LOST",
     "TASK_REQUEUED",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_EVICTED",
     "LIFECYCLE_EVENTS",
     "FAULT_HOOK_EVENTS",
     "PersistencePolicy",

@@ -58,6 +58,9 @@ __all__ = [
     "WORKER_SPAWNED",
     "WORKER_LOST",
     "TASK_REQUEUED",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_EVICTED",
     "LIFECYCLE_EVENTS",
 ]
 
@@ -81,6 +84,17 @@ WORKER_SPAWNED = "worker_spawned"
 WORKER_LOST = "worker_lost"
 TASK_REQUEUED = "task_requeued"
 
+#: Artifact-cache events (:mod:`repro.cache`): ``cache_hit`` when a
+#: lookup is served from memory or a verified disk entry (payload
+#: ``artifact``, ``key``, ``source`` — ``"memory"`` / ``"disk"``),
+#: ``cache_miss`` when it is not (payload ``artifact``, ``key``,
+#: ``reason`` — ``"absent"`` / ``"corrupt"``), and ``cache_evicted``
+#: when the LRU sweep drops an entry (payload ``artifact``, ``key``,
+#: ``nbytes``).
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+CACHE_EVICTED = "cache_evicted"
+
 #: Interposition hooks: fired around each task attempt on the guarded
 #: path so subscribers (the fault injector) can fail, delay, or corrupt
 #: an attempt.  Payloads are mutable; ``rng_request`` handlers may
@@ -92,6 +106,7 @@ BLOCK_COMPUTED = "block_computed"
 LIFECYCLE_EVENTS = (
     PLAN_COMPILED, BLOCK_START, BLOCK_DONE, CHECKPOINT_WRITTEN,
     RETRY, DEGRADED, DONE, WORKER_SPAWNED, WORKER_LOST, TASK_REQUEUED,
+    CACHE_HIT, CACHE_MISS, CACHE_EVICTED,
 )
 
 #: Hook events whose mere presence switches the engine onto the guarded

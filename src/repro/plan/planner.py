@@ -35,6 +35,8 @@ from .policy import PersistencePolicy
 from .spec import PlanDecision, ProblemSpec, RngSpec, SketchPlan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.policy import CachePolicy
+    from ..cache.store import ArtifactCache
     from ..parallel.procpool import WorkerPoolConfig
     from ..sparse.csc import CSCMatrix
 
@@ -84,7 +86,9 @@ class Planner:
                 d: int | None = None, gamma: float | None = None,
                 persistence: PersistencePolicy | None = None,
                 driver: str = "auto",
-                pool: "WorkerPoolConfig | None" = None) -> SketchPlan:
+                pool: "WorkerPoolConfig | None" = None,
+                cache: "ArtifactCache | CachePolicy | None" = None
+                ) -> SketchPlan:
         """Compile the full decision record for sketching *A*.
 
         Exactly one of *gamma* / *d* may override the config's sizing
@@ -93,7 +97,14 @@ class Planner:
         (``"auto"`` lets the runtime choose serial vs engine); *pool*
         configures the supervised worker pool when ``driver="process"``
         (a default :class:`~repro.parallel.WorkerPoolConfig` is
-        synthesized when omitted).
+        synthesized when omitted).  *cache* (an
+        :class:`~repro.cache.ArtifactCache` or
+        :class:`~repro.cache.CachePolicy`) memoizes the expensive
+        planning steps — the kernel-dispatch pattern scan and the
+        ``tune="measure"`` autotune trials — keyed by ``A``'s sparsity
+        pattern, the machine profile, and the backend; the compiled plan
+        itself does not record the cache (outputs are identical either
+        way).
         """
         from ..kernels.backends import resolve_backend
 
@@ -103,6 +114,10 @@ class Planner:
         check_positive_int(n, "n")
         d_eff, gamma_used = self._resolve_d(n, cfg, d, gamma)
         decisions: list[PlanDecision] = []
+        if cache is not None:
+            from ..cache.store import ArtifactCache
+
+            cache = ArtifactCache.ensure(cache)
 
         decisions.append(PlanDecision(
             field="d", value=str(d_eff),
@@ -112,14 +127,32 @@ class Planner:
             else {"n": n},
         ))
 
-        # Kernel: user override, else the Section II-B / Table VI dispatch.
+        # Kernel: user override, else the Section II-B / Table VI dispatch
+        # (its O(nnz) pattern scan is memoized in the artifact cache).
         if cfg.kernel != "auto":
             kernel = cfg.kernel
             decisions.append(PlanDecision(
                 field="kernel", value=kernel,
                 reason="forced by SketchConfig.kernel"))
         else:
-            choice = choose_kernel(self.machine, A, backend=cfg.backend)
+            choice = None
+            choice_key = None
+            backend_name = resolve_backend(cfg.backend).name
+            if cache is not None:
+                from ..cache.artifacts import fetch_kernel_choice, \
+                    kernel_choice_key
+
+                choice_key = kernel_choice_key(
+                    A, backend=backend_name, concentration_threshold=0.5,
+                    machine=self.machine)
+                choice = fetch_kernel_choice(cache, choice_key)
+            cached_choice = choice is not None
+            if choice is None:
+                choice = choose_kernel(self.machine, A, backend=cfg.backend)
+                if cache is not None:
+                    from ..cache.artifacts import store_kernel_choice
+
+                    store_kernel_choice(cache, choice_key, choice)
             kernel = choice.kernel
             decisions.append(PlanDecision(
                 field="kernel", value=kernel, reason=choice.reason,
@@ -127,6 +160,7 @@ class Planner:
                     "column_concentration": choice.column_concentration,
                     "machine_favors_reuse": choice.machine_favors_reuse,
                     "machine": self.machine.name,
+                    **({"cache": "hit"} if cached_choice else {}),
                 }))
 
         # Backend: resolve once, record requested vs. resolved.
@@ -152,13 +186,20 @@ class Planner:
                 and kernel in ("algo3", "algo4"):
             from ..kernels.autotune import autotune_blocking
 
+            probes_before = 0 if cache is None else cache.hit_total()
             tuned = autotune_blocking(
                 A, d_eff, lambda: cfg.build_rng(), kernel=kernel,
-                backend=backend)
+                backend=backend, cache=cache)
+            cached_tune = cache is not None and \
+                cache.hit_total() > probes_before
             b_d, b_n = tuned.b_d, tuned.b_n
-            block_reason = (f"autotuned on a column slice: "
-                            f"{tuned.seconds:.4f}s winning trial")
-            block_data = {**block_data, "trials": len(tuned.trials)}
+            block_reason = (
+                f"autotuned on a column slice: "
+                f"{tuned.seconds:.4f}s winning trial"
+                + (" (cached tuning, zero probes this compile)"
+                   if cached_tune else ""))
+            block_data = {**block_data, "trials": len(tuned.trials),
+                          **({"cache": "hit"} if cached_tune else {})}
         if cfg.b_d is not None:
             b_d = cfg.b_d
             block_reason += "; b_d overridden by config"
@@ -219,7 +260,9 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
                  d: int | None = None, gamma: float | None = None,
                  persistence: PersistencePolicy | None = None,
                  tune: str = "model", driver: str = "auto",
-                 pool: "WorkerPoolConfig | None" = None) -> SketchPlan:
+                 pool: "WorkerPoolConfig | None" = None,
+                 cache: "ArtifactCache | CachePolicy | None" = None
+                 ) -> SketchPlan:
     """One-call planning: ``compile_plan(A, cfg, gamma=3.0)``.
 
     Convenience wrapper over :class:`Planner` for callers that don't
@@ -227,4 +270,4 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
     """
     return Planner(machine, tune=tune).compile(
         A, config, d=d, gamma=gamma, persistence=persistence, driver=driver,
-        pool=pool)
+        pool=pool, cache=cache)

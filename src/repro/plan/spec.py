@@ -338,11 +338,35 @@ class SketchPlan:
         )
 
     def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
-        """Serialize to JSON; optionally also write the text to *path*."""
-        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        """Serialize to JSON; optionally also write the text to *path*.
+
+        The rendering is canonical: keys are sorted and floats use
+        Python's shortest-round-trip ``repr``, so two processes
+        serializing equal plans produce byte-identical text (modulo the
+        *indent* choice — :meth:`digest` always hashes the compact
+        form).
+        """
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          allow_nan=False)
         if path is not None:
             Path(path).write_text(text + "\n", encoding="utf-8")
         return text
+
+    def digest(self) -> str:
+        """SHA-256 over the plan's canonical compact JSON record.
+
+        Deterministic across processes and hosts for equal plans — the
+        identity the artifact cache and any external plan registry can
+        address a compiled plan by.  The ``decisions`` audit trail is
+        excluded: it is provenance, not behaviour, and a warm compile
+        (which annotates its decisions with cache hits) must digest
+        identically to the cold compile it reproduces bit-for-bit.
+        """
+        from ..utils.canonical import canonical_digest
+
+        record = self.to_dict()
+        record.pop("decisions", None)
+        return canonical_digest(record)
 
     @classmethod
     def from_json(cls, source: str | Path) -> "SketchPlan":

@@ -1,0 +1,28 @@
+"""Canonical JSON: one stable byte representation per value.
+
+Cache keys and plan digests must be identical across processes, hosts,
+and Python versions, so everything that is hashed goes through
+:func:`canonical_json`: keys sorted, no whitespace, ``allow_nan=False``
+(NaN/Infinity have no JSON spelling and would make a digest
+unverifiable).  Floats use Python's ``repr`` — the shortest string that
+round-trips to the exact same double — which is deterministic on every
+platform CPython supports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "canonical_digest"]
+
+
+def canonical_json(obj) -> str:
+    """Serialize *obj* to the canonical JSON text (sorted, compact)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def canonical_digest(obj) -> str:
+    """SHA-256 hex digest of *obj*'s canonical JSON text."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

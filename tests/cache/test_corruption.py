@@ -1,0 +1,142 @@
+"""Damaged cache entries: loud detection, clean recompute, right answers.
+
+The failure contract under test is the inverse of the checkpoint
+subsystem's — a cache is an optimization, so corruption must cost a
+recompute and a WARNING, never an exception and never a wrong answer.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, CachePolicy
+from repro.cache.artifacts import (
+    blocked_csr_key,
+    fetch_blocked_csr,
+    store_blocked_csr,
+)
+from repro.cache.store import ENTRY_MANIFEST_NAME
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sparse import csc_to_blocked_csr, random_sparse
+
+
+@pytest.fixture
+def A():
+    return random_sparse(120, 40, 0.08, seed=31)
+
+
+def _store_blocked(tmp_path, A, *, injector=None):
+    cache = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)),
+                          injector=injector)
+    key = blocked_csr_key(A, 8)
+    store_blocked_csr(cache, key, csc_to_blocked_csr(A, 8)[0], b_n=8)
+    return key
+
+
+def _assert_recovers(tmp_path, A, key, caplog):
+    """A fresh cache must miss loudly, and a recompute-and-restore cycle
+    must produce the bit-identical conversion."""
+    fresh = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)))
+    with caplog.at_level(logging.WARNING, logger="repro.cache"):
+        assert fetch_blocked_csr(fresh, key, A.shape) is None
+    assert any("corrupt" in rec.message for rec in caplog.records)
+    assert fresh.misses == {"blocked_csr": 1}
+    # The damaged entry was quarantined, so the recompute heals the cache.
+    blocked, _ = csc_to_blocked_csr(A, 8)
+    store_blocked_csr(fresh, key, blocked, b_n=8)
+    healed = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)))
+    roundtrip = fetch_blocked_csr(healed, key, A.shape)
+    assert roundtrip is not None
+    ref, _ = csc_to_blocked_csr(A, 8)
+    np.testing.assert_array_equal(roundtrip.block_starts, ref.block_starts)
+    for got, want in zip(roundtrip.blocks, ref.blocks):
+        np.testing.assert_array_equal(got.indptr, want.indptr)
+        np.testing.assert_array_equal(got.indices, want.indices)
+        np.testing.assert_array_equal(got.data, want.data)
+
+
+class TestDirectDamage:
+    def test_bitflip_detected(self, tmp_path, A, caplog):
+        key = _store_blocked(tmp_path, A)
+        victim = tmp_path / "blocked_csr" / key / "data.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        victim.write_bytes(bytes(raw))
+        _assert_recovers(tmp_path, A, key, caplog)
+
+    def test_truncation_detected(self, tmp_path, A, caplog):
+        key = _store_blocked(tmp_path, A)
+        victim = tmp_path / "blocked_csr" / key / "indices.npy"
+        victim.write_bytes(victim.read_bytes()[:10])
+        _assert_recovers(tmp_path, A, key, caplog)
+
+    def test_garbage_manifest_detected(self, tmp_path, A, caplog):
+        key = _store_blocked(tmp_path, A)
+        (tmp_path / "blocked_csr" / key / ENTRY_MANIFEST_NAME) \
+            .write_text("{not json")
+        _assert_recovers(tmp_path, A, key, caplog)
+
+    def test_missing_payload_detected(self, tmp_path, A, caplog):
+        key = _store_blocked(tmp_path, A)
+        (tmp_path / "blocked_csr" / key / "indptr.npy").unlink()
+        _assert_recovers(tmp_path, A, key, caplog)
+
+
+class TestInjectedDamage:
+    """The same damage, driven by the deterministic fault machinery."""
+
+    def test_injected_bitflip(self, tmp_path, A, caplog):
+        inj = FaultInjector(FaultPlan([
+            FaultSpec(kind="bitflip", kernel="cache", task=(1, 0))]))
+        key = _store_blocked(tmp_path, A, injector=inj)
+        assert inj.events_by_kind() == {"bitflip": 1}
+        _assert_recovers(tmp_path, A, key, caplog)
+
+    def test_injected_torn_write(self, tmp_path, A, caplog):
+        inj = FaultInjector(FaultPlan([
+            FaultSpec(kind="torn_write", kernel="cache", task=(1, 0))]))
+        key = _store_blocked(tmp_path, A, injector=inj)
+        assert inj.events_by_kind() == {"torn_write": 1}
+        _assert_recovers(tmp_path, A, key, caplog)
+
+    def test_fault_addresses_store_order(self, tmp_path, A):
+        """task=(seq, 0) counts entry stores; the second store is hit,
+        the first survives intact."""
+        inj = FaultInjector(FaultPlan([
+            FaultSpec(kind="bitflip", kernel="cache", task=(2, 0))]))
+        cache = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)),
+                              injector=inj)
+        cache.insert("tune", "first", payloads={"x.bin": b"aaaa"})
+        cache.insert("tune", "second", payloads={"x.bin": b"bbbb"})
+        fresh = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)))
+        assert fresh.fetch("tune", "first") is not None
+        assert fresh.fetch("tune", "second") is None
+
+
+class TestEndToEndFallback:
+    def test_sketch_after_corruption_is_bit_identical(self, tmp_path, A,
+                                                      caplog):
+        """A damaged blocked-CSR entry must not change the sketch: the
+        warm run falls back to a recompute and matches the cold run."""
+        from repro.core import SketchConfig, sketch
+
+        cfg = SketchConfig(gamma=2.0, seed=3, kernel="algo4")
+        cold = sketch(A, config=cfg,
+                      cache=CachePolicy(cache_dir=str(tmp_path)))
+        # Flip one payload bit in every cached blocked-CSR entry.
+        victims = list((tmp_path / "blocked_csr").glob("*/data.npy"))
+        assert victims
+        for victim in victims:
+            raw = bytearray(victim.read_bytes())
+            raw[len(raw) // 2] ^= 0x01
+            victim.write_bytes(bytes(raw))
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
+            warm = sketch(A, config=cfg,
+                          cache=CachePolicy(cache_dir=str(tmp_path)))
+        assert any("corrupt" in rec.message for rec in caplog.records)
+        np.testing.assert_array_equal(warm.sketch, cold.sketch)
+        # The fallback healed the entry: the next run hits cleanly.
+        healed = sketch(A, config=cfg,
+                        cache=CachePolicy(cache_dir=str(tmp_path)))
+        np.testing.assert_array_equal(healed.sketch, cold.sketch)

@@ -1,0 +1,132 @@
+"""The acceptance criteria, as tests: warm runs skip the expensive setup
+work and outputs stay bit-identical on hit vs cold across every driver."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, CachePolicy
+from repro.core import SketchConfig, sketch
+from repro.parallel import WorkerPoolConfig
+from repro.plan import CACHE_MISS, Planner, Runtime
+from repro.sparse import random_sparse
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_sparse(150, 36, 0.08, seed=44)
+
+
+def _policy(tmp_path):
+    return CachePolicy(cache_dir=str(tmp_path))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("driver", ["serial", "engine", "process"])
+    def test_warm_equals_cold_equals_uncached(self, tmp_path, A, driver):
+        cfg = SketchConfig(gamma=2.0, seed=5, kernel="algo4",
+                           rng_kind="philox", b_d=12, b_n=9)
+        pool = WorkerPoolConfig(workers=2) if driver == "process" else None
+
+        def run(cache):
+            plan = Planner().compile(A, cfg, driver=driver, pool=pool,
+                                     cache=cache)
+            return Runtime().run(plan, A, cache=cache)
+
+        baseline = run(None)
+        cold = run(ArtifactCache(_policy(tmp_path / driver)))
+        warm_cache = ArtifactCache(_policy(tmp_path / driver))
+        warm = run(warm_cache)
+        np.testing.assert_array_equal(cold.sketch, baseline.sketch)
+        np.testing.assert_array_equal(warm.sketch, baseline.sketch)
+        assert warm.stats.extra["blocked_csr_source"] == "cache"
+        assert warm_cache.misses.get("blocked_csr", 0) == 0
+
+
+class TestWarmRunSkipsWork:
+    def test_zero_conversions_on_warm_run(self, tmp_path, A):
+        cfg = SketchConfig(gamma=2.0, seed=1, kernel="algo4", b_n=9)
+        cold = sketch(A, config=cfg, cache=_policy(tmp_path))
+        assert cold.stats.extra["blocked_csr_source"] == "converted"
+        warm = sketch(A, config=cfg, cache=_policy(tmp_path))
+        assert warm.stats.extra["blocked_csr_source"] == "cache"
+        # A cache-served conversion is free: no conversion time billed.
+        assert warm.stats.conversion_seconds == 0.0
+        assert warm.stats.extra["cache_misses"] == 0
+
+    def test_zero_autotune_probes_on_warm_compile(self, tmp_path, A):
+        """tune="measure" compiles twice; the second must run no timing
+        trials (asserted through the cache counters and the decision
+        audit trail) and still produce the identical plan."""
+        cfg = SketchConfig(gamma=2.0, seed=2, kernel="algo3")
+        cold_cache = ArtifactCache(_policy(tmp_path))
+        cold = Planner(tune="measure").compile(A, cfg, cache=cold_cache)
+        assert cold_cache.misses.get("tune", 0) >= 1
+        warm_cache = ArtifactCache(_policy(tmp_path))
+        warm = Planner(tune="measure").compile(A, cfg, cache=warm_cache)
+        assert warm_cache.hits.get("tune", 0) >= 1
+        assert warm_cache.misses.get("tune", 0) == 0
+        assert (warm.b_d, warm.b_n) == (cold.b_d, cold.b_n)
+        assert warm.digest() == cold.digest()
+        assert any("zero probes" in d.reason for d in warm.decisions
+                   if d.field == "blocking")
+
+    def test_process_workers_reuse_shipped_blocks(self, tmp_path, A):
+        """With the process driver the supervisor loads the cached
+        conversion once and ships it via shared memory — no worker
+        reconverts, and the cache sees zero blocked_csr misses warm."""
+        cfg = SketchConfig(gamma=2.0, seed=7, kernel="algo4",
+                           rng_kind="philox", b_d=12, b_n=9)
+        pool = WorkerPoolConfig(workers=2)
+
+        def run(cache):
+            plan = Planner().compile(A, cfg, driver="process", pool=pool,
+                                     cache=cache)
+            return Runtime().run(plan, A, cache=cache)
+
+        run(ArtifactCache(_policy(tmp_path)))
+        warm_cache = ArtifactCache(_policy(tmp_path))
+        warm = run(warm_cache)
+        assert warm.stats.extra["blocked_csr_source"] == "cache"
+        assert warm_cache.misses.get("blocked_csr", 0) == 0
+        health = warm.stats.health
+        assert health is not None
+        assert health.cache_hits >= 1
+        assert health.cache_misses == 0
+
+
+class TestObservability:
+    def test_observer_counts_cache_events(self, tmp_path, A):
+        from repro.obs import RunObserver
+
+        cfg = SketchConfig(gamma=2.0, seed=4, kernel="algo4", b_n=9)
+        runtime = Runtime()
+        observer = RunObserver()
+        observer.attach(runtime.bus)
+        cache = ArtifactCache(_policy(tmp_path), bus=runtime.bus)
+        plan = Planner().compile(A, cfg, cache=cache)
+        runtime.run(plan, A, cache=cache)
+        rendered = observer.registry.to_prometheus()
+        observer.detach()
+        assert "cache_misses_total" in rendered
+        assert 'artifact="blocked_csr"' in rendered
+
+    def test_miss_events_carry_reasons(self, tmp_path, A):
+        cfg = SketchConfig(gamma=2.0, seed=4, kernel="algo4", b_n=9)
+        runtime = Runtime()
+        reasons = []
+        runtime.bus.subscribe_observer(
+            CACHE_MISS, lambda e: reasons.append(e.payload["reason"]))
+        cache = ArtifactCache(_policy(tmp_path), bus=runtime.bus)
+        plan = Planner().compile(A, cfg, cache=cache)
+        runtime.run(plan, A, cache=cache)
+        assert reasons and set(reasons) == {"absent"}
+
+    def test_health_summary_mentions_cache(self):
+        from repro.parallel import RunHealth
+
+        h = RunHealth(cache_hits=3, cache_misses=1)
+        assert "3h/1m" in h.summary()
+        assert h.as_dict()["cache_hits"] == 3
+        merged = RunHealth(cache_hits=1)
+        merged.merge(RunHealth(cache_misses=2))
+        assert (merged.cache_hits, merged.cache_misses) == (1, 2)

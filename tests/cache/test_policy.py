@@ -1,0 +1,85 @@
+"""CachePolicy: validation, env resolution, and ensure() normalization."""
+
+import pytest
+
+from repro.cache import ArtifactCache, CachePolicy
+from repro.cache.policy import CACHE_DIR_ENV_VAR, DEFAULT_MAX_BYTES
+from repro.errors import ConfigError
+
+
+class TestPolicy:
+    def test_default_is_disabled(self):
+        pol = CachePolicy()
+        assert not pol.enabled
+        assert pol.max_bytes == DEFAULT_MAX_BYTES
+        assert CachePolicy.disabled() == pol
+
+    def test_directory_enables(self, tmp_path):
+        assert CachePolicy(cache_dir=str(tmp_path)).enabled
+
+    def test_frozen(self, tmp_path):
+        pol = CachePolicy(cache_dir=str(tmp_path))
+        with pytest.raises(AttributeError):
+            pol.cache_dir = None
+
+    def test_readonly_requires_directory(self):
+        with pytest.raises(ConfigError):
+            CachePolicy(readonly=True)
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CachePolicy(cache_dir=str(tmp_path), max_bytes=0)
+
+    def test_dict_round_trip(self, tmp_path):
+        pol = CachePolicy(cache_dir=str(tmp_path), max_bytes=1024,
+                          readonly=True)
+        assert CachePolicy.from_dict(pol.to_dict()) == pol
+
+
+class TestFromEnv:
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert not CachePolicy.from_env().enabled
+
+    def test_blank_disables(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, "   ")
+        assert not CachePolicy.from_env().enabled
+
+    def test_set_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        pol = CachePolicy.from_env(max_bytes=99, readonly=True)
+        assert pol == CachePolicy(cache_dir=str(tmp_path), max_bytes=99,
+                                  readonly=True)
+
+
+class TestEnsure:
+    def test_none_passes_through(self):
+        assert ArtifactCache.ensure(None) is None
+
+    def test_disabled_policy_maps_to_none(self):
+        assert ArtifactCache.ensure(CachePolicy.disabled()) is None
+
+    def test_enabled_policy_builds_a_cache(self, tmp_path):
+        cache = ArtifactCache.ensure(CachePolicy(cache_dir=str(tmp_path)))
+        assert isinstance(cache, ArtifactCache)
+        assert str(cache.root) == str(tmp_path)
+
+    def test_existing_cache_returned_as_is_and_adopts_bus(self, tmp_path):
+        from repro.plan import EventBus
+
+        cache = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)))
+        bus = EventBus()
+        assert ArtifactCache.ensure(cache, bus=bus) is cache
+        assert cache.bus is bus
+        # An already-attached bus is never replaced.
+        other = EventBus()
+        ArtifactCache.ensure(cache, bus=other)
+        assert cache.bus is bus
+
+    def test_direct_construction_rejects_disabled_policy(self):
+        with pytest.raises(ConfigError, match="enabled"):
+            ArtifactCache(CachePolicy.disabled())
+
+    def test_ensure_rejects_junk(self):
+        with pytest.raises(ConfigError):
+            ArtifactCache.ensure("/tmp/somewhere")

@@ -143,3 +143,64 @@ class TestProbeCalibrate:
         payload = json.loads(capsys.readouterr().out)
         assert payload["peak_gflops"] > 0
         assert payload["recommended_kernel"] in ("algo3", "algo4")
+
+
+class TestCacheFlags:
+    def _sketch(self, capsys, *extra):
+        rc = main(["--json", "sketch", "--random", "200", "20", "0.05",
+                   "--kernel", "algo4", "--seed", "3", *extra])
+        assert rc == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cold = self._sketch(capsys, "--cache-dir", str(tmp_path))
+        assert cold["cache"]["misses"] >= 1
+        assert cold["cache"]["blocked_csr_source"] == "converted"
+        warm = self._sketch(capsys, "--cache-dir", str(tmp_path))
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["hits"] >= 1
+        assert warm["cache"]["blocked_csr_source"] == "cache"
+        np.testing.assert_array_equal(np.array(cold["sketch_shape"]),
+                                      np.array(warm["sketch_shape"]))
+
+    def test_no_cache_wins_over_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        payload = self._sketch(capsys, "--no-cache")
+        assert "cache" not in payload
+        assert not any(tmp_path.iterdir())
+
+    def test_env_var_enables(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        payload = self._sketch(capsys)
+        assert payload["cache"]["dir"] == str(tmp_path)
+
+
+class TestCacheCommand:
+    def test_stats_clear_verify(self, tmp_path, capsys):
+        rc = main(["--json", "sketch", "--random", "200", "20", "0.05",
+                   "--kernel", "algo4", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["--json", "cache", "stats", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] >= 1
+        assert "blocked_csr" in stats["artifacts"]
+
+        rc = main(["--json", "cache", "verify", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt"] == []
+        assert report["ok"] == report["checked"]
+
+        rc = main(["--json", "cache", "clear", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        cleared = json.loads(capsys.readouterr().out)
+        assert cleared["removed_entries"] >= 1
+
+    def test_requires_a_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        rc = main(["cache", "stats"])
+        assert rc == 1
+        assert "cache directory" in capsys.readouterr().err

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.kernels.autotune import TuneResult, autotune_blocking, autotune_kernel
+from repro.kernels.autotune import (
+    TuneResult,
+    _tuning_slice,
+    autotune_blocking,
+    autotune_kernel,
+)
 from repro.rng import PhiloxSketchRNG
 from repro.sparse import random_sparse
 
@@ -60,6 +65,51 @@ class TestAutotuneBlocking:
     def test_describe(self, A):
         res = autotune_blocking(A, 60, _factory, repeats=1)
         assert "b_d=" in res.describe()
+
+
+class TestTuningSlice:
+    def test_same_seed_same_slice(self, A):
+        a = _tuning_slice(A, 16, seed=3)
+        b = _tuning_slice(A, 16, seed=3)
+        assert a.shape == b.shape
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_seed_moves_the_window(self, A):
+        # 80 columns, 8-wide window: 73 possible starts — at least one
+        # of seeds 1..8 must land somewhere other than seed 0's start.
+        base = _tuning_slice(A, 8, seed=0)
+        assert any(
+            not np.array_equal(_tuning_slice(A, 8, seed=s).indptr, base.indptr)
+            or not np.array_equal(
+                _tuning_slice(A, 8, seed=s).indices, base.indices)
+            for s in range(1, 9)
+        )
+
+    def test_wide_budget_returns_whole_matrix(self, A):
+        assert _tuning_slice(A, 10_000, seed=0) is A
+
+    def test_result_records_its_seed(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1,
+                                max_tuning_cols=8, tuning_seed=17)
+        assert res.tuning_seed == 17
+
+    def test_json_round_trip_keeps_seed(self, A):
+        res = autotune_blocking(A, 60, _factory, repeats=1,
+                                max_tuning_cols=8, tuning_seed=5)
+        clone = TuneResult.from_json(res.to_json())
+        assert clone.tuning_seed == 5
+        assert clone.to_json() == res.to_json()
+
+    def test_same_seed_reproduces_the_measured_subproblem(self, A):
+        """Two tunings with one seed rank the same candidates on the
+        same columns — the trial grid (not the timings) must match."""
+        kw = dict(repeats=1, max_tuning_cols=8, tuning_seed=4,
+                  candidates=[(10, 4), (30, 8)])
+        r1 = autotune_blocking(A, 60, _factory, **kw)
+        r2 = autotune_blocking(A, 60, _factory, **kw)
+        assert [t[:3] for t in r1.trials] == [t[:3] for t in r2.trials]
 
 
 class TestAutotuneKernel:

@@ -147,6 +147,48 @@ class TestJsonRoundTrip:
         assert pol.to_dict()["checkpoint_dir"] == str(tmp_path)
 
 
+class TestDigest:
+    # Pinned so an accidental change to the canonical serialization (key
+    # order, float repr, field set) is caught: every artifact cache and
+    # plan registry keyed by digest would silently go cold otherwise.
+    PINNED = "c70bbf49791d0d7cc3e274ec550620924b1494d84910946b30e92450ef3deb4f"
+
+    def test_digest_is_pinned(self):
+        assert make_plan().digest() == self.PINNED
+
+    def test_digest_ignores_decisions(self):
+        """The audit trail is provenance: a warm compile annotates its
+        decisions (cache hits) yet must digest identically to cold."""
+        annotated = make_plan(decisions=(
+            PlanDecision(field="kernel", value="algo3",
+                         reason="forced (cached tuning)",
+                         data={"cache": "hit"}),
+        ))
+        assert annotated.digest() == make_plan().digest()
+
+    def test_digest_tracks_behaviour(self):
+        assert make_plan(kernel="algo4").digest() != make_plan().digest()
+        assert make_plan(b_n=8).digest() != make_plan().digest()
+
+    def test_to_json_is_canonical(self):
+        """Equal plans render byte-identical JSON (sorted keys, stable
+        float repr) — required for content addressing."""
+        a, b = make_plan(), make_plan()
+        assert a.to_json() == b.to_json()
+        assert a.to_json(indent=2) == b.to_json(indent=2)
+        # Keys are sorted at every nesting level.
+        import json as _json
+
+        rendered = _json.loads(a.to_json())
+        assert list(rendered) == sorted(rendered)
+
+    def test_digest_stable_across_json_round_trip(self):
+        plan = make_plan(threads=2, driver="engine")
+        from repro.plan import SketchPlan as SP
+
+        assert SP.from_json(plan.to_json()).digest() == plan.digest()
+
+
 class TestExplain:
     def test_explain_lists_choices_and_reasons(self):
         plan = make_plan(decisions=(
