@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke serve-smoke bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -66,6 +66,20 @@ procpool-smoke:
 cache-smoke:
 	python -m pytest tests/cache -q
 	timeout 600 python benchmarks/bench_cache_warm.py
+
+# Serving leg: the full serve suite (admission, breaker, protocol,
+# service semantics, warm pools), then the real-daemon drills — SIGTERM
+# graceful drain and the chaos acceptance scenario (start the daemon,
+# serve concurrent plans, kill workers mid-request, hang another past
+# its deadline, assert bit-identical responses + typed failures + clean
+# drain).  Hard wall-clock timeouts so a wedged daemon fails the build
+# instead of hanging it.
+serve-smoke:
+	timeout 300 python -m pytest tests/serve/test_admission.py \
+	  tests/serve/test_breaker.py tests/serve/test_protocol.py \
+	  tests/serve/test_service.py tests/parallel/test_procpool_warm.py -q
+	timeout 300 python -m pytest tests/serve/test_daemon_drain.py \
+	  tests/serve/test_chaos_acceptance.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

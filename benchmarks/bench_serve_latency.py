@@ -1,0 +1,136 @@
+"""Serving-path latency: warm pools versus per-request setup.
+
+The serving daemon exists so the "fixed ``A``, many sketches" workload
+pays worker spawning, shared-memory publication, and blocked-CSR
+conversion **once**, not per request.  This bench quantifies that, all
+in-process (no HTTP, so the numbers isolate the execution path):
+
+* ``serial``        — per-request ``Runtime.run`` on the serial driver
+                      (the bit-identity reference);
+* ``cold pool``     — per-request ``ProcessPoolSupervisor.run()``:
+                      spawn, execute, tear down every time (what the
+                      ``process`` driver costs without the daemon);
+* ``warm pool``     — one ``start()``, then per-request ``execute()``
+                      on the reused fleet (what a daemon request costs
+                      in steady state);
+* ``service``       — the full :class:`~repro.serve.SketchService`
+                      path: admission queue, deadline propagation,
+                      breaker, encode — measuring the robustness
+                      machinery's overhead on top of the warm pool.
+
+Run under ``pytest benchmarks/ --benchmark-only`` or directly:
+``python benchmarks/bench_serve_latency.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _harness import REPEATS, emit_config, emit_report
+
+from repro.core import SketchConfig
+from repro.parallel import WorkerPoolConfig
+from repro.parallel.procpool import ProcessPoolSupervisor
+from repro.plan import Planner, Runtime
+from repro.serve import ServeConfig, SketchService
+from repro.sparse import random_sparse
+
+M, N, DENSITY, D = 20_000, 256, 2e-3, 512
+WORKERS = 2
+REQUESTS = 5   # timed requests per mode
+
+
+def _build():
+    A = random_sparse(M, N, DENSITY, seed=33)
+    cfg = SketchConfig(kernel="algo4", rng_kind="philox", seed=9)
+    pool = WorkerPoolConfig(workers=WORKERS)
+    plan = Planner().compile(A, cfg, d=D, driver="process", pool=pool)
+    return A, plan
+
+
+def _time_requests(fn, n=REQUESTS):
+    """Per-request wall times; returns (mean_ms, best_ms)."""
+    times = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return (1e3 * sum(times) / len(times), 1e3 * min(times))
+
+
+def run_bench() -> dict:
+    import dataclasses
+
+    A, plan = _build()
+    serial_plan = dataclasses.replace(plan, driver="serial")
+    reference = Runtime().run(serial_plan, A).sketch
+
+    serial_mean, serial_best = _time_requests(
+        lambda: Runtime().run(serial_plan, A))
+
+    cold_mean, cold_best = _time_requests(
+        lambda: Runtime().run(plan, A), n=max(2, REQUESTS - 2))
+
+    sup = ProcessPoolSupervisor(plan, A, plan.rng_factory())
+    sup.start()
+    try:
+        sup.execute(plan, plan.rng_factory())  # pay conversion once
+        warm_mean, warm_best = _time_requests(
+            lambda: sup.execute(plan, plan.rng_factory()))
+        warm_out, _ = sup.execute(plan, plan.rng_factory())
+    finally:
+        sup.close()
+    assert np.array_equal(warm_out * plan.scale(), reference), \
+        "warm pool must stay bit-identical to serial"
+
+    svc = SketchService(ServeConfig(queue_capacity=8, executors=1,
+                                    default_deadline=120.0)).start()
+    try:
+        body = {
+            "matrix": {"random": [M, N, DENSITY], "seed": 33},
+            "plan": plan.to_dict(),
+            "output": "none",
+        }
+        svc.handle(body)  # warm the service's own pool + matrix LRU
+        svc_mean, svc_best = _time_requests(lambda: svc.handle(body))
+    finally:
+        svc.close()
+
+    rows = [
+        ["serial Runtime.run", f"{serial_mean:.1f}", f"{serial_best:.1f}",
+         "1.0x"],
+        ["cold pool (spawn per request)", f"{cold_mean:.1f}",
+         f"{cold_best:.1f}", f"{cold_mean / serial_mean:.2f}x"],
+        ["warm pool execute()", f"{warm_mean:.1f}", f"{warm_best:.1f}",
+         f"{warm_mean / serial_mean:.2f}x"],
+        ["SketchService.handle()", f"{svc_mean:.1f}", f"{svc_best:.1f}",
+         f"{svc_mean / serial_mean:.2f}x"],
+    ]
+    notes = (
+        f"warm-vs-cold pool speedup: {cold_mean / warm_mean:.1f}x "
+        f"(request pays kernels, not fork+publish)\n"
+        f"service overhead on the warm pool: "
+        f"{svc_mean - warm_mean:+.1f} ms/request "
+        f"(admission + deadline + breaker + encode)"
+    )
+    emit_config("serve latency config", [
+        ("matrix", f"{M}x{N} density={DENSITY}"),
+        ("d", D), ("workers", WORKERS), ("requests", REQUESTS),
+    ])
+    emit_report("BENCH_serve_latency", "Serving-path request latency (ms)",
+                ["mode", "mean", "best", "vs serial"], rows, notes=notes)
+    return {"serial": serial_mean, "cold": cold_mean, "warm": warm_mean,
+            "service": svc_mean}
+
+
+def test_serve_latency(benchmark=None):
+    """Pytest entry point (the `benchmark` fixture is optional)."""
+    out = run_bench()
+    # structural expectation, not a timing gate: the warm path must not
+    # pay the cold pool's spawn+publish cost on every request
+    assert out["warm"] < out["cold"]
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -12,7 +12,12 @@ be exercised without writing Python:
 * ``svd``    — randomized low-rank SVD via the sketching kernels;
 * ``suite``  — list the paper's surrogate test suites at the active scale;
 * ``cache``  — inspect, clear, or verify the content-addressed artifact
-  cache used by repeated runs over the same matrix.
+  cache used by repeated runs over the same matrix (``verify`` exits
+  with code 2 when corrupt entries are found, so CI and the serving
+  runbook can gate on cache health);
+* ``serve``  — run the long-lived sketch service daemon
+  (:mod:`repro.serve`): local HTTP, bounded admission queue, per-request
+  deadlines, circuit breaker, graceful SIGTERM drain.
 
 Every command prints a plain-text report to stdout; machine-readable
 output (``--json``) covers scripting uses.
@@ -200,6 +205,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "every entry, quarantining corrupt ones")
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR)")
+
+    serve = sub.add_parser(
+        "serve", help="run the sketch service daemon",
+        description="Long-running local HTTP daemon executing SketchPlan "
+                    "requests on warm worker pools, with bounded "
+                    "admission, per-request deadlines, a circuit "
+                    "breaker, and graceful SIGTERM drain "
+                    "(see docs/serving.md).")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(written to --ready-file)")
+    serve.add_argument("--queue-capacity", type=int, default=16,
+                       help="admission queue bound; beyond it requests "
+                            "are shed with a retry hint")
+    serve.add_argument("--executors", type=int, default=1,
+                       help="executor threads consuming the queue")
+    serve.add_argument("--default-deadline", type=float, default=30.0,
+                       help="implicit per-request deadline in seconds "
+                            "(0 disables)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="graceful-drain budget on SIGTERM")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive degraded requests before the "
+                            "circuit breaker opens")
+    serve.add_argument("--breaker-recovery", type=float, default=5.0,
+                       help="seconds the breaker stays open before a "
+                            "half-open probe")
+    serve.add_argument("--warm-pools", type=int, default=2,
+                       help="LRU bound on warm worker pools")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory for drain-state persistence")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact-cache directory (default: "
+                            "$REPRO_CACHE_DIR)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache")
+    serve.add_argument("--allow-chaos", action="store_true",
+                       help="accept fault-injection request fields "
+                            "(testing only)")
+    serve.add_argument("--ready-file", default=None,
+                       help="write host:port here once listening")
 
     sub.add_parser("suite", help="list the surrogate experiment suites")
     return p
@@ -511,6 +559,42 @@ def _cmd_cache(args) -> dict:
     return {"action": "verify", "cache_dir": str(cache.root), **report}
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve`` — run the daemon until drained; returns its exit
+    code directly (0 = clean drain, 1 = drain budget expired)."""
+    from .serve import ServeConfig, ServeDaemon
+
+    cache_dir = None
+    if not args.no_cache:
+        if args.cache_dir:
+            cache_dir = args.cache_dir
+        else:
+            from .cache import CachePolicy
+
+            policy = CachePolicy.from_env()
+            cache_dir = policy.cache_dir if policy.enabled else None
+    cfg = ServeConfig(
+        host=args.host, port=args.port,
+        queue_capacity=args.queue_capacity, executors=args.executors,
+        default_deadline=(None if args.default_deadline <= 0
+                          else args.default_deadline),
+        drain_timeout=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery=args.breaker_recovery,
+        warm_pools=args.warm_pools,
+        checkpoint_dir=args.checkpoint_dir,
+        cache_dir=cache_dir,
+        allow_chaos=args.allow_chaos,
+        ready_file=args.ready_file,
+    )
+    daemon = ServeDaemon(cfg).start()
+    host, port = daemon.address
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(queue={cfg.queue_capacity}, executors={cfg.executors})",
+          file=sys.stderr)
+    return daemon.run()
+
+
 def _render(command: str, payload: dict) -> str:
     if command == "sketch" and "explain" in payload:
         lines = [payload["explain"]]
@@ -540,6 +624,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        # The daemon owns stdout/stderr and the process exit code; no
+        # JSON payload to print.
+        try:
+            return _cmd_serve(args)
+        except Exception as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     handlers = {
         "probe": _cmd_probe,
         "sketch": _cmd_sketch,
@@ -557,6 +649,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(json.dumps(payload, indent=2, default=str))
     else:
         print(_render(args.command, payload))
+    if args.command == "cache" and payload.get("action") == "verify" \
+            and payload.get("corrupt"):
+        # `repro cache verify` is a CI guard: corrupt entries must fail
+        # the pipeline, not just print a report.
+        return 2
     return 0
 
 

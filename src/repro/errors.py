@@ -17,9 +17,12 @@ Hierarchy::
     ├── TaskFailedError (RuntimeError)    a block task failed irrecoverably
     │   ├── TaskTimeoutError              task exceeded its deadline
     │   └── RetryExhaustedError           task failed on every allowed attempt
-    └── CheckpointError (RuntimeError)    durable snapshot could not be used
-        ├── CheckpointCorruptionError     torn write / checksum mismatch
-        └── CheckpointMismatchError       snapshot fingerprint drifted
+    ├── CheckpointError (RuntimeError)    durable snapshot could not be used
+    │   ├── CheckpointCorruptionError     torn write / checksum mismatch
+    │   └── CheckpointMismatchError       snapshot fingerprint drifted
+    └── ServeError (RuntimeError)         sketch-service request failures
+        ├── RequestShedError              admission control rejected the request
+        └── RequestDeadlineError          the request's deadline expired
 
 The three task-level errors are raised by the resilient parallel executor
 (:mod:`repro.parallel.executor`); :class:`SketchQualityError` is raised by
@@ -109,3 +112,50 @@ class CheckpointMismatchError(CheckpointError):
     (different ``b_d``/``b_n``, kernel, backend, RNG family, seed, or
     distribution).  Resuming anyway would silently produce a sketch that
     matches neither configuration, so the mismatch is always fatal."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """A sketch-service request failed for a service-level reason
+    (admission control, deadline, drain) rather than a compute fault.
+
+    The serving daemon (:mod:`repro.serve`) maps these onto HTTP status
+    codes; embedded callers of :class:`repro.serve.SketchService` catch
+    them directly."""
+
+
+class RequestShedError(ServeError):
+    """Admission control rejected the request: the bounded queue was
+    full, the circuit breaker was open, or the daemon was draining.
+
+    Attributes
+    ----------
+    reason:
+        ``"queue_full"``, ``"breaker_open"``, or ``"draining"``.
+    retry_after:
+        Suggested client back-off in seconds, derived from the current
+        queue depth and the recent service-time estimate (or from the
+        breaker's remaining recovery window).
+    """
+
+    def __init__(self, message: str, *, reason: str,
+                 retry_after: float) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = float(retry_after)
+
+
+class RequestDeadlineError(ServeError):
+    """The request's deadline expired — while queued (never started) or
+    mid-execution (the run was cancelled; claimed-but-uncommitted tiles
+    were abandoned, never served).
+
+    Attributes
+    ----------
+    phase:
+        ``"queue"`` (expired before execution started) or
+        ``"execute"`` (cancelled mid-run).
+    """
+
+    def __init__(self, message: str, *, phase: str) -> None:
+        super().__init__(message)
+        self.phase = phase

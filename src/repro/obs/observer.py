@@ -52,6 +52,13 @@ metric                          type      labels
 ``cache_hits_total``            counter   ``artifact``, ``source`` (memory/disk)
 ``cache_misses_total``          counter   ``artifact``, ``reason`` (absent/corrupt)
 ``cache_evictions_total``       counter   ``artifact``
+``serve_requests_admitted_total`` counter —
+``serve_requests_shed_total``   counter   ``reason`` (queue_full/breaker_open/draining)
+``serve_requests_total``        counter   ``status`` (ok or the error type)
+``serve_request_seconds``       histogram —
+``serve_deadline_missed_total`` counter   ``phase`` (queue/execute)
+``serve_queue_depth``           gauge     — (admission queue depth)
+``serve_drains_total``          counter   —
 ``dropped_events``              gauge     ``event`` (synced at export time)
 =============================== ========= ==========================================
 """
@@ -70,9 +77,14 @@ from ..plan.events import (
     CACHE_HIT,
     CACHE_MISS,
     CHECKPOINT_WRITTEN,
+    DEADLINE_MISSED,
     DEGRADED,
     DONE,
+    DRAIN_STARTED,
     PLAN_COMPILED,
+    REQUEST_ADMITTED,
+    REQUEST_DONE,
+    REQUEST_SHED,
     RETRY,
     TASK_REQUEUED,
     WORKER_LOST,
@@ -191,6 +203,24 @@ class RunObserver:
             "cache_evictions_total",
             "Artifact-cache entries dropped by the LRU sweep.",
             ("artifact",))
+        self._m_requests_admitted = r.counter(
+            "serve_requests_admitted_total",
+            "Requests that cleared admission control.")
+        self._m_requests_shed = r.counter(
+            "serve_requests_shed_total",
+            "Requests rejected by load shedding, by reason.", ("reason",))
+        self._m_requests_served = r.counter(
+            "serve_requests_total",
+            "Completed requests by terminal status.", ("status",))
+        self._m_request_seconds = r.histogram(
+            "serve_request_seconds", "Dequeue-to-response latency.")
+        self._m_deadline_missed = r.counter(
+            "serve_deadline_missed_total",
+            "Requests whose deadline expired, by phase.", ("phase",))
+        self._m_queue_depth = r.gauge(
+            "serve_queue_depth", "Admission queue depth.")
+        self._m_drains = r.counter(
+            "serve_drains_total", "Graceful drains started.")
         self._m_dropped = r.gauge(
             "dropped_events", "Observer exceptions swallowed by the bus.",
             ("event",))
@@ -215,6 +245,11 @@ class RunObserver:
             (CACHE_HIT, self._on_cache_hit),
             (CACHE_MISS, self._on_cache_miss),
             (CACHE_EVICTED, self._on_cache_evicted),
+            (REQUEST_ADMITTED, self._on_request_admitted),
+            (REQUEST_SHED, self._on_request_shed),
+            (REQUEST_DONE, self._on_request_done),
+            (DEADLINE_MISSED, self._on_deadline_missed),
+            (DRAIN_STARTED, self._on_drain_started),
             (DONE, self._on_done),
         ]
         for name, handler in handlers:
@@ -305,6 +340,24 @@ class RunObserver:
     def _on_cache_evicted(self, event) -> None:
         self._m_cache_evictions.inc(
             artifact=str(event.get("artifact", "unknown")))
+
+    def _on_request_admitted(self, event) -> None:
+        self._m_requests_admitted.inc()
+        self._m_queue_depth.set(float(event.get("queue_depth", 0)))
+
+    def _on_request_shed(self, event) -> None:
+        self._m_requests_shed.inc(reason=str(event.get("reason", "unknown")))
+
+    def _on_request_done(self, event) -> None:
+        self._m_requests_served.inc(status=str(event.get("status", "ok")))
+        self._m_request_seconds.observe(float(event.get("seconds", 0.0)))
+        self._m_queue_depth.set(float(event.get("queue_depth", 0)))
+
+    def _on_deadline_missed(self, event) -> None:
+        self._m_deadline_missed.inc(phase=str(event.get("phase", "unknown")))
+
+    def _on_drain_started(self, event) -> None:
+        self._m_drains.inc()
 
     def _on_done(self, event) -> None:
         stats = event.get("stats")

@@ -584,7 +584,10 @@ class PlanExecutionEngine:
 
         if self.threads == 1:
             for idx, task in enumerate(tasks):
+                started = time.monotonic()
                 self._run_task(idx, task, "serial")
+                self._check_serial_deadline(task,
+                                            time.monotonic() - started)
             return
 
         failed: list[tuple[int, Task, TaskFailedError]] = []
@@ -625,7 +628,39 @@ class PlanExecutionEngine:
             self.bus.emit(DEGRADED, kind="serial_fallback",
                           tasks=len(failed))
             for idx, task, _exc in failed:
+                started = time.monotonic()
                 self._run_task(idx, task, "serial")
+                self._check_serial_deadline(task,
+                                            time.monotonic() - started)
+
+    def _check_serial_deadline(self, task: Task, elapsed: float) -> None:
+        """Post-hoc per-task deadline for single-thread execution.
+
+        A serial path cannot preempt a running kernel the way the
+        parallel path's ``future.result(timeout=...)`` does, so the
+        deadline is enforced after the fact: an overrun either fails
+        the run (``reexecute_stragglers=False`` — the strict contract a
+        request deadline needs even after the degradation ladder
+        bottoms out at serial) or is recorded in the health report and
+        the already-committed result kept — re-executing serially would
+        only reproduce the same bytes slower, since generators are
+        coordinate-keyed.
+        """
+        cfg = self.resilience
+        if cfg.task_timeout is None or elapsed <= cfg.task_timeout:
+            return
+        key = (task[0], task[2])
+        with self._ctx_lock:
+            self.health.timeouts += 1
+        if not cfg.reexecute_stragglers:
+            raise TaskTimeoutError(
+                f"task {key} missed its {cfg.task_timeout}s deadline "
+                f"({elapsed:.3f}s elapsed) on the serial path")
+        with self._ctx_lock:
+            self.health.record(
+                f"task {key}: serial execution overran the "
+                f"{cfg.task_timeout}s deadline ({elapsed:.3f}s); committed "
+                f"result kept (serial re-execution is bit-identical)")
 
     # -- entry point -------------------------------------------------------
 

@@ -57,7 +57,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..errors import ConfigError
+from ..errors import ConfigError, TaskTimeoutError
 from ..utils.validation import check_choice, check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -244,8 +244,11 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
 
     Rebuilds the input matrix from shared memory, derives its own
     generators from the shipped plan, then serves task batches until a
-    ``shutdown`` message or pipe closure.  Injected process faults
-    arrive as plain dicts attached to each task and are applied
+    ``shutdown`` message or pipe closure.  A ``reload`` message rebinds
+    the worker to a *new plan over the same input matrix* (remapping any
+    replaced segments — typically the output buffer), which is how the
+    serving daemon keeps a warm fleet across requests.  Injected process
+    faults arrive as plain dicts attached to each task and are applied
     mechanically — the worker holds no injector state.
     """
     import numpy as np
@@ -257,26 +260,43 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
     from ..utils.timing import Stopwatch
 
     segs = {}
-    try:
-        for name, shm_name in shm_names.items():
+
+    def remap(names: dict) -> None:
+        for name, shm_name in names.items():
+            old = segs.pop(name, None)
+            if old is not None:
+                try:
+                    old.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
             segs[name] = shared_memory.SharedMemory(name=shm_name)
+
+    try:
+        remap(shm_names)
         plan = SketchPlan.from_dict(plan_data)
         A = _open_shared_matrix(segs, problem)
-        d, n = plan.problem.d, plan.problem.n
-        Ahat = np.ndarray((d, n), dtype=np.float64, buffer=segs["ahat"].buf)
         backend = resolve_backend(plan.backend)
-        rng = plan.rng.build(wid)
         watch = Stopwatch()
         workspace = KernelWorkspace()
         algo = default_algo()
 
-        block_by_offset = {}
-        if plan.kernel == "algo4":
-            # Zero-copy views over the supervisor's one shared conversion
-            # — workers never re-run csc_to_blocked_csr.
-            blocked = _open_shared_blocked(segs, problem)
-            for j0, blk in blocked.iter_blocks():
-                block_by_offset[j0] = blk
+        def bind(plan: "SketchPlan", problem: dict):
+            """(Re)derive the per-plan state: output view, generator,
+            and the zero-copy blocked-CSR views for Algorithm 4."""
+            d, n = plan.problem.d, plan.problem.n
+            Ahat = np.ndarray((d, n), dtype=np.float64,
+                              buffer=segs["ahat"].buf)
+            rng = plan.rng.build(wid)
+            block_by_offset = {}
+            if plan.kernel == "algo4":
+                # Zero-copy views over the supervisor's one shared
+                # conversion — workers never re-run csc_to_blocked_csr.
+                blocked = _open_shared_blocked(segs, problem)
+                for j0, blk in blocked.iter_blocks():
+                    block_by_offset[j0] = blk
+            return Ahat, rng, block_by_offset
+
+        Ahat, rng, block_by_offset = bind(plan, problem)
         backend.warmup(rng, np.float64)
         conn.send(("ready", wid, os.getpid(), 0.0))
 
@@ -284,6 +304,18 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
             msg = conn.recv()
             if msg[0] == "shutdown":
                 break
+            if msg[0] == "reload":
+                # A new plan over the same input matrix.  Pipe order
+                # guarantees the reload is applied before any task batch
+                # the supervisor sends afterwards, so no ack round trip
+                # is required for correctness; the "reloaded" message
+                # doubles as a heartbeat.
+                _tag, plan_data, shm_updates, problem = msg
+                remap(shm_updates)
+                plan = SketchPlan.from_dict(plan_data)
+                Ahat, rng, block_by_offset = bind(plan, problem)
+                conn.send(("reloaded", wid, os.getpid(), 0.0))
+                continue
             if msg[0] != "tasks":  # pragma: no cover - protocol guard
                 continue
             for idx, task, faults in msg[1]:
@@ -425,6 +457,13 @@ class ProcessPoolSupervisor:
         self._workers: dict[int, _WorkerHandle] = {}
         self._next_wid = 0
         self._respawns_used = 0
+        self._started = False
+        self._tainted = False
+        self._ctx = None
+        self._shm_names: dict[str, str] = {}
+        self._worker_digest: str | None = None
+        self._ahat_shape: tuple[int, int] | None = None
+        self._fleet_target = 0
         self._committed: set[int] = set()
         self._replays: dict[int, int] = {}
         self._dispatches: dict[int, int] = {}
@@ -494,6 +533,7 @@ class ProcessPoolSupervisor:
         ahat = create("ahat", np.float64, (d, n))
         ahat[:] = 0.0
         self.Ahat = ahat
+        self._ahat_shape = (d, n)
         return {name: seg.name for name, seg in self._segs.items()}
 
     def _release_segments(self) -> None:
@@ -765,13 +805,17 @@ class ProcessPoolSupervisor:
             self._worker_stats["compute"] += watch.total("compute")
             self._worker_stats["samples"] += rng.samples_generated
 
-    def _run_fallback(self, leftover: list[int]) -> None:
+    def _run_fallback(self, leftover: list[int],
+                      deadline: float | None = None) -> None:
         """Finish *leftover* tasks in-process: thread rung, then serial.
 
         The pool could not complete these (collapse or quarantine).
         Tiles recompute bit-identically in the driver process because
         generators are coordinate-keyed; each rung's decision is
-        emitted as a ``degraded`` event.
+        emitted as a ``degraded`` event.  Deadlines still bind down
+        here: the plan's per-task ``task_timeout`` is enforced post-hoc
+        on every rung (strict when ``reexecute_stragglers`` is off),
+        and an absolute run *deadline* aborts between tasks.
         """
         from concurrent.futures import ThreadPoolExecutor
 
@@ -779,8 +823,8 @@ class ProcessPoolSupervisor:
 
         self._fallback_blocks = {}
         if self.plan.kernel == "algo4":
-            # The supervisor's one conversion (built or cache-served in
-            # run()) serves the degradation rungs too — no reconversion.
+            # The supervisor's one conversion (built or cache-served at
+            # start) serves the degradation rungs too — no reconversion.
             self._ensure_blocked()
             for j0, blk in self.blocked.iter_blocks():
                 self._fallback_blocks[j0] = blk
@@ -791,11 +835,34 @@ class ProcessPoolSupervisor:
             f"degrading process -> thread")
         self.bus.emit(DEGRADED, kind="pool_fallback", tasks=len(leftover))
 
+        cfg = self.plan.resilience
+        timeout = cfg.task_timeout if cfg is not None else None
+        strict = cfg is not None and not cfg.reexecute_stragglers
+
+        def check_task_deadline(task: Task, elapsed: float) -> None:
+            # Post-hoc: an in-process rung cannot preempt a running
+            # kernel, but an overrun must still surface (and, under the
+            # strict contract, fail) rather than pass silently.
+            if timeout is None or elapsed <= timeout:
+                return
+            key = (task[0], task[2])
+            with self._stats_lock:
+                self.health.timeouts += 1
+                self.health.record(
+                    f"task {key}: fallback rung overran the {timeout}s "
+                    f"per-task deadline ({elapsed:.3f}s)")
+            if strict:
+                raise TaskTimeoutError(
+                    f"task {key} missed its {timeout}s deadline "
+                    f"({elapsed:.3f}s elapsed) on the degradation ladder")
+
         def run_one(idx: int) -> None:
             task = self._tasks[idx]
             i, d1, j, n1 = task
             self.health.attempts += 1
+            started = time.monotonic()
             self._compute_local(task, self.Ahat[i:i + d1, j:j + n1])
+            check_task_deadline(task, time.monotonic() - started)
 
         threads = max(1, min(4, self.plan.threads))
         failed: list[int] = []
@@ -806,6 +873,8 @@ class ProcessPoolSupervisor:
                     fut.result()
                     self._committed.add(idx)
                     self.health.completed += 1
+                except TaskTimeoutError:
+                    raise  # the deadline contract outranks the last rung
                 except Exception:  # noqa: BLE001 - last rung handles it
                     failed.append(idx)
         if not failed:
@@ -816,10 +885,14 @@ class ProcessPoolSupervisor:
             f"degrading thread -> serial")
         self.bus.emit(DEGRADED, kind="serial_fallback", tasks=len(failed))
         for idx in failed:
+            if deadline is not None and time.monotonic() >= deadline:
+                self._cancel_run(deadline)
             self.health.attempts += 1
             run = self._tasks[idx]
             i, d1, j, n1 = run
+            started = time.monotonic()
             self._compute_local(run, self.Ahat[i:i + d1, j:j + n1])
+            check_task_deadline(run, time.monotonic() - started)
             self._committed.add(idx)
             self.health.completed += 1
 
@@ -850,29 +923,239 @@ class ProcessPoolSupervisor:
                    "respawns_used": self._respawns_used},
             health=self.health,
         )
+        # Conversion happens once per pool (at start); attribute it to
+        # the run that paid for it so warm runs report pure kernel time.
+        self._conversion_seconds = 0.0
         return stats
 
-    # -- entry point -------------------------------------------------------
+    # -- warm-pool lifecycle -----------------------------------------------
+
+    @property
+    def tainted(self) -> bool:
+        """True once a run was cancelled mid-flight (deadline abort).
+
+        A tainted pool may still hold workers with claimed tasks that
+        would write into a reused output segment; callers must
+        :meth:`close` it rather than reuse it.
+        """
+        return self._tainted
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the currently live workers (chaos hooks, tests)."""
+        return tuple(h.pid for h in self._workers.values())
+
+    def compatible(self, plan: "SketchPlan") -> bool:
+        """True if *plan* can execute on this warm pool (same input
+        matrix shape, kernel, backend, and — for Algorithm 4 — the same
+        ``b_n`` partition, so the one shared conversion stays valid).
+        The caller is responsible for matrix *identity*: a warm pool is
+        bound to the matrix content it was started with."""
+        try:
+            self._check_compatible(plan)
+        except ConfigError:
+            return False
+        return True
+
+    def _check_compatible(self, plan: "SketchPlan") -> None:
+        base = self.plan
+        if (plan.problem.m, plan.problem.n) != (base.problem.m,
+                                                base.problem.n):
+            raise ConfigError(
+                f"warm pool is bound to a {base.problem.m}x{base.problem.n} "
+                f"input; plan expects {plan.problem.m}x{plan.problem.n}")
+        if plan.kernel != base.kernel:
+            raise ConfigError(
+                f"warm pool workers are bound to kernel {base.kernel!r}; "
+                f"plan wants {plan.kernel!r}")
+        if plan.backend != base.backend:
+            raise ConfigError(
+                f"warm pool workers are bound to backend {base.backend!r}; "
+                f"plan wants {plan.backend!r}")
+        if base.kernel == "algo4" and plan.b_n != base.b_n:
+            raise ConfigError(
+                f"warm pool's shared blocked-CSR uses b_n={base.b_n}; "
+                f"plan wants b_n={plan.b_n} (would force reconversion)")
+        if plan.persistence.enabled:
+            raise ConfigError(
+                "the process driver cannot honour a persistence policy yet; "
+                "use driver='engine' for checkpointed runs")
+
+    def start(self) -> "ProcessPoolSupervisor":
+        """Publish the shared input segments and spawn the worker fleet.
+
+        Idempotent.  After ``start()`` the pool is *warm*: repeated
+        :meth:`execute` calls reuse the fleet and the one-time CSC (and
+        blocked-CSR) shared-memory publication, so a request on a warm
+        pool pays pure kernel time.  Pair with :meth:`close`.
+        """
+        import multiprocessing
+
+        if self._started:
+            return self
+        self._ctx = multiprocessing.get_context(
+            pool_start_method(self.pool.start_method))
+        self._ensure_blocked()
+        self._shm_names = self._create_segments()
+        d, n = self.plan.problem.d, self.plan.problem.n
+        n_tasks = (((d + self.plan.b_d - 1) // self.plan.b_d)
+                   * ((n + self.plan.b_n - 1) // self.plan.b_n))
+        self._fleet_target = min(self.pool.workers, max(1, n_tasks))
+        for _ in range(self._fleet_target):
+            self._spawn_worker(self._ctx, self._shm_names)
+        self._worker_digest = self.plan.digest()
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Shut down the fleet and release shared memory (idempotent)."""
+        self._shutdown_workers()
+        self._release_segments()
+        self._started = False
+        self._ctx = None
+        self._shm_names = {}
+
+    def _refresh_output_segment(self) -> dict[str, str]:
+        """Make the shared output buffer match the current plan's shape.
+
+        Returns the segment remappings workers must apply (empty when
+        the existing buffer is reused — it is zeroed in place)."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        d, n = self.plan.problem.d, self.plan.problem.n
+        if self._ahat_shape == (d, n):
+            self.Ahat[:] = 0.0
+            return {}
+        old = self._segs.pop("ahat", None)
+        if old is not None:
+            try:
+                old.close()
+                old.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        seg = shared_memory.SharedMemory(create=True,
+                                         size=max(1, d * n * 8))
+        self._segs["ahat"] = seg
+        self.Ahat = np.ndarray((d, n), dtype=np.float64, buffer=seg.buf)
+        self.Ahat[:] = 0.0
+        self._ahat_shape = (d, n)
+        self._shm_names["ahat"] = seg.name
+        return {"ahat": seg.name}
+
+    def _reload_workers(self, shm_updates: dict[str, str]) -> None:
+        """Rebind live workers to the current plan (new output segment,
+        generator recipe, block views).  Pipe ordering guarantees the
+        reload lands before any task batch sent afterwards."""
+        problem = {"m": self.A.shape[0], "n": self.A.shape[1],
+                   "nnz": int(self.A.nnz)}
+        if self.blocked is not None:
+            problem["n_blocks"] = int(self.blocked.n_blocks)
+            problem["blk_nnz"] = int(self.blocked.nnz)
+        plan_data = self.plan.to_dict()
+        for handle in list(self._workers.values()):
+            try:
+                handle.conn.send(("reload", plan_data, shm_updates, problem))
+            except (OSError, BrokenPipeError):
+                self._lose_worker(handle, "crashed")
+
+    # -- entry points ------------------------------------------------------
 
     def run(self):
-        """Execute the plan across the worker fleet; ``(Ahat, stats)``."""
+        """One-shot execution: start, execute, tear down.
+
+        The classic ``process``-driver path; returns ``(Ahat, stats)``.
+        """
+        try:
+            self.start()
+            result, stats = self.execute()
+        finally:
+            self.close()
+        # Keep the historical contract: after run() the attribute holds
+        # the detached result, never a view of released shared memory.
+        self.Ahat = result
+        return result, stats
+
+    def execute(self, plan: "SketchPlan | None" = None, rng_factory=None, *,
+                injector=None, deadline: float | None = None):
+        """Run one plan on the warm fleet; returns ``(Ahat, stats)``.
+
+        Parameters
+        ----------
+        plan:
+            Optional replacement plan for this run.  Must satisfy
+            :meth:`compatible`; workers are rebound via a ``reload``
+            message and the shared output buffer is recreated only when
+            ``d`` changes.  ``None`` reuses the current plan.  The
+            supervision policy (``pool``) stays the one the pool was
+            started with — it sized the fleet.
+        rng_factory, injector:
+            Per-run overrides; ``None`` keeps the constructor's.
+        deadline:
+            Absolute ``time.monotonic()`` instant.  When it passes
+            mid-run the dispatch loop aborts: queued tasks are dropped,
+            claimed-but-uncommitted tiles are abandoned (never served),
+            the pool is marked :attr:`tainted`, and
+            :class:`~repro.errors.TaskTimeoutError` is raised.  A
+            tainted pool must be :meth:`close`\\ d, not reused.
+
+        Returns a *private copy* of the sketch — the shared segment is
+        reused by the next run.
+        """
         import multiprocessing
         import numpy as np
 
         from ..kernels.blocking import iter_block_tasks
         from ..plan.events import BLOCK_DONE, BLOCK_START
         from ..utils.timing import Timer
+        from .resilience import RunHealth
 
-        plan = self.plan
-        d, n = plan.problem.d, plan.problem.n
-        self._tasks = list(iter_block_tasks(d, n, plan.b_d, plan.b_n))
+        if not self._started:
+            raise ConfigError("pool is not started; call start() or run()")
+        if self._tainted:
+            raise ConfigError(
+                "pool is tainted by a cancelled run; close() and rebuild")
+        if plan is not None and plan is not self.plan:
+            self._check_compatible(plan)
+            self.plan = plan
+        if rng_factory is not None:
+            self.rng_factory = rng_factory
+        if injector is not None:
+            self.injector = injector
+
+        plan_ = self.plan
+        d, n = plan_.problem.d, plan_.problem.n
+
+        # Fresh per-run state: each execute() reports its own health.
+        self.health = RunHealth()
+        self._committed = set()
+        self._replays = {}
+        self._dispatches = {}
+        self._quarantined = []
+        self._backoff_heap = []
+        self._worker_stats = {"sample": 0.0, "compute": 0.0, "samples": 0}
+        self._tasks = list(iter_block_tasks(d, n, plan_.b_d, plan_.b_n))
         self._ready = deque(range(len(self._tasks)))
         self.health.tasks = len(self._tasks)
         self.health.backend = self.backend.name
+        # The warm fleet serving this run was spawned at start(); count
+        # it here so each run's health stands alone.
+        self.health.workers_spawned = len(self._workers)
         self._track_blocks = self.bus.has_subscribers(BLOCK_START, BLOCK_DONE)
 
-        ctx = multiprocessing.get_context(
-            pool_start_method(self.pool.start_method))
+        shm_updates = self._refresh_output_segment()
+        digest = plan_.digest()
+        if shm_updates or digest != self._worker_digest:
+            self._reload_workers(shm_updates)
+            self._worker_digest = digest
+        # Grow the fleet for a bigger plan (fresh members, not respawns)
+        # — but never resurrect a collapsed pool: that is the caller's
+        # signal to recycle it.
+        if self._workers:
+            want = min(self.pool.workers, max(1, len(self._tasks)))
+            self._fleet_target = max(self._fleet_target, want)
+            while len(self._workers) < want:
+                self._spawn_worker(self._ctx, self._shm_names)
+
         batch = self.pool.batch_size
         if batch <= 0:
             batch = max(1, min(
@@ -881,48 +1164,62 @@ class ProcessPoolSupervisor:
         tick = min(0.05, self.pool.heartbeat_timeout / 5.0)
 
         with Timer() as total:
-            try:
-                self._ensure_blocked()
-                shm_names = self._create_segments()
-                workers = min(self.pool.workers, max(1, len(self._tasks)))
-                for _ in range(workers):
-                    self._spawn_worker(ctx, shm_names)
+            while (self._workers
+                    and (self._ready or self._backoff_heap
+                         or any(h.assigned
+                                for h in self._workers.values()))):
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._cancel_run(deadline)
+                self._drain_backoff()
+                for handle in list(self._workers.values()):
+                    if not handle.assigned and self._ready:
+                        self._dispatch(handle, batch)
+                conns = {h.conn: h for h in self._workers.values()}
+                if conns:
+                    readable = multiprocessing.connection.wait(
+                        list(conns), timeout=tick)
+                    for conn in readable:
+                        handle = conns.get(conn)
+                        if handle is not None \
+                                and handle.wid in self._workers:
+                            self._pump_worker(handle)
+                self._check_liveness()
+                self._maybe_respawn(self._ctx, self._shm_names)
 
-                while (self._workers
-                        and (self._ready or self._backoff_heap
-                             or any(h.assigned
-                                    for h in self._workers.values()))):
-                    self._drain_backoff()
-                    for handle in list(self._workers.values()):
-                        if not handle.assigned and self._ready:
-                            self._dispatch(handle, batch)
-                    conns = {h.conn: h for h in self._workers.values()}
-                    if conns:
-                        readable = multiprocessing.connection.wait(
-                            list(conns), timeout=tick)
-                        for conn in readable:
-                            handle = conns.get(conn)
-                            if handle is not None \
-                                    and handle.wid in self._workers:
-                                self._pump_worker(handle)
-                    self._check_liveness()
-                    self._maybe_respawn(ctx, shm_names)
-
-                self._shutdown_workers()
-                leftover = sorted(
-                    set(range(len(self._tasks))) - self._committed)
-                if leftover:
-                    self._run_fallback(leftover)
-                # Detach the result from shared memory before unlinking.
-                result = np.array(self.Ahat, copy=True)
-            finally:
-                self._shutdown_workers()
-                self._release_segments()
+            leftover = sorted(
+                set(range(len(self._tasks))) - self._committed)
+            if leftover:
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._cancel_run(deadline)
+                self._run_fallback(leftover, deadline=deadline)
+            # Detach the result: the shared segment is reused next run.
+            result = np.array(self.Ahat, copy=True)
             post = self.rng_factory(0).post_scale
             if post != 1.0:
                 result *= post
-        self.Ahat = result
         return result, self._finish_stats(total.elapsed)
+
+    def _cancel_run(self, deadline: float) -> None:
+        """Abort the in-flight run at its deadline.
+
+        Queued work is dropped and claimed-but-uncommitted tiles are
+        abandoned; whatever those workers later write lands in a buffer
+        nobody will serve, but the pool is tainted so it cannot be
+        reused either.  Raises :class:`TaskTimeoutError`.
+        """
+        claimed = sum(len(h.assigned) for h in self._workers.values())
+        pending = len(self._tasks) - len(self._committed)
+        self._ready.clear()
+        self._backoff_heap = []
+        self._tainted = True
+        self.health.timeouts += 1
+        self.health.record(
+            f"run deadline expired: {pending} task(s) unfinished, "
+            f"{claimed} claimed-but-uncommitted cancelled; pool tainted")
+        raise TaskTimeoutError(
+            f"run deadline expired with {pending}/{len(self._tasks)} "
+            f"task(s) unfinished ({claimed} claimed-but-uncommitted "
+            f"cancelled)")
 
     def _shutdown_workers(self) -> None:
         from ..plan.events import WORKER_LOST

@@ -86,14 +86,21 @@ class ResilienceConfig:
         offsets)``, never on thread — so a retry reproduces the fault-free
         block bit-identically.
     task_timeout:
-        Per-task deadline in seconds (``None`` = no deadline).  Requires
-        ``threads >= 2``: the driver thread detects overdue tasks while
-        workers run.
+        Per-task deadline in seconds (``None`` = no deadline).  With
+        ``threads >= 2`` the driver thread detects overdue tasks while
+        workers run and can act mid-flight; on single-thread paths (and
+        the degradation ladder's serial rung) the deadline is enforced
+        post-hoc after each task returns, so a request deadline still
+        binds when the ladder bottoms out at serial.
     reexecute_stragglers:
         On deadline expiry, speculatively re-execute the task in the
         driver thread (first finisher wins; losers are discarded).  When
         ``False``, a deadline miss raises
-        :class:`repro.errors.TaskTimeoutError` instead.
+        :class:`repro.errors.TaskTimeoutError` instead.  Serial paths
+        cannot preempt a running kernel: there an overrun is recorded
+        in the health report (re-execution would be pointless — the
+        committed result is already bit-identical), or raises when this
+        is ``False``.
     guardrail:
         Post-block validation policy: ``None`` (off — the seed
         behaviour), ``"raise"`` (fail fast with

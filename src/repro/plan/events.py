@@ -61,6 +61,11 @@ __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_EVICTED",
+    "REQUEST_ADMITTED",
+    "REQUEST_SHED",
+    "REQUEST_DONE",
+    "DEADLINE_MISSED",
+    "DRAIN_STARTED",
     "LIFECYCLE_EVENTS",
 ]
 
@@ -95,6 +100,23 @@ CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
 CACHE_EVICTED = "cache_evicted"
 
+#: Serving-daemon lifecycle events (:mod:`repro.serve`):
+#: ``request_admitted`` when a request clears admission control (payload
+#: ``request_id``, ``queue_depth``), ``request_shed`` when one is
+#: rejected by load shedding (payload ``request_id``, ``reason`` —
+#: ``"queue_full"`` / ``"breaker_open"`` / ``"draining"`` — and
+#: ``retry_after``), ``request_done`` when a response is produced
+#: (payload ``request_id``, ``status``, ``seconds``),
+#: ``deadline_missed`` when a request's deadline expires (payload
+#: ``request_id``, ``phase`` — ``"queue"`` / ``"execute"``), and
+#: ``drain_started`` when graceful shutdown begins (payload
+#: ``in_flight``, ``queued``).
+REQUEST_ADMITTED = "request_admitted"
+REQUEST_SHED = "request_shed"
+REQUEST_DONE = "request_done"
+DEADLINE_MISSED = "deadline_missed"
+DRAIN_STARTED = "drain_started"
+
 #: Interposition hooks: fired around each task attempt on the guarded
 #: path so subscribers (the fault injector) can fail, delay, or corrupt
 #: an attempt.  Payloads are mutable; ``rng_request`` handlers may
@@ -107,6 +129,8 @@ LIFECYCLE_EVENTS = (
     PLAN_COMPILED, BLOCK_START, BLOCK_DONE, CHECKPOINT_WRITTEN,
     RETRY, DEGRADED, DONE, WORKER_SPAWNED, WORKER_LOST, TASK_REQUEUED,
     CACHE_HIT, CACHE_MISS, CACHE_EVICTED,
+    REQUEST_ADMITTED, REQUEST_SHED, REQUEST_DONE, DEADLINE_MISSED,
+    DRAIN_STARTED,
 )
 
 #: Hook events whose mere presence switches the engine onto the guarded

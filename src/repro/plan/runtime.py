@@ -159,6 +159,21 @@ class Runtime:
 
     def __init__(self, bus: EventBus | None = None) -> None:
         self.bus = bus if bus is not None else EventBus()
+        # Instance-local driver overrides: consulted before the global
+        # registry, so a long-lived caller (the serving daemon's warm
+        # process pool) can re-route e.g. "process" plans onto a reused
+        # supervisor without mutating global dispatch for everyone.
+        self._local_drivers: dict[str, Callable] = {}
+
+    def register_local_driver(self, name: str, fn: Callable) -> None:
+        """Override driver *name* for this runtime instance only.
+
+        The callable has the global driver signature
+        ``fn(runtime, plan, A, factory, blocked, injector)`` and shadows
+        the registry entry of the same name; other :class:`Runtime`
+        instances are unaffected.
+        """
+        self._local_drivers[name] = fn
 
     # -- driver resolution ---------------------------------------------------
 
@@ -252,13 +267,15 @@ class Runtime:
                 "the process driver cannot honour a persistence policy yet; "
                 "use driver='engine' for checkpointed runs"
             )
-        try:
-            driver = _DRIVERS[driver_name]
-        except KeyError:
-            raise ConfigError(
-                f"unknown execution driver {driver_name!r}; registered: "
-                f"{', '.join(available_drivers())}"
-            ) from None
+        driver = self._local_drivers.get(driver_name)
+        if driver is None:
+            try:
+                driver = _DRIVERS[driver_name]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown execution driver {driver_name!r}; registered: "
+                    f"{', '.join(available_drivers())}"
+                ) from None
         self.bus.emit(PLAN_COMPILED, plan=plan, driver=driver_name)
         Ahat, stats = driver(self, plan, A, factory, blocked, injector)
         s = plan.scale()

@@ -1,0 +1,46 @@
+"""``repro serve`` — the long-lived, crash-tolerant sketch service.
+
+The "fixed A, many sketches" workload of the paper is a request-serving
+pattern: one sparse matrix, a stream of sketch requests against it.
+This package turns the plan/compile/execute stack into a daemon built
+for that shape:
+
+* :class:`ServeConfig` — service policy (queue bound, deadlines,
+  breaker, drain budget, warm-pool sizing);
+* :class:`AdmissionQueue` — bounded FIFO with explicit 429-style load
+  shedding and queue-depth-derived retry hints;
+* :class:`CircuitBreaker` — consecutive pool degradations flip the
+  service to fast shedding, half-open probes recover it;
+* :class:`SketchService` — the transport-independent core: warm
+  :class:`~repro.parallel.ProcessPoolSupervisor` reuse, per-request
+  deadlines propagated into every execution layer, deterministic
+  (bit-identical) serial re-execution when a pool dies mid-request,
+  graceful drain;
+* :class:`ServeDaemon` — the stdlib HTTP shell with ``/healthz``,
+  ``/readyz``, ``/metrics``, and ``POST /v1/sketch``.
+
+Typed failures: shed requests raise/return
+:class:`~repro.errors.RequestShedError` (429/503), expired ones
+:class:`~repro.errors.RequestDeadlineError` (504) — a client can always
+tell *why* it was refused and when to come back.
+"""
+
+from .admission import AdmissionQueue
+from .breaker import CircuitBreaker
+from .config import ServeConfig
+from .daemon import ServeDaemon
+from .protocol import SketchRequest, encode_result, parse_request, sketch_digest
+from .service import SketchService, Ticket
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "ServeConfig",
+    "ServeDaemon",
+    "SketchRequest",
+    "SketchService",
+    "Ticket",
+    "encode_result",
+    "parse_request",
+    "sketch_digest",
+]

@@ -1,0 +1,134 @@
+"""Bounded admission queue with explicit load shedding.
+
+The serving daemon never lets backlog grow without bound: a request
+either gets a seat in this queue or is shed *immediately* with a typed
+:class:`~repro.errors.RequestShedError` carrying a ``retry_after`` hint
+— the client-visible half of the backpressure loop.  ``retry_after`` is
+derived from the live queue depth and an exponentially-weighted moving
+average of recent service times, so a client that honours it arrives
+roughly when a seat is expected to free up rather than hammering a
+saturated daemon.
+
+The queue is deliberately FIFO and deadline-agnostic: expiry of queued
+requests is the service's concern (it checks at dequeue and emits
+``deadline_missed`` with ``phase="queue"``), keeping this structure a
+pure synchronization primitive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..errors import RequestShedError
+
+#: Bounds on the computed retry-after hint (seconds).  The lower bound
+#: keeps a hot-looping client from busy-retrying; the upper bound keeps
+#: a momentary spike from telling clients to go away for minutes.
+RETRY_AFTER_MIN = 0.05
+RETRY_AFTER_MAX = 30.0
+
+#: EWMA smoothing factor for the service-time estimate.
+_EWMA_ALPHA = 0.3
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO of request tickets.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued (admitted but not yet executing) tickets.
+    initial_service_seconds:
+        Seed for the service-time EWMA before any request completes
+        (only affects the very first retry-after hints).
+    """
+
+    def __init__(self, capacity: int,
+                 initial_service_seconds: float = 0.5) -> None:
+        self.capacity = int(capacity)
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._ewma = float(initial_service_seconds)
+
+    # -- service-time estimate --------------------------------------------
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Fold one completed request's wall time into the EWMA."""
+        with self._cond:
+            self._ewma = ((1.0 - _EWMA_ALPHA) * self._ewma
+                          + _EWMA_ALPHA * max(0.0, float(seconds)))
+
+    def service_estimate(self) -> float:
+        """Current EWMA of per-request service seconds."""
+        with self._cond:
+            return self._ewma
+
+    def retry_after(self, extra_depth: int = 0) -> float:
+        """Back-off hint for a shed request: (depth+1) × EWMA, clamped."""
+        with self._cond:
+            depth = len(self._items) + extra_depth
+            est = (depth + 1) * self._ewma
+        return min(RETRY_AFTER_MAX, max(RETRY_AFTER_MIN, est))
+
+    # -- queue operations --------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def offer(self, ticket) -> int:
+        """Enqueue *ticket*; returns the post-insert queue depth.
+
+        Raises :class:`RequestShedError` (``reason="queue_full"`` or
+        ``"draining"``) instead of blocking — shedding is always
+        explicit and immediate.
+        """
+        with self._cond:
+            if self._closed:
+                raise RequestShedError(
+                    "daemon is draining; not admitting new requests",
+                    reason="draining",
+                    retry_after=min(RETRY_AFTER_MAX, max(
+                        RETRY_AFTER_MIN, (len(self._items) + 1) * self._ewma)))
+            if len(self._items) >= self.capacity:
+                raise RequestShedError(
+                    f"admission queue is full ({self.capacity} waiting)",
+                    reason="queue_full",
+                    retry_after=min(RETRY_AFTER_MAX, max(
+                        RETRY_AFTER_MIN, (len(self._items) + 1) * self._ewma)))
+            self._items.append(ticket)
+            depth = len(self._items)
+            self._cond.notify()
+            return depth
+
+    def take(self, timeout: float | None = None):
+        """Dequeue the oldest ticket, blocking up to *timeout* seconds.
+
+        Returns ``None`` on timeout or once the queue is closed *and*
+        empty (executor threads use that as their exit signal).
+        """
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> list:
+        """Stop admitting and wake all waiters; returns the tickets
+        still queued (the drain path sheds them with retry hints)."""
+        with self._cond:
+            self._closed = True
+            remaining = list(self._items)
+            self._items.clear()
+            self._cond.notify_all()
+            return remaining
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed

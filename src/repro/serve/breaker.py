@@ -1,0 +1,109 @@
+"""Circuit breaker over the worker-pool health signal.
+
+A pool that keeps degrading (process → thread → serial) is telling us
+something is wrong with the host — cgroup memory pressure, a bad
+kernel build, fork bombs from a neighbour.  Retrying every request
+through a collapsing pool just converts client traffic into more
+carnage.  The breaker converts *consecutive* degraded or failed
+requests into fast, cheap shedding:
+
+* **closed** — normal operation; failures increment a consecutive
+  counter, any success resets it.
+* **open** — after ``threshold`` consecutive failures; every request is
+  shed immediately (``reason="breaker_open"``) with ``retry_after`` set
+  to the remaining recovery window.
+* **half-open** — once ``recovery_seconds`` has elapsed, exactly one
+  probe request is allowed through; its success closes the breaker,
+  its failure re-opens it for a fresh recovery window.
+
+The breaker observes *request outcomes*, not raw pool events, so a
+request that succeeded bit-identically via the degradation ladder still
+counts as a failure signal — the ladder saved the response, but the
+pool is sick.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probe recovery."""
+
+    def __init__(self, threshold: int = 3,
+                 recovery_seconds: float = 5.0) -> None:
+        self.threshold = int(threshold)
+        self.recovery_seconds = float(recovery_seconds)
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and \
+                time.monotonic() - self._opened_at >= self.recovery_seconds:
+            self._state = HALF_OPEN
+            self._probe_out = False
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state only the first caller gets a ``True`` (the
+        probe); everyone else is shed until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe window."""
+        with self._lock:
+            if self._state != OPEN:
+                return self.recovery_seconds
+            remaining = (self.recovery_seconds
+                         - (time.monotonic() - self._opened_at))
+            return max(0.05, remaining)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_out = False
+            self._state = CLOSED
+
+    def record_neutral(self) -> None:
+        """Outcome that says nothing about pool health (deadline miss,
+        bad request): just return a checked-out half-open probe so the
+        breaker cannot wedge waiting for a report that never comes."""
+        with self._lock:
+            self._probe_out = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or \
+                    self._consecutive_failures >= self.threshold:
+                # A failed probe re-opens immediately; in closed state
+                # the consecutive threshold must be met.
+                if self._state != OPEN:
+                    self.trips += 1
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                self._probe_out = False

@@ -204,3 +204,28 @@ class TestCacheCommand:
         rc = main(["cache", "stats"])
         assert rc == 1
         assert "cache directory" in capsys.readouterr().err
+
+    def test_verify_corrupt_entry_exits_nonzero(self, tmp_path, capsys):
+        """``repro cache verify`` is a CI guard: a damaged entry must
+        fail the pipeline (exit 2), not just print a report."""
+        rc = main(["--json", "sketch", "--random", "200", "20", "0.05",
+                   "--kernel", "algo4", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        capsys.readouterr()
+
+        victim = next(tmp_path.glob("*/*/data.npy"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+
+        rc = main(["--json", "cache", "verify", "--cache-dir",
+                   str(tmp_path)])
+        assert rc == 2
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["corrupt"]) == 1
+        # the damaged entry was quarantined; a re-verify is clean again
+        rc = main(["--json", "cache", "verify", "--cache-dir",
+                   str(tmp_path)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt"] == []

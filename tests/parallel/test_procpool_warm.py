@@ -1,0 +1,139 @@
+"""Warm-pool lifecycle of :class:`ProcessPoolSupervisor`.
+
+The serving daemon keeps supervisors alive across requests: explicit
+``start()`` / ``execute()`` / ``close()`` instead of the historical
+one-shot ``run()``.  These tests pin the contract: warm executions are
+bit-identical to serial runs, a plan swap reloads the workers in place,
+deadline expiry taints the pool (and a tainted pool refuses work), and
+a collapsed fleet is never silently resurrected.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig
+from repro.errors import ConfigError, TaskTimeoutError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.parallel import WorkerPoolConfig
+from repro.parallel.procpool import ProcessPoolSupervisor
+from repro.plan import Planner, Runtime
+from repro.sparse import random_sparse
+
+POOL = WorkerPoolConfig(workers=2, heartbeat_timeout=2.0, backoff_base=0.0)
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_sparse(120, 30, 0.1, seed=77)
+
+
+def make_plan(A, *, d=24, seed=5, kernel="algo3"):
+    cfg = SketchConfig(kernel=kernel, rng_kind="philox", seed=seed,
+                       b_d=12, b_n=10)
+    return Planner().compile(A, cfg, d=d, driver="process", pool=POOL)
+
+
+def serial(A, plan):
+    import dataclasses
+
+    return Runtime().run(
+        dataclasses.replace(plan, driver="serial"), A).sketch
+
+
+@pytest.fixture
+def pool(A):
+    plan = make_plan(A)
+    sup = ProcessPoolSupervisor(plan, A, plan.rng_factory())
+    sup.start()
+    yield sup
+    sup.close()
+
+
+class TestWarmReuse:
+    def test_repeat_executions_bit_identical(self, A, pool):
+        plan = pool.plan
+        ref = serial(A, plan) / plan.scale()
+        first, _ = pool.execute(plan, plan.rng_factory())
+        second, _ = pool.execute(plan, plan.rng_factory())
+        assert np.array_equal(first, ref)
+        assert np.array_equal(second, ref)
+
+    def test_warm_run_pays_no_conversion(self, A, pool):
+        plan = pool.plan
+        pool.execute(plan, plan.rng_factory())
+        _, stats = pool.execute(plan, plan.rng_factory())
+        assert stats.conversion_seconds == 0.0
+
+    def test_plan_swap_reloads_workers(self, A, pool):
+        plan2 = make_plan(A, d=36, seed=99)
+        out, _ = pool.execute(plan2, plan2.rng_factory())
+        assert out.shape == (36, A.shape[1])
+        assert np.array_equal(out, serial(A, plan2) / plan2.scale())
+        # and back again: the original plan still produces its bytes
+        plan1 = make_plan(A)
+        out1, _ = pool.execute(plan1, plan1.rng_factory())
+        assert np.array_equal(out1, serial(A, plan1) / plan1.scale())
+
+    def test_workers_survive_across_executions(self, A, pool):
+        plan = pool.plan
+        pool.execute(plan, plan.rng_factory())
+        pids = pool.worker_pids()
+        pool.execute(plan, plan.rng_factory())
+        assert pool.worker_pids() == pids
+
+
+class TestGuards:
+    def test_execute_before_start_rejected(self, A):
+        plan = make_plan(A)
+        sup = ProcessPoolSupervisor(plan, A, plan.rng_factory())
+        with pytest.raises(ConfigError, match="start"):
+            sup.execute(plan, plan.rng_factory())
+
+    def test_incompatible_plan_rejected(self, A, pool):
+        other = make_plan(A, kernel="algo4")
+        with pytest.raises(ConfigError, match="bound to kernel"):
+            pool.execute(other, other.rng_factory())
+
+    def test_start_and_close_idempotent(self, A):
+        plan = make_plan(A)
+        sup = ProcessPoolSupervisor(plan, A, plan.rng_factory())
+        sup.start()
+        sup.start()
+        sup.close()
+        sup.close()
+
+
+class TestDeadline:
+    def test_deadline_cancels_and_taints(self, A, pool):
+        plan = pool.plan
+        inj = FaultInjector(FaultPlan([
+            FaultSpec(kind="hang_worker", sleep_seconds=5.0, max_hits=2),
+        ]))
+        with pytest.raises(TaskTimeoutError, match="deadline"):
+            pool.execute(plan, plan.rng_factory(), injector=inj,
+                         deadline=time.monotonic() + 0.5)
+        assert pool.tainted
+        # a tainted pool must refuse further work: stale workers may
+        # still be writing into the shared output segment
+        with pytest.raises(ConfigError, match="tainted"):
+            pool.execute(plan, plan.rng_factory())
+
+    def test_generous_deadline_is_harmless(self, A, pool):
+        plan = pool.plan
+        ref = serial(A, plan) / plan.scale()
+        out, _ = pool.execute(plan, plan.rng_factory(),
+                              deadline=time.monotonic() + 60.0)
+        assert np.array_equal(out, ref)
+        assert not pool.tainted
+
+
+class TestRunCompatibility:
+    def test_one_shot_run_still_works(self, A):
+        """The historical ``run()`` (start + execute + close) contract."""
+        plan = make_plan(A)
+        sup = ProcessPoolSupervisor(plan, A, plan.rng_factory())
+        out, stats = sup.run()
+        assert np.array_equal(out * plan.scale(), serial(A, plan))
+        assert stats.health.clean

@@ -1,0 +1,70 @@
+"""Per-task deadlines on the serial (threads=1) engine path.
+
+Historically ``task_timeout`` only bound under ``threads >= 2`` (the
+futures path could abandon a stuck worker).  The serial path now
+enforces deadlines *post hoc*: a single-threaded engine cannot preempt
+a running kernel, but it times every task and (a) raises a typed
+:class:`TaskTimeoutError` under ``reexecute_stragglers=False``, or
+(b) records the overrun in :class:`RunHealth` and keeps going —
+so serve-style deadline propagation works on every driver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchConfig
+from repro.errors import TaskTimeoutError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.parallel import ResilienceConfig
+from repro.plan import Planner, Runtime
+from repro.sparse import random_sparse
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_sparse(120, 30, 0.1, seed=17)
+
+
+def run_engine(A, *, resilience, faults=None, threads=1):
+    cfg = SketchConfig(seed=3, b_d=12, b_n=10, threads=threads,
+                       resilience=resilience)
+    plan = Planner().compile(A, cfg, d=24, driver="engine")
+    inj = FaultInjector(FaultPlan(faults)) if faults else None
+    return Runtime().run(plan, A, injector=inj)
+
+
+# pinned to one task: max_hits budgets are per (spec, task), so a
+# wildcard stall would fire on every task of the run
+STALL = [FaultSpec(kind="stall", sleep_seconds=0.4, task=(0, 0))]
+
+
+class TestStrictSerialDeadline:
+    def test_overrun_raises_typed_error(self, A):
+        res = ResilienceConfig(task_timeout=0.05,
+                               reexecute_stragglers=False)
+        with pytest.raises(TaskTimeoutError, match="serial path"):
+            run_engine(A, resilience=res, faults=STALL)
+
+    def test_fast_tasks_unaffected(self, A):
+        res = ResilienceConfig(task_timeout=30.0,
+                               reexecute_stragglers=False)
+        result = run_engine(A, resilience=res)
+        assert result.stats.health.timeouts == 0
+
+
+class TestLenientSerialDeadline:
+    def test_overrun_recorded_but_run_completes(self, A):
+        res = ResilienceConfig(task_timeout=0.05)
+        result = run_engine(A, resilience=res, faults=STALL)
+        assert result.stats.health.timeouts == 1
+        # the overrun changed nothing about the bytes produced
+        clean = run_engine(A, resilience=ResilienceConfig())
+        assert np.array_equal(result.sketch, clean.sketch)
+
+    def test_matches_threaded_behaviour(self, A):
+        """Same plan, same fault: serial and threaded runs agree on the
+        output bits (the deadline machinery is driver-invariant)."""
+        res = ResilienceConfig(task_timeout=30.0)
+        serial = run_engine(A, resilience=res, threads=1)
+        threaded = run_engine(A, resilience=res, threads=3)
+        assert np.array_equal(serial.sketch, threaded.sketch)

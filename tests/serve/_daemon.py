@@ -1,0 +1,95 @@
+"""Subprocess harness for daemon-level serve tests.
+
+Launches ``python -m repro serve`` with an ephemeral port and a ready
+file, waits for readiness, and offers tiny HTTP helpers.  Used by the
+drain and chaos-acceptance tests (and mirrored by ``make serve-smoke``).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class ServeProcess:
+    """A ``repro serve`` daemon subprocess bound to an ephemeral port."""
+
+    def __init__(self, tmp_dir: str, *extra_args: str,
+                 startup_timeout: float = 30.0) -> None:
+        self.ready_file = os.path.join(tmp_dir, "ready")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.abspath(SRC),
+                        env.get("PYTHONPATH", "")) if p)
+        env.pop("REPRO_CACHE_DIR", None)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--ready-file", self.ready_file, "--no-cache",
+             *extra_args],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        deadline = time.monotonic() + startup_timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(self.ready_file):
+                break
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    "daemon exited during startup:\n"
+                    + self.proc.stderr.read().decode())
+            time.sleep(0.05)
+        else:
+            self.proc.kill()
+            raise RuntimeError("daemon never became ready")
+        with open(self.ready_file, encoding="utf-8") as fh:
+            self.base = "http://" + fh.read().strip()
+
+    # -- HTTP helpers ------------------------------------------------------
+
+    def get(self, path: str, timeout: float = 10.0):
+        try:
+            with urllib.request.urlopen(self.base + path,
+                                        timeout=timeout) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode()
+
+    def post(self, doc: dict, timeout: float = 120.0):
+        """POST /v1/sketch; returns ``(status, body_dict, headers)``."""
+        req = urllib.request.Request(
+            self.base + "/v1/sketch", data=json.dumps(doc).encode(),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read()), resp.headers
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read()), err.headers
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sigterm(self) -> None:
+        import signal
+
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout: float = 60.0) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10.0)
+
+
+def decode_sketch(doc: dict) -> np.ndarray:
+    raw = base64.b64decode(doc["sketch"]["data"])
+    return np.frombuffer(raw, dtype=doc["sketch"]["dtype"]).reshape(
+        doc["sketch"]["shape"])

@@ -1,0 +1,95 @@
+"""Admission queue: bounded FIFO, load shedding, retry hints."""
+
+import threading
+
+import pytest
+
+from repro.errors import RequestShedError
+from repro.serve.admission import (
+    RETRY_AFTER_MAX,
+    RETRY_AFTER_MIN,
+    AdmissionQueue,
+)
+
+
+class TestOfferTake:
+    def test_fifo_order(self):
+        q = AdmissionQueue(capacity=4)
+        for item in ("a", "b", "c"):
+            q.offer(item)
+        assert [q.take(0.1) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_offer_returns_depth(self):
+        q = AdmissionQueue(capacity=4)
+        assert q.offer("a") == 1
+        assert q.offer("b") == 2
+        assert q.depth == 2
+
+    def test_take_timeout_returns_none(self):
+        q = AdmissionQueue(capacity=2)
+        assert q.take(timeout=0.01) is None
+
+
+class TestShedding:
+    def test_sheds_beyond_capacity(self):
+        q = AdmissionQueue(capacity=2)
+        q.offer("a")
+        q.offer("b")
+        with pytest.raises(RequestShedError) as exc:
+            q.offer("c")
+        assert exc.value.reason == "queue_full"
+        assert exc.value.retry_after >= RETRY_AFTER_MIN
+        # the two seats already taken are untouched
+        assert q.depth == 2
+
+    def test_sheds_when_closed(self):
+        q = AdmissionQueue(capacity=2)
+        q.close()
+        with pytest.raises(RequestShedError) as exc:
+            q.offer("a")
+        assert exc.value.reason == "draining"
+
+    def test_close_returns_remaining_tickets(self):
+        q = AdmissionQueue(capacity=4)
+        q.offer("a")
+        q.offer("b")
+        assert q.close() == ["a", "b"]
+        assert q.depth == 0
+        assert q.take(timeout=0.01) is None  # closed + empty -> None
+
+
+class TestRetryHints:
+    def test_retry_after_scales_with_depth(self):
+        q = AdmissionQueue(capacity=8, initial_service_seconds=1.0)
+        empty = q.retry_after()
+        q.offer("a")
+        q.offer("b")
+        assert q.retry_after() > empty
+
+    def test_retry_after_clamped(self):
+        slow = AdmissionQueue(capacity=64, initial_service_seconds=1e6)
+        assert slow.retry_after() <= RETRY_AFTER_MAX
+        fast = AdmissionQueue(capacity=2, initial_service_seconds=1e-9)
+        assert fast.retry_after() >= RETRY_AFTER_MIN
+
+    def test_ewma_tracks_observed_service_time(self):
+        q = AdmissionQueue(capacity=4, initial_service_seconds=0.1)
+        before = q.retry_after()
+        for _ in range(50):
+            q.observe_service_time(10.0)
+        assert q.retry_after() > before
+
+
+class TestConcurrency:
+    def test_blocking_take_sees_offer(self):
+        q = AdmissionQueue(capacity=2)
+        got = []
+
+        def consumer():
+            got.append(q.take(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.offer("x")
+        t.join(timeout=5.0)
+        assert got == ["x"]

@@ -1,0 +1,88 @@
+"""Circuit breaker: trip, fast shedding, half-open probe recovery."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker(threshold=3)
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED  # never saw 2 *consecutive* failures
+
+    def test_below_threshold_stays_closed(self):
+        b = CircuitBreaker(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+
+
+class TestTrip:
+    def test_threshold_consecutive_failures_open(self):
+        b = CircuitBreaker(threshold=3, recovery_seconds=60.0)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 1
+        assert not b.allow()
+
+    def test_retry_after_is_recovery_remainder(self):
+        b = CircuitBreaker(threshold=1, recovery_seconds=60.0)
+        b.record_failure()
+        assert 0 < b.retry_after() <= 60.0
+
+    def test_extra_failures_do_not_retrip(self):
+        b = CircuitBreaker(threshold=1, recovery_seconds=60.0)
+        b.record_failure()
+        b.record_failure()
+        assert b.trips == 1
+
+
+class TestHalfOpen:
+    def _tripped(self) -> CircuitBreaker:
+        b = CircuitBreaker(threshold=1, recovery_seconds=0.02)
+        b.record_failure()
+        # wait out the recovery window deterministically
+        import time
+
+        time.sleep(0.05)
+        return b
+
+    def test_recovery_window_goes_half_open(self):
+        b = self._tripped()
+        assert b.state == HALF_OPEN
+
+    def test_single_probe_allowed(self):
+        b = self._tripped()
+        assert b.allow()        # the probe
+        assert not b.allow()    # everyone else sheds until it reports
+
+    def test_probe_success_closes(self):
+        b = self._tripped()
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_probe_failure_reopens(self):
+        b = self._tripped()
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 2
+        assert not b.allow()
+
+    def test_neutral_outcome_returns_probe(self):
+        # A deadline miss says nothing about pool health; the checked-out
+        # probe must come back or the breaker wedges forever.
+        b = self._tripped()
+        assert b.allow()
+        b.record_neutral()
+        assert b.state == HALF_OPEN
+        assert b.allow()  # probe slot is available again

@@ -1,0 +1,160 @@
+"""The issue's acceptance scenario, end to end.
+
+Concurrent requests against a live daemon while chaos lands: one
+request's warm pool is killed mid-flight, one hangs past its deadline,
+one waits in queue with an already-hopeless deadline.  The daemon must
+fail *only* the affected requests — each with a typed error — serve
+everything else bit-identical to a local serial ``Runtime.run``, and
+drain cleanly on SIGTERM.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.plan import Planner, Runtime
+from repro.sparse import random_sparse
+
+from ._daemon import ServeProcess, decode_sketch
+
+MATRIX = {"random": [400, 80, 0.04], "seed": 21}
+
+
+def serial_reference(d, seed):
+    A = random_sparse(400, 80, 0.04, seed=21)
+    plan = Planner().compile(A, SketchConfig(seed=seed), d=d)
+    return Runtime().run(plan, A).sketch
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = ServeProcess(str(tmp_path), "--allow-chaos", "--executors", "2",
+                     "--queue-capacity", "16", "--drain-timeout", "30",
+                     "--breaker-threshold", "10")
+    yield d
+    d.kill()
+
+
+def test_chaos_acceptance(daemon):
+    results = {}
+
+    def fire(name, doc):
+        results[name] = daemon.post(doc)
+
+    # Three healthy requests with distinct seeds/shapes, one of them on
+    # the warm process pool.
+    healthy = {
+        "clean-serial": {
+            "matrix": MATRIX, "output": "array",
+            "config": {"d": 16, "seed": 1, "driver": "serial"},
+        },
+        "clean-engine": {
+            "matrix": MATRIX, "output": "array",
+            "config": {"d": 12, "seed": 2, "driver": "engine"},
+        },
+        # healthy but slow: stalls an executor for a second, then must
+        # still be served bit-identically
+        "clean-stalled": {
+            "matrix": MATRIX, "output": "array",
+            "config": {"d": 16, "seed": 1, "driver": "engine"},
+            "chaos": {"faults": [{"kind": "stall",
+                                  "sleep_seconds": 1.2}]},
+        },
+        "clean-process": {
+            "matrix": MATRIX, "output": "array",
+            "config": {"d": 16, "seed": 3, "driver": "process",
+                       "workers": 2},
+        },
+    }
+    # The afflicted: a worker massacre mid-request (must still be served
+    # via deterministic re-execution), a hang blowing through its
+    # deadline (typed 504), and a queued request whose deadline cannot
+    # survive the backlog (typed 504, phase=queue).
+    afflicted = {
+        "killed": {
+            "matrix": MATRIX, "output": "array",
+            "config": {"d": 16, "seed": 3, "driver": "process",
+                       "workers": 2},
+            "chaos": {"kill_pool": True,
+                      "faults": [{"kind": "hang_worker",
+                                  "sleep_seconds": 0.4}]},
+        },
+        "hung": {
+            "matrix": MATRIX, "output": "array",
+            "config": {"d": 12, "seed": 5, "driver": "engine",
+                       "resilience": {"reexecute_stragglers": False}},
+            "deadline_seconds": 0.5,
+            "chaos": {"faults": [{"kind": "stall",
+                                  "sleep_seconds": 2.0}]},
+        },
+        "hopeless": {
+            "matrix": MATRIX,
+            "config": {"d": 8, "seed": 6},
+            "deadline_seconds": 0.05,
+            "chaos": {"faults": [{"kind": "stall",
+                                  "sleep_seconds": 0.0}]},
+        },
+    }
+
+    threads = []
+    # Saturate both executors with the long-stalling requests first, so
+    # "hopeless" genuinely waits in queue past its deadline.
+    for name in ("hung", "clean-stalled"):
+        doc = afflicted.get(name) or healthy[name]
+        t = threading.Thread(target=fire, args=(name, doc))
+        t.start()
+        threads.append(t)
+    time.sleep(0.4)
+    t = threading.Thread(target=fire, args=("hopeless",
+                                            afflicted["hopeless"]))
+    t.start()
+    threads.append(t)
+    t = threading.Thread(target=fire, args=("killed", afflicted["killed"]))
+    t.start()
+    threads.append(t)
+    for name, doc in healthy.items():
+        if name == "clean-stalled":
+            continue
+        t = threading.Thread(target=fire, args=(name, doc))
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(timeout=120.0)
+    assert not any(t.is_alive() for t in threads), "requests wedged"
+
+    # -- the blast radius is exactly the afflicted requests ---------------
+    status, body, _ = results["hung"]
+    assert status == 504, body
+    assert body["error"] == "RequestDeadlineError"
+    assert body["phase"] == "execute"
+
+    status, body, _ = results["hopeless"]
+    assert status == 504, body
+    assert body["error"] == "RequestDeadlineError"
+    assert body["phase"] == "queue"
+
+    # the killed-pool request is *served* — crash recovery, bit-identical
+    status, body, _ = results["killed"]
+    assert status == 200, body
+    assert np.array_equal(decode_sketch(body), serial_reference(16, 3))
+
+    # -- everything healthy is bit-identical to a local serial run --------
+    expectations = {"clean-serial": (16, 1), "clean-engine": (12, 2),
+                    "clean-stalled": (16, 1), "clean-process": (16, 3)}
+    for name, (d, seed) in expectations.items():
+        status, body, _ = results[name]
+        assert status == 200, (name, body)
+        assert np.array_equal(decode_sketch(body),
+                              serial_reference(d, seed)), name
+
+    # -- metrics saw the carnage ------------------------------------------
+    mtext = daemon.get("/metrics")[1]
+    assert "serve_deadline_missed_total" in mtext
+    assert "serve_requests_admitted_total" in mtext
+
+    # -- and the daemon still drains cleanly ------------------------------
+    daemon.sigterm()
+    assert daemon.wait(timeout=45.0) == 0
