@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke serve-smoke bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke serve-smoke shard-smoke bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -80,6 +80,21 @@ serve-smoke:
 	  tests/serve/test_service.py tests/parallel/test_procpool_warm.py -q
 	timeout 300 python -m pytest tests/serve/test_daemon_drain.py \
 	  tests/serve/test_chaos_acceptance.py -q
+
+# Sharded-execution leg: the partition test suite (sharded output must
+# be bit-identical to unsharded across serial/engine/process drivers and
+# every strategy, including resume across a shard-count change), a CLI
+# smoke run, then the simulator-validation gate — the scaling model's
+# predicted sharded/unsharded ratio must land within tolerance of the
+# measured process-pool ratio (compared against reports/BENCH_shard.json).
+# Hard wall-clock timeouts so a wedged shard merge fails the build
+# instead of hanging it.
+shard-smoke:
+	timeout 300 python -m pytest tests/plan/test_partition.py \
+	  tests/persist/test_shard_resume.py -q
+	timeout 120 python -m repro sketch --random 400 80 0.05 --b-n 16 \
+	  --shards 3 --partition propagation
+	timeout 600 python benchmarks/bench_shard_scaling.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

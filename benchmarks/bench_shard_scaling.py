@@ -1,0 +1,255 @@
+"""Sharded-execution benchmark and simulator-validation gate.
+
+The partition stage splits a sketch into column shards that execute as
+independent sub-plans and merge in propagation-blocking order.  On one
+host the shards run serially, so sharding is pure overhead — the merge
+sweep plus per-shard setup — and the honest question is whether the
+scaling simulator (:func:`repro.parallel.simulate_strong_scaling` with
+``shards=``) predicts that overhead instead of pretending the reduction
+is free.  Two consumers:
+
+* ``pytest benchmarks/ --benchmark-only`` — prints the sharded-vs-
+  unsharded comparison and refreshes ``reports/BENCH_shard.json``;
+* ``make shard-smoke`` (``python benchmarks/bench_shard_scaling.py``) —
+  re-measures on the supervised **process pool** and fails unless
+  (a) every sharded sketch is **bit-identical** to the unsharded one,
+  (b) the run executed the requested shard count, and (c) the
+  simulator's predicted sharded/unsharded time ratio is within
+  ``REPRO_SHARD_GATE_TOL`` (absolute, default 0.5) of the measured
+  ratio.  When a committed baseline exists the measured ratio is also
+  gated against it with ``REPRO_BENCH_GATE_TOL``.
+
+The ratio — not absolute seconds — is what transfers across hosts: both
+simulator and measurement agree the sharded run costs the unsharded run
+plus a merge term, and the gate pins that agreement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+from _harness import REPEATS, emit_report, shape_check
+
+from repro.core import SketchConfig
+from repro.model import LAPTOP
+from repro.parallel import WorkerPoolConfig, simulate_strong_scaling
+from repro.plan import PartitionSpec, Planner, Runtime
+from repro.sparse import random_sparse
+
+GATE_PATH = Path(__file__).parent / "reports" / "BENCH_shard.json"
+DEFAULT_TOLERANCE = float(os.environ.get("REPRO_BENCH_GATE_TOL", "0.25"))
+RATIO_TOLERANCE = float(os.environ.get("REPRO_SHARD_GATE_TOL", "0.5"))
+
+# Tall-and-sparse, Algorithm-4 shaped; override for quick local smoke
+# runs, e.g. REPRO_BENCH_SHARD_DIMS="8192,96,2e-3".
+_DIMS = os.environ.get("REPRO_BENCH_SHARD_DIMS", "20000,128,2e-3").split(",")
+SHARD_M, SHARD_N, SHARD_DENSITY = int(_DIMS[0]), int(_DIMS[1]), float(_DIMS[2])
+GAMMA = 2.0
+B_N = 16
+B_D = 64
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARD_COUNT", "4"))
+STRATEGY = os.environ.get("REPRO_BENCH_SHARD_STRATEGY", "nnz_balanced")
+WORKERS = 2
+
+
+def _one_run(A, partition: PartitionSpec | None) -> dict:
+    """One compile+execute on the supervised process pool."""
+    cfg = SketchConfig(gamma=GAMMA, kernel="algo4", rng_kind="philox",
+                       seed=0, b_d=B_D, b_n=B_N)
+    plan = Planner().compile(A, cfg, driver="process",
+                             pool=WorkerPoolConfig(workers=WORKERS),
+                             partition=partition)
+    runtime = Runtime()
+    t0 = time.perf_counter()
+    result = runtime.run(plan, A)
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": seconds,
+        "sketch": result.sketch,
+        "shards": result.stats.extra.get("shards", 1),
+        "strategy": result.stats.extra.get("partition_strategy"),
+        "merge_seconds": result.stats.extra.get("merge_seconds", 0.0),
+        "merge_words": result.stats.extra.get("merge_words", 0),
+    }
+
+
+def measure_shard_scaling(repeats: int = REPEATS) -> dict:
+    """Unsharded vs sharded process-pool runs plus the simulator's take.
+
+    Returns a JSON-ready payload; ``sketch_identical`` certifies the
+    acceptance bit: every sharded sketch equals the unsharded one
+    exactly, for every repeat.
+    """
+    A = random_sparse(SHARD_M, SHARD_N, SHARD_DENSITY, seed=0)
+    d = int(np.ceil(GAMMA * SHARD_N))
+    partition = PartitionSpec(shards=SHARDS, strategy=STRATEGY)
+    repeats = max(1, repeats)
+    unsharded = [_one_run(A, None) for _ in range(repeats)]
+    sharded = [_one_run(A, partition) for _ in range(repeats)]
+    identical = all(np.array_equal(s["sketch"], unsharded[0]["sketch"])
+                    for s in sharded + unsharded)
+    un_seconds = statistics.median(u["seconds"] for u in unsharded)
+    sh_seconds = statistics.median(s["seconds"] for s in sharded)
+    # The simulator's prediction of the same pair of runs.  Shard
+    # weights mirror the executed strategy only for `even`; the ratio is
+    # insensitive to the split because single-node shards run serially.
+    sim_un = simulate_strong_scaling(
+        A, d, LAPTOP, kernel="algo4", b_d=B_D, b_n=B_N,
+        threads_list=[WORKERS], include_conversion=True)[0]
+    sim_sh = simulate_strong_scaling(
+        A, d, LAPTOP, kernel="algo4", b_d=B_D, b_n=B_N,
+        threads_list=[WORKERS], include_conversion=True, shards=SHARDS)[0]
+    return {
+        "matrix": f"synthetic({SHARD_M}x{SHARD_N}, rho={SHARD_DENSITY})",
+        "d": d,
+        "b_d": B_D,
+        "b_n": B_N,
+        "workers": WORKERS,
+        "repeats": repeats,
+        "shards_requested": SHARDS,
+        "shards_executed": max(s["shards"] for s in sharded),
+        "strategy": STRATEGY,
+        "unsharded_seconds": un_seconds,
+        "sharded_seconds": sh_seconds,
+        "measured_ratio": sh_seconds / un_seconds,
+        "merge_seconds": max(s["merge_seconds"] for s in sharded),
+        "merge_words": max(s["merge_words"] for s in sharded),
+        "predicted_unsharded_seconds": sim_un.seconds,
+        "predicted_sharded_seconds": sim_sh.seconds,
+        "predicted_ratio": sim_sh.seconds / sim_un.seconds,
+        "sketch_identical": identical,
+    }
+
+
+def structural_failures(payload: dict,
+                        ratio_tol: float = RATIO_TOLERANCE) -> list[str]:
+    """The acceptance invariants; empty list means the gate passes."""
+    failures = []
+    if not payload["sketch_identical"]:
+        failures.append("sharded sketch differs from unsharded sketch "
+                        "(MUST be bit-identical)")
+    if payload["shards_executed"] != payload["shards_requested"]:
+        failures.append(
+            f"run executed {payload['shards_executed']} shard(s); "
+            f"requested {payload['shards_requested']}")
+    if payload["merge_words"] <= 0:
+        failures.append("sharded run reported zero merge words; the "
+                        "merge stage did not account its traffic")
+    gap = abs(payload["predicted_ratio"] - payload["measured_ratio"])
+    if gap > ratio_tol:
+        failures.append(
+            f"simulator ratio {payload['predicted_ratio']:.3f} vs "
+            f"measured {payload['measured_ratio']:.3f}: gap {gap:.3f} "
+            f"exceeds tolerance {ratio_tol:.2f}")
+    return failures
+
+
+def compare_to_baseline(baseline: dict, current: dict,
+                        tolerance: float) -> list[str]:
+    """Drift check against the committed baseline's measured ratio."""
+    base = baseline.get("measured_ratio")
+    if base is None:
+        return []
+    ceiling = base * (1.0 + tolerance) + tolerance
+    if current["measured_ratio"] > ceiling:
+        return [f"measured_ratio: {current['measured_ratio']:.3f} > ceiling "
+                f"{ceiling:.3f} (baseline {base:.3f}, tolerance "
+                f"{tolerance:.0%})"]
+    return []
+
+
+def _write_baseline(payload: dict) -> None:
+    GATE_PATH.parent.mkdir(exist_ok=True)
+    GATE_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def _report_rows(payload: dict) -> list[list]:
+    return [
+        ["unsharded", round(payload["unsharded_seconds"], 4), "1.000",
+         round(payload["predicted_unsharded_seconds"], 6), 1, "-"],
+        [f"{payload['strategy']} x{payload['shards_requested']}",
+         round(payload["sharded_seconds"], 4),
+         f"{payload['measured_ratio']:.3f}",
+         round(payload["predicted_sharded_seconds"], 6),
+         payload["shards_executed"],
+         round(payload["merge_seconds"], 5)],
+    ]
+
+
+def test_shard_scaling_report(benchmark):
+    payload = benchmark.pedantic(measure_shard_scaling, rounds=1,
+                                 iterations=1)
+    gap = abs(payload["predicted_ratio"] - payload["measured_ratio"])
+    notes = [
+        shape_check(payload["sketch_identical"],
+                    "sharded sketch bit-identical to unsharded"),
+        shape_check(payload["shards_executed"]
+                    == payload["shards_requested"],
+                    f"executed all {payload['shards_requested']} shards"),
+        shape_check(gap <= RATIO_TOLERANCE,
+                    f"simulator ratio {payload['predicted_ratio']:.3f} "
+                    f"within {RATIO_TOLERANCE:.2f} of measured "
+                    f"{payload['measured_ratio']:.3f}"),
+    ]
+    emit_report(
+        "shard_scaling",
+        "Sharded execution: process pool, measured vs simulated",
+        ["run", "seconds", "ratio", "predicted_s", "shards", "merge_s"],
+        _report_rows(payload),
+        notes="\n".join(notes),
+    )
+    _write_baseline({k: v for k, v in payload.items() if k != "sketch"})
+    # Correctness is a hard assertion even in the soft-shape bench leg.
+    assert payload["sketch_identical"]
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Sharded-execution regression gate (bit-identical "
+                    "output, full shard count, simulator ratio within "
+                    "tolerance of the measured process-pool ratio)")
+    parser.add_argument("--baseline", default=str(GATE_PATH),
+                        help="baseline JSON to gate drift against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed measured-ratio growth vs the baseline "
+                             "(default from REPRO_BENCH_GATE_TOL or 0.25)")
+    parser.add_argument("--ratio-tolerance", type=float,
+                        default=RATIO_TOLERANCE,
+                        help="absolute simulated-vs-measured ratio gap "
+                             "allowed (default from REPRO_SHARD_GATE_TOL "
+                             "or 0.5)")
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--force-update", action="store_true",
+                        help="refresh the baseline even on failure")
+    args = parser.parse_args()
+
+    current = measure_shard_scaling(args.repeats)
+    for row in _report_rows(current):
+        print("  ".join(str(c) for c in row))
+    failures = structural_failures(current, args.ratio_tolerance)
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        failures += compare_to_baseline(
+            json.loads(baseline_path.read_text()), current, args.tolerance)
+    else:
+        print(f"\nshard-smoke: no baseline at {baseline_path}; recording one")
+    if failures:
+        print("\nshard-smoke: FAILED", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        if not args.force_update:
+            sys.exit(1)
+    else:
+        print(f"\nshard-smoke: OK (ratio measured "
+              f"{current['measured_ratio']:.3f} vs predicted "
+              f"{current['predicted_ratio']:.3f}, bit-identical, "
+              f"{current['shards_executed']} shards)")
+    _write_baseline(current)

@@ -16,8 +16,16 @@ Metrics JSON files (``repro sketch --metrics-out run.json``) dropped in
 as ``METRICS_*.json`` contribute a runtime-health section: the bus's
 ``dropped_events`` tally (a silently broken observer pipeline should not
 hide in a scorecard that says everything held) and the artifact-cache
-hit/miss/eviction counters.  The warm-cache gate baseline
-(``BENCH_cache.json``) is summarized the same way.
+hit/miss/eviction counters.  Runs that executed the partition stage add
+a sharding section (shard count, merge seconds/words, requeues per
+shard, checkpoint-resumed shards).  The warm-cache and shard gate
+baselines (``BENCH_cache.json``, ``BENCH_shard.json``) are summarized
+the same way.
+
+Metric families in a METRICS file that this script does not know are a
+**loud failure** (exit code 1): a new metric added to the observer
+without extending ``KNOWN_METRIC_FAMILIES`` here would otherwise vanish
+from the scorecard silently.
 
 Run after a bench sweep:
     pytest benchmarks/ --benchmark-only
@@ -32,6 +40,38 @@ import sys
 from pathlib import Path
 
 REPORTS = Path(__file__).parent / "reports"
+
+# Every metric family the observer layer exports (bare names; stored
+# names carry the registry namespace prefix, e.g. ``repro_runs_total``).
+# Keep in sync with the catalogue in src/repro/obs/observer.py — an
+# unknown family in a METRICS_*.json fails the scorecard loudly.
+KNOWN_METRIC_FAMILIES = frozenset({
+    "runs_total", "run_seconds", "blocks_total", "blocks_in_flight",
+    "block_seconds", "sample_seconds_total", "compute_seconds_total",
+    "conversion_seconds_total", "cpu_seconds_total", "wall_seconds_total",
+    "samples_generated_total", "flops_total", "sample_fraction",
+    "attained_gflops", "checkpoints_total", "checkpoint_seconds",
+    "retries_total", "degraded_total", "pool_workers",
+    "pool_workers_lost_total", "pool_respawns_total", "pool_requeues_total",
+    "shards_total", "shard_merge_seconds", "shard_merge_words_total",
+    "shard_requeues_total", "shards_resumed_total",
+    "cache_hits_total", "cache_misses_total", "cache_evictions_total",
+    "serve_requests_admitted_total", "serve_requests_shed_total",
+    "serve_requests_total", "serve_request_seconds",
+    "serve_deadline_missed_total", "serve_queue_depth",
+    "serve_drains_total", "dropped_events",
+})
+
+
+def _unknown_families(payload: dict) -> list[str]:
+    """Metric family names in *payload* absent from the known schema."""
+    unknown = []
+    for family in payload.get("metrics", []):
+        fname = family.get("name", "")
+        if not any(fname == k or fname.endswith(f"_{k}")
+                   for k in KNOWN_METRIC_FAMILIES):
+            unknown.append(fname)
+    return unknown
 
 
 def _profile_line(path: Path) -> str:
@@ -78,6 +118,15 @@ def _metric_total(payload: dict, name: str) -> float | None:
     return None
 
 
+def _metric_family(payload: dict, name: str) -> dict | None:
+    """The full family dict (labels + samples) matched by suffix."""
+    for family in payload.get("metrics", []):
+        fname = family.get("name", "")
+        if fname == name or fname.endswith(f"_{name}"):
+            return family
+    return None
+
+
 def _metrics_line(path: Path) -> str:
     """One runtime-health line for a METRICS_*.json file (best-effort)."""
     try:
@@ -94,10 +143,42 @@ def _metrics_line(path: Path) -> str:
                 cache_bits.append(f"{label}={int(total)}")
         if cache_bits:
             parts.append("cache " + "/".join(cache_bits))
-        flag = "!!" if dropped else "  "
+        unknown = _unknown_families(payload)
+        if unknown:
+            parts.append("UNKNOWN families: " + ", ".join(unknown))
+        flag = "!!" if dropped or unknown else "  "
         return f"{flag} {path.stem}: " + "  ".join(parts)
     except Exception as exc:  # noqa: BLE001 - scorecard is best-effort
         return f"!! {path.stem}: unreadable metrics ({exc})"
+
+
+def _sharding_lines(path: Path) -> list[str]:
+    """Sharding lines for one METRICS_*.json that ran the partition stage."""
+    try:
+        payload = json.loads(path.read_text())
+    except Exception:  # noqa: BLE001 - the health line already reports it
+        return []
+    shards = _metric_total(payload, "shards_total")
+    if not shards:
+        return []
+    merge = _metric_family(payload, "shard_merge_seconds")
+    merge_sum = (sum(float(s.get("sum", 0.0)) for s in merge["samples"])
+                 if merge else 0.0)
+    words = _metric_total(payload, "shard_merge_words_total") or 0.0
+    resumed = _metric_total(payload, "shards_resumed_total") or 0.0
+    parts = [f"shards={int(shards)}", f"merge={merge_sum:.4f}s",
+             f"merge_words={int(words)}"]
+    if resumed:
+        parts.append(f"resumed_from_checkpoint={int(resumed)}")
+    lines = [f"   {path.stem}: " + "  ".join(parts)]
+    requeues = _metric_family(payload, "shard_requeues_total")
+    if requeues and requeues.get("samples"):
+        per = ", ".join(
+            f"shard {s.get('labels', {}).get('shard', '?')}: "
+            f"{int(s.get('value', 0))}"
+            for s in requeues["samples"])
+        lines.append(f"     requeues per shard: {per}")
+    return lines
 
 
 def _cache_gate_lines() -> list[str]:
@@ -122,6 +203,30 @@ def _cache_gate_lines() -> list[str]:
         ]
     except Exception as exc:  # noqa: BLE001
         return ["", f"!! BENCH_cache.json: unreadable ({exc})"]
+
+
+def _shard_gate_lines() -> list[str]:
+    """Summarize the committed sharded-execution baseline, if present."""
+    path = REPORTS / "BENCH_shard.json"
+    if not path.exists():
+        return []
+    try:
+        p = json.loads(path.read_text())
+        clean = (p.get("sketch_identical", False)
+                 and p.get("shards_executed") == p.get("shards_requested"))
+        flag = "  " if clean else "!!"
+        return [
+            "",
+            "sharded execution (simulator-validation gate baseline):",
+            f"{flag} {p.get('strategy', '?')} x{p.get('shards_requested', '?')}"
+            f"  unsharded {p['unsharded_seconds']:.3f}s -> sharded "
+            f"{p['sharded_seconds']:.3f}s (ratio measured "
+            f"{p['measured_ratio']:.3f} / predicted "
+            f"{p['predicted_ratio']:.3f})  merge={p['merge_seconds']:.4f}s  "
+            f"bit-identical={'yes' if p.get('sketch_identical') else 'NO'}",
+        ]
+    except Exception as exc:  # noqa: BLE001
+        return ["", f"!! BENCH_shard.json: unreadable ({exc})"]
 
 
 def summarize() -> str:
@@ -168,7 +273,14 @@ def summarize() -> str:
         lines.append(f"runtime health ({len(metrics)}):")
         for m_path in metrics:
             lines.append(_metrics_line(m_path))
+        shard_lines = [line for m_path in metrics
+                       for line in _sharding_lines(m_path)]
+        if shard_lines:
+            lines.append("")
+            lines.append("sharding (partition-stage runs):")
+            lines.extend(shard_lines)
     lines.extend(_cache_gate_lines())
+    lines.extend(_shard_gate_lines())
     if total_warn:
         lines.append("")
         lines.append("warnings (expected deviations are documented in "
@@ -187,6 +299,24 @@ def main() -> int:
         print(text)
     except BrokenPipeError:  # e.g. piped into `head`
         pass
+    # Schema drift is the one scorecard problem that must not pass
+    # silently: a metric family this script cannot name would otherwise
+    # just be absent from a summary that claims everything held.
+    unknown = []
+    for m_path in sorted(REPORTS.glob("METRICS_*.json")):
+        try:
+            payload = json.loads(m_path.read_text())
+        except Exception:  # noqa: BLE001 - already flagged as unreadable
+            continue
+        unknown += [f"{m_path.stem}: {name}"
+                    for name in _unknown_families(payload)]
+    if unknown:
+        print("schema-unknown metric families (extend "
+              "KNOWN_METRIC_FAMILIES in benchmarks/summarize_reports.py "
+              "alongside the observer change):", file=sys.stderr)
+        for entry in unknown:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -36,7 +36,7 @@ from ..persist.snapshot import _array_to_npy_bytes, _npy_bytes_to_array
 from ..sparse.blocked_csr import BlockedCSR
 from ..sparse.csr import CSRMatrix
 from .keys import cache_key, machine_fingerprint, matrix_fingerprint, \
-    pattern_fingerprint
+    pattern_fingerprint, shard_component
 from .store import ArtifactCache, CacheEntry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -136,16 +136,27 @@ def store_kernel_choice(cache: ArtifactCache, key: str,
 # -- the blocked-CSR conversion ----------------------------------------------
 
 
-def blocked_csr_key(A: "CSCMatrix", b_n: int) -> str:
-    """Key for ``A``'s width-``b_n`` blocked-CSR conversion (values pinned)."""
-    return cache_key(BLOCKED_ARTIFACT, {
+def blocked_csr_key(A: "CSCMatrix", b_n: int, *, shard=None) -> str:
+    """Key for ``A``'s width-``b_n`` blocked-CSR conversion (values pinned).
+
+    *shard* scopes the key to one column stripe of *A* (a
+    :class:`~repro.plan.ShardPlan` or ``(col_start, col_stop)`` pair):
+    the stripe's conversion is keyed by the **whole** matrix fingerprint
+    plus the stripe range, so sharded and unsharded runs of the same
+    matrix populate distinct, non-colliding entries.
+    """
+    components = {
         "matrix": matrix_fingerprint(A),
         "b_n": int(b_n),
-    })
+    }
+    comp = shard_component(shard)
+    if comp is not None:
+        components["shard"] = comp
+    return cache_key(BLOCKED_ARTIFACT, components)
 
 
 def store_blocked_csr(cache: ArtifactCache, key: str, blocked: BlockedCSR,
-                      *, b_n: int) -> None:
+                      *, b_n: int, shard=None) -> None:
     """Serialize *blocked* into four npy payloads (one checksum each)."""
     m, n = blocked.shape
     indptr = np.stack([blk.indptr for blk in blocked.blocks]) \
@@ -154,10 +165,14 @@ def store_blocked_csr(cache: ArtifactCache, key: str, blocked: BlockedCSR,
         if blocked.n_blocks else np.zeros(0, dtype=np.int64)
     data = np.concatenate([blk.data for blk in blocked.blocks]) \
         if blocked.n_blocks else np.zeros(0, dtype=np.float64)
+    meta = {"m": int(m), "n": int(n), "b_n": int(b_n),
+            "n_blocks": int(blocked.n_blocks), "nnz": int(blocked.nnz)}
+    comp = shard_component(shard)
+    if comp is not None:
+        meta["shard"] = comp
     cache.insert(
         BLOCKED_ARTIFACT, key,
-        meta={"m": int(m), "n": int(n), "b_n": int(b_n),
-              "n_blocks": int(blocked.n_blocks), "nnz": int(blocked.nnz)},
+        meta=meta,
         payloads={
             "block_starts.npy": _array_to_npy_bytes(blocked.block_starts),
             "indptr.npy": _array_to_npy_bytes(indptr),

@@ -110,6 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 "tasks is declared hung and replaced "
                                 "(default: 30)")
 
+    g_shard = sk.add_argument_group(
+        "sharding", "partition the input into column shards that execute "
+        "as independent sub-plans and merge in propagation-blocking order "
+        "(bit-identical to the unsharded run)")
+    g_shard.add_argument("--shards", type=int, default=None,
+                         help="number of column shards (default: unsharded; "
+                              "capped at the plan's column-block count)")
+    g_shard.add_argument("--partition", default="even",
+                         choices=["even", "nnz_balanced", "propagation"],
+                         help="shard-boundary strategy for --shards "
+                              "(default: even)")
+
     g_resil = sk.add_argument_group(
         "resilience", "fault handling (any flag enables the guarded path)")
     g_resil.add_argument("--max-retries", type=int, default=None,
@@ -378,8 +390,14 @@ def _cmd_sketch(args) -> dict:
         from .cache import ArtifactCache
 
         cache = ArtifactCache(cache_policy, bus=runtime.bus)
+    partition = None
+    if args.shards is not None:
+        from .plan import PartitionSpec
+
+        partition = PartitionSpec(shards=args.shards,
+                                  strategy=args.partition)
     plan = Planner().compile(A, cfg, persistence=pol, driver=args.driver,
-                             pool=pool, cache=cache)
+                             pool=pool, partition=partition, cache=cache)
     if args.plan_json:
         plan.to_json(args.plan_json)
     if args.explain:
@@ -409,6 +427,13 @@ def _cmd_sketch(args) -> dict:
         "jit_compile_seconds": st.extra.get("jit_compile_seconds", 0.0),
         "output": args.output,
     }
+    if st.extra.get("shards"):
+        out["shards"] = st.extra["shards"]
+        out["partition_strategy"] = st.extra.get("partition_strategy")
+        out["merge_seconds"] = st.extra.get("merge_seconds", 0.0)
+        resumed_shards = st.extra.get("shards_resumed", 0)
+        if resumed_shards:
+            out["shards_resumed"] = resumed_shards
     if args.checkpoint_dir:
         out["checkpoint_dir"] = args.checkpoint_dir
         out["snapshots_written"] = st.extra.get("snapshots_written", 0)

@@ -49,6 +49,11 @@ metric                          type      labels
 ``pool_workers_lost_total``     counter   ``reason`` (crashed/hung/shutdown)
 ``pool_respawns_total``         counter   —
 ``pool_requeues_total``         counter   ``reason``
+``shards_total``                counter   ``strategy`` (shard sub-plans started)
+``shard_merge_seconds``         histogram — (per-shard stripe-merge latency)
+``shard_merge_words_total``     counter   — (dense words copied by merges)
+``shard_requeues_total``        counter   ``shard`` (requeues while a shard ran)
+``shards_resumed_total``        counter   ``repartitioned`` (yes/no)
 ``cache_hits_total``            counter   ``artifact``, ``source`` (memory/disk)
 ``cache_misses_total``          counter   ``artifact``, ``reason`` (absent/corrupt)
 ``cache_evictions_total``       counter   ``artifact``
@@ -86,6 +91,9 @@ from ..plan.events import (
     REQUEST_DONE,
     REQUEST_SHED,
     RETRY,
+    SHARD_MERGED,
+    SHARD_RESUMED,
+    SHARD_START,
     TASK_REQUEUED,
     WORKER_LOST,
     WORKER_SPAWNED,
@@ -134,6 +142,11 @@ class RunObserver:
         self._checkpoint_max = 0.0
         self._retries = 0
         self._degraded = 0
+        # Shards execute serially inside Runtime._run_sharded, so the
+        # most recent shard_start names the shard any requeue belongs to.
+        self._current_shard: int | None = None
+        self._shard_merge_seconds = 0.0
+        self._shards_seen = 0
 
         r = self.registry
         self._m_runs = r.counter(
@@ -191,6 +204,23 @@ class RunObserver:
             "pool_requeues_total",
             "Tasks requeued after a worker loss or failed commit.",
             ("reason",))
+        self._m_shards = r.counter(
+            "shards_total", "Shard sub-plans started, by strategy.",
+            ("strategy",))
+        self._m_shard_merge_seconds = r.histogram(
+            "shard_merge_seconds", "Per-shard stripe-merge latency.")
+        self._m_shard_merge_words = r.counter(
+            "shard_merge_words_total",
+            "Dense words copied by shard merges.")
+        self._m_shard_requeues = r.counter(
+            "shard_requeues_total",
+            "Tasks requeued while a shard was executing, by shard index.",
+            ("shard",))
+        self._m_shards_resumed = r.counter(
+            "shards_resumed_total",
+            "Shards seeded from checkpoints, by whether the prior state "
+            "was re-partitioned from a different shard layout.",
+            ("repartitioned",))
         self._m_cache_hits = r.counter(
             "cache_hits_total",
             "Artifact-cache lookups served from memory or verified disk.",
@@ -242,6 +272,9 @@ class RunObserver:
             (WORKER_SPAWNED, self._on_worker_spawned),
             (WORKER_LOST, self._on_worker_lost),
             (TASK_REQUEUED, self._on_task_requeued),
+            (SHARD_START, self._on_shard_start),
+            (SHARD_MERGED, self._on_shard_merged),
+            (SHARD_RESUMED, self._on_shard_resumed),
             (CACHE_HIT, self._on_cache_hit),
             (CACHE_MISS, self._on_cache_miss),
             (CACHE_EVICTED, self._on_cache_evicted),
@@ -326,6 +359,28 @@ class RunObserver:
 
     def _on_task_requeued(self, event) -> None:
         self._m_pool_requeues.inc(reason=str(event.get("reason", "unknown")))
+        with self._lock:
+            shard = self._current_shard
+        if shard is not None:
+            self._m_shard_requeues.inc(shard=str(shard))
+
+    def _on_shard_start(self, event) -> None:
+        self._m_shards.inc(strategy=str(event.get("strategy", "unknown")))
+        with self._lock:
+            self._current_shard = event.get("shard")
+            self._shards_seen += 1
+
+    def _on_shard_merged(self, event) -> None:
+        seconds = float(event.get("seconds", 0.0) or 0.0)
+        self._m_shard_merge_seconds.observe(seconds)
+        self._m_shard_merge_words.inc(float(event.get("words", 0) or 0))
+        with self._lock:
+            self._current_shard = None
+            self._shard_merge_seconds += seconds
+
+    def _on_shard_resumed(self, event) -> None:
+        repartitioned = "yes" if event.get("repartitioned") else "no"
+        self._m_shards_resumed.inc(repartitioned=repartitioned)
 
     def _on_cache_hit(self, event) -> None:
         self._m_cache_hits.inc(
@@ -384,6 +439,7 @@ class RunObserver:
         self._m_gflops.set(stats.gflops_rate, kernel=kernel)
         with self._lock:
             self._block_starts.clear()
+            self._current_shard = None
             self._m_in_flight.set(0.0)
 
     # -- export --------------------------------------------------------------

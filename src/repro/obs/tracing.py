@@ -12,8 +12,11 @@ a tree of :class:`Span` records:
 * ``worker_spawned``/``worker_lost`` bracket one ``worker`` span per
   supervised process-pool worker (attrs carry the pid, whether the spawn
   was a warm respawn, and the loss reason);
-* ``retry``, ``degraded``, and ``task_requeued`` become zero-duration
-  *annotations* attached to the trace.
+* ``shard_start``/``shard_merged`` bracket one ``shard`` span per column
+  shard of a partitioned run (attrs carry the column range, strategy,
+  nnz, and — once merged — the stripe-copy seconds and words);
+* ``retry``, ``degraded``, ``task_requeued``, and ``shard_resumed``
+  become zero-duration *annotations* attached to the trace.
 
 Timestamps are ``time.perf_counter`` values rebased to the first event,
 so a trace is self-contained and diffable; :meth:`Tracer.to_chrome`
@@ -37,6 +40,9 @@ from ..plan.events import (
     DONE,
     PLAN_COMPILED,
     RETRY,
+    SHARD_MERGED,
+    SHARD_RESUMED,
+    SHARD_START,
     TASK_REQUEUED,
     WORKER_LOST,
     WORKER_SPAWNED,
@@ -82,6 +88,7 @@ class Tracer:
         self.annotations: list[Span] = []
         self._open_blocks: dict[tuple, Span] = {}
         self._open_workers: dict[int, Span] = {}
+        self._open_shards: dict[int, Span] = {}
         self._run: Span | None = None
         self._handlers: list[tuple[str, object]] = []
         self._bus: EventBus | None = None
@@ -110,6 +117,9 @@ class Tracer:
             (WORKER_SPAWNED, self._on_worker_spawned),
             (WORKER_LOST, self._on_worker_lost),
             (TASK_REQUEUED, self._on_annotation),
+            (SHARD_START, self._on_shard_start),
+            (SHARD_MERGED, self._on_shard_merged),
+            (SHARD_RESUMED, self._on_annotation),
             (DONE, self._on_done),
         ]
         for name, handler in handlers:
@@ -191,6 +201,34 @@ class Tracer:
                 span.end = self._now()
                 span.attrs["reason"] = event.get("reason")
 
+    def _on_shard_start(self, event) -> None:
+        with self._lock:
+            idx = event.get("shard")
+            span = Span("shard", self._now(),
+                        attrs={"shard": idx,
+                               "shards": event.get("shards"),
+                               "col_start": event.get("col_start"),
+                               "col_stop": event.get("col_stop"),
+                               "nnz": event.get("nnz"),
+                               "strategy": event.get("strategy")})
+            self._open_shards[idx] = span
+            self.spans.append(span)
+
+    def _on_shard_merged(self, event) -> None:
+        with self._lock:
+            now = self._now()
+            span = self._open_shards.pop(event.get("shard"), None)
+            if span is None:  # merged without a tracked start
+                span = Span("shard", now,
+                            attrs={"shard": event.get("shard"),
+                                   "col_start": event.get("col_start"),
+                                   "col_stop": event.get("col_stop")})
+                self.spans.append(span)
+            span.end = now
+            span.attrs["merge_seconds"] = float(event.get("seconds", 0.0)
+                                                or 0.0)
+            span.attrs["merge_words"] = event.get("words")
+
     def _on_annotation(self, event) -> None:
         with self._lock:
             now = self._now()
@@ -211,6 +249,9 @@ class Tracer:
             for span in self._open_workers.values():
                 span.attrs["unfinished"] = True
             self._open_workers.clear()
+            for span in self._open_shards.values():
+                span.attrs["unfinished"] = True
+            self._open_shards.clear()
 
     # -- export --------------------------------------------------------------
 

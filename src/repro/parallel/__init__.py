@@ -3,7 +3,14 @@ execution with fault recovery and numerical guardrails, the supervised
 multi-process pool behind the ``process`` driver, and the
 bandwidth-saturation scaling model behind the Table VII reproduction."""
 
-from .bandwidth import PredictedRun, bandwidth_at, predict_time, rng_rate_per_core
+from .bandwidth import (
+    PredictedRun,
+    ShardedPrediction,
+    bandwidth_at,
+    predict_sharded_time,
+    predict_time,
+    rng_rate_per_core,
+)
 from .executor import ResilientExecutor, parallel_sketch_spmm
 from .procpool import ProcessPoolSupervisor, WorkerPoolConfig, pool_start_method
 from .resilience import (
@@ -26,7 +33,9 @@ from .scheduler import estimate_task_costs, partition_tasks
 
 __all__ = [
     "PredictedRun",
+    "ShardedPrediction",
     "bandwidth_at",
+    "predict_sharded_time",
     "predict_time",
     "rng_rate_per_core",
     "ResilientExecutor",

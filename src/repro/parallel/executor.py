@@ -217,17 +217,23 @@ class PlanExecutionEngine:
 
         Derived from the *live* generator factory rather than the plan's
         declarative RNG spec, so executor callers with custom factories
-        fingerprint what actually ran.
+        fingerprint what actually ran.  Per-shard sub-plans additionally
+        stamp their global column range so two equal-width shards can
+        never adopt each other's snapshots.
         """
         from ..persist.snapshot import run_fingerprint
 
         rng = self.rng_factory(0)
-        return run_fingerprint(
+        fp = run_fingerprint(
             mode="blocked", d=self.d, n=self.A.shape[1], b_d=self.b_d,
             b_n=self.b_n, kernel=self.kernel, backend=self.backend.name,
             rng_kind=rng.family, seed=rng.seed,
             distribution=rng.dist.name,
         )
+        if self.plan.shard is not None:
+            fp["shard_col_start"] = int(self.plan.shard.col_start)
+            fp["shard_col_stop"] = int(self.plan.shard.col_stop)
+        return fp
 
     def _maybe_checkpoint(self, *, force: bool = False) -> None:
         """Snapshot the completed row blocks if a checkpoint is due.
@@ -257,12 +263,15 @@ class PlanExecutionEngine:
     def _resume_from_snapshot(self, tasks: list[Task]) -> list[Task]:
         """Restore completed row blocks; return the tasks still to run."""
         from ..persist.resume import latest_verified_snapshot
-        from ..persist.snapshot import check_fingerprint
+        from ..persist.snapshot import FINGERPRINT_KEYS, check_fingerprint
 
         snap = latest_verified_snapshot(self.checkpoint.directory)
         if snap is None:
             return tasks
-        check_fingerprint(snap.fingerprint, self.fingerprint())
+        keys = FINGERPRINT_KEYS
+        if self.plan.shard is not None:
+            keys = tuple(keys) + ("shard_col_start", "shard_col_stop")
+        check_fingerprint(snap.fingerprint, self.fingerprint(), keys=keys)
         completed = {int(r) for r in snap.state.get("completed_rows", [])}
         if not completed:
             return tasks

@@ -33,6 +33,9 @@ from .events import (
     PLAN_COMPILED,
     RETRY,
     RNG_REQUEST,
+    SHARD_MERGED,
+    SHARD_RESUMED,
+    SHARD_START,
     TASK_REQUEUED,
     TASK_START,
     WORKER_LOST,
@@ -42,11 +45,15 @@ from .events import (
 )
 from .policy import PersistencePolicy
 from .spec import (
+    PARTITION_STRATEGIES,
     PLAN_FORMAT_VERSION,
+    PartitionSpec,
     PlanDecision,
     ProblemSpec,
     RngSpec,
+    ShardPlan,
     SketchPlan,
+    compute_shards,
     resilience_from_dict,
     resilience_to_dict,
 )
@@ -70,13 +77,20 @@ __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_EVICTED",
+    "SHARD_START",
+    "SHARD_MERGED",
+    "SHARD_RESUMED",
     "LIFECYCLE_EVENTS",
     "FAULT_HOOK_EVENTS",
     "PersistencePolicy",
     "PLAN_FORMAT_VERSION",
+    "PARTITION_STRATEGIES",
     "ProblemSpec",
     "RngSpec",
     "PlanDecision",
+    "PartitionSpec",
+    "ShardPlan",
+    "compute_shards",
     "SketchPlan",
     "resilience_to_dict",
     "resilience_from_dict",

@@ -61,6 +61,9 @@ __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_EVICTED",
+    "SHARD_START",
+    "SHARD_MERGED",
+    "SHARD_RESUMED",
     "REQUEST_ADMITTED",
     "REQUEST_SHED",
     "REQUEST_DONE",
@@ -100,6 +103,20 @@ CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
 CACHE_EVICTED = "cache_evicted"
 
+#: Sharded-execution events (partitioned plans only): ``shard_start``
+#: when the runtime begins one shard's task group (payload ``shard``,
+#: ``shards``, ``col_start``, ``col_stop``, ``nnz``, ``strategy``),
+#: ``shard_merged`` after its partial result is folded into the final
+#: sketch in propagation-blocking order (payload ``shard``,
+#: ``col_start``, ``col_stop``, ``seconds`` — the measured merge cost —
+#: and ``words`` — output words propagated), and ``shard_resumed`` when
+#: a shard restored verified checkpoint state (payload ``shard``,
+#: ``rows``, ``repartitioned`` — True when the state was re-partitioned
+#: from a run with a different shard count — and ``source``).
+SHARD_START = "shard_start"
+SHARD_MERGED = "shard_merged"
+SHARD_RESUMED = "shard_resumed"
+
 #: Serving-daemon lifecycle events (:mod:`repro.serve`):
 #: ``request_admitted`` when a request clears admission control (payload
 #: ``request_id``, ``queue_depth``), ``request_shed`` when one is
@@ -129,6 +146,7 @@ LIFECYCLE_EVENTS = (
     PLAN_COMPILED, BLOCK_START, BLOCK_DONE, CHECKPOINT_WRITTEN,
     RETRY, DEGRADED, DONE, WORKER_SPAWNED, WORKER_LOST, TASK_REQUEUED,
     CACHE_HIT, CACHE_MISS, CACHE_EVICTED,
+    SHARD_START, SHARD_MERGED, SHARD_RESUMED,
     REQUEST_ADMITTED, REQUEST_SHED, REQUEST_DONE, DEADLINE_MISSED,
     DRAIN_STARTED,
 )

@@ -32,7 +32,13 @@ from ..kernels.dispatch import choose_kernel
 from ..model.machine import LAPTOP, MachineModel
 from ..utils.validation import check_choice, check_positive_int
 from .policy import PersistencePolicy
-from .spec import PlanDecision, ProblemSpec, RngSpec, SketchPlan
+from .spec import (
+    PartitionSpec,
+    PlanDecision,
+    ProblemSpec,
+    RngSpec,
+    SketchPlan,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cache.policy import CachePolicy
@@ -87,6 +93,7 @@ class Planner:
                 persistence: PersistencePolicy | None = None,
                 driver: str = "auto",
                 pool: "WorkerPoolConfig | None" = None,
+                partition: "PartitionSpec | int | None" = None,
                 cache: "ArtifactCache | CachePolicy | None" = None
                 ) -> SketchPlan:
         """Compile the full decision record for sketching *A*.
@@ -97,7 +104,11 @@ class Planner:
         (``"auto"`` lets the runtime choose serial vs engine); *pool*
         configures the supervised worker pool when ``driver="process"``
         (a default :class:`~repro.parallel.WorkerPoolConfig` is
-        synthesized when omitted).  *cache* (an
+        synthesized when omitted).  *partition* requests sharded
+        execution: a :class:`~repro.plan.PartitionSpec` (or a bare shard
+        count, which selects the ``even`` strategy) that the runtime
+        resolves into per-shard sub-plans; every strategy produces a
+        sketch bit-identical to the unsharded run.  *cache* (an
         :class:`~repro.cache.ArtifactCache` or
         :class:`~repro.cache.CachePolicy`) memoizes the expensive
         planning steps — the kernel-dispatch pattern scan and the
@@ -218,6 +229,22 @@ class Planner:
                     if cfg.rng_kind in ("philox", "threefry")
                     else "checkpointed: reproducible for this b_d grid")))
 
+        # Partition: normalize a bare shard count, record the strategy.
+        if isinstance(partition, int):
+            partition = PartitionSpec(shards=partition)
+        if partition is not None and partition.shards > 1:
+            n_blocks = (n + b_n - 1) // b_n
+            decisions.append(PlanDecision(
+                field="partition",
+                value=f"{partition.shards} x {partition.strategy}",
+                reason=("column stripes cut at b_n boundaries; "
+                        "bit-identical to unsharded (RNG entries keyed on "
+                        "(row block, sparse row), never the column offset)"),
+                data={"n_blocks": n_blocks,
+                      "effective_shards": min(partition.shards, n_blocks)}))
+        elif partition is not None:
+            partition = None  # one shard == unsharded; keep the plan exact
+
         pol = persistence if persistence is not None else PersistencePolicy()
         plan = SketchPlan(
             problem=ProblemSpec(m=m, n=n, d=d_eff, nnz=A.nnz,
@@ -228,7 +255,7 @@ class Planner:
                         normalize=cfg.normalize),
             threads=cfg.threads, strategy="static", driver=driver,
             resilience=cfg.resilience, persistence=pol, pool=pool,
-            decisions=tuple(decisions),
+            partition=partition, decisions=tuple(decisions),
         )
         return plan
 
@@ -261,6 +288,7 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
                  persistence: PersistencePolicy | None = None,
                  tune: str = "model", driver: str = "auto",
                  pool: "WorkerPoolConfig | None" = None,
+                 partition: "PartitionSpec | int | None" = None,
                  cache: "ArtifactCache | CachePolicy | None" = None
                  ) -> SketchPlan:
     """One-call planning: ``compile_plan(A, cfg, gamma=3.0)``.
@@ -270,4 +298,4 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
     """
     return Planner(machine, tune=tune).compile(
         A, config, d=d, gamma=gamma, persistence=persistence, driver=driver,
-        pool=pool, cache=cache)
+        pool=pool, partition=partition, cache=cache)

@@ -36,22 +36,29 @@ through executor internals.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
 from ..kernels.stats import KernelStats
+from ..utils.timing import Timer
 from .events import (
     BLOCK_DONE,
     BLOCK_START,
     DONE,
     FAULT_HOOK_EVENTS,
     PLAN_COMPILED,
+    SHARD_MERGED,
+    SHARD_RESUMED,
+    SHARD_START,
     EventBus,
 )
-from .spec import SketchPlan
+from .policy import PersistencePolicy
+from .spec import ProblemSpec, ShardPlan, SketchPlan, compute_shards
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cache.policy import CachePolicy
@@ -254,8 +261,12 @@ class Runtime:
         blocked_source = None
         cached_conversion_seconds = 0.0
         if cache is not None and driver_name != "pregen":
-            blocked, cached_conversion_seconds, blocked_source = \
-                self._cached_blocked(plan, A, blocked, cache)
+            if plan.partition is None:
+                blocked, cached_conversion_seconds, blocked_source = \
+                    self._cached_blocked(plan, A, blocked, cache)
+            # Sharded plans resolve blocked-CSR per stripe inside
+            # _run_sharded (shard-scoped cache keys); the JIT warm-up
+            # marker is stripe-independent either way.
             self._jit_marker(plan, cache)
         if driver_name == "serial" and plan.persistence.enabled:
             raise ConfigError(
@@ -277,7 +288,11 @@ class Runtime:
                     f"{', '.join(available_drivers())}"
                 ) from None
         self.bus.emit(PLAN_COMPILED, plan=plan, driver=driver_name)
-        Ahat, stats = driver(self, plan, A, factory, blocked, injector)
+        if plan.partition is not None and driver_name != "pregen":
+            Ahat, stats = self._run_sharded(plan, A, factory, blocked,
+                                            injector, cache, driver)
+        else:
+            Ahat, stats = driver(self, plan, A, factory, blocked, injector)
         s = plan.scale()
         if s != 1.0:
             Ahat *= s
@@ -303,6 +318,288 @@ class Runtime:
         self.bus.emit(DONE, plan=plan, stats=stats, driver=driver_name)
         return SketchResult(sketch=Ahat, stats=stats,
                             kernel_used=plan.kernel, scale=s, plan=plan)
+
+    # -- sharded execution ---------------------------------------------------
+
+    def _run_sharded(self, plan: SketchPlan, A: "CSCMatrix", factory,
+                     blocked: "BlockedCSR | None",
+                     injector: "FaultInjector | None",
+                     cache: "ArtifactCache | None",
+                     driver: Callable) -> tuple[np.ndarray, KernelStats]:
+        """Execute a partitioned plan shard by shard and merge the stripes.
+
+        The partition request resolves to contiguous, ``b_n``-aligned
+        column stripes (:func:`~repro.plan.compute_shards`).  Each shard
+        runs the plan's own driver over its stripe ``A[:, c0:c1)`` with
+        an identical RNG recipe — both generator families key entries on
+        ``(row-block offset, sparse row index)``, never the column
+        offset, so the per-shard RNG derivation is the identity and the
+        merged sketch is bit-identical to the unsharded run for every
+        strategy and shard count.
+
+        The merge stage is communication-avoiding by construction:
+        stripes are disjoint column ranges of the output, folded in
+        ascending column order (the propagation-blocking sweep of Gu et
+        al.), so merging is a sequential-write copy, never a reduction.
+        Its measured cost is surfaced as ``merge_seconds`` /
+        ``merge_words`` in the returned :class:`KernelStats` and on each
+        ``shard_merged`` event.
+        """
+        shards = compute_shards(plan.partition, n=plan.problem.n,
+                                b_n=plan.b_n, col_nnz=A.col_nnz())
+        base = None
+        if plan.persistence.enabled:
+            base = Path(plan.persistence.to_dict()["checkpoint_dir"])
+        seeded: dict[int, dict] = {}
+        if base is not None and plan.persistence.resume:
+            seeded = self._repartition_checkpoints(plan, shards, factory,
+                                                   base)
+        d = plan.problem.d
+        Ahat = np.zeros((d, plan.problem.n), dtype=np.float64)
+        stats: KernelStats | None = None
+        merge_seconds = 0.0
+        merge_words = 0
+        shards_resumed = 0
+        sources: set[str] = set()
+        with Timer() as loop:
+            for shard in shards:
+                c0, c1 = shard.col_start, shard.col_stop
+                A_s = A.col_block(c0, c1)
+                sub = self._shard_subplan(plan, shard, A_s.nnz, base)
+                blocked_s, conv_s, src_s = self._shard_blocked(
+                    sub, A, A_s, blocked, cache, shard)
+                self.bus.emit(SHARD_START, shard=shard.index,
+                              shards=len(shards), col_start=c0, col_stop=c1,
+                              nnz=shard.nnz,
+                              strategy=plan.partition.strategy)
+                Ahat_s, stats_s = driver(self, sub, A_s, factory, blocked_s,
+                                         injector)
+                with Timer() as merge:
+                    Ahat[:, c0:c1] = Ahat_s
+                merge_seconds += merge.elapsed
+                merge_words += d * shard.ncols
+                self.bus.emit(SHARD_MERGED, shard=shard.index, col_start=c0,
+                              col_stop=c1, seconds=merge.elapsed,
+                              words=d * shard.ncols)
+                resumed = stats_s.extra.get("resumed_from")
+                if resumed:
+                    shards_resumed += 1
+                    info = seeded.get(shard.index, {})
+                    self.bus.emit(SHARD_RESUMED, shard=shard.index,
+                                  rows=info.get("rows"),
+                                  repartitioned=bool(
+                                      info.get("repartitioned")),
+                                  source=str(resumed))
+                if src_s == "converted":
+                    stats_s.conversion_seconds += conv_s
+                if src_s is not None:
+                    sources.add(src_s)
+                if stats is None:
+                    stats = stats_s
+                else:
+                    stats.merge(stats_s)
+        # Shards execute sequentially in this loop, so the run's wall
+        # clock is the loop, not the max of any one shard; per-shard
+        # sums (total/cpu/sample seconds) stay meaningful as-is.
+        stats.wall_seconds = loop.elapsed
+        stats.extra["threads"] = plan.threads
+        stats.extra["shards"] = len(shards)
+        stats.extra["partition_strategy"] = plan.partition.strategy
+        stats.extra["merge_seconds"] = merge_seconds
+        stats.extra["merge_words"] = merge_words
+        if base is not None:
+            stats.extra["shards_resumed"] = shards_resumed
+        if len(sources) == 1:
+            stats.extra["blocked_csr_source"] = sources.pop()
+        return Ahat, stats
+
+    @staticmethod
+    def _shard_dir(base: Path, shard: ShardPlan) -> Path:
+        """Checkpoint subdirectory for one stripe (named by column range,
+        so lineage survives any change in shard *count*)."""
+        return Path(base) / \
+            f"shard-{shard.col_start:08d}-{shard.col_stop:08d}"
+
+    def _shard_subplan(self, plan: SketchPlan, shard: ShardPlan, nnz: int,
+                       base: "Path | None") -> SketchPlan:
+        """The per-shard sub-plan: same decisions, stripe-scoped problem.
+
+        The sub-plan keeps the parent's kernel/blocking/RNG verbatim
+        (bit-identity depends on it), narrows the problem to the stripe,
+        swaps ``partition`` for the shard identity, and redirects
+        persistence into the stripe's own snapshot lineage directory.
+        """
+        persistence = plan.persistence
+        if persistence.enabled:
+            persistence = PersistencePolicy(
+                checkpoint_dir=str(self._shard_dir(base, shard)),
+                every=persistence.every, keep=persistence.keep,
+                resume=persistence.resume)
+        problem = ProblemSpec(m=plan.problem.m, n=shard.ncols,
+                              d=plan.problem.d, nnz=int(nnz))
+        return dataclasses.replace(
+            plan, problem=problem, partition=None, shard=shard,
+            persistence=persistence, decisions=())
+
+    def _shard_blocked(self, sub: SketchPlan, A: "CSCMatrix",
+                       A_s: "CSCMatrix", blocked: "BlockedCSR | None",
+                       cache: "ArtifactCache | None", shard: ShardPlan
+                       ) -> tuple["BlockedCSR | None", float, str | None]:
+        """Resolve one shard's Algorithm 4 blocked-CSR input.
+
+        A caller-supplied whole-matrix structure is column-sliced (a
+        zero-copy view — stripe cuts are ``b_n``-aligned, so they fall
+        on block boundaries); with a cache, the stripe's conversion is
+        fetched from / stored under its shard-scoped key; otherwise
+        ``None`` is returned and the driver converts (and times) the
+        stripe itself.  Same return contract as :meth:`_cached_blocked`.
+        """
+        if sub.kernel != "algo4":
+            return None, 0.0, None
+        if blocked is not None:
+            return (blocked.column_slice(shard.col_start, shard.col_stop),
+                    0.0, "caller")
+        if cache is None:
+            return None, 0.0, None
+        from ..cache.artifacts import (
+            blocked_csr_key,
+            fetch_blocked_csr,
+            store_blocked_csr,
+        )
+        from ..sparse.convert import csc_to_blocked_csr
+
+        key = blocked_csr_key(A, sub.b_n, shard=shard)
+        cached = fetch_blocked_csr(cache, key, A_s.shape)
+        if cached is not None:
+            return cached, 0.0, "cache"
+        built, conv = csc_to_blocked_csr(A_s, sub.b_n)
+        store_blocked_csr(cache, key, built, b_n=sub.b_n, shard=shard)
+        return built, conv.seconds, "converted"
+
+    def _repartition_checkpoints(self, plan: SketchPlan,
+                                 shards: tuple[ShardPlan, ...], factory,
+                                 base: Path) -> dict[int, dict]:
+        """Seed each stripe's checkpoint lineage from prior verified state.
+
+        A resumed sharded run may use a *different* shard count than the
+        interrupted one.  Stripe lineages are keyed by column range, so
+        this pass re-partitions: for every new stripe without its own
+        usable snapshot, it assembles the stripe's payload from the
+        verified snapshots of overlapping prior stripes (any layout,
+        including the legacy unsharded base-directory lineage treated as
+        one full-width stripe) and writes it as the stripe's first
+        snapshot.  A row block counts as completed only when *every*
+        overlapping prior stripe completed it — partial rows are simply
+        recomputed, which is always correct (generators are
+        coordinate-keyed).  Damaged or fingerprint-incompatible prior
+        state is skipped, never trusted: the fallback is a fresh
+        compute, not a wrong resume.
+
+        Returns ``{shard index: {"rows": ..., "repartitioned": ...}}``
+        for shards with state to resume (feeds ``shard_resumed`` events).
+        """
+        from ..kernels.backends import resolve_backend
+        from ..persist.resume import latest_verified_snapshot
+        from ..persist.snapshot import (
+            FINGERPRINT_KEYS,
+            CheckpointManager,
+            run_fingerprint,
+        )
+
+        rng = factory(0)
+        backend = resolve_backend(plan.backend).name
+
+        def shard_fp(shard: ShardPlan) -> dict:
+            fp = run_fingerprint(
+                mode="blocked", d=plan.problem.d, n=shard.ncols,
+                b_d=plan.b_d, b_n=plan.b_n, kernel=plan.kernel,
+                backend=backend, rng_kind=rng.family, seed=rng.seed,
+                distribution=rng.dist.name)
+            fp["shard_col_start"] = int(shard.col_start)
+            fp["shard_col_stop"] = int(shard.col_stop)
+            return fp
+
+        # Stripe-independent identity: every key except the stripe width
+        # and range must match for prior state to be re-partitionable.
+        compat_keys = tuple(k for k in FINGERPRINT_KEYS if k != "n")
+        ref = shard_fp(shards[0])
+
+        def compatible(stored: dict) -> bool:
+            return all(stored.get(k) == ref.get(k) for k in compat_keys)
+
+        def verified(directory: Path):
+            try:
+                return latest_verified_snapshot(directory)
+            except Exception:  # noqa: BLE001 - damaged lineage: recompute
+                return None
+
+        sources: list[tuple[int, int, object]] = []
+        if base.is_dir():
+            for entry in sorted(base.iterdir()):
+                if not (entry.is_dir() and entry.name.startswith("shard-")):
+                    continue
+                try:
+                    o0, o1 = (int(p) for p in
+                              entry.name[len("shard-"):].split("-"))
+                except ValueError:
+                    continue
+                snap = verified(entry)
+                if snap is None or not compatible(snap.fingerprint):
+                    continue
+                if int(snap.fingerprint.get("n", -1)) != o1 - o0:
+                    continue
+                sources.append((o0, o1, snap))
+            legacy = verified(base)
+            if legacy is not None and compatible(legacy.fingerprint) \
+                    and int(legacy.fingerprint.get("n", -1)) \
+                    == plan.problem.n \
+                    and legacy.fingerprint.get("shard_col_start") is None:
+                sources.append((0, plan.problem.n, legacy))
+
+        d, b_d = plan.problem.d, plan.b_d
+        seeded: dict[int, dict] = {}
+        own_keys = tuple(FINGERPRINT_KEYS) + ("shard_col_start",
+                                              "shard_col_stop")
+        for shard in shards:
+            c0, c1 = shard.col_start, shard.col_stop
+            fp = shard_fp(shard)
+            own = verified(self._shard_dir(base, shard))
+            if own is not None and all(own.fingerprint.get(k) == fp.get(k)
+                                       for k in own_keys):
+                seeded[shard.index] = {
+                    "rows": len(own.state.get("completed_rows", [])),
+                    "repartitioned": False}
+                continue
+            overlaps = sorted(
+                ((o0, o1, snap) for o0, o1, snap in sources
+                 if o0 < c1 and o1 > c0 and not (o0 == c0 and o1 == c1)),
+                key=lambda t: (t[0], t[1]))
+            cover = c0
+            for o0, o1, _snap in overlaps:
+                if o0 > cover:
+                    break
+                cover = max(cover, o1)
+            if not overlaps or cover < c1:
+                continue
+            rows: set[int] | None = None
+            for _o0, _o1, snap in overlaps:
+                got = {int(r) for r in snap.state.get("completed_rows", [])}
+                rows = got if rows is None else rows & got
+            row_list = sorted(rows or ())
+            if not row_list:
+                continue
+            arr = np.zeros((d, shard.ncols), dtype=np.float64)
+            for o0, o1, snap in overlaps:
+                old = snap.load_array(verify=False)  # verified at discovery
+                a0, a1 = max(c0, o0), min(c1, o1)
+                arr[:, a0 - c0:a1 - c0] = old[:, a0 - o0:a1 - o0]
+            blocks = [(r, arr[r:r + min(b_d, d - r), :]) for r in row_list]
+            manager = CheckpointManager(self._shard_dir(base, shard),
+                                        keep=plan.persistence.keep)
+            manager.save(blocks, fp, {"completed_rows": row_list})
+            seeded[shard.index] = {"rows": len(row_list),
+                                   "repartitioned": True}
+        return seeded
 
     # -- artifact-cache plumbing --------------------------------------------
 

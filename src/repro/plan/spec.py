@@ -34,10 +34,14 @@ from .policy import PersistencePolicy
 
 __all__ = [
     "PLAN_FORMAT_VERSION",
+    "PARTITION_STRATEGIES",
     "ProblemSpec",
     "RngSpec",
     "PlanDecision",
+    "PartitionSpec",
+    "ShardPlan",
     "SketchPlan",
+    "compute_shards",
     "resilience_to_dict",
     "resilience_from_dict",
 ]
@@ -46,6 +50,29 @@ PLAN_FORMAT_VERSION = 1
 
 _PLAN_KERNELS = ("algo3", "algo4", "pregen")
 _DRIVERS = ("auto", "serial", "engine", "process")
+
+#: Column-partition strategies for sharded execution.  All three produce
+#: contiguous, ``b_n``-aligned column stripes (the invariant that makes
+#: sharded output bit-identical to unsharded: both RNG families key
+#: entries on ``(row-block offset, sparse row index)``, never on the
+#: column offset, so any b_n-aligned column split realizes exactly the
+#: same entries) — they differ in how the stripe boundaries are chosen:
+#:
+#: ``even``
+#:     Equal number of column *blocks* per shard.
+#: ``nnz_balanced``
+#:     Contiguous split balancing stored nonzeros per shard — the
+#:     sparsity-aware distribution of Hong et al. (arXiv 2408.14558),
+#:     which balances kernel work when column mass is skewed.
+#: ``propagation``
+#:     Contiguous split balancing *merged output words* (columns) per
+#:     shard — propagation blocking (Gu et al., arXiv 2002.11302): the
+#:     merge stage is bandwidth-bound, so shards are sized by the words
+#:     each one propagates into the final sketch, and partial results
+#:     are always merged in ascending column order (the
+#:     propagation-blocking sweep: sequential writes through the
+#:     output).
+PARTITION_STRATEGIES = ("even", "nnz_balanced", "propagation")
 
 
 # -- resilience serialization ------------------------------------------------
@@ -188,6 +215,159 @@ class PlanDecision:
                    data=dict(data.get("data", {})))
 
 
+# -- partitioning ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a plan's column space is sharded across task groups.
+
+    Attributes
+    ----------
+    shards:
+        Requested shard count (the runtime caps it at the number of
+        column blocks, so tiny problems never get empty shards).
+    strategy:
+        One of :data:`PARTITION_STRATEGIES`.
+    """
+
+    shards: int
+    strategy: str = "even"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.shards, "shards")
+        check_choice(self.strategy, "partition strategy",
+                     PARTITION_STRATEGIES)
+
+    def to_dict(self) -> dict:
+        return {"shards": int(self.shards), "strategy": self.strategy}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionSpec":
+        return cls(shards=int(data.get("shards", 1)),
+                   strategy=data.get("strategy", "even"))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's identity inside a partitioned run.
+
+    A shard owns the contiguous, ``b_n``-aligned global column range
+    ``[col_start, col_stop)`` of the input (and therefore the same
+    column stripe of the output sketch).  Sub-plans carry their
+    ``ShardPlan`` so every downstream layer — process-pool workers,
+    checkpoint fingerprints, warm-pool keys — knows which stripe it is
+    computing.
+    """
+
+    index: int          # shard ordinal, 0-based
+    shards: int         # total shard count in this partition
+    col_start: int      # inclusive global column offset
+    col_stop: int       # exclusive global column offset
+    nnz: int | None = None  # stored entries inside the stripe, when known
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.shards, "shards")
+        if not 0 <= self.index < self.shards:
+            raise ConfigError(
+                f"shard index {self.index} out of range for "
+                f"{self.shards} shard(s)")
+        if not 0 <= self.col_start < self.col_stop:
+            raise ConfigError(
+                f"shard column range [{self.col_start}, {self.col_stop}) "
+                f"is empty or negative")
+
+    @property
+    def ncols(self) -> int:
+        """Stripe width in columns."""
+        return self.col_stop - self.col_start
+
+    def to_dict(self) -> dict:
+        return {"index": int(self.index), "shards": int(self.shards),
+                "col_start": int(self.col_start),
+                "col_stop": int(self.col_stop),
+                "nnz": (None if self.nnz is None else int(self.nnz))}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        return cls(index=int(data["index"]), shards=int(data["shards"]),
+                   col_start=int(data["col_start"]),
+                   col_stop=int(data["col_stop"]),
+                   nnz=(None if data.get("nnz") is None
+                        else int(data["nnz"])))
+
+
+def compute_shards(spec: "PartitionSpec", *, n: int, b_n: int,
+                   col_nnz=None) -> tuple["ShardPlan", ...]:
+    """Resolve a :class:`PartitionSpec` into concrete column stripes.
+
+    Every strategy cuts at column-block boundaries (multiples of *b_n*),
+    so within-shard blocking coincides exactly with the unsharded
+    blocking and the sharded run realizes identical RNG entries.  The
+    requested shard count is capped at the number of column blocks.
+
+    Parameters
+    ----------
+    n, b_n:
+        Global column count and the plan's column blocking.
+    col_nnz:
+        Per-column stored-entry counts (``A.col_nnz()``); required for
+        the ``nnz_balanced`` strategy, used to annotate shard ``nnz``
+        for the others when provided.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(b_n, "b_n")
+    n_blocks = (n + b_n - 1) // b_n
+    shards = min(spec.shards, n_blocks)
+    block_cols = [min(b_n, n - b * b_n) for b in range(n_blocks)]
+    block_nnz = None
+    if col_nnz is not None:
+        counts = [int(c) for c in col_nnz]
+        if len(counts) != n:
+            raise ConfigError(
+                f"col_nnz has {len(counts)} entries, expected n={n}")
+        block_nnz = [sum(counts[b * b_n:b * b_n + block_cols[b]])
+                     for b in range(n_blocks)]
+    if spec.strategy == "even":
+        weights = [1] * n_blocks
+    elif spec.strategy == "propagation":
+        # Balance the words each shard propagates into the output: the
+        # merge sweep is bandwidth-bound, so weight = stripe columns.
+        weights = block_cols
+    else:  # nnz_balanced
+        if block_nnz is None:
+            raise ConfigError(
+                "the 'nnz_balanced' partition strategy requires per-column "
+                "nonzero counts (pass col_nnz=A.col_nnz())")
+        # Guard the all-empty degenerate case: fall back to even blocks.
+        weights = block_nnz if sum(block_nnz) > 0 else [1] * n_blocks
+    total = float(sum(weights))
+    plans = []
+    block = 0
+    acc = 0.0
+    for s in range(shards):
+        start_block = block
+        target = total * (s + 1) / shards
+        # Take blocks until the cumulative weight reaches this shard's
+        # quantile, but always leave one block per remaining shard.
+        while block < n_blocks - (shards - s - 1):
+            acc += weights[block]
+            block += 1
+            if acc >= target - 1e-9 and block > start_block:
+                break
+        if block == start_block:  # forced minimum of one block
+            acc += weights[block]
+            block += 1
+        c0 = start_block * b_n
+        c1 = min(n, block * b_n)
+        nnz = (None if block_nnz is None
+               else sum(block_nnz[start_block:block]))
+        plans.append(ShardPlan(index=s, shards=shards, col_start=c0,
+                               col_stop=c1, nnz=nnz))
+    assert plans[-1].col_stop == n
+    return tuple(plans)
+
+
 # -- the plan ---------------------------------------------------------------
 
 
@@ -225,6 +405,14 @@ class SketchPlan:
         (see :class:`~repro.parallel.procpool.WorkerPoolConfig`);
         ``None`` everywhere else (a default config is synthesized when
         the driver is ``"process"``).
+    partition:
+        Column-partition request (see :class:`PartitionSpec`); ``None``
+        for an unsharded run.  The runtime resolves it into per-shard
+        sub-plans via :func:`compute_shards`.
+    shard:
+        Set only on runtime-derived per-shard sub-plans: this plan's
+        stripe identity (see :class:`ShardPlan`).  Mutually exclusive
+        with ``partition``.
     decisions:
         Why each choice was made; rendered by :meth:`explain`.
     """
@@ -241,6 +429,8 @@ class SketchPlan:
     resilience: ResilienceConfig | None = None
     persistence: PersistencePolicy = field(default_factory=PersistencePolicy)
     pool: WorkerPoolConfig | None = None
+    partition: "PartitionSpec | None" = None
+    shard: "ShardPlan | None" = None
     decisions: tuple = ()
 
     def __post_init__(self) -> None:
@@ -253,6 +443,33 @@ class SketchPlan:
             raise ConfigError(
                 "checkpointing is not supported for the 'pregen' kernel"
             )
+        if self.partition is not None:
+            if not isinstance(self.partition, PartitionSpec):
+                raise ConfigError(
+                    f"partition must be a PartitionSpec or None, got "
+                    f"{type(self.partition).__name__}"
+                )
+            if self.kernel == "pregen":
+                raise ConfigError(
+                    "sharded execution is not supported for the 'pregen' "
+                    "kernel (it has no column-block structure to partition)"
+                )
+        if self.shard is not None:
+            if not isinstance(self.shard, ShardPlan):
+                raise ConfigError(
+                    f"shard must be a ShardPlan or None, got "
+                    f"{type(self.shard).__name__}"
+                )
+            if self.partition is not None:
+                raise ConfigError(
+                    "a plan cannot carry both a partition request and a "
+                    "shard identity (sub-plans drop the partition)"
+                )
+            if self.shard.ncols != self.problem.n:
+                raise ConfigError(
+                    f"shard covers {self.shard.ncols} column(s) but the "
+                    f"plan's problem has n={self.problem.n}"
+                )
         if self.resilience is not None and \
                 not isinstance(self.resilience, ResilienceConfig):
             raise ConfigError(
@@ -280,20 +497,29 @@ class SketchPlan:
         return self.rng.normalization(self.problem.d)
 
     def fingerprint(self, mode: str = "blocked") -> dict:
-        """Immutable run identity for checkpoint compatibility checks."""
+        """Immutable run identity for checkpoint compatibility checks.
+
+        Per-shard sub-plans extend the base fingerprint with their
+        global column range, so two shards of equal width can never
+        adopt each other's snapshots.
+        """
         from ..persist.snapshot import run_fingerprint
 
-        return run_fingerprint(
+        fp = run_fingerprint(
             mode=mode, d=self.problem.d, n=self.problem.n,
             b_d=self.b_d, b_n=self.b_n, kernel=self.kernel,
             backend=self.backend, rng_kind=self.rng.kind,
             seed=self.rng.seed, distribution=self.rng.distribution,
         )
+        if self.shard is not None:
+            fp["shard_col_start"] = int(self.shard.col_start)
+            fp["shard_col_stop"] = int(self.shard.col_stop)
+        return fp
 
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "version": PLAN_FORMAT_VERSION,
             "problem": self.problem.to_dict(),
             "kernel": self.kernel,
@@ -309,6 +535,13 @@ class SketchPlan:
             "pool": (None if self.pool is None else self.pool.to_dict()),
             "decisions": [d.to_dict() for d in self.decisions],
         }
+        # Only present when set: pre-partition plans keep their exact
+        # canonical JSON (and therefore their pinned digests).
+        if self.partition is not None:
+            record["partition"] = self.partition.to_dict()
+        if self.shard is not None:
+            record["shard"] = self.shard.to_dict()
+        return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "SketchPlan":
@@ -333,6 +566,10 @@ class SketchPlan:
                 data.get("persistence", {})),
             pool=(None if data.get("pool") is None
                   else WorkerPoolConfig.from_dict(data["pool"])),
+            partition=(None if data.get("partition") is None
+                       else PartitionSpec.from_dict(data["partition"])),
+            shard=(None if data.get("shard") is None
+                   else ShardPlan.from_dict(data["shard"])),
             decisions=tuple(PlanDecision.from_dict(d)
                             for d in data.get("decisions", ())),
         )
@@ -416,6 +653,14 @@ class SketchPlan:
                 f"heartbeat={self.pool.heartbeat_timeout:g}s, "
                 f"max_requeues={self.pool.max_requeues}, "
                 f"max_respawns={self.pool.max_respawns}")
+        if self.partition is not None:
+            lines.append(
+                f"  partition   : shards={self.partition.shards}, "
+                f"strategy={self.partition.strategy}")
+        if self.shard is not None:
+            lines.append(
+                f"  shard       : {self.shard.index + 1}/{self.shard.shards}"
+                f", columns [{self.shard.col_start}, {self.shard.col_stop})")
         if self.decisions:
             lines.append("decisions:")
             for dec in self.decisions:

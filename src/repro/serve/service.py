@@ -439,6 +439,14 @@ class SketchService:
         gamma = cfg_fields.pop("gamma", None)
         driver = cfg_fields.pop("driver", "auto")
         workers = cfg_fields.pop("workers", None)
+        shards = cfg_fields.pop("shards", None)
+        strategy = cfg_fields.pop("partition_strategy", "even")
+        partition = None
+        if shards is not None:
+            from ..plan.spec import PartitionSpec
+
+            partition = PartitionSpec(shards=int(shards),
+                                      strategy=str(strategy))
         resilience = cfg_fields.pop("resilience", None)
         if resilience is not None:
             if not isinstance(resilience, dict):
@@ -456,7 +464,8 @@ class SketchService:
         if workers is not None:
             pool = WorkerPoolConfig(workers=int(workers))
         return Planner().compile(A, cfg, d=d, gamma=gamma, driver=driver,
-                                 pool=pool, cache=self.cache)
+                                 pool=pool, partition=partition,
+                                 cache=self.cache)
 
     def _propagate_deadline(self, plan, ticket: Ticket):
         """Fold the request's remaining budget into the plan's per-task
@@ -530,7 +539,18 @@ class SketchService:
 
     def _pool_key(self, plan, matrix_key: str) -> tuple:
         b_n = plan.b_n if plan.kernel == "algo4" else None
-        return (matrix_key, plan.kernel, plan.backend, b_n)
+        # Sharded execution must never share a warm pool across stripes:
+        # a per-shard sub-plan's workers hold that stripe of A in shared
+        # memory, so the stripe identity (and, for a parent plan, the
+        # partition request) is part of the pool's address.
+        shard = None
+        if plan.shard is not None:
+            shard = ("shard", int(plan.shard.col_start),
+                     int(plan.shard.col_stop))
+        elif plan.partition is not None:
+            shard = ("partition", int(plan.partition.shards),
+                     plan.partition.strategy)
+        return (matrix_key, plan.kernel, plan.backend, b_n, shard)
 
     def _get_pool(self, plan, A, matrix_key: str, blocked):
         """Fetch or build the warm pool bound to this (matrix, kernel,

@@ -1,0 +1,80 @@
+"""Shard-scoped artifact entries: distinct keys, stats, and verify."""
+
+import numpy as np
+
+from repro.cache import ArtifactCache, CachePolicy
+from repro.cache.artifacts import (
+    blocked_csr_key,
+    fetch_blocked_csr,
+    store_blocked_csr,
+)
+from repro.cache.keys import shard_component
+from repro.plan import ShardPlan
+from repro.sparse import csc_to_blocked_csr, random_sparse
+
+
+def make_cache(tmp_path, **kw):
+    return ArtifactCache(CachePolicy(cache_dir=str(tmp_path), **kw))
+
+
+class TestShardComponent:
+    def test_none_passthrough(self):
+        assert shard_component(None) is None
+
+    def test_tuple_and_shardplan_agree(self):
+        shard = ShardPlan(index=0, shards=2, col_start=0, col_stop=48)
+        assert shard_component(shard) == shard_component((0, 48))
+        assert shard_component((0, 48)) == {"col_start": 0, "col_stop": 48}
+
+
+class TestShardScopedBlockedCsr:
+    def _store_stripe(self, cache, A, c0, c1):
+        whole, _ = csc_to_blocked_csr(A, 16)
+        stripe = whole.column_slice(c0, c1)
+        key = blocked_csr_key(A, 16, shard=(c0, c1))
+        store_blocked_csr(cache, key, stripe, b_n=16, shard=(c0, c1))
+        return key, stripe
+
+    def test_round_trip_per_stripe(self, tmp_path):
+        A = random_sparse(200, 96, 0.05, seed=5)
+        cache = make_cache(tmp_path)
+        key, stripe = self._store_stripe(cache, A, 0, 48)
+        fresh = make_cache(tmp_path)
+        got = fetch_blocked_csr(fresh, key, (200, 48))
+        assert got is not None
+        np.testing.assert_array_equal(got.to_dense(), stripe.to_dense())
+
+    def test_stats_report_shard_entries_distinctly(self, tmp_path):
+        A = random_sparse(200, 96, 0.05, seed=5)
+        cache = make_cache(tmp_path)
+        # One whole-matrix entry plus two stripes.
+        whole, _ = csc_to_blocked_csr(A, 16)
+        store_blocked_csr(cache, blocked_csr_key(A, 16), whole, b_n=16)
+        self._store_stripe(cache, A, 0, 48)
+        self._store_stripe(cache, A, 48, 96)
+        stats = make_cache(tmp_path).stats()
+        assert stats["entries"] == 3
+        assert stats["shard_entries"] == 2
+        assert 0 < stats["shard_bytes"] < stats["total_bytes"]
+        per = stats["artifacts"]["blocked_csr"]
+        assert per["entries"] == 3
+        assert per["shard_entries"] == 2
+
+    def test_verify_covers_shard_entries(self, tmp_path):
+        A = random_sparse(200, 96, 0.05, seed=5)
+        cache = make_cache(tmp_path)
+        self._store_stripe(cache, A, 0, 48)
+        self._store_stripe(cache, A, 48, 96)
+        report = make_cache(tmp_path).verify()
+        assert report["checked"] == 2
+        assert report["shard_checked"] == 2
+        assert not report["corrupt"]
+
+    def test_verify_flags_corrupt_shard_payload(self, tmp_path):
+        A = random_sparse(200, 96, 0.05, seed=5)
+        cache = make_cache(tmp_path)
+        key, _ = self._store_stripe(cache, A, 0, 48)
+        victim = next(p for p in tmp_path.rglob("data.npy"))
+        victim.write_bytes(b"garbage")
+        report = make_cache(tmp_path).verify()
+        assert report["corrupt"]

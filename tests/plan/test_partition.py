@@ -1,0 +1,221 @@
+"""The partition stage: spec mechanics, shard computation, and the hard
+acceptance bit — sharded execution is bit-identical to unsharded for
+every strategy, shard count, and driver."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, CachePolicy
+from repro.cache.artifacts import blocked_csr_key
+from repro.core import SketchConfig
+from repro.errors import ConfigError
+from repro.parallel import WorkerPoolConfig
+from repro.plan import (
+    PARTITION_STRATEGIES,
+    SHARD_MERGED,
+    SHARD_START,
+    PartitionSpec,
+    Planner,
+    Runtime,
+    ShardPlan,
+    SketchPlan,
+    compute_shards,
+)
+from repro.sparse import random_sparse
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_sparse(300, 96, 0.05, seed=3)
+
+
+def _cfg(**kw):
+    base = dict(gamma=2.0, kernel="algo4", rng_kind="philox", seed=11,
+                b_d=16, b_n=16)
+    base.update(kw)
+    return SketchConfig(**base)
+
+
+class TestPartitionSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PartitionSpec(shards=0)
+        with pytest.raises(ConfigError):
+            PartitionSpec(shards=2, strategy="zigzag")
+
+    def test_plan_round_trip_with_partition(self, A):
+        plan = Planner().compile(A, _cfg(), partition=PartitionSpec(
+            shards=3, strategy="propagation"))
+        back = SketchPlan.from_dict(plan.to_dict())
+        assert back.partition == plan.partition
+        assert back.digest() == plan.digest()
+
+    def test_shard_field_round_trips(self, A):
+        shard = ShardPlan(index=1, shards=3, col_start=32, col_stop=64,
+                          nnz=17)
+        plan = Planner().compile(A, _cfg())
+        import dataclasses
+
+        from repro.plan.spec import ProblemSpec
+
+        sub = dataclasses.replace(
+            plan, problem=ProblemSpec(A.shape[0], 32, plan.problem.d, 17),
+            shard=shard)
+        back = SketchPlan.from_dict(sub.to_dict())
+        assert back.shard == shard
+
+    def test_digest_stable_across_compiles(self, A):
+        p1 = Planner().compile(A, _cfg(), partition=PartitionSpec(shards=4))
+        p2 = Planner().compile(A, _cfg(), partition=PartitionSpec(shards=4))
+        assert p1.digest() == p2.digest()
+
+    def test_partition_changes_digest(self, A):
+        """The partition request is part of the plan's identity."""
+        un = Planner().compile(A, _cfg())
+        sh = Planner().compile(A, _cfg(), partition=PartitionSpec(shards=4))
+        assert un.digest() != sh.digest()
+
+    def test_single_shard_request_drops_to_none(self, A):
+        plan = Planner().compile(A, _cfg(), partition=PartitionSpec(shards=1))
+        assert plan.partition is None
+
+    def test_planner_records_partition_decision(self, A):
+        plan = Planner().compile(A, _cfg(), partition=PartitionSpec(shards=4))
+        assert any(d.field == "partition" for d in plan.decisions)
+
+    def test_int_shorthand(self, A):
+        plan = Planner().compile(A, _cfg(), partition=3)
+        assert plan.partition == PartitionSpec(shards=3, strategy="even")
+
+
+class TestComputeShards:
+    def test_boundaries_tile_and_align(self):
+        for strategy in PARTITION_STRATEGIES:
+            col_nnz = list(range(96))
+            shards = compute_shards(
+                PartitionSpec(shards=5, strategy=strategy),
+                n=96, b_n=16, col_nnz=col_nnz)
+            assert shards[0].col_start == 0
+            assert shards[-1].col_stop == 96
+            for a, b in zip(shards, shards[1:]):
+                assert a.col_stop == b.col_start
+            for s in shards:
+                assert s.col_start % 16 == 0
+
+    def test_capped_at_block_count(self):
+        shards = compute_shards(PartitionSpec(shards=10), n=48, b_n=16)
+        assert len(shards) == 3
+
+    def test_nnz_balanced_requires_col_nnz(self):
+        with pytest.raises(ConfigError):
+            compute_shards(PartitionSpec(shards=2, strategy="nnz_balanced"),
+                           n=32, b_n=16)
+
+    def test_nnz_balanced_splits_at_the_mass(self):
+        # All the nnz in the first block: it becomes its own shard.
+        col_nnz = [100] * 16 + [1] * 48
+        shards = compute_shards(
+            PartitionSpec(shards=2, strategy="nnz_balanced"),
+            n=64, b_n=16, col_nnz=col_nnz)
+        assert shards[0].col_stop == 16
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_serial_sharded_equals_unsharded(self, A, strategy, shards):
+        ref = Runtime().run(Planner().compile(A, _cfg()), A)
+        plan = Planner().compile(A, _cfg(), partition=PartitionSpec(
+            shards=shards, strategy=strategy))
+        res = Runtime().run(plan, A)
+        np.testing.assert_array_equal(res.sketch, ref.sketch)
+
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_engine_sharded_equals_unsharded(self, A, strategy):
+        cfg = _cfg(threads=2)
+        ref = Runtime().run(Planner().compile(A, cfg), A)
+        plan = Planner().compile(A, cfg, partition=PartitionSpec(
+            shards=3, strategy=strategy))
+        res = Runtime().run(plan, A)
+        np.testing.assert_array_equal(res.sketch, ref.sketch)
+
+    def test_process_sharded_equals_unsharded(self, A):
+        pool = WorkerPoolConfig(workers=2)
+        ref = Runtime().run(
+            Planner().compile(A, _cfg(), driver="process", pool=pool), A)
+        plan = Planner().compile(A, _cfg(), driver="process", pool=pool,
+                                 partition=PartitionSpec(shards=3))
+        res = Runtime().run(plan, A)
+        np.testing.assert_array_equal(res.sketch, ref.sketch)
+
+    def test_algo3_sharded_equals_unsharded(self, A):
+        cfg = _cfg(kernel="algo3")
+        ref = Runtime().run(Planner().compile(A, cfg), A)
+        plan = Planner().compile(
+            A, cfg, partition=PartitionSpec(shards=4, strategy="even"))
+        res = Runtime().run(plan, A)
+        np.testing.assert_array_equal(res.sketch, ref.sketch)
+
+    def test_normalized_scale_applied_once(self, A):
+        cfg = _cfg(distribution="gaussian")
+        ref = Runtime().run(Planner().compile(A, cfg), A)
+        res = Runtime().run(Planner().compile(
+            A, cfg, partition=PartitionSpec(shards=3)), A)
+        np.testing.assert_array_equal(res.sketch, ref.sketch)
+
+
+class TestShardEventsAndStats:
+    def test_events_fire_per_shard_in_column_order(self, A):
+        rt = Runtime()
+        starts, merges = [], []
+        rt.bus.subscribe_observer(SHARD_START, starts.append)
+        rt.bus.subscribe_observer(SHARD_MERGED, merges.append)
+        plan = Planner().compile(A, _cfg(), partition=PartitionSpec(
+            shards=4, strategy="propagation"))
+        rt.run(plan, A)
+        assert len(starts) == 4 and len(merges) == 4
+        assert [e.get("shard") for e in starts] == [0, 1, 2, 3]
+        # Propagation-blocking merge order: ascending column ranges.
+        stops = [e.get("col_stop") for e in merges]
+        assert stops == sorted(stops)
+        assert all(e.get("strategy") == "propagation" for e in starts)
+        assert all(e.get("seconds") >= 0.0 for e in merges)
+        assert all(e.get("words") > 0 for e in merges)
+        assert rt.bus.dropped_total() == 0
+
+    def test_stats_carry_merge_accounting(self, A):
+        plan = Planner().compile(A, _cfg(), partition=PartitionSpec(
+            shards=3, strategy="nnz_balanced"))
+        res = Runtime().run(plan, A)
+        extra = res.stats.extra
+        assert extra["shards"] == 3
+        assert extra["partition_strategy"] == "nnz_balanced"
+        assert extra["merge_seconds"] >= 0.0
+        d = res.sketch.shape[0]
+        assert extra["merge_words"] == d * A.shape[1]
+
+
+class TestShardCacheKeys:
+    def test_shard_scopes_the_blocked_csr_key(self, A):
+        whole = blocked_csr_key(A, 16)
+        s1 = blocked_csr_key(A, 16, shard=(0, 48))
+        s2 = blocked_csr_key(A, 16, shard=(48, 96))
+        assert len({whole, s1, s2}) == 3
+        assert blocked_csr_key(A, 16, shard=(0, 48)) == s1
+
+    def test_sharded_run_populates_shard_entries(self, A, tmp_path):
+        cache = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)))
+        plan = Planner().compile(A, _cfg(), cache=cache,
+                                 partition=PartitionSpec(shards=3))
+        ref = Runtime().run(Planner().compile(A, _cfg()), A)
+        res = Runtime().run(plan, A, cache=cache)
+        np.testing.assert_array_equal(res.sketch, ref.sketch)
+        stats = cache.stats()
+        assert stats["shard_entries"] == 3
+        # A second run serves every stripe from the cache, bit-identically.
+        cache2 = ArtifactCache(CachePolicy(cache_dir=str(tmp_path)))
+        plan2 = Planner().compile(A, _cfg(), cache=cache2,
+                                  partition=PartitionSpec(shards=3))
+        res2 = Runtime().run(plan2, A, cache=cache2)
+        np.testing.assert_array_equal(res2.sketch, ref.sketch)
+        assert cache2.misses.get("blocked_csr", 0) == 0
