@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke serve-smoke shard-smoke bench bench-small bench-gate docs examples all clean
+.PHONY: install test faults faults-persist plan-smoke shim-strict obs-smoke procpool-smoke cache-smoke serve-smoke shard-smoke batch-smoke bench bench-small bench-gate docs examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -96,6 +96,16 @@ shard-smoke:
 	  --shards 3 --partition propagation
 	timeout 600 python benchmarks/bench_shard_scaling.py
 
+# Batched multi-sketch leg: the batched-tier test suite (bit-identity of
+# k sketches per pass vs k independent runs, across drivers/backends and
+# under injected worker faults, plus serve-side request coalescing),
+# then the throughput gate — every cell that met the 1.5x acceptance bar
+# in the committed benchmarks/reports/BENCH_batch.json must hold it.
+batch-smoke:
+	timeout 600 python -m pytest tests/kernels/test_batched.py \
+	  tests/plan/test_batch_plan.py tests/serve/test_coalesce.py -q
+	timeout 600 python benchmarks/bench_batch_matrix.py
+
 bench:
 	pytest benchmarks/ --benchmark-only
 	python benchmarks/summarize_reports.py
@@ -105,8 +115,9 @@ bench-small:
 	python benchmarks/summarize_reports.py
 
 # Backend perf-regression gate: re-measure the backend matrix and fail if
-# any cell dropped more than REPRO_BENCH_GATE_TOL (default 25%) below the
-# committed benchmarks/reports/BENCH_backend.json.
+# any cell dropped below the committed benchmarks/reports/BENCH_backend.json
+# by more than its per-metric tolerance (see GATE_TOLERANCES in
+# benchmarks/summarize_reports.py).
 bench-gate:
 	python benchmarks/bench_backend_matrix.py
 

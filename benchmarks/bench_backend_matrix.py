@@ -10,9 +10,9 @@ cell.  Two consumers:
 * ``make bench-gate`` (``python benchmarks/bench_backend_matrix.py``) —
   re-measures, compares each cell against the committed
   ``BENCH_backend.json``, and exits non-zero if any cell regressed by
-  more than the tolerance (``REPRO_BENCH_GATE_TOL``, default 0.25, or
-  ``--tolerance``).  On a pass the baseline is refreshed so drift is
-  tracked incrementally.
+  more than the tolerance (the ``backend_gbs`` per-metric tolerance from
+  ``summarize_reports.py``, or ``--tolerance``).  On a pass the baseline
+  is refreshed so drift is tracked incrementally.
 
 "Effective bytes" follows the paper's traffic accounting for the
 on-the-fly kernels: the sparse operand (values + indices) plus the
@@ -37,8 +37,10 @@ from repro.kernels.blocking import sketch_spmm
 from repro.rng import make_rng
 from repro.sparse import random_sparse
 
+from summarize_reports import gate_tolerance
+
 GATE_PATH = Path(__file__).parent / "reports" / "BENCH_backend.json"
-DEFAULT_TOLERANCE = float(os.environ.get("REPRO_BENCH_GATE_TOL", "0.25"))
+DEFAULT_TOLERANCE = gate_tolerance("backend_gbs")
 
 KERNELS = ("algo3", "algo4")
 DISTS = ("uniform", "rademacher", "gaussian")
@@ -177,7 +179,8 @@ if __name__ == "__main__":
                         help="baseline JSON to gate against")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional GB/s drop per cell "
-                             "(default from REPRO_BENCH_GATE_TOL or 0.25)")
+                             "(default: the backend_gbs per-metric "
+                             "tolerance; see summarize_reports.py)")
     parser.add_argument("--repeats", type=int, default=REPEATS)
     parser.add_argument("--force-update", action="store_true",
                         help="refresh the baseline even on regression")

@@ -40,8 +40,10 @@ from repro.core import SketchConfig
 from repro.plan import Planner, Runtime
 from repro.sparse import random_sparse
 
+from summarize_reports import gate_tolerance
+
 GATE_PATH = Path(__file__).parent / "reports" / "BENCH_cache.json"
-DEFAULT_TOLERANCE = float(os.environ.get("REPRO_BENCH_GATE_TOL", "0.25"))
+DEFAULT_TOLERANCE = gate_tolerance("cache_speedup")
 MIN_SPEEDUP = float(os.environ.get("REPRO_CACHE_GATE_MIN_SPEEDUP", "2.0"))
 
 # Tall-and-sparse, Algorithm-4 shaped; override for quick local smoke
@@ -207,8 +209,9 @@ if __name__ == "__main__":
                         help="baseline JSON to gate drift against")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional warm-speedup drop vs the "
-                             "baseline (default from REPRO_BENCH_GATE_TOL "
-                             "or 0.25)")
+                             "baseline (default: the cache_speedup "
+                             "per-metric tolerance; see "
+                             "summarize_reports.py)")
     parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
                         help="hard floor on cold/warm speedup (default "
                              "from REPRO_CACHE_GATE_MIN_SPEEDUP or 2.0)")

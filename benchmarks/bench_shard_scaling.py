@@ -41,8 +41,10 @@ from repro.parallel import WorkerPoolConfig, simulate_strong_scaling
 from repro.plan import PartitionSpec, Planner, Runtime
 from repro.sparse import random_sparse
 
+from summarize_reports import gate_tolerance
+
 GATE_PATH = Path(__file__).parent / "reports" / "BENCH_shard.json"
-DEFAULT_TOLERANCE = float(os.environ.get("REPRO_BENCH_GATE_TOL", "0.25"))
+DEFAULT_TOLERANCE = gate_tolerance("shard_ratio")
 RATIO_TOLERANCE = float(os.environ.get("REPRO_SHARD_GATE_TOL", "0.5"))
 
 # Tall-and-sparse, Algorithm-4 shaped; override for quick local smoke
@@ -220,7 +222,8 @@ if __name__ == "__main__":
                         help="baseline JSON to gate drift against")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed measured-ratio growth vs the baseline "
-                             "(default from REPRO_BENCH_GATE_TOL or 0.25)")
+                             "(default: the shard_ratio per-metric "
+                             "tolerance; see summarize_reports.py)")
     parser.add_argument("--ratio-tolerance", type=float,
                         default=RATIO_TOLERANCE,
                         help="absolute simulated-vs-measured ratio gap "

@@ -246,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-recovery", type=float, default=5.0,
                        help="seconds the breaker stays open before a "
                             "half-open probe")
+    serve.add_argument("--max-batch", type=int, default=1,
+                       help="coalesce up to this many compatible queued "
+                            "requests (same matrix/config, different "
+                            "seeds) into one batched run; 1 disables")
     serve.add_argument("--warm-pools", type=int, default=2,
                        help="LRU bound on warm worker pools")
     serve.add_argument("--checkpoint-dir", default=None,
@@ -606,6 +610,7 @@ def _cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         breaker_threshold=args.breaker_threshold,
         breaker_recovery=args.breaker_recovery,
+        max_batch=args.max_batch,
         warm_pools=args.warm_pools,
         checkpoint_dir=args.checkpoint_dir,
         cache_dir=cache_dir,

@@ -19,7 +19,9 @@ from .backends import (
     registered_backends,
     resolve_backend,
 )
-from .blocking import default_block_sizes, iter_block_tasks, sketch_spmm
+from .batched import algo3_block_batched, algo4_block_batched
+from .blocking import (default_block_sizes, iter_block_tasks, sketch_spmm,
+                       sketch_spmm_batched)
 from .dispatch import KernelChoice, choose_kernel, column_concentration
 from .loop_orders import (
     LOOP_ORDER_KERNELS,
@@ -42,6 +44,8 @@ __all__ = [
     "algo3_block_reference",
     "algo4_block",
     "algo4_block_reference",
+    "algo3_block_batched",
+    "algo4_block_batched",
     "KernelBackend",
     "KernelWorkspace",
     "available_backends",
@@ -52,6 +56,7 @@ __all__ = [
     "default_block_sizes",
     "iter_block_tasks",
     "sketch_spmm",
+    "sketch_spmm_batched",
     "KernelChoice",
     "choose_kernel",
     "column_concentration",

@@ -78,24 +78,51 @@ class KernelWorkspace:
 
     def __init__(self) -> None:
         self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self._shapes: dict[tuple[str, np.dtype], tuple[int, ...]] = {}
 
     def get(self, name: str, shape: tuple[int, ...],
             dtype=np.float64) -> np.ndarray:
         """A ``shape``-shaped view of the buffer registered under *name*.
 
         Contents are uninitialized (like ``np.empty``); callers must fully
-        overwrite the view before reading it.
+        overwrite the view before reading it.  When the requested shape
+        differs from the previous request under the same name, the view
+        is *re-derived* from the backing allocation — never a stale-shaped
+        alias — so interleaving runs with different ``r``/``b_d``/``b_n``
+        (or batch sizes) through one long-lived workspace is safe as long
+        as callers honor the overwrite contract.
         """
         dt = np.dtype(dtype)
         size = 1
         for extent in shape:
-            size *= int(extent)
+            extent = int(extent)
+            if extent < 0:
+                raise ConfigError(
+                    f"workspace buffer {name!r} requested with negative "
+                    f"extent in shape {tuple(shape)}")
+            size *= extent
         key = (name, dt)
         buf = self._buffers.get(key)
         if buf is None or buf.size < size:
             buf = np.empty(max(size, 1), dtype=dt)
             self._buffers[key] = buf
+        self._shapes[key] = tuple(int(e) for e in shape)
         return buf[:size].reshape(shape)
+
+    def last_shape(self, name: str, dtype=np.float64) -> tuple[int, ...] | None:
+        """The shape most recently requested under *name* (None if never)."""
+        return self._shapes.get((name, np.dtype(dtype)))
+
+    def reset(self) -> None:
+        """Drop every buffer (and its shape history).
+
+        Long-lived workspaces — one per process-pool worker, surviving
+        plan reloads — call this when the plan geometry changes so the
+        next run reallocates exact-fit scratch instead of slicing
+        oversized stale allocations from a previous geometry.
+        """
+        self._buffers.clear()
+        self._shapes.clear()
 
     @property
     def nbytes(self) -> int:
@@ -140,6 +167,38 @@ class KernelBackend(abc.ABC):
                     row_chunk: int = 64,
                     workspace: KernelWorkspace | None = None) -> None:
         """Algorithm 4 (jki, blocked CSR) on one block; in-place update."""
+
+    def algo3_block_batched(self, Ahat_stack, A_sub: "CSCMatrix", r: int,
+                            brng, watch: "Stopwatch | None" = None,
+                            panel_nnz: int = 8192,
+                            workspace: KernelWorkspace | None = None) -> None:
+        """Algorithm 3 on one block for a whole sketch batch.
+
+        ``Ahat_stack[t]`` is sketch *t*'s ``(d1, n1)`` output block and
+        *brng* a :class:`~repro.rng.batched.BatchedSketchRNG`.  The
+        default runs the scalar kernel once per member — always correct,
+        no amortization; backends override with fused implementations
+        that share the RNG pipeline and block bookkeeping across the
+        batch.  Every implementation must be bit-identical to the
+        member-by-member loop.
+        """
+        for t, member in enumerate(brng.members):
+            self.algo3_block(Ahat_stack[t], A_sub, r, member, watch=watch,
+                             panel_nnz=panel_nnz, workspace=workspace)
+
+    def algo4_block_batched(self, Ahat_stack, A_blk: "CSRMatrix", r: int,
+                            brng, watch: "Stopwatch | None" = None,
+                            row_chunk: int = 64,
+                            workspace: KernelWorkspace | None = None) -> None:
+        """Algorithm 4 on one block for a whole sketch batch.
+
+        Same contract as :meth:`algo3_block_batched`: the default loops
+        the scalar kernel over ``brng.members``; overrides must stay
+        bit-identical to that loop.
+        """
+        for t, member in enumerate(brng.members):
+            self.algo4_block(Ahat_stack[t], A_blk, r, member, watch=watch,
+                             row_chunk=row_chunk, workspace=workspace)
 
     def warmup(self, rng: "SketchingRNG",
                dtype=np.float64) -> float:

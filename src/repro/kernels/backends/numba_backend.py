@@ -138,6 +138,124 @@ if rj.NUMBA_AVAILABLE:
         return nonempty
 
     @njit(cache=True, nogil=True)
+    def _algo3_counter_batched(Ahat, indptr, indices, data, r, k0s, k1s,
+                               rounds, rng_code, dist_code):
+        """Fused batched Algorithm 3 for counter-based RNGs.
+
+        ``Ahat`` is the ``(batch, d1, n1)`` stacked output and
+        ``k0s``/``k1s`` the per-member key words.  One traversal of the
+        block's CSC structure serves every member: per nonzero the
+        ``(j, a)`` pair stays in registers while the member loop replays
+        the scalar kernel's sample/accumulate sequence into slice ``s``.
+        Slices never interact, so each is bit-identical to the scalar
+        kernel run with that member's key.
+        """
+        batch = Ahat.shape[0]
+        d1 = Ahat.shape[1]
+        n1 = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        for k in range(n1):
+            for t in range(indptr[k], indptr[k + 1]):
+                j_u = np.uint64(indices[t])
+                a = data[t]
+                for s in range(batch):
+                    k0 = k0s[s]
+                    k1 = k1s[s]
+                    for i in range(d1):
+                        row = r_u + np.uint64(i)
+                        if rng_code == 0:
+                            bits = rj.philox_u64(row, j_u, k0, k1, rounds)
+                        else:
+                            bits = rj.threefry_u64(row, j_u, k0, k1, rounds)
+                        Ahat[s, i, k] += a * rj.u64_to_value(bits, dist_code)
+
+    @njit(cache=True, nogil=True)
+    def _algo3_xoshiro_batched(Ahat, indptr, indices, data, r, seeds,
+                               n_lanes, dist_code, state, bits):
+        """Fused batched Algorithm 3 for checkpointed xoshiro256**."""
+        batch = Ahat.shape[0]
+        d1 = Ahat.shape[1]
+        n1 = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        for k in range(n1):
+            for t in range(indptr[k], indptr[k + 1]):
+                j_u = np.uint64(indices[t])
+                a = data[t]
+                for s in range(batch):
+                    rj.xoshiro_fill(seeds[s], r_u, j_u, n_lanes, state, bits)
+                    for i in range(d1):
+                        Ahat[s, i, k] += a * rj.u64_to_value(bits[i],
+                                                             dist_code)
+
+    @njit(cache=True, nogil=True)
+    def _algo4_counter_batched(Ahat, indptr, indices, data, r, k0s, k1s,
+                               rounds, rng_code, dist_code, v):
+        """Fused batched Algorithm 4 for counter-based RNGs.
+
+        ``v`` is a reusable ``(batch, d1)`` panel: per non-empty sparse
+        row every member's sketch column is generated once, then the
+        row's rank-1 updates stream A's nonzeros a single time for the
+        whole batch.
+        """
+        batch = Ahat.shape[0]
+        d1 = Ahat.shape[1]
+        m = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        nonempty = 0
+        for j in range(m):
+            lo = indptr[j]
+            hi = indptr[j + 1]
+            if lo == hi:
+                continue
+            nonempty += 1
+            j_u = np.uint64(j)
+            for s in range(batch):
+                k0 = k0s[s]
+                k1 = k1s[s]
+                for i in range(d1):
+                    row = r_u + np.uint64(i)
+                    if rng_code == 0:
+                        bits = rj.philox_u64(row, j_u, k0, k1, rounds)
+                    else:
+                        bits = rj.threefry_u64(row, j_u, k0, k1, rounds)
+                    v[s, i] = rj.u64_to_value(bits, dist_code)
+            for t in range(lo, hi):
+                k = indices[t]
+                a = data[t]
+                for s in range(batch):
+                    for i in range(d1):
+                        Ahat[s, i, k] += a * v[s, i]
+        return nonempty
+
+    @njit(cache=True, nogil=True)
+    def _algo4_xoshiro_batched(Ahat, indptr, indices, data, r, seeds,
+                               n_lanes, dist_code, state, bits, v):
+        """Fused batched Algorithm 4 for checkpointed xoshiro256**."""
+        batch = Ahat.shape[0]
+        d1 = Ahat.shape[1]
+        m = indptr.shape[0] - 1
+        r_u = np.uint64(r)
+        nonempty = 0
+        for j in range(m):
+            lo = indptr[j]
+            hi = indptr[j + 1]
+            if lo == hi:
+                continue
+            nonempty += 1
+            j_u = np.uint64(j)
+            for s in range(batch):
+                rj.xoshiro_fill(seeds[s], r_u, j_u, n_lanes, state, bits)
+                for i in range(d1):
+                    v[s, i] = rj.u64_to_value(bits[i], dist_code)
+            for t in range(lo, hi):
+                k = indices[t]
+                a = data[t]
+                for s in range(batch):
+                    for i in range(d1):
+                        Ahat[s, i, k] += a * v[s, i]
+        return nonempty
+
+    @njit(cache=True, nogil=True)
     def _algo4_xoshiro(Ahat, indptr, indices, data, r, seed_u, n_lanes,
                        dist_code, state, bits, v):
         """Fused Algorithm 4 for checkpointed xoshiro256**."""
@@ -216,6 +334,34 @@ class NumbaBackend(KernelBackend):
                     0, dist_code, int(rng.n_lanes))
         return None
 
+    def _plan_batched(self, brng):
+        """Fused-batched parameters for *brng*, or ``None`` to delegate.
+
+        Every member must individually qualify for the fused path and
+        all members must share the family/rounds/distribution/lane
+        shape (the :class:`~repro.rng.batched.BatchedSketchRNG`
+        constructor already guarantees family and distribution; the
+        rest is checked defensively).  Returns ``(family, rng_code,
+        keys0, keys1_or_seeds, rounds, dist_code, n_lanes)`` with the
+        per-member key words stacked into uint64 arrays.
+        """
+        members = getattr(brng, "members", None)
+        if not members:
+            return None
+        plans = [self._plan(member) for member in members]
+        first = plans[0]
+        if first is None:
+            return None
+        for plan in plans[1:]:
+            if plan is None or plan[0] != first[0] or plan[1] != first[1] \
+                    or plan[4] != first[4] or plan[5] != first[5] \
+                    or plan[6] != first[6]:
+                return None
+        family, rng_code, _k0, _k1, rounds, dist_code, n_lanes = first
+        keys0 = np.array([p[2] for p in plans], dtype=np.uint64)
+        keys1 = np.array([p[3] for p in plans], dtype=np.uint64)
+        return (family, rng_code, keys0, keys1, rounds, dist_code, n_lanes)
+
     def _xoshiro_scratch(self, d1: int, n_lanes: int,
                          workspace: KernelWorkspace | None):
         if workspace is not None:
@@ -285,6 +431,65 @@ class NumbaBackend(KernelBackend):
                                           bits, v)
         rng.samples_generated += d1 * int(nonempty)
 
+    # -- batched kernel entry points ---------------------------------------
+
+    def algo3_block_batched(self, Ahat_stack, A_sub, r, brng, watch=None,
+                            panel_nnz: int = 8192,
+                            workspace: KernelWorkspace | None = None) -> None:
+        plan = self._plan_batched(brng)
+        if plan is None:
+            super().algo3_block_batched(Ahat_stack, A_sub, r, brng,
+                                        watch=watch, panel_nnz=panel_nnz,
+                                        workspace=workspace)
+            return
+        d1, _n1 = _check_block3(Ahat_stack[0], A_sub)
+        sw = watch if watch is not None else Stopwatch()
+        family, rng_code, keys0, keys1, rounds, dist_code, n_lanes = plan
+        with sw.bucket("compute"):
+            if family == _COUNTER:
+                _algo3_counter_batched(Ahat_stack, A_sub.indptr,
+                                       A_sub.indices, A_sub.data, r,
+                                       keys0, keys1, rounds, rng_code,
+                                       dist_code)
+            else:
+                state, bits = self._xoshiro_scratch(d1, n_lanes, workspace)
+                _algo3_xoshiro_batched(Ahat_stack, A_sub.indptr,
+                                       A_sub.indices, A_sub.data, r,
+                                       keys0, n_lanes, dist_code,
+                                       state, bits)
+        for member in brng.members:
+            member.samples_generated += d1 * A_sub.nnz
+
+    def algo4_block_batched(self, Ahat_stack, A_blk, r, brng, watch=None,
+                            row_chunk: int = 64,
+                            workspace: KernelWorkspace | None = None) -> None:
+        plan = self._plan_batched(brng)
+        if plan is None:
+            super().algo4_block_batched(Ahat_stack, A_blk, r, brng,
+                                        watch=watch, row_chunk=row_chunk,
+                                        workspace=workspace)
+            return
+        d1, _n1 = _check_block4(Ahat_stack[0], A_blk)
+        sw = watch if watch is not None else Stopwatch()
+        family, rng_code, keys0, keys1, rounds, dist_code, n_lanes = plan
+        batch = Ahat_stack.shape[0]
+        if workspace is not None:
+            v = workspace.get("numba.algo4.v_batched", (batch, d1))
+        else:
+            v = np.empty((batch, d1), dtype=np.float64)
+        with sw.bucket("compute"):
+            if family == _COUNTER:
+                nonempty = _algo4_counter_batched(
+                    Ahat_stack, A_blk.indptr, A_blk.indices, A_blk.data,
+                    r, keys0, keys1, rounds, rng_code, dist_code, v)
+            else:
+                state, bits = self._xoshiro_scratch(d1, n_lanes, workspace)
+                nonempty = _algo4_xoshiro_batched(
+                    Ahat_stack, A_blk.indptr, A_blk.indices, A_blk.data,
+                    r, keys0, n_lanes, dist_code, state, bits, v)
+        for member in brng.members:
+            member.samples_generated += d1 * int(nonempty)
+
     # -- compilation warmup ------------------------------------------------
 
     def warmup(self, rng: SketchingRNG, dtype=np.float64) -> float:
@@ -331,6 +536,26 @@ class NumbaBackend(KernelBackend):
                                dist_code, state, bits)
                 _algo4_xoshiro(out, indptr, indices, data, 0, k0, lanes,
                                dist_code, state, bits, v)
+        # The batched tier shares the per-entry pipeline but is a
+        # distinct compiled signature; warm it too so a first batched
+        # run pays no lazy compilation inside a timed region.
+        out_b = np.zeros((2, 2, 2), dtype=dtype)
+        keys0 = np.array([k0, k0], dtype=np.uint64)
+        keys1 = np.array([k1, k1], dtype=np.uint64)
+        v_b = np.empty((2, 2), dtype=np.float64)
+        if family == _COUNTER:
+            _algo3_counter_batched(out_b, indptr, indices, data, 0,
+                                   keys0, keys1, rounds, rng_code,
+                                   dist_code)
+            _algo4_counter_batched(out_b, indptr, indices, data, 0,
+                                   keys0, keys1, rounds, rng_code,
+                                   dist_code, v_b)
+        else:
+            _algo3_xoshiro_batched(out_b, indptr, indices, data, 0,
+                                   keys0, lanes, dist_code, state, bits)
+            _algo4_xoshiro_batched(out_b, indptr, indices, data, 0,
+                                   keys0, lanes, dist_code, state, bits,
+                                   v_b)
         self._warmed.add(key)
         elapsed = time.perf_counter() - start
         self.jit_compile_seconds += elapsed

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..algo3 import algo3_block
 from ..algo4 import algo4_block
+from ..batched import algo3_block_batched, algo4_block_batched
 from . import KernelBackend, KernelWorkspace, register_backend
 
 __all__ = ["NumpyBackend"]
@@ -36,6 +37,18 @@ class NumpyBackend(KernelBackend):
                     workspace: KernelWorkspace | None = None) -> None:
         algo4_block(Ahat_sub, A_blk, r, rng, watch=watch,
                     row_chunk=row_chunk, workspace=workspace)
+
+    def algo3_block_batched(self, Ahat_stack, A_sub, r, brng, watch=None,
+                            panel_nnz: int = 8192,
+                            workspace: KernelWorkspace | None = None) -> None:
+        algo3_block_batched(Ahat_stack, A_sub, r, brng, watch=watch,
+                            panel_nnz=panel_nnz, workspace=workspace)
+
+    def algo4_block_batched(self, Ahat_stack, A_blk, r, brng, watch=None,
+                            row_chunk: int = 64,
+                            workspace: KernelWorkspace | None = None) -> None:
+        algo4_block_batched(Ahat_stack, A_blk, r, brng, watch=watch,
+                            row_chunk=row_chunk, workspace=workspace)
 
     def warmup(self, rng, dtype=np.float64) -> float:
         return 0.0

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..rng.base import SketchingRNG
+from ..rng.batched import BatchedSketchRNG
 from ..sparse.blocked_csr import BlockedCSR
 from ..sparse.convert import csc_to_blocked_csr
 from ..sparse.csc import CSCMatrix
@@ -35,7 +36,8 @@ from .algo4 import algo4_block_reference
 from .backends import KernelBackend, KernelWorkspace, resolve_backend
 from .stats import KernelStats
 
-__all__ = ["sketch_spmm", "iter_block_tasks", "default_block_sizes"]
+__all__ = ["sketch_spmm", "sketch_spmm_batched", "iter_block_tasks",
+           "default_block_sizes"]
 
 KernelName = Literal["algo3", "algo4"]
 
@@ -240,6 +242,139 @@ def sketch_spmm(
         d=d, b_d=b_d, b_n=b_n,
         extra={**conversion_extra,
                "backend": "reference" if reference else be.name,
+               "jit_compile_seconds": jit_seconds},
+    )
+    return Ahat, stats
+
+
+def sketch_spmm_batched(
+    A: CSCMatrix,
+    d: int,
+    rng: "BatchedSketchRNG | list[SketchingRNG] | tuple[SketchingRNG, ...]",
+    *,
+    kernel: KernelName = "algo3",
+    b_d: int | None = None,
+    b_n: int | None = None,
+    blocked: BlockedCSR | None = None,
+    out: np.ndarray | None = None,
+    backend: str | KernelBackend | None = None,
+    workspace: KernelWorkspace | None = None,
+    on_block: Callable[[str, int, int, int, int], None] | None = None,
+) -> tuple[np.ndarray, KernelStats]:
+    """Compute ``k`` sketches of the same ``A`` in one blocked pass.
+
+    The batched tier for the fixed-``A``, many-sketches workload: one
+    traversal of the sparse structure serves every sketch of the batch,
+    with the counter→sample RNG pipeline, blocked-CSR conversion, and
+    per-block bookkeeping amortized across the ``k`` seeds (see
+    :mod:`repro.kernels.batched`).
+
+    Parameters mirror :func:`sketch_spmm` except *rng*, which is a
+    :class:`~repro.rng.batched.BatchedSketchRNG` (or a sequence of
+    per-sketch generators, which is wrapped), and *out*, which when given
+    must be a ``(k, d, n)`` array.  There is no ``out_order`` knob: the
+    stack is C-ordered so each sketch's ``(d, n)`` slice is contiguous
+    (output layout does not affect the accumulated values — every kernel
+    update is elementwise in the output operand).
+
+    Returns
+    -------
+    (Ahat, stats):
+        ``Ahat[t]`` is bit-identical to the sketch a single
+        :func:`sketch_spmm` call with member ``t``'s generator produces.
+        ``stats.extra["batch"]`` records ``k``; ``flops`` and
+        ``samples_generated`` count all ``k`` sketches.
+    """
+    d = check_positive_int(d, "d")
+    if not isinstance(rng, BatchedSketchRNG):
+        rng = BatchedSketchRNG(rng)
+    k = rng.batch
+    if not isinstance(A, CSCMatrix):
+        raise ConfigError(
+            f"A must be a CSCMatrix (got {type(A).__name__}); CSR inputs "
+            "would be silently misread — convert with .to_csc() first"
+        )
+    m, n = A.shape
+    if n == 0:
+        raise ConfigError("cannot sketch a matrix with zero columns")
+    if kernel not in ("algo3", "algo4"):
+        raise ConfigError(f"kernel must be 'algo3' or 'algo4', got {kernel!r}")
+    bd_default, bn_default = default_block_sizes(d, n)
+    b_d = bd_default if b_d is None else check_positive_int(b_d, "b_d")
+    b_n = bn_default if b_n is None else check_positive_int(b_n, "b_n")
+
+    if out is None:
+        Ahat = np.zeros((k, d, n), dtype=np.float64)
+    else:
+        if out.shape != (k, d, n):
+            raise ConfigError(
+                f"out must have shape {(k, d, n)}, got {out.shape}")
+        out[:] = 0.0
+        Ahat = out
+
+    be = resolve_backend(backend)
+    ws = workspace if workspace is not None else KernelWorkspace()
+    jit_seconds = be.warmup(rng.members[0], Ahat.dtype)
+
+    sw = Stopwatch()
+    samples_before = rng.samples_generated
+    conversion_seconds = 0.0
+    conversion_extra: dict = {}
+    blocks = 0
+
+    with Timer() as total:
+        if kernel == "algo4":
+            if blocked is None:
+                blocked, conv = csc_to_blocked_csr(A, b_n)
+                conversion_seconds = conv.seconds
+                conversion_extra = {
+                    "conversion_ops": conv.op_count,
+                    "conversion_workspace_bytes": conv.workspace_bytes,
+                }
+            elif blocked.shape != (m, n):
+                raise ConfigError(
+                    f"blocked CSR shape {blocked.shape} does not match A "
+                    f"{A.shape}"
+                )
+            for j0, blk in blocked.iter_blocks():
+                width = blk.shape[1]
+                for i in range(0, d, b_d):
+                    d1 = min(b_d, d - i)
+                    if on_block is not None:
+                        on_block("block_start", i, d1, j0, width)
+                    stack = Ahat[:, i:i + d1, j0:j0 + width]
+                    be.algo4_block_batched(stack, blk, i, rng, watch=sw,
+                                           workspace=ws)
+                    blocks += 1
+                    if on_block is not None:
+                        on_block("block_done", i, d1, j0, width)
+        else:
+            for i, d1, j, n1 in iter_block_tasks(d, n, b_d, b_n):
+                if on_block is not None:
+                    on_block("block_start", i, d1, j, n1)
+                stack = Ahat[:, i:i + d1, j:j + n1]
+                A_sub = A.col_block(j, j + n1)
+                be.algo3_block_batched(stack, A_sub, i, rng, watch=sw,
+                                       workspace=ws)
+                blocks += 1
+                if on_block is not None:
+                    on_block("block_done", i, d1, j, n1)
+        if rng.post_scale != 1.0:
+            Ahat *= rng.post_scale
+
+    stats = KernelStats(
+        kernel=kernel,
+        sample_seconds=sw.total("sample"),
+        compute_seconds=sw.total("compute"),
+        conversion_seconds=conversion_seconds,
+        total_seconds=total.elapsed,
+        samples_generated=rng.samples_generated - samples_before,
+        flops=k * spmm_flops(d, A.nnz),
+        blocks_processed=blocks,
+        d=d, b_d=b_d, b_n=b_n,
+        extra={**conversion_extra,
+               "backend": be.name,
+               "batch": k,
                "jit_compile_seconds": jit_seconds},
     )
     return Ahat, stats

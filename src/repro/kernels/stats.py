@@ -133,7 +133,19 @@ class KernelStats:
         merge across different grids would mis-attribute every derived
         rate); ``health`` reports are folded via
         :meth:`repro.parallel.resilience.RunHealth.merge`.
+
+        Merging a record into itself is rejected: aggregation layers
+        must build their aggregate as a *fresh* record (never alias a
+        constituent), otherwise the constituent silently becomes the
+        aggregate and any later sum-of-parts reconciliation — or a
+        second-level merge, e.g. a sharded run folded into a service
+        total — double-counts its buckets and ``extra`` counters.
         """
+        if other is self:
+            raise ConfigError(
+                "cannot merge a KernelStats record into itself; build "
+                "aggregates as a fresh record instead of aliasing a "
+                "constituent")
         for name in ("d", "b_d", "b_n"):
             mine, theirs = getattr(self, name), getattr(other, name)
             if mine and theirs and mine != theirs:

@@ -61,6 +61,8 @@ metric                          type      labels
 ``serve_requests_shed_total``   counter   ``reason`` (queue_full/breaker_open/draining)
 ``serve_requests_total``        counter   ``status`` (ok or the error type)
 ``serve_request_seconds``       histogram —
+``requests_coalesced_total``    counter   — (requests served via a coalesced batch)
+``batch_size``                  histogram — (requests per coalesced batched run)
 ``serve_deadline_missed_total`` counter   ``phase`` (queue/execute)
 ``serve_queue_depth``           gauge     — (admission queue depth)
 ``serve_drains_total``          counter   —
@@ -90,6 +92,7 @@ from ..plan.events import (
     REQUEST_ADMITTED,
     REQUEST_DONE,
     REQUEST_SHED,
+    REQUESTS_COALESCED,
     RETRY,
     SHARD_MERGED,
     SHARD_RESUMED,
@@ -244,6 +247,13 @@ class RunObserver:
             "Completed requests by terminal status.", ("status",))
         self._m_request_seconds = r.histogram(
             "serve_request_seconds", "Dequeue-to-response latency.")
+        self._m_requests_coalesced = r.counter(
+            "requests_coalesced_total",
+            "Requests served inside a coalesced batched run "
+            "(leader included).")
+        self._m_batch_size = r.histogram(
+            "batch_size", "Requests per coalesced batched run.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0))
         self._m_deadline_missed = r.counter(
             "serve_deadline_missed_total",
             "Requests whose deadline expired, by phase.", ("phase",))
@@ -281,6 +291,7 @@ class RunObserver:
             (REQUEST_ADMITTED, self._on_request_admitted),
             (REQUEST_SHED, self._on_request_shed),
             (REQUEST_DONE, self._on_request_done),
+            (REQUESTS_COALESCED, self._on_requests_coalesced),
             (DEADLINE_MISSED, self._on_deadline_missed),
             (DRAIN_STARTED, self._on_drain_started),
             (DONE, self._on_done),
@@ -407,6 +418,11 @@ class RunObserver:
         self._m_requests_served.inc(status=str(event.get("status", "ok")))
         self._m_request_seconds.observe(float(event.get("seconds", 0.0)))
         self._m_queue_depth.set(float(event.get("queue_depth", 0)))
+
+    def _on_requests_coalesced(self, event) -> None:
+        batch = float(event.get("batch", 0) or 0)
+        self._m_requests_coalesced.inc(batch)
+        self._m_batch_size.observe(batch)
 
     def _on_deadline_missed(self, event) -> None:
         self._m_deadline_missed.inc(phase=str(event.get("phase", "unknown")))

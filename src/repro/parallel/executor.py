@@ -154,6 +154,11 @@ class PlanExecutionEngine:
         self.plan = plan
         self.A = A
         self.d = plan.problem.d
+        # Batched plans accumulate a (batch, d, n) stack; every block
+        # task then covers the same (i, j) tile of *all* sketches at
+        # once (the batch axis is never split across tasks — that is
+        # what amortizes the RNG pipeline).
+        self.batch = plan.problem.batch
         self.threads = plan.threads
         self.kernel = plan.kernel
         self.b_d = plan.b_d
@@ -298,7 +303,9 @@ class PlanExecutionEngine:
             for j0, blk in self.blocked.iter_blocks():
                 self._block_by_offset[j0] = blk
         tasks = list(iter_block_tasks(self.d, n, self.b_d, self.b_n))
-        self.Ahat = np.zeros((self.d, n), dtype=np.float64)
+        shape = ((self.batch, self.d, n) if self.batch > 1
+                 else (self.d, n))
+        self.Ahat = np.zeros(shape, dtype=np.float64)
         if self._resume_requested:
             tasks = self._resume_from_snapshot(tasks)
         for i, _d1, _j, _n1 in tasks:
@@ -329,11 +336,34 @@ class PlanExecutionEngine:
             self._all_rngs.append(rng)
         return rng
 
+    def _view(self, task: Task) -> np.ndarray:
+        """The output tile for *task*: every sketch's (i, j) block."""
+        i, d1, j, n1 = task
+        if self.batch > 1:
+            return self.Ahat[:, i:i + d1, j:j + n1]
+        return self.Ahat[i:i + d1, j:j + n1]
+
     def _compute(self, task: Task, kernel: str, rng: SketchingRNG,
                  watch: Stopwatch, out: np.ndarray,
                  workspace: KernelWorkspace | None = None) -> None:
         """Run one kernel invocation for *task* into *out* (pre-zeroed)."""
         i, d1, j, n1 = task
+        if self.batch > 1:
+            rng = self._as_batched(rng)
+            if kernel == "algo3":
+                self.backend.algo3_block_batched(
+                    out, self.A.col_block(j, j + n1), i, rng, watch=watch,
+                    workspace=workspace)
+            else:
+                blk = self._block_by_offset.get(j)
+                if blk is None or blk.shape[1] != n1:
+                    raise ConfigError(
+                        "blocked CSR partition does not match b_n task grid"
+                    )
+                self.backend.algo4_block_batched(out, blk, i, rng,
+                                                 watch=watch,
+                                                 workspace=workspace)
+            return
         if kernel == "algo3":
             self.backend.algo3_block(out, self.A.col_block(j, j + n1), i,
                                      rng, watch=watch, workspace=workspace)
@@ -345,6 +375,22 @@ class PlanExecutionEngine:
                 )
             self.backend.algo4_block(out, blk, i, rng, watch=watch,
                                      workspace=workspace)
+
+    def _as_batched(self, rng):
+        """Coerce *rng* to the batched contract.
+
+        The plan's own factory already returns a
+        :class:`~repro.rng.batched.BatchedSketchRNG`; a fault hook may
+        swap in a plain single-sketch generator (e.g. the junk probe),
+        which is replicated across the batch — the fault then corrupts
+        every slice of the tile, the batched analogue of corrupting the
+        single-sketch block.
+        """
+        if hasattr(rng, "column_block_stack"):
+            return rng
+        from ..rng.batched import BatchedSketchRNG
+
+        return BatchedSketchRNG([rng] * self.batch)
 
     def _finish_stats(self, tasks: list[Task], conversion_seconds: float,
                       total_seconds: float) -> KernelStats:
@@ -361,12 +407,13 @@ class PlanExecutionEngine:
             cpu_seconds=cpu_seconds,
             wall_seconds=total_seconds,
             samples_generated=sum(r.samples_generated for r in self._all_rngs),
-            flops=spmm_flops(self.d, self.A.nnz),
+            flops=self.batch * spmm_flops(self.d, self.A.nnz),
             blocks_processed=len(tasks),
             d=self.d, b_d=self.b_d, b_n=self.b_n,
             extra={"threads": self.threads, "strategy": self.strategy,
                    "resilient": self.guarded, "backend": self.backend.name,
-                   "jit_compile_seconds": self.jit_compile_seconds},
+                   "jit_compile_seconds": self.jit_compile_seconds,
+                   **({"batch": self.batch} if self.batch > 1 else {})},
             health=self.health if self.guarded else None,
         )
         if self.checkpoint is not None:
@@ -399,7 +446,7 @@ class PlanExecutionEngine:
                 if track:
                     self.bus.emit(BLOCK_START, task=(i, j), i=i, d1=d1,
                                   j=j, n1=n1, kernel=self.kernel)
-                view = self.Ahat[i:i + d1, j:j + n1]
+                view = self._view(task)
                 self._compute(task, self.kernel, rng, watch, view, workspace)
                 if track:
                     self.bus.emit(BLOCK_DONE, task=(i, j), i=i, d1=d1,
@@ -440,7 +487,7 @@ class PlanExecutionEngine:
                 return  # a speculative duplicate won the race; discard
             self._claimed.add(idx)
             if use_scratch:
-                self.Ahat[i:i + d1, j:j + n1] = target
+                self._view(task)[...] = target
             if self._row_pending:
                 left = self._row_pending[i] = self._row_pending[i] - 1
                 if left == 0:
@@ -471,7 +518,7 @@ class PlanExecutionEngine:
         if self._track_blocks:
             self.bus.emit(BLOCK_START, task=key, i=i, d1=d1, j=j, n1=n1,
                           kernel=self.kernel)
-        view = self.Ahat[i:i + d1, j:j + n1]
+        view = self._view(task)
         # Scratch buffers are only needed when speculative duplicates can
         # race on the same block (deadline-triggered re-execution).
         use_scratch = (cfg.task_timeout is not None and self.threads > 1)
@@ -500,7 +547,9 @@ class PlanExecutionEngine:
                 # Per-thread workspace scratch: speculative duplicates of
                 # the same block run in different threads, so the scratch
                 # targets never alias.
-                target = (workspace.get("executor.scratch", (d1, n1))
+                scratch_shape = ((self.batch, d1, n1) if self.batch > 1
+                                 else (d1, n1))
+                target = (workspace.get("executor.scratch", scratch_shape)
                           if use_scratch else view)
                 target[:] = 0.0
                 failure: tuple[str, str] | None = None
@@ -682,8 +731,11 @@ class PlanExecutionEngine:
         tasks, conversion_seconds = self._prepare()
         # JIT backends compile outside the timed region (and nogil fused
         # kernels then overlap end-to-end across the worker threads).
+        warm_rng = self.rng_factory(0)
+        if hasattr(warm_rng, "members"):  # batched: members share a family
+            warm_rng = warm_rng.members[0]
         self.jit_compile_seconds = self.backend.warmup(
-            self.rng_factory(0), self.Ahat.dtype)
+            warm_rng, self.Ahat.dtype)
         if self.guarded:
             self.health.backend = self.backend.name
         with Timer() as total:

@@ -284,9 +284,11 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
             """(Re)derive the per-plan state: output view, generator,
             and the zero-copy blocked-CSR views for Algorithm 4."""
             d, n = plan.problem.d, plan.problem.n
-            Ahat = np.ndarray((d, n), dtype=np.float64,
+            batch = plan.problem.batch
+            shape = (batch, d, n) if batch > 1 else (d, n)
+            Ahat = np.ndarray(shape, dtype=np.float64,
                               buffer=segs["ahat"].buf)
-            rng = plan.rng.build(wid)
+            rng = plan.rng_factory()(wid)
             block_by_offset = {}
             if plan.kernel == "algo4":
                 # Zero-copy views over the supervisor's one shared
@@ -297,7 +299,8 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
             return Ahat, rng, block_by_offset
 
         Ahat, rng, block_by_offset = bind(plan, problem)
-        backend.warmup(rng, np.float64)
+        warm_rng = rng.members[0] if hasattr(rng, "members") else rng
+        backend.warmup(warm_rng, np.float64)
         conn.send(("ready", wid, os.getpid(), 0.0))
 
         while True:
@@ -314,6 +317,10 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
                 remap(shm_updates)
                 plan = SketchPlan.from_dict(plan_data)
                 Ahat, rng, block_by_offset = bind(plan, problem)
+                # The new plan's blocking/batch may differ: drop every
+                # scratch buffer so a stale-shaped one can never be
+                # silently reused by the next tile.
+                workspace.reset()
                 conn.send(("reloaded", wid, os.getpid(), 0.0))
                 continue
             if msg[0] != "tasks":  # pragma: no cover - protocol guard
@@ -334,27 +341,46 @@ def _worker_main(wid: int, conn, plan_data: dict, shm_names: dict,
                     samples0 = rng.samples_generated
                     s0 = watch.total("sample")
                     c0 = watch.total("compute")
-                    tile = np.zeros((d1, n1), dtype=np.float64)
-                    if plan.kernel == "algo3":
-                        backend.algo3_block(tile, A.col_block(j, j + n1), i,
-                                            rng, watch=watch,
-                                            workspace=workspace)
+                    batch = plan.problem.batch
+                    if batch > 1:
+                        tile = np.zeros((batch, d1, n1), dtype=np.float64)
+                        if plan.kernel == "algo3":
+                            backend.algo3_block_batched(
+                                tile, A.col_block(j, j + n1), i, rng,
+                                watch=watch, workspace=workspace)
+                        else:
+                            blk = block_by_offset.get(j)
+                            if blk is None or blk.shape[1] != n1:
+                                raise ConfigError(
+                                    "blocked CSR partition does not match "
+                                    "the b_n task grid")
+                            backend.algo4_block_batched(
+                                tile, blk, i, rng, watch=watch,
+                                workspace=workspace)
                     else:
-                        blk = block_by_offset.get(j)
-                        if blk is None or blk.shape[1] != n1:
-                            raise ConfigError(
-                                "blocked CSR partition does not match the "
-                                "b_n task grid")
-                        backend.algo4_block(tile, blk, i, rng, watch=watch,
-                                            workspace=workspace)
-                    Ahat[i:i + d1, j:j + n1] = tile
+                        tile = np.zeros((d1, n1), dtype=np.float64)
+                        if plan.kernel == "algo3":
+                            backend.algo3_block(tile,
+                                                A.col_block(j, j + n1), i,
+                                                rng, watch=watch,
+                                                workspace=workspace)
+                        else:
+                            blk = block_by_offset.get(j)
+                            if blk is None or blk.shape[1] != n1:
+                                raise ConfigError(
+                                    "blocked CSR partition does not match "
+                                    "the b_n task grid")
+                            backend.algo4_block(tile, blk, i, rng,
+                                                watch=watch,
+                                                workspace=workspace)
+                    Ahat[..., i:i + d1, j:j + n1] = tile
                     # Claimed-before-commit: digest the *correct* bytes;
                     # the supervisor re-reads shared memory and verifies.
                     digest = checksum_bytes(tile.tobytes(), algo)
                     if "corrupt_tile" in kinds and tile.size:
                         # Corrupt the shared tile after checksumming — the
                         # supervisor must reject this commit.
-                        Ahat[i + d1 // 2, j + n1 // 2] = np.nan
+                        Ahat[..., i + d1 // 2, j + n1 // 2] = np.nan
                     conn.send(("commit", wid, idx, task, algo, digest, {
                         "sample": watch.total("sample") - s0,
                         "compute": watch.total("compute") - c0,
@@ -501,6 +527,8 @@ class ProcessPoolSupervisor:
         from multiprocessing import shared_memory
 
         d, n = self.plan.problem.d, self.plan.problem.n
+        batch = self.plan.problem.batch
+        out_shape = (batch, d, n) if batch > 1 else (d, n)
 
         def create(name, src_dtype, shape):
             count = 1
@@ -530,10 +558,10 @@ class ProcessPoolSupervisor:
                 blk_indices[offset:offset + nnz_b] = blk.indices
                 blk_data[offset:offset + nnz_b] = blk.data
                 offset += nnz_b
-        ahat = create("ahat", np.float64, (d, n))
+        ahat = create("ahat", np.float64, out_shape)
         ahat[:] = 0.0
         self.Ahat = ahat
-        self._ahat_shape = (d, n)
+        self._ahat_shape = out_shape
         return {name: seg.name for name, seg in self._segs.items()}
 
     def _release_segments(self) -> None:
@@ -701,7 +729,7 @@ class ProcessPoolSupervisor:
         from ..persist.checksum import checksum_bytes
 
         i, d1, j, n1 = task
-        view = np.ascontiguousarray(self.Ahat[i:i + d1, j:j + n1])
+        view = np.ascontiguousarray(self.Ahat[..., i:i + d1, j:j + n1])
         return checksum_bytes(view.tobytes(), algo) == digest
 
     def _on_commit(self, handle: _WorkerHandle, msg) -> None:
@@ -714,7 +742,7 @@ class ProcessPoolSupervisor:
             return  # duplicate from a worker we already replaced
         if not self._verify_commit(idx, tuple(task), algo, digest):
             i, d1, j, n1 = task
-            self.Ahat[i:i + d1, j:j + n1] = 0.0
+            self.Ahat[..., i:i + d1, j:j + n1] = 0.0
             self.health.failures.append(TaskFailure(
                 task=(task[0], task[2]),
                 attempt=self._dispatches.get(idx, 1),
@@ -789,17 +817,28 @@ class ProcessPoolSupervisor:
         rng = self.rng_factory(0)
         watch = Stopwatch()
         out[:] = 0.0
+        batched = self.plan.problem.batch > 1
         if self.plan.kernel == "algo3":
-            self.backend.algo3_block(out, self.A.col_block(j, j + n1), i,
-                                     rng, watch=watch,
-                                     workspace=KernelWorkspace())
+            A_sub = self.A.col_block(j, j + n1)
+            if batched:
+                self.backend.algo3_block_batched(
+                    out, A_sub, i, rng, watch=watch,
+                    workspace=KernelWorkspace())
+            else:
+                self.backend.algo3_block(out, A_sub, i, rng, watch=watch,
+                                         workspace=KernelWorkspace())
         else:
             blk = self._fallback_blocks.get(j)
             if blk is None or blk.shape[1] != n1:
                 raise ConfigError(
                     "blocked CSR partition does not match the b_n task grid")
-            self.backend.algo4_block(out, blk, i, rng, watch=watch,
-                                     workspace=KernelWorkspace())
+            if batched:
+                self.backend.algo4_block_batched(
+                    out, blk, i, rng, watch=watch,
+                    workspace=KernelWorkspace())
+            else:
+                self.backend.algo4_block(out, blk, i, rng, watch=watch,
+                                         workspace=KernelWorkspace())
         with self._stats_lock:
             self._worker_stats["sample"] += watch.total("sample")
             self._worker_stats["compute"] += watch.total("compute")
@@ -861,7 +900,7 @@ class ProcessPoolSupervisor:
             i, d1, j, n1 = task
             self.health.attempts += 1
             started = time.monotonic()
-            self._compute_local(task, self.Ahat[i:i + d1, j:j + n1])
+            self._compute_local(task, self.Ahat[..., i:i + d1, j:j + n1])
             check_task_deadline(task, time.monotonic() - started)
 
         threads = max(1, min(4, self.plan.threads))
@@ -891,7 +930,7 @@ class ProcessPoolSupervisor:
             run = self._tasks[idx]
             i, d1, j, n1 = run
             started = time.monotonic()
-            self._compute_local(run, self.Ahat[i:i + d1, j:j + n1])
+            self._compute_local(run, self.Ahat[..., i:i + d1, j:j + n1])
             check_task_deadline(run, time.monotonic() - started)
             self._committed.add(idx)
             self.health.completed += 1
@@ -914,13 +953,16 @@ class ProcessPoolSupervisor:
             cpu_seconds=sample + compute,
             wall_seconds=total_seconds,
             samples_generated=samples,
-            flops=spmm_flops(self.plan.problem.d, self.A.nnz),
+            flops=(self.plan.problem.batch
+                   * spmm_flops(self.plan.problem.d, self.A.nnz)),
             blocks_processed=len(self._tasks),
             d=self.plan.problem.d, b_d=self.plan.b_d, b_n=self.plan.b_n,
             extra={"driver": "process", "workers": self.pool.workers,
                    "start_method": pool_start_method(self.pool.start_method),
                    "backend": self.backend.name,
-                   "respawns_used": self._respawns_used},
+                   "respawns_used": self._respawns_used,
+                   **({"batch": self.plan.problem.batch}
+                      if self.plan.problem.batch > 1 else {})},
             health=self.health,
         )
         # Conversion happens once per pool (at start); attribute it to
@@ -1023,7 +1065,9 @@ class ProcessPoolSupervisor:
         from multiprocessing import shared_memory
 
         d, n = self.plan.problem.d, self.plan.problem.n
-        if self._ahat_shape == (d, n):
+        batch = self.plan.problem.batch
+        shape = (batch, d, n) if batch > 1 else (d, n)
+        if self._ahat_shape == shape:
             self.Ahat[:] = 0.0
             return {}
         old = self._segs.pop("ahat", None)
@@ -1034,11 +1078,11 @@ class ProcessPoolSupervisor:
             except (OSError, FileNotFoundError):  # pragma: no cover
                 pass
         seg = shared_memory.SharedMemory(create=True,
-                                         size=max(1, d * n * 8))
+                                         size=max(1, batch * d * n * 8))
         self._segs["ahat"] = seg
-        self.Ahat = np.ndarray((d, n), dtype=np.float64, buffer=seg.buf)
+        self.Ahat = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
         self.Ahat[:] = 0.0
-        self._ahat_shape = (d, n)
+        self._ahat_shape = shape
         self._shm_names["ahat"] = seg.name
         return {"ahat": seg.name}
 

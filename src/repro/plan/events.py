@@ -67,6 +67,7 @@ __all__ = [
     "REQUEST_ADMITTED",
     "REQUEST_SHED",
     "REQUEST_DONE",
+    "REQUESTS_COALESCED",
     "DEADLINE_MISSED",
     "DRAIN_STARTED",
     "LIFECYCLE_EVENTS",
@@ -124,6 +125,9 @@ SHARD_RESUMED = "shard_resumed"
 #: ``"queue_full"`` / ``"breaker_open"`` / ``"draining"`` — and
 #: ``retry_after``), ``request_done`` when a response is produced
 #: (payload ``request_id``, ``status``, ``seconds``),
+#: ``requests_coalesced`` when an executor folds compatible queued
+#: requests into one batched run (payload ``batch`` — total requests in
+#: the pooled run, leader included — ``request_ids``, ``leader``),
 #: ``deadline_missed`` when a request's deadline expires (payload
 #: ``request_id``, ``phase`` — ``"queue"`` / ``"execute"``), and
 #: ``drain_started`` when graceful shutdown begins (payload
@@ -131,6 +135,7 @@ SHARD_RESUMED = "shard_resumed"
 REQUEST_ADMITTED = "request_admitted"
 REQUEST_SHED = "request_shed"
 REQUEST_DONE = "request_done"
+REQUESTS_COALESCED = "requests_coalesced"
 DEADLINE_MISSED = "deadline_missed"
 DRAIN_STARTED = "drain_started"
 
@@ -147,8 +152,8 @@ LIFECYCLE_EVENTS = (
     RETRY, DEGRADED, DONE, WORKER_SPAWNED, WORKER_LOST, TASK_REQUEUED,
     CACHE_HIT, CACHE_MISS, CACHE_EVICTED,
     SHARD_START, SHARD_MERGED, SHARD_RESUMED,
-    REQUEST_ADMITTED, REQUEST_SHED, REQUEST_DONE, DEADLINE_MISSED,
-    DRAIN_STARTED,
+    REQUEST_ADMITTED, REQUEST_SHED, REQUEST_DONE, REQUESTS_COALESCED,
+    DEADLINE_MISSED, DRAIN_STARTED,
 )
 
 #: Hook events whose mere presence switches the engine onto the guarded

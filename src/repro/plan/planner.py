@@ -94,6 +94,7 @@ class Planner:
                 driver: str = "auto",
                 pool: "WorkerPoolConfig | None" = None,
                 partition: "PartitionSpec | int | None" = None,
+                batch_seeds=None,
                 cache: "ArtifactCache | CachePolicy | None" = None
                 ) -> SketchPlan:
         """Compile the full decision record for sketching *A*.
@@ -108,7 +109,13 @@ class Planner:
         execution: a :class:`~repro.plan.PartitionSpec` (or a bare shard
         count, which selects the ``even`` strategy) that the runtime
         resolves into per-shard sub-plans; every strategy produces a
-        sketch bit-identical to the unsharded run.  *cache* (an
+        sketch bit-identical to the unsharded run.  *batch_seeds* (a
+        sequence of per-sketch seeds) compiles a *batched* plan: the run
+        produces a ``(len(batch_seeds), d, n)`` stack whose slice ``[t]``
+        is bit-identical to the single-sketch plan seeded with
+        ``batch_seeds[t]`` — the multi-sketch tier that amortizes the
+        RNG pipeline across the batch (a single seed degenerates to the
+        classic plan with that seed).  *cache* (an
         :class:`~repro.cache.ArtifactCache` or
         :class:`~repro.cache.CachePolicy`) memoizes the expensive
         planning steps — the kernel-dispatch pattern scan and the
@@ -229,6 +236,35 @@ class Planner:
                     if cfg.rng_kind in ("philox", "threefry")
                     else "checkpointed: reproducible for this b_d grid")))
 
+        # Batch: normalize the per-sketch seed list; a single seed is
+        # the classic plan (batch axis elided, digest unchanged).
+        batch = 1
+        if batch_seeds is not None:
+            seeds = tuple(int(s) for s in batch_seeds)
+            if not seeds:
+                raise ConfigError("batch_seeds must be non-empty when given")
+            if len(seeds) == 1:
+                batch_seeds = None
+                decisions.append(PlanDecision(
+                    field="batch", value="1",
+                    reason="single batch seed: compiled as the classic "
+                           "single-sketch plan with that seed",
+                    data={"seed": seeds[0]}))
+            else:
+                batch = len(seeds)
+                batch_seeds = seeds
+                decisions.append(PlanDecision(
+                    field="batch", value=str(batch),
+                    reason=("multi-sketch tier: one pass generates all "
+                            "sketches, amortizing the RNG pipeline and "
+                            "block bookkeeping across the batch; each "
+                            "slice is bit-identical to the single-sketch "
+                            "run with its seed"),
+                    data={"seeds": list(seeds)}))
+            cfg_seed = seeds[0]
+        else:
+            cfg_seed = cfg.seed
+
         # Partition: normalize a bare shard count, record the strategy.
         if isinstance(partition, int):
             partition = PartitionSpec(shards=partition)
@@ -248,11 +284,12 @@ class Planner:
         pol = persistence if persistence is not None else PersistencePolicy()
         plan = SketchPlan(
             problem=ProblemSpec(m=m, n=n, d=d_eff, nnz=A.nnz,
-                                gamma=gamma_used),
+                                gamma=gamma_used, batch=batch),
             kernel=kernel, b_d=b_d, b_n=b_n, backend=backend.name,
-            rng=RngSpec(kind=cfg.rng_kind, seed=cfg.seed,
+            rng=RngSpec(kind=cfg.rng_kind, seed=cfg_seed,
                         distribution=cfg.distribution,
-                        normalize=cfg.normalize),
+                        normalize=cfg.normalize,
+                        batch_seeds=batch_seeds),
             threads=cfg.threads, strategy="static", driver=driver,
             resilience=cfg.resilience, persistence=pol, pool=pool,
             partition=partition, decisions=tuple(decisions),
@@ -289,6 +326,7 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
                  tune: str = "model", driver: str = "auto",
                  pool: "WorkerPoolConfig | None" = None,
                  partition: "PartitionSpec | int | None" = None,
+                 batch_seeds=None,
                  cache: "ArtifactCache | CachePolicy | None" = None
                  ) -> SketchPlan:
     """One-call planning: ``compile_plan(A, cfg, gamma=3.0)``.
@@ -298,4 +336,4 @@ def compile_plan(A: "CSCMatrix", config: SketchConfig | None = None, *,
     """
     return Planner(machine, tune=tune).compile(
         A, config, d=d, gamma=gamma, persistence=persistence, driver=driver,
-        pool=pool, partition=partition, cache=cache)
+        pool=pool, partition=partition, batch_seeds=batch_seeds, cache=cache)

@@ -103,7 +103,7 @@ def available_drivers() -> tuple[str, ...]:
 def _serial_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
                    blocked, injector):
     """Single-pass blocked loop — the pre-refactor sequential path."""
-    from ..kernels.blocking import sketch_spmm
+    from ..kernels.blocking import sketch_spmm, sketch_spmm_batched
 
     bus = runtime.bus
     on_block = None
@@ -111,6 +111,12 @@ def _serial_driver(runtime: "Runtime", plan: SketchPlan, A, factory,
         def on_block(phase: str, i: int, d1: int, j: int, n1: int) -> None:
             bus.emit(phase, task=(i, j), i=i, d1=d1, j=j, n1=n1,
                      kernel=plan.kernel)
+    if plan.problem.batch > 1:
+        return sketch_spmm_batched(
+            A, plan.problem.d, factory(0), kernel=plan.kernel,
+            b_d=plan.b_d, b_n=plan.b_n, backend=plan.backend,
+            blocked=blocked, on_block=on_block,
+        )
     return sketch_spmm(
         A, plan.problem.d, factory(0), kernel=plan.kernel,
         b_d=plan.b_d, b_n=plan.b_n, backend=plan.backend,
@@ -355,7 +361,18 @@ class Runtime:
             seeded = self._repartition_checkpoints(plan, shards, factory,
                                                    base)
         d = plan.problem.d
-        Ahat = np.zeros((d, plan.problem.n), dtype=np.float64)
+        batch = plan.problem.batch
+        shape = (batch, d, plan.problem.n) if batch > 1 \
+            else (d, plan.problem.n)
+        Ahat = np.zeros(shape, dtype=np.float64)
+        # The run aggregate is a FRESH record seeded from the plan's
+        # kernel name — never an alias of a shard's own stats.  Aliasing
+        # shard 0 (the previous behaviour) silently turned that shard's
+        # record into the run total: any layer retaining per-shard
+        # records and reconciling their sum against the aggregate
+        # double-counted shard 0, and a second-level merge (a sharded
+        # run folded into a service aggregate) double-counted the
+        # ``merge_seconds``/``merge_words`` extras attached below.
         stats: KernelStats | None = None
         merge_seconds = 0.0
         merge_words = 0
@@ -375,12 +392,15 @@ class Runtime:
                 Ahat_s, stats_s = driver(self, sub, A_s, factory, blocked_s,
                                          injector)
                 with Timer() as merge:
-                    Ahat[:, c0:c1] = Ahat_s
+                    # Stripe copy along the trailing (column) axis: the
+                    # same sweep for (d, n) sketches and (batch, d, n)
+                    # batched stacks.
+                    Ahat[..., c0:c1] = Ahat_s
                 merge_seconds += merge.elapsed
-                merge_words += d * shard.ncols
+                merge_words += batch * d * shard.ncols
                 self.bus.emit(SHARD_MERGED, shard=shard.index, col_start=c0,
                               col_stop=c1, seconds=merge.elapsed,
-                              words=d * shard.ncols)
+                              words=batch * d * shard.ncols)
                 resumed = stats_s.extra.get("resumed_from")
                 if resumed:
                     shards_resumed += 1
@@ -395,9 +415,8 @@ class Runtime:
                 if src_s is not None:
                     sources.add(src_s)
                 if stats is None:
-                    stats = stats_s
-                else:
-                    stats.merge(stats_s)
+                    stats = KernelStats(kernel=stats_s.kernel)
+                stats.merge(stats_s)
         # Shards execute sequentially in this loop, so the run's wall
         # clock is the loop, not the max of any one shard; per-shard
         # sums (total/cpu/sample seconds) stay meaningful as-is.
@@ -436,7 +455,8 @@ class Runtime:
                 every=persistence.every, keep=persistence.keep,
                 resume=persistence.resume)
         problem = ProblemSpec(m=plan.problem.m, n=shard.ncols,
-                              d=plan.problem.d, nnz=int(nnz))
+                              d=plan.problem.d, nnz=int(nnz),
+                              batch=plan.problem.batch)
         return dataclasses.replace(
             plan, problem=problem, partition=None, shard=shard,
             persistence=persistence, decisions=())
@@ -659,7 +679,9 @@ class Runtime:
                              rng_kind=plan.rng.kind)
         if fetch_jit_marker(cache, key) is not None:
             return
-        rng = plan.rng_factory()(0)
+        # Warm-up needs one plain generator; a batched plan's members
+        # share the family, so the single-seed recipe is representative.
+        rng = plan.rng.build(0)
         seconds = be.warmup(rng, np.float64)
         store_jit_marker(cache, key, kernel=plan.kernel, backend=be.name,
                          jit_compile_seconds=seconds)

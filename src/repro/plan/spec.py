@@ -125,18 +125,27 @@ def resilience_from_dict(data: dict | None) -> ResilienceConfig | None:
 
 @dataclass(frozen=True)
 class ProblemSpec:
-    """The input problem and the sketch size chosen for it."""
+    """The input problem and the sketch size chosen for it.
+
+    ``batch`` is the number of sketches computed in one pass (the
+    batched multi-sketch tier); 1 — the default — is the classic single
+    sketch.  A batched problem produces a ``(batch, d, n)`` output stack
+    whose slice ``[t]`` is bit-identical to the single sketch seeded
+    with the t-th entry of :attr:`RngSpec.batch_seeds`.
+    """
 
     m: int                      # rows of A (columns of the implicit S)
     n: int                      # columns of A
     d: int                      # sketch size (rows of S)
     nnz: int | None = None      # nonzeros of A, when known at plan time
     gamma: float | None = None  # the multiplier d was derived from, if any
+    batch: int = 1              # sketches computed per pass
 
     def __post_init__(self) -> None:
         check_positive_int(self.m, "m")
         check_positive_int(self.n, "n")
         check_positive_int(self.d, "d")
+        check_positive_int(self.batch, "batch")
 
     @property
     def density(self) -> float | None:
@@ -145,9 +154,15 @@ class ProblemSpec:
         return self.nnz / (self.m * self.n)
 
     def to_dict(self) -> dict:
-        return {"m": int(self.m), "n": int(self.n), "d": int(self.d),
-                "nnz": (None if self.nnz is None else int(self.nnz)),
-                "gamma": (None if self.gamma is None else float(self.gamma))}
+        record = {"m": int(self.m), "n": int(self.n), "d": int(self.d),
+                  "nnz": (None if self.nnz is None else int(self.nnz)),
+                  "gamma": (None if self.gamma is None
+                            else float(self.gamma))}
+        # Only present when batched: single-sketch problems keep their
+        # exact canonical JSON (and therefore their pinned digests).
+        if self.batch != 1:
+            record["batch"] = int(self.batch)
+        return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProblemSpec":
@@ -155,26 +170,53 @@ class ProblemSpec:
                    nnz=(None if data.get("nnz") is None
                         else int(data["nnz"])),
                    gamma=(None if data.get("gamma") is None
-                          else float(data["gamma"])))
+                          else float(data["gamma"])),
+                   batch=int(data.get("batch", 1)))
 
 
 @dataclass(frozen=True)
 class RngSpec:
-    """The generator recipe: family, seed, entry distribution, scaling."""
+    """The generator recipe: family, seed, entry distribution, scaling.
+
+    ``batch_seeds`` carries the per-sketch seeds of a batched plan
+    (``ProblemSpec.batch > 1``); each sketch in the stack is generated
+    exactly as if ``seed`` had been that entry.  ``None`` — the default
+    — is the single-sketch recipe using ``seed``.
+    """
 
     kind: str = "xoshiro"
     seed: int = 0
     distribution: str = "uniform"
     normalize: bool = False
+    batch_seeds: tuple | None = None
 
     def __post_init__(self) -> None:
         get_distribution(self.distribution)  # validates the name
+        if self.batch_seeds is not None:
+            seeds = tuple(int(s) for s in self.batch_seeds)
+            if not seeds:
+                raise ConfigError("batch_seeds must be non-empty when set")
+            object.__setattr__(self, "batch_seeds", seeds)
 
     def build(self, worker: int = 0) -> SketchingRNG:
         """Instantiate the generator (fresh counters per call; *worker*
         exists for factory-signature compatibility and is unused — both
         families key output on coordinates, never on the worker)."""
         return make_rng(self.kind, self.seed, self.distribution)
+
+    def build_batched(self, worker: int = 0) -> "BatchedSketchRNG":
+        """Instantiate the stacked generator for a batched plan.
+
+        One member per entry of ``batch_seeds`` (falling back to a
+        batch of one over ``seed``); each member is exactly what
+        :meth:`build` would produce for that seed.
+        """
+        from ..rng.batched import BatchedSketchRNG
+
+        seeds = self.batch_seeds if self.batch_seeds is not None \
+            else (self.seed,)
+        return BatchedSketchRNG(
+            [make_rng(self.kind, s, self.distribution) for s in seeds])
 
     def normalization(self, d: int) -> float:
         """The ``1/sqrt(d * var)`` isometry factor (1.0 when disabled)."""
@@ -183,16 +225,23 @@ class RngSpec:
         return get_distribution(self.distribution).normalization(d)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "seed": int(self.seed),
-                "distribution": self.distribution,
-                "normalize": bool(self.normalize)}
+        record = {"kind": self.kind, "seed": int(self.seed),
+                  "distribution": self.distribution,
+                  "normalize": bool(self.normalize)}
+        # Only present when set, keeping single-sketch digests pinned.
+        if self.batch_seeds is not None:
+            record["batch_seeds"] = [int(s) for s in self.batch_seeds]
+        return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "RngSpec":
         return cls(kind=data.get("kind", "xoshiro"),
                    seed=int(data.get("seed", 0)),
                    distribution=data.get("distribution", "uniform"),
-                   normalize=bool(data.get("normalize", False)))
+                   normalize=bool(data.get("normalize", False)),
+                   batch_seeds=(None if data.get("batch_seeds") is None
+                                else tuple(int(s)
+                                           for s in data["batch_seeds"])))
 
 
 @dataclass(frozen=True)
@@ -347,24 +396,38 @@ def compute_shards(spec: "PartitionSpec", *, n: int, b_n: int,
     acc = 0.0
     for s in range(shards):
         start_block = block
-        target = total * (s + 1) / shards
-        # Take blocks until the cumulative weight reaches this shard's
-        # quantile, but always leave one block per remaining shard.
-        while block < n_blocks - (shards - s - 1):
-            acc += weights[block]
-            block += 1
-            if acc >= target - 1e-9 and block > start_block:
-                break
-        if block == start_block:  # forced minimum of one block
-            acc += weights[block]
-            block += 1
+        if s == shards - 1:
+            # The final shard owns every remaining block unconditionally.
+            # The quantile loop below stops as soon as the cumulative
+            # weight reaches the total, which strands trailing
+            # zero-weight blocks (e.g. empty trailing columns under
+            # ``nnz_balanced``) outside every stripe — the stripes must
+            # cover [0, n) exactly regardless of the weight profile.
+            block = n_blocks
+        else:
+            target = total * (s + 1) / shards
+            # Take blocks until the cumulative weight reaches this
+            # shard's quantile, but always leave one block per remaining
+            # shard.
+            while block < n_blocks - (shards - s - 1):
+                acc += weights[block]
+                block += 1
+                if acc >= target - 1e-9 and block > start_block:
+                    break
+            if block == start_block:  # forced minimum of one block
+                acc += weights[block]
+                block += 1
         c0 = start_block * b_n
         c1 = min(n, block * b_n)
         nnz = (None if block_nnz is None
                else sum(block_nnz[start_block:block]))
         plans.append(ShardPlan(index=s, shards=shards, col_start=c0,
                                col_stop=c1, nnz=nnz))
-    assert plans[-1].col_stop == n
+    if plans[-1].col_stop != n:
+        raise ConfigError(
+            f"internal error: shard stripes cover "
+            f"[0, {plans[-1].col_stop}) but n={n}; please report this "
+            f"(spec={spec!r}, b_n={b_n})")
     return tuple(plans)
 
 
@@ -443,6 +506,32 @@ class SketchPlan:
             raise ConfigError(
                 "checkpointing is not supported for the 'pregen' kernel"
             )
+        if self.problem.batch > 1:
+            if self.kernel == "pregen":
+                raise ConfigError(
+                    "batched execution is not supported for the 'pregen' "
+                    "kernel (it materializes a single explicit S)"
+                )
+            if self.persistence.enabled:
+                raise ConfigError(
+                    "checkpointing is not supported for batched plans "
+                    "(snapshots record a single (d, n) sketch)"
+                )
+            if self.rng.batch_seeds is None:
+                raise ConfigError(
+                    f"a batched plan (batch={self.problem.batch}) needs "
+                    f"rng.batch_seeds with one seed per sketch"
+                )
+            if len(self.rng.batch_seeds) != self.problem.batch:
+                raise ConfigError(
+                    f"rng.batch_seeds has {len(self.rng.batch_seeds)} "
+                    f"seed(s) but problem.batch={self.problem.batch}"
+                )
+        elif self.rng.batch_seeds is not None:
+            raise ConfigError(
+                "rng.batch_seeds is set but problem.batch is 1; batched "
+                "recipes must declare the batch axis on the problem"
+            )
         if self.partition is not None:
             if not isinstance(self.partition, PartitionSpec):
                 raise ConfigError(
@@ -489,7 +578,15 @@ class SketchPlan:
     # -- execution hooks -----------------------------------------------------
 
     def rng_factory(self) -> Callable[[int], SketchingRNG]:
-        """The worker-indexed generator factory the runtime executes with."""
+        """The worker-indexed generator factory the runtime executes with.
+
+        Batched plans return the :meth:`RngSpec.build_batched` factory:
+        each call yields a fresh
+        :class:`~repro.rng.batched.BatchedSketchRNG` whose members map
+        1:1 onto ``rng.batch_seeds``.
+        """
+        if self.problem.batch > 1:
+            return self.rng.build_batched
         return self.rng.build
 
     def scale(self) -> float:
@@ -514,6 +611,9 @@ class SketchPlan:
         if self.shard is not None:
             fp["shard_col_start"] = int(self.shard.col_start)
             fp["shard_col_stop"] = int(self.shard.col_stop)
+        if self.problem.batch != 1:
+            fp["batch"] = int(self.problem.batch)
+            fp["batch_seeds"] = [int(s) for s in self.rng.batch_seeds]
         return fp
 
     # -- serialization -------------------------------------------------------
@@ -630,8 +730,11 @@ class SketchPlan:
             f"  kernel      : {self.kernel}",
             f"  blocking    : b_d={self.b_d}, b_n={self.b_n}",
             f"  backend     : {self.backend}",
-            f"  rng         : {self.rng.kind} seed={self.rng.seed} "
-            f"{self.rng.distribution}"
+            f"  rng         : {self.rng.kind} "
+            + (f"batch_seeds={list(self.rng.batch_seeds)} "
+               if self.rng.batch_seeds is not None
+               else f"seed={self.rng.seed} ")
+            + f"{self.rng.distribution}"
             f"{' (normalized)' if self.rng.normalize else ''}",
             f"  execution   : driver={self.driver}, threads={self.threads}, "
             f"strategy={self.strategy}",
@@ -647,6 +750,10 @@ class SketchPlan:
                f"keep={self.persistence.keep}, "
                f"resume={self.persistence.resume}"),
         ]
+        if self.problem.batch != 1:
+            lines.append(
+                f"  batch       : {self.problem.batch} sketches per pass "
+                f"(one per batch seed)")
         if self.pool is not None:
             lines.append(
                 f"  pool        : workers={self.pool.workers}, "

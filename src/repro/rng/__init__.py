@@ -15,6 +15,7 @@ from .base import (
     XoshiroSketchRNG,
     make_rng,
 )
+from .batched import BatchedSketchRNG, make_batched_rng
 from .benchmark import RngProbe, estimate_h, rng_sample_rate, stream_copy_bandwidth
 from .detmath import det_cos_2pi, det_log
 from .jit import NUMBA_AVAILABLE
@@ -39,6 +40,8 @@ __all__ = [
     "SketchingRNG",
     "XoshiroSketchRNG",
     "make_rng",
+    "BatchedSketchRNG",
+    "make_batched_rng",
     "RngProbe",
     "estimate_h",
     "rng_sample_rate",

@@ -76,6 +76,10 @@ def philox4x32(
         counter words of each lane.
     key:
         ``(k0, k1)`` pair of ``uint32`` key words (see :func:`key_from_seed`).
+        Each word may also be a ``uint32`` *array* (e.g. shape ``(k, 1, 1)``
+        holding one key per sketch of a batch); the round function is
+        purely elementwise, so every slice of the broadcast output is
+        bit-identical to a scalar-key call with that slice's key.
     rounds:
         Number of S-P rounds; 10 is the standard "crush-resistant" choice,
         7 is the commonly used faster variant.
@@ -96,7 +100,8 @@ def philox4x32(
         )
     )
     x0 = x0.copy(); x1 = x1.copy(); x2 = x2.copy(); x3 = x3.copy()
-    k0, k1 = np.uint32(key[0]), np.uint32(key[1])
+    k0 = np.asarray(key[0], dtype=np.uint32)
+    k1 = np.asarray(key[1], dtype=np.uint32)
     with np.errstate(over="ignore"):
         for _ in range(rounds):
             hi0, lo0 = _mulhilo32(_MUL_A, x0)

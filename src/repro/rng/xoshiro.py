@@ -33,7 +33,8 @@ import numpy as np
 
 from .splitmix import GOLDEN_GAMMA, mix_key, splitmix64
 
-__all__ = ["DEFAULT_LANES", "seed_states", "xoshiro_next", "checkpoint_bits"]
+__all__ = ["DEFAULT_LANES", "seed_states", "xoshiro_next", "checkpoint_bits",
+           "checkpoint_bits_stacked"]
 
 #: Number of interleaved lanes.  The paper's SIMD kernels interleave 8
 #: 64-bit lanes (one 512-bit register); the NumPy realization amortizes
@@ -126,3 +127,43 @@ def checkpoint_bits(
     for t in range(steps):
         out[t] = xoshiro_next(state)
     return out.reshape(steps * n_lanes, ncols)[:count]
+
+
+def checkpoint_bits_stacked(
+    seeds,
+    r: int,
+    js: np.ndarray,
+    count: int,
+    n_lanes: int = DEFAULT_LANES,
+) -> np.ndarray:
+    """:func:`checkpoint_bits` for several seeds through one pipeline.
+
+    Returns a ``uint64`` array of shape ``(len(seeds), count, len(js))``
+    whose slice ``[t]`` is **bit-identical** to
+    ``checkpoint_bits(seeds[t], r, js, count, n_lanes)``: the seeds are
+    stacked along a leading axis of the lane-state arrays and every
+    seeding/advance operation is elementwise, so the per-seed streams are
+    unchanged — only the NumPy dispatch cost of the step loop is shared
+    across the batch.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if n_lanes < 1:
+        raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
+    js = np.asarray(js, dtype=np.int64)
+    ncols = js.shape[0]
+    k = len(seeds)
+    if count == 0 or ncols == 0:
+        return np.zeros((k, count, ncols), dtype=np.uint64)
+    lanes = np.arange(n_lanes, dtype=np.uint64)[None, :, None]
+    base = np.stack([mix_key(np.int64(int(s)), np.int64(r), js)
+                     for s in seeds])[:, None, :]  # (k, 1, ncols)
+    with np.errstate(over="ignore"):
+        keys = splitmix64(base ^ (lanes * GOLDEN_GAMMA + np.uint64(1)))
+    state = seed_states(keys)  # (4, k, n_lanes, ncols)
+    steps = -(-count // n_lanes)
+    out = np.empty((steps, k, n_lanes, ncols), dtype=np.uint64)
+    for t in range(steps):
+        out[t] = xoshiro_next(state)
+    return (out.transpose(1, 0, 2, 3)
+               .reshape(k, steps * n_lanes, ncols)[:, :count])

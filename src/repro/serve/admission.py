@@ -118,6 +118,33 @@ class AdmissionQueue:
                     return None
             return self._items.popleft()
 
+    def take_matching(self, predicate, limit: int) -> list:
+        """Remove and return up to *limit* queued tickets satisfying
+        *predicate*, preserving FIFO order among both the taken and the
+        remaining tickets.
+
+        Non-blocking: only tickets already queued are considered — the
+        request-coalescing path must not delay a dequeued leader
+        waiting for company that may never arrive.  *predicate* runs
+        under the queue lock and must be a pure, fast function of the
+        ticket.
+        """
+        taken: list = []
+        if limit <= 0:
+            return taken
+        with self._cond:
+            if not self._items:
+                return taken
+            kept: deque = deque()
+            while self._items:
+                ticket = self._items.popleft()
+                if len(taken) < limit and predicate(ticket):
+                    taken.append(ticket)
+                else:
+                    kept.append(ticket)
+            self._items = kept
+        return taken
+
     def close(self) -> list:
         """Stop admitting and wake all waiters; returns the tickets
         still queued (the drain path sheds them with retry hints)."""

@@ -45,6 +45,14 @@ class ServeConfig:
         Circuit breaker: consecutive pool-degraded (or failed)
         requests before the breaker opens, and how long it stays open
         before a half-open probe is allowed through.
+    max_batch:
+        Coalescing bound: when greater than 1, an executor thread that
+        dequeues a request also drains up to ``max_batch - 1`` queued
+        requests *compatible* with it — same matrix, same planning
+        config apart from the seed, no chaos, no frozen plan — and
+        executes them as one batched run (one pass over A computes
+        every sketch; coordinate-keyed RNG makes each slice
+        bit-identical to a solo run).  1 disables coalescing.
     warm_pools:
         LRU bound on live :class:`ProcessPoolSupervisor` instances
         (one per (matrix, kernel, backend, partition) binding).
@@ -76,6 +84,7 @@ class ServeConfig:
     drain_timeout: float = 10.0
     breaker_threshold: int = 3
     breaker_recovery: float = 5.0
+    max_batch: int = 1
     warm_pools: int = 2
     max_matrices: int = 4
     checkpoint_dir: str | None = None
@@ -87,6 +96,7 @@ class ServeConfig:
     def __post_init__(self) -> None:
         check_positive_int(self.queue_capacity, "queue_capacity")
         check_positive_int(self.executors, "executors")
+        check_positive_int(self.max_batch, "max_batch")
         check_positive_int(self.warm_pools, "warm_pools")
         check_positive_int(self.max_matrices, "max_matrices")
         check_positive_int(self.breaker_threshold, "breaker_threshold")

@@ -20,7 +20,18 @@ around it; tests drive it directly.  One service owns:
   to what the pool would have produced, so clients cannot observe the
   crash except in the stats;
 * graceful drain: stop admitting, shed the queue with retry hints,
-  finish in-flight work, persist a drain-state file, close the pools.
+  finish in-flight work, persist a drain-state file, close the pools;
+* request coalescing (``ServeConfig.max_batch > 1``): an executor that
+  dequeues a request also drains queued requests *compatible* with it —
+  same matrix spec, same planning config apart from the seed, no chaos,
+  no frozen plan — and compiles them into one batched plan
+  (``batch_seeds``) executed in a single pass over A.  Every request
+  gets its own slice of the stacked output; the coordinate-keyed RNG
+  contract makes that slice bit-identical to what a solo run would have
+  produced.  The pooled run honours the *tightest* member deadline, and
+  any pooled failure falls back to processing each member individually,
+  so coalescing can never make a request fail that would have succeeded
+  alone.
 
 Deadlines bind at every stage: a request expiring while queued is
 failed with ``phase="queue"`` without touching a kernel; the remaining
@@ -55,6 +66,7 @@ from ..plan.events import (
     REQUEST_ADMITTED,
     REQUEST_DONE,
     REQUEST_SHED,
+    REQUESTS_COALESCED,
     EventBus,
 )
 from .admission import AdmissionQueue
@@ -116,7 +128,7 @@ class SketchService:
             self.cache = ArtifactCache(
                 CachePolicy(cache_dir=self.config.cache_dir), bus=self.bus)
         self.counters = {"served": 0, "shed": 0, "deadline_missed": 0,
-                         "failed": 0, "recovered": 0}
+                         "failed": 0, "recovered": 0, "coalesced": 0}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._matrices: OrderedDict[str, tuple] = OrderedDict()
@@ -291,23 +303,150 @@ class SketchService:
                 if self.queue.closed:
                     return
                 continue
+            group = [ticket]
+            if self.config.max_batch > 1:
+                group.extend(self._coalesce(ticket))
             with self._lock:
-                self._inflight += 1
+                self._inflight += len(group)
             started = time.monotonic()
             try:
-                self._process(ticket)
+                if len(group) == 1:
+                    self._process(ticket)
+                else:
+                    self._process_batch(group)
             finally:
                 elapsed = time.monotonic() - started
                 with self._lock:
-                    self._inflight -= 1
-                self.queue.observe_service_time(elapsed)
-                status = "ok" if ticket.error is None else \
-                    type(ticket.error).__name__
-                self.bus.emit(REQUEST_DONE,
-                              request_id=ticket.request.request_id,
-                              status=status, seconds=elapsed,
-                              queue_depth=self.queue.depth)
-                ticket.done.set()
+                    self._inflight -= len(group)
+                # The EWMA feeds per-request retry-after hints, so a
+                # pooled run reports its amortized per-request cost.
+                self.queue.observe_service_time(elapsed / len(group))
+                for t in group:
+                    status = "ok" if t.error is None else \
+                        type(t.error).__name__
+                    self.bus.emit(REQUEST_DONE,
+                                  request_id=t.request.request_id,
+                                  status=status, seconds=elapsed,
+                                  queue_depth=self.queue.depth)
+                    t.done.set()
+
+    # -- coalescing --------------------------------------------------------
+
+    def _coalesce_key(self, ticket: Ticket) -> str | None:
+        """Canonical compatibility key of one request, or ``None`` when
+        the request must not be coalesced.
+
+        Two requests may share a batched run only when everything that
+        shapes the computation — matrix spec, kernel, backend,
+        blocking, distribution, generator family, driver, partition —
+        is identical; only the seed may differ (it becomes that
+        request's entry in ``batch_seeds``).  Frozen-plan requests,
+        chaos requests, and the pregenerated kernel (which has no
+        batched tier) always run solo.
+        """
+        request = ticket.request
+        if request.plan is not None or request.chaos:
+            return None
+        if request.config.get("kernel") == "pregen":
+            return None
+        config = {k: v for k, v in request.config.items() if k != "seed"}
+        try:
+            return json.dumps([request.matrix, config], sort_keys=True)
+        except TypeError:
+            return None
+
+    def _coalesce(self, leader: Ticket) -> list:
+        """Drain queued tickets compatible with *leader* (never blocks
+        waiting for more arrivals)."""
+        key = self._coalesce_key(leader)
+        if key is None:
+            return []
+        return self.queue.take_matching(
+            lambda t: self._coalesce_key(t) == key,
+            self.config.max_batch - 1)
+
+    @staticmethod
+    def _seed_of(ticket: Ticket) -> int:
+        from ..core.config import SketchConfig
+
+        seed = ticket.request.config.get("seed")
+        return int(seed) if seed is not None else SketchConfig().seed
+
+    def _process_batch(self, group: list) -> None:
+        """Execute coalesced *group* as one batched run and demux the
+        stacked sketch back to the member tickets."""
+        live = []
+        for t in group:
+            if t.deadline is not None and time.monotonic() >= t.deadline:
+                self._miss_deadline(t, "queue")
+            else:
+                live.append(t)
+        if not live:
+            return
+        if len(live) == 1:
+            self._process(live[0])
+            return
+        leader = live[0]
+        self.bus.emit(REQUESTS_COALESCED, batch=len(live),
+                      leader=leader.request.request_id,
+                      request_ids=[t.request.request_id for t in live])
+        try:
+            A, matrix_key = self._matrix_for(leader.request.matrix)
+            plan = self._plan_for(
+                leader.request, A,
+                batch_seeds=[self._seed_of(t) for t in live])
+            # The pooled run binds to the tightest member deadline; a
+            # looser member whose pooled attempt dies on it is re-run
+            # solo below, under its own budget.
+            with_deadline = [t for t in live if t.deadline is not None]
+            tight = min(with_deadline, key=lambda t: t.deadline) \
+                if with_deadline else leader
+            plan = self._propagate_deadline(plan, tight)
+            self._tl.ticket = tight
+            self._tl.matrix_key = matrix_key
+            try:
+                result = self._execute(plan, A, None, tight)
+            finally:
+                self._tl.ticket = None
+                self._tl.matrix_key = None
+        except ConfigError as err:
+            # The members share one config, so a bad one fails them all
+            # identically — and says nothing about pool health.
+            self.breaker.record_neutral()
+            with self._lock:
+                self.counters["failed"] += len(live)
+            for t in live:
+                t.error = err
+            return
+        except ReproError:
+            # Coalescing is an optimization, never a correctness risk:
+            # any pooled failure (deadline, timeout, crash beyond the
+            # recovery ladder) degrades to per-request processing so a
+            # member with budget to spare still gets its solo answer.
+            self.breaker.record_neutral()
+            for t in live:
+                self._process(t)
+            return
+        health = result.stats.health
+        degraded = health is not None and (health.degraded_to_thread
+                                           or health.degraded_to_serial)
+        if degraded:
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        recovered = bool(result.stats.extra.get("serve_recovered"))
+        for index, t in enumerate(live):
+            sub = dataclasses.replace(result, sketch=result.sketch[index])
+            t.response = encode_result(sub, t.request.output,
+                                       t.request.request_id)
+            t.response["coalesced"] = {"batch": len(live), "index": index}
+            if recovered:
+                t.response["recovered"] = True
+            if t.slow_client > 0:
+                t.response["slow_client"] = t.slow_client
+        with self._lock:
+            self.counters["served"] += len(live)
+            self.counters["coalesced"] += len(live)
 
     def _process(self, ticket: Ticket) -> None:
         request = ticket.request
@@ -421,7 +560,7 @@ class SketchService:
 
     # -- planning ----------------------------------------------------------
 
-    def _plan_for(self, request: SketchRequest, A):
+    def _plan_for(self, request: SketchRequest, A, batch_seeds=None):
         from ..core.config import SketchConfig
         from ..parallel.procpool import WorkerPoolConfig
         from ..parallel.resilience import ResilienceConfig
@@ -465,7 +604,7 @@ class SketchService:
             pool = WorkerPoolConfig(workers=int(workers))
         return Planner().compile(A, cfg, d=d, gamma=gamma, driver=driver,
                                  pool=pool, partition=partition,
-                                 cache=self.cache)
+                                 batch_seeds=batch_seeds, cache=self.cache)
 
     def _propagate_deadline(self, plan, ticket: Ticket):
         """Fold the request's remaining budget into the plan's per-task

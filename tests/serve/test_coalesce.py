@@ -1,0 +1,278 @@
+"""Request coalescing in the serving core.
+
+``max_batch > 1`` lets an executor drain *compatible* queued requests —
+same matrix spec and config apart from the seed, no chaos, no explicit
+plan, not the pregen driver — into one batched run, then demux each
+member's slice into its own response.  The contract under test: every
+coalesced response is bit-identical to the solo run with that member's
+seed, coalescing never fails a request that would succeed alone (pooled
+failure degrades to per-member solo execution), deadlines are honored,
+and the batch is visible in events/metrics/counters.
+"""
+
+import base64
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.errors import ConfigError, RequestDeadlineError, ReproError
+from repro.plan import Planner, Runtime
+from repro.plan.events import REQUESTS_COALESCED
+from repro.serve import ServeConfig, SketchService
+from repro.serve.admission import AdmissionQueue
+from repro.serve.protocol import parse_request
+from repro.sparse import random_sparse
+
+MATRIX = {"random": [300, 120, 0.05], "seed": 3}
+SEEDS = (11, 22, 33, 44)
+BASE_CONFIG = {"d": 64, "kernel": "algo3", "rng_kind": "philox",
+               "b_d": 32, "b_n": 40, "driver": "serial"}
+
+
+def body_for(seed, **overrides):
+    config = dict(BASE_CONFIG, seed=seed)
+    body = {"matrix": MATRIX, "config": config, "output": "array",
+            "request_id": f"req-{seed}"}
+    body.update(overrides)
+    return body
+
+
+def decode(doc):
+    raw = base64.b64decode(doc["sketch"]["data"])
+    return np.frombuffer(raw, dtype=doc["sketch"]["dtype"]).reshape(
+        doc["sketch"]["shape"])
+
+
+def solo_reference(seed):
+    A = random_sparse(300, 120, 0.05, seed=3)
+    cfg = SketchConfig(kernel="algo3", rng_kind="philox", seed=seed,
+                       b_d=32, b_n=40)
+    plan = Planner().compile(A, cfg, d=64, driver="serial")
+    return Runtime().run(plan, A).sketch
+
+
+def make_service(max_batch=8, **kwargs):
+    """A coalescing service, NOT yet started — submit first, then
+    ``start()``, so queued requests are guaranteed to be waiting
+    together when the single executor wakes up."""
+    defaults = dict(queue_capacity=16, executors=1, default_deadline=60.0,
+                    drain_timeout=10.0, allow_chaos=True,
+                    max_batch=max_batch)
+    defaults.update(kwargs)
+    return SketchService(ServeConfig(**defaults))
+
+
+def submit_then_start(svc, bodies):
+    tickets = [svc.submit(parse_request(b, allow_chaos=True))
+               for b in bodies]
+    svc.start()
+    return tickets
+
+
+class TestCoalescing:
+    def test_compatible_requests_coalesce_bit_identically(self):
+        svc = make_service()
+        events = []
+        svc.bus.subscribe(REQUESTS_COALESCED,
+                          lambda e: events.append(e.payload))
+        try:
+            tickets = submit_then_start(svc, [body_for(s) for s in SEEDS])
+            docs = [t.wait(timeout=60.0) for t in tickets]
+            for seed, doc in zip(SEEDS, docs):
+                assert doc["status"] == "ok"
+                assert doc["request_id"] == f"req-{seed}"
+                assert np.array_equal(decode(doc), solo_reference(seed))
+            # One batched run served the whole group.
+            batches = sorted(d["coalesced"]["batch"] for d in docs)
+            indices = sorted(d["coalesced"]["index"] for d in docs)
+            assert batches == [len(SEEDS)] * len(SEEDS)
+            assert indices == list(range(len(SEEDS)))
+            assert svc.counters["served"] == len(SEEDS)
+            assert svc.counters["coalesced"] == len(SEEDS)
+            assert len(events) == 1
+            assert events[0]["batch"] == len(SEEDS)
+            assert sorted(events[0]["request_ids"]) == \
+                sorted(f"req-{s}" for s in SEEDS)
+        finally:
+            svc.close()
+
+    def test_max_batch_caps_group_size(self):
+        svc = make_service(max_batch=3)
+        try:
+            seeds = tuple(range(51, 56))        # 5 requests, cap 3
+            tickets = submit_then_start(svc, [body_for(s) for s in seeds])
+            docs = [t.wait(timeout=60.0) for t in tickets]
+            for seed, doc in zip(seeds, docs):
+                assert np.array_equal(decode(doc), solo_reference(seed))
+                assert doc.get("coalesced", {}).get("batch", 1) <= 3
+            assert svc.counters["served"] == len(seeds)
+        finally:
+            svc.close()
+
+    def test_default_max_batch_disables_coalescing(self):
+        svc = make_service(max_batch=1)
+        try:
+            tickets = submit_then_start(svc,
+                                        [body_for(s) for s in SEEDS[:2]])
+            docs = [t.wait(timeout=60.0) for t in tickets]
+            for seed, doc in zip(SEEDS[:2], docs):
+                assert "coalesced" not in doc
+                assert np.array_equal(decode(doc), solo_reference(seed))
+            assert svc.counters["coalesced"] == 0
+        finally:
+            svc.close()
+
+    def test_incompatible_requests_do_not_coalesce(self):
+        svc = make_service()
+        try:
+            bodies = [
+                body_for(SEEDS[0]),
+                # different sketch size → different plan geometry
+                {"matrix": MATRIX,
+                 "config": dict(BASE_CONFIG, seed=SEEDS[1], d=32),
+                 "output": "array", "request_id": "other-d"},
+                # different matrix entirely
+                {"matrix": {"random": [200, 60, 0.05], "seed": 7},
+                 "config": dict(BASE_CONFIG, seed=SEEDS[2]),
+                 "output": "array", "request_id": "other-A"},
+            ]
+            tickets = submit_then_start(svc, bodies)
+            docs = [t.wait(timeout=60.0) for t in tickets]
+            assert all("coalesced" not in d for d in docs)
+            assert svc.counters["coalesced"] == 0
+            assert np.array_equal(decode(docs[0]),
+                                  solo_reference(SEEDS[0]))
+        finally:
+            svc.close()
+
+    def test_chaos_and_plan_requests_never_coalesce(self):
+        svc = make_service()
+        try:
+            A = random_sparse(300, 120, 0.05, seed=3)
+            cfg = SketchConfig(kernel="algo3", rng_kind="philox",
+                               seed=SEEDS[1], b_d=32, b_n=40)
+            plan = Planner().compile(A, cfg, d=64, driver="serial")
+            bodies = [
+                body_for(SEEDS[0],
+                         chaos={"faults": [{"kind": "stall",
+                                            "sleep_seconds": 0.01}]}),
+                {"matrix": MATRIX, "plan": plan.to_dict(),
+                 "output": "array", "request_id": "with-plan"},
+                body_for(SEEDS[2]),
+            ]
+            tickets = submit_then_start(svc, bodies)
+            docs = [t.wait(timeout=60.0) for t in tickets]
+            assert all("coalesced" not in d for d in docs)
+            assert svc.counters["coalesced"] == 0
+            assert np.array_equal(decode(docs[1]),
+                                  solo_reference(SEEDS[1]))
+        finally:
+            svc.close()
+
+    def test_pooled_failure_degrades_to_solo_members(self):
+        """A failing batched run must never fail requests that would
+        succeed alone: the group falls back to per-member execution."""
+        svc = make_service()
+        original = svc._execute
+        calls = {"batched": 0}
+
+        def sabotage(plan, A, injector, ticket):
+            if plan.problem.batch > 1:
+                calls["batched"] += 1
+                raise ReproError("injected batched-run failure")
+            return original(plan, A, injector, ticket)
+
+        svc._execute = sabotage
+        try:
+            tickets = submit_then_start(svc, [body_for(s) for s in SEEDS])
+            docs = [t.wait(timeout=60.0) for t in tickets]
+            assert calls["batched"] == 1
+            for seed, doc in zip(SEEDS, docs):
+                assert doc["status"] == "ok"
+                assert "coalesced" not in doc
+                assert np.array_equal(decode(doc), solo_reference(seed))
+            assert svc.breaker.state == "closed"
+        finally:
+            svc.close()
+
+    def test_expired_member_missed_others_served(self):
+        svc = make_service()
+        try:
+            doomed = body_for(SEEDS[0], deadline_seconds=1e-4)
+            live = [body_for(s) for s in SEEDS[1:]]
+            tickets = submit_then_start(svc, [doomed] + live)
+            time.sleep(0.05)        # let the doomed deadline lapse
+            with pytest.raises(RequestDeadlineError) as exc:
+                tickets[0].wait(timeout=60.0)
+            assert exc.value.phase == "queue"
+            for seed, t in zip(SEEDS[1:], tickets[1:]):
+                doc = t.wait(timeout=60.0)
+                assert np.array_equal(decode(doc), solo_reference(seed))
+        finally:
+            svc.close()
+
+    def test_amortized_service_time_feeds_admission_ewma(self):
+        svc = make_service()
+        try:
+            before = svc.queue.service_estimate()
+            tickets = submit_then_start(svc, [body_for(s) for s in SEEDS])
+            for t in tickets:
+                t.wait(timeout=60.0)
+            # The EWMA sees per-request (amortized) time, so the retry
+            # hint stays calibrated to coalesced throughput.
+            after = svc.queue.service_estimate()
+            assert after > 0.0
+            assert after != before
+        finally:
+            svc.close()
+
+
+class TestObservability:
+    def test_metrics_count_coalesced_requests(self):
+        from repro.obs import RunObserver
+
+        svc = make_service()
+        obs = RunObserver(trace=False).attach(svc.bus)
+        try:
+            tickets = submit_then_start(svc, [body_for(s) for s in SEEDS])
+            for t in tickets:
+                t.wait(timeout=60.0)
+            text = obs.metrics_text()
+            assert f"repro_requests_coalesced_total {len(SEEDS)}" in text
+            assert "repro_batch_size_bucket" in text
+            families = {f.name: f for f in obs.registry.families()}
+            assert families["repro_requests_coalesced_total"].value() \
+                == len(SEEDS)
+        finally:
+            svc.close()
+
+
+class TestConfig:
+    def test_max_batch_validated(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(max_batch=0)
+
+    def test_round_trip(self):
+        cfg = ServeConfig(max_batch=4)
+        assert cfg.max_batch == 4
+
+
+class TestTakeMatching:
+    def test_takes_only_matching_up_to_limit(self):
+        q = AdmissionQueue(capacity=16)
+        for i in range(6):
+            q.offer(i)
+        taken = q.take_matching(lambda x: x % 2 == 0, limit=2)
+        assert taken == [0, 2]
+        # Non-matching and over-limit items stay, order preserved.
+        rest = [q.take(timeout=0.1) for _ in range(4)]
+        assert rest == [1, 3, 4, 5]
+
+    def test_zero_limit_is_noop(self):
+        q = AdmissionQueue(capacity=4)
+        q.offer("a")
+        assert q.take_matching(lambda _: True, limit=0) == []
+        assert q.take(timeout=0.1) == "a"
